@@ -1,0 +1,225 @@
+// Ablation 3: aggregation drivers (paper §4.3).
+//
+// Builds a small pNFS cluster whose layout source hands out each of the
+// aggregation schemes in turn, then measures striped IOR-style reads and
+// writes through a stock client + the matching driver:
+//   * round-robin      — the standard scheme (baseline),
+//   * variable-stripe  — small stripes for the file head, large for the
+//                        bulk (media-server layout),
+//   * replicated       — reads spread over replicas; writes pay N copies,
+//   * nested           — striping across groups, then within groups.
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "core/aggregation_drivers.hpp"
+#include "lfs/object_store.hpp"
+#include "nfs/client.hpp"
+#include "nfs/local_backend.hpp"
+#include "nfs/server.hpp"
+
+using namespace dpnfs;
+using namespace dpnfs::bench;
+using sim::Task;
+
+namespace {
+
+/// Layout source parameterized on the aggregation scheme under test.
+class AblationLayoutSource final : public nfs::LayoutSource {
+ public:
+  AblationLayoutSource(std::vector<nfs::DeviceEntry> devices,
+                       nfs::FileLayout prototype,
+                       nfs::LocalBackend* mds_backend)
+      : devices_(std::move(devices)),
+        prototype_(std::move(prototype)),
+        mds_backend_(mds_backend) {}
+
+  Task<nfs::Status> get_device_list(std::vector<nfs::DeviceEntry>* out) override {
+    *out = devices_;
+    co_return nfs::Status::kOk;
+  }
+  Task<nfs::Status> layout_get(nfs::FileHandle fh, nfs::LayoutIoMode,
+                               nfs::FileLayout* out) override {
+    *out = prototype_;
+    out->fhs.clear();
+    for (const auto& d : devices_) {
+      out->fhs.push_back(nfs::FileHandle{fh.id * 1000 + d.device.id});
+    }
+    co_return nfs::Status::kOk;
+  }
+  Task<nfs::Status> layout_commit(nfs::FileHandle fh, uint64_t new_size,
+                                  bool changed, uint64_t* post_change) override {
+    *post_change = 0;
+    if (changed) co_await mds_backend_->set_size(fh, new_size);
+    co_return nfs::Status::kOk;
+  }
+  Task<nfs::Status> layout_return(nfs::FileHandle) override {
+    co_return nfs::Status::kOk;
+  }
+
+ private:
+  std::vector<nfs::DeviceEntry> devices_;
+  nfs::FileLayout prototype_;
+  nfs::LocalBackend* mds_backend_;
+};
+
+struct Cluster {
+  static constexpr int kDataServers = 4;
+  sim::Simulation sim;
+  sim::Network net{sim};
+  rpc::RpcFabric fabric{net};
+  std::vector<std::unique_ptr<lfs::ObjectStore>> stores;
+  std::vector<std::unique_ptr<nfs::LocalBackend>> backends;
+  std::vector<std::unique_ptr<nfs::NfsServer>> servers;
+  std::unique_ptr<lfs::ObjectStore> mds_store;
+  std::unique_ptr<nfs::LocalBackend> mds_backend;
+  std::unique_ptr<AblationLayoutSource> layouts;
+  std::unique_ptr<nfs::NfsServer> mds;
+  std::vector<std::unique_ptr<nfs::NfsClient>> clients;
+
+  explicit Cluster(nfs::FileLayout prototype, int n_clients) {
+    std::vector<nfs::DeviceEntry> devices;
+    for (int i = 0; i < kDataServers; ++i) {
+      auto& node = net.add_node(sim::NodeParams{
+          .name = "ds" + std::to_string(i),
+          .nic = sim::NicParams{},
+          .disk = sim::DiskParams{},
+          .cpu = sim::CpuParams{}});
+      stores.push_back(std::make_unique<lfs::ObjectStore>(node));
+      backends.push_back(
+          std::make_unique<nfs::LocalBackend>(*stores.back(), /*flat=*/true));
+      nfs::ServerConfig scfg;
+      scfg.is_data_server = true;
+      servers.push_back(std::make_unique<nfs::NfsServer>(
+          fabric, node, rpc::kNfsPort, *backends.back(), nullptr, scfg));
+      servers.back()->start();
+      devices.push_back(nfs::DeviceEntry{nfs::DeviceId{uint32_t(i)}, node.id(),
+                                         rpc::kNfsPort});
+    }
+    auto& mds_node = net.add_node(sim::NodeParams{
+        .name = "mds",
+        .nic = sim::NicParams{},
+        .disk = sim::DiskParams{},
+        .cpu = sim::CpuParams{}});
+    mds_store = std::make_unique<lfs::ObjectStore>(mds_node);
+    mds_backend = std::make_unique<nfs::LocalBackend>(*mds_store);
+    layouts = std::make_unique<AblationLayoutSource>(devices, prototype,
+                                                     mds_backend.get());
+    mds = std::make_unique<nfs::NfsServer>(fabric, mds_node, 2050,
+                                           *mds_backend, layouts.get());
+    mds->start();
+
+    auto aggregations = std::make_shared<const nfs::AggregationRegistry>(
+        core::full_aggregation_registry());
+    for (int i = 0; i < n_clients; ++i) {
+      auto& cn = net.add_node(sim::NodeParams{
+          .name = "client" + std::to_string(i),
+          .nic = sim::NicParams{},
+          .disk = std::nullopt,
+          .cpu = sim::CpuParams{}});
+      clients.push_back(std::make_unique<nfs::NfsClient>(
+          fabric, cn, mds->address(), "c@SIM", nfs::ClientConfig{},
+          aggregations));
+    }
+  }
+};
+
+double run_case(const nfs::FileLayout& prototype, bool write, int n_clients,
+                uint64_t bytes_per_client) {
+  Cluster c(prototype, n_clients);
+  sim::Time t0 = 0, t1 = 0;
+  bool ok = false;
+  c.sim.spawn([](Cluster& c, bool write, uint64_t bytes, sim::Time& t0,
+                 sim::Time& t1, bool& ok) -> Task<void> {
+    for (auto& cl : c.clients) co_await cl->mount();
+    // Pre-write for the read case.
+    if (!write) {
+      sim::WaitGroup wg(c.sim);
+      for (size_t i = 0; i < c.clients.size(); ++i) {
+        wg.spawn([](Cluster& c, size_t i, uint64_t bytes) -> Task<void> {
+          auto f = co_await c.clients[i]->open("/f" + std::to_string(i), true);
+          for (uint64_t off = 0; off < bytes; off += 2 << 20) {
+            co_await c.clients[i]->write(
+                f, off, rpc::Payload::virtual_bytes(
+                            std::min<uint64_t>(2 << 20, bytes - off)));
+          }
+          co_await c.clients[i]->close(f);
+          c.clients[i]->drop_caches();
+        }(c, i, bytes));
+      }
+      co_await wg.wait();
+    }
+    t0 = c.sim.now();
+    sim::WaitGroup wg(c.sim);
+    for (size_t i = 0; i < c.clients.size(); ++i) {
+      wg.spawn([](Cluster& c, size_t i, bool write, uint64_t bytes) -> Task<void> {
+        auto f = co_await c.clients[i]->open("/f" + std::to_string(i), write);
+        for (uint64_t off = 0; off < bytes; off += 2 << 20) {
+          const uint64_t n = std::min<uint64_t>(2 << 20, bytes - off);
+          if (write) {
+            co_await c.clients[i]->write(f, off, rpc::Payload::virtual_bytes(n));
+          } else {
+            (void)co_await c.clients[i]->read(f, off, n);
+          }
+        }
+        co_await c.clients[i]->close(f);
+      }(c, i, write, bytes));
+    }
+    co_await wg.wait();
+    t1 = c.sim.now();
+    ok = true;
+  }(c, write, bytes_per_client, t0, t1, ok));
+  c.sim.run();
+  if (!ok) return 0.0;
+  const double secs = sim::to_seconds(t1 - t0);
+  return static_cast<double>(bytes_per_client) * n_clients / 1e6 / secs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = flag_present(argc, argv, "--quick");
+  const uint64_t bytes = quick ? 32'000'000 : 128'000'000;
+  const int n_clients = 4;
+
+  struct Case {
+    const char* name;
+    nfs::FileLayout layout;
+  };
+  std::vector<Case> cases;
+  {
+    nfs::FileLayout rr;
+    rr.aggregation = nfs::AggregationType::kRoundRobin;
+    rr.stripe_unit = 1 << 20;
+    for (uint32_t i = 0; i < 4; ++i) rr.devices.push_back(nfs::DeviceId{i});
+    cases.push_back({"round-robin", rr});
+
+    nfs::FileLayout vs = rr;
+    vs.aggregation = nfs::AggregationType::kVariableStripe;
+    // 64 stripes of 64 KB (metadata-ish head), then 1 MB stripes forever.
+    vs.params = {2, 64 * 1024, 64, 1 << 20, 1};
+    cases.push_back({"variable-stripe", vs});
+
+    nfs::FileLayout rep = rr;
+    rep.aggregation = nfs::AggregationType::kReplicated;
+    cases.push_back({"replicated", rep});
+
+    nfs::FileLayout nested = rr;
+    nested.aggregation = nfs::AggregationType::kNested;
+    nested.params = {2};  // 2 groups of 2 devices
+    cases.push_back({"nested", nested});
+  }
+
+  std::printf("== Ablation: aggregation drivers (4 data servers, 4 clients) ==\n");
+  std::printf("%-18s%16s%16s\n", "scheme", "write MB/s", "read MB/s");
+  for (const auto& c : cases) {
+    const double w = run_case(c.layout, true, n_clients, bytes);
+    const double r = run_case(c.layout, false, n_clients, bytes);
+    std::printf("%-18s%16.1f%16.1f\n", c.name, w, r);
+  }
+  std::printf("\nExpected: replicated writes pay ~4x (every copy), replicated\n"
+              "reads match round-robin; variable-stripe tracks round-robin with\n"
+              "extra small-stripe requests at the file head; nested matches\n"
+              "round-robin on this uniform workload.\n");
+  return 0;
+}

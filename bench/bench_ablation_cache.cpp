@@ -1,0 +1,45 @@
+// Ablation 2: the NFSv4 client write-back cache and readahead.
+//
+// Figures 6d/6e and 7c/7d hinge on the client data cache coalescing 8 KB
+// application requests into wsize/rsize wire requests.  Disabling the cache
+// (every application request becomes an RPC) shows how much of Direct-pNFS's
+// small-I/O advantage is the cache rather than the direct data path.
+#include "bench_common.hpp"
+#include "workload/ior.hpp"
+
+using namespace dpnfs;
+using namespace dpnfs::bench;
+using core::Architecture;
+
+int main(int argc, char** argv) {
+  const bool quick = flag_present(argc, argv, "--quick");
+  const std::vector<uint32_t> clients = quick
+                                            ? std::vector<uint32_t>{2, 8}
+                                            : std::vector<uint32_t>{1, 2, 4, 8};
+  const uint64_t bytes = quick ? 20'000'000 : 100'000'000;
+
+  std::printf("== Ablation: Direct-pNFS client data cache on/off, "
+              "8 KB application blocks ==\n");
+  for (bool write : {true, false}) {
+    std::vector<Series> series;
+    for (bool cache : {true, false}) {
+      Series s;
+      s.label = cache ? "cache on" : "cache off";
+      for (uint32_t n : clients) {
+        core::ClusterConfig cfg = paper_config(Architecture::kDirectPnfs, n);
+        cfg.nfs_client.data_cache = cache;
+        core::Deployment d(cfg);
+        workload::IorConfig ior;
+        ior.write = write;
+        ior.block_size = 8 * 1024;
+        ior.bytes_per_client = bytes;
+        workload::IorWorkload w(ior);
+        s.values.push_back(run_workload(d, w).aggregate_mbps());
+      }
+      series.push_back(std::move(s));
+    }
+    print_table(write ? "IOR write, 8 KB blocks" : "IOR read, 8 KB blocks",
+                "clients", clients, series, "aggregate MB/s");
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Ablation 1: how much does *accurate* layout knowledge matter?
+//
+// Direct-pNFS's defining feature is that the layout translator gives clients
+// the exact data placement.  This ablation compares:
+//   * Direct-pNFS            — exact layouts (translator),
+//   * pNFS-2tier             — same co-located servers, placement-oblivious
+//                               layouts (every request proxied through the
+//                               exported PFS),
+// on the same IOR workload: the gap is the cost of losing placement
+// knowledge while keeping all hardware identical (paper §4.1's argument).
+#include "bench_common.hpp"
+#include "workload/ior.hpp"
+
+using namespace dpnfs;
+using namespace dpnfs::bench;
+using core::Architecture;
+
+int main(int argc, char** argv) {
+  const bool quick = flag_present(argc, argv, "--quick");
+  const std::vector<uint32_t> clients = quick
+                                            ? std::vector<uint32_t>{2, 8}
+                                            : std::vector<uint32_t>{1, 2, 4, 8};
+  const uint64_t bytes = quick ? 50'000'000 : 250'000'000;
+
+  std::printf("== Ablation: exact layouts (Direct-pNFS) vs placement-oblivious "
+              "layouts (2-tier) ==\n");
+  for (bool write : {true, false}) {
+    std::vector<Series> series;
+    for (Architecture arch :
+         {Architecture::kDirectPnfs, Architecture::kPnfs2Tier}) {
+      Series s;
+      s.label = std::string(core::architecture_name(arch)) +
+                (arch == Architecture::kDirectPnfs ? " (exact)" : " (oblivious)");
+      for (uint32_t n : clients) {
+        core::Deployment d(paper_config(arch, n));
+        workload::IorConfig ior;
+        ior.write = write;
+        ior.bytes_per_client = bytes;
+        workload::IorWorkload w(ior);
+        s.values.push_back(run_workload(d, w).aggregate_mbps());
+      }
+      series.push_back(std::move(s));
+    }
+    print_table(write ? "IOR write, separate files, 2 MB blocks"
+                      : "IOR read, separate files, 2 MB blocks (warm caches)",
+                "clients", clients, series, "aggregate MB/s");
+  }
+  return 0;
+}

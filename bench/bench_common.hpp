@@ -1,0 +1,78 @@
+// Shared harness for the figure-reproduction benches.
+//
+// Every bench binary prints the corresponding paper figure as a table:
+// one row per client count, one column per architecture — the same series
+// the paper plots.  `--quick` shrinks data sizes and the client sweep for
+// smoke runs; the default reproduces the paper's parameters.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/deployment.hpp"
+#include "workload/runner.hpp"
+
+namespace dpnfs::bench {
+
+inline bool flag_present(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+/// The paper's testbed (§6.1): gigabit Ethernet with jumbo frames, six
+/// storage nodes (one doubling as metadata manager), 2 MB stripes, 8 nfsd
+/// threads, 2 MB rsize/wsize.  See DESIGN.md §5 for the calibration notes.
+inline core::ClusterConfig paper_config(core::Architecture arch,
+                                        uint32_t clients) {
+  core::ClusterConfig cfg;
+  cfg.architecture = arch;
+  cfg.storage_nodes = 6;
+  cfg.clients = clients;
+  return cfg;
+}
+
+/// Same cluster on 100 Mbps Ethernet (Figure 6c).
+inline core::ClusterConfig paper_config_100mbps(core::Architecture arch,
+                                                uint32_t clients) {
+  core::ClusterConfig cfg = paper_config(arch, clients);
+  cfg.nic.bytes_per_sec = 11.5e6;
+  return cfg;
+}
+
+struct Series {
+  std::string label;
+  std::vector<double> values;
+};
+
+inline void print_table(const std::string& title, const std::string& x_label,
+                        const std::vector<uint32_t>& xs,
+                        const std::vector<Series>& series,
+                        const std::string& unit) {
+  std::printf("\n%s  [%s]\n", title.c_str(), unit.c_str());
+  std::printf("%-12s", x_label.c_str());
+  for (const auto& s : series) std::printf("%14s", s.label.c_str());
+  std::printf("\n");
+  for (size_t row = 0; row < xs.size(); ++row) {
+    std::printf("%-12u", xs[row]);
+    for (const auto& s : series) {
+      if (row < s.values.size()) {
+        std::printf("%14.1f", s.values[row]);
+      } else {
+        std::printf("%14s", "-");
+      }
+    }
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+inline std::vector<uint32_t> client_sweep(bool quick) {
+  if (quick) return {1, 4, 8};
+  return {1, 2, 3, 4, 5, 6, 7, 8};
+}
+
+}  // namespace dpnfs::bench

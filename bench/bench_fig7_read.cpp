@@ -1,0 +1,62 @@
+// Figure 7: IOR aggregate read throughput (warm server caches).
+//   (a) separate files, large blocks   (b) single file, large blocks
+//   (c) separate files, 8 KB blocks    (d) single file, 8 KB blocks
+#include "bench_common.hpp"
+#include "workload/ior.hpp"
+
+using namespace dpnfs;
+using namespace dpnfs::bench;
+using core::Architecture;
+
+namespace {
+
+double run_one(const core::ClusterConfig& cfg, const workload::IorConfig& ior) {
+  core::Deployment d(cfg);
+  workload::IorWorkload w(ior);
+  return run_workload(d, w).aggregate_mbps();
+}
+
+void sweep(const char* title, bool single_file, uint64_t block_size,
+           const std::vector<Architecture>& archs,
+           const std::vector<uint32_t>& clients, uint64_t bytes_per_client) {
+  std::vector<Series> series;
+  for (Architecture arch : archs) {
+    Series s;
+    s.label = core::architecture_name(arch);
+    for (uint32_t n : clients) {
+      workload::IorConfig ior;
+      ior.write = false;
+      ior.single_file = single_file;
+      ior.block_size = block_size;
+      ior.bytes_per_client = bytes_per_client;
+      s.values.push_back(run_one(paper_config(arch, n), ior));
+    }
+    series.push_back(std::move(s));
+  }
+  print_table(title, "clients", clients, series, "aggregate MB/s");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = flag_present(argc, argv, "--quick");
+  const auto clients = client_sweep(quick);
+  const uint64_t bytes = quick ? 100'000'000 : 500'000'000;
+  const uint64_t small_bytes = quick ? 50'000'000 : 500'000'000;
+
+  const std::vector<Architecture> all = {
+      Architecture::kDirectPnfs, Architecture::kNativePvfs,
+      Architecture::kPnfs2Tier, Architecture::kPnfs3Tier,
+      Architecture::kPlainNfs};
+
+  std::printf("== Figure 7: IOR aggregate read throughput (warm caches) ==\n");
+  sweep("Fig 7a: read, separate files, 2 MB blocks", false, 2 << 20, all,
+        clients, bytes);
+  sweep("Fig 7b: read, single file, 2 MB blocks", true, 2 << 20, all, clients,
+        bytes);
+  sweep("Fig 7c: read, separate files, 8 KB blocks", false, 8 * 1024, all,
+        clients, small_bytes);
+  sweep("Fig 7d: read, single file, 8 KB blocks", true, 8 * 1024, all, clients,
+        small_bytes);
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 8a: ATLAS Digitization write replay — aggregate write throughput
+// for 1, 4, and 8 clients, Direct-pNFS vs PVFS2.
+//
+// The request mixture (95% of requests < 275 KB, 95% of bytes in requests
+// >= 275 KB) exercises exactly the small-write coalescing that separates
+// the NFSv4.1 write-back client from the cacheless parallel-FS client.
+#include "bench_common.hpp"
+#include "workload/atlas.hpp"
+
+using namespace dpnfs;
+using namespace dpnfs::bench;
+using core::Architecture;
+
+int main(int argc, char** argv) {
+  const bool quick = flag_present(argc, argv, "--quick");
+  const std::vector<uint32_t> clients = {1, 4, 8};
+  const std::vector<Architecture> archs = {Architecture::kDirectPnfs,
+                                           Architecture::kNativePvfs};
+
+  std::printf("== Figure 8a: ATLAS digitization aggregate write throughput ==\n");
+  std::vector<Series> series;
+  for (Architecture arch : archs) {
+    Series s;
+    s.label = core::architecture_name(arch);
+    for (uint32_t n : clients) {
+      core::Deployment d(paper_config(arch, n));
+      workload::AtlasConfig cfg;
+      if (quick) {
+        cfg.bytes_per_client = 80'000'000;
+        cfg.file_span = 80'000'000;
+      }
+      workload::AtlasWorkload w(cfg);
+      s.values.push_back(run_workload(d, w).aggregate_mbps());
+    }
+    series.push_back(std::move(s));
+  }
+  print_table("Fig 8a: ATLAS (650 MB random-offset mixed-size writes/client)",
+              "clients", clients, series, "aggregate MB/s");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Figure 8b: NPB 2.4 BT-IO class A — total running time (lower is better)
+// for 1, 4, and 9 clients, Direct-pNFS vs PVFS2.
+#include "bench_common.hpp"
+#include "workload/btio.hpp"
+
+using namespace dpnfs;
+using namespace dpnfs::bench;
+using core::Architecture;
+
+int main(int argc, char** argv) {
+  const bool quick = flag_present(argc, argv, "--quick");
+  const std::vector<uint32_t> clients = {1, 4, 9};
+  const std::vector<Architecture> archs = {Architecture::kDirectPnfs,
+                                           Architecture::kNativePvfs};
+
+  std::printf("== Figure 8b: BTIO class A running time ==\n");
+  std::vector<Series> series;
+  for (Architecture arch : archs) {
+    Series s;
+    s.label = core::architecture_name(arch);
+    for (uint32_t n : clients) {
+      core::Deployment d(paper_config(arch, n));
+      workload::BtioConfig cfg;
+      if (quick) {
+        cfg.file_bytes = 40'000'000;
+        cfg.time_steps = 40;
+        cfg.compute_total = sim::sec(90);
+      }
+      workload::BtioWorkload w(cfg);
+      s.values.push_back(run_workload(d, w).elapsed_seconds);
+    }
+    series.push_back(std::move(s));
+  }
+  print_table("Fig 8b: BTIO class A (200 steps, 400 MB checkpoint file)",
+              "clients", clients, series, "seconds (lower is better)");
+  return 0;
+}

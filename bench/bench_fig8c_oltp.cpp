@@ -1,0 +1,40 @@
+// Figure 8c: OLTP — aggregate I/O throughput of 8 KB read-modify-write
+// transactions (fsync after each) for 1, 4, and 8 clients.
+#include "bench_common.hpp"
+#include "workload/oltp.hpp"
+
+using namespace dpnfs;
+using namespace dpnfs::bench;
+using core::Architecture;
+
+int main(int argc, char** argv) {
+  const bool quick = flag_present(argc, argv, "--quick");
+  const std::vector<uint32_t> clients = {1, 4, 8};
+  const std::vector<Architecture> archs = {Architecture::kDirectPnfs,
+                                           Architecture::kNativePvfs};
+
+  std::printf("== Figure 8c: OLTP aggregate I/O throughput ==\n");
+  std::vector<Series> series;
+  for (Architecture arch : archs) {
+    Series s;
+    s.label = core::architecture_name(arch);
+    for (uint32_t n : clients) {
+      core::Deployment d(paper_config(arch, n));
+      workload::OltpConfig cfg;
+      cfg.transactions_per_client = quick ? 1'000 : 20'000;
+      if (quick) cfg.file_bytes = 64ull << 20;
+      workload::OltpWorkload w(cfg);
+      const auto r = run_workload(d, w);
+      s.values.push_back(r.aggregate_mbps());
+      if (n == clients.back()) {
+        std::printf("  [%s, %u clients] txn latency p50=%.1fms p99=%.1fms\n",
+                    s.label.c_str(), n, w.latencies().percentile(50) * 1e3,
+                    w.latencies().percentile(99) * 1e3);
+      }
+    }
+    series.push_back(std::move(s));
+  }
+  print_table("Fig 8c: OLTP (20k txns/client, 8 KB RMW + fsync)", "clients",
+              clients, series, "aggregate MB/s");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 8d: Postmark — transactions per second for 1, 4, and 8 clients.
+// Per the paper, stripe size and rsize/wsize drop to 64 KB for this
+// metadata/small-I/O workload.
+#include "bench_common.hpp"
+#include "workload/postmark.hpp"
+
+using namespace dpnfs;
+using namespace dpnfs::bench;
+using core::Architecture;
+
+int main(int argc, char** argv) {
+  const bool quick = flag_present(argc, argv, "--quick");
+  const std::vector<uint32_t> clients = {1, 4, 8};
+  const std::vector<Architecture> archs = {Architecture::kDirectPnfs,
+                                           Architecture::kNativePvfs};
+
+  std::printf("== Figure 8d: Postmark transaction throughput ==\n");
+  std::vector<Series> series;
+  for (Architecture arch : archs) {
+    Series s;
+    s.label = core::architecture_name(arch);
+    for (uint32_t n : clients) {
+      core::ClusterConfig ccfg = paper_config(arch, n);
+      ccfg.stripe_unit = 64 * 1024;
+      ccfg.nfs_client.rsize = 64 * 1024;
+      ccfg.nfs_client.wsize = 64 * 1024;
+      core::Deployment d(ccfg);
+      workload::PostmarkConfig cfg;
+      cfg.transactions = quick ? 400 : 2'000;
+      workload::PostmarkWorkload w(cfg);
+      s.values.push_back(run_workload(d, w).tps());
+    }
+    series.push_back(std::move(s));
+  }
+  print_table("Fig 8d: Postmark (2000 txns, 100 files, 10 dirs, 64 KB stripes)",
+              "clients", clients, series, "transactions/s");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// SSH-build benchmark (paper §6.4.3 discussion): per-phase times for the
+// uncompress / configure / compile stages of building OpenSSH.
+//
+// Expected shape (the paper's qualitative finding): Direct-pNFS *reduces*
+// compile time (small reads and writes ride the client cache and the
+// parallel data path) but *increases* uncompress and configure time
+// (creates and attribute updates funnel through the central MDS into the
+// PFS metadata manager).
+#include "bench_common.hpp"
+#include "workload/sshbuild.hpp"
+
+using namespace dpnfs;
+using namespace dpnfs::bench;
+using core::Architecture;
+
+int main(int argc, char** argv) {
+  const bool quick = flag_present(argc, argv, "--quick");
+  const std::vector<Architecture> archs = {Architecture::kDirectPnfs,
+                                           Architecture::kNativePvfs};
+
+  std::printf("== SSH build: per-phase times (1 client) ==\n");
+  std::printf("%-14s%14s%14s%14s\n", "", "uncompress", "configure", "compile");
+  for (Architecture arch : archs) {
+    core::Deployment d(paper_config(arch, 1));
+    workload::SshBuildConfig cfg;
+    if (quick) {
+      cfg.source_files = 40;
+      cfg.header_files = 15;
+      cfg.configure_probes = 60;
+      cfg.configure_scripts = 15;
+    }
+    workload::SshBuildWorkload w(cfg);
+    (void)run_workload(d, w);
+    std::printf("%-14s%13.2fs%13.2fs%13.2fs\n",
+                core::architecture_name(arch), w.uncompress_seconds(),
+                w.configure_seconds(), w.compile_seconds());
+  }
+  std::printf("\nExpected: Direct-pNFS wins the compile phase, loses the\n"
+              "metadata-bound uncompress/configure phases (paper section 6.4.3).\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Quickstart: build a Direct-pNFS cluster, write a file through the stock
+// NFSv4.1 client, read it back, and look at where the bytes landed.
+//
+//   $ ./build/examples/quickstart
+//
+// Everything below runs inside the discrete-event simulation: the "cluster"
+// is six storage nodes (PVFS2-like storage daemons + co-located NFSv4.1
+// data servers), a metadata server with the Direct-pNFS layout translator,
+// and one client node — all exchanging real XDR-encoded RPCs over a
+// simulated gigabit network.
+#include <cstdio>
+
+#include "core/deployment.hpp"
+#include "util/bytes.hpp"
+
+using namespace dpnfs;
+using namespace dpnfs::util::literals;
+using sim::Task;
+
+namespace {
+
+Task<void> demo(core::Deployment& cluster) {
+  // 1. Mount: EXCHANGE_ID, CREATE_SESSION, GETDEVICELIST under the hood.
+  co_await cluster.mount_all();
+  core::FileSystemClient& fs = cluster.client(0);
+
+  // 2. Create a directory and a file; the MDS grants a pNFS layout at open.
+  co_await fs.mkdir("/demo");
+  auto file = co_await fs.open("/demo/hello.dat", /*create=*/true);
+
+  // 3. Write 64 MiB.  The client write-back cache coalesces this into 2 MB
+  //    WRITEs sent *directly* to the data server holding each stripe.
+  std::printf("writing 64 MiB...\n");
+  for (uint64_t off = 0; off < 64_MiB; off += 4_MiB) {
+    co_await file->write(off, rpc::Payload::virtual_bytes(4_MiB));
+  }
+  co_await file->close();  // close commits to stable storage
+
+  // 4. Read it back (server caches are warm; client cache dropped so the
+  //    bytes really cross the wire again).
+  fs.drop_caches();
+  auto again = co_await fs.open("/demo/hello.dat", false);
+  std::printf("reading %s back...\n", util::format_bytes(again->size()).c_str());
+  uint64_t total = 0;
+  for (uint64_t off = 0; off < again->size(); off += 4_MiB) {
+    rpc::Payload p = co_await again->read(off, 4_MiB);
+    total += p.size();
+  }
+  co_await again->close();
+  std::printf("read %s\n", util::format_bytes(total).c_str());
+}
+
+}  // namespace
+
+int main() {
+  core::ClusterConfig config;  // the paper's testbed: 6 storage nodes, GbE
+  config.architecture = core::Architecture::kDirectPnfs;
+  config.clients = 1;
+  core::Deployment cluster(config);
+
+  cluster.simulation().spawn(demo(cluster));
+  cluster.simulation().run();
+
+  std::printf("\nsimulated time: %.3f s\n",
+              sim::to_seconds(cluster.simulation().now()));
+  std::printf("layouts granted by the translator: %llu\n",
+              static_cast<unsigned long long>(
+                  cluster.translator()->layouts_granted()));
+  std::printf("\nper-storage-node disk traffic (striping in action):\n");
+  int i = 0;
+  for (auto* store : cluster.stores()) {
+    std::printf("  storage%d: %s written to disk\n", i++,
+                util::format_bytes(store->stats().disk_write_bytes).c_str());
+  }
+  return 0;
+}

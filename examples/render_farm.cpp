@@ -1,0 +1,107 @@
+// Render-farm scenario (the paper's digital-studio motivation, §1:
+// "terabytes of data every day ... access from compute clusters and
+// heterogeneous workstations").
+//
+// Eight render nodes each read a shared scene-asset file and write a batch
+// of output frames; a compositing node then reads everything back.  The
+// same binary runs the workload over Direct-pNFS, pNFS-2tier, and plain
+// NFSv4 — the heterogeneity argument in action: the *client* never changes,
+// only the deployment behind the mount.
+#include <cstdio>
+
+#include "core/deployment.hpp"
+#include "util/bytes.hpp"
+
+using namespace dpnfs;
+using namespace dpnfs::util::literals;
+using sim::Task;
+
+namespace {
+
+constexpr uint64_t kAssetBytes = 96_MiB;
+constexpr int kFramesPerNode = 12;
+constexpr uint64_t kFrameBytes = 12_MiB;  // ~4K EXR frame
+
+Task<void> render_node(core::Deployment& cluster, size_t idx) {
+  auto& fs = cluster.client(idx);
+  // Load the scene assets (shared file, warm server caches after the first
+  // reader).
+  auto assets = co_await fs.open("/scene/assets.bin", false);
+  for (uint64_t off = 0; off < assets->size(); off += 4_MiB) {
+    (void)co_await assets->read(off, 4_MiB);
+  }
+  co_await assets->close();
+  // Render frames.
+  for (int f = 0; f < kFramesPerNode; ++f) {
+    const std::string path = "/frames/node" + std::to_string(idx) + "_f" +
+                             std::to_string(f) + ".exr";
+    auto frame = co_await fs.open(path, true);
+    co_await frame->write(0, rpc::Payload::virtual_bytes(kFrameBytes));
+    co_await frame->close();
+  }
+}
+
+Task<void> scenario(core::Deployment& cluster, double& render_s,
+                    double& composite_s) {
+  co_await cluster.mount_all();
+  auto& fs0 = cluster.client(0);
+  co_await fs0.mkdir("/scene");
+  co_await fs0.mkdir("/frames");
+  {
+    auto assets = co_await fs0.open("/scene/assets.bin", true);
+    co_await assets->write(0, rpc::Payload::virtual_bytes(kAssetBytes));
+    co_await assets->close();
+    fs0.drop_caches();
+  }
+
+  const sim::Time t0 = cluster.simulation().now();
+  sim::WaitGroup farm(cluster.simulation());
+  for (size_t i = 0; i < cluster.client_count(); ++i) {
+    farm.spawn(render_node(cluster, i));
+  }
+  co_await farm.wait();
+  const sim::Time t1 = cluster.simulation().now();
+
+  // Compositing: one node ingests every frame.
+  auto& comp = cluster.client(0);
+  const auto frames = co_await comp.list("/frames");
+  for (const auto& name : frames) {
+    auto f = co_await comp.open("/frames/" + name, false);
+    for (uint64_t off = 0; off < f->size(); off += 4_MiB) {
+      (void)co_await f->read(off, 4_MiB);
+    }
+    co_await f->close();
+  }
+  const sim::Time t2 = cluster.simulation().now();
+  render_s = sim::to_seconds(t1 - t0);
+  composite_s = sim::to_seconds(t2 - t1);
+}
+
+void run(core::Architecture arch) {
+  core::ClusterConfig config;
+  config.architecture = arch;
+  config.clients = 8;
+  core::Deployment cluster(config);
+  double render_s = 0, composite_s = 0;
+  cluster.simulation().spawn(scenario(cluster, render_s, composite_s));
+  cluster.simulation().run();
+  const double frame_bytes = 8.0 * kFramesPerNode * kFrameBytes;
+  std::printf("%-14s render: %6.1fs (%6.1f MB/s)   composite: %6.1fs\n",
+              core::architecture_name(arch), render_s,
+              frame_bytes / 1e6 / render_s, composite_s);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Render farm: 8 nodes x %d frames of %s, shared %s asset file\n\n",
+              kFramesPerNode, util::format_bytes(kFrameBytes).c_str(),
+              util::format_bytes(kAssetBytes).c_str());
+  run(core::Architecture::kDirectPnfs);
+  run(core::Architecture::kPnfs2Tier);
+  run(core::Architecture::kPlainNfs);
+  std::printf("\nThe client code is identical in all three runs — only the\n"
+              "deployment changes.  Direct layouts keep frame traffic off the\n"
+              "inter-server paths.\n");
+  return 0;
+}

@@ -1,0 +1,144 @@
+// dpnfs-simulate: command-line driver for custom experiments.
+//
+//   simulate --arch=direct --workload=ior-write --clients=8
+//            --bytes=500000000 --block=2097152 [--verbose]
+//
+// Architectures: direct, pvfs, 2tier, 3tier, nfs
+// Workloads:     ior-write, ior-read, ior-write-single, ior-read-single,
+//                atlas, btio, oltp, postmark
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/deployment.hpp"
+#include "workload/atlas.hpp"
+#include "workload/btio.hpp"
+#include "workload/ior.hpp"
+#include "workload/oltp.hpp"
+#include "workload/postmark.hpp"
+#include "workload/runner.hpp"
+
+using namespace dpnfs;
+
+namespace {
+
+const char* arg_value(int argc, char** argv, const char* key,
+                      const char* fallback) {
+  const size_t klen = std::strlen(key);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], key, klen) == 0 && argv[i][klen] == '=') {
+      return argv[i] + klen + 1;
+    }
+  }
+  return fallback;
+}
+
+bool flag(int argc, char** argv, const char* key) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], key) == 0) return true;
+  }
+  return false;
+}
+
+core::Architecture parse_arch(const std::string& s) {
+  if (s == "direct") return core::Architecture::kDirectPnfs;
+  if (s == "pvfs") return core::Architecture::kNativePvfs;
+  if (s == "2tier") return core::Architecture::kPnfs2Tier;
+  if (s == "3tier") return core::Architecture::kPnfs3Tier;
+  if (s == "nfs") return core::Architecture::kPlainNfs;
+  std::fprintf(stderr, "unknown --arch '%s' (direct|pvfs|2tier|3tier|nfs)\n",
+               s.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (flag(argc, argv, "--help") || flag(argc, argv, "-h")) {
+    std::printf(
+        "usage: simulate [--arch=direct|pvfs|2tier|3tier|nfs]\n"
+        "                [--workload=ior-write|ior-read|ior-write-single|\n"
+        "                 ior-read-single|atlas|btio|oltp|postmark]\n"
+        "                [--clients=N] [--storage-nodes=N]\n"
+        "                [--bytes=N] [--block=N] [--stripe=N] [--txns=N]\n"
+        "                [--latency-us=N] [--nic-mbps=N] [--verbose]\n");
+    return 0;
+  }
+
+  core::ClusterConfig cfg;
+  cfg.architecture = parse_arch(arg_value(argc, argv, "--arch", "direct"));
+  cfg.clients = static_cast<uint32_t>(
+      std::atoi(arg_value(argc, argv, "--clients", "8")));
+  cfg.storage_nodes = static_cast<uint32_t>(
+      std::atoi(arg_value(argc, argv, "--storage-nodes", "6")));
+  cfg.stripe_unit = std::strtoull(
+      arg_value(argc, argv, "--stripe", "2097152"), nullptr, 10);
+  cfg.nic.latency =
+      sim::us(std::atoll(arg_value(argc, argv, "--latency-us", "60")));
+  cfg.nic.bytes_per_sec =
+      std::atof(arg_value(argc, argv, "--nic-mbps", "117")) * 1e6;
+
+  const uint64_t bytes =
+      std::strtoull(arg_value(argc, argv, "--bytes", "100000000"), nullptr, 10);
+  const uint64_t block =
+      std::strtoull(arg_value(argc, argv, "--block", "2097152"), nullptr, 10);
+  const uint32_t txns = static_cast<uint32_t>(
+      std::atoi(arg_value(argc, argv, "--txns", "2000")));
+
+  core::Deployment d(cfg);
+  const std::string wl = arg_value(argc, argv, "--workload", "ior-write");
+
+  workload::RunResult result;
+  if (wl.rfind("ior-", 0) == 0) {
+    workload::IorConfig icfg;
+    icfg.write = wl.find("write") != std::string::npos;
+    icfg.single_file = wl.find("single") != std::string::npos;
+    icfg.bytes_per_client = bytes;
+    icfg.block_size = block;
+    workload::IorWorkload w(icfg);
+    result = run_workload(d, w);
+  } else if (wl == "atlas") {
+    workload::AtlasConfig acfg;
+    acfg.bytes_per_client = bytes;
+    acfg.file_span = bytes;
+    workload::AtlasWorkload w(acfg);
+    result = run_workload(d, w);
+  } else if (wl == "btio") {
+    workload::BtioConfig bcfg;
+    bcfg.file_bytes = bytes;
+    workload::BtioWorkload w(bcfg);
+    result = run_workload(d, w);
+  } else if (wl == "oltp") {
+    workload::OltpConfig ocfg;
+    ocfg.file_bytes = bytes;
+    ocfg.transactions_per_client = txns;
+    workload::OltpWorkload w(ocfg);
+    result = run_workload(d, w);
+  } else if (wl == "postmark") {
+    workload::PostmarkConfig pcfg;
+    pcfg.transactions = txns;
+    workload::PostmarkWorkload w(pcfg);
+    result = run_workload(d, w);
+  } else {
+    std::fprintf(stderr, "unknown --workload '%s'\n", wl.c_str());
+    return 2;
+  }
+
+  std::printf("architecture      %s\n", core::architecture_name(cfg.architecture));
+  std::printf("workload          %s\n", wl.c_str());
+  std::printf("clients           %u\n", cfg.clients);
+  std::printf("simulated time    %.3f s\n", result.elapsed_seconds);
+  std::printf("app bytes moved   %.1f MB\n", result.app_bytes / 1e6);
+  std::printf("aggregate         %.1f MB/s\n", result.aggregate_mbps());
+  if (result.transactions > 0) {
+    std::printf("transactions      %llu (%.1f tps)\n",
+                static_cast<unsigned long long>(result.transactions),
+                result.tps());
+  }
+  if (flag(argc, argv, "--verbose")) {
+    std::printf("\nper-node traffic:\n");
+    d.print_traffic_report();
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+// GridNFS over the wide area (the paper's §1-2 motivation: "A single client
+// can access data within a LAN and across a WAN").
+//
+// The same Direct-pNFS cluster is driven with one-way network latencies
+// from LAN (60 us) to transcontinental (40 ms).  Bulk transfers survive
+// latency (pipelined wsize WRITEs and readahead), while chatty small-I/O
+// suffers — the classic WAN trade-off, quantified.
+#include <cstdio>
+
+#include "core/deployment.hpp"
+#include "workload/ior.hpp"
+#include "workload/oltp.hpp"
+#include "workload/runner.hpp"
+
+using namespace dpnfs;
+
+namespace {
+
+struct Row {
+  double bulk_write_mbps;
+  double bulk_read_mbps;
+  double oltp_tps;
+};
+
+Row run_with_latency(sim::Duration latency) {
+  Row row{};
+  {
+    core::ClusterConfig cfg;
+    cfg.clients = 4;
+    cfg.nic.latency = latency;
+    core::Deployment d(cfg);
+    workload::IorConfig ior;
+    ior.bytes_per_client = 100'000'000;
+    workload::IorWorkload w(ior);
+    row.bulk_write_mbps = run_workload(d, w).aggregate_mbps();
+  }
+  {
+    core::ClusterConfig cfg;
+    cfg.clients = 4;
+    cfg.nic.latency = latency;
+    core::Deployment d(cfg);
+    workload::IorConfig ior;
+    ior.write = false;
+    ior.bytes_per_client = 100'000'000;
+    workload::IorWorkload w(ior);
+    row.bulk_read_mbps = run_workload(d, w).aggregate_mbps();
+  }
+  {
+    core::ClusterConfig cfg;
+    cfg.clients = 4;
+    cfg.nic.latency = latency;
+    core::Deployment d(cfg);
+    workload::OltpConfig ocfg;
+    ocfg.file_bytes = 64ull << 20;
+    ocfg.transactions_per_client = 400;
+    workload::OltpWorkload w(ocfg);
+    row.oltp_tps = run_workload(d, w).tps();
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Direct-pNFS across the WAN (4 clients, 6 storage nodes)\n\n");
+  std::printf("%-18s%16s%16s%14s\n", "one-way latency", "bulk write MB/s",
+              "bulk read MB/s", "OLTP tps");
+  struct Case {
+    const char* label;
+    sim::Duration latency;
+  } cases[] = {
+      {"60 us (LAN)", sim::us(60)},
+      {"1 ms (metro)", sim::ms(1)},
+      {"10 ms (region)", sim::ms(10)},
+      {"40 ms (cross-US)", sim::ms(40)},
+  };
+  for (const auto& c : cases) {
+    const Row r = run_with_latency(c.latency);
+    std::printf("%-18s%16.1f%16.1f%14.1f\n", c.label, r.bulk_write_mbps,
+                r.bulk_read_mbps, r.oltp_tps);
+  }
+  std::printf("\nPipelined bulk I/O tolerates latency; synchronous small\n"
+              "transactions pay a full RTT per step — GridNFS's argument for\n"
+              "shared parallel access over copy-based tools.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+#include "core/adapters.hpp"
+
+namespace dpnfs::core {
+
+using rpc::Payload;
+using sim::Task;
+
+namespace {
+
+class NfsFile final : public File {
+ public:
+  NfsFile(nfs::NfsClient& client, nfs::NfsClient::FilePtr file)
+      : client_(client), file_(std::move(file)) {}
+
+  Task<Payload> read(uint64_t offset, uint64_t length) override {
+    co_return co_await client_.read(file_, offset, length);
+  }
+  Task<void> write(uint64_t offset, Payload data) override {
+    co_await client_.write(file_, offset, std::move(data));
+  }
+  Task<void> fsync() override { co_await client_.fsync(file_); }
+  Task<void> close() override { co_await client_.close(file_); }
+  uint64_t size() const override { return client_.file_size(file_); }
+
+ private:
+  nfs::NfsClient& client_;
+  nfs::NfsClient::FilePtr file_;
+};
+
+class PvfsFileWrapper final : public File {
+ public:
+  PvfsFileWrapper(pvfs::PvfsClient& client, pvfs::PvfsFilePtr file)
+      : client_(client), file_(std::move(file)) {}
+
+  Task<Payload> read(uint64_t offset, uint64_t length) override {
+    co_return co_await client_.read(file_, offset, length);
+  }
+  Task<void> write(uint64_t offset, Payload data) override {
+    co_await client_.write(file_, offset, std::move(data));
+  }
+  Task<void> fsync() override { co_await client_.fsync(file_); }
+  Task<void> close() override { co_await client_.close(file_); }
+  uint64_t size() const override { return file_->size; }
+
+ private:
+  pvfs::PvfsClient& client_;
+  pvfs::PvfsFilePtr file_;
+};
+
+}  // namespace
+
+Task<std::unique_ptr<File>> NfsFileSystemClient::open(const std::string& path,
+                                                      bool create) {
+  auto file = co_await client_->open(path, create);
+  co_return std::make_unique<NfsFile>(*client_, std::move(file));
+}
+
+Task<std::unique_ptr<File>> NfsFileSystemClient::open_read(
+    const std::string& path) {
+  auto file = co_await client_->open(path, /*create=*/false, /*read_only=*/true);
+  co_return std::make_unique<NfsFile>(*client_, std::move(file));
+}
+
+Task<std::unique_ptr<File>> PvfsFileSystemClient::open(const std::string& path,
+                                                       bool create) {
+  pvfs::PvfsFilePtr file;
+  if (create) {
+    bool exists = false;
+    try {
+      file = co_await client_->create(path);
+    } catch (const pvfs::PvfsError& e) {
+      if (e.status() != pvfs::PvfsStatus::kExist) throw;
+      exists = true;  // co_await is not permitted inside a handler
+    }
+    if (exists) file = co_await client_->open(path);
+  } else {
+    file = co_await client_->open(path);
+  }
+  co_return std::make_unique<PvfsFileWrapper>(*client_, std::move(file));
+}
+
+}  // namespace dpnfs::core

@@ -1,0 +1,100 @@
+// FileSystemClient adapters over the two native clients.
+#pragma once
+
+#include <memory>
+
+#include "core/file_client.hpp"
+#include "nfs/client.hpp"
+#include "pvfs/client.hpp"
+
+namespace dpnfs::core {
+
+/// Adapter over nfs::NfsClient (used by Direct-pNFS, 2-/3-tier, plain NFS).
+class NfsFileSystemClient final : public FileSystemClient {
+ public:
+  explicit NfsFileSystemClient(std::unique_ptr<nfs::NfsClient> client)
+      : client_(std::move(client)) {}
+
+  sim::Task<void> mount() override { co_await client_->mount(); }
+
+  sim::Task<std::unique_ptr<File>> open(const std::string& path,
+                                        bool create) override;
+  sim::Task<std::unique_ptr<File>> open_read(const std::string& path) override;
+  sim::Task<void> mkdir(const std::string& path) override {
+    co_await client_->mkdir(path);
+  }
+  sim::Task<void> remove(const std::string& path) override {
+    co_await client_->remove(path);
+  }
+  sim::Task<void> rename(const std::string& from,
+                         const std::string& to) override {
+    co_await client_->rename(from, to);
+  }
+  sim::Task<std::vector<std::string>> list(const std::string& path) override {
+    auto entries = co_await client_->readdir(path);
+    std::vector<std::string> names;
+    names.reserve(entries.size());
+    for (auto& e : entries) names.push_back(e.name);
+    co_return names;
+  }
+  sim::Task<uint64_t> stat_size(const std::string& path) override {
+    const nfs::Fattr attr = co_await client_->stat(path);
+    co_return attr.size;
+  }
+
+  uint64_t bytes_read() const override { return client_->stats().bytes_read; }
+  uint64_t bytes_written() const override {
+    return client_->stats().bytes_written;
+  }
+  void drop_caches() override { client_->drop_caches(); }
+
+  nfs::NfsClient& native() noexcept { return *client_; }
+
+ private:
+  std::unique_ptr<nfs::NfsClient> client_;
+};
+
+/// Adapter over pvfs::PvfsClient (the native-PVFS2 baseline).
+class PvfsFileSystemClient final : public FileSystemClient {
+ public:
+  explicit PvfsFileSystemClient(std::unique_ptr<pvfs::PvfsClient> client)
+      : client_(std::move(client)) {}
+
+  sim::Task<void> mount() override { co_return; }  // PVFS has no mount step
+
+  sim::Task<std::unique_ptr<File>> open(const std::string& path,
+                                        bool create) override;
+  sim::Task<void> mkdir(const std::string& path) override {
+    co_await client_->mkdir(path);
+  }
+  sim::Task<void> remove(const std::string& path) override {
+    co_await client_->remove(path);
+  }
+  sim::Task<void> rename(const std::string& from,
+                         const std::string& to) override {
+    co_await client_->rename(from, to);
+  }
+  sim::Task<std::vector<std::string>> list(const std::string& path) override {
+    auto entries = co_await client_->readdir(path);
+    std::vector<std::string> names;
+    names.reserve(entries.size());
+    for (auto& [name, is_dir] : entries) names.push_back(name);
+    co_return names;
+  }
+  sim::Task<uint64_t> stat_size(const std::string& path) override {
+    auto file = co_await client_->open(path);
+    co_return file->size;
+  }
+
+  uint64_t bytes_read() const override { return client_->stats().bytes_read; }
+  uint64_t bytes_written() const override {
+    return client_->stats().bytes_written;
+  }
+
+  pvfs::PvfsClient& native() noexcept { return *client_; }
+
+ private:
+  std::unique_ptr<pvfs::PvfsClient> client_;
+};
+
+}  // namespace dpnfs::core

@@ -1,0 +1,150 @@
+#include "core/aggregation_drivers.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dpnfs::core {
+
+using nfs::FileLayout;
+using nfs::StripeSegment;
+
+namespace {
+
+void append_or_merge(std::vector<StripeSegment>& out, StripeSegment seg) {
+  if (!out.empty() && out.back().device_index == seg.device_index &&
+      out.back().dev_offset + out.back().length == seg.dev_offset &&
+      out.back().file_offset + out.back().length == seg.file_offset) {
+    out.back().length += seg.length;
+  } else {
+    out.push_back(seg);
+  }
+}
+
+}  // namespace
+
+std::vector<StripeSegment> VariableStripeDriver::map_read(
+    const FileLayout& layout, uint64_t offset, uint64_t length) const {
+  // params = [k, su_1, count_1, ..., su_k, count_k]; last pair repeats.
+  if (layout.params.size() < 3 || layout.params[0] == 0 ||
+      layout.params.size() != 1 + 2 * layout.params[0]) {
+    throw std::invalid_argument("variable-stripe params malformed");
+  }
+  const uint64_t k = layout.params[0];
+  const uint64_t n = layout.devices.size();
+  std::vector<StripeSegment> out;
+  if (length == 0) return out;
+  const uint64_t end = offset + length;
+
+  // Walk stripes from the file start, tracking dense per-device offsets.
+  std::vector<uint64_t> dev_used(n, 0);
+  uint64_t file_pos = 0;
+  uint64_t stripe = 0;
+  uint64_t region = 0;
+  uint64_t in_region = 0;  // stripes consumed in the current region
+  while (file_pos < end) {
+    const uint64_t su = layout.params[1 + 2 * region];
+    const uint64_t region_count = layout.params[2 + 2 * region];
+    if (su == 0) throw std::invalid_argument("zero stripe size");
+    const size_t dev = static_cast<size_t>(stripe % n);
+    const uint64_t stripe_end = file_pos + su;
+    if (stripe_end > offset) {
+      const uint64_t lo = std::max(offset, file_pos);
+      const uint64_t hi = std::min(end, stripe_end);
+      StripeSegment seg;
+      seg.device_index = dev;
+      seg.dev_offset = dev_used[dev] + (lo - file_pos);
+      seg.file_offset = lo;
+      seg.length = hi - lo;
+      append_or_merge(out, seg);
+    }
+    dev_used[dev] += su;
+    file_pos = stripe_end;
+    ++stripe;
+    if (++in_region >= region_count && region + 1 < k) {
+      ++region;
+      in_region = 0;
+    }
+  }
+  return out;
+}
+
+std::vector<StripeSegment> ReplicatedDriver::map_read(const FileLayout& layout,
+                                                      uint64_t offset,
+                                                      uint64_t length) const {
+  if (!layout.valid()) throw std::invalid_argument("invalid layout");
+  std::vector<StripeSegment> out;
+  const uint64_t su = layout.stripe_unit;
+  const uint64_t n = layout.devices.size();
+  uint64_t pos = offset;
+  const uint64_t end = offset + length;
+  while (pos < end) {
+    const uint64_t stripe = pos / su;
+    const uint64_t take = std::min(su - pos % su, end - pos);
+    StripeSegment seg;
+    // Deterministic replica choice spreads concurrent readers.
+    seg.device_index = static_cast<size_t>(stripe % n);
+    seg.dev_offset = pos;  // full copies: device offset == file offset
+    seg.file_offset = pos;
+    seg.length = take;
+    append_or_merge(out, seg);
+    pos += take;
+  }
+  return out;
+}
+
+std::vector<StripeSegment> ReplicatedDriver::map_write(const FileLayout& layout,
+                                                       uint64_t offset,
+                                                       uint64_t length) const {
+  if (!layout.valid()) throw std::invalid_argument("invalid layout");
+  std::vector<StripeSegment> out;
+  for (size_t d = 0; d < layout.devices.size(); ++d) {
+    StripeSegment seg;
+    seg.device_index = d;
+    seg.dev_offset = offset;
+    seg.file_offset = offset;
+    seg.length = length;
+    out.push_back(seg);
+  }
+  return out;
+}
+
+std::vector<StripeSegment> NestedDriver::map_read(const FileLayout& layout,
+                                                  uint64_t offset,
+                                                  uint64_t length) const {
+  if (!layout.valid()) throw std::invalid_argument("invalid layout");
+  if (layout.params.empty() || layout.params[0] == 0 ||
+      layout.devices.size() % layout.params[0] != 0) {
+    throw std::invalid_argument("nested params malformed");
+  }
+  const uint64_t g = layout.params[0];
+  const uint64_t n = layout.devices.size();
+  const uint64_t groups = n / g;
+  const uint64_t su = layout.stripe_unit;
+  std::vector<StripeSegment> out;
+  uint64_t pos = offset;
+  const uint64_t end = offset + length;
+  while (pos < end) {
+    const uint64_t stripe = pos / su;
+    const uint64_t take = std::min(su - pos % su, end - pos);
+    const uint64_t group = stripe % groups;
+    const uint64_t sub = (stripe / groups) % g;
+    StripeSegment seg;
+    seg.device_index = static_cast<size_t>(group * g + sub);
+    seg.dev_offset = (stripe / n) * su + pos % su;
+    seg.file_offset = pos;
+    seg.length = take;
+    append_or_merge(out, seg);
+    pos += take;
+  }
+  return out;
+}
+
+nfs::AggregationRegistry full_aggregation_registry() {
+  auto reg = nfs::AggregationRegistry::with_standard_drivers();
+  reg.add(std::make_unique<VariableStripeDriver>());
+  reg.add(std::make_unique<ReplicatedDriver>());
+  reg.add(std::make_unique<NestedDriver>());
+  return reg;
+}
+
+}  // namespace dpnfs::core

@@ -1,0 +1,59 @@
+// Optional aggregation drivers (paper §4.3).
+//
+// The NFSv4.1 protocol understands round-robin and cyclic striping; these
+// pluggable drivers extend a stock client to unconventional schemes at a
+// fraction of a layout driver's cost:
+//
+//   * VariableStripeDriver — per-region stripe sizes (Exedra-style media
+//     layouts): params = [k, su_1, count_1, su_2, count_2, ...] where each
+//     (su_i, count_i) pair describes a run of count_i stripes of su_i bytes
+//     striped round-robin; the final pair repeats indefinitely.
+//   * ReplicatedDriver — every device holds a full copy (RAID-1): writes go
+//     everywhere, reads pick a replica by stripe index so concurrent
+//     readers spread load.
+//   * NestedDriver — hierarchical striping (RAID-0 of mirror groups or of
+//     sub-stripes): params = [group_size]; devices are grouped; stripes go
+//     round-robin across groups, then round-robin within the group.
+#pragma once
+
+#include "nfs/layout.hpp"
+
+namespace dpnfs::core {
+
+class VariableStripeDriver final : public nfs::AggregationDriver {
+ public:
+  nfs::AggregationType type() const noexcept override {
+    return nfs::AggregationType::kVariableStripe;
+  }
+  std::vector<nfs::StripeSegment> map_read(const nfs::FileLayout& layout,
+                                           uint64_t offset,
+                                           uint64_t length) const override;
+};
+
+class ReplicatedDriver final : public nfs::AggregationDriver {
+ public:
+  nfs::AggregationType type() const noexcept override {
+    return nfs::AggregationType::kReplicated;
+  }
+  std::vector<nfs::StripeSegment> map_read(const nfs::FileLayout& layout,
+                                           uint64_t offset,
+                                           uint64_t length) const override;
+  std::vector<nfs::StripeSegment> map_write(const nfs::FileLayout& layout,
+                                            uint64_t offset,
+                                            uint64_t length) const override;
+};
+
+class NestedDriver final : public nfs::AggregationDriver {
+ public:
+  nfs::AggregationType type() const noexcept override {
+    return nfs::AggregationType::kNested;
+  }
+  std::vector<nfs::StripeSegment> map_read(const nfs::FileLayout& layout,
+                                           uint64_t offset,
+                                           uint64_t length) const override;
+};
+
+/// Registry with the standard schemes plus all Direct-pNFS extras.
+nfs::AggregationRegistry full_aggregation_registry();
+
+}  // namespace dpnfs::core

@@ -1,0 +1,120 @@
+// The Direct-pNFS prototype's loopback conduit (paper §5, Figure 5).
+//
+// "At this writing, the user-level PVFS2 storage daemon does not support
+//  direct VFS access.  Instead, the Direct-pNFS data servers simulate
+//  direct storage access by way of the existing PVFS2 client and the
+//  loopback device. ... PVFS2 uses a fixed number of buffers to transfer
+//  data between the kernel and the user-level storage daemon, creating an
+//  additional bottleneck."
+//
+// This decorator reproduces that prototype artifact: every data operation
+// crosses a bounded buffer pool and pays a kernel/daemon crossing cost plus
+// a loopback copy.  It explains why the paper's Direct-pNFS trails PVFS2
+// slightly on 8-client single-file reads (Fig 7b).  Disable it
+// (`ClusterConfig::direct_ds_conduit = false`) to model a data server with
+// true direct VFS access — the architecture's intended end state.
+#pragma once
+
+#include "nfs/backend.hpp"
+#include "sim/sync.hpp"
+
+namespace dpnfs::core {
+
+struct ConduitParams {
+  uint32_t buffers = 8;                       ///< fixed transfer-buffer pool
+  sim::Duration cpu_per_request = sim::us(150);
+  double loopback_bytes_per_sec = 1.5e9;      ///< same-node copy bandwidth
+};
+
+class ConduitBackend final : public nfs::Backend {
+ public:
+  ConduitBackend(nfs::Backend& inner, sim::Node& node, ConduitParams params)
+      : inner_(inner),
+        node_(node),
+        params_(params),
+        pool_(node.simulation(), params.buffers) {}
+
+  nfs::FileHandle root_fh() const override { return inner_.root_fh(); }
+
+  // Metadata operations pass straight through (the conduit only carries
+  // data between the kernel and the storage daemon).
+  sim::Task<nfs::Status> getattr(nfs::FileHandle fh, nfs::Fattr* out) override {
+    return inner_.getattr(fh, out);
+  }
+  sim::Task<nfs::Status> set_size(nfs::FileHandle fh, uint64_t size) override {
+    return inner_.set_size(fh, size);
+  }
+  sim::Task<nfs::Status> lookup(nfs::FileHandle dir, const std::string& name,
+                                nfs::FileHandle* out) override {
+    return inner_.lookup(dir, name, out);
+  }
+  sim::Task<nfs::Status> mkdir(nfs::FileHandle dir, const std::string& name,
+                               nfs::FileHandle* out) override {
+    return inner_.mkdir(dir, name, out);
+  }
+  sim::Task<nfs::Status> open(nfs::FileHandle dir, const std::string& name,
+                              bool create, nfs::FileHandle* out,
+                              nfs::Fattr* attr) override {
+    return inner_.open(dir, name, create, out, attr);
+  }
+  sim::Task<nfs::Status> remove(nfs::FileHandle dir,
+                                const std::string& name) override {
+    return inner_.remove(dir, name);
+  }
+  sim::Task<nfs::Status> rename(nfs::FileHandle sd, const std::string& o,
+                                nfs::FileHandle dd,
+                                const std::string& n) override {
+    return inner_.rename(sd, o, dd, n);
+  }
+  sim::Task<nfs::Status> readdir(nfs::FileHandle dir,
+                                 std::vector<nfs::DirEntry>* out) override {
+    return inner_.readdir(dir, out);
+  }
+
+  sim::Task<nfs::Status> read(nfs::FileHandle fh, uint64_t offset,
+                              uint32_t count, rpc::Payload* out,
+                              bool* eof) override {
+    co_await pool_.acquire();
+    co_await cross(count);
+    const nfs::Status st = co_await inner_.read(fh, offset, count, out, eof);
+    pool_.release();
+    co_return st;
+  }
+
+  sim::Task<nfs::Status> write(nfs::FileHandle fh, uint64_t offset,
+                               const rpc::Payload& data, nfs::StableHow stable,
+                               nfs::StableHow* committed,
+                               uint64_t* post_change) override {
+    co_await pool_.acquire();
+    co_await cross(data.size());
+    const nfs::Status st = co_await inner_.write(fh, offset, data, stable,
+                                                 committed, post_change);
+    pool_.release();
+    co_return st;
+  }
+
+  sim::Task<nfs::Status> commit(nfs::FileHandle fh) override {
+    co_await pool_.acquire();
+    co_await cross(0);
+    const nfs::Status st = co_await inner_.commit(fh);
+    pool_.release();
+    co_return st;
+  }
+
+ private:
+  /// One kernel<->daemon crossing: fixed CPU plus a loopback copy.
+  sim::Task<void> cross(uint64_t bytes) {
+    co_await node_.cpu().execute(params_.cpu_per_request);
+    if (bytes > 0) {
+      co_await node_.simulation().delay(
+          sim::duration_for_bytes(bytes, params_.loopback_bytes_per_sec));
+    }
+  }
+
+  nfs::Backend& inner_;
+  sim::Node& node_;
+  ConduitParams params_;
+  sim::Semaphore pool_;
+};
+
+}  // namespace dpnfs::core

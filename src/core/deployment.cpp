@@ -1,0 +1,348 @@
+#include "core/deployment.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/bytes.hpp"
+
+namespace dpnfs::core {
+
+using sim::Task;
+
+const char* architecture_name(Architecture a) {
+  switch (a) {
+    case Architecture::kDirectPnfs: return "Direct-pNFS";
+    case Architecture::kNativePvfs: return "PVFS2";
+    case Architecture::kPnfs2Tier: return "pNFS-2tier";
+    case Architecture::kPnfs3Tier: return "pNFS-3tier";
+    case Architecture::kPlainNfs: return "NFSv4";
+  }
+  return "?";
+}
+
+Deployment::Deployment(ClusterConfig config)
+    : config_(std::move(config)), net_(sim_, config_.network), fabric_(net_) {
+  config_.pvfs_meta.stripe_unit = config_.stripe_unit;
+  registry_ = std::make_shared<FhRegistry>();
+  aggregations_ = std::make_shared<const nfs::AggregationRegistry>(
+      full_aggregation_registry());
+
+  switch (config_.architecture) {
+    case Architecture::kDirectPnfs: build_direct_pnfs(); break;
+    case Architecture::kNativePvfs: build_native_pvfs(); break;
+    case Architecture::kPnfs2Tier: build_pnfs_2tier(); break;
+    case Architecture::kPnfs3Tier: build_pnfs_3tier(); break;
+    case Architecture::kPlainNfs: build_plain_nfs(); break;
+  }
+}
+
+Deployment::~Deployment() {
+  for (auto& server : nfs_servers_) server->stop();
+  for (auto& server : pvfs_storage_) server->stop();
+  if (pvfs_meta_) pvfs_meta_->stop();
+}
+
+// ---------------------------------------------------------------------------
+// Shared building blocks
+// ---------------------------------------------------------------------------
+
+void Deployment::build_backend_cluster(uint32_t storage_count,
+                                       double disk_scale) {
+  sim::DiskParams disk = config_.disk;
+  disk.bytes_per_sec *= disk_scale;
+  for (uint32_t i = 0; i < storage_count; ++i) {
+    auto& node = net_.add_node(sim::NodeParams{
+        .name = "storage" + std::to_string(i),
+        .nic = config_.nic,
+        .disk = disk,
+        .cpu = config_.server_cpu});
+    storage_nodes_.push_back(&node);
+    stores_.push_back(std::make_unique<lfs::ObjectStore>(node, config_.store));
+    pvfs_storage_.push_back(std::make_unique<pvfs::PvfsStorageServer>(
+        fabric_, node, rpc::kPvfsIoPort, *stores_.back(),
+        config_.pvfs_storage));
+    pvfs_storage_.back()->start();
+  }
+  // Metadata manager doubles on storage node 0 (paper §6.1).
+  pvfs_meta_ = std::make_unique<pvfs::PvfsMetaServer>(
+      fabric_, *storage_nodes_[0], rpc::kPvfsMetaPort, storage_count,
+      config_.pvfs_meta);
+  pvfs_meta_->start();
+}
+
+sim::Node& Deployment::add_client_node(const std::string& name) {
+  auto& node = net_.add_node(sim::NodeParams{.name = name,
+                                             .nic = config_.nic,
+                                             .disk = std::nullopt,
+                                             .cpu = config_.client_cpu});
+  client_nodes_.push_back(&node);
+  return node;
+}
+
+std::vector<rpc::RpcAddress> Deployment::storage_addresses() const {
+  std::vector<rpc::RpcAddress> out;
+  out.reserve(pvfs_storage_.size());
+  for (const auto& s : pvfs_storage_) out.push_back(s->address());
+  return out;
+}
+
+std::unique_ptr<pvfs::PvfsClient> Deployment::make_pvfs_client(
+    sim::Node& node, const std::string& who, bool proxy) {
+  // Server-side proxies (NFS servers re-exporting the PFS) pay the extra
+  // same-box copy cost.
+  pvfs::PvfsClientConfig cfg = config_.pvfs_client;
+  if (proxy) cfg.cpu_ns_per_byte += config_.proxy_extra_cpu_ns_per_byte;
+  return std::make_unique<pvfs::PvfsClient>(fabric_, node,
+                                            pvfs_meta_->address(),
+                                            storage_addresses(), who, cfg);
+}
+
+void Deployment::add_nfs_clients(rpc::RpcAddress mds, bool pnfs_enabled) {
+  nfs::ClientConfig ccfg = config_.nfs_client;
+  ccfg.pnfs_enabled = pnfs_enabled;
+  for (uint32_t i = 0; i < config_.clients; ++i) {
+    auto& node = add_client_node("client" + std::to_string(i));
+    auto nfs_client = std::make_unique<nfs::NfsClient>(
+        fabric_, node, mds, "client" + std::to_string(i) + "@SIM", ccfg,
+        aggregations_);
+    fs_clients_.push_back(
+        std::make_unique<NfsFileSystemClient>(std::move(nfs_client)));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Architectures
+// ---------------------------------------------------------------------------
+
+void Deployment::build_direct_pnfs() {
+  build_backend_cluster(config_.storage_nodes, 1.0);
+
+  // NFSv4.1 data server on every storage node, exporting the local stripe
+  // objects directly (filehandle == stripe-object id, per the translator).
+  std::vector<nfs::DeviceEntry> devices;
+  for (uint32_t i = 0; i < config_.storage_nodes; ++i) {
+    auto local =
+        std::make_unique<nfs::LocalBackend>(*stores_[i], /*flat=*/true);
+    nfs::Backend* exported = local.get();
+    std::unique_ptr<ConduitBackend> conduit;
+    if (config_.direct_ds_conduit) {
+      // Figure 5 fidelity: the prototype data server reaches its stripe
+      // objects through the local PVFS2 client/daemon buffer pool.
+      conduit = std::make_unique<ConduitBackend>(*local, *storage_nodes_[i],
+                                                 config_.conduit);
+      exported = conduit.get();
+    }
+    nfs::ServerConfig scfg = config_.nfs_server;
+    scfg.is_data_server = true;
+    nfs_servers_.push_back(std::make_unique<nfs::NfsServer>(
+        fabric_, *storage_nodes_[i], rpc::kNfsPort, *exported, nullptr, scfg));
+    nfs_servers_.back()->start();
+    backends_.push_back(std::move(local));
+    if (conduit) backends_.push_back(std::move(conduit));
+    devices.push_back(nfs::DeviceEntry{nfs::DeviceId{i},
+                                       storage_nodes_[i]->id(), rpc::kNfsPort});
+  }
+
+  // MDS co-located with the PVFS metadata manager on storage node 0.  Its
+  // PVFS client's meta/storage traffic to node 0 rides the loopback, and —
+  // per Figure 5 — it links the PFS library directly, skipping the kernel
+  // module's metadata upcall path.
+  {
+    pvfs::PvfsClientConfig mds_cfg = config_.pvfs_client;
+    mds_cfg.vfs_meta_latency = 0;
+    server_pvfs_clients_.push_back(std::make_unique<pvfs::PvfsClient>(
+        fabric_, *storage_nodes_[0], pvfs_meta_->address(),
+        storage_addresses(), "mds@SIM", mds_cfg));
+  }
+  auto mds_backend = std::make_unique<PvfsBackend>(*server_pvfs_clients_.back(),
+                                                   registry_);
+  translator_ = std::make_unique<LayoutTranslator>(*mds_backend, devices);
+  nfs_servers_.push_back(std::make_unique<nfs::NfsServer>(
+      fabric_, *storage_nodes_[0], kMdsPort, *mds_backend, translator_.get(),
+      config_.nfs_server));
+  nfs_servers_.back()->start();
+  const rpc::RpcAddress mds = nfs_servers_.back()->address();
+  backends_.push_back(std::move(mds_backend));
+
+  add_nfs_clients(mds, /*pnfs_enabled=*/true);
+}
+
+void Deployment::build_native_pvfs() {
+  build_backend_cluster(config_.storage_nodes, 1.0);
+  for (uint32_t i = 0; i < config_.clients; ++i) {
+    auto& node = add_client_node("client" + std::to_string(i));
+    fs_clients_.push_back(std::make_unique<PvfsFileSystemClient>(
+        make_pvfs_client(node, "client" + std::to_string(i) + "@SIM", false)));
+  }
+}
+
+void Deployment::build_pnfs_2tier() {
+  build_backend_cluster(config_.storage_nodes, 1.0);
+
+  // Data servers co-located with the storage nodes, but each exports the
+  // *whole* file system through a PVFS client; the synthetic layout has no
+  // placement knowledge, so ~(N-1)/N of each DS's traffic is remote.
+  std::vector<nfs::DeviceEntry> devices;
+  for (uint32_t i = 0; i < config_.storage_nodes; ++i) {
+    server_pvfs_clients_.push_back(make_pvfs_client(
+        *storage_nodes_[i], "ds" + std::to_string(i) + "@SIM", true));
+    auto backend = std::make_unique<PvfsBackend>(
+        *server_pvfs_clients_.back(), registry_,
+        StripeView{config_.stripe_unit, config_.storage_nodes, i});
+    nfs::ServerConfig scfg = config_.nfs_server;
+    scfg.is_data_server = true;
+    nfs_servers_.push_back(std::make_unique<nfs::NfsServer>(
+        fabric_, *storage_nodes_[i], rpc::kNfsPort, *backend, nullptr, scfg));
+    nfs_servers_.back()->start();
+    backends_.push_back(std::move(backend));
+    devices.push_back(nfs::DeviceEntry{nfs::DeviceId{i},
+                                       storage_nodes_[i]->id(), rpc::kNfsPort});
+  }
+
+  server_pvfs_clients_.push_back(
+      make_pvfs_client(*storage_nodes_[0], "mds@SIM", true));
+  auto mds_backend = std::make_unique<PvfsBackend>(*server_pvfs_clients_.back(),
+                                                   registry_);
+  synthetic_layouts_ =
+      std::make_unique<SyntheticLayoutSource>(devices, config_.stripe_unit);
+  nfs_servers_.push_back(std::make_unique<nfs::NfsServer>(
+      fabric_, *storage_nodes_[0], kMdsPort, *mds_backend,
+      synthetic_layouts_.get(), config_.nfs_server));
+  nfs_servers_.back()->start();
+  const rpc::RpcAddress mds = nfs_servers_.back()->address();
+  backends_.push_back(std::move(mds_backend));
+
+  add_nfs_clients(mds, /*pnfs_enabled=*/true);
+}
+
+void Deployment::build_pnfs_3tier() {
+  // The six machines split: 3 storage nodes (holding all the disks) and 3
+  // dedicated NFS data servers in front of them.
+  const uint32_t storage_count = config_.storage_nodes / 2;
+  const uint32_t ds_count = config_.three_tier_data_servers;
+  build_backend_cluster(storage_count, config_.three_tier_disk_scale);
+
+  std::vector<nfs::DeviceEntry> devices;
+  std::vector<sim::Node*> ds_nodes;
+  for (uint32_t i = 0; i < ds_count; ++i) {
+    auto& node = net_.add_node(sim::NodeParams{.name = "ds" + std::to_string(i),
+                                               .nic = config_.nic,
+                                               .disk = std::nullopt,
+                                               .cpu = config_.server_cpu});
+    ds_nodes.push_back(&node);
+    server_pvfs_clients_.push_back(
+        make_pvfs_client(node, "ds" + std::to_string(i) + "@SIM", true));
+    auto backend = std::make_unique<PvfsBackend>(
+        *server_pvfs_clients_.back(), registry_,
+        StripeView{config_.stripe_unit, ds_count, i});
+    nfs::ServerConfig scfg = config_.nfs_server;
+    scfg.is_data_server = true;
+    nfs_servers_.push_back(std::make_unique<nfs::NfsServer>(
+        fabric_, node, rpc::kNfsPort, *backend, nullptr, scfg));
+    nfs_servers_.back()->start();
+    backends_.push_back(std::move(backend));
+    devices.push_back(
+        nfs::DeviceEntry{nfs::DeviceId{i}, node.id(), rpc::kNfsPort});
+  }
+
+  server_pvfs_clients_.push_back(make_pvfs_client(*ds_nodes[0], "mds@SIM", true));
+  auto mds_backend = std::make_unique<PvfsBackend>(*server_pvfs_clients_.back(),
+                                                   registry_);
+  synthetic_layouts_ =
+      std::make_unique<SyntheticLayoutSource>(devices, config_.stripe_unit);
+  nfs_servers_.push_back(std::make_unique<nfs::NfsServer>(
+      fabric_, *ds_nodes[0], kMdsPort, *mds_backend, synthetic_layouts_.get(),
+      config_.nfs_server));
+  nfs_servers_.back()->start();
+  const rpc::RpcAddress mds = nfs_servers_.back()->address();
+  backends_.push_back(std::move(mds_backend));
+
+  add_nfs_clients(mds, /*pnfs_enabled=*/true);
+}
+
+void Deployment::build_plain_nfs() {
+  build_backend_cluster(config_.storage_nodes, 1.0);
+
+  auto& server_node = net_.add_node(sim::NodeParams{.name = "nfsd",
+                                                    .nic = config_.nic,
+                                                    .disk = std::nullopt,
+                                                    .cpu = config_.server_cpu});
+  server_pvfs_clients_.push_back(make_pvfs_client(server_node, "nfsd@SIM", true));
+  auto backend = std::make_unique<PvfsBackend>(*server_pvfs_clients_.back(),
+                                               registry_);
+  nfs_servers_.push_back(std::make_unique<nfs::NfsServer>(
+      fabric_, server_node, rpc::kNfsPort, *backend, nullptr,
+      config_.nfs_server));
+  nfs_servers_.back()->start();
+  const rpc::RpcAddress mds = nfs_servers_.back()->address();
+  backends_.push_back(std::move(backend));
+
+  add_nfs_clients(mds, /*pnfs_enabled=*/false);
+}
+
+// ---------------------------------------------------------------------------
+// Introspection & lifecycle
+// ---------------------------------------------------------------------------
+
+Task<void> Deployment::mount_all() {
+  for (auto& client : fs_clients_) co_await client->mount();
+}
+
+std::vector<lfs::ObjectStore*> Deployment::stores() {
+  std::vector<lfs::ObjectStore*> out;
+  out.reserve(stores_.size());
+  for (auto& s : stores_) out.push_back(s.get());
+  return out;
+}
+
+void Deployment::drop_all_server_caches() {
+  for (auto& s : stores_) s->drop_caches();
+}
+
+uint64_t Deployment::disk_write_bytes() const {
+  uint64_t total = 0;
+  for (const auto& s : stores_) total += s->stats().disk_write_bytes;
+  return total;
+}
+
+uint64_t Deployment::disk_read_bytes() const {
+  uint64_t total = 0;
+  for (const auto& s : stores_) total += s->stats().disk_read_bytes;
+  return total;
+}
+
+uint64_t Deployment::server_tx_bytes() const {
+  uint64_t total = 0;
+  for (const sim::Node* n : storage_nodes_) {
+    total += const_cast<sim::Node*>(n)->nic().tx_bytes();
+  }
+  return total;
+}
+
+uint64_t Deployment::server_rx_bytes() const {
+  uint64_t total = 0;
+  for (const sim::Node* n : storage_nodes_) {
+    total += const_cast<sim::Node*>(n)->nic().rx_bytes();
+  }
+  return total;
+}
+
+void Deployment::print_traffic_report() const {
+  std::printf("%-12s%14s%14s%14s%14s\n", "node", "nic tx", "nic rx",
+              "disk write", "disk read");
+  for (size_t i = 0; i < storage_nodes_.size(); ++i) {
+    sim::Node* n = storage_nodes_[i];
+    std::printf("%-12s%14s%14s%14s%14s\n", n->name().c_str(),
+                util::format_bytes(n->nic().tx_bytes()).c_str(),
+                util::format_bytes(n->nic().rx_bytes()).c_str(),
+                util::format_bytes(stores_[i]->stats().disk_write_bytes).c_str(),
+                util::format_bytes(stores_[i]->stats().disk_read_bytes).c_str());
+  }
+  for (sim::Node* n : client_nodes_) {
+    std::printf("%-12s%14s%14s%14s%14s\n", n->name().c_str(),
+                util::format_bytes(n->nic().tx_bytes()).c_str(),
+                util::format_bytes(n->nic().rx_bytes()).c_str(), "-", "-");
+  }
+}
+
+}  // namespace dpnfs::core

@@ -1,0 +1,67 @@
+// Uniform file-system client API.
+//
+// Every workload in this repository runs against this interface, and every
+// access architecture of the paper's evaluation — Direct-pNFS, native PVFS2,
+// pNFS-2tier, pNFS-3tier, plain NFSv4 — provides an implementation.  That is
+// the paper's "keep the back end constant, swap the access path"
+// methodology in code form.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rpc/payload.hpp"
+#include "sim/task.hpp"
+
+namespace dpnfs::core {
+
+/// An open file.
+class File {
+ public:
+  virtual ~File() = default;
+
+  virtual sim::Task<rpc::Payload> read(uint64_t offset, uint64_t length) = 0;
+  virtual sim::Task<void> write(uint64_t offset, rpc::Payload data) = 0;
+  virtual sim::Task<void> fsync() = 0;
+  /// Closing commits buffered data (both NFS and exported-PVFS semantics
+  /// in this reproduction, per §5).
+  virtual sim::Task<void> close() = 0;
+  virtual uint64_t size() const = 0;
+};
+
+/// A per-client-node handle to one file system deployment.
+class FileSystemClient {
+ public:
+  virtual ~FileSystemClient() = default;
+
+  virtual sim::Task<void> mount() = 0;
+
+  virtual sim::Task<std::unique_ptr<File>> open(const std::string& path,
+                                                bool create) = 0;
+
+  /// Read-only open.  NFS clients may receive a read delegation, making
+  /// repeated opens free; the default forwards to `open`.
+  virtual sim::Task<std::unique_ptr<File>> open_read(const std::string& path) {
+    return open(path, false);
+  }
+  virtual sim::Task<void> mkdir(const std::string& path) = 0;
+  virtual sim::Task<void> remove(const std::string& path) = 0;
+  virtual sim::Task<void> rename(const std::string& from,
+                                 const std::string& to) = 0;
+  /// Names in a directory.
+  virtual sim::Task<std::vector<std::string>> list(const std::string& path) = 0;
+  virtual sim::Task<uint64_t> stat_size(const std::string& path) = 0;
+
+  /// Application-level byte counters (for throughput reporting).
+  virtual uint64_t bytes_read() const = 0;
+  virtual uint64_t bytes_written() const = 0;
+
+  /// Drops client-side caches (no-op for cacheless clients).  Benchmarks
+  /// use this between phases to separate warm-server from warm-client
+  /// effects, as the paper's separate write/read runs do.
+  virtual void drop_caches() {}
+};
+
+}  // namespace dpnfs::core

@@ -1,0 +1,156 @@
+// Per-node local object store.
+//
+// Every storage node — whether it backs a PVFS2 storage daemon or an NFSv4
+// data server — keeps its file stripes in one of these.  The store models
+// the performance-relevant behaviour of a local file system:
+//
+//   * Write-behind buffering: unstable writes land in a bounded dirty
+//     buffer; when the buffer is full, writers flush the oldest dirty
+//     extents to disk before proceeding (throttled write-back).
+//   * Commit/fsync: flushes an object's dirty extents to stable storage.
+//   * Page-cache tracking: recently written/read blocks are "resident";
+//     resident reads cost no disk time (the paper's warm-cache reads).
+//   * Disk layout: each object occupies a contiguous slab of the disk
+//     address space, so in-object sequential access is sequential on disk
+//     and cross-object interleaving pays positioning costs.
+//
+// Content handling mirrors rpc::Payload: real bytes are stored and verified
+// end-to-end; virtual bytes are tracked by size only.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+#include "rpc/payload.hpp"
+#include "sim/network.hpp"
+#include "sim/sync.hpp"
+#include "util/interval_set.hpp"
+#include "util/range_buffer.hpp"
+
+namespace dpnfs::lfs {
+
+using ObjectId = uint64_t;
+
+struct ObjectStoreParams {
+  uint64_t dirty_limit_bytes = 64ull << 20;   ///< write-behind buffer cap
+  uint64_t cache_limit_bytes = 1536ull << 20; ///< page-cache budget
+  uint64_t cache_block_bytes = 1ull << 20;    ///< cache-residency granularity
+  uint64_t flush_chunk_bytes = 2ull << 20;    ///< writeback I/O size
+  uint64_t object_slab_bytes = 16ull << 30;   ///< disk address spacing
+};
+
+struct ObjectStoreStats {
+  uint64_t disk_read_bytes = 0;
+  uint64_t disk_write_bytes = 0;
+  uint64_t disk_reads = 0;
+  uint64_t disk_writes = 0;
+  uint64_t cache_hit_bytes = 0;
+  uint64_t cache_miss_bytes = 0;
+};
+
+class ObjectStore {
+ public:
+  /// `node` must have a disk.
+  ObjectStore(sim::Node& node, ObjectStoreParams params = {});
+  ObjectStore(const ObjectStore&) = delete;
+  ObjectStore& operator=(const ObjectStore&) = delete;
+
+  // -- Namespace (instant: callers charge CPU/metadata costs) --------------
+
+  /// Creates an empty object.  Creating an existing object is an error.
+  void create(ObjectId oid);
+  bool exists(ObjectId oid) const noexcept { return objects_.contains(oid); }
+  void remove(ObjectId oid);
+  uint64_t size(ObjectId oid) const;
+  void truncate(ObjectId oid, uint64_t new_size);
+
+  // -- Data path (costs simulated time) -------------------------------------
+
+  /// Writes `data` at `offset`.  `stable` forces the range to disk before
+  /// returning (NFS FILE_SYNC / O_SYNC).  Extends the object as needed;
+  /// creates it implicitly if absent.
+  sim::Task<void> write(ObjectId oid, uint64_t offset, rpc::Payload data,
+                        bool stable);
+
+  /// Reads up to `length` bytes at `offset`; short at EOF.  Returns inline
+  /// bytes whenever the range holds only real content (holes read as
+  /// zeros); ranges touched by virtual writes return virtual payloads.
+  sim::Task<rpc::Payload> read(ObjectId oid, uint64_t offset, uint64_t length);
+
+  /// Flushes the object's dirty extents to disk (COMMIT / fsync).
+  sim::Task<void> commit(ObjectId oid);
+
+  /// Flushes everything (unmount / shutdown).
+  sim::Task<void> commit_all();
+
+  // -- Introspection ---------------------------------------------------------
+
+  uint64_t dirty_bytes() const noexcept { return dirty_bytes_; }
+  const ObjectStoreStats& stats() const noexcept { return stats_; }
+  sim::Node& node() noexcept { return node_; }
+
+  /// Marks an object's content resident in the page cache without disk I/O
+  /// (benchmark warm-up helper).
+  void warm(ObjectId oid);
+
+  /// Drops all clean cache residency (benchmark cold-cache helper).
+  void drop_caches();
+
+ private:
+  struct Object {
+    uint64_t size = 0;
+    uint64_t slab_index = 0;
+    util::RangeBuffer content;
+    util::IntervalSet dirty;  ///< not yet on disk
+    std::unique_ptr<sim::Semaphore> flush_lock;  ///< serializes fsync
+  };
+
+  struct DirtyExtent {
+    ObjectId oid;
+    uint64_t start;
+    uint64_t end;
+  };
+
+  Object& get(ObjectId oid);
+  const Object& get(ObjectId oid) const;
+  uint64_t disk_position(const Object& obj, uint64_t offset) const;
+
+  /// Marks [start, end) of `oid` cache-resident, evicting LRU blocks.
+  void touch_cache(ObjectId oid, uint64_t start, uint64_t end);
+  bool cache_covers(ObjectId oid, uint64_t start, uint64_t end);
+
+  /// Flushes dirty extents (oldest first) until `target_dirty` or less
+  /// remains.  Several writers may flush concurrently; the queue hand-off
+  /// keeps each extent flushed exactly once.
+  sim::Task<void> flush_until(uint64_t target_dirty);
+
+  /// Flushes all dirty extents belonging to `oid`.
+  sim::Task<void> flush_object(ObjectId oid);
+
+  sim::Node& node_;
+  ObjectStoreParams params_;
+  std::unordered_map<ObjectId, Object> objects_;
+  uint64_t next_slab_ = 0;
+
+  std::deque<DirtyExtent> dirty_queue_;  ///< FIFO writeback order
+  uint64_t dirty_bytes_ = 0;
+
+  // Page-cache residency: block key -> LRU list position.
+  using BlockKey = std::pair<ObjectId, uint64_t>;
+  struct BlockKeyHash {
+    size_t operator()(const BlockKey& k) const noexcept {
+      return std::hash<uint64_t>()(k.first * 0x9E3779B97F4A7C15ULL ^ k.second);
+    }
+  };
+  std::list<BlockKey> lru_;  // front = most recent
+  std::unordered_map<BlockKey, std::list<BlockKey>::iterator, BlockKeyHash>
+      resident_;
+
+  ObjectStoreStats stats_;
+};
+
+}  // namespace dpnfs::lfs

@@ -1,0 +1,82 @@
+// Server-side export interfaces.
+//
+// `Backend` is the VFS the NFS server exports.  Implementations in this
+// repository:
+//   * nfs::LocalBackend   — a local file system on an lfs::ObjectStore
+//                           (Direct-pNFS data servers, standalone servers).
+//   * pvfs::PvfsBackend   — a PVFS2-client proxy (the 2-tier/3-tier pNFS
+//                           data servers and the plain NFSv4 server of the
+//                           paper's evaluation).
+//
+// `LayoutSource` supplies pNFS layouts to the server.  Direct-pNFS wires in
+// the layout translator (src/core); the 2-/3-tier deployments wire in a
+// synthetic round-robin source that — faithfully to the paper's critique —
+// knows nothing about where data really lives.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nfs/layout.hpp"
+#include "nfs/ops.hpp"
+#include "nfs/types.hpp"
+#include "rpc/payload.hpp"
+#include "sim/task.hpp"
+
+namespace dpnfs::nfs {
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  virtual FileHandle root_fh() const = 0;
+
+  virtual sim::Task<Status> getattr(FileHandle fh, Fattr* out) = 0;
+  virtual sim::Task<Status> set_size(FileHandle fh, uint64_t size) = 0;
+  virtual sim::Task<Status> lookup(FileHandle dir, const std::string& name,
+                                   FileHandle* out) = 0;
+  virtual sim::Task<Status> mkdir(FileHandle dir, const std::string& name,
+                                  FileHandle* out) = 0;
+  /// Opens (optionally creating) a regular file under `dir`.
+  virtual sim::Task<Status> open(FileHandle dir, const std::string& name,
+                                 bool create, FileHandle* out, Fattr* attr) = 0;
+  virtual sim::Task<Status> remove(FileHandle dir, const std::string& name) = 0;
+  virtual sim::Task<Status> rename(FileHandle src_dir,
+                                   const std::string& old_name,
+                                   FileHandle dst_dir,
+                                   const std::string& new_name) = 0;
+  virtual sim::Task<Status> readdir(FileHandle dir,
+                                    std::vector<DirEntry>* out) = 0;
+
+  virtual sim::Task<Status> read(FileHandle fh, uint64_t offset, uint32_t count,
+                                 rpc::Payload* out, bool* eof) = 0;
+  /// `committed` reports the achieved stability (>= requested);
+  /// `post_change` the file's change attribute after this write (clients
+  /// use it to keep their cached attributes coherent with their own I/O).
+  virtual sim::Task<Status> write(FileHandle fh, uint64_t offset,
+                                  const rpc::Payload& data, StableHow stable,
+                                  StableHow* committed,
+                                  uint64_t* post_change) = 0;
+  virtual sim::Task<Status> commit(FileHandle fh) = 0;
+};
+
+/// Supplies pNFS device lists and layouts.  Absent (nullptr) on servers
+/// that do not speak pNFS — LAYOUTGET then returns NFS4ERR_LAYOUTUNAVAILABLE
+/// and clients fall back to MDS I/O.
+class LayoutSource {
+ public:
+  virtual ~LayoutSource() = default;
+
+  virtual sim::Task<Status> get_device_list(std::vector<DeviceEntry>* out) = 0;
+  virtual sim::Task<Status> layout_get(FileHandle fh, LayoutIoMode iomode,
+                                       FileLayout* out) = 0;
+  /// `post_change` reports the file's change attribute after the commit
+  /// (0 when the source does not track one).
+  virtual sim::Task<Status> layout_commit(FileHandle fh, uint64_t new_size,
+                                          bool size_changed,
+                                          uint64_t* post_change) = 0;
+  virtual sim::Task<Status> layout_return(FileHandle fh) = 0;
+};
+
+}  // namespace dpnfs::nfs

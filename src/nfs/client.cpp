@@ -1,0 +1,1039 @@
+#include "nfs/client.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "nfs/compound_reply.hpp"
+#include "util/log.hpp"
+
+namespace dpnfs::nfs {
+
+using rpc::Payload;
+using sim::Task;
+
+namespace {
+
+constexpr uint32_t kNfsVersion = 4;
+constexpr uint16_t kBackchannelPortBase = 4044;
+
+uint64_t round_down(uint64_t v, uint64_t m) { return v / m * m; }
+uint64_t round_up(uint64_t v, uint64_t m) { return (v + m - 1) / m * m; }
+
+/// Splits "/a/b/c" into ("/a/b", "c").  The parent of "/x" is "/".
+std::pair<std::string, std::string> split_parent(const std::string& path) {
+  if (path.empty() || path[0] != '/' || path == "/") {
+    throw NfsError(Status::kInval, "bad path: " + path);
+  }
+  const size_t slash = path.find_last_of('/');
+  std::string dir = (slash == 0) ? "/" : path.substr(0, slash);
+  return {std::move(dir), path.substr(slash + 1)};
+}
+
+std::vector<std::string> path_components(const std::string& path) {
+  std::vector<std::string> out;
+  size_t pos = 1;
+  while (pos < path.size()) {
+    const size_t next = path.find('/', pos);
+    const size_t end = (next == std::string::npos) ? path.size() : next;
+    if (end > pos) out.push_back(path.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+NfsClient::NfsClient(rpc::RpcFabric& fabric, sim::Node& node,
+                     rpc::RpcAddress mds, std::string principal,
+                     ClientConfig config,
+                     std::shared_ptr<const AggregationRegistry> aggregations)
+    : fabric_(fabric),
+      node_(node),
+      mds_(mds),
+      rpc_(fabric, node, std::move(principal)),
+      config_(config),
+      aggregations_(std::move(aggregations)) {
+  if (!aggregations_) {
+    aggregations_ = std::make_shared<const AggregationRegistry>(
+        AggregationRegistry::with_standard_drivers());
+  }
+}
+
+NfsClient::~NfsClient() = default;
+
+// ---------------------------------------------------------------------------
+// Sessions and compound plumbing
+// ---------------------------------------------------------------------------
+
+Task<NfsClient::Session*> NfsClient::session_for(rpc::RpcAddress addr) {
+  while (true) {
+    if (auto it = sessions_.find(addr); it != sessions_.end()) {
+      co_return &it->second;
+    }
+    if (auto it = session_creating_.find(addr); it != session_creating_.end()) {
+      auto latch = it->second;
+      co_await latch->wait();
+      continue;  // re-check
+    }
+    auto latch = std::make_shared<sim::Latch>(fabric_.simulation());
+    session_creating_.emplace(addr, latch);
+
+    CompoundBuilder b;
+    b.add(OpCode::kExchangeId, ExchangeIdArgs{rpc_.principal()});
+    auto raw = co_await rpc_.call(addr, rpc::Program::kNfs, kNfsVersion,
+                                  kProcCompound, std::move(b).finish());
+    ++stats_.rpcs;
+    CompoundReply r1(std::move(raw));
+    const auto eid = r1.expect<ExchangeIdRes>(OpCode::kExchangeId);
+
+    // Bind the backchannel to the MDS session only: layouts (the things a
+    // server recalls) are granted there.
+    uint32_t cb_port = 0;
+    if (addr == mds_ && config_.enable_backchannel) {
+      start_backchannel();
+      if (backchannel_) cb_port = backchannel_->address().port;
+    }
+    CompoundBuilder b2;
+    b2.add(OpCode::kCreateSession,
+           CreateSessionArgs{eid.client_id, config_.session_slots, cb_port});
+    auto raw2 = co_await rpc_.call(addr, rpc::Program::kNfs, kNfsVersion,
+                                   kProcCompound, std::move(b2).finish());
+    ++stats_.rpcs;
+    CompoundReply r2(std::move(raw2));
+    const auto cs = r2.expect<CreateSessionRes>(OpCode::kCreateSession);
+
+    Session session;
+    session.id = cs.session;
+    session.slots = std::make_unique<sim::Semaphore>(
+        fabric_.simulation(), std::max<uint32_t>(1, cs.max_slots));
+    auto [sit, ok] = sessions_.emplace(addr, std::move(session));
+    (void)ok;
+    session_creating_.erase(addr);
+    latch->set();
+    co_return &sit->second;
+  }
+}
+
+Task<rpc::RpcClient::Reply> NfsClient::call(rpc::RpcAddress addr,
+                                            CompoundBuilder builder,
+                                            uint64_t data_bytes) {
+  Session* s = co_await session_for(addr);
+  co_await s->slots->acquire();
+  const auto cpu = config_.cpu_per_rpc +
+                   static_cast<sim::Duration>(config_.cpu_ns_per_byte *
+                                              static_cast<double>(data_bytes));
+  co_await node_.cpu().execute(cpu);
+  ++stats_.rpcs;
+  auto reply = co_await rpc_.call(addr, rpc::Program::kNfs, kNfsVersion,
+                                  kProcCompound, std::move(builder).finish());
+  s->slots->release();
+  co_return reply;
+}
+
+/// Starts a compound with a SEQUENCE op for `addr`'s session.  The session
+/// must already exist (call() creates it on demand, but the SEQUENCE carries
+/// the id, so callers go through session_for first).
+static CompoundBuilder with_sequence(const SessionId& sid) {
+  CompoundBuilder b;
+  b.add(OpCode::kSequence, SequenceArgs{sid, 0});
+  return b;
+}
+
+// ---------------------------------------------------------------------------
+// Mount and path resolution
+// ---------------------------------------------------------------------------
+
+Task<void> NfsClient::mount() {
+  if (mounted_) co_return;
+  Session* s = co_await session_for(mds_);
+
+  CompoundBuilder b = with_sequence(s->id);
+  b.add(OpCode::kPutRootFh);
+  b.add(OpCode::kGetFh);
+  CompoundReply r(co_await call(mds_, std::move(b), 0));
+  r.expect(OpCode::kSequence);
+  r.expect(OpCode::kPutRootFh);
+  root_fh_ = r.expect<GetFhRes>(OpCode::kGetFh).fh;
+  dentry_cache_["/"] = root_fh_;
+
+  if (config_.pnfs_enabled) {
+    CompoundBuilder b2 = with_sequence(s->id);
+    b2.add(OpCode::kPutRootFh);
+    b2.add(OpCode::kGetDeviceList);
+    CompoundReply r2(co_await call(mds_, std::move(b2), 0));
+    r2.expect(OpCode::kSequence);
+    r2.expect(OpCode::kPutRootFh);
+    if (r2.try_next(OpCode::kGetDeviceList) == Status::kOk) {
+      const auto res = GetDeviceListRes::decode(r2.dec());
+      for (const auto& d : res.devices) {
+        devices_[d.device] = rpc::RpcAddress{d.node_id, d.port};
+      }
+    }
+  }
+  mounted_ = true;
+}
+
+Task<FileHandle> NfsClient::resolve(const std::string& path) {
+  if (auto it = dentry_cache_.find(path); it != dentry_cache_.end()) {
+    co_return it->second;
+  }
+  // Deepest cached ancestor.
+  const auto comps = path_components(path);
+  std::string cur = "/";
+  FileHandle cur_fh = root_fh_;
+  size_t start = 0;
+  {
+    std::string probe = "";
+    for (size_t i = 0; i < comps.size(); ++i) {
+      probe += "/" + comps[i];
+      auto it = dentry_cache_.find(probe);
+      if (it == dentry_cache_.end()) break;
+      cur = probe;
+      cur_fh = it->second;
+      start = i + 1;
+    }
+  }
+  if (start == comps.size()) co_return cur_fh;
+
+  Session* s = co_await session_for(mds_);
+  CompoundBuilder b = with_sequence(s->id);
+  b.add(OpCode::kPutFh, PutFhArgs{cur_fh});
+  for (size_t i = start; i < comps.size(); ++i) {
+    b.add(OpCode::kLookup, LookupArgs{comps[i]});
+    b.add(OpCode::kGetFh);
+  }
+  CompoundReply r(co_await call(mds_, std::move(b), 0));
+  r.expect(OpCode::kSequence);
+  r.expect(OpCode::kPutFh);
+  std::string walked = (cur == "/") ? "" : cur;
+  FileHandle fh = cur_fh;
+  for (size_t i = start; i < comps.size(); ++i) {
+    r.expect(OpCode::kLookup);
+    fh = r.expect<GetFhRes>(OpCode::kGetFh).fh;
+    walked += "/" + comps[i];
+    dentry_cache_[walked] = fh;
+  }
+  co_return fh;
+}
+
+void NfsClient::invalidate_dentries(const std::string& prefix) {
+  auto it = dentry_cache_.lower_bound(prefix);
+  while (it != dentry_cache_.end() && it->first.rfind(prefix, 0) == 0) {
+    it = dentry_cache_.erase(it);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Namespace operations
+// ---------------------------------------------------------------------------
+
+void NfsClient::start_backchannel() {
+  if (backchannel_) return;
+  // Pick the first free port in the backchannel range (several clients may
+  // share one simulated node in tests).
+  for (uint16_t port = kBackchannelPortBase; port < kBackchannelPortBase + 256;
+       ++port) {
+    try {
+      backchannel_ = std::make_unique<rpc::RpcServer>(
+          fabric_, node_, port, /*workers=*/2,
+          [this](const rpc::CallContext& ctx, rpc::XdrDecoder& args,
+                 rpc::XdrEncoder& results) -> Task<void> {
+            return serve_callback(ctx, args, results);
+          });
+      backchannel_->start();
+      return;
+    } catch (const std::logic_error&) {
+      continue;  // port taken
+    }
+  }
+  util::logf(util::LogLevel::kWarn, "nfs.client", fabric_.simulation().now(),
+             "no free backchannel port; layout recalls disabled");
+}
+
+Task<void> NfsClient::serve_callback(const rpc::CallContext& ctx,
+                                     rpc::XdrDecoder& args,
+                                     rpc::XdrEncoder& results) {
+  (void)results;
+  switch (ctx.header.proc) {
+    case kProcCbLayoutRecall: {
+      const auto a = CbLayoutRecallArgs::decode(args);
+      ++recalls_served_;
+      // Flush everything that went through this layout, then drop it;
+      // further I/O flows through the MDS (or re-fetches a layout at the
+      // next open).
+      for (auto& [ino, state] : files_) {
+        if (!(state->fh == a.fh) || !state->layout) continue;
+        FilePtr file = state;
+        co_await flush_dirty(file, /*only_full_chunks=*/false, /*wait=*/true);
+        co_await commit_unstable(*file);
+        file->layout.reset();
+        util::logf(util::LogLevel::kInfo, "nfs.client",
+                   fabric_.simulation().now(), "layout for fileid %llu recalled",
+                   static_cast<unsigned long long>(ino));
+        break;
+      }
+      co_return;
+    }
+    case kProcCbRecallDelegation: {
+      const auto a = CbRecallDelegationArgs::decode(args);
+      ++delegation_recalls_served_;
+      for (auto& [ino, state] : files_) {
+        if (!(state->fh == a.fh) || !state->read_delegation) continue;
+        state->read_delegation = false;
+        util::logf(util::LogLevel::kInfo, "nfs.client",
+                   fabric_.simulation().now(),
+                   "read delegation for fileid %llu recalled",
+                   static_cast<unsigned long long>(ino));
+        break;
+      }
+      co_return;
+    }
+    default:
+      throw NfsError(Status::kNotSupp, "unknown callback procedure");
+  }
+}
+
+Task<void> NfsClient::truncate(const std::string& path, uint64_t size) {
+  const FileHandle fh = co_await resolve(path);
+  Session* s = co_await session_for(mds_);
+  CompoundBuilder b = with_sequence(s->id);
+  b.add(OpCode::kPutFh, PutFhArgs{fh});
+  b.add(OpCode::kSetattr, SetattrArgs{true, size});
+  CompoundReply r(co_await call(mds_, std::move(b), 0));
+  r.expect(OpCode::kSequence);
+  r.expect(OpCode::kPutFh);
+  r.expect(OpCode::kSetattr);
+  // Our own cached view of the file, if any, must shrink too.
+  for (auto& [ino, state] : files_) {
+    if (!(state->fh == fh)) continue;
+    if (size < state->size) {
+      const uint64_t valid_before = state->valid.total_length();
+      const uint64_t dirty_before = state->dirty.total_length();
+      state->valid.subtract(size, ~0ull);
+      state->dirty.subtract(size, ~0ull);
+      state->content.drop(size, ~0ull);
+      account_valid_delta(*state, -static_cast<int64_t>(
+                                      valid_before - state->valid.total_length()));
+      dirty_bytes_ -= dirty_before - state->dirty.total_length();
+    }
+    state->size = size;
+    break;
+  }
+}
+
+Task<void> NfsClient::mkdir(const std::string& path) {
+  const auto [dir, name] = split_parent(path);
+  const FileHandle parent = co_await resolve(dir);
+  Session* s = co_await session_for(mds_);
+  CompoundBuilder b = with_sequence(s->id);
+  b.add(OpCode::kPutFh, PutFhArgs{parent});
+  b.add(OpCode::kCreate, CreateArgs{name});
+  b.add(OpCode::kGetFh);
+  CompoundReply r(co_await call(mds_, std::move(b), 0));
+  r.expect(OpCode::kSequence);
+  r.expect(OpCode::kPutFh);
+  r.expect(OpCode::kCreate);
+  dentry_cache_[path] = r.expect<GetFhRes>(OpCode::kGetFh).fh;
+}
+
+Task<void> NfsClient::remove(const std::string& path) {
+  const auto [dir, name] = split_parent(path);
+  const FileHandle parent = co_await resolve(dir);
+  Session* s = co_await session_for(mds_);
+  CompoundBuilder b = with_sequence(s->id);
+  b.add(OpCode::kPutFh, PutFhArgs{parent});
+  b.add(OpCode::kRemove, RemoveArgs{name});
+  CompoundReply r(co_await call(mds_, std::move(b), 0));
+  r.expect(OpCode::kSequence);
+  r.expect(OpCode::kPutFh);
+  r.expect(OpCode::kRemove);
+  invalidate_dentries(path);
+}
+
+Task<void> NfsClient::rename(const std::string& from, const std::string& to) {
+  const auto [src_dir, old_name] = split_parent(from);
+  const auto [dst_dir, new_name] = split_parent(to);
+  const FileHandle src = co_await resolve(src_dir);
+  const FileHandle dst = co_await resolve(dst_dir);
+  Session* s = co_await session_for(mds_);
+  CompoundBuilder b = with_sequence(s->id);
+  b.add(OpCode::kPutFh, PutFhArgs{src});
+  b.add(OpCode::kSaveFh);
+  b.add(OpCode::kPutFh, PutFhArgs{dst});
+  b.add(OpCode::kRename, RenameArgs{old_name, new_name});
+  CompoundReply r(co_await call(mds_, std::move(b), 0));
+  r.expect(OpCode::kSequence);
+  r.expect(OpCode::kPutFh);
+  r.expect(OpCode::kSaveFh);
+  r.expect(OpCode::kPutFh);
+  r.expect(OpCode::kRename);
+  invalidate_dentries(from);
+  invalidate_dentries(to);
+}
+
+Task<std::vector<DirEntry>> NfsClient::readdir(const std::string& path) {
+  const FileHandle dir = co_await resolve(path);
+  Session* s = co_await session_for(mds_);
+  CompoundBuilder b = with_sequence(s->id);
+  b.add(OpCode::kPutFh, PutFhArgs{dir});
+  b.add(OpCode::kReaddir);
+  CompoundReply r(co_await call(mds_, std::move(b), 0));
+  r.expect(OpCode::kSequence);
+  r.expect(OpCode::kPutFh);
+  co_return r.expect<ReaddirRes>(OpCode::kReaddir).entries;
+}
+
+Task<Fattr> NfsClient::stat(const std::string& path) {
+  const FileHandle fh = co_await resolve(path);
+  Session* s = co_await session_for(mds_);
+  CompoundBuilder b = with_sequence(s->id);
+  b.add(OpCode::kPutFh, PutFhArgs{fh});
+  b.add(OpCode::kGetattr);
+  CompoundReply r(co_await call(mds_, std::move(b), 0));
+  r.expect(OpCode::kSequence);
+  r.expect(OpCode::kPutFh);
+  co_return r.expect<GetattrRes>(OpCode::kGetattr).attr;
+}
+
+// ---------------------------------------------------------------------------
+// Open / close
+// ---------------------------------------------------------------------------
+
+Task<NfsClient::FilePtr> NfsClient::open(const std::string& path, bool create,
+                                         bool read_only) {
+  // Delegation fast path: a held read delegation makes re-opens purely
+  // local — no RPC, guaranteed-fresh cache.
+  if (!create && read_only) {
+    if (auto it = dentry_cache_.find(path); it != dentry_cache_.end()) {
+      for (auto& [ino, state] : files_) {
+        if (state->fh == it->second && state->read_delegation) {
+          ++state->open_count;
+          state->last_use = ++lru_clock_;
+          co_return state;
+        }
+      }
+    }
+  }
+
+  const auto [dir, name] = split_parent(path);
+  const FileHandle parent = co_await resolve(dir);
+  Session* s = co_await session_for(mds_);
+  CompoundBuilder b = with_sequence(s->id);
+  b.add(OpCode::kPutFh, PutFhArgs{parent});
+  b.add(OpCode::kOpen,
+        OpenArgs{name, create,
+                 read_only ? ShareAccess::kRead : ShareAccess::kBoth});
+  b.add(OpCode::kGetFh);
+  if (config_.pnfs_enabled) {
+    b.add(OpCode::kLayoutGet,
+          LayoutGetArgs{read_only ? LayoutIoMode::kRead
+                                  : LayoutIoMode::kReadWrite,
+                        0, ~0ull});
+  }
+  CompoundReply r(co_await call(mds_, std::move(b), 0));
+  r.expect(OpCode::kSequence);
+  r.expect(OpCode::kPutFh);
+  const auto open_res = r.expect<OpenRes>(OpCode::kOpen);
+  const FileHandle fh = r.expect<GetFhRes>(OpCode::kGetFh).fh;
+
+  std::optional<FileLayout> layout;
+  if (config_.pnfs_enabled && r.try_next(OpCode::kLayoutGet) == Status::kOk) {
+    FileLayout l = LayoutGetRes::decode(r.dec()).layout;
+    // Usable only when the aggregation scheme and every device are known.
+    const bool driver_ok = aggregations_->find(l.aggregation) != nullptr;
+    bool devices_ok = l.valid();
+    for (const auto& d : l.devices) devices_ok &= devices_.contains(d);
+    if (driver_ok && devices_ok) {
+      layout = std::move(l);
+    } else {
+      util::logf(util::LogLevel::kWarn, "nfs.client",
+                 fabric_.simulation().now(),
+                 "layout for %s unusable (driver/devices); falling back to MDS I/O",
+                 path.c_str());
+    }
+  }
+
+  auto it = files_.find(open_res.attr.fileid);
+  if (it == files_.end()) {
+    auto state = std::make_shared<FileState>();
+    state->fh = fh;
+    state->stateid = open_res.stateid;
+    state->attr = open_res.attr;
+    state->size = open_res.attr.size;
+    state->layout = std::move(layout);
+    state->open_count = 1;
+    // server_opens incremented below, with the reopen path.
+    it = files_.emplace(open_res.attr.fileid, std::move(state)).first;
+  } else {
+    FileState& st = *it->second;
+    // Close-to-open consistency: cached data from a previous open stays
+    // valid only if the server-side file is unchanged.  A held read
+    // delegation guarantees freshness without the comparison.
+    if (st.open_count == 0 && !st.read_delegation &&
+        (open_res.attr.change != st.attr.change ||
+         open_res.attr.size != st.size)) {
+      invalidate_clean(st);
+      st.size = open_res.attr.size;
+    }
+    st.attr = open_res.attr;
+    ++st.open_count;
+    st.stateid = open_res.stateid;
+    if (!st.layout) st.layout = std::move(layout);
+  }
+  ++it->second->server_opens;
+  if (open_res.delegation == DelegationType::kRead) {
+    it->second->read_delegation = true;
+  }
+  it->second->path = path;
+  dentry_cache_[path] = fh;
+  co_return it->second;
+}
+
+bool NfsClient::file_has_delegation(const FilePtr& file) const {
+  return file->read_delegation;
+}
+
+Task<void> NfsClient::close(FilePtr file) {
+  if (config_.commit_on_close) co_await fsync(file);
+
+  if (file->open_count > 0) --file->open_count;
+  // Delegation-elided opens have no server stateid; send CLOSE only while
+  // the server holds more opens than we have handles left.
+  Fattr fresh = file->attr;
+  if (file->server_opens > file->open_count) {
+    Session* s = co_await session_for(mds_);
+    CompoundBuilder b = with_sequence(s->id);
+    b.add(OpCode::kPutFh, PutFhArgs{file->fh});
+    b.add(OpCode::kGetattr);  // refresh change/size for close-to-open caching
+    b.add(OpCode::kClose, CloseArgs{file->stateid});
+    CompoundReply r(co_await call(mds_, std::move(b), 0));
+    r.expect(OpCode::kSequence);
+    r.expect(OpCode::kPutFh);
+    fresh = r.expect<GetattrRes>(OpCode::kGetattr).attr;
+    r.expect(OpCode::kClose);
+    --file->server_opens;
+  }
+
+  if (file->open_count == 0) {
+    // The page cache survives close (Linux semantics): clean data stays for
+    // the next open, subject to close-to-open revalidation against these
+    // freshly fetched attributes, and to LRU eviction.  If the attributes
+    // already show someone else's changes, drop the cache now.
+    if (!file->read_delegation && (fresh.change != file->attr.change ||
+                                   fresh.size != file->size)) {
+      invalidate_clean(*file);
+    }
+    file->attr = fresh;
+    file->size = fresh.size;
+    file->expected_seq_offset = 0;
+    file->readahead_high = 0;
+  }
+}
+
+void NfsClient::invalidate_clean(FileState& st) {
+  account_valid_delta(st, -static_cast<int64_t>(st.valid.total_length() -
+                                                st.dirty.total_length()));
+  for (const auto& iv : st.valid.intervals()) {
+    for (const auto& clean : st.dirty.gaps(iv.start, iv.end)) {
+      st.content.drop(clean.start, clean.end);
+    }
+  }
+  st.valid = st.dirty;
+  st.readahead_high = 0;
+}
+
+uint64_t NfsClient::file_size(const FilePtr& file) const { return file->size; }
+
+void NfsClient::drop_caches() {
+  for (auto it = files_.begin(); it != files_.end();) {
+    FileState& st = *it->second;
+    if (st.open_count == 0) {
+      account_valid_delta(st, -static_cast<int64_t>(st.valid.total_length()));
+      dirty_bytes_ -= st.dirty.total_length();
+      it = files_.erase(it);
+      continue;
+    }
+    for (const auto& iv : st.valid.intervals()) {
+      for (const auto& clean : st.dirty.gaps(iv.start, iv.end)) {
+        st.content.drop(clean.start, clean.end);
+        account_valid_delta(st, -static_cast<int64_t>(clean.length()));
+      }
+    }
+    st.valid = st.dirty;
+    st.readahead_high = 0;
+    ++it;
+  }
+}
+
+bool NfsClient::file_has_layout(const FilePtr& file) const {
+  return file->layout.has_value();
+}
+
+// ---------------------------------------------------------------------------
+// I/O routing
+// ---------------------------------------------------------------------------
+
+std::vector<NfsClient::IoSlice> NfsClient::route(FileState& f, uint64_t offset,
+                                                 uint64_t length,
+                                                 bool for_write) const {
+  std::vector<IoSlice> out;
+  if (f.layout) {
+    const AggregationDriver* driver = aggregations_->find(f.layout->aggregation);
+    assert(driver != nullptr);  // checked at open
+    const auto segments = for_write
+                              ? driver->map_write(*f.layout, offset, length)
+                              : driver->map_read(*f.layout, offset, length);
+    out.reserve(segments.size());
+    for (const auto& seg : segments) {
+      IoSlice slice;
+      slice.device_index = seg.device_index;
+      slice.addr = devices_.at(f.layout->devices[seg.device_index]);
+      slice.fh = f.layout->fhs[seg.device_index];
+      slice.stateid = kDataServerStateid;
+      slice.target_offset = seg.dev_offset;
+      slice.file_offset = seg.file_offset;
+      slice.length = seg.length;
+      out.push_back(slice);
+    }
+    return out;
+  }
+  IoSlice slice;
+  slice.device_index = IoSlice::kMds;
+  slice.addr = mds_;
+  slice.fh = f.fh;
+  // Under a delegation-elided open there is no server-side open stateid;
+  // reads ride the anonymous stateid (the delegation stateid, in effect).
+  slice.stateid = f.server_opens > 0 ? f.stateid : kAnonymousStateid;
+  slice.target_offset = offset;
+  slice.file_offset = offset;
+  slice.length = length;
+  out.push_back(slice);
+  return out;
+}
+
+Task<Payload> NfsClient::read_slices(FileState& f, uint64_t offset,
+                                     uint64_t length) {
+  const auto slices = route(f, offset, length, /*for_write=*/false);
+  std::vector<Payload> results(slices.size());
+  bool failed = false;
+  Status fail_status = Status::kOk;
+  sim::WaitGroup wg(fabric_.simulation());
+  for (size_t i = 0; i < slices.size(); ++i) {
+    wg.spawn([](NfsClient& self, const IoSlice slice, Payload& out, bool& failed,
+                Status& fail_status) -> Task<void> {
+      try {
+        Session* s = co_await self.session_for(slice.addr);
+        CompoundBuilder b = with_sequence(s->id);
+        b.add(OpCode::kPutFh, PutFhArgs{slice.fh});
+        b.add(OpCode::kRead,
+              ReadArgs{slice.stateid, slice.target_offset,
+                       static_cast<uint32_t>(slice.length)});
+        CompoundReply r(co_await self.call(slice.addr, std::move(b), slice.length));
+        r.expect(OpCode::kSequence);
+        r.expect(OpCode::kPutFh);
+        auto res = r.expect<ReadRes>(OpCode::kRead);
+        // Stripe objects may be shorter than the file (holes): pad.
+        if (res.data.size() < slice.length) {
+          const uint64_t missing = slice.length - res.data.size();
+          if (res.data.is_inline()) {
+            res.data.append(Payload::inline_bytes(
+                std::vector<std::byte>(missing, std::byte{0})));
+          } else {
+            res.data.append(Payload::virtual_bytes(missing));
+          }
+        }
+        out = std::move(res.data);
+      } catch (const NfsError& e) {
+        failed = true;
+        fail_status = e.status();
+      }
+    }(*this, slices[i], results[i], failed, fail_status));
+  }
+  co_await wg.wait();
+  if (failed) throw NfsError(fail_status, "READ");
+
+  Payload assembled;
+  for (auto& piece : results) assembled.append(piece);
+  stats_.wire_read_bytes += assembled.size();
+  co_return assembled;
+}
+
+Task<void> NfsClient::write_slices(FileState& f, uint64_t offset,
+                                   const Payload& data) {
+  const auto slices = route(f, offset, data.size(), /*for_write=*/true);
+  bool failed = false;
+  Status fail_status = Status::kOk;
+  sim::WaitGroup wg(fabric_.simulation());
+  for (const auto& slice : slices) {
+    Payload piece = data.slice(slice.file_offset - offset, slice.length);
+    wg.spawn([](NfsClient& self, FileState& f, const IoSlice slice,
+                Payload piece, bool& failed, Status& fail_status) -> Task<void> {
+      try {
+        Session* s = co_await self.session_for(slice.addr);
+        CompoundBuilder b = with_sequence(s->id);
+        b.add(OpCode::kPutFh, PutFhArgs{slice.fh});
+        b.add(OpCode::kWrite,
+              WriteArgs{slice.stateid, slice.target_offset,
+                        StableHow::kUnstable, std::move(piece)});
+        CompoundReply r(co_await self.call(slice.addr, std::move(b), slice.length));
+        r.expect(OpCode::kSequence);
+        r.expect(OpCode::kPutFh);
+        const auto res = r.expect<WriteRes>(OpCode::kWrite);
+        if (res.committed == StableHow::kUnstable) {
+          f.unstable_targets.insert(slice.device_index);
+        }
+        // MDS-path writes move the file's change attribute; track it so our
+        // own I/O does not look like someone else's at revalidation time.
+        if (slice.device_index == IoSlice::kMds && res.post_change != 0) {
+          f.attr.change = std::max(f.attr.change, res.post_change);
+        }
+      } catch (const NfsError& e) {
+        failed = true;
+        fail_status = e.status();
+      }
+    }(*this, f, slice, std::move(piece), failed, fail_status));
+  }
+  co_await wg.wait();
+  if (failed) throw NfsError(fail_status, "WRITE");
+  stats_.wire_write_bytes += data.size();
+}
+
+// ---------------------------------------------------------------------------
+// Read path
+// ---------------------------------------------------------------------------
+
+Task<Payload> NfsClient::read(FilePtr file, uint64_t offset, uint64_t length) {
+  file->last_use = ++lru_clock_;
+  if (offset >= file->size || length == 0) co_return Payload{};
+  const uint64_t end = std::min(file->size, offset + length);
+  const uint64_t want = end - offset;
+
+  co_await node_.cpu().execute(static_cast<sim::Duration>(
+      config_.cpu_ns_per_byte * static_cast<double>(want)));
+
+  if (!config_.data_cache) {
+    Payload p = co_await read_slices(*file, offset, want);
+    stats_.bytes_read += p.size();
+    // Sequential detection still applies (kernel readahead exists even for
+    // O_DIRECT-less uncached mode is moot — without a cache there is nowhere
+    // to put readahead data, so skip it).
+    co_return p;
+  }
+
+  // Fill the gaps; wait out any overlapping in-flight fetches (readahead or
+  // a concurrent reader).  A read that never issues its own fetch counts as
+  // a cache hit — it was served by the cache or by readahead it piggybacked.
+  bool fetched = false;
+  while (true) {
+    const auto gaps = file->valid.gaps(offset, end);
+    if (gaps.empty()) break;
+    auto latch = find_inflight_overlap(*file, gaps.front().start,
+                                       gaps.front().end);
+    if (latch != nullptr) {
+      co_await latch->wait();
+      continue;
+    }
+    fetched = true;
+    co_await fetch_range(file, gaps.front().start, gaps.front().end);
+  }
+  if (!fetched) stats_.cache_hit_bytes += want;
+
+  Payload out = file->content.load(offset, want);
+  stats_.bytes_read += out.size();
+
+  // Sequential readahead.  Extensions are quantized to whole rsize chunks
+  // so the wire sees rsize-sized READs, not request-sized dribbles.
+  if (offset == file->expected_seq_offset && config_.readahead_window > 0) {
+    const uint64_t target = std::min<uint64_t>(
+        file->size,
+        end + static_cast<uint64_t>(config_.readahead_window) * config_.rsize);
+    const uint64_t from = std::max(end, file->readahead_high);
+    if (target > from && (target - from >= config_.rsize || target == file->size)) {
+      file->readahead_high = target;
+      fabric_.simulation().spawn(readahead(file, from, target));
+    }
+  }
+  file->expected_seq_offset = end;
+  co_return out;
+}
+
+Task<void> NfsClient::readahead(FilePtr file, uint64_t from, uint64_t to) {
+  ++stats_.readahead_fetches;
+  try {
+    co_await fetch_range(file, from, to);
+  } catch (const NfsError&) {
+    // Readahead failures are harmless; the demand read will retry and
+    // surface the error.
+  }
+}
+
+std::shared_ptr<sim::Latch> NfsClient::find_inflight_overlap(FileState& f,
+                                                             uint64_t start,
+                                                             uint64_t end) {
+  auto it = f.inflight.lower_bound(start);
+  if (it != f.inflight.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.first > start) return prev->second.second;
+  }
+  if (it != f.inflight.end() && it->first < end) return it->second.second;
+  return nullptr;
+}
+
+Task<void> NfsClient::fetch_range(FilePtr file, uint64_t start, uint64_t end) {
+  // Demand fetches are page-granular (like the Linux page cache); only the
+  // readahead path asks for ranges big enough to fill rsize-sized READs.
+  start = round_down(start, kPageBytes);
+  end = std::min(round_up(end, kPageBytes), file->size);
+  if (start >= end) co_return;
+
+  struct Fetch {
+    uint64_t start;
+    uint64_t len;
+    std::shared_ptr<sim::Latch> latch;
+  };
+  std::vector<Fetch> fetches;
+  for (const auto& gap : file->valid.gaps(start, end)) {
+    // Skip parts someone else is already fetching; our caller re-checks and
+    // waits on their latch.
+    uint64_t pos = gap.start;
+    while (pos < gap.end) {
+      uint64_t piece_end = gap.end;
+      auto it = file->inflight.lower_bound(pos);
+      if (it != file->inflight.begin() && std::prev(it)->second.first > pos) {
+        pos = std::prev(it)->second.first;  // inside an in-flight range
+        continue;
+      }
+      if (it != file->inflight.end() && it->first < piece_end) {
+        piece_end = it->first;
+      }
+      if (piece_end <= pos) break;
+      // Split into rsize-bounded READs.
+      while (pos < piece_end) {
+        const uint64_t n = std::min<uint64_t>(config_.rsize, piece_end - pos);
+        auto latch = std::make_shared<sim::Latch>(fabric_.simulation());
+        file->inflight.emplace(pos, std::make_pair(pos + n, latch));
+        fetches.push_back(Fetch{pos, n, std::move(latch)});
+        pos += n;
+      }
+    }
+  }
+
+  bool failed = false;
+  sim::WaitGroup wg(fabric_.simulation());
+  for (auto& fetch : fetches) {
+    wg.spawn([](NfsClient& self, FilePtr file, Fetch f, bool& failed) -> Task<void> {
+      try {
+        Payload data = co_await self.read_slices(*file, f.start, f.len);
+        file->content.store(f.start, data);
+        const uint64_t before = file->valid.total_length();
+        file->valid.add(f.start, f.start + data.size());
+        self.account_valid_delta(*file,
+                                 static_cast<int64_t>(file->valid.total_length() - before));
+      } catch (const NfsError&) {
+        failed = true;
+      }
+      file->inflight.erase(f.start);
+      f.latch->set();
+    }(*this, file, std::move(fetch), failed));
+  }
+  co_await wg.wait();
+  evict_clean_if_needed();
+  if (failed) throw NfsError(Status::kIo, "fetch_range");
+}
+
+// ---------------------------------------------------------------------------
+// Write path
+// ---------------------------------------------------------------------------
+
+Task<void> NfsClient::write(FilePtr file, uint64_t offset, Payload data) {
+  file->last_use = ++lru_clock_;
+  const uint64_t len = data.size();
+  if (len == 0) co_return;
+  const uint64_t end = offset + len;
+
+  co_await node_.cpu().execute(static_cast<sim::Duration>(
+      config_.cpu_ns_per_byte * static_cast<double>(len)));
+
+  if (!config_.data_cache) {
+    co_await write_slices(*file, offset, data);
+    file->size = std::max(file->size, end);
+    file->size_dirty = true;
+    stats_.bytes_written += len;
+    co_return;
+  }
+
+  file->content.store(offset, data);
+  {
+    const uint64_t before = file->valid.total_length();
+    file->valid.add(offset, end);
+    account_valid_delta(*file,
+                        static_cast<int64_t>(file->valid.total_length() - before));
+  }
+  {
+    const uint64_t before = file->dirty.total_length();
+    file->dirty.add(offset, end);
+    dirty_bytes_ += file->dirty.total_length() - before;
+  }
+  file->size = std::max(file->size, end);
+  file->size_dirty = true;
+  stats_.bytes_written += len;
+
+  // Write-back: push out every fully-dirty wsize chunk asynchronously (a
+  // bounded pipeline of in-flight WRITEs, like the kernel flusher).
+  co_await flush_dirty(file, /*only_full_chunks=*/true, /*wait=*/false);
+
+  if (dirty_bytes_ > config_.dirty_limit_bytes) {
+    // Over the dirty limit: the writer blocks until its data is on the wire
+    // (memory-pressure throttling).
+    co_await flush_dirty(file, /*only_full_chunks=*/false, /*wait=*/true);
+  }
+  evict_clean_if_needed();
+}
+
+Task<void> NfsClient::flush_dirty(FilePtr file, bool only_full_chunks,
+                                  bool wait_completion) {
+  const uint64_t chunk = config_.wsize;
+  std::vector<util::IntervalSet::Interval> ranges;
+  for (const auto& iv : file->dirty.intervals()) {
+    if (only_full_chunks) {
+      const uint64_t cs = round_up(iv.start, chunk);
+      const uint64_t ce = round_down(iv.end, chunk);
+      if (ce > cs) ranges.push_back({cs, ce});
+    } else {
+      ranges.push_back(iv);
+    }
+  }
+
+  if (!file->wb_window) {
+    file->wb_window = std::make_unique<sim::Semaphore>(
+        fabric_.simulation(), std::max<uint32_t>(1, config_.writeback_window));
+    file->wb_inflight = std::make_unique<sim::WaitGroup>(fabric_.simulation());
+  }
+
+  // Claim the ranges before suspending so concurrent flushes don't repeat
+  // the work, then feed the bounded write-back pipeline.
+  for (const auto& r : ranges) {
+    const uint64_t before = file->dirty.total_length();
+    file->dirty.subtract(r.start, r.end);
+    dirty_bytes_ -= before - file->dirty.total_length();
+  }
+  for (const auto& r : ranges) {
+    for (uint64_t cs = r.start; cs < r.end; cs += chunk) {
+      const uint64_t ce = std::min(cs + chunk, r.end);
+      Payload data = file->content.load(cs, ce - cs);
+      file->wb_inflight->spawn(
+          [](NfsClient& self, FilePtr file, uint64_t off, Payload data) -> Task<void> {
+            co_await file->wb_window->acquire();
+            try {
+              co_await self.write_slices(*file, off, data);
+            } catch (const NfsError&) {
+              file->wb_error = true;
+            }
+            file->wb_window->release();
+          }(*this, file, cs, std::move(data)));
+    }
+  }
+
+  if (wait_completion) {
+    co_await file->wb_inflight->wait();
+    if (file->wb_error) {
+      file->wb_error = false;
+      throw NfsError(Status::kIo, "flush");
+    }
+  }
+}
+
+Task<void> NfsClient::commit_unstable(FileState& f) {
+  if (f.unstable_targets.empty()) co_return;
+  const std::set<size_t> targets = std::exchange(f.unstable_targets, {});
+  bool failed = false;
+  sim::WaitGroup wg(fabric_.simulation());
+  for (size_t idx : targets) {
+    rpc::RpcAddress addr = mds_;
+    FileHandle fh = f.fh;
+    if (idx != IoSlice::kMds) {
+      addr = devices_.at(f.layout->devices[idx]);
+      fh = f.layout->fhs[idx];
+    }
+    wg.spawn([](NfsClient& self, rpc::RpcAddress addr, FileHandle fh,
+                bool& failed) -> Task<void> {
+      try {
+        Session* s = co_await self.session_for(addr);
+        CompoundBuilder b = with_sequence(s->id);
+        b.add(OpCode::kPutFh, PutFhArgs{fh});
+        b.add(OpCode::kCommit, CommitArgs{0, 0});
+        CompoundReply r(co_await self.call(addr, std::move(b), 0));
+        r.expect(OpCode::kSequence);
+        r.expect(OpCode::kPutFh);
+        r.expect(OpCode::kCommit);
+      } catch (const NfsError&) {
+        failed = true;
+      }
+    }(*this, addr, fh, failed));
+  }
+  co_await wg.wait();
+  if (failed) throw NfsError(Status::kIo, "COMMIT");
+}
+
+Task<void> NfsClient::fsync(FilePtr file) {
+  co_await flush_dirty(file, /*only_full_chunks=*/false, /*wait=*/true);
+  co_await commit_unstable(*file);
+  if (file->size_dirty && file->layout) {
+    Session* s = co_await session_for(mds_);
+    CompoundBuilder b = with_sequence(s->id);
+    b.add(OpCode::kPutFh, PutFhArgs{file->fh});
+    b.add(OpCode::kLayoutCommit, LayoutCommitArgs{file->size, true});
+    CompoundReply r(co_await call(mds_, std::move(b), 0));
+    r.expect(OpCode::kSequence);
+    r.expect(OpCode::kPutFh);
+    const auto lc = r.expect<LayoutCommitRes>(OpCode::kLayoutCommit);
+    if (lc.post_change != 0) {
+      file->attr.change = std::max(file->attr.change, lc.post_change);
+    }
+  }
+  file->size_dirty = false;
+}
+
+// ---------------------------------------------------------------------------
+// Cache accounting
+// ---------------------------------------------------------------------------
+
+void NfsClient::account_valid_delta(FileState& f, int64_t delta) {
+  (void)f;
+  if (delta >= 0) {
+    cached_bytes_ += static_cast<uint64_t>(delta);
+  } else {
+    cached_bytes_ -= std::min<uint64_t>(cached_bytes_,
+                                        static_cast<uint64_t>(-delta));
+  }
+}
+
+void NfsClient::evict_clean_if_needed() {
+  while (cached_bytes_ > config_.cache_limit_bytes) {
+    // Victim: least-recently-used file with evictable (clean) bytes.
+    FileState* victim = nullptr;
+    for (auto& [ino, state] : files_) {
+      const uint64_t clean =
+          state->valid.total_length() - state->dirty.total_length();
+      if (clean == 0) continue;
+      if (victim == nullptr || state->last_use < victim->last_use) {
+        victim = state.get();
+      }
+    }
+    if (victim == nullptr) break;  // everything is dirty: nothing to evict
+    uint64_t evicted = 0;
+    for (const auto& iv : victim->valid.intervals()) {
+      for (const auto& clean : victim->dirty.gaps(iv.start, iv.end)) {
+        victim->content.drop(clean.start, clean.end);
+        evicted += clean.length();
+      }
+    }
+    // valid := dirty (only dirty ranges remain cached).
+    victim->valid = victim->dirty;
+    victim->readahead_high = 0;
+    account_valid_delta(*victim, -static_cast<int64_t>(evicted));
+    if (evicted == 0) break;
+  }
+}
+
+}  // namespace dpnfs::nfs

@@ -1,0 +1,74 @@
+#include "nfs/layout.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dpnfs::nfs {
+namespace {
+
+/// Shared dense-striping walk; `first_device` rotates the pattern.
+std::vector<StripeSegment> map_dense(const FileLayout& layout, uint64_t offset,
+                                     uint64_t length, uint64_t first_device) {
+  if (!layout.valid()) throw std::invalid_argument("invalid layout");
+  std::vector<StripeSegment> out;
+  const uint64_t su = layout.stripe_unit;
+  const uint64_t n = layout.devices.size();
+  uint64_t pos = offset;
+  const uint64_t end = offset + length;
+  while (pos < end) {
+    const uint64_t stripe = pos / su;
+    const uint64_t in_stripe = pos % su;
+    const uint64_t take = std::min(su - in_stripe, end - pos);
+    StripeSegment seg;
+    seg.device_index = static_cast<size_t>((stripe + first_device) % n);
+    // Dense packing: each device stores its stripes back-to-back.
+    seg.dev_offset = (stripe / n) * su + in_stripe;
+    seg.file_offset = pos;
+    seg.length = take;
+    // Merge with the previous segment when contiguous on the same device
+    // (happens when a single device holds consecutive stripes, n == 1).
+    if (!out.empty() && out.back().device_index == seg.device_index &&
+        out.back().dev_offset + out.back().length == seg.dev_offset &&
+        out.back().file_offset + out.back().length == seg.file_offset) {
+      out.back().length += take;
+    } else {
+      out.push_back(seg);
+    }
+    pos += take;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<StripeSegment> RoundRobinDriver::map_read(const FileLayout& layout,
+                                                      uint64_t offset,
+                                                      uint64_t length) const {
+  return map_dense(layout, offset, length, 0);
+}
+
+std::vector<StripeSegment> CyclicDriver::map_read(const FileLayout& layout,
+                                                  uint64_t offset,
+                                                  uint64_t length) const {
+  const uint64_t first = layout.params.empty() ? 0 : layout.params[0];
+  return map_dense(layout, offset, length, first);
+}
+
+AggregationRegistry AggregationRegistry::with_standard_drivers() {
+  AggregationRegistry reg;
+  reg.add(std::make_unique<RoundRobinDriver>());
+  reg.add(std::make_unique<CyclicDriver>());
+  return reg;
+}
+
+void AggregationRegistry::add(std::unique_ptr<AggregationDriver> driver) {
+  const AggregationType type = driver->type();
+  drivers_[type] = std::move(driver);
+}
+
+const AggregationDriver* AggregationRegistry::find(AggregationType type) const {
+  const auto it = drivers_.find(type);
+  return it == drivers_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace dpnfs::nfs

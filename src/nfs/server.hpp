@@ -1,0 +1,115 @@
+// NFSv4.1 server: COMPOUND dispatch, sessions, open state, pNFS ops.
+//
+// One NfsServer exports one Backend through the RPC fabric.  The paper's
+// configuration — eight nfsd threads — maps to eight RPC worker coroutines.
+// CPU cost is charged per operation plus per byte moved, which is what makes
+// warm-cache reads CPU-bound at scale (paper §6.2.1).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "nfs/backend.hpp"
+#include "rpc/fabric.hpp"
+
+namespace dpnfs::nfs {
+
+struct ServerConfig {
+  uint32_t worker_threads = 8;        ///< nfsd threads (paper: 8)
+  uint32_t max_session_slots = 64;    ///< CREATE_SESSION grant
+  sim::Duration cpu_per_op = sim::us(12);
+  double cpu_ns_per_byte = 2.2;       ///< copy/checksum cost on data ops
+  bool is_data_server = false;        ///< restricts ops to the pNFS data path
+  /// RPCSEC_GSS stand-in: when non-empty, calls whose principal does not
+  /// end with this suffix are rejected with NFS4ERR_PERM.  Because both
+  /// the control path (MDS) and the data path (data servers) speak NFSv4,
+  /// one credential covers everything — the access-transparency property
+  /// Direct-pNFS inherits (paper §4).
+  std::string required_principal_suffix;
+};
+
+class NfsServer {
+ public:
+  NfsServer(rpc::RpcFabric& fabric, sim::Node& node, uint16_t port,
+            Backend& backend, LayoutSource* layouts = nullptr,
+            ServerConfig config = {});
+
+  void start() { rpc_server_->start(); }
+  void stop() { rpc_server_->stop(); }
+
+  rpc::RpcAddress address() const { return rpc_server_->address(); }
+  sim::Node& node() noexcept { return node_; }
+  const ServerConfig& config() const noexcept { return config_; }
+  uint64_t compounds_served() const noexcept { return compounds_; }
+
+  uint64_t layout_recalls_issued() const noexcept { return recalls_; }
+  uint64_t delegations_granted() const noexcept { return delegations_granted_; }
+  uint64_t delegation_recalls_issued() const noexcept {
+    return delegation_recalls_;
+  }
+
+ private:
+  /// Executes one COMPOUND (the RpcService body).
+  sim::Task<void> serve(const rpc::CallContext& ctx, rpc::XdrDecoder& args,
+                        rpc::XdrEncoder& results);
+
+  /// Per-op dispatch; returns the op status and encodes its result body.
+  /// `session` is the id carried by this compound's SEQUENCE (0 if none).
+  sim::Task<Status> dispatch(OpCode op, const rpc::CallContext& ctx,
+                             rpc::XdrDecoder& args, rpc::XdrEncoder& results,
+                             FileHandle& current_fh, FileHandle& saved_fh,
+                             uint64_t& session);
+
+  bool stateid_ok(const Stateid& sid) const;
+
+  sim::Task<void> charge_cpu(uint64_t data_bytes);
+
+  /// CB_LAYOUTRECALL to every layout holder of `fh` with a backchannel.
+  /// Completes once every holder has acknowledged (and thereby returned
+  /// the layout).
+  sim::Task<void> recall_layouts(FileHandle fh);
+
+  /// CB_RECALL to every delegation holder of `fh`, except `keep_session`
+  /// (the conflicting requester's own delegation survives an upgrade).
+  sim::Task<void> recall_delegations(FileHandle fh, uint64_t keep_session);
+
+  /// Shared recall machinery: sends `proc` to each holder's backchannel.
+  sim::Task<void> send_recalls(FileHandle fh, std::set<uint64_t> holders,
+                               uint32_t proc);
+
+  rpc::RpcFabric& fabric_;
+  sim::Node& node_;
+  Backend& backend_;
+  LayoutSource* layouts_;
+  ServerConfig config_;
+  std::unique_ptr<rpc::RpcServer> rpc_server_;
+  std::unique_ptr<rpc::RpcClient> cb_client_;  ///< backchannel caller
+
+  uint64_t next_client_id_ = 1;
+  uint64_t next_session_id_ = 1;
+  uint64_t next_stateid_ = 1;
+  std::set<uint64_t> sessions_;
+  /// session id -> backchannel address (absent: no backchannel).
+  std::unordered_map<uint64_t, rpc::RpcAddress> backchannels_;
+  /// fh id -> sessions holding a layout for it.
+  std::unordered_map<uint64_t, std::set<uint64_t>> layout_holders_;
+  /// fh id -> sessions holding a read delegation.
+  std::unordered_map<uint64_t, std::set<uint64_t>> delegation_holders_;
+  /// fh id -> number of write-mode opens (delegation-conflict detection).
+  std::unordered_map<uint64_t, uint32_t> write_opens_;
+
+  struct OpenState {
+    FileHandle fh;
+    bool write = false;
+  };
+  std::unordered_map<uint64_t, OpenState> open_states_;  // stateid -> state
+  uint64_t compounds_ = 0;
+  uint64_t recalls_ = 0;
+  uint64_t delegations_granted_ = 0;
+  uint64_t delegation_recalls_ = 0;
+};
+
+}  // namespace dpnfs::nfs

@@ -1,0 +1,61 @@
+#include "nfs/types.hpp"
+
+namespace dpnfs::nfs {
+
+const char* status_name(Status s) {
+  switch (s) {
+    case Status::kOk: return "NFS4_OK";
+    case Status::kPerm: return "NFS4ERR_PERM";
+    case Status::kNoEnt: return "NFS4ERR_NOENT";
+    case Status::kIo: return "NFS4ERR_IO";
+    case Status::kAccess: return "NFS4ERR_ACCESS";
+    case Status::kExist: return "NFS4ERR_EXIST";
+    case Status::kNotDir: return "NFS4ERR_NOTDIR";
+    case Status::kIsDir: return "NFS4ERR_ISDIR";
+    case Status::kInval: return "NFS4ERR_INVAL";
+    case Status::kNoSpc: return "NFS4ERR_NOSPC";
+    case Status::kNotEmpty: return "NFS4ERR_NOTEMPTY";
+    case Status::kStale: return "NFS4ERR_STALE";
+    case Status::kBadHandle: return "NFS4ERR_BADHANDLE";
+    case Status::kNotSupp: return "NFS4ERR_NOTSUPP";
+    case Status::kDelay: return "NFS4ERR_DELAY";
+    case Status::kBadSession: return "NFS4ERR_BADSESSION";
+    case Status::kBadStateid: return "NFS4ERR_BAD_STATEID";
+    case Status::kLayoutUnavailable: return "NFS4ERR_LAYOUTUNAVAILABLE";
+    case Status::kUnknownLayoutType: return "NFS4ERR_UNKNOWN_LAYOUTTYPE";
+  }
+  return "NFS4ERR_?";
+}
+
+const char* opcode_name(OpCode op) {
+  switch (op) {
+    case OpCode::kClose: return "CLOSE";
+    case OpCode::kCommit: return "COMMIT";
+    case OpCode::kCreate: return "CREATE";
+    case OpCode::kGetattr: return "GETATTR";
+    case OpCode::kGetFh: return "GETFH";
+    case OpCode::kLookup: return "LOOKUP";
+    case OpCode::kOpen: return "OPEN";
+    case OpCode::kPutFh: return "PUTFH";
+    case OpCode::kPutRootFh: return "PUTROOTFH";
+    case OpCode::kRead: return "READ";
+    case OpCode::kReaddir: return "READDIR";
+    case OpCode::kRemove: return "REMOVE";
+    case OpCode::kRename: return "RENAME";
+    case OpCode::kRestoreFh: return "RESTOREFH";
+    case OpCode::kSaveFh: return "SAVEFH";
+    case OpCode::kSetattr: return "SETATTR";
+    case OpCode::kWrite: return "WRITE";
+    case OpCode::kExchangeId: return "EXCHANGE_ID";
+    case OpCode::kCreateSession: return "CREATE_SESSION";
+    case OpCode::kGetDeviceInfo: return "GETDEVICEINFO";
+    case OpCode::kGetDeviceList: return "GETDEVICELIST";
+    case OpCode::kLayoutCommit: return "LAYOUTCOMMIT";
+    case OpCode::kLayoutGet: return "LAYOUTGET";
+    case OpCode::kLayoutReturn: return "LAYOUTRETURN";
+    case OpCode::kSequence: return "SEQUENCE";
+  }
+  return "OP_?";
+}
+
+}  // namespace dpnfs::nfs

@@ -1,0 +1,340 @@
+#include "pvfs/client.hpp"
+
+#include <algorithm>
+
+#include "sim/sync.hpp"
+
+namespace dpnfs::pvfs {
+
+using rpc::Payload;
+using rpc::XdrDecoder;
+using rpc::XdrEncoder;
+using sim::Task;
+
+namespace {
+constexpr uint32_t kPvfsVersion = 2;
+}
+
+PvfsClient::PvfsClient(rpc::RpcFabric& fabric, sim::Node& node,
+                       rpc::RpcAddress meta,
+                       std::vector<rpc::RpcAddress> storage,
+                       std::string principal, PvfsClientConfig config)
+    : fabric_(fabric),
+      node_(node),
+      meta_(meta),
+      storage_(std::move(storage)),
+      rpc_(fabric, node, std::move(principal)),
+      config_(config),
+      buffers_(fabric.simulation(), config.buffer_count) {}
+
+PvfsStatus PvfsClient::reply_status(XdrDecoder& dec) {
+  const uint32_t raw = dec.get_u32();
+  return static_cast<PvfsStatus>(raw);
+}
+
+Task<rpc::RpcClient::Reply> PvfsClient::meta_call(MetaProc proc,
+                                                  XdrEncoder args) {
+  ++stats_.meta_requests;
+  co_await node_.cpu().execute(config_.cpu_per_request);
+  if (config_.vfs_meta_latency > 0) {
+    co_await fabric_.simulation().delay(config_.vfs_meta_latency);
+  }
+  co_return co_await rpc_.call(meta_, rpc::Program::kPvfsMeta, kPvfsVersion,
+                               static_cast<uint32_t>(proc), std::move(args));
+}
+
+Task<rpc::RpcClient::Reply> PvfsClient::io_call(uint32_t server_index,
+                                                IoProc proc, XdrEncoder args,
+                                                uint64_t data_bytes) {
+  co_await buffers_.acquire();
+  ++stats_.storage_requests;
+  co_await node_.cpu().execute(
+      config_.cpu_per_request +
+      static_cast<sim::Duration>(config_.cpu_ns_per_byte *
+                                 static_cast<double>(data_bytes)));
+  auto reply = co_await rpc_.call(storage_.at(server_index),
+                                  rpc::Program::kPvfsIo, kPvfsVersion,
+                                  static_cast<uint32_t>(proc), std::move(args));
+  buffers_.release();
+  co_return reply;
+}
+
+// ---------------------------------------------------------------------------
+// Namespace
+// ---------------------------------------------------------------------------
+
+Task<void> PvfsClient::mkdir(const std::string& path) {
+  XdrEncoder args;
+  args.put_string(path);
+  auto reply = co_await meta_call(MetaProc::kMkdir, std::move(args));
+  auto dec = reply.body();
+  const PvfsStatus st = reply_status(dec);
+  if (st != PvfsStatus::kOk) throw PvfsError(st, "mkdir " + path);
+}
+
+Task<void> PvfsClient::remove(const std::string& path) {
+  XdrEncoder args;
+  args.put_string(path);
+  auto reply = co_await meta_call(MetaProc::kRemove, std::move(args));
+  auto dec = reply.body();
+  const PvfsStatus st = reply_status(dec);
+  if (st != PvfsStatus::kOk) throw PvfsError(st, "remove " + path);
+  const FileMeta removed = FileMeta::decode(dec);
+  if (removed.handle == 0) co_return;  // was a directory
+  // Client-driven reaping of storage objects.
+  sim::WaitGroup wg(fabric_.simulation());
+  for (const auto& dfile : removed.dfiles) {
+    wg.spawn([](PvfsClient& self, DfileRef dfile) -> Task<void> {
+      XdrEncoder a;
+      a.put_u64(dfile.object_id);
+      auto r = co_await self.io_call(dfile.server_index, IoProc::kRemove,
+                                     std::move(a), 0);
+      auto d = r.body();
+      (void)reply_status(d);
+    }(*this, dfile));
+  }
+  co_await wg.wait();
+}
+
+Task<void> PvfsClient::rename(const std::string& from, const std::string& to) {
+  XdrEncoder args;
+  args.put_string(from);
+  args.put_string(to);
+  auto reply = co_await meta_call(MetaProc::kRename, std::move(args));
+  auto dec = reply.body();
+  const PvfsStatus st = reply_status(dec);
+  if (st != PvfsStatus::kOk) throw PvfsError(st, "rename " + from);
+}
+
+Task<std::vector<std::pair<std::string, bool>>> PvfsClient::readdir(
+    const std::string& path) {
+  XdrEncoder args;
+  args.put_string(path);
+  auto reply = co_await meta_call(MetaProc::kReaddir, std::move(args));
+  auto dec = reply.body();
+  const PvfsStatus st = reply_status(dec);
+  if (st != PvfsStatus::kOk) throw PvfsError(st, "readdir " + path);
+  const uint32_t n = dec.get_u32();
+  std::vector<std::pair<std::string, bool>> out;
+  out.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string name = dec.get_string();
+    const bool is_dir = dec.get_bool();
+    out.emplace_back(std::move(name), is_dir);
+  }
+  co_return out;
+}
+
+// ---------------------------------------------------------------------------
+// Files
+// ---------------------------------------------------------------------------
+
+Task<PvfsFilePtr> PvfsClient::create(const std::string& path) {
+  XdrEncoder args;
+  args.put_string(path);
+  auto reply = co_await meta_call(MetaProc::kCreate, std::move(args));
+  auto dec = reply.body();
+  const PvfsStatus st = reply_status(dec);
+  if (st != PvfsStatus::kOk) throw PvfsError(st, "create " + path);
+  auto file = std::make_shared<PvfsFile>();
+  file->meta = FileMeta::decode(dec);
+  file->size = 0;
+  // Create the dfile objects on every storage node (PVFS2 allocates the
+  // full distribution eagerly at create time).
+  sim::WaitGroup wg(fabric_.simulation());
+  for (const auto& dfile : file->meta.dfiles) {
+    wg.spawn([](PvfsClient& self, const DfileRef dfile) -> Task<void> {
+      XdrEncoder a;
+      a.put_u64(dfile.object_id);
+      auto r = co_await self.io_call(dfile.server_index, IoProc::kCreate,
+                                     std::move(a), 0);
+      auto d = r.body();
+      (void)reply_status(d);
+    }(*this, dfile));
+  }
+  co_await wg.wait();
+  co_return file;
+}
+
+Task<PvfsFilePtr> PvfsClient::open(const std::string& path) {
+  XdrEncoder args;
+  args.put_string(path);
+  auto reply = co_await meta_call(MetaProc::kLookup, std::move(args));
+  auto dec = reply.body();
+  const PvfsStatus st = reply_status(dec);
+  if (st != PvfsStatus::kOk) throw PvfsError(st, "open " + path);
+  auto file = std::make_shared<PvfsFile>();
+  file->meta = FileMeta::decode(dec);
+  file->size = co_await fetch_size(file);
+  co_return file;
+}
+
+Task<uint64_t> PvfsClient::fetch_size(PvfsFilePtr file) {
+  // PVFS2-style attribute gathering: query every storage node.
+  std::vector<uint64_t> sizes(file->meta.dfiles.size(), 0);
+  sim::WaitGroup wg(fabric_.simulation());
+  for (size_t i = 0; i < file->meta.dfiles.size(); ++i) {
+    wg.spawn([](PvfsClient& self, const DfileRef dfile, uint64_t& out) -> Task<void> {
+      XdrEncoder a;
+      a.put_u64(dfile.object_id);
+      auto r = co_await self.io_call(dfile.server_index, IoProc::kGetSize,
+                                     std::move(a), 0);
+      auto d = r.body();
+      if (reply_status(d) == PvfsStatus::kOk) out = d.get_u64();
+    }(*this, file->meta.dfiles[i], sizes[i]));
+  }
+  co_await wg.wait();
+  file->size = logical_size(file->meta, sizes);
+  co_return file->size;
+}
+
+Task<Payload> PvfsClient::read(PvfsFilePtr file, uint64_t offset,
+                               uint64_t length) {
+  if (offset >= file->size) co_return Payload{};
+  const uint64_t end = std::min(file->size, offset + length);
+  const auto extents = map_stripes(file->meta, offset, end - offset);
+
+  // Split each extent into buffer_size requests; the pool bounds parallelism.
+  struct Piece {
+    uint32_t dfile_index;
+    uint64_t dfile_offset;
+    uint64_t file_offset;
+    uint64_t length;
+    Payload result;
+  };
+  std::vector<Piece> pieces;
+  for (const auto& ext : extents) {
+    uint64_t done = 0;
+    while (done < ext.length) {
+      const uint64_t n = std::min(config_.buffer_size, ext.length - done);
+      pieces.push_back(Piece{ext.dfile_index, ext.dfile_offset + done,
+                             ext.file_offset + done, n, Payload{}});
+      done += n;
+    }
+  }
+
+  sim::WaitGroup wg(fabric_.simulation());
+  bool failed = false;
+  for (auto& piece : pieces) {
+    wg.spawn([](PvfsClient& self, const FileMeta& meta, Piece& piece,
+                bool& failed) -> Task<void> {
+      const DfileRef& dfile = meta.dfiles[piece.dfile_index];
+      XdrEncoder a;
+      a.put_u64(dfile.object_id);
+      a.put_u64(piece.dfile_offset);
+      a.put_u64(piece.length);
+      auto r = co_await self.io_call(dfile.server_index, IoProc::kRead,
+                                     std::move(a), piece.length);
+      auto d = r.body();
+      if (reply_status(d) != PvfsStatus::kOk) {
+        failed = true;
+        co_return;
+      }
+      piece.result = d.get_payload();
+      // Holes in a dfile read as zeros up to the requested length.
+      if (piece.result.size() < piece.length) {
+        const uint64_t missing = piece.length - piece.result.size();
+        if (piece.result.is_inline()) {
+          piece.result.append(Payload::inline_bytes(
+              std::vector<std::byte>(missing, std::byte{0})));
+        } else {
+          piece.result.append(Payload::virtual_bytes(missing));
+        }
+      }
+    }(*this, file->meta, piece, failed));
+  }
+  co_await wg.wait();
+  if (failed) throw PvfsError(PvfsStatus::kIo, "read");
+
+  Payload out;
+  for (auto& piece : pieces) out.append(piece.result);
+  stats_.bytes_read += out.size();
+  co_return out;
+}
+
+Task<void> PvfsClient::write(PvfsFilePtr file, uint64_t offset, Payload data) {
+  const uint64_t len = data.size();
+  const auto extents = map_stripes(file->meta, offset, len);
+
+  sim::WaitGroup wg(fabric_.simulation());
+  bool failed = false;
+  for (const auto& ext : extents) {
+    uint64_t done = 0;
+    while (done < ext.length) {
+      const uint64_t n = std::min(config_.buffer_size, ext.length - done);
+      Payload piece = data.slice(ext.file_offset - offset + done, n);
+      wg.spawn([](PvfsClient& self, const FileMeta& meta, uint32_t dfile_index,
+                  uint64_t dfile_offset, Payload piece, bool& failed) -> Task<void> {
+        const DfileRef& dfile = meta.dfiles[dfile_index];
+        XdrEncoder a;
+        a.put_u64(dfile.object_id);
+        a.put_u64(dfile_offset);
+        const uint64_t bytes = piece.size();
+        a.put_payload(piece);
+        auto r = co_await self.io_call(dfile.server_index, IoProc::kWrite,
+                                       std::move(a), bytes);
+        auto d = r.body();
+        if (reply_status(d) != PvfsStatus::kOk) failed = true;
+      }(*this, file->meta, ext.dfile_index, ext.dfile_offset + done,
+        std::move(piece), failed));
+      done += n;
+    }
+  }
+  co_await wg.wait();
+  if (failed) throw PvfsError(PvfsStatus::kIo, "write");
+  file->size = std::max(file->size, offset + len);
+  stats_.bytes_written += len;
+}
+
+Task<void> PvfsClient::fsync(PvfsFilePtr file) {
+  sim::WaitGroup wg(fabric_.simulation());
+  for (const auto& dfile : file->meta.dfiles) {
+    wg.spawn([](PvfsClient& self, const DfileRef dfile) -> Task<void> {
+      XdrEncoder a;
+      a.put_u64(dfile.object_id);
+      auto r = co_await self.io_call(dfile.server_index, IoProc::kCommit,
+                                     std::move(a), 0);
+      auto d = r.body();
+      (void)reply_status(d);
+    }(*this, dfile));
+  }
+  co_await wg.wait();
+}
+
+Task<void> PvfsClient::close(PvfsFilePtr file) { co_await fsync(file); }
+
+Task<void> PvfsClient::truncate(PvfsFilePtr file, uint64_t size) {
+  // Dense striping: dfile i keeps ceil((stripes fully before size) ...).
+  // Compute per-dfile target sizes by walking the boundary stripe.
+  const uint64_t su = file->meta.stripe_unit;
+  const uint64_t n = file->meta.dfiles.size();
+  sim::WaitGroup wg(fabric_.simulation());
+  for (uint64_t i = 0; i < n; ++i) {
+    // Bytes of dfile i that lie below `size` under dense round-robin.
+    uint64_t dsize = 0;
+    if (size > 0) {
+      const uint64_t full_stripes = size / su;
+      const uint64_t rem = size % su;
+      dsize = (full_stripes / n) * su;
+      const uint64_t boundary = full_stripes % n;
+      if (i < boundary) {
+        dsize += su;
+      } else if (i == boundary) {
+        dsize += rem;
+      }
+    }
+    wg.spawn([](PvfsClient& self, const DfileRef dfile, uint64_t dsize) -> Task<void> {
+      XdrEncoder a;
+      a.put_u64(dfile.object_id);
+      a.put_u64(dsize);
+      auto r = co_await self.io_call(dfile.server_index, IoProc::kTruncate,
+                                     std::move(a), 0);
+      auto d = r.body();
+      (void)reply_status(d);
+    }(*this, file->meta.dfiles[i], dsize));
+  }
+  co_await wg.wait();
+  file->size = size;
+}
+
+}  // namespace dpnfs::pvfs

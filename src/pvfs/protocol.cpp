@@ -1,0 +1,67 @@
+#include "pvfs/protocol.hpp"
+
+#include <algorithm>
+
+namespace dpnfs::pvfs {
+
+const char* pvfs_status_name(PvfsStatus s) {
+  switch (s) {
+    case PvfsStatus::kOk: return "PVFS_OK";
+    case PvfsStatus::kNoEnt: return "PVFS_ENOENT";
+    case PvfsStatus::kIo: return "PVFS_EIO";
+    case PvfsStatus::kExist: return "PVFS_EEXIST";
+    case PvfsStatus::kNotDir: return "PVFS_ENOTDIR";
+    case PvfsStatus::kIsDir: return "PVFS_EISDIR";
+    case PvfsStatus::kInval: return "PVFS_EINVAL";
+    case PvfsStatus::kNotEmpty: return "PVFS_ENOTEMPTY";
+  }
+  return "PVFS_E?";
+}
+
+std::vector<StripeExtent> map_stripes(const FileMeta& meta, uint64_t offset,
+                                      uint64_t length) {
+  std::vector<StripeExtent> out;
+  if (meta.dfiles.empty() || meta.stripe_unit == 0) {
+    throw PvfsError(PvfsStatus::kInval, "map_stripes: bad distribution");
+  }
+  const uint64_t su = meta.stripe_unit;
+  const uint64_t n = meta.dfiles.size();
+  uint64_t pos = offset;
+  const uint64_t end = offset + length;
+  while (pos < end) {
+    const uint64_t stripe = pos / su;
+    const uint64_t in_stripe = pos % su;
+    const uint64_t take = std::min(su - in_stripe, end - pos);
+    StripeExtent ext;
+    ext.dfile_index = static_cast<uint32_t>(stripe % n);
+    ext.dfile_offset = (stripe / n) * su + in_stripe;
+    ext.file_offset = pos;
+    ext.length = take;
+    if (!out.empty() && out.back().dfile_index == ext.dfile_index &&
+        out.back().dfile_offset + out.back().length == ext.dfile_offset) {
+      out.back().length += take;
+    } else {
+      out.push_back(ext);
+    }
+    pos += take;
+  }
+  return out;
+}
+
+uint64_t logical_size(const FileMeta& meta,
+                      const std::vector<uint64_t>& dfile_sizes) {
+  const uint64_t su = meta.stripe_unit;
+  const uint64_t n = meta.dfiles.size();
+  uint64_t logical = 0;
+  for (uint64_t i = 0; i < dfile_sizes.size() && i < n; ++i) {
+    const uint64_t s = dfile_sizes[i];
+    if (s == 0) continue;
+    const uint64_t last = s - 1;                       // last byte in dfile i
+    const uint64_t dev_stripe = last / su;             // stripe within dfile
+    const uint64_t global_stripe = dev_stripe * n + i; // stripe in the file
+    logical = std::max(logical, global_stripe * su + (last % su) + 1);
+  }
+  return logical;
+}
+
+}  // namespace dpnfs::pvfs

@@ -1,0 +1,120 @@
+// PVFS2-like parallel file system wire protocol.
+//
+// Faithful to the architecture the paper exports: a metadata server owning
+// the namespace and distribution metadata, and storage daemons owning dfile
+// (data file) objects.  Like PVFS2, file *size* is not stored at the
+// metadata server — clients gather dfile sizes from the storage nodes and
+// reconstruct the logical size (the metadata-decentralization property
+// §6.4.3 contrasts with NFSv4's central server).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "rpc/xdr.hpp"
+
+namespace dpnfs::pvfs {
+
+enum class PvfsStatus : uint32_t {
+  kOk = 0,
+  kNoEnt = 2,
+  kIo = 5,
+  kExist = 17,
+  kNotDir = 20,
+  kIsDir = 21,
+  kInval = 22,
+  kNotEmpty = 39,
+};
+
+const char* pvfs_status_name(PvfsStatus s);
+
+class PvfsError : public std::runtime_error {
+ public:
+  PvfsError(PvfsStatus status, const std::string& context)
+      : std::runtime_error(context + ": " + pvfs_status_name(status)),
+        status_(status) {}
+  PvfsStatus status() const noexcept { return status_; }
+
+ private:
+  PvfsStatus status_;
+};
+
+/// Metadata-server procedures.
+enum class MetaProc : uint32_t {
+  kMkdir = 1,
+  kCreate = 2,
+  kLookup = 3,
+  kRemove = 4,
+  kRename = 5,
+  kReaddir = 6,
+};
+
+/// Storage-daemon (I/O) procedures.
+enum class IoProc : uint32_t {
+  kRead = 1,
+  kWrite = 2,
+  kCommit = 3,
+  kGetSize = 4,
+  kRemove = 5,
+  kTruncate = 6,
+  kCreate = 7,
+};
+
+/// One data file (dfile): the portion of a file stored on one storage node.
+struct DfileRef {
+  uint32_t server_index = 0;  ///< index into the file system's storage list
+  uint64_t object_id = 0;     ///< object in that node's store
+
+  bool operator==(const DfileRef&) const = default;
+
+  void encode(rpc::XdrEncoder& enc) const {
+    enc.put_u32(server_index);
+    enc.put_u64(object_id);
+  }
+  static DfileRef decode(rpc::XdrDecoder& dec) {
+    DfileRef d;
+    d.server_index = dec.get_u32();
+    d.object_id = dec.get_u64();
+    return d;
+  }
+};
+
+/// Distribution + dfile metadata for one regular file.
+struct FileMeta {
+  uint64_t handle = 0;
+  uint64_t stripe_unit = 0;
+  std::vector<DfileRef> dfiles;
+
+  void encode(rpc::XdrEncoder& enc) const {
+    enc.put_u64(handle);
+    enc.put_u64(stripe_unit);
+    enc.put_array(dfiles);
+  }
+  static FileMeta decode(rpc::XdrDecoder& dec) {
+    FileMeta m;
+    m.handle = dec.get_u64();
+    m.stripe_unit = dec.get_u64();
+    m.dfiles = dec.get_array<DfileRef>();
+    return m;
+  }
+};
+
+/// Maps a logical byte range onto dfiles (dense round-robin, the PVFS2
+/// "simple stripe" distribution).
+struct StripeExtent {
+  uint32_t dfile_index = 0;
+  uint64_t dfile_offset = 0;
+  uint64_t file_offset = 0;
+  uint64_t length = 0;
+};
+
+std::vector<StripeExtent> map_stripes(const FileMeta& meta, uint64_t offset,
+                                      uint64_t length);
+
+/// Logical file size implied by per-dfile sizes under dense striping.
+uint64_t logical_size(const FileMeta& meta,
+                      const std::vector<uint64_t>& dfile_sizes);
+
+}  // namespace dpnfs::pvfs

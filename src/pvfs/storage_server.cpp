@@ -1,0 +1,105 @@
+#include "pvfs/storage_server.hpp"
+
+namespace dpnfs::pvfs {
+
+using rpc::XdrDecoder;
+using rpc::XdrEncoder;
+using sim::Task;
+
+namespace {
+/// Disk region for the daemon's synchronous journal/metadata updates.
+constexpr uint64_t kJournalPosition = 1ull << 50;
+}  // namespace
+
+PvfsStorageServer::PvfsStorageServer(rpc::RpcFabric& fabric, sim::Node& node,
+                                     uint16_t port, lfs::ObjectStore& store,
+                                     StorageServerConfig config)
+    : node_(node), store_(store), config_(config) {
+  rpc_server_ = std::make_unique<rpc::RpcServer>(
+      fabric, node, port, config.buffers,
+      [this](const rpc::CallContext& ctx, XdrDecoder& args,
+             XdrEncoder& results) -> Task<void> {
+        return serve(ctx, args, results);
+      });
+}
+
+Task<void> PvfsStorageServer::serve(const rpc::CallContext& ctx,
+                                    XdrDecoder& args, XdrEncoder& results) {
+  const auto proc = static_cast<IoProc>(ctx.header.proc);
+  switch (proc) {
+    case IoProc::kRead: {
+      const uint64_t oid = args.get_u64();
+      const uint64_t offset = args.get_u64();
+      const uint64_t length = args.get_u64();
+      co_await node_.cpu().execute(
+          config_.cpu_per_request +
+          static_cast<sim::Duration>(config_.cpu_ns_per_byte *
+                                     static_cast<double>(length)));
+      results.put_u32(static_cast<uint32_t>(PvfsStatus::kOk));
+      if (!store_.exists(oid)) {
+        results.put_payload(rpc::Payload{});
+      } else {
+        rpc::Payload data = co_await store_.read(oid, offset, length);
+        results.put_payload(data);
+      }
+      co_return;
+    }
+    case IoProc::kWrite: {
+      const uint64_t oid = args.get_u64();
+      const uint64_t offset = args.get_u64();
+      rpc::Payload data = args.get_payload();
+      co_await node_.cpu().execute(
+          config_.cpu_per_request +
+          static_cast<sim::Duration>(config_.cpu_ns_per_byte *
+                                     static_cast<double>(data.size())));
+      co_await store_.write(oid, offset, std::move(data), /*stable=*/false);
+      results.put_u32(static_cast<uint32_t>(PvfsStatus::kOk));
+      co_return;
+    }
+    case IoProc::kCommit: {
+      const uint64_t oid = args.get_u64();
+      co_await node_.cpu().execute(config_.cpu_per_request);
+      co_await store_.commit(oid);
+      // The daemon's bstream fdatasync touches the disk even when the
+      // object is clean (journal/metadata update).
+      co_await node_.disk().io(kJournalPosition, 4096);
+      results.put_u32(static_cast<uint32_t>(PvfsStatus::kOk));
+      co_return;
+    }
+    case IoProc::kGetSize: {
+      const uint64_t oid = args.get_u64();
+      co_await node_.cpu().execute(config_.cpu_per_request);
+      results.put_u32(static_cast<uint32_t>(PvfsStatus::kOk));
+      results.put_u64(store_.exists(oid) ? store_.size(oid) : 0);
+      co_return;
+    }
+    case IoProc::kRemove: {
+      const uint64_t oid = args.get_u64();
+      co_await node_.cpu().execute(config_.cpu_per_request);
+      if (store_.exists(oid)) store_.remove(oid);
+      results.put_u32(static_cast<uint32_t>(PvfsStatus::kOk));
+      co_return;
+    }
+    case IoProc::kCreate: {
+      const uint64_t oid = args.get_u64();
+      co_await node_.cpu().execute(config_.cpu_per_request);
+      if (!store_.exists(oid)) store_.create(oid);
+      // Creating a dfile is a synchronous metadata update on the daemon.
+      co_await node_.disk().io(kJournalPosition, 4096);
+      results.put_u32(static_cast<uint32_t>(PvfsStatus::kOk));
+      co_return;
+    }
+    case IoProc::kTruncate: {
+      const uint64_t oid = args.get_u64();
+      const uint64_t size = args.get_u64();
+      co_await node_.cpu().execute(config_.cpu_per_request);
+      if (!store_.exists(oid)) store_.create(oid);
+      store_.truncate(oid, size);
+      results.put_u32(static_cast<uint32_t>(PvfsStatus::kOk));
+      co_return;
+    }
+  }
+  results.put_u32(static_cast<uint32_t>(PvfsStatus::kInval));
+}
+
+}  // namespace dpnfs::pvfs

@@ -1,0 +1,49 @@
+// PVFS2-like storage daemon.
+//
+// A thin RPC service over the node's ObjectStore.  Two PVFS2 traits the
+// paper leans on are modeled explicitly:
+//   * substantial fixed per-request overhead (user-level daemon, kernel
+//     buffer crossings) — a CPU charge on every request;
+//   * a fixed transfer-buffer pool between kernel and daemon — the RPC
+//     worker count bounds request parallelism.
+//
+// Writes are buffered in the store (memory) and reach the disk on COMMIT —
+// PVFS2's "send to stable storage only when necessary or on fsync".
+#pragma once
+
+#include <memory>
+
+#include "lfs/object_store.hpp"
+#include "rpc/fabric.hpp"
+
+#include "pvfs/protocol.hpp"
+
+namespace dpnfs::pvfs {
+
+struct StorageServerConfig {
+  uint32_t buffers = 8;                     ///< bounded transfer-buffer pool
+  sim::Duration cpu_per_request = sim::us(450);
+  double cpu_ns_per_byte = 2.2;
+};
+
+class PvfsStorageServer {
+ public:
+  PvfsStorageServer(rpc::RpcFabric& fabric, sim::Node& node, uint16_t port,
+                    lfs::ObjectStore& store, StorageServerConfig config = {});
+
+  void start() { rpc_server_->start(); }
+  void stop() { rpc_server_->stop(); }
+  rpc::RpcAddress address() const { return rpc_server_->address(); }
+  lfs::ObjectStore& store() noexcept { return store_; }
+
+ private:
+  sim::Task<void> serve(const rpc::CallContext& ctx, rpc::XdrDecoder& args,
+                        rpc::XdrEncoder& results);
+
+  sim::Node& node_;
+  lfs::ObjectStore& store_;
+  StorageServerConfig config_;
+  std::unique_ptr<rpc::RpcServer> rpc_server_;
+};
+
+}  // namespace dpnfs::pvfs

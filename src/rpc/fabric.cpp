@@ -1,0 +1,128 @@
+#include "rpc/fabric.hpp"
+
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace dpnfs::rpc {
+
+using sim::Task;
+
+void RpcFabric::bind(RpcAddress addr, RpcServer* server) {
+  const auto [it, inserted] = servers_.emplace(addr, server);
+  (void)it;
+  if (!inserted) throw std::logic_error("RPC address already bound");
+}
+
+void RpcFabric::unbind(RpcAddress addr) { servers_.erase(addr); }
+
+Task<WireBuffer> RpcFabric::call(sim::Node& from, RpcAddress to,
+                                 WireBuffer request) {
+  const auto it = servers_.find(to);
+  if (it == servers_.end()) throw std::logic_error("RPC call to unbound address");
+  RpcServer* server = it->second;
+
+  co_await net_.transfer(from, server->node(), request.wire_size + overhead_);
+
+  sim::Oneshot<WireBuffer> reply(net_.simulation());
+  server->queue_.push(RpcServer::Pending{std::move(request), from.id(), &reply});
+  co_return co_await reply.take();
+}
+
+RpcServer::RpcServer(RpcFabric& fabric, sim::Node& node, uint16_t port,
+                     uint32_t worker_count, RpcService service)
+    : fabric_(fabric),
+      node_(node),
+      port_(port),
+      worker_count_(worker_count),
+      service_(std::move(service)),
+      queue_(fabric.simulation()),
+      workers_done_(fabric.simulation()) {
+  fabric_.bind(address(), this);
+}
+
+RpcServer::~RpcServer() { fabric_.unbind(address()); }
+
+void RpcServer::start() {
+  if (started_) return;
+  started_ = true;
+  for (uint32_t i = 0; i < worker_count_; ++i) workers_done_.spawn(worker());
+}
+
+void RpcServer::stop() { queue_.close(); }
+
+Task<void> RpcServer::worker() {
+  while (true) {
+    auto pending = co_await queue_.recv();
+    if (!pending) break;
+
+    XdrDecoder dec(pending->request.bytes);
+    XdrEncoder enc;
+    CallHeader header;
+    try {
+      header = CallHeader::decode(dec);
+    } catch (const XdrError&) {
+      // Unparseable call: no xid to echo; drop it (a real server would
+      // sever the connection).
+      util::logf(util::LogLevel::kWarn, "rpc.server",
+                 fabric_.simulation().now(), "dropping unparseable call");
+      continue;
+    }
+
+    ReplyHeader reply_header{header.xid, ReplyStatus::kAccepted};
+    XdrEncoder body;
+    try {
+      CallContext ctx{header, pending->client_node};
+      co_await service_(ctx, dec, body);
+    } catch (const XdrError& e) {
+      util::logf(util::LogLevel::kWarn, "rpc.server",
+                 fabric_.simulation().now(), "garbage args: %s", e.what());
+      reply_header.status = ReplyStatus::kGarbageArgs;
+      body = XdrEncoder{};
+    } catch (const std::exception& e) {
+      util::logf(util::LogLevel::kError, "rpc.server",
+                 fabric_.simulation().now(), "service error: %s", e.what());
+      reply_header.status = ReplyStatus::kSystemErr;
+      body = XdrEncoder{};
+    }
+
+    reply_header.encode(enc);
+    const uint64_t body_virtual = body.wire_size() - body.encoded_size();
+    const std::vector<std::byte> body_bytes = std::move(body).take();
+    enc.put_opaque_fixed(body_bytes);  // already 4-aligned: offsets preserved
+    const uint64_t reply_wire_size = enc.wire_size() + body_virtual;
+    WireBuffer reply{std::move(enc).take(), reply_wire_size};
+    ++requests_served_;
+
+    co_await fabric_.network().transfer(
+        node_, fabric_.network().node(pending->client_node),
+        reply.wire_size + fabric_.per_message_overhead());
+    pending->reply->set(std::move(reply));
+  }
+}
+
+Task<RpcClient::Reply> RpcClient::call(RpcAddress to, Program prog,
+                                       uint32_t vers, uint32_t proc,
+                                       XdrEncoder args) {
+  XdrEncoder enc;
+  CallHeader header{next_xid_++, static_cast<uint32_t>(prog), vers, proc,
+                    principal_};
+  header.encode(enc);
+  const uint64_t args_virtual = args.wire_size() - args.encoded_size();
+  enc.put_opaque_fixed(std::move(args).take());
+
+  WireBuffer request{std::move(enc).take(), 0};
+  request.wire_size = request.bytes.size() + args_virtual;
+
+  WireBuffer raw = co_await fabric_.call(node_, to, std::move(request));
+
+  Reply reply;
+  reply.buffer = std::move(raw.bytes);
+  XdrDecoder dec(reply.buffer);
+  const ReplyHeader rh = ReplyHeader::decode(dec);
+  reply.status = rh.status;
+  reply.body_offset = reply.buffer.size() - dec.remaining();
+  co_return reply;
+}
+
+}  // namespace dpnfs::rpc

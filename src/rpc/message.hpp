@@ -1,0 +1,94 @@
+// ONC-RPC style message framing (simplified RFC 5531).
+//
+// Calls carry (xid, program, version, procedure, principal); replies carry
+// (xid, status).  The principal string stands in for RPCSEC_GSS credentials:
+// it crosses the wire with every call and servers evaluate it, preserving
+// the paper's "NFSv4.1 security on the control and data paths" property
+// without a Kerberos substrate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rpc/xdr.hpp"
+
+namespace dpnfs::rpc {
+
+/// Program numbers for the protocols in this reproduction.
+enum class Program : uint32_t {
+  kNfs = 100003,        ///< NFSv4 / NFSv4.1 (incl. pNFS ops)
+  kPvfsMeta = 400100,   ///< PVFS2-like metadata protocol
+  kPvfsIo = 400101,     ///< PVFS2-like storage/IO protocol
+  kPvfsMgmt = 400102,   ///< PVFS2-like management protocol
+};
+
+struct CallHeader {
+  uint32_t xid = 0;
+  uint32_t prog = 0;
+  uint32_t vers = 0;
+  uint32_t proc = 0;
+  std::string principal;
+
+  void encode(XdrEncoder& enc) const {
+    enc.put_u32(xid);
+    enc.put_u32(prog);
+    enc.put_u32(vers);
+    enc.put_u32(proc);
+    enc.put_string(principal);
+  }
+  static CallHeader decode(XdrDecoder& dec) {
+    CallHeader h;
+    h.xid = dec.get_u32();
+    h.prog = dec.get_u32();
+    h.vers = dec.get_u32();
+    h.proc = dec.get_u32();
+    h.principal = dec.get_string();
+    return h;
+  }
+};
+
+enum class ReplyStatus : uint32_t {
+  kAccepted = 0,
+  kProgUnavail = 1,
+  kProcUnavail = 2,
+  kGarbageArgs = 3,
+  kSystemErr = 4,
+  kAuthError = 5,
+};
+
+struct ReplyHeader {
+  uint32_t xid = 0;
+  ReplyStatus status = ReplyStatus::kAccepted;
+
+  void encode(XdrEncoder& enc) const {
+    enc.put_u32(xid);
+    enc.put_u32(static_cast<uint32_t>(status));
+  }
+  static ReplyHeader decode(XdrDecoder& dec) {
+    ReplyHeader h;
+    h.xid = dec.get_u32();
+    const uint32_t s = dec.get_u32();
+    if (s > static_cast<uint32_t>(ReplyStatus::kAuthError)) {
+      throw XdrError("bad reply status");
+    }
+    h.status = static_cast<ReplyStatus>(s);
+    return h;
+  }
+};
+
+/// A framed message: materialized header/metadata bytes plus the total
+/// on-the-wire size (which includes virtual bulk-data bytes).
+struct WireBuffer {
+  std::vector<std::byte> bytes;
+  uint64_t wire_size = 0;
+
+  static WireBuffer from_encoder(XdrEncoder&& enc) {
+    WireBuffer w;
+    w.wire_size = enc.wire_size();
+    w.bytes = std::move(enc).take();
+    return w;
+  }
+};
+
+}  // namespace dpnfs::rpc

@@ -1,0 +1,91 @@
+// Bulk-data representation for the simulated data path.
+//
+// A Payload is a run of file bytes.  Tests and small-I/O paths carry the
+// bytes inline, so end-to-end data integrity is checked through every layer
+// (client cache -> XDR -> wire -> server -> object store and back).  Large
+// benchmarks use *virtual* payloads: the byte count is preserved (and billed
+// to NICs and disks) but no buffer is allocated.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string_view>
+#include <vector>
+
+namespace dpnfs::rpc {
+
+class Payload {
+ public:
+  Payload() = default;
+
+  /// Virtual payload: `bytes` of unmaterialized data.
+  static Payload virtual_bytes(uint64_t bytes) {
+    Payload p;
+    p.size_ = bytes;
+    return p;
+  }
+
+  /// Inline payload holding real content.
+  static Payload inline_bytes(std::vector<std::byte> data) {
+    Payload p;
+    p.size_ = data.size();
+    p.data_ = std::move(data);
+    p.inline_ = true;
+    return p;
+  }
+
+  static Payload from_string(std::string_view s) {
+    std::vector<std::byte> v(s.size());
+    for (size_t i = 0; i < s.size(); ++i) v[i] = static_cast<std::byte>(s[i]);
+    return inline_bytes(std::move(v));
+  }
+
+  uint64_t size() const noexcept { return size_; }
+  bool is_inline() const noexcept { return inline_; }
+  std::span<const std::byte> data() const noexcept { return data_; }
+
+  /// Sub-range [offset, offset+len).  Virtual payloads slice virtually.
+  Payload slice(uint64_t offset, uint64_t len) const {
+    if (offset > size_ || offset + len > size_) {
+      throw std::out_of_range("Payload::slice out of range");
+    }
+    if (!inline_) return virtual_bytes(len);
+    std::vector<std::byte> out(
+        data_.begin() + static_cast<ptrdiff_t>(offset),
+        data_.begin() + static_cast<ptrdiff_t>(offset + len));
+    return inline_bytes(std::move(out));
+  }
+
+  /// Concatenates `other` after this payload.  Mixing inline and virtual
+  /// degrades to virtual (content cannot be trusted past a virtual gap).
+  /// Appending to an empty payload adopts `other` wholesale.
+  void append(const Payload& other) {
+    if (size_ == 0) {
+      *this = other;
+      return;
+    }
+    if (other.size_ == 0) return;
+    if (inline_ && other.inline_) {
+      data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+      size_ += other.size_;
+      return;
+    }
+    size_ += other.size_;
+    inline_ = false;
+    data_.clear();
+  }
+
+  bool operator==(const Payload& other) const noexcept {
+    if (size_ != other.size_ || inline_ != other.inline_) return false;
+    return !inline_ || data_ == other.data_;
+  }
+
+ private:
+  uint64_t size_ = 0;
+  bool inline_ = false;
+  std::vector<std::byte> data_;
+};
+
+}  // namespace dpnfs::rpc

@@ -1,0 +1,114 @@
+#include "rpc/xdr.hpp"
+
+namespace dpnfs::rpc {
+
+void XdrEncoder::put_u32(uint32_t v) {
+  buf_.push_back(static_cast<std::byte>((v >> 24) & 0xFF));
+  buf_.push_back(static_cast<std::byte>((v >> 16) & 0xFF));
+  buf_.push_back(static_cast<std::byte>((v >> 8) & 0xFF));
+  buf_.push_back(static_cast<std::byte>(v & 0xFF));
+}
+
+void XdrEncoder::put_u64(uint64_t v) {
+  put_u32(static_cast<uint32_t>(v >> 32));
+  put_u32(static_cast<uint32_t>(v & 0xFFFFFFFFu));
+}
+
+void XdrEncoder::patch_u32(size_t pos, uint32_t v) {
+  if (pos + 4 > buf_.size()) throw XdrError("patch_u32 out of range");
+  buf_[pos] = static_cast<std::byte>((v >> 24) & 0xFF);
+  buf_[pos + 1] = static_cast<std::byte>((v >> 16) & 0xFF);
+  buf_[pos + 2] = static_cast<std::byte>((v >> 8) & 0xFF);
+  buf_[pos + 3] = static_cast<std::byte>(v & 0xFF);
+}
+
+void XdrEncoder::pad() {
+  while (buf_.size() % 4 != 0) buf_.push_back(std::byte{0});
+}
+
+void XdrEncoder::put_opaque_fixed(std::span<const std::byte> data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+  pad();
+}
+
+void XdrEncoder::put_opaque_var(std::span<const std::byte> data) {
+  put_u32(static_cast<uint32_t>(data.size()));
+  put_opaque_fixed(data);
+}
+
+void XdrEncoder::put_string(std::string_view s) {
+  put_u32(static_cast<uint32_t>(s.size()));
+  for (char c : s) buf_.push_back(static_cast<std::byte>(c));
+  pad();
+}
+
+void XdrEncoder::put_payload(const Payload& p) {
+  put_bool(p.is_inline());
+  if (p.is_inline()) {
+    put_opaque_var(p.data());
+  } else {
+    put_u64(p.size());
+    virtual_bytes_ += p.size();
+  }
+}
+
+uint32_t XdrDecoder::get_u32() {
+  need(4);
+  uint32_t v = (static_cast<uint32_t>(data_[pos_]) << 24) |
+               (static_cast<uint32_t>(data_[pos_ + 1]) << 16) |
+               (static_cast<uint32_t>(data_[pos_ + 2]) << 8) |
+               static_cast<uint32_t>(data_[pos_ + 3]);
+  pos_ += 4;
+  return v;
+}
+
+uint64_t XdrDecoder::get_u64() {
+  const uint64_t hi = get_u32();
+  const uint64_t lo = get_u32();
+  return (hi << 32) | lo;
+}
+
+bool XdrDecoder::get_bool() {
+  const uint32_t v = get_u32();
+  if (v > 1) throw XdrError("bool out of range");
+  return v != 0;
+}
+
+void XdrDecoder::skip_pad() {
+  while (pos_ % 4 != 0) {
+    need(1);
+    if (data_[pos_] != std::byte{0}) throw XdrError("nonzero padding");
+    ++pos_;
+  }
+}
+
+std::vector<std::byte> XdrDecoder::get_opaque_fixed(size_t len) {
+  need(len);
+  std::vector<std::byte> out(data_.begin() + static_cast<ptrdiff_t>(pos_),
+                             data_.begin() + static_cast<ptrdiff_t>(pos_ + len));
+  pos_ += len;
+  skip_pad();
+  return out;
+}
+
+std::vector<std::byte> XdrDecoder::get_opaque_var() {
+  const uint32_t len = get_u32();
+  if (len > data_.size()) throw XdrError("opaque length exceeds buffer");
+  return get_opaque_fixed(len);
+}
+
+std::string XdrDecoder::get_string() {
+  const auto bytes = get_opaque_var();
+  std::string s;
+  s.reserve(bytes.size());
+  for (std::byte b : bytes) s.push_back(static_cast<char>(b));
+  return s;
+}
+
+Payload XdrDecoder::get_payload() {
+  const bool is_inline = get_bool();
+  if (is_inline) return Payload::inline_bytes(get_opaque_var());
+  return Payload::virtual_bytes(get_u64());
+}
+
+}  // namespace dpnfs::rpc

@@ -1,0 +1,50 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+
+namespace dpnfs::sim {
+
+Task<void> Network::transfer(Node& src, Node& dst, uint64_t bytes) {
+  if (&src == &dst) {
+    // Local delivery: no NIC involvement, just memory-bandwidth cost.
+    co_await sim_.delay(duration_for_bytes(bytes, params_.loopback_bytes_per_sec));
+    co_return;
+  }
+
+  Nic& s = src.nic();
+  Nic& d = dst.nic();
+  s.account_tx(bytes);
+  d.account_rx(bytes);
+  co_await sim_.delay(s.params().latency);
+
+  // The window keeps at most `flow_window_chunks` chunks between the two
+  // NICs, so a fast sender cannot run arbitrarily far ahead of a congested
+  // receiver (coarse TCP flow control).
+  Semaphore window(sim_, params_.flow_window_chunks);
+  WaitGroup received(sim_);
+
+  uint64_t remaining = std::max<uint64_t>(bytes, 1);  // header-only msgs move >=1 byte
+  while (remaining > 0) {
+    const uint64_t chunk = std::min<uint64_t>(params_.chunk_bytes, remaining);
+    remaining -= chunk;
+
+    co_await window.acquire();
+    co_await s.tx().acquire();
+    co_await sim_.delay(duration_for_bytes(chunk, s.params().bytes_per_sec));
+    s.tx().release();
+
+    // Receive legs queue FIFO on the destination NIC, overlapping with the
+    // transmission of subsequent chunks.
+    received.spawn(rx_leg(d, chunk, window));
+  }
+  co_await received.wait();
+}
+
+Task<void> Network::rx_leg(Nic& dst, uint64_t chunk, Semaphore& window) {
+  co_await dst.rx().acquire();
+  co_await sim_.delay(duration_for_bytes(chunk, dst.params().bytes_per_sec));
+  dst.rx().release();
+  window.release();
+}
+
+}  // namespace dpnfs::sim

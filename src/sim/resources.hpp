@@ -1,0 +1,106 @@
+// Physical resource models: NIC, disk, CPU.
+//
+// These are deliberately simple queueing models — the reproduction needs the
+// *bottleneck structure* of the paper's testbed (which resource saturates
+// under which architecture), not cycle accuracy.  See DESIGN.md §5.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace dpnfs::sim {
+
+/// Full-duplex network interface.  Each direction is an exclusive resource
+/// occupied chunk-by-chunk, so concurrent flows share bandwidth fairly at
+/// chunk granularity.
+struct NicParams {
+  double bytes_per_sec = 117e6;  ///< effective GbE w/ jumbo frames
+  Duration latency = us(60);     ///< one-way propagation + stack latency
+};
+
+class Nic {
+ public:
+  Nic(Simulation& sim, const NicParams& params)
+      : params_(params), tx_(sim, 1), rx_(sim, 1) {}
+
+  const NicParams& params() const noexcept { return params_; }
+  Semaphore& tx() noexcept { return tx_; }
+  Semaphore& rx() noexcept { return rx_; }
+
+  void account_tx(uint64_t bytes) noexcept { tx_bytes_ += bytes; }
+  void account_rx(uint64_t bytes) noexcept { rx_bytes_ += bytes; }
+  uint64_t tx_bytes() const noexcept { return tx_bytes_; }
+  uint64_t rx_bytes() const noexcept { return rx_bytes_; }
+
+ private:
+  NicParams params_;
+  Semaphore tx_;
+  Semaphore rx_;
+  uint64_t tx_bytes_ = 0;
+  uint64_t rx_bytes_ = 0;
+};
+
+/// Single-arm disk with sequential-transfer bandwidth, a positioning cost for
+/// non-contiguous access, and a fixed per-request overhead.
+struct DiskParams {
+  double bytes_per_sec = 44e6;       ///< sequential media rate
+  Duration positioning = ms(8);      ///< seek + rotational on discontiguity
+  Duration per_request = us(150);    ///< controller/command overhead
+};
+
+class Disk {
+ public:
+  Disk(Simulation& sim, const DiskParams& params)
+      : sim_(sim), params_(params), arm_(sim, 1) {}
+
+  const DiskParams& params() const noexcept { return params_; }
+
+  /// Performs one disk I/O (reads and writes cost the same in this model).
+  Task<void> io(uint64_t pos, uint64_t bytes) {
+    co_await arm_.acquire();
+    Duration t = params_.per_request +
+                 duration_for_bytes(bytes, params_.bytes_per_sec);
+    if (pos != head_) t += params_.positioning;
+    head_ = pos + bytes;
+    co_await sim_.delay(t);
+    arm_.release();
+  }
+
+  uint64_t head_position() const noexcept { return head_; }
+
+ private:
+  Simulation& sim_;
+  DiskParams params_;
+  Semaphore arm_;
+  uint64_t head_ = 0;
+};
+
+/// Multi-core CPU.  Work items occupy one core for their duration.
+struct CpuParams {
+  uint32_t cores = 2;
+};
+
+class Cpu {
+ public:
+  Cpu(Simulation& sim, const CpuParams& params)
+      : sim_(sim), cores_(sim, params.cores) {}
+
+  /// Executes `work` of CPU time on one core.
+  Task<void> execute(Duration work) {
+    if (work <= 0) co_return;
+    co_await cores_.acquire();
+    co_await sim_.delay(work);
+    cores_.release();
+  }
+
+ private:
+  Simulation& sim_;
+  Semaphore cores_;
+};
+
+}  // namespace dpnfs::sim

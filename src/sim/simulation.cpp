@@ -1,0 +1,33 @@
+#include "sim/simulation.hpp"
+
+namespace dpnfs::sim {
+
+uint64_t Simulation::run() {
+  const uint64_t start = events_processed_;
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ++events_processed_;
+    ev.handle.resume();
+  }
+  return events_processed_ - start;
+}
+
+bool Simulation::run_until(Time deadline) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (top.time > deadline) {
+      now_ = deadline;
+      return false;
+    }
+    Event ev = top;
+    queue_.pop();
+    now_ = ev.time;
+    ++events_processed_;
+    ev.handle.resume();
+  }
+  return true;
+}
+
+}  // namespace dpnfs::sim

@@ -1,0 +1,41 @@
+// Simulated-time representation.
+//
+// The simulator counts integer nanoseconds.  Integer time makes event
+// ordering exact and platform-independent; combined with a stable sequence
+// tie-break in the event queue, every run is bit-reproducible.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace dpnfs::sim {
+
+/// Absolute simulated time in nanoseconds since simulation start.
+using Time = int64_t;
+
+/// Relative simulated time in nanoseconds.
+using Duration = int64_t;
+
+constexpr Duration ns(int64_t v) { return v; }
+constexpr Duration us(int64_t v) { return v * 1'000; }
+constexpr Duration ms(int64_t v) { return v * 1'000'000; }
+constexpr Duration sec(int64_t v) { return v * 1'000'000'000; }
+
+/// Converts a floating-point second count to a Duration (rounded to nearest).
+constexpr Duration from_seconds(double s) {
+  return static_cast<Duration>(s * 1e9 + 0.5);
+}
+
+/// Converts a Duration to floating-point seconds (for reporting only).
+constexpr double to_seconds(Duration d) { return static_cast<double>(d) * 1e-9; }
+
+/// Time to move `bytes` at `bytes_per_sec`, rounded up to >= 1 ns for any
+/// nonzero payload so progress is always made.
+constexpr Duration duration_for_bytes(uint64_t bytes, double bytes_per_sec) {
+  if (bytes == 0) return 0;
+  const double t = static_cast<double>(bytes) / bytes_per_sec * 1e9;
+  const auto d = static_cast<Duration>(t + 0.5);
+  return d > 0 ? d : 1;
+}
+
+}  // namespace dpnfs::sim

@@ -1,0 +1,15 @@
+// printf-style std::string formatting (libstdc++ 12 ships no <format>).
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace dpnfs::util {
+
+/// vsnprintf into a std::string.
+std::string vsformat(const char* fmt, va_list args);
+
+/// snprintf into a std::string.
+[[gnu::format(printf, 1, 2)]] std::string sformat(const char* fmt, ...);
+
+}  // namespace dpnfs::util

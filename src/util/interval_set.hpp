@@ -1,0 +1,145 @@
+// Disjoint half-open interval set over uint64_t offsets.
+//
+// Used for byte-range bookkeeping throughout the stack: dirty ranges in the
+// object store, cached ranges in the client page cache, poisoned (virtual)
+// content ranges, and layout segment coverage.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+namespace dpnfs::util {
+
+class IntervalSet {
+ public:
+  struct Interval {
+    uint64_t start;
+    uint64_t end;  // exclusive
+
+    uint64_t length() const noexcept { return end - start; }
+    bool operator==(const Interval&) const = default;
+  };
+
+  /// Adds [start, end), merging with neighbours.
+  void add(uint64_t start, uint64_t end) {
+    check(start, end);
+    if (start == end) return;
+    // Find the first interval that could merge: any interval whose end >=
+    // start.  Merge all intervals overlapping or adjacent to [start, end).
+    auto it = map_.lower_bound(start);
+    if (it != map_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second >= start) it = prev;
+    }
+    while (it != map_.end() && it->first <= end) {
+      start = std::min(start, it->first);
+      end = std::max(end, it->second);
+      total_ -= it->second - it->first;
+      it = map_.erase(it);
+    }
+    map_.emplace(start, end);
+    total_ += end - start;
+  }
+
+  /// Removes [start, end), splitting intervals as needed.
+  void subtract(uint64_t start, uint64_t end) {
+    check(start, end);
+    if (start == end) return;
+    auto it = map_.lower_bound(start);
+    if (it != map_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second > start) it = prev;
+    }
+    while (it != map_.end() && it->first < end) {
+      const uint64_t is = it->first;
+      const uint64_t ie = it->second;
+      total_ -= ie - is;
+      it = map_.erase(it);
+      if (is < start) {
+        map_.emplace(is, start);
+        total_ += start - is;
+      }
+      if (ie > end) {
+        map_.emplace(end, ie);
+        total_ += ie - end;
+        break;
+      }
+    }
+  }
+
+  /// True if every byte of [start, end) is present.
+  bool covers(uint64_t start, uint64_t end) const {
+    check(start, end);
+    if (start == end) return true;
+    auto it = map_.upper_bound(start);
+    if (it == map_.begin()) return false;
+    --it;
+    return it->first <= start && it->second >= end;
+  }
+
+  /// True if any byte of [start, end) is present.
+  bool intersects(uint64_t start, uint64_t end) const {
+    check(start, end);
+    if (start == end) return false;
+    auto it = map_.lower_bound(start);
+    if (it != map_.end() && it->first < end) return true;
+    if (it == map_.begin()) return false;
+    --it;
+    return it->second > start;
+  }
+
+  /// The intersection of the set with [start, end), in order.
+  std::vector<Interval> intersection(uint64_t start, uint64_t end) const {
+    check(start, end);
+    std::vector<Interval> out;
+    if (start == end) return out;
+    auto it = map_.upper_bound(start);
+    if (it != map_.begin() && std::prev(it)->second > start) --it;
+    for (; it != map_.end() && it->first < end; ++it) {
+      out.push_back(Interval{std::max(start, it->first), std::min(end, it->second)});
+    }
+    return out;
+  }
+
+  /// The sub-ranges of [start, end) NOT present in the set, in order.
+  std::vector<Interval> gaps(uint64_t start, uint64_t end) const {
+    std::vector<Interval> out;
+    uint64_t cursor = start;
+    for (const Interval& hit : intersection(start, end)) {
+      if (hit.start > cursor) out.push_back(Interval{cursor, hit.start});
+      cursor = hit.end;
+    }
+    if (cursor < end) out.push_back(Interval{cursor, end});
+    return out;
+  }
+
+  bool empty() const noexcept { return map_.empty(); }
+  size_t interval_count() const noexcept { return map_.size(); }
+
+  /// O(1): maintained incrementally by add/subtract.
+  uint64_t total_length() const noexcept { return total_; }
+
+  std::vector<Interval> intervals() const {
+    std::vector<Interval> out;
+    out.reserve(map_.size());
+    for (const auto& [s, e] : map_) out.push_back(Interval{s, e});
+    return out;
+  }
+
+  void clear() noexcept {
+    map_.clear();
+    total_ = 0;
+  }
+
+ private:
+  static void check(uint64_t start, uint64_t end) {
+    if (start > end) throw std::invalid_argument("interval start > end");
+  }
+
+  std::map<uint64_t, uint64_t> map_;  // start -> end
+  uint64_t total_ = 0;
+};
+
+}  // namespace dpnfs::util

@@ -1,0 +1,46 @@
+// Sparse byte-range content buffer.
+//
+// Stores file content as disjoint real-byte extents plus a set of "virtual"
+// ranges whose size is known but whose bytes were never materialized (see
+// rpc::Payload).  Shared by the server-side object store and the client
+// page cache so both sides verify real content identically.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "rpc/payload.hpp"
+#include "util/interval_set.hpp"
+
+namespace dpnfs::util {
+
+class RangeBuffer {
+ public:
+  /// Stores `data` at `offset`, replacing whatever was there.
+  void store(uint64_t offset, const rpc::Payload& data);
+
+  /// Loads [offset, offset+length).  Never-written gaps read as zeros; any
+  /// overlap with a virtual range yields a virtual payload.
+  rpc::Payload load(uint64_t offset, uint64_t length) const;
+
+  /// Forgets content in [start, end) (eviction / truncation).  Dropped
+  /// ranges read as zeros again.
+  void drop(uint64_t start, uint64_t end);
+
+  void clear();
+
+  /// True if [start, end) overlaps a virtual (unmaterialized) range.
+  bool tainted(uint64_t start, uint64_t end) const {
+    return virtual_ranges_.intersects(start, end);
+  }
+
+ private:
+  void erase_real(uint64_t start, uint64_t end);
+
+  std::map<uint64_t, std::vector<std::byte>> extents_;
+  IntervalSet virtual_ranges_;
+};
+
+}  // namespace dpnfs::util

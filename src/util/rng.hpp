@@ -1,0 +1,47 @@
+// Deterministic pseudo-random source for workload generators.
+//
+// Workloads must be reproducible across runs and architectures: the same
+// seed must generate the same request stream regardless of scheduling.  Each
+// simulated client therefore owns its own Rng, derived from (seed, client id).
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace dpnfs::util {
+
+/// Deterministic 64-bit generator (SplitMix64 core).
+///
+/// SplitMix64 is tiny, fast, passes BigCrush, and — unlike std::mt19937 —
+/// has a trivially documented cross-platform output sequence.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + 0x9E3779B97F4A7C15ULL) {}
+
+  /// Derives an independent stream for a sub-entity (e.g. client index).
+  Rng fork(uint64_t stream_id) { return Rng(next() ^ (stream_id * 0xBF58476D1CE4E5B9ULL)); }
+
+  uint64_t next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound).  `bound` must be nonzero.
+  uint64_t below(uint64_t bound) { return next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  uint64_t range(uint64_t lo, uint64_t hi) { return lo + below(hi - lo + 1); }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli draw with probability `p`.
+  bool chance(double p) { return uniform() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace dpnfs::util

@@ -1,0 +1,94 @@
+#include "util/stats.hpp"
+
+#include "util/format.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include <limits>
+#include <stdexcept>
+
+namespace dpnfs::util {
+
+void Summary::add(double sample) {
+  samples_.push_back(sample);
+  sum_ += sample;
+  sorted_ = false;
+}
+
+double Summary::mean() const noexcept {
+  return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
+}
+
+double Summary::min() const noexcept {
+  if (samples_.empty()) return 0.0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Summary::max() const noexcept {
+  if (samples_.empty()) return 0.0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Summary::stddev() const noexcept {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double s : samples_) acc += (s - m) * (s - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double Summary::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile out of range");
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  // Nearest-rank definition: smallest sample with cumulative frequency >= p.
+  const auto n = samples_.size();
+  size_t rank = static_cast<size_t>(std::ceil(p / 100.0 * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  return samples_[rank - 1];
+}
+
+Histogram::Histogram(std::vector<double> boundaries)
+    : boundaries_(std::move(boundaries)) {
+  if (boundaries_.empty()) throw std::invalid_argument("empty histogram boundaries");
+  for (size_t i = 1; i < boundaries_.size(); ++i) {
+    if (boundaries_[i] <= boundaries_[i - 1]) {
+      throw std::invalid_argument("histogram boundaries must increase");
+    }
+  }
+  counts_.assign(boundaries_.size() + 1, 0.0);
+}
+
+void Histogram::add(double value, double weight) {
+  const auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(), value);
+  counts_[static_cast<size_t>(it - boundaries_.begin())] += weight;
+  total_ += weight;
+}
+
+double Histogram::cumulative_fraction_below(double value) const {
+  if (total_ <= 0.0) return 0.0;
+  const auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(), value);
+  const auto limit = static_cast<size_t>(it - boundaries_.begin());
+  double acc = 0.0;
+  for (size_t i = 0; i <= limit && i < counts_.size(); ++i) acc += counts_[i];
+  return acc / total_;
+}
+
+std::string Histogram::to_string() const {
+  std::string out;
+  double lo = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const double hi = (i < boundaries_.size())
+                          ? boundaries_[i]
+                          : std::numeric_limits<double>::infinity();
+    out += sformat("[%12.3g, %12.3g): %g\n", lo, hi, counts_[i]);
+    lo = hi;
+  }
+  return out;
+}
+
+}  // namespace dpnfs::util

@@ -1,0 +1,57 @@
+// Streaming statistics helpers used by the workload runners and benches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dpnfs::util {
+
+/// Accumulates a stream of samples and answers summary queries.
+///
+/// Keeps every sample (workload runs produce at most a few hundred thousand
+/// latency samples), so exact percentiles are available.
+class Summary {
+ public:
+  void add(double sample);
+
+  size_t count() const noexcept { return samples_.size(); }
+  double sum() const noexcept { return sum_; }
+  double mean() const noexcept;
+  double min() const noexcept;
+  double max() const noexcept;
+  double stddev() const noexcept;
+  /// Exact percentile by nearest-rank; `p` in [0, 100].
+  double percentile(double p) const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  double sum_ = 0.0;
+};
+
+/// Fixed-boundary histogram for request-size / latency distributions.
+class Histogram {
+ public:
+  /// `boundaries` must be strictly increasing; bucket i covers
+  /// [boundaries[i-1], boundaries[i]) with an implicit final overflow bucket.
+  explicit Histogram(std::vector<double> boundaries);
+
+  void add(double value, double weight = 1.0);
+
+  size_t bucket_count() const noexcept { return counts_.size(); }
+  double bucket_weight(size_t i) const { return counts_.at(i); }
+  double total_weight() const noexcept { return total_; }
+  /// Fraction of total weight at or below `value`'s bucket upper bound.
+  double cumulative_fraction_below(double value) const;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<double> boundaries_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+}  // namespace dpnfs::util

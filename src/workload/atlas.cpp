@@ -1,0 +1,50 @@
+#include "workload/atlas.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace dpnfs::workload {
+
+using rpc::Payload;
+using sim::Task;
+
+uint64_t AtlasWorkload::draw_request_size(util::Rng& rng) const {
+  if (rng.chance(config_.p_small)) {
+    return rng.range(config_.small_min, config_.small_max);
+  }
+  return rng.range(config_.large_min, config_.large_max);
+}
+
+Task<void> AtlasWorkload::setup(core::Deployment& d) {
+  co_await d.client(0).mkdir("/atlas");
+}
+
+Task<void> AtlasWorkload::client_main(core::Deployment& d, size_t client) {
+  util::Rng rng = util::Rng(config_.seed).fork(client);
+  auto f = co_await d.client(client).open("/atlas/f" + std::to_string(client),
+                                          true);
+  // Digitization writes each region of the output file exactly once, but in
+  // data-driven (effectively random) order: cut the file into segments with
+  // the published size distribution, then shuffle the issue order.
+  struct Segment {
+    uint64_t offset;
+    uint64_t length;
+  };
+  std::vector<Segment> segments;
+  uint64_t pos = 0;
+  while (pos < config_.bytes_per_client) {
+    const uint64_t n = std::min(draw_request_size(rng),
+                                config_.bytes_per_client - pos);
+    segments.push_back(Segment{pos, n});
+    pos += n;
+  }
+  for (size_t i = segments.size(); i > 1; --i) {  // Fisher-Yates
+    std::swap(segments[i - 1], segments[rng.below(i)]);
+  }
+  for (const Segment& seg : segments) {
+    co_await f->write(seg.offset, Payload::virtual_bytes(seg.length));
+  }
+  co_await f->close();
+}
+
+}  // namespace dpnfs::workload

@@ -1,0 +1,41 @@
+// ATLAS Digitization write replay (paper §6.3.1).
+//
+// Models the detector-simulation stage's I/O signature: each client writes
+// ~650 MB spread randomly over a single per-client file with a bimodal
+// request-size distribution calibrated to the paper's characterization —
+// 95% of *requests* are small (< 275 KB) while 95% of *bytes* arrive in
+// requests >= 275 KB.
+#pragma once
+
+#include "util/rng.hpp"
+#include "workload/runner.hpp"
+
+namespace dpnfs::workload {
+
+struct AtlasConfig {
+  uint64_t bytes_per_client = 650'000'000;
+  uint64_t file_span = 650'000'000;   ///< offsets drawn over this range
+  uint64_t small_min = 1024;          ///< small request sizes (bytes)
+  uint64_t small_max = 16 * 1024;
+  uint64_t large_min = 275 * 1024;    ///< large request sizes (bytes)
+  uint64_t large_max = 5'800 * 1024;
+  double p_small = 0.95;              ///< fraction of requests that are small
+  uint64_t seed = 42;
+};
+
+class AtlasWorkload final : public Workload {
+ public:
+  explicit AtlasWorkload(AtlasConfig config) : config_(config) {}
+
+  std::string name() const override { return "ATLAS-digitization"; }
+  sim::Task<void> setup(core::Deployment& d) override;
+  sim::Task<void> client_main(core::Deployment& d, size_t client) override;
+
+  /// Draws one request size (exposed for distribution tests).
+  uint64_t draw_request_size(util::Rng& rng) const;
+
+ private:
+  AtlasConfig config_;
+};
+
+}  // namespace dpnfs::workload

@@ -1,0 +1,36 @@
+// NPB 2.4 BT-IO, class A (paper §6.3.2).
+//
+// 200 time steps of CFD computation; every 5th step the solution is
+// appended to a shared checkpoint file via MPI-IO collective buffering
+// (requests >= 1 MB, rank-contiguous).  The final file is 400 MB; the
+// benchmark time also includes re-reading and verifying the result, which
+// rank 0 performs here.  Computation parallelizes across clients.
+#pragma once
+
+#include "workload/runner.hpp"
+
+namespace dpnfs::workload {
+
+struct BtioConfig {
+  uint64_t file_bytes = 400'000'000;
+  uint32_t time_steps = 200;
+  uint32_t checkpoint_every = 5;
+  /// Total single-node compute time for all steps (divided by client count).
+  sim::Duration compute_total = sim::sec(900);
+  bool verify_read = true;
+};
+
+class BtioWorkload final : public Workload {
+ public:
+  explicit BtioWorkload(BtioConfig config) : config_(config) {}
+
+  std::string name() const override { return "NPB-BTIO-classA"; }
+  sim::Task<void> setup(core::Deployment& d) override;
+  sim::Task<void> client_main(core::Deployment& d, size_t client) override;
+
+ private:
+  BtioConfig config_;
+  std::unique_ptr<sim::Barrier> barrier_;
+};
+
+}  // namespace dpnfs::workload

@@ -1,0 +1,74 @@
+#include "workload/ior.hpp"
+
+#include "util/format.hpp"
+
+namespace dpnfs::workload {
+
+using rpc::Payload;
+using sim::Task;
+
+std::string IorWorkload::name() const {
+  return util::sformat("IOR-%s-%s-%lluKB", config_.write ? "write" : "read",
+                       config_.single_file ? "single" : "separate",
+                       static_cast<unsigned long long>(config_.block_size / 1024));
+}
+
+std::string IorWorkload::path_for(size_t client) const {
+  return config_.single_file ? "/ior/shared" : "/ior/f" + std::to_string(client);
+}
+
+uint64_t IorWorkload::base_offset(size_t client) const {
+  return config_.single_file ? client * config_.bytes_per_client : 0;
+}
+
+Task<void> IorWorkload::stream(core::File& file, uint64_t base, bool do_write) {
+  const uint64_t total = config_.bytes_per_client;
+  for (uint64_t done = 0; done < total;) {
+    const uint64_t n = std::min(config_.block_size, total - done);
+    if (do_write) {
+      co_await file.write(base + done, Payload::virtual_bytes(n));
+    } else {
+      Payload p = co_await file.read(base + done, n);
+      if (p.size() != n) {
+        throw std::runtime_error("IOR short read");
+      }
+    }
+    done += n;
+  }
+}
+
+Task<void> IorWorkload::setup(core::Deployment& d) {
+  co_await d.client(0).mkdir("/ior");
+  if (config_.single_file) {
+    auto f = co_await d.client(0).open("/ior/shared", true);
+    co_await f->close();
+  }
+  if (!config_.write) {
+    // Pre-write the dataset so reads hit warm server caches (paper §6.2),
+    // then drop the *client* caches: the paper's read runs start with cold
+    // clients.
+    sim::WaitGroup wg(d.simulation());
+    for (size_t i = 0; i < d.client_count(); ++i) {
+      wg.spawn([](IorWorkload& self, core::Deployment& d, size_t i) -> Task<void> {
+        auto f = co_await d.client(i).open(self.path_for(i), true);
+        co_await self.stream(*f, self.base_offset(i), /*do_write=*/true);
+        co_await f->close();
+      }(*this, d, i));
+    }
+    co_await wg.wait();
+    for (size_t i = 0; i < d.client_count(); ++i) d.client(i).drop_caches();
+  }
+}
+
+Task<void> IorWorkload::client_main(core::Deployment& d, size_t client) {
+  std::unique_ptr<core::File> f;
+  if (config_.write) {
+    f = co_await d.client(client).open(path_for(client), true);
+  } else {
+    f = co_await d.client(client).open_read(path_for(client));
+  }
+  co_await stream(*f, base_offset(client), config_.write);
+  co_await f->close();
+}
+
+}  // namespace dpnfs::workload

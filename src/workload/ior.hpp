@@ -1,0 +1,37 @@
+// IOR micro-benchmark (paper §6.2).
+//
+// Each client sequentially writes (or reads) a 500 MB stream — either a
+// separate file per client or a disjoint portion of one shared file — using
+// a configurable application block size (the paper uses 2-4 MB "large" and
+// 8 KB "small" blocks).  Read runs pre-write the data in setup, leaving the
+// server caches warm exactly as the paper's read experiments do.
+#pragma once
+
+#include "workload/runner.hpp"
+
+namespace dpnfs::workload {
+
+struct IorConfig {
+  bool write = true;           ///< false: read (after a warm-up pre-write)
+  bool single_file = false;    ///< true: disjoint regions of one file
+  uint64_t bytes_per_client = 500'000'000;
+  uint64_t block_size = 2ull << 20;
+};
+
+class IorWorkload final : public Workload {
+ public:
+  explicit IorWorkload(IorConfig config) : config_(config) {}
+
+  std::string name() const override;
+  sim::Task<void> setup(core::Deployment& d) override;
+  sim::Task<void> client_main(core::Deployment& d, size_t client) override;
+
+ private:
+  std::string path_for(size_t client) const;
+  uint64_t base_offset(size_t client) const;
+  sim::Task<void> stream(core::File& file, uint64_t base, bool do_write);
+
+  IorConfig config_;
+};
+
+}  // namespace dpnfs::workload

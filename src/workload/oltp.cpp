@@ -1,0 +1,39 @@
+#include "workload/oltp.hpp"
+
+namespace dpnfs::workload {
+
+using rpc::Payload;
+using sim::Task;
+
+Task<void> OltpWorkload::setup(core::Deployment& d) {
+  // Populate the database file (untimed), then force it to disk.
+  co_await d.client(0).mkdir("/oltp");
+  auto f = co_await d.client(0).open("/oltp/db", true);
+  const uint64_t chunk = 4ull << 20;
+  for (uint64_t off = 0; off < config_.file_bytes; off += chunk) {
+    co_await f->write(off, Payload::virtual_bytes(
+                               std::min(chunk, config_.file_bytes - off)));
+  }
+  co_await f->close();
+}
+
+Task<void> OltpWorkload::client_main(core::Deployment& d, size_t client) {
+  util::Rng rng = util::Rng(config_.seed).fork(client);
+  auto f = co_await d.client(client).open("/oltp/db", false);
+  const uint64_t slots = config_.file_bytes / config_.io_size;
+  for (uint32_t txn = 0; txn < config_.transactions_per_client; ++txn) {
+    const sim::Time t0 = d.simulation().now();
+    const uint64_t offset = rng.below(slots) * config_.io_size;
+    Payload page = co_await f->read(offset, config_.io_size);
+    if (page.size() != config_.io_size) {
+      throw std::runtime_error("OLTP short read");
+    }
+    co_await f->write(offset, Payload::virtual_bytes(config_.io_size));
+    co_await f->fsync();  // data to stable storage after each transaction
+    latencies_.add(sim::to_seconds(d.simulation().now() - t0));
+    ++completed_;
+  }
+  co_await f->close();
+}
+
+}  // namespace dpnfs::workload

@@ -1,0 +1,39 @@
+// OLTP macro-benchmark (paper §6.4.1).
+//
+// A database-style workload: each client performs transactions against one
+// large shared file; a transaction is a random 8 KB read-modify-write with
+// the data forced to stable storage afterwards.
+#pragma once
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "workload/runner.hpp"
+
+namespace dpnfs::workload {
+
+struct OltpConfig {
+  uint64_t file_bytes = 512ull << 20;
+  uint32_t transactions_per_client = 20'000;
+  uint32_t io_size = 8192;
+  uint64_t seed = 7;
+};
+
+class OltpWorkload final : public Workload {
+ public:
+  explicit OltpWorkload(OltpConfig config) : config_(config) {}
+
+  std::string name() const override { return "OLTP"; }
+  sim::Task<void> setup(core::Deployment& d) override;
+  sim::Task<void> client_main(core::Deployment& d, size_t client) override;
+  uint64_t total_transactions() const override { return completed_; }
+
+  /// Per-transaction latencies in seconds (all clients pooled).
+  const util::Summary& latencies() const noexcept { return latencies_; }
+
+ private:
+  OltpConfig config_;
+  uint64_t completed_ = 0;
+  util::Summary latencies_;
+};
+
+}  // namespace dpnfs::workload

@@ -1,0 +1,78 @@
+#include "workload/postmark.hpp"
+
+namespace dpnfs::workload {
+
+using rpc::Payload;
+using sim::Task;
+
+std::string PostmarkWorkload::dir_of(size_t client, uint32_t dir) const {
+  return "/pm" + std::to_string(client) + "/d" + std::to_string(dir);
+}
+
+Task<void> PostmarkWorkload::create_file(core::Deployment& d, size_t client,
+                                         Instance& inst, util::Rng& rng) {
+  const uint32_t dir = static_cast<uint32_t>(rng.below(config_.directories));
+  const std::string path =
+      dir_of(client, dir) + "/f" + std::to_string(inst.next_serial++);
+  const uint64_t size = rng.range(config_.min_file_bytes, config_.max_file_bytes);
+  auto f = co_await d.client(client).open(path, true);
+  co_await f->write(0, Payload::virtual_bytes(size));
+  co_await f->close();
+  inst.files.push_back(path);
+  inst.sizes.push_back(size);
+}
+
+Task<void> PostmarkWorkload::setup(core::Deployment& d) {
+  for (size_t c = 0; c < d.client_count(); ++c) {
+    co_await d.client(c).mkdir("/pm" + std::to_string(c));
+    for (uint32_t dir = 0; dir < config_.directories; ++dir) {
+      co_await d.client(c).mkdir(dir_of(c, dir));
+    }
+  }
+}
+
+Task<void> PostmarkWorkload::client_main(core::Deployment& d, size_t client) {
+  util::Rng rng = util::Rng(config_.seed).fork(client);
+  Instance inst;
+
+  // Initial file population (part of the measured Postmark run).
+  for (uint32_t i = 0; i < config_.initial_files; ++i) {
+    co_await create_file(d, client, inst, rng);
+  }
+
+  for (uint32_t txn = 0; txn < config_.transactions; ++txn) {
+    // Phase 1: delete, create, or open.
+    const uint64_t kind = rng.below(3);
+    if (kind == 0 && inst.files.size() > 4) {
+      const size_t victim = rng.below(inst.files.size());
+      co_await d.client(client).remove(inst.files[victim]);
+      inst.files.erase(inst.files.begin() + static_cast<ptrdiff_t>(victim));
+      inst.sizes.erase(inst.sizes.begin() + static_cast<ptrdiff_t>(victim));
+      ++completed_;
+      continue;  // a pure delete transaction
+    }
+    if (kind == 1) {
+      co_await create_file(d, client, inst, rng);
+      ++completed_;
+      continue;
+    }
+    // Open an existing file, then read or append 512 bytes.
+    const size_t idx = rng.below(inst.files.size());
+    auto f = co_await d.client(client).open(inst.files[idx], false);
+    if (rng.chance(0.5)) {
+      const uint64_t max_off =
+          inst.sizes[idx] > config_.io_bytes ? inst.sizes[idx] - config_.io_bytes : 0;
+      (void)co_await f->read(max_off > 0 ? rng.below(max_off) : 0,
+                             config_.io_bytes);
+    } else {
+      co_await f->write(inst.sizes[idx],
+                        Payload::virtual_bytes(config_.io_bytes));
+      inst.sizes[idx] += config_.io_bytes;
+      co_await f->fsync();  // stable before close
+    }
+    co_await f->close();
+    ++completed_;
+  }
+}
+
+}  // namespace dpnfs::workload

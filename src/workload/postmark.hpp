@@ -1,0 +1,49 @@
+// Postmark (paper §6.4.2): mail/news/web-service style metadata and small
+// I/O.  Each client owns an instance: 100 files (1 KB - 500 KB) in 10
+// directories; 2,000 transactions, each of which first deletes, creates, or
+// opens a file and then reads or appends 512 bytes, with appended data
+// stable before close.
+#pragma once
+
+#include <vector>
+
+#include "util/rng.hpp"
+#include "workload/runner.hpp"
+
+namespace dpnfs::workload {
+
+struct PostmarkConfig {
+  uint32_t directories = 10;
+  uint32_t initial_files = 100;
+  uint32_t transactions = 2'000;
+  uint64_t min_file_bytes = 1024;
+  uint64_t max_file_bytes = 500 * 1024;
+  uint32_t io_bytes = 512;
+  uint64_t seed = 99;
+};
+
+class PostmarkWorkload final : public Workload {
+ public:
+  explicit PostmarkWorkload(PostmarkConfig config) : config_(config) {}
+
+  std::string name() const override { return "Postmark"; }
+  sim::Task<void> setup(core::Deployment& d) override;
+  sim::Task<void> client_main(core::Deployment& d, size_t client) override;
+  uint64_t total_transactions() const override { return completed_; }
+
+ private:
+  struct Instance {
+    std::vector<std::string> files;  ///< live file paths
+    std::vector<uint64_t> sizes;     ///< tracked sizes (offsets for reads)
+    uint32_t next_serial = 0;
+  };
+
+  std::string dir_of(size_t client, uint32_t dir) const;
+  sim::Task<void> create_file(core::Deployment& d, size_t client, Instance& inst,
+                              util::Rng& rng);
+
+  PostmarkConfig config_;
+  uint64_t completed_ = 0;
+};
+
+}  // namespace dpnfs::workload

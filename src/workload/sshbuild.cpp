@@ -1,0 +1,103 @@
+#include "workload/sshbuild.hpp"
+
+#include <algorithm>
+
+namespace dpnfs::workload {
+
+using rpc::Payload;
+using sim::Task;
+
+Task<void> SshBuildWorkload::setup(core::Deployment& d) {
+  // The distribution tarball, pre-seeded on the file system.
+  for (size_t c = 0; c < d.client_count(); ++c) {
+    co_await d.client(c).mkdir(root(c));
+    auto tar = co_await d.client(c).open(root(c) + "/openssh.tar", true);
+    co_await tar->write(0, Payload::virtual_bytes(config_.archive_bytes));
+    co_await tar->close();
+  }
+}
+
+Task<void> SshBuildWorkload::client_main(core::Deployment& d, size_t client) {
+  util::Rng rng = util::Rng(config_.seed).fork(client);
+  auto& fs = d.client(client);
+  const std::string base = root(client);
+
+  // ---- Phase 1: uncompress -------------------------------------------------
+  const sim::Time t0 = d.simulation().now();
+  {
+    auto tar = co_await fs.open(base + "/openssh.tar", false);
+    co_await fs.mkdir(base + "/src");
+    co_await fs.mkdir(base + "/src/headers");
+    uint64_t tar_off = 0;
+    for (uint32_t i = 0; i < config_.source_files; ++i) {
+      const uint64_t size = rng.range(config_.source_min, config_.source_max);
+      (void)co_await tar->read(tar_off % config_.archive_bytes, 16 * 1024);
+      tar_off += 16 * 1024;
+      auto f = co_await fs.open(base + "/src/s" + std::to_string(i) + ".c", true);
+      co_await f->write(0, Payload::virtual_bytes(size));
+      co_await f->close();
+    }
+    for (uint32_t i = 0; i < config_.header_files; ++i) {
+      auto f = co_await fs.open(base + "/src/headers/h" + std::to_string(i),
+                                true);
+      co_await f->write(0, Payload::virtual_bytes(rng.range(512, 8 * 1024)));
+      co_await f->close();
+    }
+    co_await tar->close();
+  }
+  const sim::Time t1 = d.simulation().now();
+
+  // ---- Phase 2: configure ----------------------------------------------------
+  {
+    for (uint32_t i = 0; i < config_.configure_probes; ++i) {
+      // Feature probes stat files that mostly do not exist.
+      try {
+        (void)co_await fs.stat_size(base + "/src/s" +
+                                    std::to_string(rng.below(config_.source_files)) +
+                                    ".c");
+      } catch (const std::exception&) {
+        // missing probe targets are expected
+      }
+    }
+    for (uint32_t i = 0; i < config_.configure_scripts; ++i) {
+      auto f = co_await fs.open(base + "/conf" + std::to_string(i), true);
+      co_await f->write(0, Payload::virtual_bytes(rng.range(256, 4096)));
+      co_await f->fsync();
+      co_await f->close();
+    }
+  }
+  const sim::Time t2 = d.simulation().now();
+
+  // ---- Phase 3: compile -------------------------------------------------------
+  {
+    co_await fs.mkdir(base + "/obj");
+    for (uint32_t i = 0; i < config_.source_files; ++i) {
+      auto src = co_await fs.open(base + "/src/s" + std::to_string(i) + ".c",
+                                  false);
+      const uint64_t src_size = src->size();
+      // Small sequential reads, 8 KB at a time (compiler front end).
+      for (uint64_t off = 0; off < src_size; off += 8 * 1024) {
+        (void)co_await src->read(off, 8 * 1024);
+      }
+      co_await src->close();
+      for (uint32_t h = 0; h < config_.headers_per_compile; ++h) {
+        auto header = co_await fs.open_read(
+            base + "/src/headers/h" +
+            std::to_string(rng.below(config_.header_files)));
+        (void)co_await header->read(0, 4 * 1024);
+        co_await header->close();
+      }
+      auto obj = co_await fs.open(base + "/obj/s" + std::to_string(i) + ".o",
+                                  true);
+      co_await obj->write(0, Payload::virtual_bytes(src_size * 2));
+      co_await obj->close();
+    }
+  }
+  const sim::Time t3 = d.simulation().now();
+
+  phase_seconds_[0] = std::max(phase_seconds_[0], sim::to_seconds(t1 - t0));
+  phase_seconds_[1] = std::max(phase_seconds_[1], sim::to_seconds(t2 - t1));
+  phase_seconds_[2] = std::max(phase_seconds_[2], sim::to_seconds(t3 - t2));
+}
+
+}  // namespace dpnfs::workload

@@ -1,0 +1,56 @@
+// SSH-build style benchmark (paper §6.4.3 discussion).
+//
+// Models the three phases of "uncompress, configure, build OpenSSH":
+//   * uncompress — read a tarball sequentially, create every source file;
+//     dominated by file creation.
+//   * configure  — many stats, small script reads, small result writes;
+//     dominated by attribute traffic.
+//   * compile    — per source file: read it, read a few headers, write an
+//     object file, fsync; dominated by small reads and writes.
+// Per-phase elapsed times are recorded so the bench can reproduce the
+// paper's observation: Direct-pNFS helps the compile phase but slows the
+// metadata-bound phases relative to the parallel FS.
+#pragma once
+
+#include <array>
+
+#include "util/rng.hpp"
+#include "workload/runner.hpp"
+
+namespace dpnfs::workload {
+
+struct SshBuildConfig {
+  uint32_t source_files = 150;
+  uint32_t header_files = 40;
+  uint64_t archive_bytes = 4ull << 20;
+  uint64_t source_min = 2 * 1024;
+  uint64_t source_max = 40 * 1024;
+  uint32_t configure_probes = 200;   ///< stat calls during configure
+  uint32_t configure_scripts = 40;   ///< small files read + written
+  uint32_t headers_per_compile = 5;
+  uint64_t seed = 1234;
+};
+
+class SshBuildWorkload final : public Workload {
+ public:
+  explicit SshBuildWorkload(SshBuildConfig config) : config_(config) {}
+
+  std::string name() const override { return "SSH-build"; }
+  sim::Task<void> setup(core::Deployment& d) override;
+  sim::Task<void> client_main(core::Deployment& d, size_t client) override;
+
+  /// Aggregate per-phase seconds (max across clients).
+  double uncompress_seconds() const { return phase_seconds_[0]; }
+  double configure_seconds() const { return phase_seconds_[1]; }
+  double compile_seconds() const { return phase_seconds_[2]; }
+
+ private:
+  std::string root(size_t client) const {
+    return "/ssh" + std::to_string(client);
+  }
+
+  SshBuildConfig config_;
+  std::array<double, 3> phase_seconds_{};
+};
+
+}  // namespace dpnfs::workload

@@ -1,0 +1,54 @@
+// I/O trace replay (the paper replays ATLAS Digitization traces with
+// IOZone; this is the general facility).
+//
+// A trace is an ordered list of records, one per client operation:
+//
+//   # comment
+//   <client> <op> <path> <offset> <length>
+//
+// with op in {read, write, fsync, open, close, mkdir}.  `parse_trace`
+// reads the textual form; `TraceWorkload` replays a record list against
+// any deployment, each client replaying its own subsequence in order.
+// Ordering is guaranteed only WITHIN a client; records of different
+// clients replay concurrently.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/runner.hpp"
+
+namespace dpnfs::workload {
+
+struct TraceRecord {
+  enum class Op { kRead, kWrite, kFsync, kOpen, kClose, kMkdir };
+
+  uint32_t client = 0;
+  Op op = Op::kWrite;
+  std::string path;
+  uint64_t offset = 0;
+  uint64_t length = 0;
+};
+
+/// Parses the textual trace format; throws std::invalid_argument with a
+/// line number on malformed input.  Lines starting with '#' and blank
+/// lines are skipped.
+std::vector<TraceRecord> parse_trace(const std::string& text);
+
+class TraceWorkload final : public Workload {
+ public:
+  explicit TraceWorkload(std::vector<TraceRecord> records)
+      : records_(std::move(records)) {}
+
+  std::string name() const override { return "trace-replay"; }
+  sim::Task<void> setup(core::Deployment& d) override;
+  sim::Task<void> client_main(core::Deployment& d, size_t client) override;
+
+  uint64_t operations_replayed() const noexcept { return replayed_; }
+
+ private:
+  std::vector<TraceRecord> records_;
+  uint64_t replayed_ = 0;
+};
+
+}  // namespace dpnfs::workload

@@ -1,0 +1,317 @@
+// Aggregation driver tests: exact mappings plus the partition/coverage
+// properties every driver must satisfy.
+#include <gtest/gtest.h>
+
+#include "core/aggregation_drivers.hpp"
+#include "nfs/layout.hpp"
+#include "util/rng.hpp"
+
+namespace dpnfs::core {
+namespace {
+
+using nfs::AggregationType;
+using nfs::FileLayout;
+using nfs::StripeSegment;
+
+FileLayout base_layout(uint32_t devices, uint64_t stripe_unit) {
+  FileLayout l;
+  l.aggregation = AggregationType::kRoundRobin;
+  l.stripe_unit = stripe_unit;
+  for (uint32_t i = 0; i < devices; ++i) {
+    l.devices.push_back(nfs::DeviceId{i});
+    l.fhs.push_back(nfs::FileHandle{100 + i});
+  }
+  return l;
+}
+
+/// Checks that `segments` exactly partition [offset, offset+length) in file
+/// order (required for read assembly).
+void check_partition(const std::vector<StripeSegment>& segments,
+                     uint64_t offset, uint64_t length) {
+  uint64_t cursor = offset;
+  for (const auto& seg : segments) {
+    ASSERT_EQ(seg.file_offset, cursor);
+    ASSERT_GT(seg.length, 0u);
+    cursor += seg.length;
+  }
+  ASSERT_EQ(cursor, offset + length);
+}
+
+// ---------------------------------------------------------------------------
+// Round-robin (standard scheme)
+// ---------------------------------------------------------------------------
+
+TEST(RoundRobin, DensePacking) {
+  nfs::RoundRobinDriver d;
+  FileLayout l = base_layout(3, 100);
+  // Stripe 4 lives on device 1 (4 % 3), at dense offset (4/3)*100 = 100.
+  auto segs = d.map_read(l, 400, 50);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].device_index, 1u);
+  EXPECT_EQ(segs[0].dev_offset, 100u);
+}
+
+TEST(RoundRobin, CrossStripeSplits) {
+  nfs::RoundRobinDriver d;
+  FileLayout l = base_layout(3, 100);
+  auto segs = d.map_read(l, 50, 100);  // stripes 0 and 1
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_EQ(segs[0].device_index, 0u);
+  EXPECT_EQ(segs[0].dev_offset, 50u);
+  EXPECT_EQ(segs[0].length, 50u);
+  EXPECT_EQ(segs[1].device_index, 1u);
+  EXPECT_EQ(segs[1].dev_offset, 0u);
+  check_partition(segs, 50, 100);
+}
+
+TEST(RoundRobin, SingleDeviceMergesToOneSegment) {
+  nfs::RoundRobinDriver d;
+  FileLayout l = base_layout(1, 100);
+  auto segs = d.map_read(l, 0, 1000);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].length, 1000u);
+}
+
+TEST(Cyclic, RotatesByFirstDeviceParam) {
+  nfs::CyclicDriver d;
+  FileLayout l = base_layout(4, 100);
+  l.aggregation = AggregationType::kCyclic;
+  l.params = {2};  // first stripe lands on device 2
+  auto segs = d.map_read(l, 0, 100);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].device_index, 2u);
+  segs = d.map_read(l, 200, 100);  // stripe 2 -> device (2+2)%4 = 0
+  EXPECT_EQ(segs[0].device_index, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Variable stripe
+// ---------------------------------------------------------------------------
+
+TEST(VariableStripe, RegionsChangeStripeSize) {
+  VariableStripeDriver d;
+  FileLayout l = base_layout(2, 0);
+  l.aggregation = AggregationType::kVariableStripe;
+  // 2 regions: 4 stripes of 10 bytes, then 100-byte stripes forever.
+  l.params = {2, 10, 4, 100, 1};
+  // First region: stripes 0..3 alternate devices 0,1,0,1.
+  auto segs = d.map_read(l, 0, 40);
+  ASSERT_EQ(segs.size(), 4u);
+  EXPECT_EQ(segs[0].device_index, 0u);
+  EXPECT_EQ(segs[1].device_index, 1u);
+  EXPECT_EQ(segs[2].dev_offset, 10u);  // dense on device 0
+  // Second region starts at byte 40 with stripe 4 -> device 0.
+  segs = d.map_read(l, 40, 100);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].device_index, 0u);
+  EXPECT_EQ(segs[0].dev_offset, 20u);  // after two 10-byte stripes
+  check_partition(segs, 40, 100);
+}
+
+TEST(VariableStripe, MalformedParamsThrow) {
+  VariableStripeDriver d;
+  FileLayout l = base_layout(2, 0);
+  l.params = {};
+  EXPECT_THROW(d.map_read(l, 0, 10), std::invalid_argument);
+  l.params = {1, 10};  // missing count
+  EXPECT_THROW(d.map_read(l, 0, 10), std::invalid_argument);
+  l.params = {1, 0, 5};  // zero stripe size
+  EXPECT_THROW(d.map_read(l, 0, 10), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Replicated
+// ---------------------------------------------------------------------------
+
+TEST(Replicated, WritesGoToEveryDevice) {
+  ReplicatedDriver d;
+  FileLayout l = base_layout(3, 100);
+  auto segs = d.map_write(l, 250, 100);
+  ASSERT_EQ(segs.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(segs[i].device_index, i);
+    EXPECT_EQ(segs[i].dev_offset, 250u);  // full copy: identity offsets
+    EXPECT_EQ(segs[i].length, 100u);
+  }
+}
+
+TEST(Replicated, ReadsSpreadAcrossReplicas) {
+  ReplicatedDriver d;
+  FileLayout l = base_layout(3, 100);
+  auto segs = d.map_read(l, 0, 300);
+  ASSERT_EQ(segs.size(), 3u);
+  EXPECT_EQ(segs[0].device_index, 0u);
+  EXPECT_EQ(segs[1].device_index, 1u);
+  EXPECT_EQ(segs[2].device_index, 2u);
+  check_partition(segs, 0, 300);
+  // Device offsets equal file offsets (each replica is a full copy).
+  EXPECT_EQ(segs[1].dev_offset, segs[1].file_offset);
+}
+
+// ---------------------------------------------------------------------------
+// Nested
+// ---------------------------------------------------------------------------
+
+TEST(Nested, GroupThenSubDeviceOrder) {
+  NestedDriver d;
+  FileLayout l = base_layout(4, 100);
+  l.aggregation = AggregationType::kNested;
+  l.params = {2};  // 2 groups of 2
+  // Stripes 0..3 -> devices 0, 2, 1, 3 (group round-robin, then within).
+  const size_t expect[] = {0, 2, 1, 3};
+  for (uint64_t s = 0; s < 4; ++s) {
+    auto segs = d.map_read(l, s * 100, 100);
+    ASSERT_EQ(segs.size(), 1u);
+    EXPECT_EQ(segs[0].device_index, expect[s]) << "stripe " << s;
+  }
+  // Stripe 4 wraps to device 0 at dense offset 100.
+  auto segs = d.map_read(l, 400, 100);
+  EXPECT_EQ(segs[0].device_index, 0u);
+  EXPECT_EQ(segs[0].dev_offset, 100u);
+}
+
+TEST(Nested, BadGroupSizeThrows) {
+  NestedDriver d;
+  FileLayout l = base_layout(4, 100);
+  l.params = {3};  // 4 % 3 != 0
+  EXPECT_THROW(d.map_read(l, 0, 10), std::invalid_argument);
+  l.params = {};
+  EXPECT_THROW(d.map_read(l, 0, 10), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Properties shared by all drivers
+// ---------------------------------------------------------------------------
+
+struct DriverCase {
+  const nfs::AggregationDriver* driver;
+  FileLayout layout;
+  std::string name;
+};
+
+class AllDrivers : public ::testing::Test {
+ protected:
+  AllDrivers() : registry_(full_aggregation_registry()) {
+    {
+      FileLayout l = base_layout(4, 64);
+      cases_.push_back({registry_.find(AggregationType::kRoundRobin), l, "rr"});
+    }
+    {
+      FileLayout l = base_layout(4, 64);
+      l.aggregation = AggregationType::kCyclic;
+      l.params = {3};
+      cases_.push_back({registry_.find(AggregationType::kCyclic), l, "cyclic"});
+    }
+    {
+      FileLayout l = base_layout(4, 64);
+      l.aggregation = AggregationType::kVariableStripe;
+      l.params = {3, 16, 8, 64, 4, 256, 1};
+      cases_.push_back(
+          {registry_.find(AggregationType::kVariableStripe), l, "variable"});
+    }
+    {
+      FileLayout l = base_layout(4, 64);
+      l.aggregation = AggregationType::kReplicated;
+      cases_.push_back(
+          {registry_.find(AggregationType::kReplicated), l, "replicated"});
+    }
+    {
+      FileLayout l = base_layout(4, 64);
+      l.aggregation = AggregationType::kNested;
+      l.params = {2};
+      cases_.push_back({registry_.find(AggregationType::kNested), l, "nested"});
+    }
+  }
+
+  nfs::AggregationRegistry registry_;
+  std::vector<DriverCase> cases_;
+};
+
+TEST_F(AllDrivers, ReadMapPartitionsAnyRange) {
+  util::Rng rng(5);
+  for (const auto& c : cases_) {
+    ASSERT_NE(c.driver, nullptr) << c.name;
+    for (int trial = 0; trial < 200; ++trial) {
+      const uint64_t offset = rng.below(10'000);
+      const uint64_t length = rng.range(1, 4'000);
+      auto segs = c.driver->map_read(c.layout, offset, length);
+      uint64_t cursor = offset;
+      for (const auto& seg : segs) {
+        ASSERT_EQ(seg.file_offset, cursor) << c.name;
+        ASSERT_LT(seg.device_index, c.layout.devices.size()) << c.name;
+        cursor += seg.length;
+      }
+      ASSERT_EQ(cursor, offset + length) << c.name;
+    }
+  }
+}
+
+TEST_F(AllDrivers, MappingIsDeterministicAndConsistentWithSubranges) {
+  // Mapping [a, c) must agree with mapping [a, b) + [b, c): the same file
+  // byte always lands on the same (device, dev_offset).
+  util::Rng rng(6);
+  for (const auto& c : cases_) {
+    if (c.layout.aggregation == AggregationType::kReplicated) continue;
+    for (int trial = 0; trial < 50; ++trial) {
+      const uint64_t a = rng.below(5'000);
+      const uint64_t b = a + rng.range(1, 1'000);
+      const uint64_t cc = b + rng.range(1, 1'000);
+      auto whole = c.driver->map_read(c.layout, a, cc - a);
+      auto left = c.driver->map_read(c.layout, a, b - a);
+      auto right = c.driver->map_read(c.layout, b, cc - b);
+
+      // Build byte -> (device, dev_offset) maps and compare.
+      auto locate = [](const std::vector<StripeSegment>& segs, uint64_t byte)
+          -> std::pair<size_t, uint64_t> {
+        for (const auto& s : segs) {
+          if (byte >= s.file_offset && byte < s.file_offset + s.length) {
+            return {s.device_index, s.dev_offset + (byte - s.file_offset)};
+          }
+        }
+        return {SIZE_MAX, 0};
+      };
+      for (uint64_t probe = a; probe < cc; probe += 37) {
+        const auto from_whole = locate(whole, probe);
+        const auto from_split =
+            probe < b ? locate(left, probe) : locate(right, probe);
+        ASSERT_EQ(from_whole, from_split) << c.name << " byte " << probe;
+      }
+    }
+  }
+}
+
+TEST_F(AllDrivers, NoTwoSegmentsOverlapOnOneDevice) {
+  for (const auto& c : cases_) {
+    if (c.layout.aggregation == AggregationType::kReplicated) continue;
+    auto segs = c.driver->map_read(c.layout, 0, 8192);
+    for (size_t i = 0; i < segs.size(); ++i) {
+      for (size_t j = i + 1; j < segs.size(); ++j) {
+        if (segs[i].device_index != segs[j].device_index) continue;
+        const bool disjoint =
+            segs[i].dev_offset + segs[i].length <= segs[j].dev_offset ||
+            segs[j].dev_offset + segs[j].length <= segs[i].dev_offset;
+        ASSERT_TRUE(disjoint) << c.name;
+      }
+    }
+  }
+}
+
+TEST(Registry, FullRegistryKnowsEveryScheme) {
+  auto reg = full_aggregation_registry();
+  EXPECT_NE(reg.find(AggregationType::kRoundRobin), nullptr);
+  EXPECT_NE(reg.find(AggregationType::kCyclic), nullptr);
+  EXPECT_NE(reg.find(AggregationType::kVariableStripe), nullptr);
+  EXPECT_NE(reg.find(AggregationType::kReplicated), nullptr);
+  EXPECT_NE(reg.find(AggregationType::kNested), nullptr);
+}
+
+TEST(Registry, StandardRegistryLacksExtensions) {
+  auto reg = nfs::AggregationRegistry::with_standard_drivers();
+  EXPECT_NE(reg.find(AggregationType::kRoundRobin), nullptr);
+  EXPECT_NE(reg.find(AggregationType::kCyclic), nullptr);
+  EXPECT_EQ(reg.find(AggregationType::kReplicated), nullptr);
+  EXPECT_EQ(reg.find(AggregationType::kNested), nullptr);
+}
+
+}  // namespace
+}  // namespace dpnfs::core

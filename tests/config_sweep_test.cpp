@@ -1,0 +1,101 @@
+// Parameterized robustness sweep: data integrity must hold across the whole
+// configuration space (stripe sizes, rsize/wsize, client counts, cache
+// settings), not just the paper's defaults.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/deployment.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace dpnfs::core {
+namespace {
+
+using namespace dpnfs::util::literals;
+using rpc::Payload;
+using sim::Task;
+
+// (stripe_unit, rsize/wsize, data_cache)
+using Params = std::tuple<uint64_t, uint32_t, bool>;
+
+class ConfigSweep : public ::testing::TestWithParam<Params> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ConfigSweep,
+    ::testing::Combine(
+        ::testing::Values<uint64_t>(64_KiB, 256_KiB, 2_MiB),   // stripe
+        ::testing::Values<uint32_t>(64 * 1024, 2 * 1024 * 1024),  // r/wsize
+        ::testing::Bool()),                                    // cache
+    [](const ::testing::TestParamInfo<Params>& info) {
+      return "stripe" + std::to_string(std::get<0>(info.param) / 1024) +
+             "k_io" + std::to_string(std::get<1>(info.param) / 1024) + "k_" +
+             (std::get<2>(info.param) ? "cached" : "uncached");
+    });
+
+TEST_P(ConfigSweep, PatternSurvivesWriteReadOnDirectPnfs) {
+  const auto [stripe, iosize, cache] = GetParam();
+  ClusterConfig cfg;
+  cfg.architecture = Architecture::kDirectPnfs;
+  cfg.storage_nodes = 4;
+  cfg.clients = 1;
+  cfg.stripe_unit = stripe;
+  cfg.nfs_client.rsize = iosize;
+  cfg.nfs_client.wsize = iosize;
+  cfg.nfs_client.data_cache = cache;
+  Deployment d(cfg);
+
+  bool done = false;
+  d.simulation().spawn([](Deployment& d, bool& done) -> Task<void> {
+    co_await d.mount_all();
+    auto f = co_await d.client(0).open("/sweep", true);
+    // A pattern crossing many stripe/io-size boundaries, written in odd
+    // sized pieces.
+    constexpr uint64_t kTotal = 1'500'000;
+    std::vector<std::byte> pattern(kTotal);
+    for (size_t i = 0; i < kTotal; ++i) {
+      pattern[i] = static_cast<std::byte>((i * 193 + 7) & 0xFF);
+    }
+    util::Rng rng(17);
+    uint64_t pos = 0;
+    while (pos < kTotal) {
+      const uint64_t n = std::min<uint64_t>(rng.range(1, 100'000), kTotal - pos);
+      co_await f->write(pos, Payload::inline_bytes(std::vector<std::byte>(
+                                 pattern.begin() + static_cast<ptrdiff_t>(pos),
+                                 pattern.begin() + static_cast<ptrdiff_t>(pos + n))));
+      pos += n;
+    }
+    co_await f->close();
+    d.client(0).drop_caches();
+
+    auto g = co_await d.client(0).open("/sweep", false);
+    EXPECT_EQ(g->size(), kTotal);
+    // Read back in different odd sizes.
+    pos = 0;
+    util::Rng rng2(23);
+    bool match = true;
+    while (pos < kTotal && match) {
+      const uint64_t n = std::min<uint64_t>(rng2.range(1, 80'000), kTotal - pos);
+      Payload p = co_await g->read(pos, n);
+      if (!p.is_inline() || p.size() != n) {
+        match = false;
+        break;
+      }
+      for (uint64_t i = 0; i < n; ++i) {
+        if (p.data()[i] != pattern[pos + i]) {
+          match = false;
+          break;
+        }
+      }
+      pos += n;
+    }
+    EXPECT_TRUE(match) << "mismatch near offset " << pos;
+    co_await g->close();
+    done = true;
+  }(d, done));
+  d.simulation().run();
+  EXPECT_TRUE(done);
+}
+
+}  // namespace
+}  // namespace dpnfs::core

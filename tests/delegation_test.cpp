@@ -1,0 +1,147 @@
+// NFSv4 read-delegation tests on the Direct-pNFS deployment: grant on
+// read-only open, RPC-free local re-opens, and recall on conflicts.
+#include <gtest/gtest.h>
+
+#include "core/deployment.hpp"
+#include "util/bytes.hpp"
+
+namespace dpnfs::core {
+namespace {
+
+using namespace dpnfs::util::literals;
+using rpc::Payload;
+using sim::Task;
+
+ClusterConfig small() {
+  ClusterConfig cfg;
+  cfg.architecture = Architecture::kDirectPnfs;
+  cfg.storage_nodes = 4;
+  cfg.clients = 2;
+  return cfg;
+}
+
+nfs::NfsClient& native(Deployment& d, size_t i) {
+  return static_cast<NfsFileSystemClient&>(d.client(i)).native();
+}
+
+Task<void> seed_file(Deployment& d, const std::string& path, uint64_t bytes) {
+  auto f = co_await d.client(0).open(path, true);
+  // Inline content so later byte-level probes stay verifiable.
+  co_await f->write(0, Payload::inline_bytes(
+                           std::vector<std::byte>(bytes, std::byte{0x5A})));
+  co_await f->close();
+}
+
+TEST(Delegation, GrantedOnReadOnlyOpen) {
+  Deployment d(small());
+  d.simulation().spawn([](Deployment& d) -> Task<void> {
+    co_await d.mount_all();
+    co_await seed_file(d, "/f", 1_MiB);
+    auto& a = native(d, 0);
+    auto fa = co_await a.open("/f", false, /*read_only=*/true);
+    EXPECT_TRUE(a.file_has_delegation(fa));
+    co_await a.close(fa);
+  }(d));
+  d.simulation().run();
+}
+
+TEST(Delegation, NotGrantedToWriters) {
+  Deployment d(small());
+  d.simulation().spawn([](Deployment& d) -> Task<void> {
+    co_await d.mount_all();
+    co_await seed_file(d, "/f", 1_MiB);
+    auto& a = native(d, 0);
+    auto fa = co_await a.open("/f", false);  // read-write share
+    EXPECT_FALSE(a.file_has_delegation(fa));
+    co_await a.close(fa);
+  }(d));
+  d.simulation().run();
+}
+
+TEST(Delegation, ReopenUnderDelegationIsRpcFree) {
+  Deployment d(small());
+  d.simulation().spawn([](Deployment& d) -> Task<void> {
+    co_await d.mount_all();
+    co_await seed_file(d, "/hot", 256_KiB);
+    auto& a = native(d, 0);
+
+    auto first = co_await a.open("/hot", false, true);
+    (void)co_await a.read(first, 0, 256_KiB);  // populate cache
+    co_await a.close(first);
+
+    const uint64_t rpcs_before = a.stats().rpcs;
+    for (int i = 0; i < 10; ++i) {
+      auto f = co_await a.open("/hot", false, true);
+      Payload p = co_await a.read(f, 0, 64_KiB);
+      EXPECT_EQ(p.size(), 64_KiB);
+      co_await a.close(f);
+    }
+    // Ten open/read/close cycles, zero RPCs: delegation + page cache.
+    EXPECT_EQ(a.stats().rpcs, rpcs_before);
+  }(d));
+  d.simulation().run();
+}
+
+TEST(Delegation, RecalledWhenAnotherClientOpensForWrite) {
+  Deployment d(small());
+  d.simulation().spawn([](Deployment& d) -> Task<void> {
+    co_await d.mount_all();
+    co_await seed_file(d, "/f", 1_MiB);
+    auto& a = native(d, 0);
+    auto& b = native(d, 1);
+
+    auto fa = co_await a.open("/f", false, true);
+    EXPECT_TRUE(a.file_has_delegation(fa));
+
+    auto fb = co_await b.open("/f", false);  // write share: conflict
+    EXPECT_FALSE(a.file_has_delegation(fa));
+    EXPECT_EQ(a.delegation_recalls_served(), 1u);
+
+    // After recall, A's reopen revalidates against B's changes.
+    co_await b.write(fb, 0, Payload::from_string("BBBB"));
+    co_await b.close(fb);
+    co_await a.close(fa);
+    auto fa2 = co_await a.open("/f", false, true);
+    Payload p = co_await a.read(fa2, 0, 4);
+    EXPECT_EQ(p, Payload::from_string("BBBB"));
+    co_await a.close(fa2);
+  }(d));
+  d.simulation().run();
+}
+
+TEST(Delegation, TruncateRecallsDelegations) {
+  Deployment d(small());
+  d.simulation().spawn([](Deployment& d) -> Task<void> {
+    co_await d.mount_all();
+    co_await seed_file(d, "/f", 1_MiB);
+    auto& a = native(d, 0);
+    auto& b = native(d, 1);
+    auto fa = co_await a.open("/f", false, true);
+    EXPECT_TRUE(a.file_has_delegation(fa));
+    co_await b.truncate("/f", 64_KiB);
+    EXPECT_FALSE(a.file_has_delegation(fa));
+    co_await a.close(fa);
+  }(d));
+  d.simulation().run();
+}
+
+TEST(Delegation, TwoReadersBothHoldDelegations) {
+  Deployment d(small());
+  d.simulation().spawn([](Deployment& d) -> Task<void> {
+    co_await d.mount_all();
+    co_await seed_file(d, "/f", 1_MiB);
+    auto& a = native(d, 0);
+    auto& b = native(d, 1);
+    auto fa = co_await a.open("/f", false, true);
+    auto fb = co_await b.open("/f", false, true);
+    // Read delegations are shareable.
+    EXPECT_TRUE(a.file_has_delegation(fa));
+    EXPECT_TRUE(b.file_has_delegation(fb));
+    co_await a.close(fa);
+    co_await b.close(fb);
+  }(d));
+  d.simulation().run();
+}
+
+}  // namespace
+}  // namespace dpnfs::core

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "util/interval_set.hpp"
+#include "util/rng.hpp"
+
+namespace dpnfs::util {
+namespace {
+
+using IV = IntervalSet::Interval;
+
+TEST(IntervalSet, EmptySet) {
+  IntervalSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.total_length(), 0u);
+  EXPECT_FALSE(s.intersects(0, 100));
+  EXPECT_FALSE(s.covers(0, 1));
+  EXPECT_TRUE(s.covers(5, 5));  // empty range trivially covered
+}
+
+TEST(IntervalSet, AddAndQuery) {
+  IntervalSet s;
+  s.add(10, 20);
+  EXPECT_TRUE(s.covers(10, 20));
+  EXPECT_TRUE(s.covers(12, 18));
+  EXPECT_FALSE(s.covers(5, 15));
+  EXPECT_FALSE(s.covers(15, 25));
+  EXPECT_TRUE(s.intersects(5, 15));
+  EXPECT_TRUE(s.intersects(19, 30));
+  EXPECT_FALSE(s.intersects(20, 30));  // half-open
+  EXPECT_FALSE(s.intersects(0, 10));
+  EXPECT_EQ(s.total_length(), 10u);
+}
+
+TEST(IntervalSet, AddMergesOverlapping) {
+  IntervalSet s;
+  s.add(10, 20);
+  s.add(15, 30);
+  EXPECT_EQ(s.interval_count(), 1u);
+  EXPECT_TRUE(s.covers(10, 30));
+}
+
+TEST(IntervalSet, AddMergesAdjacent) {
+  IntervalSet s;
+  s.add(10, 20);
+  s.add(20, 30);
+  EXPECT_EQ(s.interval_count(), 1u);
+  EXPECT_TRUE(s.covers(10, 30));
+}
+
+TEST(IntervalSet, AddKeepsDisjointSeparate) {
+  IntervalSet s;
+  s.add(10, 20);
+  s.add(30, 40);
+  EXPECT_EQ(s.interval_count(), 2u);
+  EXPECT_FALSE(s.covers(10, 40));
+  EXPECT_EQ(s.total_length(), 20u);
+}
+
+TEST(IntervalSet, AddSpanningMergesAll) {
+  IntervalSet s;
+  s.add(10, 20);
+  s.add(30, 40);
+  s.add(50, 60);
+  s.add(15, 55);
+  EXPECT_EQ(s.interval_count(), 1u);
+  EXPECT_TRUE(s.covers(10, 60));
+}
+
+TEST(IntervalSet, SubtractMiddleSplits) {
+  IntervalSet s;
+  s.add(10, 40);
+  s.subtract(20, 30);
+  EXPECT_EQ(s.interval_count(), 2u);
+  EXPECT_TRUE(s.covers(10, 20));
+  EXPECT_TRUE(s.covers(30, 40));
+  EXPECT_FALSE(s.intersects(20, 30));
+}
+
+TEST(IntervalSet, SubtractEdges) {
+  IntervalSet s;
+  s.add(10, 40);
+  s.subtract(0, 15);
+  s.subtract(35, 50);
+  EXPECT_EQ(s.intervals(), (std::vector<IV>{{15, 35}}));
+}
+
+TEST(IntervalSet, SubtractEverything) {
+  IntervalSet s;
+  s.add(10, 20);
+  s.add(30, 40);
+  s.subtract(0, 100);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(IntervalSet, SubtractAcrossMultiple) {
+  IntervalSet s;
+  s.add(0, 10);
+  s.add(20, 30);
+  s.add(40, 50);
+  s.subtract(5, 45);
+  EXPECT_EQ(s.intervals(), (std::vector<IV>{{0, 5}, {45, 50}}));
+}
+
+TEST(IntervalSet, IntersectionClipsToRange) {
+  IntervalSet s;
+  s.add(10, 20);
+  s.add(30, 40);
+  EXPECT_EQ(s.intersection(15, 35), (std::vector<IV>{{15, 20}, {30, 35}}));
+  EXPECT_TRUE(s.intersection(21, 29).empty());
+}
+
+TEST(IntervalSet, GapsComplementIntersection) {
+  IntervalSet s;
+  s.add(10, 20);
+  s.add(30, 40);
+  EXPECT_EQ(s.gaps(0, 50), (std::vector<IV>{{0, 10}, {20, 30}, {40, 50}}));
+  EXPECT_EQ(s.gaps(10, 40), (std::vector<IV>{{20, 30}}));
+  EXPECT_TRUE(s.gaps(12, 18).empty());
+}
+
+TEST(IntervalSet, EmptyAddIsNoop) {
+  IntervalSet s;
+  s.add(5, 5);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(IntervalSet, BadRangeThrows) {
+  IntervalSet s;
+  EXPECT_THROW(s.add(10, 5), std::invalid_argument);
+  EXPECT_THROW(s.covers(10, 5), std::invalid_argument);
+}
+
+// Property: a random sequence of adds/subtracts matches a bitmap oracle.
+TEST(IntervalSet, PropertyMatchesBitmapOracle) {
+  constexpr uint64_t kUniverse = 256;
+  util::Rng rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    IntervalSet s;
+    std::vector<bool> oracle(kUniverse, false);
+    for (int op = 0; op < 60; ++op) {
+      uint64_t a = rng.below(kUniverse);
+      uint64_t b = rng.below(kUniverse);
+      if (a > b) std::swap(a, b);
+      if (rng.chance(0.6)) {
+        s.add(a, b);
+        for (uint64_t i = a; i < b; ++i) oracle[i] = true;
+      } else {
+        s.subtract(a, b);
+        for (uint64_t i = a; i < b; ++i) oracle[i] = false;
+      }
+    }
+    // Compare total length.
+    uint64_t oracle_len = 0;
+    for (bool bit : oracle) oracle_len += bit ? 1 : 0;
+    ASSERT_EQ(s.total_length(), oracle_len);
+    // Compare covers/intersects on random probes.
+    for (int probe = 0; probe < 40; ++probe) {
+      uint64_t a = rng.below(kUniverse);
+      uint64_t b = rng.below(kUniverse);
+      if (a > b) std::swap(a, b);
+      bool all = true, any = false;
+      for (uint64_t i = a; i < b; ++i) {
+        all = all && oracle[i];
+        any = any || oracle[i];
+      }
+      ASSERT_EQ(s.covers(a, b), all) << "covers(" << a << "," << b << ")";
+      ASSERT_EQ(s.intersects(a, b), any) << "intersects(" << a << "," << b << ")";
+    }
+    // Intervals must be disjoint, sorted, and non-adjacent.
+    const auto ivs = s.intervals();
+    for (size_t i = 1; i < ivs.size(); ++i) {
+      ASSERT_GT(ivs[i].start, ivs[i - 1].end);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dpnfs::util

@@ -1,0 +1,303 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "lfs/object_store.hpp"
+#include "sim/network.hpp"
+#include "util/bytes.hpp"
+
+namespace dpnfs::lfs {
+namespace {
+
+using namespace dpnfs::util::literals;
+using rpc::Payload;
+using sim::Task;
+
+struct Fixture {
+  sim::Simulation sim;
+  sim::Network net{sim};
+  sim::Node& node = net.add_node(sim::NodeParams{
+      .name = "store0",
+      .nic = sim::NicParams{},
+      .disk = sim::DiskParams{.bytes_per_sec = 50e6, .positioning = sim::ms(5),
+                              .per_request = 0},
+      .cpu = sim::CpuParams{}});
+
+  ObjectStoreParams params{};
+  std::unique_ptr<ObjectStore> store;
+
+  explicit Fixture(ObjectStoreParams p = {}) : params(p) {
+    store = std::make_unique<ObjectStore>(node, params);
+  }
+
+  /// Runs a coroutine to completion on the sim.
+  void run(Task<void> t) {
+    sim.spawn(std::move(t));
+    sim.run();
+  }
+};
+
+TEST(ObjectStore, RequiresDisk) {
+  sim::Simulation sim;
+  sim::Network net{sim};
+  auto& diskless = net.add_node(sim::NodeParams{.name = "x",
+                                                .nic = sim::NicParams{},
+                                                .disk = std::nullopt,
+                                                .cpu = sim::CpuParams{}});
+  EXPECT_THROW(ObjectStore store(diskless), std::logic_error);
+}
+
+TEST(ObjectStore, CreateRemoveExists) {
+  Fixture f;
+  EXPECT_FALSE(f.store->exists(1));
+  f.store->create(1);
+  EXPECT_TRUE(f.store->exists(1));
+  EXPECT_EQ(f.store->size(1), 0u);
+  EXPECT_THROW(f.store->create(1), std::logic_error);
+  f.store->remove(1);
+  EXPECT_FALSE(f.store->exists(1));
+  EXPECT_THROW(f.store->remove(1), std::logic_error);
+  EXPECT_THROW(f.store->size(1), std::logic_error);
+}
+
+Task<void> write_read_verify(ObjectStore& s) {
+  co_await s.write(5, 0, Payload::from_string("hello, object store"), false);
+  EXPECT_EQ(s.size(5), 19u);
+  Payload p = co_await s.read(5, 0, 20);
+  EXPECT_EQ(p, Payload::from_string("hello, object store"));
+  // Partial read.
+  Payload q = co_await s.read(5, 7, 6);
+  EXPECT_EQ(q, Payload::from_string("object"));
+}
+
+TEST(ObjectStore, WriteReadRoundTrip) {
+  Fixture f;
+  f.run(write_read_verify(*f.store));
+}
+
+Task<void> overwrite_check(ObjectStore& s) {
+  co_await s.write(1, 0, Payload::from_string("aaaaaaaaaa"), false);
+  co_await s.write(1, 3, Payload::from_string("BBB"), false);
+  Payload p = co_await s.read(1, 0, 10);
+  EXPECT_EQ(p, Payload::from_string("aaaBBBaaaa"));
+}
+
+TEST(ObjectStore, OverwriteMiddle) {
+  Fixture f;
+  f.run(overwrite_check(*f.store));
+}
+
+Task<void> hole_check(ObjectStore& s) {
+  co_await s.write(1, 10, Payload::from_string("xy"), false);
+  EXPECT_EQ(s.size(1), 12u);
+  Payload p = co_await s.read(1, 0, 12);
+  EXPECT_TRUE(p.is_inline());
+  EXPECT_EQ(p.size(), 12u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(p.data()[i], std::byte{0});
+  EXPECT_EQ(p.data()[10], static_cast<std::byte>('x'));
+}
+
+TEST(ObjectStore, HolesReadAsZeros) {
+  Fixture f;
+  f.run(hole_check(*f.store));
+}
+
+Task<void> short_read_check(ObjectStore& s) {
+  co_await s.write(1, 0, Payload::from_string("short"), false);
+  Payload p = co_await s.read(1, 3, 100);
+  EXPECT_EQ(p, Payload::from_string("rt"));
+  Payload q = co_await s.read(1, 5, 10);
+  EXPECT_EQ(q.size(), 0u);
+  Payload r = co_await s.read(1, 100, 10);
+  EXPECT_EQ(r.size(), 0u);
+}
+
+TEST(ObjectStore, ShortReadsAtEof) {
+  Fixture f;
+  f.run(short_read_check(*f.store));
+}
+
+Task<void> virtual_poison_check(ObjectStore& s) {
+  co_await s.write(1, 0, Payload::from_string("realdata"), false);
+  co_await s.write(1, 4, Payload::virtual_bytes(2), false);
+  Payload p = co_await s.read(1, 0, 8);
+  EXPECT_FALSE(p.is_inline());  // poisoned range
+  EXPECT_EQ(p.size(), 8u);
+  // Outside the poison, content is still real.
+  Payload q = co_await s.read(1, 0, 4);
+  EXPECT_EQ(q, Payload::from_string("real"));
+  // Overwriting the poison with real bytes heals it.
+  co_await s.write(1, 4, Payload::from_string("DA"), false);
+  Payload r = co_await s.read(1, 0, 8);
+  EXPECT_EQ(r, Payload::from_string("realDAta"));
+}
+
+TEST(ObjectStore, VirtualWritesPoisonAndHeal) {
+  Fixture f;
+  f.run(virtual_poison_check(*f.store));
+}
+
+Task<void> truncate_check(ObjectStore& s) {
+  co_await s.write(1, 0, Payload::from_string("0123456789"), false);
+  s.truncate(1, 4);
+  EXPECT_EQ(s.size(1), 4u);
+  Payload p = co_await s.read(1, 0, 10);
+  EXPECT_EQ(p, Payload::from_string("0123"));
+  // Extending truncate leaves a hole.
+  s.truncate(1, 8);
+  Payload q = co_await s.read(1, 0, 8);
+  EXPECT_TRUE(q.is_inline());
+  EXPECT_EQ(q.data()[3], static_cast<std::byte>('3'));
+  EXPECT_EQ(q.data()[4], std::byte{0});
+}
+
+TEST(ObjectStore, Truncate) {
+  Fixture f;
+  f.run(truncate_check(*f.store));
+}
+
+Task<void> unstable_then_commit(ObjectStore& s, sim::Simulation& sim,
+                                sim::Time& write_done, sim::Time& commit_done) {
+  co_await s.write(1, 0, Payload::virtual_bytes(10_MiB), false);
+  write_done = sim.now();
+  EXPECT_GT(s.dirty_bytes(), 0u);
+  co_await s.commit(1);
+  commit_done = sim.now();
+  EXPECT_EQ(s.dirty_bytes(), 0u);
+}
+
+TEST(ObjectStore, UnstableWriteIsFastCommitPaysDisk) {
+  Fixture f;
+  sim::Time write_done = -1, commit_done = -1;
+  f.run(unstable_then_commit(*f.store, f.sim, write_done, commit_done));
+  EXPECT_EQ(write_done, 0);  // buffered: no simulated time
+  // 10 MiB at 50 MB/s ~ 0.21 s.
+  EXPECT_GT(commit_done, sim::ms(180));
+  EXPECT_GT(f.store->stats().disk_write_bytes, 10u * 1000 * 1000);
+}
+
+Task<void> stable_write(ObjectStore& s, sim::Simulation& sim, sim::Time& done) {
+  co_await s.write(1, 0, Payload::virtual_bytes(10_MiB), true);
+  done = sim.now();
+}
+
+TEST(ObjectStore, StableWritePaysDiskImmediately) {
+  Fixture f;
+  sim::Time done = -1;
+  f.run(stable_write(*f.store, f.sim, done));
+  EXPECT_GT(done, sim::ms(180));
+  EXPECT_EQ(f.store->dirty_bytes(), 0u);
+}
+
+Task<void> overflow_dirty(ObjectStore& s, sim::Simulation& sim,
+                          sim::Time& first_done, sim::Time& all_done) {
+  // Dirty limit is 8 MiB (set below); the first 4 MiB write is free, the
+  // rest must throttle at disk speed.
+  co_await s.write(1, 0, Payload::virtual_bytes(4_MiB), false);
+  first_done = sim.now();
+  for (int i = 1; i < 16; ++i) {
+    co_await s.write(1, static_cast<uint64_t>(i) * 4_MiB,
+                     Payload::virtual_bytes(4_MiB), false);
+  }
+  all_done = sim.now();
+}
+
+TEST(ObjectStore, DirtyLimitThrottlesWriters) {
+  ObjectStoreParams p;
+  p.dirty_limit_bytes = 8_MiB;
+  Fixture f(p);
+  sim::Time first_done = -1, all_done = -1;
+  f.run(overflow_dirty(*f.store, f.sim, first_done, all_done));
+  EXPECT_EQ(first_done, 0);
+  // 64 MiB total, ~56 MiB must hit the 50 MB/s disk: >= 1.1 s.
+  EXPECT_GT(sim::to_seconds(all_done), 1.0);
+  EXPECT_LE(f.store->dirty_bytes(), 8_MiB);
+}
+
+Task<void> warm_read(ObjectStore& s, sim::Simulation& sim, sim::Time& elapsed) {
+  co_await s.write(1, 0, Payload::virtual_bytes(16_MiB), false);
+  co_await s.commit(1);
+  const sim::Time start = sim.now();
+  (void)co_await s.read(1, 0, 16_MiB);
+  elapsed = sim.now() - start;
+}
+
+TEST(ObjectStore, WarmCacheReadCostsNoDiskTime) {
+  Fixture f;
+  sim::Time elapsed = -1;
+  f.run(warm_read(*f.store, f.sim, elapsed));
+  EXPECT_EQ(elapsed, 0);
+  EXPECT_EQ(f.store->stats().disk_reads, 0u);
+}
+
+Task<void> cold_read(ObjectStore& s, sim::Simulation& sim, sim::Time& elapsed) {
+  co_await s.write(1, 0, Payload::virtual_bytes(16_MiB), false);
+  co_await s.commit(1);
+  s.drop_caches();
+  const sim::Time start = sim.now();
+  (void)co_await s.read(1, 0, 16_MiB);
+  elapsed = sim.now() - start;
+}
+
+TEST(ObjectStore, ColdReadPaysDisk) {
+  Fixture f;
+  sim::Time elapsed = -1;
+  f.run(cold_read(*f.store, f.sim, elapsed));
+  // 16 MiB at 50 MB/s ~ 0.34 s.
+  EXPECT_GT(sim::to_seconds(elapsed), 0.3);
+  EXPECT_GT(f.store->stats().disk_read_bytes, 16u * 1000 * 1000);
+}
+
+Task<void> eviction_scenario(ObjectStore& s) {
+  // Cache limit is 4 MiB (set below); write 16 MiB, then re-read the start:
+  // it must have been evicted.
+  co_await s.write(1, 0, Payload::virtual_bytes(16_MiB), false);
+  co_await s.commit(1);
+  (void)co_await s.read(1, 0, 1_MiB);
+}
+
+TEST(ObjectStore, LruEvictionBoundsResidency) {
+  ObjectStoreParams p;
+  p.cache_limit_bytes = 4_MiB;
+  Fixture f(p);
+  f.run(eviction_scenario(*f.store));
+  EXPECT_GT(f.store->stats().disk_reads, 0u);
+}
+
+Task<void> write_implicit_create(ObjectStore& s) {
+  co_await s.write(99, 0, Payload::from_string("implicit"), false);
+  EXPECT_TRUE(s.exists(99));
+}
+
+TEST(ObjectStore, WriteCreatesObjectImplicitly) {
+  Fixture f;
+  f.run(write_implicit_create(*f.store));
+}
+
+Task<void> commit_all_scenario(ObjectStore& s) {
+  co_await s.write(1, 0, Payload::virtual_bytes(1_MiB), false);
+  co_await s.write(2, 0, Payload::virtual_bytes(1_MiB), false);
+  co_await s.write(3, 0, Payload::virtual_bytes(1_MiB), false);
+  EXPECT_EQ(s.dirty_bytes(), 3 * 1_MiB);
+  co_await s.commit_all();
+  EXPECT_EQ(s.dirty_bytes(), 0u);
+}
+
+TEST(ObjectStore, CommitAllDrainsEverything) {
+  Fixture f;
+  f.run(commit_all_scenario(*f.store));
+}
+
+TEST(ObjectStore, RemoveDropsDirtyAccounting) {
+  Fixture f;
+  f.run([](ObjectStore& s) -> Task<void> {
+    co_await s.write(1, 0, Payload::virtual_bytes(2_MiB), false);
+    EXPECT_EQ(s.dirty_bytes(), 2_MiB);
+    s.remove(1);
+    EXPECT_EQ(s.dirty_bytes(), 0u);
+    co_await s.commit_all();  // stale queue entries must be skipped safely
+  }(*f.store));
+}
+
+}  // namespace
+}  // namespace dpnfs::lfs

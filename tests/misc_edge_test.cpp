@@ -1,0 +1,177 @@
+// Assorted edge-path tests: RPC server drain, NIC accounting, odd cluster
+// shapes, store helpers, and client corner cases.
+#include <gtest/gtest.h>
+
+#include "core/deployment.hpp"
+#include "lfs/object_store.hpp"
+#include "rpc/fabric.hpp"
+#include "sim/network.hpp"
+#include "util/bytes.hpp"
+#include "workload/ior.hpp"
+#include "workload/runner.hpp"
+
+namespace dpnfs {
+namespace {
+
+using namespace dpnfs::util::literals;
+using rpc::Payload;
+using sim::Task;
+
+TEST(NicAccounting, TransfersAreCountedAtBothEnds) {
+  sim::Simulation sim;
+  sim::Network net{sim};
+  auto& a = net.add_node({.name = "a", .nic = {}, .disk = std::nullopt, .cpu = {}});
+  auto& b = net.add_node({.name = "b", .nic = {}, .disk = std::nullopt, .cpu = {}});
+  sim.spawn([](sim::Network& net, sim::Node& a, sim::Node& b) -> Task<void> {
+    co_await net.transfer(a, b, 1'000'000);
+    co_await net.transfer(b, a, 250'000);
+  }(net, a, b));
+  sim.run();
+  EXPECT_EQ(a.nic().tx_bytes(), 1'000'000u);
+  EXPECT_EQ(a.nic().rx_bytes(), 250'000u);
+  EXPECT_EQ(b.nic().rx_bytes(), 1'000'000u);
+  EXPECT_EQ(b.nic().tx_bytes(), 250'000u);
+}
+
+TEST(NicAccounting, LoopbackDoesNotTouchNics) {
+  sim::Simulation sim;
+  sim::Network net{sim};
+  auto& a = net.add_node({.name = "a", .nic = {}, .disk = std::nullopt, .cpu = {}});
+  sim.spawn([](sim::Network& net, sim::Node& a) -> Task<void> {
+    co_await net.transfer(a, a, 10'000'000);
+  }(net, a));
+  sim.run();
+  EXPECT_EQ(a.nic().tx_bytes(), 0u);
+  EXPECT_EQ(a.nic().rx_bytes(), 0u);
+}
+
+TEST(RpcServerDrain, StopLetsQueuedWorkFinish) {
+  sim::Simulation sim;
+  sim::Network net{sim};
+  rpc::RpcFabric fabric{net};
+  auto& sn = net.add_node({.name = "s", .nic = {}, .disk = std::nullopt, .cpu = {}});
+  auto& cn = net.add_node({.name = "c", .nic = {}, .disk = std::nullopt, .cpu = {}});
+  int served = 0;
+  rpc::RpcServer server(
+      fabric, sn, 9000, 1,
+      [&sim, &served](const rpc::CallContext&, rpc::XdrDecoder&,
+                      rpc::XdrEncoder&) -> Task<void> {
+        co_await sim.delay(sim::ms(5));
+        ++served;
+      });
+  server.start();
+  rpc::RpcClient client(fabric, cn, "t@SIM");
+  int replies = 0;
+  for (int i = 0; i < 4; ++i) {
+    sim.spawn([](rpc::RpcClient& c, rpc::RpcAddress to, int& replies) -> Task<void> {
+      auto r = co_await c.call(to, rpc::Program::kNfs, 4, 1, rpc::XdrEncoder{});
+      if (r.status == rpc::ReplyStatus::kAccepted) ++replies;
+    }(client, server.address(), replies));
+  }
+  // Stop after the first request lands; the rest must still drain.
+  sim.spawn([](sim::Simulation& sim, rpc::RpcServer& server) -> Task<void> {
+    co_await sim.delay(sim::ms(1));
+    server.stop();
+  }(sim, server));
+  sim.run();
+  EXPECT_EQ(served, 4);
+  EXPECT_EQ(replies, 4);
+}
+
+TEST(DeploymentShapes, OddStorageCountsWork) {
+  for (uint32_t nodes : {2u, 3u, 5u, 7u}) {
+    core::ClusterConfig cfg;
+    cfg.architecture = core::Architecture::kDirectPnfs;
+    cfg.storage_nodes = nodes;
+    cfg.clients = 2;
+    core::Deployment d(cfg);
+    workload::IorConfig ior;
+    ior.bytes_per_client = 4_MiB;
+    workload::IorWorkload w(ior);
+    const auto r = run_workload(d, w);
+    EXPECT_EQ(r.app_bytes, 8_MiB) << nodes << " nodes";
+  }
+}
+
+TEST(DeploymentShapes, SingleStorageNodeDegenerateCase) {
+  core::ClusterConfig cfg;
+  cfg.architecture = core::Architecture::kNativePvfs;
+  cfg.storage_nodes = 1;
+  cfg.clients = 2;
+  core::Deployment d(cfg);
+  workload::IorConfig ior;
+  ior.bytes_per_client = 4_MiB;
+  workload::IorWorkload w(ior);
+  EXPECT_EQ(run_workload(d, w).app_bytes, 8_MiB);
+}
+
+TEST(ObjectStoreHelpers, WarmAndDropCachesControlDiskReads) {
+  sim::Simulation sim;
+  sim::Network net{sim};
+  auto& node = net.add_node({.name = "s",
+                             .nic = {},
+                             .disk = sim::DiskParams{},
+                             .cpu = {}});
+  lfs::ObjectStore store(node);
+  sim.spawn([](lfs::ObjectStore& s) -> Task<void> {
+    co_await s.write(1, 0, Payload::virtual_bytes(8_MiB), true);
+    s.drop_caches();
+    s.warm(1);  // mark resident without I/O
+    (void)co_await s.read(1, 0, 8_MiB);
+  }(store));
+  sim.run();
+  EXPECT_EQ(store.stats().disk_reads, 0u);  // warm() made the read free
+}
+
+TEST(ClientEdge, ZeroLengthIoIsFreeAndSafe) {
+  core::ClusterConfig cfg;
+  cfg.architecture = core::Architecture::kDirectPnfs;
+  cfg.storage_nodes = 4;
+  cfg.clients = 1;
+  core::Deployment d(cfg);
+  bool done = false;
+  d.simulation().spawn([](core::Deployment& d, bool& done) -> Task<void> {
+    co_await d.mount_all();
+    auto f = co_await d.client(0).open("/z", true);
+    co_await f->write(0, Payload{});
+    Payload p = co_await f->read(0, 0);
+    EXPECT_EQ(p.size(), 0u);
+    p = co_await f->read(12345, 100);  // beyond EOF
+    EXPECT_EQ(p.size(), 0u);
+    co_await f->close();
+    done = true;
+  }(d, done));
+  d.simulation().run();
+  EXPECT_TRUE(done);
+}
+
+TEST(ClientEdge, ManySmallFilesDoNotExplodeClientState) {
+  core::ClusterConfig cfg;
+  cfg.architecture = core::Architecture::kDirectPnfs;
+  cfg.storage_nodes = 4;
+  cfg.clients = 1;
+  cfg.nfs_client.cache_limit_bytes = 2_MiB;  // force eviction churn
+  core::Deployment d(cfg);
+  bool done = false;
+  d.simulation().spawn([](core::Deployment& d, bool& done) -> Task<void> {
+    co_await d.mount_all();
+    for (int i = 0; i < 200; ++i) {
+      auto f = co_await d.client(0).open("/small" + std::to_string(i), true);
+      co_await f->write(0, Payload::virtual_bytes(64_KiB));
+      co_await f->close();
+    }
+    // Read a sample back.
+    for (int i = 0; i < 200; i += 37) {
+      auto f = co_await d.client(0).open("/small" + std::to_string(i), false);
+      Payload p = co_await f->read(0, 64_KiB);
+      EXPECT_EQ(p.size(), 64_KiB);
+      co_await f->close();
+    }
+    done = true;
+  }(d, done));
+  d.simulation().run();
+  EXPECT_TRUE(done);
+}
+
+}  // namespace
+}  // namespace dpnfs

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "util/range_buffer.hpp"
+#include "util/rng.hpp"
+
+namespace dpnfs::util {
+namespace {
+
+using rpc::Payload;
+
+TEST(RangeBuffer, EmptyReadsZeros) {
+  RangeBuffer b;
+  Payload p = b.load(10, 4);
+  ASSERT_TRUE(p.is_inline());
+  for (auto byte : p.data()) EXPECT_EQ(byte, std::byte{0});
+}
+
+TEST(RangeBuffer, StoreLoadExact) {
+  RangeBuffer b;
+  b.store(5, Payload::from_string("abc"));
+  EXPECT_EQ(b.load(5, 3), Payload::from_string("abc"));
+  // Surrounding zeros.
+  Payload p = b.load(4, 5);
+  EXPECT_EQ(p.data()[0], std::byte{0});
+  EXPECT_EQ(p.data()[1], static_cast<std::byte>('a'));
+  EXPECT_EQ(p.data()[4], std::byte{0});
+}
+
+TEST(RangeBuffer, OverwriteSplitsExtents) {
+  RangeBuffer b;
+  b.store(0, Payload::from_string("AAAAAAAAAA"));
+  b.store(3, Payload::from_string("bbb"));
+  EXPECT_EQ(b.load(0, 10), Payload::from_string("AAAbbbAAAA"));
+  b.store(0, Payload::from_string("cc"));
+  EXPECT_EQ(b.load(0, 10), Payload::from_string("ccAbbbAAAA"));
+}
+
+TEST(RangeBuffer, VirtualTaintsAndHeals) {
+  RangeBuffer b;
+  b.store(0, Payload::from_string("0123456789"));
+  b.store(4, Payload::virtual_bytes(2));
+  EXPECT_TRUE(b.tainted(0, 10));
+  EXPECT_FALSE(b.tainted(0, 4));
+  EXPECT_FALSE(b.load(0, 10).is_inline());
+  EXPECT_EQ(b.load(0, 4), Payload::from_string("0123"));
+  EXPECT_EQ(b.load(6, 4), Payload::from_string("6789"));
+  b.store(4, Payload::from_string("45"));
+  EXPECT_EQ(b.load(0, 10), Payload::from_string("0123456789"));
+}
+
+TEST(RangeBuffer, DropForgetsContent) {
+  RangeBuffer b;
+  b.store(0, Payload::from_string("xxxxxxxxxx"));
+  b.drop(2, 6);
+  Payload p = b.load(0, 10);
+  EXPECT_EQ(p.data()[1], static_cast<std::byte>('x'));
+  EXPECT_EQ(p.data()[2], std::byte{0});
+  EXPECT_EQ(p.data()[5], std::byte{0});
+  EXPECT_EQ(p.data()[6], static_cast<std::byte>('x'));
+}
+
+TEST(RangeBuffer, DropClearsTaint) {
+  RangeBuffer b;
+  b.store(0, Payload::virtual_bytes(8));
+  EXPECT_TRUE(b.tainted(0, 8));
+  b.drop(0, 8);
+  EXPECT_FALSE(b.tainted(0, 8));
+  EXPECT_TRUE(b.load(0, 8).is_inline());  // zeros again
+}
+
+TEST(RangeBuffer, ZeroLengthOps) {
+  RangeBuffer b;
+  b.store(5, Payload{});
+  EXPECT_EQ(b.load(5, 0).size(), 0u);
+  b.drop(5, 5);
+}
+
+// Property: random store/drop sequences match a byte-array oracle.
+TEST(RangeBuffer, PropertyMatchesOracle) {
+  constexpr size_t kUniverse = 512;
+  util::Rng rng(31337);
+  for (int trial = 0; trial < 30; ++trial) {
+    RangeBuffer b;
+    std::vector<uint8_t> oracle(kUniverse, 0);
+    for (int op = 0; op < 80; ++op) {
+      uint64_t lo = rng.below(kUniverse);
+      uint64_t hi = rng.below(kUniverse);
+      if (lo > hi) std::swap(lo, hi);
+      if (hi == lo) continue;
+      if (rng.chance(0.7)) {
+        std::vector<std::byte> data(hi - lo);
+        for (auto& byte : data) {
+          const auto v = static_cast<uint8_t>(rng.below(256));
+          byte = static_cast<std::byte>(v);
+        }
+        for (uint64_t i = lo; i < hi; ++i) {
+          oracle[i] = static_cast<uint8_t>(data[i - lo]);
+        }
+        b.store(lo, Payload::inline_bytes(std::move(data)));
+      } else {
+        b.drop(lo, hi);
+        for (uint64_t i = lo; i < hi; ++i) oracle[i] = 0;
+      }
+    }
+    const Payload all = b.load(0, kUniverse);
+    ASSERT_TRUE(all.is_inline());
+    for (size_t i = 0; i < kUniverse; ++i) {
+      ASSERT_EQ(static_cast<uint8_t>(all.data()[i]), oracle[i])
+          << "trial " << trial << " byte " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dpnfs::util

@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "rpc/message.hpp"
+#include "rpc/xdr.hpp"
+#include "util/rng.hpp"
+
+namespace dpnfs::rpc {
+namespace {
+
+TEST(Xdr, U32RoundTripAndBigEndian) {
+  XdrEncoder enc;
+  enc.put_u32(0x01020304u);
+  auto buf = std::move(enc).take();
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf[0], std::byte{0x01});
+  EXPECT_EQ(buf[3], std::byte{0x04});
+  XdrDecoder dec(buf);
+  EXPECT_EQ(dec.get_u32(), 0x01020304u);
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(Xdr, U64RoundTrip) {
+  XdrEncoder enc;
+  enc.put_u64(0xDEADBEEFCAFEF00DULL);
+  auto buf = std::move(enc).take();
+  ASSERT_EQ(buf.size(), 8u);
+  XdrDecoder dec(buf);
+  EXPECT_EQ(dec.get_u64(), 0xDEADBEEFCAFEF00DULL);
+}
+
+TEST(Xdr, SignedRoundTrip) {
+  XdrEncoder enc;
+  enc.put_i32(-5);
+  enc.put_i64(-123456789012345LL);
+  auto buf = std::move(enc).take();
+  XdrDecoder dec(buf);
+  EXPECT_EQ(dec.get_i32(), -5);
+  EXPECT_EQ(dec.get_i64(), -123456789012345LL);
+}
+
+TEST(Xdr, BoolRoundTripAndValidation) {
+  XdrEncoder enc;
+  enc.put_bool(true);
+  enc.put_bool(false);
+  enc.put_u32(7);  // invalid bool
+  auto buf = std::move(enc).take();
+  XdrDecoder dec(buf);
+  EXPECT_TRUE(dec.get_bool());
+  EXPECT_FALSE(dec.get_bool());
+  EXPECT_THROW(dec.get_bool(), XdrError);
+}
+
+TEST(Xdr, StringPadsToFourBytes) {
+  XdrEncoder enc;
+  enc.put_string("abcde");  // 4 len + 5 data + 3 pad
+  auto buf = std::move(enc).take();
+  EXPECT_EQ(buf.size(), 12u);
+  XdrDecoder dec(buf);
+  EXPECT_EQ(dec.get_string(), "abcde");
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(Xdr, EmptyString) {
+  XdrEncoder enc;
+  enc.put_string("");
+  auto buf = std::move(enc).take();
+  EXPECT_EQ(buf.size(), 4u);
+  XdrDecoder dec(buf);
+  EXPECT_EQ(dec.get_string(), "");
+}
+
+TEST(Xdr, OpaqueVarRoundTrip) {
+  std::vector<std::byte> data{std::byte{1}, std::byte{2}, std::byte{3}};
+  XdrEncoder enc;
+  enc.put_opaque_var(data);
+  auto buf = std::move(enc).take();
+  EXPECT_EQ(buf.size(), 8u);  // 4 len + 3 data + 1 pad
+  XdrDecoder dec(buf);
+  EXPECT_EQ(dec.get_opaque_var(), data);
+}
+
+TEST(Xdr, UnderflowThrows) {
+  XdrEncoder enc;
+  enc.put_u32(1);
+  auto buf = std::move(enc).take();
+  XdrDecoder dec(buf);
+  dec.get_u32();
+  EXPECT_THROW(dec.get_u32(), XdrError);
+}
+
+TEST(Xdr, TruncatedOpaqueThrows) {
+  XdrEncoder enc;
+  enc.put_u32(1000);  // claims 1000 bytes, provides none
+  auto buf = std::move(enc).take();
+  XdrDecoder dec(buf);
+  EXPECT_THROW(dec.get_opaque_var(), XdrError);
+}
+
+TEST(Xdr, NonzeroPaddingRejected) {
+  XdrEncoder enc;
+  enc.put_u32(1);                       // opaque length 1
+  enc.put_u32(0xAABBCCDDu);             // data byte + nonzero "padding"
+  auto buf = std::move(enc).take();
+  XdrDecoder dec(buf);
+  EXPECT_THROW(dec.get_opaque_var(), XdrError);
+}
+
+TEST(Xdr, InlinePayloadRoundTrip) {
+  Payload p = Payload::from_string("hello world");
+  XdrEncoder enc;
+  enc.put_payload(p);
+  EXPECT_EQ(enc.wire_size(), enc.encoded_size());
+  auto buf = std::move(enc).take();
+  XdrDecoder dec(buf);
+  Payload q = dec.get_payload();
+  EXPECT_EQ(p, q);
+}
+
+TEST(Xdr, VirtualPayloadCountsWireBytes) {
+  Payload p = Payload::virtual_bytes(2 * 1024 * 1024);
+  XdrEncoder enc;
+  enc.put_payload(p);
+  EXPECT_LT(enc.encoded_size(), 32u);  // tiny materialized part
+  EXPECT_EQ(enc.wire_size(), enc.encoded_size() + 2 * 1024 * 1024);
+  auto buf = std::move(enc).take();
+  XdrDecoder dec(buf);
+  Payload q = dec.get_payload();
+  EXPECT_FALSE(q.is_inline());
+  EXPECT_EQ(q.size(), 2u * 1024 * 1024);
+}
+
+TEST(Payload, SliceInline) {
+  Payload p = Payload::from_string("abcdefgh");
+  Payload s = p.slice(2, 3);
+  EXPECT_EQ(s, Payload::from_string("cde"));
+  EXPECT_THROW(p.slice(5, 10), std::out_of_range);
+}
+
+TEST(Payload, SliceVirtual) {
+  Payload p = Payload::virtual_bytes(100);
+  Payload s = p.slice(10, 50);
+  EXPECT_FALSE(s.is_inline());
+  EXPECT_EQ(s.size(), 50u);
+}
+
+TEST(Payload, AppendInlinePreservesContent) {
+  Payload p = Payload::from_string("abc");
+  p.append(Payload::from_string("def"));
+  EXPECT_EQ(p, Payload::from_string("abcdef"));
+}
+
+TEST(Payload, AppendVirtualPoisonsContent) {
+  Payload p = Payload::from_string("abc");
+  p.append(Payload::virtual_bytes(7));
+  EXPECT_FALSE(p.is_inline());
+  EXPECT_EQ(p.size(), 10u);
+}
+
+TEST(Message, CallHeaderRoundTrip) {
+  CallHeader h{42, 100003, 4, 7, "alice@EXAMPLE"};
+  XdrEncoder enc;
+  h.encode(enc);
+  auto buf = std::move(enc).take();
+  XdrDecoder dec(buf);
+  CallHeader g = CallHeader::decode(dec);
+  EXPECT_EQ(g.xid, 42u);
+  EXPECT_EQ(g.prog, 100003u);
+  EXPECT_EQ(g.vers, 4u);
+  EXPECT_EQ(g.proc, 7u);
+  EXPECT_EQ(g.principal, "alice@EXAMPLE");
+}
+
+TEST(Message, ReplyHeaderRoundTrip) {
+  ReplyHeader h{9, ReplyStatus::kGarbageArgs};
+  XdrEncoder enc;
+  h.encode(enc);
+  auto buf = std::move(enc).take();
+  XdrDecoder dec(buf);
+  ReplyHeader g = ReplyHeader::decode(dec);
+  EXPECT_EQ(g.xid, 9u);
+  EXPECT_EQ(g.status, ReplyStatus::kGarbageArgs);
+}
+
+// Property test: random sequences of primitives round-trip exactly.
+TEST(Xdr, PropertyRandomSequencesRoundTrip) {
+  util::Rng rng(2024);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::vector<int> kinds;
+    std::vector<uint64_t> u64s;
+    std::vector<uint32_t> u32s;
+    std::vector<std::string> strs;
+    XdrEncoder enc;
+    const int n = static_cast<int>(rng.range(1, 20));
+    for (int i = 0; i < n; ++i) {
+      switch (rng.below(3)) {
+        case 0: {
+          const auto v = static_cast<uint32_t>(rng.next());
+          kinds.push_back(0);
+          u32s.push_back(v);
+          enc.put_u32(v);
+          break;
+        }
+        case 1: {
+          const uint64_t v = rng.next();
+          kinds.push_back(1);
+          u64s.push_back(v);
+          enc.put_u64(v);
+          break;
+        }
+        default: {
+          std::string s;
+          const auto len = rng.below(40);
+          for (uint64_t j = 0; j < len; ++j) {
+            s.push_back(static_cast<char>('a' + rng.below(26)));
+          }
+          kinds.push_back(2);
+          strs.push_back(s);
+          enc.put_string(s);
+          break;
+        }
+      }
+    }
+    auto buf = std::move(enc).take();
+    XdrDecoder dec(buf);
+    size_t i32 = 0, i64 = 0, is = 0;
+    for (int kind : kinds) {
+      switch (kind) {
+        case 0: ASSERT_EQ(dec.get_u32(), u32s[i32++]); break;
+        case 1: ASSERT_EQ(dec.get_u64(), u64s[i64++]); break;
+        default: ASSERT_EQ(dec.get_string(), strs[is++]); break;
+      }
+    }
+    ASSERT_TRUE(dec.done());
+  }
+}
+
+}  // namespace
+}  // namespace dpnfs::rpc

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulation.hpp"
+#include "sim/sync.hpp"
+
+namespace dpnfs::sim {
+namespace {
+
+Task<void> worker(Simulation& sim, Barrier& barrier, Duration work,
+                  std::vector<Time>& after) {
+  co_await sim.delay(work);
+  co_await barrier.arrive_and_wait();
+  after.push_back(sim.now());
+}
+
+TEST(Barrier, AllPartiesLeaveTogether) {
+  Simulation sim;
+  Barrier barrier(sim, 3);
+  std::vector<Time> after;
+  sim.spawn(worker(sim, barrier, ms(5), after));
+  sim.spawn(worker(sim, barrier, ms(20), after));
+  sim.spawn(worker(sim, barrier, ms(10), after));
+  sim.run();
+  ASSERT_EQ(after.size(), 3u);
+  for (Time t : after) EXPECT_EQ(t, ms(20));  // slowest party gates everyone
+}
+
+TEST(Barrier, SinglePartyPassesThrough) {
+  Simulation sim;
+  Barrier barrier(sim, 1);
+  std::vector<Time> after;
+  sim.spawn(worker(sim, barrier, ms(3), after));
+  sim.run();
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_EQ(after[0], ms(3));
+}
+
+Task<void> phased(Simulation& sim, Barrier& barrier, Duration work, int rounds,
+                  std::vector<int>& order, int id) {
+  for (int r = 0; r < rounds; ++r) {
+    co_await sim.delay(work);
+    co_await barrier.arrive_and_wait();
+    order.push_back(r * 100 + id);
+  }
+}
+
+TEST(Barrier, CyclicReuseKeepsPhasesSeparate) {
+  Simulation sim;
+  Barrier barrier(sim, 2);
+  std::vector<int> order;
+  sim.spawn(phased(sim, barrier, ms(1), 3, order, 0));
+  sim.spawn(phased(sim, barrier, ms(7), 3, order, 1));
+  sim.run();
+  ASSERT_EQ(order.size(), 6u);
+  // Rounds must be strictly ordered: all of round r before any of r+1.
+  for (size_t i = 1; i < order.size(); ++i) {
+    EXPECT_GE(order[i] / 100, order[i - 1] / 100);
+  }
+}
+
+}  // namespace
+}  // namespace dpnfs::sim

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "sim/resources.hpp"
+#include "sim/simulation.hpp"
+
+namespace dpnfs::sim {
+namespace {
+
+Task<void> disk_io(Disk& d, uint64_t pos, uint64_t bytes) {
+  co_await d.io(pos, bytes);
+}
+
+TEST(Disk, SequentialTransferTime) {
+  Simulation sim;
+  DiskParams p{.bytes_per_sec = 100e6, .positioning = ms(8), .per_request = 0};
+  Disk disk(sim, p);
+  // First I/O at position 0 with head at 0: no positioning cost.
+  sim.spawn(disk_io(disk, 0, 100'000'000));
+  sim.run();
+  EXPECT_EQ(sim.now(), sec(1));
+  EXPECT_EQ(disk.head_position(), 100'000'000u);
+}
+
+Task<void> two_sequential_ios(Disk& d) {
+  co_await d.io(0, 1'000'000);
+  co_await d.io(1'000'000, 1'000'000);  // contiguous: no seek
+}
+
+TEST(Disk, ContiguousIoSkipsPositioning) {
+  Simulation sim;
+  DiskParams p{.bytes_per_sec = 100e6, .positioning = ms(8), .per_request = 0};
+  Disk disk(sim, p);
+  sim.spawn(two_sequential_ios(disk));
+  sim.run();
+  EXPECT_EQ(sim.now(), ms(20));  // 2 x 10ms transfer, no seek
+}
+
+Task<void> two_random_ios(Disk& d) {
+  co_await d.io(0, 1'000'000);
+  co_await d.io(500'000'000, 1'000'000);  // far away: seek
+}
+
+TEST(Disk, DiscontiguousIoPaysPositioning) {
+  Simulation sim;
+  DiskParams p{.bytes_per_sec = 100e6, .positioning = ms(8), .per_request = 0};
+  Disk disk(sim, p);
+  sim.spawn(two_random_ios(disk));
+  sim.run();
+  EXPECT_EQ(sim.now(), ms(28));  // 20ms transfers + one 8ms seek
+}
+
+TEST(Disk, PerRequestOverheadApplies) {
+  Simulation sim;
+  DiskParams p{.bytes_per_sec = 100e6, .positioning = 0, .per_request = us(500)};
+  Disk disk(sim, p);
+  sim.spawn(disk_io(disk, 0, 1'000'000));
+  sim.run();
+  EXPECT_EQ(sim.now(), ms(10) + us(500));
+}
+
+TEST(Disk, ConcurrentRequestsSerialize) {
+  Simulation sim;
+  DiskParams p{.bytes_per_sec = 100e6, .positioning = 0, .per_request = 0};
+  Disk disk(sim, p);
+  for (int i = 0; i < 4; ++i) {
+    sim.spawn(disk_io(disk, static_cast<uint64_t>(i) * 1'000'000, 1'000'000));
+  }
+  sim.run();
+  EXPECT_EQ(sim.now(), ms(40));
+}
+
+Task<void> burn(Cpu& cpu, Duration work) { co_await cpu.execute(work); }
+
+TEST(Cpu, CoresRunConcurrently) {
+  Simulation sim;
+  Cpu cpu(sim, CpuParams{.cores = 2});
+  for (int i = 0; i < 4; ++i) sim.spawn(burn(cpu, ms(10)));
+  sim.run();
+  EXPECT_EQ(sim.now(), ms(20));  // 4 jobs on 2 cores
+}
+
+TEST(Cpu, SingleCoreSerializes) {
+  Simulation sim;
+  Cpu cpu(sim, CpuParams{.cores = 1});
+  for (int i = 0; i < 3; ++i) sim.spawn(burn(cpu, ms(10)));
+  sim.run();
+  EXPECT_EQ(sim.now(), ms(30));
+}
+
+TEST(Cpu, ZeroWorkIsFree) {
+  Simulation sim;
+  Cpu cpu(sim, CpuParams{.cores = 1});
+  sim.spawn(burn(cpu, 0));
+  sim.run();
+  EXPECT_EQ(sim.now(), 0);
+}
+
+}  // namespace
+}  // namespace dpnfs::sim

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/simulation.hpp"
+#include "sim/task.hpp"
+
+namespace dpnfs::sim {
+namespace {
+
+TEST(Simulation, StartsAtTimeZero) {
+  Simulation sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_EQ(sim.run(), 0u);
+}
+
+Task<void> record_after(Simulation& sim, Duration d, std::vector<Time>& out) {
+  co_await sim.delay(d);
+  out.push_back(sim.now());
+}
+
+TEST(Simulation, DelayAdvancesClock) {
+  Simulation sim;
+  std::vector<Time> times;
+  sim.spawn(record_after(sim, ms(5), times));
+  sim.run();
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_EQ(times[0], ms(5));
+  EXPECT_EQ(sim.now(), ms(5));
+}
+
+TEST(Simulation, EventsFireInTimeOrder) {
+  Simulation sim;
+  std::vector<Time> times;
+  sim.spawn(record_after(sim, ms(30), times));
+  sim.spawn(record_after(sim, ms(10), times));
+  sim.spawn(record_after(sim, ms(20), times));
+  sim.run();
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_EQ(times[0], ms(10));
+  EXPECT_EQ(times[1], ms(20));
+  EXPECT_EQ(times[2], ms(30));
+}
+
+Task<void> tagged(Simulation& sim, int tag, std::vector<int>& out) {
+  co_await sim.yield();
+  out.push_back(tag);
+}
+
+TEST(Simulation, EqualTimesFireInSpawnOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) sim.spawn(tagged(sim, i, order));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+Task<int> answer() { co_return 42; }
+
+Task<int> chain() {
+  int v = co_await answer();
+  co_return v + 1;
+}
+
+Task<void> check_chain(bool& ok) {
+  ok = (co_await chain()) == 43;
+}
+
+TEST(Task, ValueChainsThroughNestedAwaits) {
+  Simulation sim;
+  bool ok = false;
+  sim.spawn(check_chain(ok));
+  sim.run();
+  EXPECT_TRUE(ok);
+}
+
+Task<int> thrower() {
+  throw std::runtime_error("boom");
+  co_return 0;  // unreachable
+}
+
+Task<void> catcher(bool& caught) {
+  try {
+    (void)co_await thrower();
+  } catch (const std::runtime_error&) {
+    caught = true;
+  }
+}
+
+TEST(Task, ExceptionPropagatesToAwaiter) {
+  Simulation sim;
+  bool caught = false;
+  sim.spawn(catcher(caught));
+  sim.run();
+  EXPECT_TRUE(caught);
+}
+
+Task<void> deep(Simulation& sim, int depth, int& leaf_hits) {
+  if (depth == 0) {
+    co_await sim.yield();
+    ++leaf_hits;
+    co_return;
+  }
+  co_await deep(sim, depth - 1, leaf_hits);
+}
+
+TEST(Task, DeepRecursionDoesNotOverflowStack) {
+  Simulation sim;
+  int hits = 0;
+  sim.spawn(deep(sim, 50000, hits));
+  sim.run();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(Simulation, RunUntilStopsAtDeadline) {
+  Simulation sim;
+  std::vector<Time> times;
+  sim.spawn(record_after(sim, ms(10), times));
+  sim.spawn(record_after(sim, ms(100), times));
+  EXPECT_FALSE(sim.run_until(ms(50)));
+  EXPECT_EQ(times.size(), 1u);
+  EXPECT_EQ(sim.now(), ms(50));
+  EXPECT_TRUE(sim.run_until(ms(1000)));
+  EXPECT_EQ(times.size(), 2u);
+}
+
+Task<void> sequential_delays(Simulation& sim, std::vector<Time>& out) {
+  co_await sim.delay(ms(1));
+  out.push_back(sim.now());
+  co_await sim.delay(ms(2));
+  out.push_back(sim.now());
+  co_await sim.delay(ms(3));
+  out.push_back(sim.now());
+}
+
+TEST(Simulation, SequentialDelaysAccumulate) {
+  Simulation sim;
+  std::vector<Time> times;
+  sim.spawn(sequential_delays(sim, times));
+  sim.run();
+  EXPECT_EQ(times, (std::vector<Time>{ms(1), ms(3), ms(6)}));
+}
+
+TEST(Task, DroppedTaskNeverRunsAndDoesNotLeak) {
+  Simulation sim;
+  bool ran = false;
+  {
+    auto t = [](bool& r) -> Task<void> {
+      r = true;
+      co_return;
+    }(ran);
+    EXPECT_TRUE(t.valid());
+    // destroyed unawaited
+  }
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(TimeHelpers, Conversions) {
+  EXPECT_EQ(us(1), 1000);
+  EXPECT_EQ(ms(1), 1000000);
+  EXPECT_EQ(sec(1), 1000000000);
+  EXPECT_EQ(from_seconds(1.5), sec(1) + ms(500));
+  EXPECT_DOUBLE_EQ(to_seconds(ms(1500)), 1.5);
+}
+
+TEST(TimeHelpers, DurationForBytes) {
+  EXPECT_EQ(duration_for_bytes(0, 1e6), 0);
+  EXPECT_EQ(duration_for_bytes(1'000'000, 1e6), sec(1));
+  EXPECT_GE(duration_for_bytes(1, 1e12), 1);  // nonzero payload takes time
+}
+
+}  // namespace
+}  // namespace dpnfs::sim

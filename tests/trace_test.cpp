@@ -1,0 +1,91 @@
+// Trace parser and replay tests.
+#include <gtest/gtest.h>
+
+#include "core/deployment.hpp"
+#include "workload/trace.hpp"
+
+namespace dpnfs::workload {
+namespace {
+
+using core::Architecture;
+using core::ClusterConfig;
+using core::Deployment;
+
+TEST(TraceParser, ParsesAllOps) {
+  const std::string text = R"(# a comment
+0 mkdir /data
+0 open /data/f
+0 write /data/f 0 4096
+1 write /data/g 8192 1024
+0 read /data/f 0 4096
+0 fsync /data/f
+0 close /data/f
+)";
+  const auto records = parse_trace(text);
+  ASSERT_EQ(records.size(), 7u);
+  EXPECT_EQ(records[0].op, TraceRecord::Op::kMkdir);
+  EXPECT_EQ(records[0].path, "/data");
+  EXPECT_EQ(records[2].op, TraceRecord::Op::kWrite);
+  EXPECT_EQ(records[2].offset, 0u);
+  EXPECT_EQ(records[2].length, 4096u);
+  EXPECT_EQ(records[3].client, 1u);
+  EXPECT_EQ(records[3].offset, 8192u);
+  EXPECT_EQ(records[6].op, TraceRecord::Op::kClose);
+}
+
+TEST(TraceParser, RejectsMalformedLines) {
+  EXPECT_THROW(parse_trace("0 frobnicate /x\n"), std::invalid_argument);
+  EXPECT_THROW(parse_trace("0 write /x\n"), std::invalid_argument);  // no range
+  EXPECT_THROW(parse_trace("not-a-number write /x 0 1\n"),
+               std::invalid_argument);
+}
+
+TEST(TraceParser, SkipsCommentsAndBlankLines) {
+  EXPECT_TRUE(parse_trace("# only comments\n\n# more\n").empty());
+}
+
+TEST(TraceReplay, ReplaysAgainstDeployment) {
+  ClusterConfig cfg;
+  cfg.architecture = Architecture::kDirectPnfs;
+  cfg.storage_nodes = 4;
+  cfg.clients = 2;
+  Deployment d(cfg);
+
+  const std::string text = R"(
+0 mkdir /t
+0 open /t/a
+0 write /t/a 0 1048576
+0 write /t/a 1048576 1048576
+0 fsync /t/a
+0 close /t/a
+1 write /b 0 524288
+1 close /b
+)";
+  TraceWorkload w(parse_trace(text));
+  const RunResult r = run_workload(d, w);
+  EXPECT_EQ(w.operations_replayed(), 8u);
+  EXPECT_EQ(r.app_bytes, 2u * 1048576 + 524288);
+
+  bool checked = false;
+  d.simulation().spawn([](Deployment& d, bool& checked) -> sim::Task<void> {
+    EXPECT_EQ(co_await d.client(0).stat_size("/t/a"), 2u * 1048576);
+    EXPECT_EQ(co_await d.client(0).stat_size("/b"), 524288u);
+    checked = true;
+  }(d, checked));
+  d.simulation().run();
+  EXPECT_TRUE(checked);
+}
+
+TEST(TraceReplay, ImplicitOpenOnFirstUse) {
+  ClusterConfig cfg;
+  cfg.architecture = Architecture::kNativePvfs;
+  cfg.storage_nodes = 4;
+  cfg.clients = 1;
+  Deployment d(cfg);
+  TraceWorkload w(parse_trace("0 write /implicit 0 8192\n"));
+  const RunResult r = run_workload(d, w);
+  EXPECT_EQ(r.app_bytes, 8192u);
+}
+
+}  // namespace
+}  // namespace dpnfs::workload

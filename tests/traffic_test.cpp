@@ -1,0 +1,84 @@
+// Traffic-accounting tests: the defining network signature of each
+// architecture, measured at the NICs — the mechanism behind Figures 3
+// and 6c.
+#include <gtest/gtest.h>
+
+#include "core/deployment.hpp"
+#include "util/bytes.hpp"
+#include "workload/ior.hpp"
+#include "workload/runner.hpp"
+
+namespace dpnfs::core {
+namespace {
+
+using namespace dpnfs::util::literals;
+
+struct Traffic {
+  uint64_t server_tx;
+  uint64_t server_rx;
+};
+
+Traffic write_traffic(Architecture arch) {
+  ClusterConfig cfg;
+  cfg.architecture = arch;
+  cfg.storage_nodes = 4;
+  cfg.clients = 2;
+  Deployment d(cfg);
+  workload::IorConfig ior;
+  ior.bytes_per_client = 16_MiB;
+  workload::IorWorkload w(ior);
+  (void)run_workload(d, w);
+  return Traffic{d.server_tx_bytes(), d.server_rx_bytes()};
+}
+
+TEST(Traffic, DirectPnfsServersDoNotForwardWrites) {
+  // Exact layouts: data goes client -> owning server, full stop.  Server
+  // transmissions are only replies and metadata.
+  const Traffic t = write_traffic(Architecture::kDirectPnfs);
+  EXPECT_GE(t.server_rx, 32_MiB);         // the data arrived
+  EXPECT_LT(t.server_tx, 4_MiB);          // replies/metadata only
+}
+
+TEST(Traffic, TwoTierServersForwardMostWrites) {
+  // Placement-oblivious layouts: a data server owns ~1/4 of what it
+  // receives and forwards the rest to the right storage node (Figure 3b).
+  const Traffic t = write_traffic(Architecture::kPnfs2Tier);
+  EXPECT_GT(t.server_tx, 16_MiB);  // substantial re-transmission
+  // And the receive side carries the data twice (client + forwarded).
+  EXPECT_GT(t.server_rx, 48_MiB);
+}
+
+TEST(Traffic, PlainNfsFunnelsEverythingThroughOneBox) {
+  ClusterConfig cfg;
+  cfg.architecture = Architecture::kPlainNfs;
+  cfg.storage_nodes = 4;
+  cfg.clients = 2;
+  Deployment d(cfg);
+  workload::IorConfig ior;
+  ior.bytes_per_client = 16_MiB;
+  workload::IorWorkload w(ior);
+  (void)run_workload(d, w);
+  // The storage nodes received all the data -- but from the NFS server box,
+  // which itself received it from the clients (storage nodes' rx ~= data).
+  EXPECT_GE(d.server_rx_bytes(), 32_MiB);
+}
+
+TEST(Traffic, ReadsComeFromOwningServersUnderDirect) {
+  ClusterConfig cfg;
+  cfg.architecture = Architecture::kDirectPnfs;
+  cfg.storage_nodes = 4;
+  cfg.clients = 2;
+  Deployment d(cfg);
+  workload::IorConfig ior;
+  ior.write = false;
+  ior.bytes_per_client = 16_MiB;
+  workload::IorWorkload w(ior);
+  (void)run_workload(d, w);
+  // Reads: servers transmit the data once to clients; pre-write phase also
+  // received it once.  tx ~= rx ~= 32 MiB each, no amplification.
+  EXPECT_GE(d.server_tx_bytes(), 32_MiB);
+  EXPECT_LT(d.server_tx_bytes(), 44_MiB);
+}
+
+}  // namespace
+}  // namespace dpnfs::core

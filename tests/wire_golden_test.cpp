@@ -1,0 +1,111 @@
+// Golden wire-format tests: exact byte sequences for representative
+// messages.  These freeze the on-the-wire protocol — any codec change that
+// alters serialization (and would silently break mixed-version clusters in
+// a real deployment) fails here first.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "nfs/ops.hpp"
+#include "rpc/message.hpp"
+
+namespace dpnfs {
+namespace {
+
+std::string hex(const std::vector<std::byte>& buf) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(buf.size() * 2);
+  for (std::byte b : buf) {
+    out.push_back(digits[static_cast<uint8_t>(b) >> 4]);
+    out.push_back(digits[static_cast<uint8_t>(b) & 0xF]);
+  }
+  return out;
+}
+
+TEST(WireGolden, CallHeader) {
+  rpc::XdrEncoder enc;
+  rpc::CallHeader{0x2A, 100003, 4, 1, "ab"}.encode(enc);
+  // xid | prog  | vers | proc | strlen | "ab" + 2 pad
+  EXPECT_EQ(hex(std::move(enc).take()),
+            "0000002a"   // xid 42
+            "000186a3"   // program 100003
+            "00000004"   // version 4
+            "00000001"   // procedure COMPOUND
+            "00000002"   // principal length
+            "61620000"); // "ab" + XDR padding
+}
+
+TEST(WireGolden, SequencePutFhReadCompound) {
+  nfs::CompoundBuilder b;
+  b.add(nfs::OpCode::kSequence, nfs::SequenceArgs{nfs::SessionId{1}, 0});
+  b.add(nfs::OpCode::kPutFh, nfs::PutFhArgs{nfs::FileHandle{0xBEEF}});
+  b.add(nfs::OpCode::kRead, nfs::ReadArgs{nfs::Stateid{7}, 0x1000, 0x2000});
+  rpc::XdrEncoder enc = std::move(b).finish();
+  EXPECT_EQ(hex(std::move(enc).take()),
+            "00000003"          // 3 ops
+            "00000035"          // SEQUENCE (53)
+            "0000000000000001"  // session id 1
+            "00000000"          // slot 0
+            "00000016"          // PUTFH (22)
+            "000000000000beef"  // filehandle
+            "00000019"          // READ (25)
+            "0000000000000007"  // stateid 7
+            "0000000000001000"  // offset
+            "00002000");        // count
+}
+
+TEST(WireGolden, FileLayout) {
+  nfs::FileLayout l;
+  l.aggregation = nfs::AggregationType::kRoundRobin;
+  l.stripe_unit = 0x200000;
+  l.devices = {nfs::DeviceId{0}, nfs::DeviceId{1}};
+  l.fhs = {nfs::FileHandle{10}, nfs::FileHandle{11}};
+  rpc::XdrEncoder enc;
+  l.encode(enc);
+  EXPECT_EQ(hex(std::move(enc).take()),
+            "00000001"          // round-robin
+            "0000000000200000"  // 2 MiB stripe unit
+            "00000002"          // 2 devices
+            "00000000"          // device 0
+            "00000001"          // device 1
+            "00000002"          // 2 filehandles
+            "000000000000000a"  // fh 10
+            "000000000000000b"  // fh 11
+            "00000000");        // 0 params
+}
+
+TEST(WireGolden, InlineVsVirtualPayload) {
+  rpc::XdrEncoder enc;
+  enc.put_payload(rpc::Payload::from_string("hi"));
+  enc.put_payload(rpc::Payload::virtual_bytes(0x100000));
+  EXPECT_EQ(hex(std::move(enc).take()),
+            "00000001"          // inline discriminant
+            "00000002"          // length 2
+            "68690000"          // "hi" + padding
+            "00000000"          // virtual discriminant
+            "0000000000100000");  // 1 MiB virtual length
+}
+
+TEST(WireGolden, OpenArgsAndRes) {
+  rpc::XdrEncoder enc;
+  nfs::OpenArgs{"f", true, nfs::ShareAccess::kRead}.encode(enc);
+  nfs::OpenRes{nfs::Stateid{3},
+               nfs::Fattr{nfs::FileType::kRegular, 9, 100, 2, 0},
+               nfs::DelegationType::kRead}
+      .encode(enc);
+  EXPECT_EQ(hex(std::move(enc).take()),
+            "00000001" "66000000"  // name "f"
+            "00000001"             // create = true
+            "00000001"             // share = read
+            "0000000000000003"     // stateid
+            "00000001"             // type regular
+            "0000000000000009"     // fileid
+            "0000000000000064"     // size 100
+            "0000000000000002"     // change 2
+            "0000000000000000"     // mtime
+            "00000001");           // read delegation
+}
+
+}  // namespace
+}  // namespace dpnfs

@@ -1,0 +1,147 @@
+// Deeper workload-generator properties: exact tiling, cross-architecture
+// content agreement, and determinism guarantees the benches rely on.
+#include <gtest/gtest.h>
+
+#include "core/deployment.hpp"
+#include "util/bytes.hpp"
+#include "workload/atlas.hpp"
+#include "workload/btio.hpp"
+#include "workload/postmark.hpp"
+#include "workload/runner.hpp"
+
+namespace dpnfs::workload {
+namespace {
+
+using namespace dpnfs::util::literals;
+using core::Architecture;
+using core::ClusterConfig;
+using core::Deployment;
+
+ClusterConfig tiny(Architecture arch, uint32_t clients) {
+  ClusterConfig cfg;
+  cfg.architecture = arch;
+  cfg.storage_nodes = 4;
+  cfg.clients = clients;
+  return cfg;
+}
+
+TEST(AtlasProperties, WritesTileTheFileExactlyOnce) {
+  // The digitization replay must write each byte of the output exactly
+  // once: afterwards the file size equals bytes_per_client and the disks
+  // absorbed exactly that much (no overlap-inflation).
+  Deployment d(tiny(Architecture::kDirectPnfs, 1));
+  AtlasConfig cfg;
+  cfg.bytes_per_client = 24_MiB;
+  cfg.file_span = 24_MiB;
+  AtlasWorkload w(cfg);
+  const RunResult r = run_workload(d, w);
+  EXPECT_EQ(r.app_bytes, 24_MiB);
+
+  bool checked = false;
+  d.simulation().spawn([](Deployment& d, bool& checked) -> sim::Task<void> {
+    const uint64_t size = co_await d.client(0).stat_size("/atlas/f0");
+    EXPECT_EQ(size, 24_MiB);
+    checked = true;
+  }(d, checked));
+  d.simulation().run();
+  EXPECT_TRUE(checked);
+  // Exactly the unique bytes reached the disks (one commit, no rewrite).
+  EXPECT_EQ(d.disk_write_bytes(), 24_MiB);
+}
+
+TEST(AtlasProperties, IssueOrderIsShuffledButDeterministic) {
+  AtlasConfig cfg;
+  AtlasWorkload w(cfg);
+  util::Rng a(1), b(1), c(2);
+  // Same seed, same stream; different seed, different stream.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(w.draw_request_size(a), w.draw_request_size(b));
+  }
+  int diffs = 0;
+  util::Rng a2(1);
+  for (int i = 0; i < 100; ++i) {
+    if (w.draw_request_size(a2) != w.draw_request_size(c)) ++diffs;
+  }
+  EXPECT_GT(diffs, 50);
+}
+
+TEST(BtioProperties, CheckpointFileIsCompleteForAwkwardClientCounts) {
+  // 9 clients do not divide the checkpoint evenly; the last rank must
+  // absorb the remainder so verification sees a complete file.
+  Deployment d(tiny(Architecture::kDirectPnfs, 3));
+  BtioConfig cfg;
+  cfg.file_bytes = 10'000'000;  // not divisible by 3
+  cfg.time_steps = 10;
+  cfg.checkpoint_every = 5;
+  cfg.compute_total = sim::sec(1);
+  BtioWorkload w(cfg);
+  const RunResult r = run_workload(d, w);  // throws on a short file
+  EXPECT_GT(r.elapsed_seconds, 0.0);
+
+  bool checked = false;
+  d.simulation().spawn([](Deployment& d, bool& checked) -> sim::Task<void> {
+    EXPECT_EQ(co_await d.client(0).stat_size("/btio/out"), 10'000'000u);
+    checked = true;
+  }(d, checked));
+  d.simulation().run();
+  EXPECT_TRUE(checked);
+}
+
+TEST(PostmarkProperties, FilePoolStaysConsistent) {
+  Deployment d(tiny(Architecture::kDirectPnfs, 1));
+  PostmarkConfig cfg;
+  cfg.initial_files = 30;
+  cfg.transactions = 200;
+  cfg.max_file_bytes = 32 * 1024;
+  PostmarkWorkload w(cfg);
+  const RunResult r = run_workload(d, w);
+  EXPECT_EQ(r.transactions, 200u);
+
+  // Every file the instance believes exists must be openable, and the
+  // directories must contain only those files.
+  bool checked = false;
+  d.simulation().spawn([](Deployment& d, bool& checked) -> sim::Task<void> {
+    uint64_t found = 0;
+    for (int dir = 0; dir < 10; ++dir) {
+      auto names = co_await d.client(0).list("/pm0/d" + std::to_string(dir));
+      for (const auto& name : names) {
+        const uint64_t size = co_await d.client(0).stat_size(
+            "/pm0/d" + std::to_string(dir) + "/" + name);
+        EXPECT_GT(size, 0u);
+        ++found;
+      }
+    }
+    EXPECT_GT(found, 0u);
+    checked = true;
+  }(d, checked));
+  d.simulation().run();
+  EXPECT_TRUE(checked);
+}
+
+TEST(CrossArchitecture, SameWorkloadSameResultingBytes) {
+  // The same ATLAS run on two architectures must produce files of identical
+  // size (the access path must not change WHAT is stored).
+  auto file_size = [](Architecture arch) {
+    Deployment d(tiny(arch, 2));
+    AtlasConfig cfg;
+    cfg.bytes_per_client = 8_MiB;
+    cfg.file_span = 8_MiB;
+    AtlasWorkload w(cfg);
+    (void)run_workload(d, w);
+    uint64_t size = 0;
+    d.simulation().spawn([](Deployment& d, uint64_t& size) -> sim::Task<void> {
+      size = co_await d.client(1).stat_size("/atlas/f1");
+    }(d, size));
+    d.simulation().run();
+    return size;
+  };
+  const uint64_t direct = file_size(Architecture::kDirectPnfs);
+  const uint64_t pvfs = file_size(Architecture::kNativePvfs);
+  const uint64_t two_tier = file_size(Architecture::kPnfs2Tier);
+  EXPECT_EQ(direct, 8_MiB);
+  EXPECT_EQ(pvfs, direct);
+  EXPECT_EQ(two_tier, direct);
+}
+
+}  // namespace
+}  // namespace dpnfs::workload

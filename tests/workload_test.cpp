@@ -1,0 +1,202 @@
+// Workload generator tests: request-stream properties and small-scale
+// end-to-end runs on the deployments.
+#include <gtest/gtest.h>
+
+#include "util/bytes.hpp"
+#include "workload/atlas.hpp"
+#include "workload/btio.hpp"
+#include "workload/ior.hpp"
+#include "workload/oltp.hpp"
+#include "workload/postmark.hpp"
+#include "workload/runner.hpp"
+#include "workload/sshbuild.hpp"
+
+namespace dpnfs::workload {
+namespace {
+
+using namespace dpnfs::util::literals;
+using core::Architecture;
+using core::ClusterConfig;
+using core::Deployment;
+
+ClusterConfig tiny(Architecture arch, uint32_t clients = 2) {
+  ClusterConfig cfg;
+  cfg.architecture = arch;
+  cfg.storage_nodes = 4;
+  cfg.clients = clients;
+  return cfg;
+}
+
+TEST(AtlasDistribution, MatchesPaperCharacterization) {
+  // 95% of requests < 275 KB; ~95% of bytes in requests >= 275 KB.
+  AtlasConfig cfg;
+  AtlasWorkload w(cfg);
+  util::Rng rng(123);
+  uint64_t small_count = 0, total_count = 0;
+  uint64_t large_bytes = 0, total_bytes = 0;
+  for (int i = 0; i < 200000; ++i) {
+    const uint64_t n = w.draw_request_size(rng);
+    ++total_count;
+    total_bytes += n;
+    if (n < 275 * 1024) {
+      ++small_count;
+    } else {
+      large_bytes += n;
+    }
+  }
+  const double frac_small_requests =
+      static_cast<double>(small_count) / static_cast<double>(total_count);
+  const double frac_large_bytes =
+      static_cast<double>(large_bytes) / static_cast<double>(total_bytes);
+  EXPECT_NEAR(frac_small_requests, 0.95, 0.01);
+  EXPECT_NEAR(frac_large_bytes, 0.95, 0.02);
+}
+
+TEST(IorWorkload_, WriteMovesExactBytes) {
+  Deployment d(tiny(Architecture::kDirectPnfs));
+  IorConfig cfg;
+  cfg.bytes_per_client = 16_MiB;
+  IorWorkload w(cfg);
+  const RunResult r = run_workload(d, w);
+  EXPECT_EQ(r.app_bytes, 2 * 16_MiB);
+  EXPECT_GT(r.elapsed_seconds, 0.0);
+  EXPECT_GT(r.aggregate_mbps(), 1.0);
+  // Commit-on-close means everything reached the disks.
+  EXPECT_GE(d.disk_write_bytes(), 2 * 16_MiB);
+}
+
+TEST(IorWorkload_, ReadAfterWarmupServesFromServerCache) {
+  Deployment d(tiny(Architecture::kDirectPnfs));
+  IorConfig cfg;
+  cfg.write = false;
+  cfg.bytes_per_client = 16_MiB;
+  IorWorkload w(cfg);
+  const RunResult r = run_workload(d, w);
+  EXPECT_EQ(r.app_bytes, 2 * 16_MiB);
+  // Warm server cache: the timed read phase does no disk reads.
+  EXPECT_EQ(d.disk_read_bytes(), 0u);
+}
+
+TEST(IorWorkload_, SingleFileDisjointRegions) {
+  Deployment d(tiny(Architecture::kNativePvfs));
+  IorConfig cfg;
+  cfg.single_file = true;
+  cfg.bytes_per_client = 8_MiB;
+  IorWorkload w(cfg);
+  const RunResult r = run_workload(d, w);
+  EXPECT_EQ(r.app_bytes, 2 * 8_MiB);
+}
+
+TEST(IorWorkload_, SmallBlocksSameBytes) {
+  Deployment d(tiny(Architecture::kPlainNfs));
+  IorConfig cfg;
+  cfg.bytes_per_client = 4_MiB;
+  cfg.block_size = 8 * 1024;
+  IorWorkload w(cfg);
+  const RunResult r = run_workload(d, w);
+  EXPECT_EQ(r.app_bytes, 2 * 4_MiB);
+}
+
+TEST(AtlasWorkload_, RunsOnDirectPnfs) {
+  Deployment d(tiny(Architecture::kDirectPnfs, 1));
+  AtlasConfig cfg;
+  cfg.bytes_per_client = 8_MiB;
+  cfg.file_span = 8_MiB;
+  AtlasWorkload w(cfg);
+  const RunResult r = run_workload(d, w);
+  EXPECT_GE(r.app_bytes, 8_MiB);
+  EXPECT_GT(r.elapsed_seconds, 0.0);
+}
+
+TEST(BtioWorkload_, CompletesAndVerifies) {
+  Deployment d(tiny(Architecture::kDirectPnfs, 2));
+  BtioConfig cfg;
+  cfg.file_bytes = 20_MiB;
+  cfg.time_steps = 20;
+  cfg.checkpoint_every = 5;
+  cfg.compute_total = sim::sec(10);
+  BtioWorkload w(cfg);
+  const RunResult r = run_workload(d, w);
+  // 2 clients: compute is 10s/2 = 5s minimum.
+  EXPECT_GT(r.elapsed_seconds, 5.0);
+  // Written 20 MiB plus verification read of 20 MiB.
+  EXPECT_GE(r.app_bytes, 40_MiB);
+}
+
+TEST(BtioWorkload_, ComputeScalesDownWithClients) {
+  auto elapsed = [](uint32_t clients) {
+    Deployment d(tiny(Architecture::kNativePvfs, clients));
+    BtioConfig cfg;
+    cfg.file_bytes = 16_MiB;
+    cfg.time_steps = 20;
+    cfg.compute_total = sim::sec(40);
+    cfg.verify_read = false;
+    BtioWorkload w(cfg);
+    return run_workload(d, w).elapsed_seconds;
+  };
+  EXPECT_GT(elapsed(1), elapsed(4));
+}
+
+TEST(OltpWorkload_, TransactionsComplete) {
+  Deployment d(tiny(Architecture::kDirectPnfs, 2));
+  OltpConfig cfg;
+  cfg.file_bytes = 32_MiB;
+  cfg.transactions_per_client = 50;
+  OltpWorkload w(cfg);
+  const RunResult r = run_workload(d, w);
+  EXPECT_EQ(r.transactions, 100u);
+  EXPECT_GT(r.tps(), 0.0);
+  // Each transaction reads and writes 8 KiB.
+  EXPECT_GE(r.app_bytes, 100u * 16 * 1024);
+}
+
+TEST(PostmarkWorkload_, TransactionsComplete) {
+  Deployment d(tiny(Architecture::kDirectPnfs, 1));
+  PostmarkConfig cfg;
+  cfg.initial_files = 20;
+  cfg.transactions = 60;
+  cfg.max_file_bytes = 64 * 1024;
+  PostmarkWorkload w(cfg);
+  const RunResult r = run_workload(d, w);
+  EXPECT_EQ(r.transactions, 60u);
+  EXPECT_GT(r.tps(), 0.0);
+}
+
+TEST(PostmarkWorkload_, RunsOnNativePvfs) {
+  Deployment d(tiny(Architecture::kNativePvfs, 1));
+  PostmarkConfig cfg;
+  cfg.initial_files = 15;
+  cfg.transactions = 40;
+  cfg.max_file_bytes = 32 * 1024;
+  PostmarkWorkload w(cfg);
+  const RunResult r = run_workload(d, w);
+  EXPECT_EQ(r.transactions, 40u);
+}
+
+TEST(SshBuildWorkload_, PhasesRecorded) {
+  Deployment d(tiny(Architecture::kDirectPnfs, 1));
+  SshBuildConfig cfg;
+  cfg.source_files = 25;
+  cfg.header_files = 10;
+  cfg.configure_probes = 30;
+  cfg.configure_scripts = 10;
+  SshBuildWorkload w(cfg);
+  (void)run_workload(d, w);
+  EXPECT_GT(w.uncompress_seconds(), 0.0);
+  EXPECT_GT(w.configure_seconds(), 0.0);
+  EXPECT_GT(w.compile_seconds(), 0.0);
+}
+
+TEST(Runner, DeterministicAcrossRuns) {
+  auto once = [] {
+    Deployment d(tiny(Architecture::kPnfs2Tier, 2));
+    IorConfig cfg;
+    cfg.bytes_per_client = 8_MiB;
+    IorWorkload w(cfg);
+    return run_workload(d, w).elapsed_seconds;
+  };
+  EXPECT_DOUBLE_EQ(once(), once());
+}
+
+}  // namespace
+}  // namespace dpnfs::workload
