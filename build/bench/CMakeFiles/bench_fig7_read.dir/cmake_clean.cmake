@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_read.dir/bench_fig7_read.cpp.o"
+  "CMakeFiles/bench_fig7_read.dir/bench_fig7_read.cpp.o.d"
+  "bench_fig7_read"
+  "bench_fig7_read.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

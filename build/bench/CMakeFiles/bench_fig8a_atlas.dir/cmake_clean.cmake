@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8a_atlas.dir/bench_fig8a_atlas.cpp.o"
+  "CMakeFiles/bench_fig8a_atlas.dir/bench_fig8a_atlas.cpp.o.d"
+  "bench_fig8a_atlas"
+  "bench_fig8a_atlas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8a_atlas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8b_btio.dir/bench_fig8b_btio.cpp.o"
+  "CMakeFiles/bench_fig8b_btio.dir/bench_fig8b_btio.cpp.o.d"
+  "bench_fig8b_btio"
+  "bench_fig8b_btio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8b_btio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8c_oltp.dir/bench_fig8c_oltp.cpp.o"
+  "CMakeFiles/bench_fig8c_oltp.dir/bench_fig8c_oltp.cpp.o.d"
+  "bench_fig8c_oltp"
+  "bench_fig8c_oltp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8c_oltp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

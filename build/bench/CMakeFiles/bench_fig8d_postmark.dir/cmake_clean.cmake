@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8d_postmark.dir/bench_fig8d_postmark.cpp.o"
+  "CMakeFiles/bench_fig8d_postmark.dir/bench_fig8d_postmark.cpp.o.d"
+  "bench_fig8d_postmark"
+  "bench_fig8d_postmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8d_postmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

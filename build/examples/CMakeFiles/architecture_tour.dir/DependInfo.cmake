@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/architecture_tour.cpp" "examples/CMakeFiles/architecture_tour.dir/architecture_tour.cpp.o" "gcc" "examples/CMakeFiles/architecture_tour.dir/architecture_tour.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/dpnfs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dpnfs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nfs/CMakeFiles/dpnfs_nfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/pvfs/CMakeFiles/dpnfs_pvfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/lfs/CMakeFiles/dpnfs_lfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/dpnfs_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dpnfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dpnfs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/architecture_tour.dir/architecture_tour.cpp.o"
+  "CMakeFiles/architecture_tour.dir/architecture_tour.cpp.o.d"
+  "architecture_tour"
+  "architecture_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/architecture_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

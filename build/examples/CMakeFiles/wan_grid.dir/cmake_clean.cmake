@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_grid.dir/wan_grid.cpp.o"
+  "CMakeFiles/wan_grid.dir/wan_grid.cpp.o.d"
+  "wan_grid"
+  "wan_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

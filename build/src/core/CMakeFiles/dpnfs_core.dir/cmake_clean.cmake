@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpnfs_core.dir/adapters.cpp.o"
+  "CMakeFiles/dpnfs_core.dir/adapters.cpp.o.d"
+  "CMakeFiles/dpnfs_core.dir/aggregation_drivers.cpp.o"
+  "CMakeFiles/dpnfs_core.dir/aggregation_drivers.cpp.o.d"
+  "CMakeFiles/dpnfs_core.dir/deployment.cpp.o"
+  "CMakeFiles/dpnfs_core.dir/deployment.cpp.o.d"
+  "CMakeFiles/dpnfs_core.dir/pvfs_backend.cpp.o"
+  "CMakeFiles/dpnfs_core.dir/pvfs_backend.cpp.o.d"
+  "CMakeFiles/dpnfs_core.dir/translator.cpp.o"
+  "CMakeFiles/dpnfs_core.dir/translator.cpp.o.d"
+  "libdpnfs_core.a"
+  "libdpnfs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpnfs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

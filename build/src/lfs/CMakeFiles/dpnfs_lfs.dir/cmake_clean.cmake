@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpnfs_lfs.dir/object_store.cpp.o"
+  "CMakeFiles/dpnfs_lfs.dir/object_store.cpp.o.d"
+  "libdpnfs_lfs.a"
+  "libdpnfs_lfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpnfs_lfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nfs/client.cpp" "src/nfs/CMakeFiles/dpnfs_nfs.dir/client.cpp.o" "gcc" "src/nfs/CMakeFiles/dpnfs_nfs.dir/client.cpp.o.d"
+  "/root/repo/src/nfs/layout.cpp" "src/nfs/CMakeFiles/dpnfs_nfs.dir/layout.cpp.o" "gcc" "src/nfs/CMakeFiles/dpnfs_nfs.dir/layout.cpp.o.d"
+  "/root/repo/src/nfs/local_backend.cpp" "src/nfs/CMakeFiles/dpnfs_nfs.dir/local_backend.cpp.o" "gcc" "src/nfs/CMakeFiles/dpnfs_nfs.dir/local_backend.cpp.o.d"
+  "/root/repo/src/nfs/server.cpp" "src/nfs/CMakeFiles/dpnfs_nfs.dir/server.cpp.o" "gcc" "src/nfs/CMakeFiles/dpnfs_nfs.dir/server.cpp.o.d"
+  "/root/repo/src/nfs/types.cpp" "src/nfs/CMakeFiles/dpnfs_nfs.dir/types.cpp.o" "gcc" "src/nfs/CMakeFiles/dpnfs_nfs.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lfs/CMakeFiles/dpnfs_lfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/dpnfs_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dpnfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dpnfs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpnfs_nfs.dir/client.cpp.o"
+  "CMakeFiles/dpnfs_nfs.dir/client.cpp.o.d"
+  "CMakeFiles/dpnfs_nfs.dir/layout.cpp.o"
+  "CMakeFiles/dpnfs_nfs.dir/layout.cpp.o.d"
+  "CMakeFiles/dpnfs_nfs.dir/local_backend.cpp.o"
+  "CMakeFiles/dpnfs_nfs.dir/local_backend.cpp.o.d"
+  "CMakeFiles/dpnfs_nfs.dir/server.cpp.o"
+  "CMakeFiles/dpnfs_nfs.dir/server.cpp.o.d"
+  "CMakeFiles/dpnfs_nfs.dir/types.cpp.o"
+  "CMakeFiles/dpnfs_nfs.dir/types.cpp.o.d"
+  "libdpnfs_nfs.a"
+  "libdpnfs_nfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpnfs_nfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

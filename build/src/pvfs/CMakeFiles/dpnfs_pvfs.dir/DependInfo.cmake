@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pvfs/client.cpp" "src/pvfs/CMakeFiles/dpnfs_pvfs.dir/client.cpp.o" "gcc" "src/pvfs/CMakeFiles/dpnfs_pvfs.dir/client.cpp.o.d"
+  "/root/repo/src/pvfs/meta_server.cpp" "src/pvfs/CMakeFiles/dpnfs_pvfs.dir/meta_server.cpp.o" "gcc" "src/pvfs/CMakeFiles/dpnfs_pvfs.dir/meta_server.cpp.o.d"
+  "/root/repo/src/pvfs/protocol.cpp" "src/pvfs/CMakeFiles/dpnfs_pvfs.dir/protocol.cpp.o" "gcc" "src/pvfs/CMakeFiles/dpnfs_pvfs.dir/protocol.cpp.o.d"
+  "/root/repo/src/pvfs/storage_server.cpp" "src/pvfs/CMakeFiles/dpnfs_pvfs.dir/storage_server.cpp.o" "gcc" "src/pvfs/CMakeFiles/dpnfs_pvfs.dir/storage_server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lfs/CMakeFiles/dpnfs_lfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/dpnfs_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dpnfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dpnfs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

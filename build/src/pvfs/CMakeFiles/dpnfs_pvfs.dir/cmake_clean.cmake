@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpnfs_pvfs.dir/client.cpp.o"
+  "CMakeFiles/dpnfs_pvfs.dir/client.cpp.o.d"
+  "CMakeFiles/dpnfs_pvfs.dir/meta_server.cpp.o"
+  "CMakeFiles/dpnfs_pvfs.dir/meta_server.cpp.o.d"
+  "CMakeFiles/dpnfs_pvfs.dir/protocol.cpp.o"
+  "CMakeFiles/dpnfs_pvfs.dir/protocol.cpp.o.d"
+  "CMakeFiles/dpnfs_pvfs.dir/storage_server.cpp.o"
+  "CMakeFiles/dpnfs_pvfs.dir/storage_server.cpp.o.d"
+  "libdpnfs_pvfs.a"
+  "libdpnfs_pvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpnfs_pvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpnfs_rpc.dir/fabric.cpp.o"
+  "CMakeFiles/dpnfs_rpc.dir/fabric.cpp.o.d"
+  "CMakeFiles/dpnfs_rpc.dir/xdr.cpp.o"
+  "CMakeFiles/dpnfs_rpc.dir/xdr.cpp.o.d"
+  "libdpnfs_rpc.a"
+  "libdpnfs_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpnfs_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdpnfs_rpc.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dpnfs_rpc.
+# This may be replaced when dependencies are built.

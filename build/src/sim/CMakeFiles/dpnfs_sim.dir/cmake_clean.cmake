@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpnfs_sim.dir/network.cpp.o"
+  "CMakeFiles/dpnfs_sim.dir/network.cpp.o.d"
+  "CMakeFiles/dpnfs_sim.dir/simulation.cpp.o"
+  "CMakeFiles/dpnfs_sim.dir/simulation.cpp.o.d"
+  "libdpnfs_sim.a"
+  "libdpnfs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpnfs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpnfs_util.dir/bytes.cpp.o"
+  "CMakeFiles/dpnfs_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/dpnfs_util.dir/format.cpp.o"
+  "CMakeFiles/dpnfs_util.dir/format.cpp.o.d"
+  "CMakeFiles/dpnfs_util.dir/log.cpp.o"
+  "CMakeFiles/dpnfs_util.dir/log.cpp.o.d"
+  "CMakeFiles/dpnfs_util.dir/range_buffer.cpp.o"
+  "CMakeFiles/dpnfs_util.dir/range_buffer.cpp.o.d"
+  "CMakeFiles/dpnfs_util.dir/stats.cpp.o"
+  "CMakeFiles/dpnfs_util.dir/stats.cpp.o.d"
+  "libdpnfs_util.a"
+  "libdpnfs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpnfs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/atlas.cpp" "src/workload/CMakeFiles/dpnfs_workload.dir/atlas.cpp.o" "gcc" "src/workload/CMakeFiles/dpnfs_workload.dir/atlas.cpp.o.d"
+  "/root/repo/src/workload/btio.cpp" "src/workload/CMakeFiles/dpnfs_workload.dir/btio.cpp.o" "gcc" "src/workload/CMakeFiles/dpnfs_workload.dir/btio.cpp.o.d"
+  "/root/repo/src/workload/ior.cpp" "src/workload/CMakeFiles/dpnfs_workload.dir/ior.cpp.o" "gcc" "src/workload/CMakeFiles/dpnfs_workload.dir/ior.cpp.o.d"
+  "/root/repo/src/workload/oltp.cpp" "src/workload/CMakeFiles/dpnfs_workload.dir/oltp.cpp.o" "gcc" "src/workload/CMakeFiles/dpnfs_workload.dir/oltp.cpp.o.d"
+  "/root/repo/src/workload/postmark.cpp" "src/workload/CMakeFiles/dpnfs_workload.dir/postmark.cpp.o" "gcc" "src/workload/CMakeFiles/dpnfs_workload.dir/postmark.cpp.o.d"
+  "/root/repo/src/workload/runner.cpp" "src/workload/CMakeFiles/dpnfs_workload.dir/runner.cpp.o" "gcc" "src/workload/CMakeFiles/dpnfs_workload.dir/runner.cpp.o.d"
+  "/root/repo/src/workload/sshbuild.cpp" "src/workload/CMakeFiles/dpnfs_workload.dir/sshbuild.cpp.o" "gcc" "src/workload/CMakeFiles/dpnfs_workload.dir/sshbuild.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/workload/CMakeFiles/dpnfs_workload.dir/trace.cpp.o" "gcc" "src/workload/CMakeFiles/dpnfs_workload.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dpnfs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nfs/CMakeFiles/dpnfs_nfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/pvfs/CMakeFiles/dpnfs_pvfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/lfs/CMakeFiles/dpnfs_lfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/dpnfs_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dpnfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dpnfs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

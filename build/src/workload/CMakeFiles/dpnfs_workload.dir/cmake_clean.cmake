@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpnfs_workload.dir/atlas.cpp.o"
+  "CMakeFiles/dpnfs_workload.dir/atlas.cpp.o.d"
+  "CMakeFiles/dpnfs_workload.dir/btio.cpp.o"
+  "CMakeFiles/dpnfs_workload.dir/btio.cpp.o.d"
+  "CMakeFiles/dpnfs_workload.dir/ior.cpp.o"
+  "CMakeFiles/dpnfs_workload.dir/ior.cpp.o.d"
+  "CMakeFiles/dpnfs_workload.dir/oltp.cpp.o"
+  "CMakeFiles/dpnfs_workload.dir/oltp.cpp.o.d"
+  "CMakeFiles/dpnfs_workload.dir/postmark.cpp.o"
+  "CMakeFiles/dpnfs_workload.dir/postmark.cpp.o.d"
+  "CMakeFiles/dpnfs_workload.dir/runner.cpp.o"
+  "CMakeFiles/dpnfs_workload.dir/runner.cpp.o.d"
+  "CMakeFiles/dpnfs_workload.dir/sshbuild.cpp.o"
+  "CMakeFiles/dpnfs_workload.dir/sshbuild.cpp.o.d"
+  "CMakeFiles/dpnfs_workload.dir/trace.cpp.o"
+  "CMakeFiles/dpnfs_workload.dir/trace.cpp.o.d"
+  "libdpnfs_workload.a"
+  "libdpnfs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpnfs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_recall_test.dir/layout_recall_test.cpp.o"
+  "CMakeFiles/layout_recall_test.dir/layout_recall_test.cpp.o.d"
+  "layout_recall_test"
+  "layout_recall_test.pdb"
+  "layout_recall_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_recall_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

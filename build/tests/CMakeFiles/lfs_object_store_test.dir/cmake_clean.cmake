@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfs_object_store_test.dir/lfs_object_store_test.cpp.o"
+  "CMakeFiles/lfs_object_store_test.dir/lfs_object_store_test.cpp.o.d"
+  "lfs_object_store_test"
+  "lfs_object_store_test.pdb"
+  "lfs_object_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfs_object_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/misc_edge_test.dir/misc_edge_test.cpp.o"
+  "CMakeFiles/misc_edge_test.dir/misc_edge_test.cpp.o.d"
+  "misc_edge_test"
+  "misc_edge_test.pdb"
+  "misc_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/misc_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfs_end_to_end_test.dir/nfs_end_to_end_test.cpp.o"
+  "CMakeFiles/nfs_end_to_end_test.dir/nfs_end_to_end_test.cpp.o.d"
+  "nfs_end_to_end_test"
+  "nfs_end_to_end_test.pdb"
+  "nfs_end_to_end_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfs_end_to_end_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfs_protocol_test.dir/nfs_protocol_test.cpp.o"
+  "CMakeFiles/nfs_protocol_test.dir/nfs_protocol_test.cpp.o.d"
+  "nfs_protocol_test"
+  "nfs_protocol_test.pdb"
+  "nfs_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfs_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

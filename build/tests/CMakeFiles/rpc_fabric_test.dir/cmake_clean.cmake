@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpc_fabric_test.dir/rpc_fabric_test.cpp.o"
+  "CMakeFiles/rpc_fabric_test.dir/rpc_fabric_test.cpp.o.d"
+  "rpc_fabric_test"
+  "rpc_fabric_test.pdb"
+  "rpc_fabric_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpc_fabric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

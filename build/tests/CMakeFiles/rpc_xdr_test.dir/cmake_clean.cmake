@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpc_xdr_test.dir/rpc_xdr_test.cpp.o"
+  "CMakeFiles/rpc_xdr_test.dir/rpc_xdr_test.cpp.o.d"
+  "rpc_xdr_test"
+  "rpc_xdr_test.pdb"
+  "rpc_xdr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpc_xdr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_properties_test.dir/workload_properties_test.cpp.o"
+  "CMakeFiles/workload_properties_test.dir/workload_properties_test.cpp.o.d"
+  "workload_properties_test"
+  "workload_properties_test.pdb"
+  "workload_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
