@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/deployment.hpp"
+#include "util/obs.hpp"
 #include "workload/runner.hpp"
 
 namespace dpnfs::bench {
@@ -74,5 +75,58 @@ inline std::vector<uint32_t> client_sweep(bool quick) {
   if (quick) return {1, 4, 8};
   return {1, 2, 3, 4, 5, 6, 7, 8};
 }
+
+/// Accumulates one record per data point and writes `BENCH_<name>.json`
+/// beside the bench's table output.  Each record carries the run's full
+/// observability export (Deployment::metrics_json), so the JSON explains
+/// the table: per-storage-node bytes, RPC counts, trace hop statistics.
+/// Validate with tools/check_metrics_schema.py.
+class BenchRecorder {
+ public:
+  explicit BenchRecorder(std::string bench_name)
+      : name_(std::move(bench_name)) {}
+  ~BenchRecorder() { flush(); }
+  BenchRecorder(const BenchRecorder&) = delete;
+  BenchRecorder& operator=(const BenchRecorder&) = delete;
+
+  void add(const std::string& figure, const std::string& architecture,
+           uint32_t clients, double value, const std::string& unit,
+           const std::string& metrics_json) {
+    char num[64];
+    std::snprintf(num, sizeof num, "%.6g", value);
+    std::string rec = "{\"figure\":\"" + obs::json_escape(figure) +
+                      "\",\"architecture\":\"" + obs::json_escape(architecture) +
+                      "\",\"clients\":" + std::to_string(clients) +
+                      ",\"value\":" + num + ",\"unit\":\"" +
+                      obs::json_escape(unit) + "\",\"metrics\":" +
+                      (metrics_json.empty() ? "{}" : metrics_json) + "}";
+    records_.push_back(std::move(rec));
+  }
+
+  void flush() {
+    if (flushed_) return;
+    flushed_ = true;
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\"bench\":\"%s\",\"records\":[\n",
+                 obs::json_escape(name_).c_str());
+    for (size_t i = 0; i < records_.size(); ++i) {
+      std::fprintf(f, "  %s%s\n", records_[i].c_str(),
+                   i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "]}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu records)\n", path.c_str(), records_.size());
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::string> records_;
+  bool flushed_ = false;
+};
 
 }  // namespace dpnfs::bench

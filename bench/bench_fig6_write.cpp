@@ -11,13 +11,8 @@ using core::Architecture;
 
 namespace {
 
-double run_one(const core::ClusterConfig& cfg, const workload::IorConfig& ior) {
-  core::Deployment d(cfg);
-  workload::IorWorkload w(ior);
-  return run_workload(d, w).aggregate_mbps();
-}
-
-void sweep(const char* title, bool single_file, uint64_t block_size,
+void sweep(BenchRecorder& rec, const char* title, const char* figure,
+           bool single_file, uint64_t block_size,
            const std::vector<Architecture>& archs,
            const std::vector<uint32_t>& clients, uint64_t bytes_per_client,
            bool hundred_mbps) {
@@ -33,7 +28,11 @@ void sweep(const char* title, bool single_file, uint64_t block_size,
       ior.single_file = single_file;
       ior.block_size = block_size;
       ior.bytes_per_client = bytes_per_client;
-      s.values.push_back(run_one(cfg, ior));
+      core::Deployment d(cfg);
+      workload::IorWorkload w(ior);
+      const workload::RunResult r = run_workload(d, w);
+      s.values.push_back(r.aggregate_mbps());
+      rec.add(figure, s.label, n, r.aggregate_mbps(), "MB/s", r.metrics_json);
     }
     series.push_back(std::move(s));
   }
@@ -57,15 +56,17 @@ int main(int argc, char** argv) {
                                            Architecture::kPnfs2Tier};
 
   std::printf("== Figure 6: IOR aggregate write throughput ==\n");
-  sweep("Fig 6a: write, separate files, 2 MB blocks", false, 2 << 20, all,
-        clients, bytes, false);
-  sweep("Fig 6b: write, single file, 2 MB blocks", true, 2 << 20, all, clients,
-        bytes, false);
-  sweep("Fig 6c: write, separate files, 2 MB blocks, 100 Mbps", false, 2 << 20,
-        fig6c, clients, quick ? 20'000'000 : 100'000'000, true);
-  sweep("Fig 6d: write, separate files, 8 KB blocks", false, 8 * 1024, all,
-        clients, small_bytes, false);
-  sweep("Fig 6e: write, single file, 8 KB blocks", true, 8 * 1024, all, clients,
-        small_bytes, false);
+  BenchRecorder rec("fig6_write");
+  sweep(rec, "Fig 6a: write, separate files, 2 MB blocks", "6a", false,
+        2 << 20, all, clients, bytes, false);
+  sweep(rec, "Fig 6b: write, single file, 2 MB blocks", "6b", true, 2 << 20,
+        all, clients, bytes, false);
+  sweep(rec, "Fig 6c: write, separate files, 2 MB blocks, 100 Mbps", "6c",
+        false, 2 << 20, fig6c, clients, quick ? 20'000'000 : 100'000'000, true);
+  sweep(rec, "Fig 6d: write, separate files, 8 KB blocks", "6d", false,
+        8 * 1024, all, clients, small_bytes, false);
+  sweep(rec, "Fig 6e: write, single file, 8 KB blocks", "6e", true, 8 * 1024,
+        all, clients, small_bytes, false);
+  rec.flush();
   return 0;
 }

@@ -10,13 +10,8 @@ using core::Architecture;
 
 namespace {
 
-double run_one(const core::ClusterConfig& cfg, const workload::IorConfig& ior) {
-  core::Deployment d(cfg);
-  workload::IorWorkload w(ior);
-  return run_workload(d, w).aggregate_mbps();
-}
-
-void sweep(const char* title, bool single_file, uint64_t block_size,
+void sweep(BenchRecorder& rec, const char* title, const char* figure,
+           bool single_file, uint64_t block_size,
            const std::vector<Architecture>& archs,
            const std::vector<uint32_t>& clients, uint64_t bytes_per_client) {
   std::vector<Series> series;
@@ -29,7 +24,11 @@ void sweep(const char* title, bool single_file, uint64_t block_size,
       ior.single_file = single_file;
       ior.block_size = block_size;
       ior.bytes_per_client = bytes_per_client;
-      s.values.push_back(run_one(paper_config(arch, n), ior));
+      core::Deployment d(paper_config(arch, n));
+      workload::IorWorkload w(ior);
+      const workload::RunResult r = run_workload(d, w);
+      s.values.push_back(r.aggregate_mbps());
+      rec.add(figure, s.label, n, r.aggregate_mbps(), "MB/s", r.metrics_json);
     }
     series.push_back(std::move(s));
   }
@@ -50,13 +49,15 @@ int main(int argc, char** argv) {
       Architecture::kPlainNfs};
 
   std::printf("== Figure 7: IOR aggregate read throughput (warm caches) ==\n");
-  sweep("Fig 7a: read, separate files, 2 MB blocks", false, 2 << 20, all,
-        clients, bytes);
-  sweep("Fig 7b: read, single file, 2 MB blocks", true, 2 << 20, all, clients,
-        bytes);
-  sweep("Fig 7c: read, separate files, 8 KB blocks", false, 8 * 1024, all,
-        clients, small_bytes);
-  sweep("Fig 7d: read, single file, 8 KB blocks", true, 8 * 1024, all, clients,
-        small_bytes);
+  BenchRecorder rec("fig7_read");
+  sweep(rec, "Fig 7a: read, separate files, 2 MB blocks", "7a", false, 2 << 20,
+        all, clients, bytes);
+  sweep(rec, "Fig 7b: read, single file, 2 MB blocks", "7b", true, 2 << 20,
+        all, clients, bytes);
+  sweep(rec, "Fig 7c: read, separate files, 8 KB blocks", "7c", false,
+        8 * 1024, all, clients, small_bytes);
+  sweep(rec, "Fig 7d: read, single file, 8 KB blocks", "7d", true, 8 * 1024,
+        all, clients, small_bytes);
+  rec.flush();
   return 0;
 }

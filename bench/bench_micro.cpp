@@ -1,17 +1,27 @@
 // Micro-benchmarks (google-benchmark) for the hot building blocks: XDR
-// codecs, interval sets, the sparse range buffer, and the simulation
-// kernel's event throughput.  These bound how large a simulated experiment
-// can be before wall-clock time matters.
+// codecs, interval sets, the sparse range buffer, the simulation kernel's
+// event throughput, and the observability hot-path primitives.  These bound
+// how large a simulated experiment can be before wall-clock time matters.
+//
+// `--metrics-smoke[=path]` skips the benchmarks and instead runs a tiny
+// deployment to emit one RunResult::metrics_json document (default
+// BENCH_micro_metrics.json) — tools/check_metrics_schema.py validates it
+// from ctest.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+
+#include "core/deployment.hpp"
 #include "nfs/layout.hpp"
 #include "nfs/ops.hpp"
 #include "rpc/xdr.hpp"
 #include "sim/simulation.hpp"
 #include "sim/sync.hpp"
 #include "util/interval_set.hpp"
+#include "util/obs.hpp"
 #include "util/range_buffer.hpp"
 #include "util/rng.hpp"
+#include "workload/ior.hpp"
 
 namespace {
 
@@ -134,6 +144,72 @@ void BM_SemaphoreContention(benchmark::State& state) {
 }
 BENCHMARK(BM_SemaphoreContention);
 
+void BM_ObsCounterHotPath(benchmark::State& state) {
+  // The instrumented hot paths do exactly this: bump a pre-resolved
+  // counter handle.  Must stay in the "free" range for the <5% overhead
+  // budget to hold.
+  obs::MetricsRegistry reg;
+  obs::Counter* c = &reg.counter("storage0", "pvfs.io", "bytes_written");
+  for (auto _ : state) {
+    for (int i = 0; i < 1024; ++i) c->add(4096);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_ObsCounterHotPath);
+
+void BM_ObsHistogramObserve(benchmark::State& state) {
+  obs::MetricsRegistry reg;
+  obs::HistogramMetric* h = &reg.histogram("storage0", "rpc", "service_us",
+                                           obs::latency_us_boundaries());
+  util::Rng rng(7);
+  for (auto _ : state) {
+    for (int i = 0; i < 1024; ++i) {
+      h->observe(static_cast<double>(rng.below(1'000'000)));
+    }
+    benchmark::DoNotOptimize(h);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_ObsHistogramObserve);
+
+/// Runs a miniature Direct-pNFS IOR write and dumps the full metrics
+/// export for schema validation.
+int metrics_smoke(const char* path) {
+  core::ClusterConfig cfg;
+  cfg.architecture = core::Architecture::kDirectPnfs;
+  cfg.storage_nodes = 3;
+  cfg.clients = 2;
+  core::Deployment d(cfg);
+  workload::IorConfig ior;
+  ior.write = true;
+  ior.bytes_per_client = 16ull << 20;
+  workload::IorWorkload w(ior);
+  const workload::RunResult r = run_workload(d, w);
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+  std::fprintf(f, "%s\n", r.metrics_json.c_str());
+  std::fclose(f);
+  std::printf("wrote %s (%.1f MB/s)\n", path, r.aggregate_mbps());
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--metrics-smoke", 15) == 0) {
+      const char* eq = std::strchr(argv[i], '=');
+      return metrics_smoke(eq != nullptr ? eq + 1
+                                         : "BENCH_micro_metrics.json");
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -72,31 +72,33 @@ class ConduitBackend final : public nfs::Backend {
   }
 
   sim::Task<nfs::Status> read(nfs::FileHandle fh, uint64_t offset,
-                              uint32_t count, rpc::Payload* out,
-                              bool* eof) override {
+                              uint32_t count, rpc::Payload* out, bool* eof,
+                              obs::TraceContext trace = {}) override {
     co_await pool_.acquire();
     co_await cross(count);
-    const nfs::Status st = co_await inner_.read(fh, offset, count, out, eof);
+    const nfs::Status st =
+        co_await inner_.read(fh, offset, count, out, eof, trace);
     pool_.release();
     co_return st;
   }
 
   sim::Task<nfs::Status> write(nfs::FileHandle fh, uint64_t offset,
                                const rpc::Payload& data, nfs::StableHow stable,
-                               nfs::StableHow* committed,
-                               uint64_t* post_change) override {
+                               nfs::StableHow* committed, uint64_t* post_change,
+                               obs::TraceContext trace = {}) override {
     co_await pool_.acquire();
     co_await cross(data.size());
     const nfs::Status st = co_await inner_.write(fh, offset, data, stable,
-                                                 committed, post_change);
+                                                 committed, post_change, trace);
     pool_.release();
     co_return st;
   }
 
-  sim::Task<nfs::Status> commit(nfs::FileHandle fh) override {
+  sim::Task<nfs::Status> commit(nfs::FileHandle fh,
+                                obs::TraceContext trace = {}) override {
     co_await pool_.acquire();
     co_await cross(0);
-    const nfs::Status st = co_await inner_.commit(fh);
+    const nfs::Status st = co_await inner_.commit(fh, trace);
     pool_.release();
     co_return st;
   }

@@ -22,6 +22,9 @@ const char* architecture_name(Architecture a) {
 
 Deployment::Deployment(ClusterConfig config)
     : config_(std::move(config)), net_(sim_, config_.network), fabric_(net_) {
+  // Before any server/client is constructed: they resolve their metric
+  // handles from the fabric at construction time.
+  fabric_.set_observability(&metrics_, &tracer_);
   config_.pvfs_meta.stripe_unit = config_.stripe_unit;
   registry_ = std::make_shared<FhRegistry>();
   aggregations_ = std::make_shared<const nfs::AggregationRegistry>(
@@ -123,6 +126,7 @@ void Deployment::build_direct_pnfs() {
   for (uint32_t i = 0; i < config_.storage_nodes; ++i) {
     auto local =
         std::make_unique<nfs::LocalBackend>(*stores_[i], /*flat=*/true);
+    local->attach_tracer(&tracer_, storage_nodes_[i]->name());
     nfs::Backend* exported = local.get();
     std::unique_ptr<ConduitBackend> conduit;
     if (config_.direct_ds_conduit) {
@@ -157,6 +161,7 @@ void Deployment::build_direct_pnfs() {
   auto mds_backend = std::make_unique<PvfsBackend>(*server_pvfs_clients_.back(),
                                                    registry_);
   translator_ = std::make_unique<LayoutTranslator>(*mds_backend, devices);
+  translator_->attach_metrics(metrics_, storage_nodes_[0]->name());
   nfs_servers_.push_back(std::make_unique<nfs::NfsServer>(
       fabric_, *storage_nodes_[0], kMdsPort, *mds_backend, translator_.get(),
       config_.nfs_server));
@@ -205,6 +210,7 @@ void Deployment::build_pnfs_2tier() {
                                                    registry_);
   synthetic_layouts_ =
       std::make_unique<SyntheticLayoutSource>(devices, config_.stripe_unit);
+  synthetic_layouts_->attach_metrics(metrics_, storage_nodes_[0]->name());
   nfs_servers_.push_back(std::make_unique<nfs::NfsServer>(
       fabric_, *storage_nodes_[0], kMdsPort, *mds_backend,
       synthetic_layouts_.get(), config_.nfs_server));
@@ -250,6 +256,7 @@ void Deployment::build_pnfs_3tier() {
                                                    registry_);
   synthetic_layouts_ =
       std::make_unique<SyntheticLayoutSource>(devices, config_.stripe_unit);
+  synthetic_layouts_->attach_metrics(metrics_, ds_nodes[0]->name());
   nfs_servers_.push_back(std::make_unique<nfs::NfsServer>(
       fabric_, *ds_nodes[0], kMdsPort, *mds_backend, synthetic_layouts_.get(),
       config_.nfs_server));
@@ -343,6 +350,64 @@ void Deployment::print_traffic_report() const {
                 util::format_bytes(n->nic().tx_bytes()).c_str(),
                 util::format_bytes(n->nic().rx_bytes()).c_str(), "-", "-");
   }
+}
+
+void Deployment::snapshot_resource_gauges() {
+  // NICs exist on every node; only storage nodes have stores/disks.  Data
+  // paths that bypass the instrumented daemons (Direct-pNFS serves stripe
+  // objects straight from the local store) still show up here.
+  for (uint32_t i = 0; i < net_.node_count(); ++i) {
+    sim::Node& n = net_.node(i);
+    metrics_.gauge(n.name(), "node", "nic_tx_bytes")
+        .set(static_cast<double>(n.nic().tx_bytes()));
+    metrics_.gauge(n.name(), "node", "nic_rx_bytes")
+        .set(static_cast<double>(n.nic().rx_bytes()));
+  }
+  for (size_t i = 0; i < storage_nodes_.size(); ++i) {
+    const std::string& name = storage_nodes_[i]->name();
+    const lfs::ObjectStoreStats& st = stores_[i]->stats();
+    metrics_.gauge(name, "node", "disk_write_bytes")
+        .set(static_cast<double>(st.disk_write_bytes));
+    metrics_.gauge(name, "node", "disk_read_bytes")
+        .set(static_cast<double>(st.disk_read_bytes));
+    metrics_.gauge(name, "node", "disk_writes")
+        .set(static_cast<double>(st.disk_writes));
+    metrics_.gauge(name, "node", "disk_reads")
+        .set(static_cast<double>(st.disk_reads));
+    metrics_.gauge(name, "node", "store_cache_hit_bytes")
+        .set(static_cast<double>(st.cache_hit_bytes));
+    metrics_.gauge(name, "node", "store_cache_miss_bytes")
+        .set(static_cast<double>(st.cache_miss_bytes));
+  }
+}
+
+std::string Deployment::metrics_json() {
+  snapshot_resource_gauges();
+  std::string out = "{\"architecture\":\"";
+  out += obs::json_escape(architecture_name(config_.architecture));
+  out += "\",\"sim_time_ns\":";
+  out += std::to_string(sim_.now());
+  out += ",\"nodes\":";
+  out += metrics_.to_json();
+  out += ",\"trace\":";
+  out += tracer_.to_json();
+  out += "}";
+  return out;
+}
+
+void Deployment::print_metrics_report() {
+  snapshot_resource_gauges();
+  std::printf("== metrics report: %s ==\n",
+              architecture_name(config_.architecture));
+  std::fputs(metrics_.report().c_str(), stdout);
+  std::printf(
+      "trace: %llu traces, %llu rpc hops (mean %.2f max %u per trace), "
+      "%llu spans recorded, %llu dropped\n",
+      static_cast<unsigned long long>(tracer_.traces_started()),
+      static_cast<unsigned long long>(tracer_.rpc_hops_total()),
+      tracer_.mean_hops_per_trace(), tracer_.max_hops_per_trace(),
+      static_cast<unsigned long long>(tracer_.spans_recorded()),
+      static_cast<unsigned long long>(tracer_.spans_dropped()));
 }
 
 }  // namespace dpnfs::core

@@ -123,6 +123,22 @@ class Deployment {
   /// Prints a per-node traffic/disk table (bench `--verbose` support).
   void print_traffic_report() const;
 
+  /// Per-node metric registry; every RPC server/client in the deployment
+  /// resolved its counter handles from this at construction.
+  obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  const obs::MetricsRegistry& metrics() const noexcept { return metrics_; }
+  obs::Tracer& tracer() noexcept { return tracer_; }
+  const obs::Tracer& tracer() const noexcept { return tracer_; }
+
+  /// Full observability export: architecture, per-node metrics (with NIC
+  /// and object-store snapshots folded in as "node" gauges — this is what
+  /// carries per-storage-node bytes even for Direct-pNFS, whose data path
+  /// bypasses the PVFS I/O daemons), and the trace aggregate.
+  std::string metrics_json();
+
+  /// Human-readable per-node metric + trace report.
+  void print_metrics_report();
+
   /// The Direct-pNFS layout translator (null for other architectures).
   LayoutTranslator* translator() noexcept { return translator_.get(); }
 
@@ -141,11 +157,18 @@ class Deployment {
                                                      bool proxy);
   void add_nfs_clients(rpc::RpcAddress mds, bool pnfs_enabled);
 
+  /// Folds current NIC/disk/object-store totals into "node" gauges so
+  /// exports see resource usage regardless of which software path moved
+  /// the bytes.
+  void snapshot_resource_gauges();
+
   static constexpr uint16_t kMdsPort = 2050;
 
   ClusterConfig config_;
   sim::Simulation sim_;
   sim::Network net_;
+  obs::MetricsRegistry metrics_;
+  obs::Tracer tracer_;
   rpc::RpcFabric fabric_;
 
   std::vector<sim::Node*> storage_nodes_;

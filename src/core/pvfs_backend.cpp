@@ -293,13 +293,14 @@ uint64_t PvfsBackend::to_file_offset(uint64_t dev_offset) const {
 }
 
 Task<Status> PvfsBackend::read(FileHandle fh, uint64_t offset, uint32_t count,
-                               Payload* out, bool* eof) {
+                               Payload* out, bool* eof,
+                               obs::TraceContext trace) {
   Status st = Status::kOk;
   FhRegistry::Entry* e = file_entry(fh, &st);
   if (e == nullptr) co_return st;
   try {
     if (!stripe_view_) {
-      *out = co_await client_.read(e->file, offset, count);
+      *out = co_await client_.read(e->file, offset, count, trace);
       *eof = (offset + out->size() >= e->file->size);
       co_return Status::kOk;
     }
@@ -311,7 +312,8 @@ Task<Status> PvfsBackend::read(FileHandle fh, uint64_t offset, uint32_t count,
     while (pos < end) {
       const uint64_t in_stripe = pos % su;
       const uint64_t take = std::min(su - in_stripe, end - pos);
-      Payload piece = co_await client_.read(e->file, to_file_offset(pos), take);
+      Payload piece =
+          co_await client_.read(e->file, to_file_offset(pos), take, trace);
       const bool short_read = piece.size() < take;
       if (short_read && pos + take < end) {
         // Interior hole in the dense view: pad to keep offsets aligned.
@@ -336,13 +338,14 @@ Task<Status> PvfsBackend::read(FileHandle fh, uint64_t offset, uint32_t count,
 Task<Status> PvfsBackend::write(FileHandle fh, uint64_t offset,
                                 const Payload& data, nfs::StableHow stable,
                                 nfs::StableHow* committed,
-                                uint64_t* post_change) {
+                                uint64_t* post_change,
+                                obs::TraceContext trace) {
   Status st = Status::kOk;
   FhRegistry::Entry* e = file_entry(fh, &st);
   if (e == nullptr) co_return st;
   try {
     if (!stripe_view_) {
-      co_await client_.write(e->file, offset, data);
+      co_await client_.write(e->file, offset, data, trace);
     } else {
       // Dense device offsets -> scattered logical writes; the PVFS client's
       // buffer pool provides what parallelism there is.
@@ -353,12 +356,12 @@ Task<Status> PvfsBackend::write(FileHandle fh, uint64_t offset,
         const uint64_t in_stripe = pos % su;
         const uint64_t take = std::min(su - in_stripe, end - pos);
         co_await client_.write(e->file, to_file_offset(pos),
-                               data.slice(pos - offset, take));
+                               data.slice(pos - offset, take), trace);
         pos += take;
       }
     }
     if (stable != nfs::StableHow::kUnstable) {
-      co_await client_.fsync(e->file);
+      co_await client_.fsync(e->file, trace);
     }
     ++e->change;
     *post_change = e->change;
@@ -369,12 +372,12 @@ Task<Status> PvfsBackend::write(FileHandle fh, uint64_t offset,
   }
 }
 
-Task<Status> PvfsBackend::commit(FileHandle fh) {
+Task<Status> PvfsBackend::commit(FileHandle fh, obs::TraceContext trace) {
   Status st = Status::kOk;
   FhRegistry::Entry* e = file_entry(fh, &st);
   if (e == nullptr) co_return st;
   try {
-    co_await client_.fsync(e->file);
+    co_await client_.fsync(e->file, trace);
   } catch (const pvfs::PvfsError& err) {
     co_return from_pvfs(err.status());
   }

@@ -97,13 +97,14 @@ class PvfsBackend final : public nfs::Backend, public PfsLayoutProvider {
   sim::Task<nfs::Status> readdir(nfs::FileHandle dir,
                                  std::vector<nfs::DirEntry>* out) override;
   sim::Task<nfs::Status> read(nfs::FileHandle fh, uint64_t offset,
-                              uint32_t count, rpc::Payload* out,
-                              bool* eof) override;
+                              uint32_t count, rpc::Payload* out, bool* eof,
+                              obs::TraceContext trace = {}) override;
   sim::Task<nfs::Status> write(nfs::FileHandle fh, uint64_t offset,
                                const rpc::Payload& data, nfs::StableHow stable,
-                               nfs::StableHow* committed,
-                               uint64_t* post_change) override;
-  sim::Task<nfs::Status> commit(nfs::FileHandle fh) override;
+                               nfs::StableHow* committed, uint64_t* post_change,
+                               obs::TraceContext trace = {}) override;
+  sim::Task<nfs::Status> commit(nfs::FileHandle fh,
+                                obs::TraceContext trace = {}) override;
 
   // -- PfsLayoutProvider -------------------------------------------------------
   bool describe(nfs::FileHandle fh, PfsLayoutDescription* out) override;

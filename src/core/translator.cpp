@@ -9,6 +9,13 @@ LayoutTranslator::LayoutTranslator(PfsLayoutProvider& provider,
                                    std::vector<nfs::DeviceEntry> devices)
     : provider_(provider), devices_(std::move(devices)) {}
 
+void LayoutTranslator::attach_metrics(obs::MetricsRegistry& registry,
+                                      const std::string& node) {
+  m_layouts_granted_ = &registry.counter(node, "nfs.layout", "layouts_granted");
+  m_layout_commits_ = &registry.counter(node, "nfs.layout", "layout_commits");
+  m_layout_returns_ = &registry.counter(node, "nfs.layout", "layout_returns");
+}
+
 Task<Status> LayoutTranslator::get_device_list(
     std::vector<nfs::DeviceEntry>* out) {
   *out = devices_;
@@ -37,6 +44,7 @@ Task<Status> LayoutTranslator::layout_get(nfs::FileHandle fh,
     out->fhs.push_back(nfs::FileHandle{p.object_id});
   }
   ++layouts_granted_;
+  m_layouts_granted_->inc();
   co_return Status::kOk;
 }
 
@@ -45,6 +53,7 @@ Task<Status> LayoutTranslator::layout_commit(nfs::FileHandle fh,
                                              bool size_changed,
                                              uint64_t* post_change) {
   *post_change = 0;
+  m_layout_commits_->inc();
   if (size_changed) {
     *post_change = co_await provider_.on_layout_commit(fh, new_size);
   }
@@ -52,12 +61,18 @@ Task<Status> LayoutTranslator::layout_commit(nfs::FileHandle fh,
 }
 
 Task<Status> LayoutTranslator::layout_return(nfs::FileHandle /*fh*/) {
+  m_layout_returns_->inc();
   co_return Status::kOk;
 }
 
 SyntheticLayoutSource::SyntheticLayoutSource(
     std::vector<nfs::DeviceEntry> devices, uint64_t stripe_unit)
     : devices_(std::move(devices)), stripe_unit_(stripe_unit) {}
+
+void SyntheticLayoutSource::attach_metrics(obs::MetricsRegistry& registry,
+                                           const std::string& node) {
+  m_layouts_granted_ = &registry.counter(node, "nfs.layout", "layouts_granted");
+}
 
 Task<Status> SyntheticLayoutSource::get_device_list(
     std::vector<nfs::DeviceEntry>* out) {
@@ -76,6 +91,7 @@ Task<Status> SyntheticLayoutSource::layout_get(nfs::FileHandle fh,
     out->devices.push_back(d.device);
     out->fhs.push_back(fh);  // every DS proxies the same exported file
   }
+  m_layouts_granted_->inc();
   co_return Status::kOk;
 }
 

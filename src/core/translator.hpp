@@ -72,10 +72,16 @@ class LayoutTranslator final : public nfs::LayoutSource {
 
   uint64_t layouts_granted() const noexcept { return layouts_granted_; }
 
+  /// Wires "nfs.layout" counters on `node` (the MDS hosting the translator).
+  void attach_metrics(obs::MetricsRegistry& registry, const std::string& node);
+
  private:
   PfsLayoutProvider& provider_;
   std::vector<nfs::DeviceEntry> devices_;
   uint64_t layouts_granted_ = 0;
+  obs::Counter* m_layouts_granted_ = &obs::MetricsRegistry::null_counter();
+  obs::Counter* m_layout_commits_ = &obs::MetricsRegistry::null_counter();
+  obs::Counter* m_layout_returns_ = &obs::MetricsRegistry::null_counter();
 };
 
 /// Layout source for conventional file-layout pNFS (2-/3-tier): stripes
@@ -97,9 +103,13 @@ class SyntheticLayoutSource final : public nfs::LayoutSource {
                                        uint64_t* post_change) override;
   sim::Task<nfs::Status> layout_return(nfs::FileHandle fh) override;
 
+  /// Wires "nfs.layout" counters on `node` (the MDS hosting this source).
+  void attach_metrics(obs::MetricsRegistry& registry, const std::string& node);
+
  private:
   std::vector<nfs::DeviceEntry> devices_;
   uint64_t stripe_unit_;
+  obs::Counter* m_layouts_granted_ = &obs::MetricsRegistry::null_counter();
 };
 
 }  // namespace dpnfs::core

@@ -23,6 +23,7 @@
 #include "nfs/types.hpp"
 #include "rpc/payload.hpp"
 #include "sim/task.hpp"
+#include "util/obs.hpp"
 
 namespace dpnfs::nfs {
 
@@ -49,16 +50,22 @@ class Backend {
   virtual sim::Task<Status> readdir(FileHandle dir,
                                     std::vector<DirEntry>* out) = 0;
 
+  // Data operations carry the server's trace context so proxy backends
+  // (pvfs::PvfsBackend) can parent the RPCs they re-issue under the request
+  // that triggered them — that re-route hop is exactly what the paper's
+  // Figure 6 argument is about.  The default `{}` means "untraced".
   virtual sim::Task<Status> read(FileHandle fh, uint64_t offset, uint32_t count,
-                                 rpc::Payload* out, bool* eof) = 0;
+                                 rpc::Payload* out, bool* eof,
+                                 obs::TraceContext trace = {}) = 0;
   /// `committed` reports the achieved stability (>= requested);
   /// `post_change` the file's change attribute after this write (clients
   /// use it to keep their cached attributes coherent with their own I/O).
   virtual sim::Task<Status> write(FileHandle fh, uint64_t offset,
                                   const rpc::Payload& data, StableHow stable,
-                                  StableHow* committed,
-                                  uint64_t* post_change) = 0;
-  virtual sim::Task<Status> commit(FileHandle fh) = 0;
+                                  StableHow* committed, uint64_t* post_change,
+                                  obs::TraceContext trace = {}) = 0;
+  virtual sim::Task<Status> commit(FileHandle fh,
+                                   obs::TraceContext trace = {}) = 0;
 };
 
 /// Supplies pNFS device lists and layouts.  Absent (nullptr) on servers

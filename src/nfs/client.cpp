@@ -57,6 +57,23 @@ NfsClient::NfsClient(rpc::RpcFabric& fabric, sim::Node& node,
     aggregations_ = std::make_shared<const AggregationRegistry>(
         AggregationRegistry::with_standard_drivers());
   }
+  if (obs::MetricsRegistry* reg = fabric.metrics()) {
+    const std::string& n = node.name();
+    m_hit_bytes_ = &reg->counter(n, "client.cache", "hit_bytes");
+    m_miss_bytes_ = &reg->counter(n, "client.cache", "miss_bytes");
+    m_read_bytes_ = &reg->counter(n, "client.cache", "read_bytes");
+    m_write_bytes_ = &reg->counter(n, "client.cache", "write_bytes");
+    m_readahead_fetches_ =
+        &reg->counter(n, "client.cache", "readahead_fetches");
+    m_rpcs_ = &reg->counter(n, "client.cache", "rpcs");
+  } else {
+    m_hit_bytes_ = &obs::MetricsRegistry::null_counter();
+    m_miss_bytes_ = &obs::MetricsRegistry::null_counter();
+    m_read_bytes_ = &obs::MetricsRegistry::null_counter();
+    m_write_bytes_ = &obs::MetricsRegistry::null_counter();
+    m_readahead_fetches_ = &obs::MetricsRegistry::null_counter();
+    m_rpcs_ = &obs::MetricsRegistry::null_counter();
+  }
 }
 
 NfsClient::~NfsClient() = default;
@@ -83,6 +100,7 @@ Task<NfsClient::Session*> NfsClient::session_for(rpc::RpcAddress addr) {
     auto raw = co_await rpc_.call(addr, rpc::Program::kNfs, kNfsVersion,
                                   kProcCompound, std::move(b).finish());
     ++stats_.rpcs;
+    m_rpcs_->inc();
     CompoundReply r1(std::move(raw));
     const auto eid = r1.expect<ExchangeIdRes>(OpCode::kExchangeId);
 
@@ -99,6 +117,7 @@ Task<NfsClient::Session*> NfsClient::session_for(rpc::RpcAddress addr) {
     auto raw2 = co_await rpc_.call(addr, rpc::Program::kNfs, kNfsVersion,
                                    kProcCompound, std::move(b2).finish());
     ++stats_.rpcs;
+    m_rpcs_->inc();
     CompoundReply r2(std::move(raw2));
     const auto cs = r2.expect<CreateSessionRes>(OpCode::kCreateSession);
 
@@ -124,6 +143,7 @@ Task<rpc::RpcClient::Reply> NfsClient::call(rpc::RpcAddress addr,
                                               static_cast<double>(data_bytes));
   co_await node_.cpu().execute(cpu);
   ++stats_.rpcs;
+  m_rpcs_->inc();
   auto reply = co_await rpc_.call(addr, rpc::Program::kNfs, kNfsVersion,
                                   kProcCompound, std::move(builder).finish());
   s->slots->release();
@@ -655,6 +675,7 @@ Task<Payload> NfsClient::read_slices(FileState& f, uint64_t offset,
   Payload assembled;
   for (auto& piece : results) assembled.append(piece);
   stats_.wire_read_bytes += assembled.size();
+  m_miss_bytes_->add(assembled.size());
   co_return assembled;
 }
 
@@ -714,6 +735,7 @@ Task<Payload> NfsClient::read(FilePtr file, uint64_t offset, uint64_t length) {
   if (!config_.data_cache) {
     Payload p = co_await read_slices(*file, offset, want);
     stats_.bytes_read += p.size();
+    m_read_bytes_->add(p.size());
     // Sequential detection still applies (kernel readahead exists even for
     // O_DIRECT-less uncached mode is moot — without a cache there is nowhere
     // to put readahead data, so skip it).
@@ -736,10 +758,14 @@ Task<Payload> NfsClient::read(FilePtr file, uint64_t offset, uint64_t length) {
     fetched = true;
     co_await fetch_range(file, gaps.front().start, gaps.front().end);
   }
-  if (!fetched) stats_.cache_hit_bytes += want;
+  if (!fetched) {
+    stats_.cache_hit_bytes += want;
+    m_hit_bytes_->add(want);
+  }
 
   Payload out = file->content.load(offset, want);
   stats_.bytes_read += out.size();
+  m_read_bytes_->add(out.size());
 
   // Sequential readahead.  Extensions are quantized to whole rsize chunks
   // so the wire sees rsize-sized READs, not request-sized dribbles.
@@ -759,6 +785,7 @@ Task<Payload> NfsClient::read(FilePtr file, uint64_t offset, uint64_t length) {
 
 Task<void> NfsClient::readahead(FilePtr file, uint64_t from, uint64_t to) {
   ++stats_.readahead_fetches;
+  m_readahead_fetches_->inc();
   try {
     co_await fetch_range(file, from, to);
   } catch (const NfsError&) {
@@ -859,6 +886,7 @@ Task<void> NfsClient::write(FilePtr file, uint64_t offset, Payload data) {
     file->size = std::max(file->size, end);
     file->size_dirty = true;
     stats_.bytes_written += len;
+    m_write_bytes_->add(len);
     co_return;
   }
 
@@ -877,6 +905,7 @@ Task<void> NfsClient::write(FilePtr file, uint64_t offset, Payload data) {
   file->size = std::max(file->size, end);
   file->size_dirty = true;
   stats_.bytes_written += len;
+  m_write_bytes_->add(len);
 
   // Write-back: push out every fully-dirty wsize chunk asynchronously (a
   // bounded pipeline of in-flight WRITEs, like the kernel flusher).

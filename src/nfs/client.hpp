@@ -199,6 +199,15 @@ class NfsClient {
   uint64_t lru_clock_ = 0;
 
   ClientStats stats_;
+
+  // "client.cache" component handles, resolved once at construction (null
+  // sinks when the fabric carries no registry).
+  obs::Counter* m_hit_bytes_;
+  obs::Counter* m_miss_bytes_;
+  obs::Counter* m_read_bytes_;
+  obs::Counter* m_write_bytes_;
+  obs::Counter* m_readahead_fetches_;
+  obs::Counter* m_rpcs_;
 };
 
 /// Open-file state; exposed so deployments can inspect (tests) but opaque in

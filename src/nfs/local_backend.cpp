@@ -170,8 +170,27 @@ Task<Status> LocalBackend::readdir(FileHandle dir, std::vector<DirEntry>* out) {
   co_return Status::kOk;
 }
 
+void LocalBackend::trace_store_op(obs::TraceContext trace, const char* op,
+                                  int64_t start, uint64_t bytes_in,
+                                  uint64_t bytes_out) const {
+  if (tracer_ == nullptr || !trace.valid()) return;
+  obs::Span span;
+  span.trace_id = trace.trace_id;
+  span.span_id = tracer_->begin(trace).span_id;
+  span.parent_span_id = trace.span_id;
+  span.kind = obs::SpanKind::kInternal;
+  span.name = std::string("store/") + op;
+  span.node = node_name_;
+  span.start = start;
+  span.end = store_.node().simulation().now();
+  span.bytes_out = bytes_out;
+  span.bytes_in = bytes_in;
+  tracer_->record(std::move(span));
+}
+
 Task<Status> LocalBackend::read(FileHandle fh, uint64_t offset, uint32_t count,
-                                rpc::Payload* out, bool* eof) {
+                                rpc::Payload* out, bool* eof,
+                                obs::TraceContext trace) {
   if (!flat_) {
     Inode* node = find(fh.id);
     if (node == nullptr) co_return Status::kStale;
@@ -182,14 +201,17 @@ Task<Status> LocalBackend::read(FileHandle fh, uint64_t offset, uint32_t count,
     *eof = true;
     co_return Status::kOk;
   }
+  const int64_t start = store_.node().simulation().now();
   *out = co_await store_.read(fh.id, offset, count);
   *eof = (offset + out->size() >= store_.size(fh.id));
+  trace_store_op(trace, "read", start, 0, out->size());
   co_return Status::kOk;
 }
 
 Task<Status> LocalBackend::write(FileHandle fh, uint64_t offset,
                                  const rpc::Payload& data, StableHow stable,
-                                 StableHow* committed, uint64_t* post_change) {
+                                 StableHow* committed, uint64_t* post_change,
+                                 obs::TraceContext trace) {
   *post_change = 0;
   if (!flat_) {
     Inode* node = find(fh.id);
@@ -198,14 +220,18 @@ Task<Status> LocalBackend::write(FileHandle fh, uint64_t offset,
     bump(*node);
     *post_change = node->change;
   }
+  const int64_t start = store_.node().simulation().now();
   co_await store_.write(fh.id, offset, data, stable != StableHow::kUnstable);
   *committed = stable;
+  trace_store_op(trace, "write", start, data.size(), 0);
   co_return Status::kOk;
 }
 
-Task<Status> LocalBackend::commit(FileHandle fh) {
+Task<Status> LocalBackend::commit(FileHandle fh, obs::TraceContext trace) {
   if (!flat_ && find(fh.id) == nullptr) co_return Status::kStale;
+  const int64_t start = store_.node().simulation().now();
   co_await store_.commit(fh.id);
+  trace_store_op(trace, "commit", start, 0, 0);
   co_return Status::kOk;
 }
 

@@ -40,12 +40,20 @@ class LocalBackend final : public Backend {
   sim::Task<Status> readdir(FileHandle dir, std::vector<DirEntry>* out) override;
 
   sim::Task<Status> read(FileHandle fh, uint64_t offset, uint32_t count,
-                         rpc::Payload* out, bool* eof) override;
+                         rpc::Payload* out, bool* eof,
+                         obs::TraceContext trace = {}) override;
   sim::Task<Status> write(FileHandle fh, uint64_t offset,
                           const rpc::Payload& data, StableHow stable,
-                          StableHow* committed,
-                          uint64_t* post_change) override;
-  sim::Task<Status> commit(FileHandle fh) override;
+                          StableHow* committed, uint64_t* post_change,
+                          obs::TraceContext trace = {}) override;
+  sim::Task<Status> commit(FileHandle fh, obs::TraceContext trace = {}) override;
+
+  /// Attaches a tracer: local store accesses then show up as internal spans
+  /// under the serving request (the Direct-pNFS "no extra hop" evidence).
+  void attach_tracer(obs::Tracer* tracer, std::string node_name) {
+    tracer_ = tracer;
+    node_name_ = std::move(node_name);
+  }
 
   lfs::ObjectStore& store() noexcept { return store_; }
 
@@ -63,8 +71,14 @@ class LocalBackend final : public Backend {
   uint64_t alloc_inode(FileType type);
   void bump(Inode& inode);
 
+  /// Records one internal span covering a store access (no-op untraced).
+  void trace_store_op(obs::TraceContext trace, const char* op, int64_t start,
+                      uint64_t bytes_in, uint64_t bytes_out) const;
+
   lfs::ObjectStore& store_;
   bool flat_;
+  obs::Tracer* tracer_ = nullptr;
+  std::string node_name_;
   std::unordered_map<uint64_t, Inode> inodes_;
   uint64_t next_ino_ = 2;
 };

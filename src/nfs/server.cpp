@@ -16,6 +16,21 @@ NfsServer::NfsServer(rpc::RpcFabric& fabric, sim::Node& node, uint16_t port,
       backend_(backend),
       layouts_(layouts),
       config_(config) {
+  if (obs::MetricsRegistry* reg = fabric.metrics()) {
+    const std::string& n = node.name();
+    m_compounds_ = &reg->counter(n, "nfs.server", "compounds");
+    m_read_bytes_ = &reg->counter(n, "nfs.server", "read_bytes");
+    m_write_bytes_ = &reg->counter(n, "nfs.server", "write_bytes");
+    m_layouts_recalled_ = &reg->counter(n, "nfs.server", "layout_recalls");
+    m_delegation_recalls_ =
+        &reg->counter(n, "nfs.server", "delegation_recalls");
+  } else {
+    m_compounds_ = &obs::MetricsRegistry::null_counter();
+    m_read_bytes_ = &obs::MetricsRegistry::null_counter();
+    m_write_bytes_ = &obs::MetricsRegistry::null_counter();
+    m_layouts_recalled_ = &obs::MetricsRegistry::null_counter();
+    m_delegation_recalls_ = &obs::MetricsRegistry::null_counter();
+  }
   rpc_server_ = std::make_unique<rpc::RpcServer>(
       fabric, node, port, config.worker_threads,
       [this](const rpc::CallContext& ctx, XdrDecoder& args,
@@ -67,6 +82,7 @@ Task<void> NfsServer::recall_layouts(FileHandle fh) {
   std::set<uint64_t> holders = std::move(it->second);
   layout_holders_.erase(it);
   recalls_ += holders.size();
+  m_layouts_recalled_->add(holders.size());
   co_await send_recalls(fh, std::move(holders), kProcCbLayoutRecall);
 }
 
@@ -84,6 +100,7 @@ Task<void> NfsServer::recall_delegations(FileHandle fh, uint64_t keep_session) {
     delegation_holders_.erase(it);
   }
   delegation_recalls_ += holders.size();
+  m_delegation_recalls_->add(holders.size());
   co_await send_recalls(fh, std::move(holders), kProcCbRecallDelegation);
 }
 
@@ -96,6 +113,7 @@ bool NfsServer::stateid_ok(const Stateid& sid) const {
 Task<void> NfsServer::serve(const rpc::CallContext& ctx, XdrDecoder& args,
                             XdrEncoder& results) {
   ++compounds_;
+  m_compounds_->inc();
   const uint32_t op_count = args.get_u32();
   if (op_count > 64) throw rpc::XdrError("compound too long");
 
@@ -314,9 +332,12 @@ Task<Status> NfsServer::dispatch(OpCode op, const rpc::CallContext& ctx,
       co_await charge_cpu(a.count);
       rpc::Payload data;
       bool eof = false;
-      const Status st =
-          co_await backend_.read(current_fh, a.offset, a.count, &data, &eof);
-      if (st == Status::kOk) ReadRes{eof, std::move(data)}.encode(results);
+      const Status st = co_await backend_.read(current_fh, a.offset, a.count,
+                                               &data, &eof, ctx.trace);
+      if (st == Status::kOk) {
+        m_read_bytes_->add(data.size());
+        ReadRes{eof, std::move(data)}.encode(results);
+      }
       co_return st;
     }
     case OpCode::kWrite: {
@@ -331,8 +352,9 @@ Task<Status> NfsServer::dispatch(OpCode op, const rpc::CallContext& ctx,
       uint64_t post_change = 0;
       const Status st = co_await backend_.write(current_fh, a.offset, a.data,
                                                 a.stable, &committed,
-                                                &post_change);
+                                                &post_change, ctx.trace);
       if (st == Status::kOk) {
+        m_write_bytes_->add(a.data.size());
         WriteRes{a.data.size(), committed, post_change}.encode(results);
       }
       co_return st;
@@ -340,7 +362,7 @@ Task<Status> NfsServer::dispatch(OpCode op, const rpc::CallContext& ctx,
     case OpCode::kCommit: {
       (void)CommitArgs::decode(args);
       co_await charge_cpu(0);
-      co_return co_await backend_.commit(current_fh);
+      co_return co_await backend_.commit(current_fh, ctx.trace);
     }
     case OpCode::kGetDeviceList:
     case OpCode::kGetDeviceInfo: {

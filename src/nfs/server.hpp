@@ -110,6 +110,14 @@ class NfsServer {
   uint64_t recalls_ = 0;
   uint64_t delegations_granted_ = 0;
   uint64_t delegation_recalls_ = 0;
+
+  // "nfs.server" component handles, resolved once at construction (null
+  // sinks when the fabric carries no registry).
+  obs::Counter* m_compounds_;
+  obs::Counter* m_read_bytes_;
+  obs::Counter* m_write_bytes_;
+  obs::Counter* m_layouts_recalled_;
+  obs::Counter* m_delegation_recalls_;
 };
 
 }  // namespace dpnfs::nfs

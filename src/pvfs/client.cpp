@@ -45,7 +45,8 @@ Task<rpc::RpcClient::Reply> PvfsClient::meta_call(MetaProc proc,
 
 Task<rpc::RpcClient::Reply> PvfsClient::io_call(uint32_t server_index,
                                                 IoProc proc, XdrEncoder args,
-                                                uint64_t data_bytes) {
+                                                uint64_t data_bytes,
+                                                obs::TraceContext trace) {
   co_await buffers_.acquire();
   ++stats_.storage_requests;
   co_await node_.cpu().execute(
@@ -54,7 +55,8 @@ Task<rpc::RpcClient::Reply> PvfsClient::io_call(uint32_t server_index,
                                  static_cast<double>(data_bytes)));
   auto reply = co_await rpc_.call(storage_.at(server_index),
                                   rpc::Program::kPvfsIo, kPvfsVersion,
-                                  static_cast<uint32_t>(proc), std::move(args));
+                                  static_cast<uint32_t>(proc), std::move(args),
+                                  trace);
   buffers_.release();
   co_return reply;
 }
@@ -189,7 +191,7 @@ Task<uint64_t> PvfsClient::fetch_size(PvfsFilePtr file) {
 }
 
 Task<Payload> PvfsClient::read(PvfsFilePtr file, uint64_t offset,
-                               uint64_t length) {
+                               uint64_t length, obs::TraceContext trace) {
   if (offset >= file->size) co_return Payload{};
   const uint64_t end = std::min(file->size, offset + length);
   const auto extents = map_stripes(file->meta, offset, end - offset);
@@ -217,14 +219,14 @@ Task<Payload> PvfsClient::read(PvfsFilePtr file, uint64_t offset,
   bool failed = false;
   for (auto& piece : pieces) {
     wg.spawn([](PvfsClient& self, const FileMeta& meta, Piece& piece,
-                bool& failed) -> Task<void> {
+                bool& failed, const obs::TraceContext trace) -> Task<void> {
       const DfileRef& dfile = meta.dfiles[piece.dfile_index];
       XdrEncoder a;
       a.put_u64(dfile.object_id);
       a.put_u64(piece.dfile_offset);
       a.put_u64(piece.length);
       auto r = co_await self.io_call(dfile.server_index, IoProc::kRead,
-                                     std::move(a), piece.length);
+                                     std::move(a), piece.length, trace);
       auto d = r.body();
       if (reply_status(d) != PvfsStatus::kOk) {
         failed = true;
@@ -241,7 +243,7 @@ Task<Payload> PvfsClient::read(PvfsFilePtr file, uint64_t offset,
           piece.result.append(Payload::virtual_bytes(missing));
         }
       }
-    }(*this, file->meta, piece, failed));
+    }(*this, file->meta, piece, failed, trace));
   }
   co_await wg.wait();
   if (failed) throw PvfsError(PvfsStatus::kIo, "read");
@@ -252,7 +254,8 @@ Task<Payload> PvfsClient::read(PvfsFilePtr file, uint64_t offset,
   co_return out;
 }
 
-Task<void> PvfsClient::write(PvfsFilePtr file, uint64_t offset, Payload data) {
+Task<void> PvfsClient::write(PvfsFilePtr file, uint64_t offset, Payload data,
+                             obs::TraceContext trace) {
   const uint64_t len = data.size();
   const auto extents = map_stripes(file->meta, offset, len);
 
@@ -264,7 +267,8 @@ Task<void> PvfsClient::write(PvfsFilePtr file, uint64_t offset, Payload data) {
       const uint64_t n = std::min(config_.buffer_size, ext.length - done);
       Payload piece = data.slice(ext.file_offset - offset + done, n);
       wg.spawn([](PvfsClient& self, const FileMeta& meta, uint32_t dfile_index,
-                  uint64_t dfile_offset, Payload piece, bool& failed) -> Task<void> {
+                  uint64_t dfile_offset, Payload piece, bool& failed,
+                  const obs::TraceContext trace) -> Task<void> {
         const DfileRef& dfile = meta.dfiles[dfile_index];
         XdrEncoder a;
         a.put_u64(dfile.object_id);
@@ -272,11 +276,11 @@ Task<void> PvfsClient::write(PvfsFilePtr file, uint64_t offset, Payload data) {
         const uint64_t bytes = piece.size();
         a.put_payload(piece);
         auto r = co_await self.io_call(dfile.server_index, IoProc::kWrite,
-                                       std::move(a), bytes);
+                                       std::move(a), bytes, trace);
         auto d = r.body();
         if (reply_status(d) != PvfsStatus::kOk) failed = true;
       }(*this, file->meta, ext.dfile_index, ext.dfile_offset + done,
-        std::move(piece), failed));
+        std::move(piece), failed, trace));
       done += n;
     }
   }
@@ -286,17 +290,18 @@ Task<void> PvfsClient::write(PvfsFilePtr file, uint64_t offset, Payload data) {
   stats_.bytes_written += len;
 }
 
-Task<void> PvfsClient::fsync(PvfsFilePtr file) {
+Task<void> PvfsClient::fsync(PvfsFilePtr file, obs::TraceContext trace) {
   sim::WaitGroup wg(fabric_.simulation());
   for (const auto& dfile : file->meta.dfiles) {
-    wg.spawn([](PvfsClient& self, const DfileRef dfile) -> Task<void> {
+    wg.spawn([](PvfsClient& self, const DfileRef dfile,
+                const obs::TraceContext trace) -> Task<void> {
       XdrEncoder a;
       a.put_u64(dfile.object_id);
       auto r = co_await self.io_call(dfile.server_index, IoProc::kCommit,
-                                     std::move(a), 0);
+                                     std::move(a), 0, trace);
       auto d = r.body();
       (void)reply_status(d);
-    }(*this, dfile));
+    }(*this, dfile, trace));
   }
   co_await wg.wait();
 }

@@ -64,10 +64,14 @@ class PvfsClient {
   // -- Files -----------------------------------------------------------------
   sim::Task<PvfsFilePtr> create(const std::string& path);
   sim::Task<PvfsFilePtr> open(const std::string& path);
+  // Data operations take an optional trace context: when a pNFS data server
+  // proxies client I/O through this PVFS client, the storage RPCs it issues
+  // are recorded as child hops of the NFS request being served.
   sim::Task<rpc::Payload> read(PvfsFilePtr file, uint64_t offset,
-                               uint64_t length);
-  sim::Task<void> write(PvfsFilePtr file, uint64_t offset, rpc::Payload data);
-  sim::Task<void> fsync(PvfsFilePtr file);
+                               uint64_t length, obs::TraceContext trace = {});
+  sim::Task<void> write(PvfsFilePtr file, uint64_t offset, rpc::Payload data,
+                        obs::TraceContext trace = {});
+  sim::Task<void> fsync(PvfsFilePtr file, obs::TraceContext trace = {});
   /// Commits buffered data (matching the exported-FS semantics of §5).
   sim::Task<void> close(PvfsFilePtr file);
   /// Gathers dfile sizes from the storage nodes (PVFS2-style getattr).
@@ -83,7 +87,8 @@ class PvfsClient {
   /// One storage request through the buffer pool (charges client CPU).
   sim::Task<rpc::RpcClient::Reply> io_call(uint32_t server_index, IoProc proc,
                                            rpc::XdrEncoder args,
-                                           uint64_t data_bytes);
+                                           uint64_t data_bytes,
+                                           obs::TraceContext trace = {});
   static PvfsStatus reply_status(rpc::XdrDecoder& dec);
 
   rpc::RpcFabric& fabric_;

@@ -15,6 +15,18 @@ PvfsStorageServer::PvfsStorageServer(rpc::RpcFabric& fabric, sim::Node& node,
                                      uint16_t port, lfs::ObjectStore& store,
                                      StorageServerConfig config)
     : node_(node), store_(store), config_(config) {
+  if (obs::MetricsRegistry* reg = fabric.metrics()) {
+    const std::string& n = node.name();
+    m_requests_ = &reg->counter(n, "pvfs.io", "requests");
+    m_bytes_read_ = &reg->counter(n, "pvfs.io", "bytes_read");
+    m_bytes_written_ = &reg->counter(n, "pvfs.io", "bytes_written");
+    m_commits_ = &reg->counter(n, "pvfs.io", "commits");
+  } else {
+    m_requests_ = &obs::MetricsRegistry::null_counter();
+    m_bytes_read_ = &obs::MetricsRegistry::null_counter();
+    m_bytes_written_ = &obs::MetricsRegistry::null_counter();
+    m_commits_ = &obs::MetricsRegistry::null_counter();
+  }
   rpc_server_ = std::make_unique<rpc::RpcServer>(
       fabric, node, port, config.buffers,
       [this](const rpc::CallContext& ctx, XdrDecoder& args,
@@ -26,6 +38,7 @@ PvfsStorageServer::PvfsStorageServer(rpc::RpcFabric& fabric, sim::Node& node,
 Task<void> PvfsStorageServer::serve(const rpc::CallContext& ctx,
                                     XdrDecoder& args, XdrEncoder& results) {
   const auto proc = static_cast<IoProc>(ctx.header.proc);
+  m_requests_->inc();
   switch (proc) {
     case IoProc::kRead: {
       const uint64_t oid = args.get_u64();
@@ -40,6 +53,7 @@ Task<void> PvfsStorageServer::serve(const rpc::CallContext& ctx,
         results.put_payload(rpc::Payload{});
       } else {
         rpc::Payload data = co_await store_.read(oid, offset, length);
+        m_bytes_read_->add(data.size());
         results.put_payload(data);
       }
       co_return;
@@ -52,12 +66,14 @@ Task<void> PvfsStorageServer::serve(const rpc::CallContext& ctx,
           config_.cpu_per_request +
           static_cast<sim::Duration>(config_.cpu_ns_per_byte *
                                      static_cast<double>(data.size())));
+      m_bytes_written_->add(data.size());
       co_await store_.write(oid, offset, std::move(data), /*stable=*/false);
       results.put_u32(static_cast<uint32_t>(PvfsStatus::kOk));
       co_return;
     }
     case IoProc::kCommit: {
       const uint64_t oid = args.get_u64();
+      m_commits_->inc();
       co_await node_.cpu().execute(config_.cpu_per_request);
       co_await store_.commit(oid);
       // The daemon's bstream fdatasync touches the disk even when the

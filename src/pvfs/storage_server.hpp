@@ -44,6 +44,13 @@ class PvfsStorageServer {
   lfs::ObjectStore& store_;
   StorageServerConfig config_;
   std::unique_ptr<rpc::RpcServer> rpc_server_;
+
+  // "pvfs.io" component handles, resolved once at construction (null sinks
+  // when the fabric carries no registry).
+  obs::Counter* m_requests_;
+  obs::Counter* m_bytes_read_;
+  obs::Counter* m_bytes_written_;
+  obs::Counter* m_commits_;
 };
 
 }  // namespace dpnfs::pvfs

@@ -2,11 +2,22 @@
 
 #include <stdexcept>
 
+#include "util/format.hpp"
 #include "util/log.hpp"
 
 namespace dpnfs::rpc {
 
 using sim::Task;
+
+const char* program_component(Program prog) {
+  switch (prog) {
+    case Program::kNfs: return "nfs";
+    case Program::kPvfsMeta: return "pvfs.meta";
+    case Program::kPvfsIo: return "pvfs.io";
+    case Program::kPvfsMgmt: return "pvfs.mgmt";
+  }
+  return "rpc";
+}
 
 void RpcFabric::bind(RpcAddress addr, RpcServer* server) {
   const auto [it, inserted] = servers_.emplace(addr, server);
@@ -25,7 +36,8 @@ Task<WireBuffer> RpcFabric::call(sim::Node& from, RpcAddress to,
   co_await net_.transfer(from, server->node(), request.wire_size + overhead_);
 
   sim::Oneshot<WireBuffer> reply(net_.simulation());
-  server->queue_.push(RpcServer::Pending{std::move(request), from.id(), &reply});
+  server->queue_.push(RpcServer::Pending{std::move(request), from.id(), &reply,
+                                         net_.simulation().now()});
   co_return co_await reply.take();
 }
 
@@ -38,6 +50,22 @@ RpcServer::RpcServer(RpcFabric& fabric, sim::Node& node, uint16_t port,
       service_(std::move(service)),
       queue_(fabric.simulation()),
       workers_done_(fabric.simulation()) {
+  if (obs::MetricsRegistry* reg = fabric_.metrics()) {
+    const std::string& n = node_.name();
+    m_requests_ = &reg->counter(n, "rpc", "requests");
+    m_bytes_in_ = &reg->counter(n, "rpc", "wire_bytes_in");
+    m_bytes_out_ = &reg->counter(n, "rpc", "wire_bytes_out");
+    m_queue_us_ =
+        &reg->histogram(n, "rpc", "queue_us", obs::latency_us_boundaries());
+    m_service_us_ =
+        &reg->histogram(n, "rpc", "service_us", obs::latency_us_boundaries());
+  } else {
+    m_requests_ = &obs::MetricsRegistry::null_counter();
+    m_bytes_in_ = &obs::MetricsRegistry::null_counter();
+    m_bytes_out_ = &obs::MetricsRegistry::null_counter();
+    m_queue_us_ = &obs::MetricsRegistry::null_histogram();
+    m_service_us_ = &obs::MetricsRegistry::null_histogram();
+  }
   fabric_.bind(address(), this);
 }
 
@@ -56,6 +84,11 @@ Task<void> RpcServer::worker() {
     auto pending = co_await queue_.recv();
     if (!pending) break;
 
+    const sim::Time picked_up = fabric_.simulation().now();
+    const sim::Duration queue_wait = picked_up - pending->enqueued;
+    queue_wait_total_ += queue_wait;
+    m_queue_us_->observe(static_cast<double>(queue_wait) * 1e-3);
+
     XdrDecoder dec(pending->request.bytes);
     XdrEncoder enc;
     CallHeader header;
@@ -69,10 +102,19 @@ Task<void> RpcServer::worker() {
       continue;
     }
 
+    // Open a server span under the caller's wire span so nested RPCs issued
+    // by the service stay in the same trace.
+    obs::Tracer* tracer = fabric_.tracer();
+    obs::TraceContext server_span;
+    if (tracer != nullptr && tracer->enabled() && header.trace_id != 0) {
+      server_span = tracer->begin(
+          obs::TraceContext{header.trace_id, header.span_id});
+    }
+
     ReplyHeader reply_header{header.xid, ReplyStatus::kAccepted};
     XdrEncoder body;
     try {
-      CallContext ctx{header, pending->client_node};
+      CallContext ctx{header, pending->client_node, server_span};
       co_await service_(ctx, dec, body);
     } catch (const XdrError& e) {
       util::logf(util::LogLevel::kWarn, "rpc.server",
@@ -94,6 +136,22 @@ Task<void> RpcServer::worker() {
     WireBuffer reply{std::move(enc).take(), reply_wire_size};
     ++requests_served_;
 
+    const sim::Time done = fabric_.simulation().now();
+    m_requests_->inc();
+    m_bytes_in_->add(pending->request.wire_size);
+    m_bytes_out_->add(reply.wire_size);
+    m_service_us_->observe(static_cast<double>(done - picked_up) * 1e-3);
+    if (server_span.valid()) {
+      tracer->record(obs::Span{
+          header.trace_id, server_span.span_id, header.span_id,
+          obs::SpanKind::kServerExec,
+          util::sformat("%s/%u",
+                        program_component(static_cast<Program>(header.prog)),
+                        header.proc),
+          node_.name(), picked_up, done, queue_wait,
+          reply.wire_size, pending->request.wire_size});
+    }
+
     co_await fabric_.network().transfer(
         node_, fabric_.network().node(pending->client_node),
         reply.wire_size + fabric_.per_message_overhead());
@@ -103,18 +161,32 @@ Task<void> RpcServer::worker() {
 
 Task<RpcClient::Reply> RpcClient::call(RpcAddress to, Program prog,
                                        uint32_t vers, uint32_t proc,
-                                       XdrEncoder args) {
+                                       XdrEncoder args,
+                                       obs::TraceContext parent) {
+  obs::Tracer* tracer = fabric_.tracer();
+  obs::TraceContext span;
+  if (tracer != nullptr && tracer->enabled()) span = tracer->begin(parent);
+
   XdrEncoder enc;
   CallHeader header{next_xid_++, static_cast<uint32_t>(prog), vers, proc,
-                    principal_};
+                    span.trace_id, span.span_id, principal_};
   header.encode(enc);
   const uint64_t args_virtual = args.wire_size() - args.encoded_size();
   enc.put_opaque_fixed(std::move(args).take());
 
   WireBuffer request{std::move(enc).take(), 0};
   request.wire_size = request.bytes.size() + args_virtual;
+  const uint64_t request_wire = request.wire_size;
 
+  const sim::Time sent = fabric_.simulation().now();
   WireBuffer raw = co_await fabric_.call(node_, to, std::move(request));
+  if (span.valid()) {
+    tracer->record(obs::Span{
+        span.trace_id, span.span_id, parent.span_id,
+        obs::SpanKind::kClientCall,
+        util::sformat("%s/%u", program_component(prog), proc), node_.name(),
+        sent, fabric_.simulation().now(), 0, request_wire, raw.wire_size});
+  }
 
   Reply reply;
   reply.buffer = std::move(raw.bytes);

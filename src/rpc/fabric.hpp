@@ -19,6 +19,7 @@
 #include "rpc/message.hpp"
 #include "sim/network.hpp"
 #include "sim/sync.hpp"
+#include "util/obs.hpp"
 
 namespace dpnfs::rpc {
 
@@ -34,10 +35,17 @@ inline constexpr uint16_t kNfsPort = 2049;
 inline constexpr uint16_t kPvfsMetaPort = 3334;
 inline constexpr uint16_t kPvfsIoPort = 3335;
 
-/// Server-side request context.
+/// Observability component name for a program's RPC spans ("nfs",
+/// "pvfs.io", ...).
+const char* program_component(Program prog);
+
+/// Server-side request context.  `trace` is the server's own span for this
+/// request (already parented under the caller's wire span); services pass it
+/// down so nested RPCs join the same trace.
 struct CallContext {
   CallHeader header;
   uint32_t client_node = 0;
+  obs::TraceContext trace;
 };
 
 /// Service implementation: decode args from `args`, perform the operation,
@@ -59,6 +67,16 @@ class RpcFabric {
   sim::Simulation& simulation() noexcept { return net_.simulation(); }
   uint64_t per_message_overhead() const noexcept { return overhead_; }
 
+  /// Attaches metrics/tracing.  Must be called before servers or clients
+  /// that should be instrumented are constructed — they resolve their
+  /// metric handles once, at construction.  Either pointer may be null.
+  void set_observability(obs::MetricsRegistry* metrics, obs::Tracer* tracer) {
+    metrics_ = metrics;
+    tracer_ = tracer;
+  }
+  obs::MetricsRegistry* metrics() const noexcept { return metrics_; }
+  obs::Tracer* tracer() const noexcept { return tracer_; }
+
   /// Issues one RPC from `from` to `to`; resolves with the raw reply buffer.
   sim::Task<WireBuffer> call(sim::Node& from, RpcAddress to, WireBuffer request);
 
@@ -70,6 +88,8 @@ class RpcFabric {
   sim::Network& net_;
   uint64_t overhead_;
   std::map<RpcAddress, RpcServer*> servers_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 class RpcServer {
@@ -90,6 +110,11 @@ class RpcServer {
   RpcAddress address() const noexcept { return RpcAddress{node_.id(), port_}; }
   uint64_t requests_served() const noexcept { return requests_served_; }
 
+  /// Requests sitting in the queue right now (excludes in-service ones).
+  size_t queue_depth() const noexcept { return queue_.size(); }
+  /// Total time served requests spent queued before a worker picked them up.
+  sim::Duration queue_wait_total() const noexcept { return queue_wait_total_; }
+
  private:
   friend class RpcFabric;
 
@@ -97,6 +122,7 @@ class RpcServer {
     WireBuffer request;
     uint32_t client_node;
     sim::Oneshot<WireBuffer>* reply;
+    sim::Time enqueued = 0;
   };
 
   sim::Task<void> worker();
@@ -110,6 +136,14 @@ class RpcServer {
   sim::WaitGroup workers_done_;
   bool started_ = false;
   uint64_t requests_served_ = 0;
+  sim::Duration queue_wait_total_ = 0;
+  // Per-node "rpc" component handles, resolved once at construction (null
+  // sinks when the fabric carries no registry).
+  obs::Counter* m_requests_;
+  obs::Counter* m_bytes_in_;
+  obs::Counter* m_bytes_out_;
+  obs::HistogramMetric* m_queue_us_;
+  obs::HistogramMetric* m_service_us_;
 };
 
 /// Client-side call helper bound to one node and principal.
@@ -130,8 +164,12 @@ class RpcClient {
     }
   };
 
+  /// Issues one call.  When the fabric carries a tracer, the call becomes a
+  /// client span: a new trace when `parent` is invalid (an application-level
+  /// root), a child hop otherwise (servers pass their CallContext trace).
   sim::Task<Reply> call(RpcAddress to, Program prog, uint32_t vers,
-                        uint32_t proc, XdrEncoder args);
+                        uint32_t proc, XdrEncoder args,
+                        obs::TraceContext parent = obs::TraceContext{});
 
   sim::Node& node() noexcept { return node_; }
   const std::string& principal() const noexcept { return principal_; }

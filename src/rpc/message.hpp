@@ -28,6 +28,12 @@ struct CallHeader {
   uint32_t prog = 0;
   uint32_t vers = 0;
   uint32_t proc = 0;
+  // Trace propagation (obs layer): the caller's trace id and span id, so a
+  // server can parent its own span under the RPC that reached it.  Zero
+  // means untraced.  Carried on the wire like everything else — tracing a
+  // distributed path has a (small, visible) byte cost.
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
   std::string principal;
 
   void encode(XdrEncoder& enc) const {
@@ -35,6 +41,8 @@ struct CallHeader {
     enc.put_u32(prog);
     enc.put_u32(vers);
     enc.put_u32(proc);
+    enc.put_u64(trace_id);
+    enc.put_u64(span_id);
     enc.put_string(principal);
   }
   static CallHeader decode(XdrDecoder& dec) {
@@ -43,6 +51,8 @@ struct CallHeader {
     h.prog = dec.get_u32();
     h.vers = dec.get_u32();
     h.proc = dec.get_u32();
+    h.trace_id = dec.get_u64();
+    h.span_id = dec.get_u64();
     h.principal = dec.get_string();
     return h;
   }

@@ -1,0 +1,357 @@
+#include "util/obs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/format.hpp"
+
+namespace dpnfs::obs {
+
+using util::sformat;
+
+// ---------------------------------------------------------------------------
+// HistogramMetric
+// ---------------------------------------------------------------------------
+
+HistogramMetric::HistogramMetric(std::vector<double> boundaries)
+    : boundaries_(boundaries), hist_(std::move(boundaries)) {}
+
+void HistogramMetric::observe(double value) {
+  hist_.add(value);
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+std::vector<double> latency_us_boundaries() {
+  // 1us .. 10s in a 1/2/5 progression: fine enough to separate queue wait
+  // from service time, coarse enough to stay 22 buckets.
+  return {1,     2,     5,     10,    20,    50,    100,   200,
+          500,   1e3,   2e3,   5e3,   1e4,   2e4,   5e4,   1e5,
+          2e5,   5e5,   1e6,   2e6,   5e6,   1e7};
+}
+
+std::vector<double> size_bytes_boundaries() {
+  return {512,        4096,        16384,       65536,      262144,
+          1048576,    2097152,     4194304,     8388608,    16777216};
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+Counter& MetricsRegistry::counter(const std::string& node,
+                                  const std::string& component,
+                                  const std::string& name) {
+  return nodes_[node][component].counters[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& node,
+                              const std::string& component,
+                              const std::string& name) {
+  return nodes_[node][component].gauges[name];
+}
+
+HistogramMetric& MetricsRegistry::histogram(const std::string& node,
+                                            const std::string& component,
+                                            const std::string& name,
+                                            std::vector<double> boundaries) {
+  auto& hists = nodes_[node][component].histograms;
+  auto it = hists.find(name);
+  if (it == hists.end()) {
+    it = hists.emplace(name, HistogramMetric(std::move(boundaries))).first;
+  }
+  return it->second;
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& node,
+                                             const std::string& component,
+                                             const std::string& name) const {
+  const auto n = nodes_.find(node);
+  if (n == nodes_.end()) return nullptr;
+  const auto c = n->second.find(component);
+  if (c == n->second.end()) return nullptr;
+  const auto m = c->second.counters.find(name);
+  return m == c->second.counters.end() ? nullptr : &m->second;
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& node,
+                                         const std::string& component,
+                                         const std::string& name) const {
+  const auto n = nodes_.find(node);
+  if (n == nodes_.end()) return nullptr;
+  const auto c = n->second.find(component);
+  if (c == n->second.end()) return nullptr;
+  const auto m = c->second.gauges.find(name);
+  return m == c->second.gauges.end() ? nullptr : &m->second;
+}
+
+const HistogramMetric* MetricsRegistry::find_histogram(
+    const std::string& node, const std::string& component,
+    const std::string& name) const {
+  const auto n = nodes_.find(node);
+  if (n == nodes_.end()) return nullptr;
+  const auto c = n->second.find(component);
+  if (c == n->second.end()) return nullptr;
+  const auto m = c->second.histograms.find(name);
+  return m == c->second.histograms.end() ? nullptr : &m->second;
+}
+
+namespace {
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "0";
+  // %.17g round-trips doubles; trim the noise for integers.
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    return sformat("%.0f", v);
+  }
+  return sformat("%.17g", v);
+}
+
+std::string histogram_json(const HistogramMetric& h) {
+  std::string out = sformat(
+      "{\"count\": %llu, \"sum\": %s, \"mean\": %s, \"min\": %s, \"max\": %s, "
+      "\"boundaries\": [",
+      static_cast<unsigned long long>(h.count()), json_number(h.sum()).c_str(),
+      json_number(h.mean()).c_str(), json_number(h.min()).c_str(),
+      json_number(h.max()).c_str());
+  for (size_t i = 0; i < h.boundaries().size(); ++i) {
+    if (i > 0) out += ", ";
+    out += json_number(h.boundaries()[i]);
+  }
+  out += "], \"counts\": [";
+  for (size_t i = 0; i < h.buckets().bucket_count(); ++i) {
+    if (i > 0) out += ", ";
+    out += json_number(h.buckets().bucket_weight(i));
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_json() const {
+  std::string out = "{";
+  bool first_node = true;
+  for (const auto& [node, components] : nodes_) {
+    if (!first_node) out += ", ";
+    first_node = false;
+    out += sformat("\"%s\": {", json_escape(node).c_str());
+    bool first_comp = true;
+    for (const auto& [comp, metrics] : components) {
+      if (!first_comp) out += ", ";
+      first_comp = false;
+      out += sformat("\"%s\": {", json_escape(comp).c_str());
+      out += "\"counters\": {";
+      bool first = true;
+      for (const auto& [name, c] : metrics.counters) {
+        if (!first) out += ", ";
+        first = false;
+        out += sformat("\"%s\": %llu", json_escape(name).c_str(),
+                       static_cast<unsigned long long>(c.value()));
+      }
+      out += "}, \"gauges\": {";
+      first = true;
+      for (const auto& [name, g] : metrics.gauges) {
+        if (!first) out += ", ";
+        first = false;
+        out += sformat("\"%s\": %s", json_escape(name).c_str(),
+                       json_number(g.value()).c_str());
+      }
+      out += "}, \"histograms\": {";
+      first = true;
+      for (const auto& [name, h] : metrics.histograms) {
+        if (!first) out += ", ";
+        first = false;
+        out += sformat("\"%s\": %s", json_escape(name).c_str(),
+                       histogram_json(h).c_str());
+      }
+      out += "}}";
+    }
+    out += "}";
+  }
+  out += "}";
+  return out;
+}
+
+std::string MetricsRegistry::report() const {
+  std::string out;
+  for (const auto& [node, components] : nodes_) {
+    out += sformat("node %-10s\n", node.c_str());
+    for (const auto& [comp, metrics] : components) {
+      for (const auto& [name, c] : metrics.counters) {
+        out += sformat("  %-12s %-24s %llu\n", comp.c_str(), name.c_str(),
+                       static_cast<unsigned long long>(c.value()));
+      }
+      for (const auto& [name, g] : metrics.gauges) {
+        out += sformat("  %-12s %-24s %.3f\n", comp.c_str(), name.c_str(),
+                       g.value());
+      }
+      for (const auto& [name, h] : metrics.histograms) {
+        out += sformat(
+            "  %-12s %-24s count=%llu mean=%.1f min=%.1f max=%.1f\n",
+            comp.c_str(), name.c_str(),
+            static_cast<unsigned long long>(h.count()), h.mean(), h.min(),
+            h.max());
+      }
+    }
+  }
+  return out;
+}
+
+Counter& MetricsRegistry::null_counter() {
+  static Counter sink;
+  return sink;
+}
+
+Gauge& MetricsRegistry::null_gauge() {
+  static Gauge sink;
+  return sink;
+}
+
+HistogramMetric& MetricsRegistry::null_histogram() {
+  static HistogramMetric sink{std::vector<double>{1.0}};
+  return sink;
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------------
+
+const char* span_kind_name(SpanKind k) {
+  switch (k) {
+    case SpanKind::kClientCall: return "client";
+    case SpanKind::kServerExec: return "server";
+    case SpanKind::kInternal: return "internal";
+  }
+  return "?";
+}
+
+TraceContext Tracer::begin(TraceContext parent) {
+  if (!enabled_) return TraceContext{};
+  TraceContext ctx;
+  if (parent.valid()) {
+    ctx.trace_id = parent.trace_id;
+  } else {
+    ctx.trace_id = next_trace_++;
+    ++traces_started_;
+  }
+  ctx.span_id = next_span_++;
+  return ctx;
+}
+
+void Tracer::record(Span span) {
+  if (!enabled_ || span.trace_id == 0) return;
+  ++spans_recorded_;
+  if (span.kind == SpanKind::kClientCall) {
+    ++rpc_hops_total_;
+    ++hops_per_trace_[span.trace_id];
+  }
+  if (spans_.size() >= span_capacity_) {
+    ++spans_dropped_;
+    return;
+  }
+  spans_.push_back(std::move(span));
+}
+
+double Tracer::mean_hops_per_trace() const noexcept {
+  if (hops_per_trace_.empty()) return 0.0;
+  return static_cast<double>(rpc_hops_total_) /
+         static_cast<double>(hops_per_trace_.size());
+}
+
+uint32_t Tracer::max_hops_per_trace() const noexcept {
+  uint32_t best = 0;
+  for (const auto& [trace, hops] : hops_per_trace_) best = std::max(best, hops);
+  return best;
+}
+
+std::map<uint32_t, uint64_t> Tracer::hops_histogram() const {
+  std::map<uint32_t, uint64_t> out;
+  for (const auto& [trace, hops] : hops_per_trace_) ++out[hops];
+  return out;
+}
+
+std::vector<Span> Tracer::trace_spans(uint64_t trace_id) const {
+  std::vector<Span> out;
+  for (const auto& s : spans_) {
+    if (s.trace_id == trace_id) out.push_back(s);
+  }
+  return out;
+}
+
+std::string Tracer::to_json() const {
+  std::string out = sformat(
+      "{\"traces_started\": %llu, \"rpc_hops_total\": %llu, "
+      "\"mean_hops_per_trace\": %s, \"max_hops_per_trace\": %u, "
+      "\"spans_recorded\": %llu, \"spans_dropped\": %llu, "
+      "\"hops_histogram\": {",
+      static_cast<unsigned long long>(traces_started_),
+      static_cast<unsigned long long>(rpc_hops_total_),
+      json_number(mean_hops_per_trace()).c_str(), max_hops_per_trace(),
+      static_cast<unsigned long long>(spans_recorded_),
+      static_cast<unsigned long long>(spans_dropped_));
+  bool first = true;
+  for (const auto& [hops, traces] : hops_histogram()) {
+    if (!first) out += ", ";
+    first = false;
+    out += sformat("\"%u\": %llu", hops,
+                   static_cast<unsigned long long>(traces));
+  }
+  out += "}}";
+  return out;
+}
+
+std::string Tracer::spans_json(size_t limit) const {
+  std::string out = "[";
+  size_t n = 0;
+  for (const auto& s : spans_) {
+    if (n >= limit) break;
+    if (n > 0) out += ", ";
+    ++n;
+    out += sformat(
+        "{\"trace\": %llu, \"span\": %llu, \"parent\": %llu, "
+        "\"kind\": \"%s\", \"name\": \"%s\", \"node\": \"%s\", "
+        "\"start_ns\": %lld, \"end_ns\": %lld, \"queue_wait_ns\": %lld, "
+        "\"bytes_out\": %llu, \"bytes_in\": %llu}",
+        static_cast<unsigned long long>(s.trace_id),
+        static_cast<unsigned long long>(s.span_id),
+        static_cast<unsigned long long>(s.parent_span_id),
+        span_kind_name(s.kind), json_escape(s.name).c_str(),
+        json_escape(s.node).c_str(), static_cast<long long>(s.start),
+        static_cast<long long>(s.end), static_cast<long long>(s.queue_wait),
+        static_cast<unsigned long long>(s.bytes_out),
+        static_cast<unsigned long long>(s.bytes_in));
+  }
+  out += "]";
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          out += sformat("\\u%04x", ch);
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace dpnfs::obs

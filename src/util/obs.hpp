@@ -1,0 +1,241 @@
+// Observability substrate: named metrics and RPC-level tracing.
+//
+// The paper's argument (Figures 6-8) is about *where* bytes and CPU time go
+// in each architecture.  This layer makes that directly observable:
+//
+//  - `MetricsRegistry` holds named counters, gauges, and histograms scoped
+//    (node, component, name), e.g. ("storage2", "pvfs.io", "bytes_written").
+//    Handles are resolved once at setup time and are stable for the life of
+//    the registry, so hot paths pay only a pointer-indirect increment.
+//    Components not wired to a registry use the static null sinks — updates
+//    stay branch-free and land in throwaway storage.
+//
+//  - `Tracer` assigns trace/span ids to RPCs.  The client span id crosses
+//    the wire in `rpc::CallHeader`; servers open child spans, so a single
+//    application READ shows its full path (client -> data server -> backend,
+//    including the pNFS-2tier re-route hop).  Per-trace hop counts are
+//    aggregated exactly; full span detail is kept for a bounded number of
+//    spans.
+//
+// Everything here is simulation-agnostic: times are plain nanosecond
+// integers so the util layer stays at the bottom of the dependency stack.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace dpnfs::obs {
+
+/// Nanoseconds (matches sim::Time without depending on the sim layer).
+using TimeNs = int64_t;
+
+// ---------------------------------------------------------------------------
+// Metric instruments
+// ---------------------------------------------------------------------------
+
+/// Monotonic event/byte count.
+class Counter {
+ public:
+  void add(uint64_t delta) noexcept { value_ += delta; }
+  void inc() noexcept { ++value_; }
+  uint64_t value() const noexcept { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// Point-in-time value (queue depth, buffer occupancy, snapshot exports).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  void add(double delta) noexcept { value_ += delta; }
+  double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Bucketed distribution plus exact count/sum/min/max.
+class HistogramMetric {
+ public:
+  explicit HistogramMetric(std::vector<double> boundaries);
+
+  void observe(double value);
+
+  uint64_t count() const noexcept { return count_; }
+  double sum() const noexcept { return sum_; }
+  double mean() const noexcept {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  double min() const noexcept { return min_; }  ///< 0 when empty
+  double max() const noexcept { return max_; }  ///< 0 when empty
+  const util::Histogram& buckets() const noexcept { return hist_; }
+  const std::vector<double>& boundaries() const noexcept { return boundaries_; }
+
+ private:
+  std::vector<double> boundaries_;
+  util::Histogram hist_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Default boundaries for latency histograms, in microseconds (1us .. 10s).
+std::vector<double> latency_us_boundaries();
+/// Default boundaries for size histograms, in bytes (512B .. 16MB).
+std::vector<double> size_bytes_boundaries();
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+/// Named metrics scoped (node, component, name).  All five architectures
+/// share one schema: the same component names appear wherever the same
+/// role exists ("rpc" on every RPC daemon, "pvfs.io" on storage daemons,
+/// "nfs.server" on NFS servers, "client.cache" on NFS clients, ...).
+///
+/// `counter()/gauge()/histogram()` create on first use and return stable
+/// references (node-based map storage); call them at setup, keep the
+/// pointer, and update without further lookups.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& node, const std::string& component,
+                   const std::string& name);
+  Gauge& gauge(const std::string& node, const std::string& component,
+               const std::string& name);
+  HistogramMetric& histogram(const std::string& node,
+                             const std::string& component,
+                             const std::string& name,
+                             std::vector<double> boundaries);
+
+  /// Lookup without creating; nullptr when absent.
+  const Counter* find_counter(const std::string& node,
+                              const std::string& component,
+                              const std::string& name) const;
+  const Gauge* find_gauge(const std::string& node, const std::string& component,
+                          const std::string& name) const;
+  const HistogramMetric* find_histogram(const std::string& node,
+                                        const std::string& component,
+                                        const std::string& name) const;
+
+  bool empty() const noexcept { return nodes_.empty(); }
+
+  /// {"node": {"component": {"counters": {...}, "gauges": {...},
+  ///                         "histograms": {...}}}}
+  std::string to_json() const;
+
+  /// Human-readable per-node report (one line per metric).
+  std::string report() const;
+
+  /// Shared sinks for components constructed without a registry: always
+  /// valid, never read.  Updates are as cheap as the real thing, so
+  /// instrumented code needs no per-operation branches.
+  static Counter& null_counter();
+  static Gauge& null_gauge();
+  static HistogramMetric& null_histogram();
+
+ private:
+  struct Component {
+    std::map<std::string, Counter> counters;
+    std::map<std::string, Gauge> gauges;
+    std::map<std::string, HistogramMetric> histograms;
+  };
+
+  std::map<std::string, std::map<std::string, Component>> nodes_;
+};
+
+// ---------------------------------------------------------------------------
+// Tracing
+// ---------------------------------------------------------------------------
+
+/// Identifies a position in a trace tree.  trace_id 0 means "no trace";
+/// default-constructed contexts are inert, so untraced call sites pass `{}`.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+
+  bool valid() const noexcept { return trace_id != 0; }
+};
+
+enum class SpanKind : uint8_t {
+  kClientCall = 0,  ///< one RPC hop as seen by the caller
+  kServerExec = 1,  ///< server-side execution of one request
+  kInternal = 2,    ///< non-RPC work (e.g. local store access)
+};
+
+const char* span_kind_name(SpanKind k);
+
+struct Span {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
+  SpanKind kind = SpanKind::kInternal;
+  std::string name;  ///< "prog/proc" for RPC spans, free-form otherwise
+  std::string node;  ///< simulated node the span executed on
+  TimeNs start = 0;
+  TimeNs end = 0;
+  TimeNs queue_wait = 0;   ///< request-queue residency (server spans)
+  uint64_t bytes_out = 0;  ///< wire bytes sent (request for client spans)
+  uint64_t bytes_in = 0;   ///< wire bytes received (reply for client spans)
+};
+
+/// Allocates trace/span ids and aggregates recorded spans.
+///
+/// Hop accounting is exact for every trace: each kClientCall span counts as
+/// one RPC hop against its trace.  Span *detail* is bounded (`span_capacity`)
+/// so long benches don't hold millions of spans; overflow is counted, not
+/// silently dropped.
+class Tracer {
+ public:
+  bool enabled() const noexcept { return enabled_; }
+  void set_enabled(bool on) noexcept { enabled_ = on; }
+  void set_span_capacity(size_t cap) noexcept { span_capacity_ = cap; }
+
+  /// Starts a span.  An invalid `parent` starts a new trace (a root span);
+  /// a valid one continues the parent's trace with a fresh span id.
+  TraceContext begin(TraceContext parent = TraceContext{});
+
+  void record(Span span);
+
+  uint64_t traces_started() const noexcept { return traces_started_; }
+  uint64_t rpc_hops_total() const noexcept { return rpc_hops_total_; }
+  uint64_t spans_recorded() const noexcept { return spans_recorded_; }
+  uint64_t spans_dropped() const noexcept { return spans_dropped_; }
+
+  double mean_hops_per_trace() const noexcept;
+  uint32_t max_hops_per_trace() const noexcept;
+  /// hop-count -> number of traces with exactly that many RPC hops.
+  std::map<uint32_t, uint64_t> hops_histogram() const;
+
+  /// All retained spans of one trace, in recording order.
+  std::vector<Span> trace_spans(uint64_t trace_id) const;
+  const std::deque<Span>& spans() const noexcept { return spans_; }
+
+  /// Aggregate trace statistics (no span detail; see `spans_json`).
+  std::string to_json() const;
+  /// Detail for up to `limit` retained spans.
+  std::string spans_json(size_t limit) const;
+
+ private:
+  bool enabled_ = true;
+  size_t span_capacity_ = 4096;
+  uint64_t next_trace_ = 1;
+  uint64_t next_span_ = 1;
+  uint64_t traces_started_ = 0;
+  uint64_t rpc_hops_total_ = 0;
+  uint64_t spans_recorded_ = 0;
+  uint64_t spans_dropped_ = 0;
+  std::map<uint64_t, uint32_t> hops_per_trace_;
+  std::deque<Span> spans_;
+};
+
+/// Escapes a string for embedding in a JSON document.
+std::string json_escape(const std::string& s);
+
+}  // namespace dpnfs::obs

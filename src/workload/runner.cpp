@@ -1,5 +1,6 @@
 #include "workload/runner.hpp"
 
+#include <cstdlib>
 #include <stdexcept>
 
 #include "util/log.hpp"
@@ -71,10 +72,15 @@ RunResult run_workload(core::Deployment& d, Workload& w) {
     throw std::runtime_error("workload '" + w.name() +
                              "' deadlocked: simulation drained early");
   }
+  result.metrics_json = d.metrics_json();
   util::logf(util::LogLevel::kInfo, "runner", d.simulation().now(),
              "%s on %s: %.3fs, %.1f MB/s", w.name().c_str(),
              core::architecture_name(d.architecture()), result.elapsed_seconds,
              result.aggregate_mbps());
+  if (const char* flag = std::getenv("DPNFS_METRICS_REPORT");
+      flag != nullptr && flag[0] != '\0' && flag[0] != '0') {
+    d.print_metrics_report();
+  }
   return result;
 }
 

@@ -14,6 +14,9 @@ struct RunResult {
   double elapsed_seconds = 0;
   uint64_t app_bytes = 0;      ///< application-level bytes moved while timed
   uint64_t transactions = 0;
+  /// Full observability export (Deployment::metrics_json) taken when the
+  /// run finished: per-node metrics plus the RPC trace aggregate.
+  std::string metrics_json;
 
   /// Decimal MB/s, the paper's unit.
   double aggregate_mbps() const {
@@ -46,7 +49,9 @@ class Workload {
   virtual uint64_t total_transactions() const { return 0; }
 };
 
-/// Runs `w` on `d` to completion and reports the timed phase.
+/// Runs `w` on `d` to completion and reports the timed phase.  Set the
+/// environment variable DPNFS_METRICS_REPORT=1 to print the per-node
+/// metrics report after every run.
 RunResult run_workload(core::Deployment& d, Workload& w);
 
 }  // namespace dpnfs::workload

@@ -62,21 +62,23 @@ class FaultyBackend final : public nfs::Backend {
     return inner_.readdir(dir, out);
   }
   Task<nfs::Status> read(nfs::FileHandle fh, uint64_t offset, uint32_t count,
-                         Payload* out, bool* eof) override {
+                         Payload* out, bool* eof,
+                         obs::TraceContext trace = {}) override {
     if (fail_reads) co_return nfs::Status::kIo;
-    co_return co_await inner_.read(fh, offset, count, out, eof);
+    co_return co_await inner_.read(fh, offset, count, out, eof, trace);
   }
   Task<nfs::Status> write(nfs::FileHandle fh, uint64_t offset,
                           const Payload& data, nfs::StableHow stable,
-                          nfs::StableHow* committed,
-                          uint64_t* post_change) override {
+                          nfs::StableHow* committed, uint64_t* post_change,
+                          obs::TraceContext trace = {}) override {
     if (fail_writes) co_return nfs::Status::kNoSpc;
     co_return co_await inner_.write(fh, offset, data, stable, committed,
-                                    post_change);
+                                    post_change, trace);
   }
-  Task<nfs::Status> commit(nfs::FileHandle fh) override {
+  Task<nfs::Status> commit(nfs::FileHandle fh,
+                           obs::TraceContext trace = {}) override {
     if (fail_commits) co_return nfs::Status::kIo;
-    co_return co_await inner_.commit(fh);
+    co_return co_await inner_.commit(fh, trace);
   }
 
  private:

@@ -82,6 +82,38 @@ TEST(RpcFabric, ManyConcurrentCallsAllComplete) {
   f.sim.run();
   EXPECT_EQ(done.size(), 50u);
   EXPECT_EQ(server.requests_served(), 50u);
+  // Queue accounting is consistent after the burst: the queue drained, and
+  // total residency is bounded by every request waiting the whole run.
+  EXPECT_EQ(server.queue_depth(), 0u);
+  EXPECT_GE(server.queue_wait_total(), 0);
+  EXPECT_LE(server.queue_wait_total(),
+            static_cast<sim::Duration>(50) * f.sim.now());
+}
+
+TEST(RpcFabric, SequentialCallsAccrueNoQueueWait) {
+  // One caller awaiting each reply never queues behind itself.
+  Fixture f;
+  auto& client_node = f.add_node("client");
+  auto& server_node = f.add_node("server");
+  RpcServer server(f.fabric, server_node, kNfsPort, 8, echo_service());
+  server.start();
+
+  RpcClient client(f.fabric, client_node, "tester@SIM");
+  std::vector<std::string> done;
+  f.sim.spawn([](RpcClient& c, RpcAddress to,
+                 std::vector<std::string>& done) -> Task<void> {
+    for (int i = 0; i < 5; ++i) {
+      XdrEncoder args;
+      args.put_string("ping");
+      auto reply = co_await c.call(to, Program::kNfs, 4, 0, std::move(args));
+      EXPECT_EQ(reply.status, ReplyStatus::kAccepted);
+      done.push_back("ok");
+    }
+  }(client, server.address(), done));
+  f.sim.run();
+  EXPECT_EQ(done.size(), 5u);
+  EXPECT_EQ(server.queue_depth(), 0u);
+  EXPECT_EQ(server.queue_wait_total(), 0);
 }
 
 // A slow service that sleeps; used to verify worker-count concurrency.
@@ -114,6 +146,12 @@ TEST(RpcFabric, WorkerCountBoundsServiceConcurrency) {
   EXPECT_EQ(completed, 8);
   EXPECT_GE(f.sim.now(), sim::ms(40));
   EXPECT_LT(f.sim.now(), sim::ms(55));
+  // 8 requests on 2 workers at 10ms each: later waves sat in the queue, so
+  // cumulative queue wait is substantial — and the queue is empty again.
+  EXPECT_EQ(server.queue_depth(), 0u);
+  EXPECT_GT(server.queue_wait_total(), sim::ms(40));
+  EXPECT_LE(server.queue_wait_total(),
+            static_cast<sim::Duration>(8) * f.sim.now());
 }
 
 RpcService throwing_service() {

@@ -160,7 +160,8 @@ TEST(Payload, AppendVirtualPoisonsContent) {
 }
 
 TEST(Message, CallHeaderRoundTrip) {
-  CallHeader h{42, 100003, 4, 7, "alice@EXAMPLE"};
+  CallHeader h{42, 100003, 4, 7, 0xdeadbeefull, 0xfeedfaceull,
+               "alice@EXAMPLE"};
   XdrEncoder enc;
   h.encode(enc);
   auto buf = std::move(enc).take();
@@ -170,6 +171,8 @@ TEST(Message, CallHeaderRoundTrip) {
   EXPECT_EQ(g.prog, 100003u);
   EXPECT_EQ(g.vers, 4u);
   EXPECT_EQ(g.proc, 7u);
+  EXPECT_EQ(g.trace_id, 0xdeadbeefull);
+  EXPECT_EQ(g.span_id, 0xfeedfaceull);
   EXPECT_EQ(g.principal, "alice@EXAMPLE");
 }
 

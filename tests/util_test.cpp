@@ -18,6 +18,23 @@ TEST(Summary, EmptyIsZero) {
   EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
 }
 
+TEST(Summary, EmptyPercentileIsZero) {
+  // Pin the empty-case guard: no sample means 0, never an empty index.
+  Summary s;
+  EXPECT_DOUBLE_EQ(s.percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 0.0);
+}
+
+TEST(Histogram, EmptyCumulativeFractionIsZero) {
+  // Pin the empty-case guard: zero total weight never divides by zero.
+  Histogram h({1.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(h.total_weight(), 0.0);
+  EXPECT_DOUBLE_EQ(h.cumulative_fraction_below(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.cumulative_fraction_below(3.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.cumulative_fraction_below(100.0), 0.0);
+}
+
 TEST(Summary, MeanMinMax) {
   Summary s;
   for (double v : {4.0, 1.0, 7.0, 2.0}) s.add(v);

@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Validate dpnfs observability JSON against the documented schema.
+
+Two document shapes are accepted (see docs/observability.md):
+
+  1. A RunResult::metrics_json export:
+       {"architecture": str, "sim_time_ns": int,
+        "nodes": {node: {component: {"counters": {...}, "gauges": {...},
+                                     "histograms": {...}}}},
+        "trace": {...aggregate...}}
+
+  2. A BENCH_*.json recorder file:
+       {"bench": str, "records": [{"figure": str, "architecture": str,
+                                   "clients": int, "value": num,
+                                   "unit": str, "metrics": <shape 1>}]}
+
+Usage:
+  check_metrics_schema.py FILE.json [FILE2.json ...]
+  check_metrics_schema.py --run /path/to/bench_micro
+      (spawns `bench_micro --metrics-smoke=<tmp>` and validates the output)
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+TRACE_KEYS = {
+    "traces_started": int,
+    "rpc_hops_total": int,
+    "mean_hops_per_trace": (int, float),
+    "max_hops_per_trace": int,
+    "spans_recorded": int,
+    "spans_dropped": int,
+    "hops_histogram": dict,
+}
+
+errors = []
+
+
+def err(path, msg):
+    errors.append(f"{path}: {msg}")
+
+
+def check_type(path, value, types, what):
+    if not isinstance(value, types):
+        err(path, f"{what} should be {types}, got {type(value).__name__}")
+        return False
+    return True
+
+
+def check_histogram(path, h):
+    if not check_type(path, h, dict, "histogram"):
+        return
+    for key, types in (("count", int), ("sum", (int, float)),
+                       ("mean", (int, float)), ("min", (int, float)),
+                       ("max", (int, float)), ("boundaries", list),
+                       ("counts", list)):
+        if key not in h:
+            err(path, f"missing histogram key '{key}'")
+        else:
+            check_type(f"{path}.{key}", h[key], types, key)
+    bounds = h.get("boundaries")
+    counts = h.get("counts")
+    if isinstance(bounds, list) and isinstance(counts, list):
+        # One implicit overflow bucket beyond the last boundary.
+        if len(counts) != len(bounds) + 1:
+            err(path, f"len(counts)={len(counts)} != len(boundaries)+1="
+                      f"{len(bounds) + 1}")
+        if isinstance(h.get("count"), int) and sum(counts) != h["count"]:
+            err(path, f"sum(counts)={sum(counts)} != count={h['count']}")
+
+
+def check_component(path, comp):
+    if not check_type(path, comp, dict, "component"):
+        return
+    for section in ("counters", "gauges", "histograms"):
+        if section not in comp:
+            err(path, f"missing section '{section}'")
+            continue
+        if not check_type(f"{path}.{section}", comp[section], dict, section):
+            continue
+        for name, value in comp[section].items():
+            p = f"{path}.{section}.{name}"
+            if section == "counters":
+                check_type(p, value, int, "counter")
+            elif section == "gauges":
+                check_type(p, value, (int, float), "gauge")
+            else:
+                check_histogram(p, value)
+
+
+def check_metrics_doc(path, doc):
+    if not check_type(path, doc, dict, "metrics document"):
+        return
+    for key in ("architecture", "sim_time_ns", "nodes", "trace"):
+        if key not in doc:
+            err(path, f"missing top-level key '{key}'")
+    check_type(f"{path}.architecture", doc.get("architecture", ""), str,
+               "architecture")
+    check_type(f"{path}.sim_time_ns", doc.get("sim_time_ns", 0), int,
+               "sim_time_ns")
+
+    nodes = doc.get("nodes", {})
+    if check_type(f"{path}.nodes", nodes, dict, "nodes") and not nodes:
+        err(f"{path}.nodes", "no nodes recorded")
+    for node, components in nodes.items():
+        if not check_type(f"{path}.nodes.{node}", components, dict, "node"):
+            continue
+        for comp, body in components.items():
+            check_component(f"{path}.nodes.{node}.{comp}", body)
+
+    # Every export must carry per-node resource gauges for at least one
+    # storage node — this is what decomposes "where the bytes went".
+    storage = [n for n, comps in nodes.items()
+               if isinstance(comps, dict) and "node" in comps
+               and "disk_write_bytes" in comps["node"].get("gauges", {})]
+    if not storage:
+        err(f"{path}.nodes", "no storage node carries node.disk_write_bytes")
+
+    trace = doc.get("trace", {})
+    if check_type(f"{path}.trace", trace, dict, "trace"):
+        for key, types in TRACE_KEYS.items():
+            if key not in trace:
+                err(f"{path}.trace", f"missing key '{key}'")
+            else:
+                check_type(f"{path}.trace.{key}", trace[key], types, key)
+
+
+def check_file(filename):
+    try:
+        with open(filename, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        err(filename, f"unreadable or not JSON: {e}")
+        return
+    if isinstance(doc, dict) and "records" in doc:
+        check_type(f"{filename}.bench", doc.get("bench", ""), str, "bench")
+        records = doc["records"]
+        if not check_type(f"{filename}.records", records, list, "records"):
+            return
+        for i, rec in enumerate(records):
+            p = f"{filename}.records[{i}]"
+            if not check_type(p, rec, dict, "record"):
+                continue
+            for key, types in (("figure", str), ("architecture", str),
+                               ("clients", int), ("value", (int, float)),
+                               ("unit", str)):
+                if key not in rec:
+                    err(p, f"missing key '{key}'")
+                else:
+                    check_type(f"{p}.{key}", rec[key], types, key)
+            check_metrics_doc(f"{p}.metrics", rec.get("metrics", {}))
+    else:
+        check_metrics_doc(filename, doc)
+
+
+def main(argv):
+    files = []
+    i = 1
+    while i < len(argv):
+        if argv[i] == "--run":
+            i += 1
+            if i >= len(argv):
+                print("--run requires the bench_micro path", file=sys.stderr)
+                return 2
+            bench = argv[i]
+            out = os.path.join(tempfile.mkdtemp(prefix="dpnfs_metrics_"),
+                               "metrics.json")
+            subprocess.run([bench, f"--metrics-smoke={out}"], check=True)
+            files.append(out)
+        else:
+            files.append(argv[i])
+        i += 1
+    if not files:
+        print(__doc__, file=sys.stderr)
+        return 2
+    for f in files:
+        check_file(f)
+    if errors:
+        for e in errors:
+            print(f"SCHEMA ERROR {e}", file=sys.stderr)
+        return 1
+    print(f"ok: {len(files)} file(s) match the metrics schema")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
