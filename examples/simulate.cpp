@@ -11,6 +11,7 @@
 #include <cstring>
 #include <string>
 
+#include "core/adapters.hpp"
 #include "core/deployment.hpp"
 #include "workload/atlas.hpp"
 #include "workload/btio.hpp"
@@ -62,7 +63,13 @@ int main(int argc, char** argv) {
         "                 ior-read-single|atlas|btio|oltp|postmark]\n"
         "                [--clients=N] [--storage-nodes=N]\n"
         "                [--bytes=N] [--block=N] [--stripe=N] [--txns=N]\n"
-        "                [--latency-us=N] [--nic-mbps=N] [--verbose]\n");
+        "                [--latency-us=N] [--nic-mbps=N] [--verbose]\n"
+        "                [--fault-ds-crash=N] [--fault-at-ms=T]\n"
+        "                [--fault-revive-ms=T]\n"
+        "\n"
+        "--fault-ds-crash=N kills the NFS data-server daemon on storage\n"
+        "node N (and enables the client recovery knobs, see\n"
+        "docs/failures.md); the run must still complete via MDS fallback.\n");
     return 0;
   }
 
@@ -85,6 +92,22 @@ int main(int argc, char** argv) {
       std::strtoull(arg_value(argc, argv, "--block", "2097152"), nullptr, 10);
   const uint32_t txns = static_cast<uint32_t>(
       std::atoi(arg_value(argc, argv, "--txns", "2000")));
+
+  const int fault_ds = std::atoi(arg_value(argc, argv, "--fault-ds-crash", "-1"));
+  if (fault_ds >= 0) {
+    const sim::Time at =
+        sim::ms(std::atoll(arg_value(argc, argv, "--fault-at-ms", "1000")));
+    const long long revive_ms =
+        std::atoll(arg_value(argc, argv, "--fault-revive-ms", "-1"));
+    cfg.faults.crash_service(static_cast<uint32_t>(fault_ds), rpc::kNfsPort, at,
+                             revive_ms < 0 ? sim::kNever : sim::ms(revive_ms));
+    // Deadlines/retries are off by default; a scripted crash is pointless
+    // without them.  The deadline must sit above worst-case healthy queueing
+    // (several stripe-width transfers) or live servers trip the breaker too.
+    cfg.nfs_client.ds_timeout = sim::ms(250);
+    cfg.nfs_client.breaker_threshold = 2;
+    cfg.nfs_client.breaker_reset = sim::sec(60);
+  }
 
   core::Deployment d(cfg);
   const std::string wl = arg_value(argc, argv, "--workload", "ior-write");
@@ -135,6 +158,22 @@ int main(int argc, char** argv) {
     std::printf("transactions      %llu (%.1f tps)\n",
                 static_cast<unsigned long long>(result.transactions),
                 result.tps());
+  }
+  if (fault_ds >= 0) {
+    uint64_t retries = 0, fallbacks = 0, trips = 0;
+    for (size_t i = 0; i < d.client_count(); ++i) {
+      if (auto* c = dynamic_cast<core::NfsFileSystemClient*>(&d.client(i))) {
+        const auto& s = c->native().stats();
+        retries += s.recovery_retries;
+        fallbacks += s.mds_fallbacks;
+        trips += s.breaker_trips;
+      }
+    }
+    std::printf("recovery          %llu retries, %llu MDS fallbacks, "
+                "%llu breaker trips\n",
+                static_cast<unsigned long long>(retries),
+                static_cast<unsigned long long>(fallbacks),
+                static_cast<unsigned long long>(trips));
   }
   if (flag(argc, argv, "--verbose")) {
     std::printf("\nper-node traffic:\n");

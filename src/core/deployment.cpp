@@ -25,6 +25,12 @@ Deployment::Deployment(ClusterConfig config)
   // Before any server/client is constructed: they resolve their metric
   // handles from the fabric at construction time.
   fabric_.set_observability(&metrics_, &tracer_);
+  // Likewise the fault injector: nodes pick up their injector pointer as
+  // they are added to the network.
+  if (!config_.faults.empty()) {
+    fault_injector_ = std::make_unique<sim::FaultInjector>(config_.faults);
+    net_.set_fault_injector(fault_injector_.get());
+  }
   config_.pvfs_meta.stripe_unit = config_.stripe_unit;
   registry_ = std::make_shared<FhRegistry>();
   aggregations_ = std::make_shared<const nfs::AggregationRegistry>(

@@ -31,6 +31,7 @@
 #include "nfs/server.hpp"
 #include "pvfs/meta_server.hpp"
 #include "pvfs/storage_server.hpp"
+#include "sim/fault.hpp"
 
 namespace dpnfs::core {
 
@@ -77,6 +78,11 @@ struct ClusterConfig {
   /// the local storage daemon through a fixed buffer pool).
   bool direct_ds_conduit = true;
   ConduitParams conduit{};
+
+  /// Scripted failures (node/service crashes, link faults, disk faults)
+  /// injected into the cluster's network.  Empty by default: fault-free
+  /// runs build no injector and pay nothing.
+  sim::FaultPlan faults{};
 
   uint64_t stripe_unit = 2ull << 20;
   lfs::ObjectStoreParams store{};
@@ -142,6 +148,10 @@ class Deployment {
   /// The Direct-pNFS layout translator (null for other architectures).
   LayoutTranslator* translator() noexcept { return translator_.get(); }
 
+  /// The fault injector driving `config().faults` (null when the plan is
+  /// empty).
+  sim::FaultInjector* fault_injector() noexcept { return fault_injector_.get(); }
+
  private:
   void build_backend_cluster(uint32_t storage_count, double disk_scale);
   void build_direct_pnfs();
@@ -167,6 +177,7 @@ class Deployment {
   ClusterConfig config_;
   sim::Simulation sim_;
   sim::Network net_;
+  std::unique_ptr<sim::FaultInjector> fault_injector_;
   obs::MetricsRegistry metrics_;
   obs::Tracer tracer_;
   rpc::RpcFabric fabric_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "sim/fault.hpp"
+
 namespace dpnfs::lfs {
 
 using rpc::Payload;
@@ -45,6 +47,11 @@ const ObjectStore::Object& ObjectStore::get(ObjectId oid) const {
 
 uint64_t ObjectStore::disk_position(const Object& obj, uint64_t offset) const {
   return obj.slab_index * params_.object_slab_bytes + offset;
+}
+
+Task<void> ObjectStore::disk_io(uint64_t pos, uint64_t bytes) {
+  if (node_.disk_failed()) throw sim::DiskFailedError(node_.name());
+  co_await node_.disk().io(pos, bytes);
 }
 
 void ObjectStore::truncate(ObjectId oid, uint64_t new_size) {
@@ -143,16 +150,46 @@ Task<void> ObjectStore::flush_until(uint64_t target_dirty) {
       obj.dirty.subtract(iv.start, iv.end);
       dirty_bytes_ -= iv.length();
     }
-    for (const auto& iv : todo) {
-      uint64_t pos = iv.start;
-      while (pos < iv.end) {
-        const uint64_t n = std::min(params_.flush_chunk_bytes, iv.end - pos);
-        co_await node_.disk().io(disk_position(obj, pos), n);
-        stats_.disk_write_bytes += n;
-        ++stats_.disk_writes;
-        pos += n;
-      }
+    try {
+      co_await write_extents(obj, todo);
+    } catch (...) {
+      requeue_unflushed(ext.oid, obj, todo);
+      throw;
     }
+  }
+}
+
+Task<void> ObjectStore::write_extents(
+    Object& obj, const std::vector<util::IntervalSet::Interval>& todo) {
+  for (size_t i = 0; i < todo.size(); ++i) {
+    uint64_t pos = todo[i].start;
+    while (pos < todo[i].end) {
+      const uint64_t n = std::min(params_.flush_chunk_bytes, todo[i].end - pos);
+      try {
+        co_await disk_io(disk_position(obj, pos), n);
+      } catch (...) {
+        flush_fail_index_ = i;
+        flush_fail_pos_ = pos;
+        throw;
+      }
+      stats_.disk_write_bytes += n;
+      ++stats_.disk_writes;
+      pos += n;
+    }
+  }
+}
+
+void ObjectStore::requeue_unflushed(ObjectId oid, Object& obj,
+                                    const std::vector<util::IntervalSet::Interval>& todo) {
+  // Everything from the failing chunk onward never reached the disk: put it
+  // back so a later commit retries instead of silently dropping it.
+  for (size_t j = flush_fail_index_; j < todo.size(); ++j) {
+    const uint64_t from = j == flush_fail_index_ ? flush_fail_pos_ : todo[j].start;
+    if (from >= todo[j].end) continue;
+    const uint64_t before = obj.dirty.total_length();
+    obj.dirty.add(from, todo[j].end);
+    dirty_bytes_ += obj.dirty.total_length() - before;
+    dirty_queue_.push_back(DirtyExtent{oid, from, todo[j].end});
   }
 }
 
@@ -167,15 +204,14 @@ Task<void> ObjectStore::flush_object(ObjectId oid) {
     obj.dirty.subtract(iv.start, iv.end);
     dirty_bytes_ -= iv.length();
   }
-  for (const auto& iv : todo) {
-    uint64_t pos = iv.start;
-    while (pos < iv.end) {
-      const uint64_t n = std::min(params_.flush_chunk_bytes, iv.end - pos);
-      co_await node_.disk().io(disk_position(obj, pos), n);
-      stats_.disk_write_bytes += n;
-      ++stats_.disk_writes;
-      pos += n;
-    }
+  try {
+    co_await write_extents(obj, todo);
+  } catch (...) {
+    // Disk failed mid-flush: the unwritten tail is still dirty, and the
+    // lock must not wedge the retry a later commit will attempt.
+    requeue_unflushed(oid, obj, todo);
+    obj.flush_lock->release();
+    throw;
   }
   obj.flush_lock->release();
 }
@@ -219,7 +255,7 @@ Task<Payload> ObjectStore::read(ObjectId oid, uint64_t offset, uint64_t length) 
       } else if (!miss && in_run) {
         const uint64_t io_start = run_start * block;
         const uint64_t io_end = std::min(obj.size, b * block);
-        co_await node_.disk().io(disk_position(obj, io_start), io_end - io_start);
+        co_await disk_io(disk_position(obj, io_start), io_end - io_start);
         stats_.disk_read_bytes += io_end - io_start;
         ++stats_.disk_reads;
         in_run = false;

@@ -119,6 +119,10 @@ class ObjectStore {
   const Object& get(ObjectId oid) const;
   uint64_t disk_position(const Object& obj, uint64_t offset) const;
 
+  /// One media access; throws sim::DiskFailedError while a scripted disk
+  /// fault is active on this node.
+  sim::Task<void> disk_io(uint64_t pos, uint64_t bytes);
+
   /// Marks [start, end) of `oid` cache-resident, evicting LRU blocks.
   void touch_cache(ObjectId oid, uint64_t start, uint64_t end);
   bool cache_covers(ObjectId oid, uint64_t start, uint64_t end);
@@ -131,6 +135,14 @@ class ObjectStore {
   /// Flushes all dirty extents belonging to `oid`.
   sim::Task<void> flush_object(ObjectId oid);
 
+  /// Writes `todo` to disk chunk by chunk.  On a disk fault, records how far
+  /// it got in flush_fail_index_/flush_fail_pos_ and rethrows; the caller
+  /// must requeue_unflushed() so the unwritten tail stays dirty.
+  sim::Task<void> write_extents(
+      Object& obj, const std::vector<util::IntervalSet::Interval>& todo);
+  void requeue_unflushed(ObjectId oid, Object& obj,
+                         const std::vector<util::IntervalSet::Interval>& todo);
+
   sim::Node& node_;
   ObjectStoreParams params_;
   std::unordered_map<ObjectId, Object> objects_;
@@ -138,6 +150,11 @@ class ObjectStore {
 
   std::deque<DirtyExtent> dirty_queue_;  ///< FIFO writeback order
   uint64_t dirty_bytes_ = 0;
+
+  // Progress of the last failed write_extents() call, consumed by
+  // requeue_unflushed() before the exception propagates further.
+  size_t flush_fail_index_ = 0;
+  uint64_t flush_fail_pos_ = 0;
 
   // Page-cache residency: block key -> LRU list position.
   using BlockKey = std::pair<ObjectId, uint64_t>;

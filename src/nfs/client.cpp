@@ -66,6 +66,12 @@ NfsClient::NfsClient(rpc::RpcFabric& fabric, sim::Node& node,
     m_readahead_fetches_ =
         &reg->counter(n, "client.cache", "readahead_fetches");
     m_rpcs_ = &reg->counter(n, "client.cache", "rpcs");
+    m_retries_ = &reg->counter(n, "client.recovery", "retries");
+    m_fallbacks_ = &reg->counter(n, "client.recovery", "fallbacks");
+    m_breaker_trips_ = &reg->counter(n, "client.recovery", "breaker_trips");
+    m_layout_refetches_ =
+        &reg->counter(n, "client.recovery", "layout_refetches");
+    m_rpc_retries_ = &reg->counter(n, "client.recovery", "rpc_retries");
   } else {
     m_hit_bytes_ = &obs::MetricsRegistry::null_counter();
     m_miss_bytes_ = &obs::MetricsRegistry::null_counter();
@@ -73,7 +79,14 @@ NfsClient::NfsClient(rpc::RpcFabric& fabric, sim::Node& node,
     m_write_bytes_ = &obs::MetricsRegistry::null_counter();
     m_readahead_fetches_ = &obs::MetricsRegistry::null_counter();
     m_rpcs_ = &obs::MetricsRegistry::null_counter();
+    m_retries_ = &obs::MetricsRegistry::null_counter();
+    m_fallbacks_ = &obs::MetricsRegistry::null_counter();
+    m_breaker_trips_ = &obs::MetricsRegistry::null_counter();
+    m_layout_refetches_ = &obs::MetricsRegistry::null_counter();
+    m_rpc_retries_ = &obs::MetricsRegistry::null_counter();
   }
+  // Transport-level retries surface under this client's recovery component.
+  rpc_.set_retry_counter(m_rpc_retries_);
 }
 
 NfsClient::~NfsClient() = default;
@@ -95,42 +108,65 @@ Task<NfsClient::Session*> NfsClient::session_for(rpc::RpcAddress addr) {
     auto latch = std::make_shared<sim::Latch>(fabric_.simulation());
     session_creating_.emplace(addr, latch);
 
-    CompoundBuilder b;
-    b.add(OpCode::kExchangeId, ExchangeIdArgs{rpc_.principal()});
-    auto raw = co_await rpc_.call(addr, rpc::Program::kNfs, kNfsVersion,
-                                  kProcCompound, std::move(b).finish());
-    ++stats_.rpcs;
-    m_rpcs_->inc();
-    CompoundReply r1(std::move(raw));
-    const auto eid = r1.expect<ExchangeIdRes>(OpCode::kExchangeId);
+    try {
+      CompoundBuilder b;
+      b.add(OpCode::kExchangeId, ExchangeIdArgs{rpc_.principal()});
+      auto raw = co_await rpc_.call(addr, rpc::Program::kNfs, kNfsVersion,
+                                    kProcCompound, std::move(b).finish(),
+                                    call_options(addr));
+      ++stats_.rpcs;
+      m_rpcs_->inc();
+      CompoundReply r1(std::move(raw));
+      const auto eid = r1.expect<ExchangeIdRes>(OpCode::kExchangeId);
 
-    // Bind the backchannel to the MDS session only: layouts (the things a
-    // server recalls) are granted there.
-    uint32_t cb_port = 0;
-    if (addr == mds_ && config_.enable_backchannel) {
-      start_backchannel();
-      if (backchannel_) cb_port = backchannel_->address().port;
+      // Bind the backchannel to the MDS session only: layouts (the things a
+      // server recalls) are granted there.
+      uint32_t cb_port = 0;
+      if (addr == mds_ && config_.enable_backchannel) {
+        start_backchannel();
+        if (backchannel_) cb_port = backchannel_->address().port;
+      }
+      CompoundBuilder b2;
+      b2.add(OpCode::kCreateSession,
+             CreateSessionArgs{eid.client_id, config_.session_slots, cb_port});
+      auto raw2 = co_await rpc_.call(addr, rpc::Program::kNfs, kNfsVersion,
+                                     kProcCompound, std::move(b2).finish(),
+                                     call_options(addr));
+      ++stats_.rpcs;
+      m_rpcs_->inc();
+      CompoundReply r2(std::move(raw2));
+      const auto cs = r2.expect<CreateSessionRes>(OpCode::kCreateSession);
+
+      Session session;
+      session.id = cs.session;
+      session.slots = std::make_unique<sim::Semaphore>(
+          fabric_.simulation(), std::max<uint32_t>(1, cs.max_slots));
+      auto [sit, ok] = sessions_.emplace(addr, std::move(session));
+      (void)ok;
+      session_creating_.erase(addr);
+      latch->set();
+      co_return &sit->second;
+    } catch (...) {
+      // Wake anyone parked on the latch; they retry (and likely fail the
+      // same way) instead of hanging forever on a dead server.
+      session_creating_.erase(addr);
+      latch->set();
+      throw;
     }
-    CompoundBuilder b2;
-    b2.add(OpCode::kCreateSession,
-           CreateSessionArgs{eid.client_id, config_.session_slots, cb_port});
-    auto raw2 = co_await rpc_.call(addr, rpc::Program::kNfs, kNfsVersion,
-                                   kProcCompound, std::move(b2).finish());
-    ++stats_.rpcs;
-    m_rpcs_->inc();
-    CompoundReply r2(std::move(raw2));
-    const auto cs = r2.expect<CreateSessionRes>(OpCode::kCreateSession);
-
-    Session session;
-    session.id = cs.session;
-    session.slots = std::make_unique<sim::Semaphore>(
-        fabric_.simulation(), std::max<uint32_t>(1, cs.max_slots));
-    auto [sit, ok] = sessions_.emplace(addr, std::move(session));
-    (void)ok;
-    session_creating_.erase(addr);
-    latch->set();
-    co_return &sit->second;
   }
+}
+
+/// Call policy for `addr`: data-server calls carry the configured deadline
+/// and transport retry budget; MDS calls keep the unbounded legacy behavior
+/// (the MDS is the recovery path — timing it out has nowhere to go).
+rpc::CallOptions NfsClient::call_options(const rpc::RpcAddress& addr) const {
+  rpc::CallOptions opts;
+  if (!(addr == mds_) && config_.ds_timeout > 0) {
+    opts.timeout = config_.ds_timeout;
+    opts.max_retries = config_.ds_rpc_retries;
+    opts.backoff = config_.ds_timeout / 4;
+  }
+  return opts;
 }
 
 Task<rpc::RpcClient::Reply> NfsClient::call(rpc::RpcAddress addr,
@@ -145,7 +181,8 @@ Task<rpc::RpcClient::Reply> NfsClient::call(rpc::RpcAddress addr,
   ++stats_.rpcs;
   m_rpcs_->inc();
   auto reply = co_await rpc_.call(addr, rpc::Program::kNfs, kNfsVersion,
-                                  kProcCompound, std::move(builder).finish());
+                                  kProcCompound, std::move(builder).finish(),
+                                  call_options(addr));
   s->slots->release();
   co_return reply;
 }
@@ -593,9 +630,24 @@ bool NfsClient::file_has_layout(const FilePtr& file) const {
 // I/O routing
 // ---------------------------------------------------------------------------
 
+NfsClient::IoSlice NfsClient::mds_slice(const FileState& f, uint64_t offset,
+                                        uint64_t length) const {
+  IoSlice slice;
+  slice.device_index = IoSlice::kMds;
+  slice.addr = mds_;
+  slice.fh = f.fh;
+  // Under a delegation-elided open there is no server-side open stateid;
+  // reads ride the anonymous stateid (the delegation stateid, in effect).
+  slice.stateid = f.server_opens > 0 ? f.stateid : kAnonymousStateid;
+  slice.target_offset = offset;
+  slice.file_offset = offset;
+  slice.length = length;
+  return slice;
+}
+
 std::vector<NfsClient::IoSlice> NfsClient::route(FileState& f, uint64_t offset,
                                                  uint64_t length,
-                                                 bool for_write) const {
+                                                 bool for_write) {
   std::vector<IoSlice> out;
   if (f.layout) {
     const AggregationDriver* driver = aggregations_->find(f.layout->aggregation);
@@ -613,64 +665,265 @@ std::vector<NfsClient::IoSlice> NfsClient::route(FileState& f, uint64_t offset,
       slice.target_offset = seg.dev_offset;
       slice.file_offset = seg.file_offset;
       slice.length = seg.length;
+      if (config_.mds_fallback && breaker_open(slice.addr)) {
+        // Open breaker: don't even try the sick DS, proxy through the MDS.
+        slice = mds_slice(f, seg.file_offset, seg.length);
+        ++stats_.mds_fallbacks;
+        m_fallbacks_->inc();
+      }
       out.push_back(slice);
     }
     return out;
   }
-  IoSlice slice;
-  slice.device_index = IoSlice::kMds;
-  slice.addr = mds_;
-  slice.fh = f.fh;
-  // Under a delegation-elided open there is no server-side open stateid;
-  // reads ride the anonymous stateid (the delegation stateid, in effect).
-  slice.stateid = f.server_opens > 0 ? f.stateid : kAnonymousStateid;
-  slice.target_offset = offset;
-  slice.file_offset = offset;
-  slice.length = length;
-  out.push_back(slice);
+  out.push_back(mds_slice(f, offset, length));
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Data-server health and failure recovery
+// ---------------------------------------------------------------------------
+
+bool NfsClient::breaker_open(const rpc::RpcAddress& addr) const {
+  const auto it = ds_health_.find(addr);
+  return it != ds_health_.end() &&
+         fabric_.simulation().now() < it->second.open_until;
+}
+
+void NfsClient::record_ds_result(const rpc::RpcAddress& addr, bool ok) {
+  DsHealth& h = ds_health_[addr];
+  if (ok) {
+    h.consecutive_failures = 0;
+    h.open_until = 0;
+    return;
+  }
+  ++h.consecutive_failures;
+  if (h.consecutive_failures == config_.breaker_threshold) {
+    h.open_until = fabric_.simulation().now() + config_.breaker_reset;
+    ++stats_.breaker_trips;
+    m_breaker_trips_->inc();
+    util::logf(util::LogLevel::kWarn, "nfs.client", fabric_.simulation().now(),
+               "circuit breaker opened for DS node %u port %u",
+               addr.node_id, static_cast<unsigned>(addr.port));
+  }
+}
+
+Task<void> NfsClient::refetch_layout(FileState& f) {
+  if (!config_.pnfs_enabled || !f.layout) co_return;
+  const sim::Time now = fabric_.simulation().now();
+  if (f.layout_refetched_at >= 0 &&
+      now - f.layout_refetched_at < config_.breaker_reset) {
+    co_return;  // refreshed recently; don't hammer the MDS per failed slice
+  }
+  f.layout_refetched_at = now;
+  ++stats_.layout_refetches;
+  m_layout_refetches_->inc();
+  try {
+    Session* s = co_await session_for(mds_);
+    CompoundBuilder b = with_sequence(s->id);
+    b.add(OpCode::kPutFh, PutFhArgs{f.fh});
+    b.add(OpCode::kLayoutGet,
+          LayoutGetArgs{LayoutIoMode::kReadWrite, 0, ~0ull});
+    CompoundReply r(co_await call(mds_, std::move(b), 0));
+    r.expect(OpCode::kSequence);
+    r.expect(OpCode::kPutFh);
+    if (r.try_next(OpCode::kLayoutGet) == Status::kOk) {
+      FileLayout l = LayoutGetRes::decode(r.dec()).layout;
+      const bool driver_ok = aggregations_->find(l.aggregation) != nullptr;
+      bool devices_ok = l.valid();
+      for (const auto& d : l.devices) devices_ok &= devices_.contains(d);
+      if (driver_ok && devices_ok) f.layout = std::move(l);
+    }
+  } catch (const NfsError&) {
+    // Keep the stale layout; per-slice fallback still makes progress.
+  }
+}
+
+Task<Payload> NfsClient::read_slice_op(FileState& f, const IoSlice& slice) {
+  (void)f;
+  Session* s = co_await session_for(slice.addr);
+  CompoundBuilder b = with_sequence(s->id);
+  b.add(OpCode::kPutFh, PutFhArgs{slice.fh});
+  b.add(OpCode::kRead, ReadArgs{slice.stateid, slice.target_offset,
+                                static_cast<uint32_t>(slice.length)});
+  CompoundReply r(co_await call(slice.addr, std::move(b), slice.length));
+  r.expect(OpCode::kSequence);
+  r.expect(OpCode::kPutFh);
+  auto res = r.expect<ReadRes>(OpCode::kRead);
+  // Stripe objects may be shorter than the file (holes): pad.
+  if (res.data.size() < slice.length) {
+    const uint64_t missing = slice.length - res.data.size();
+    if (res.data.is_inline()) {
+      res.data.append(Payload::inline_bytes(
+          std::vector<std::byte>(missing, std::byte{0})));
+    } else {
+      res.data.append(Payload::virtual_bytes(missing));
+    }
+  }
+  co_return std::move(res.data);
+}
+
+Task<void> NfsClient::write_slice_op(FileState& f, const IoSlice& slice,
+                                     Payload piece) {
+  Session* s = co_await session_for(slice.addr);
+  CompoundBuilder b = with_sequence(s->id);
+  b.add(OpCode::kPutFh, PutFhArgs{slice.fh});
+  b.add(OpCode::kWrite, WriteArgs{slice.stateid, slice.target_offset,
+                                  StableHow::kUnstable, std::move(piece)});
+  CompoundReply r(co_await call(slice.addr, std::move(b), slice.length));
+  r.expect(OpCode::kSequence);
+  r.expect(OpCode::kPutFh);
+  const auto res = r.expect<WriteRes>(OpCode::kWrite);
+  if (res.committed == StableHow::kUnstable) {
+    f.unstable_targets.insert(slice.device_index);
+  }
+  // MDS-path writes move the file's change attribute; track it so our own
+  // I/O does not look like someone else's at revalidation time.
+  if (slice.device_index == IoSlice::kMds && res.post_change != 0) {
+    f.attr.change = std::max(f.attr.change, res.post_change);
+  }
+}
+
+Task<void> NfsClient::commit_op(rpc::RpcAddress addr, FileHandle fh) {
+  Session* s = co_await session_for(addr);
+  CompoundBuilder b = with_sequence(s->id);
+  b.add(OpCode::kPutFh, PutFhArgs{fh});
+  b.add(OpCode::kCommit, CommitArgs{0, 0});
+  CompoundReply r(co_await call(addr, std::move(b), 0));
+  r.expect(OpCode::kSequence);
+  r.expect(OpCode::kPutFh);
+  r.expect(OpCode::kCommit);
+}
+
+Task<void> NfsClient::run_read_slice(FileState& f, IoSlice slice, Payload& out,
+                                     StatusCollector& errors) {
+  const bool via_ds = slice.device_index != IoSlice::kMds;
+  for (uint32_t attempt = 0;; ++attempt) {
+    try {
+      out = co_await read_slice_op(f, slice);
+      if (via_ds) record_ds_result(slice.addr, true);
+      co_return;
+    } catch (const NfsError& e) {
+      if (!via_ds) {
+        errors.record(e.status(), slice.device_index);
+        co_return;
+      }
+      record_ds_result(slice.addr, false);
+      if (attempt < config_.slice_retries && !breaker_open(slice.addr)) {
+        ++stats_.recovery_retries;
+        m_retries_->inc();
+        continue;  // same DS, next attempt
+      }
+      if (!config_.mds_fallback) {
+        errors.record(e.status(), slice.device_index);
+        co_return;
+      }
+      break;  // degrade below
+    }
+  }
+  // Degraded path: refresh the layout for future routing decisions, then
+  // proxy this byte range through the MDS — the plain-NFSv4 path.
+  co_await refetch_layout(f);
+  ++stats_.mds_fallbacks;
+  m_fallbacks_->inc();
+  try {
+    out = co_await read_slice_op(f, mds_slice(f, slice.file_offset,
+                                              slice.length));
+  } catch (const NfsError& e) {
+    errors.record(e.status(), slice.device_index);
+  }
+}
+
+Task<void> NfsClient::run_write_slice(FileState& f, IoSlice slice,
+                                      Payload piece, StatusCollector& errors) {
+  const bool via_ds = slice.device_index != IoSlice::kMds;
+  for (uint32_t attempt = 0;; ++attempt) {
+    try {
+      co_await write_slice_op(f, slice, piece);
+      if (via_ds) record_ds_result(slice.addr, true);
+      co_return;
+    } catch (const NfsError& e) {
+      if (!via_ds) {
+        errors.record(e.status(), slice.device_index);
+        co_return;
+      }
+      record_ds_result(slice.addr, false);
+      if (attempt < config_.slice_retries && !breaker_open(slice.addr)) {
+        ++stats_.recovery_retries;
+        m_retries_->inc();
+        continue;
+      }
+      if (!config_.mds_fallback) {
+        errors.record(e.status(), slice.device_index);
+        co_return;
+      }
+      break;
+    }
+  }
+  co_await refetch_layout(f);
+  ++stats_.mds_fallbacks;
+  m_fallbacks_->inc();
+  try {
+    co_await write_slice_op(f, mds_slice(f, slice.file_offset, slice.length),
+                            std::move(piece));
+  } catch (const NfsError& e) {
+    errors.record(e.status(), slice.device_index);
+  }
+}
+
+Task<void> NfsClient::run_commit_target(FileState& f, size_t device_index,
+                                        StatusCollector& errors) {
+  rpc::RpcAddress addr = mds_;
+  FileHandle fh = f.fh;
+  const bool via_ds = device_index != IoSlice::kMds && f.layout;
+  if (via_ds) {
+    addr = devices_.at(f.layout->devices[device_index]);
+    fh = f.layout->fhs[device_index];
+  }
+  for (uint32_t attempt = 0;; ++attempt) {
+    try {
+      co_await commit_op(addr, fh);
+      if (via_ds) record_ds_result(addr, true);
+      co_return;
+    } catch (const NfsError& e) {
+      if (!via_ds) {
+        errors.record(e.status(), device_index);
+        co_return;
+      }
+      record_ds_result(addr, false);
+      if (attempt < config_.slice_retries && !breaker_open(addr)) {
+        ++stats_.recovery_retries;
+        m_retries_->inc();
+        continue;
+      }
+      if (!config_.mds_fallback) {
+        errors.record(e.status(), device_index);
+        co_return;
+      }
+      break;
+    }
+  }
+  // An MDS COMMIT flushes the whole file through the parallel FS — a
+  // superset of the stripe commit that failed.
+  ++stats_.mds_fallbacks;
+  m_fallbacks_->inc();
+  try {
+    co_await commit_op(mds_, f.fh);
+  } catch (const NfsError& e) {
+    errors.record(e.status(), device_index);
+  }
 }
 
 Task<Payload> NfsClient::read_slices(FileState& f, uint64_t offset,
                                      uint64_t length) {
   const auto slices = route(f, offset, length, /*for_write=*/false);
   std::vector<Payload> results(slices.size());
-  bool failed = false;
-  Status fail_status = Status::kOk;
+  StatusCollector errors;
   sim::WaitGroup wg(fabric_.simulation());
   for (size_t i = 0; i < slices.size(); ++i) {
-    wg.spawn([](NfsClient& self, const IoSlice slice, Payload& out, bool& failed,
-                Status& fail_status) -> Task<void> {
-      try {
-        Session* s = co_await self.session_for(slice.addr);
-        CompoundBuilder b = with_sequence(s->id);
-        b.add(OpCode::kPutFh, PutFhArgs{slice.fh});
-        b.add(OpCode::kRead,
-              ReadArgs{slice.stateid, slice.target_offset,
-                       static_cast<uint32_t>(slice.length)});
-        CompoundReply r(co_await self.call(slice.addr, std::move(b), slice.length));
-        r.expect(OpCode::kSequence);
-        r.expect(OpCode::kPutFh);
-        auto res = r.expect<ReadRes>(OpCode::kRead);
-        // Stripe objects may be shorter than the file (holes): pad.
-        if (res.data.size() < slice.length) {
-          const uint64_t missing = slice.length - res.data.size();
-          if (res.data.is_inline()) {
-            res.data.append(Payload::inline_bytes(
-                std::vector<std::byte>(missing, std::byte{0})));
-          } else {
-            res.data.append(Payload::virtual_bytes(missing));
-          }
-        }
-        out = std::move(res.data);
-      } catch (const NfsError& e) {
-        failed = true;
-        fail_status = e.status();
-      }
-    }(*this, slices[i], results[i], failed, fail_status));
+    wg.spawn(run_read_slice(f, slices[i], results[i], errors));
   }
   co_await wg.wait();
-  if (failed) throw NfsError(fail_status, "READ");
+  errors.throw_if_failed("READ");
 
   Payload assembled;
   for (auto& piece : results) assembled.append(piece);
@@ -682,40 +935,14 @@ Task<Payload> NfsClient::read_slices(FileState& f, uint64_t offset,
 Task<void> NfsClient::write_slices(FileState& f, uint64_t offset,
                                    const Payload& data) {
   const auto slices = route(f, offset, data.size(), /*for_write=*/true);
-  bool failed = false;
-  Status fail_status = Status::kOk;
+  StatusCollector errors;
   sim::WaitGroup wg(fabric_.simulation());
   for (const auto& slice : slices) {
     Payload piece = data.slice(slice.file_offset - offset, slice.length);
-    wg.spawn([](NfsClient& self, FileState& f, const IoSlice slice,
-                Payload piece, bool& failed, Status& fail_status) -> Task<void> {
-      try {
-        Session* s = co_await self.session_for(slice.addr);
-        CompoundBuilder b = with_sequence(s->id);
-        b.add(OpCode::kPutFh, PutFhArgs{slice.fh});
-        b.add(OpCode::kWrite,
-              WriteArgs{slice.stateid, slice.target_offset,
-                        StableHow::kUnstable, std::move(piece)});
-        CompoundReply r(co_await self.call(slice.addr, std::move(b), slice.length));
-        r.expect(OpCode::kSequence);
-        r.expect(OpCode::kPutFh);
-        const auto res = r.expect<WriteRes>(OpCode::kWrite);
-        if (res.committed == StableHow::kUnstable) {
-          f.unstable_targets.insert(slice.device_index);
-        }
-        // MDS-path writes move the file's change attribute; track it so our
-        // own I/O does not look like someone else's at revalidation time.
-        if (slice.device_index == IoSlice::kMds && res.post_change != 0) {
-          f.attr.change = std::max(f.attr.change, res.post_change);
-        }
-      } catch (const NfsError& e) {
-        failed = true;
-        fail_status = e.status();
-      }
-    }(*this, f, slice, std::move(piece), failed, fail_status));
+    wg.spawn(run_write_slice(f, slice, std::move(piece), errors));
   }
   co_await wg.wait();
-  if (failed) throw NfsError(fail_status, "WRITE");
+  errors.throw_if_failed("WRITE");
   stats_.wire_write_bytes += data.size();
 }
 
@@ -845,10 +1072,11 @@ Task<void> NfsClient::fetch_range(FilePtr file, uint64_t start, uint64_t end) {
     }
   }
 
-  bool failed = false;
+  StatusCollector errors;
   sim::WaitGroup wg(fabric_.simulation());
   for (auto& fetch : fetches) {
-    wg.spawn([](NfsClient& self, FilePtr file, Fetch f, bool& failed) -> Task<void> {
+    wg.spawn([](NfsClient& self, FilePtr file, Fetch f,
+                StatusCollector& errors) -> Task<void> {
       try {
         Payload data = co_await self.read_slices(*file, f.start, f.len);
         file->content.store(f.start, data);
@@ -856,16 +1084,16 @@ Task<void> NfsClient::fetch_range(FilePtr file, uint64_t start, uint64_t end) {
         file->valid.add(f.start, f.start + data.size());
         self.account_valid_delta(*file,
                                  static_cast<int64_t>(file->valid.total_length() - before));
-      } catch (const NfsError&) {
-        failed = true;
+      } catch (const NfsError& e) {
+        errors.record(e.status(), StatusCollector::kNoDevice);
       }
       file->inflight.erase(f.start);
       f.latch->set();
-    }(*this, file, std::move(fetch), failed));
+    }(*this, file, std::move(fetch), errors));
   }
   co_await wg.wait();
   evict_clean_if_needed();
-  if (failed) throw NfsError(Status::kIo, "fetch_range");
+  errors.throw_if_failed("fetch_range");
 }
 
 // ---------------------------------------------------------------------------
@@ -975,33 +1203,13 @@ Task<void> NfsClient::flush_dirty(FilePtr file, bool only_full_chunks,
 Task<void> NfsClient::commit_unstable(FileState& f) {
   if (f.unstable_targets.empty()) co_return;
   const std::set<size_t> targets = std::exchange(f.unstable_targets, {});
-  bool failed = false;
+  StatusCollector errors;
   sim::WaitGroup wg(fabric_.simulation());
   for (size_t idx : targets) {
-    rpc::RpcAddress addr = mds_;
-    FileHandle fh = f.fh;
-    if (idx != IoSlice::kMds) {
-      addr = devices_.at(f.layout->devices[idx]);
-      fh = f.layout->fhs[idx];
-    }
-    wg.spawn([](NfsClient& self, rpc::RpcAddress addr, FileHandle fh,
-                bool& failed) -> Task<void> {
-      try {
-        Session* s = co_await self.session_for(addr);
-        CompoundBuilder b = with_sequence(s->id);
-        b.add(OpCode::kPutFh, PutFhArgs{fh});
-        b.add(OpCode::kCommit, CommitArgs{0, 0});
-        CompoundReply r(co_await self.call(addr, std::move(b), 0));
-        r.expect(OpCode::kSequence);
-        r.expect(OpCode::kPutFh);
-        r.expect(OpCode::kCommit);
-      } catch (const NfsError&) {
-        failed = true;
-      }
-    }(*this, addr, fh, failed));
+    wg.spawn(run_commit_target(f, idx, errors));
   }
   co_await wg.wait();
-  if (failed) throw NfsError(Status::kIo, "COMMIT");
+  errors.throw_if_failed("COMMIT");
 }
 
 Task<void> NfsClient::fsync(FilePtr file) {

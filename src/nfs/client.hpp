@@ -56,6 +56,25 @@ struct ClientConfig {
   /// ~64 MB/s on the read path (the paper's P3 clients: 8 of them cap
   /// warm-cache reads at ~510-530 MB/s aggregate).
   double cpu_ns_per_byte = 15.5;
+
+  // -- Failure recovery (see docs/failures.md) -------------------------------
+  /// Per-attempt deadline on data-server COMPOUNDs; 0 disables deadlines
+  /// (and all watchdog events) — the default, so fault-free runs are
+  /// event-for-event identical to the pre-recovery client.
+  sim::Duration ds_timeout = 0;
+  /// Transport-level retries (same DS, exponential backoff) inside the RPC
+  /// client before a timed-out data-server call surfaces as an error.
+  uint32_t ds_rpc_retries = 1;
+  /// NFS-level retries of a failed READ/WRITE/COMMIT slice against the same
+  /// DS before degrading.
+  uint32_t slice_retries = 1;
+  /// Consecutive slice failures that open a data server's circuit breaker.
+  uint32_t breaker_threshold = 3;
+  /// How long an open breaker diverts that DS's slices to the MDS.
+  sim::Duration breaker_reset = sim::sec(5);
+  /// Degrade to proxying failed slices through the MDS (the plain-NFSv4
+  /// path).  Off: slice failures surface to the application immediately.
+  bool mds_fallback = true;
 };
 
 struct ClientStats {
@@ -66,6 +85,37 @@ struct ClientStats {
   uint64_t rpcs = 0;
   uint64_t cache_hit_bytes = 0;
   uint64_t readahead_fetches = 0;
+  // Recovery (mirrored in the "client.recovery" metrics component).
+  uint64_t recovery_retries = 0;    ///< slice retried against the same DS
+  uint64_t mds_fallbacks = 0;       ///< slices degraded to MDS proxy I/O
+  uint64_t breaker_trips = 0;       ///< DS circuit breakers opened
+  uint64_t layout_refetches = 0;    ///< LAYOUTGETs after slice failures
+};
+
+/// Records the first non-OK status across a fan-out of concurrent slice
+/// operations, plus which device produced it.  Replaces the old
+/// `bool failed; Status fail_status;` out-param pairs.
+class StatusCollector {
+ public:
+  static constexpr size_t kNoDevice = static_cast<size_t>(-1);
+
+  void record(Status s, size_t device_index = kNoDevice) noexcept {
+    if (s == Status::kOk || failed_) return;
+    failed_ = true;
+    status_ = s;
+    device_index_ = device_index;
+  }
+  bool failed() const noexcept { return failed_; }
+  Status status() const noexcept { return status_; }
+  size_t device_index() const noexcept { return device_index_; }
+  void throw_if_failed(const std::string& what) const {
+    if (failed_) throw NfsError(status_, what);
+  }
+
+ private:
+  bool failed_ = false;
+  Status status_ = Status::kOk;
+  size_t device_index_ = kNoDevice;
 };
 
 class NfsClient {
@@ -144,6 +194,7 @@ class NfsClient {
                                         CompoundBuilder builder,
                                         uint64_t data_bytes);
   sim::Task<Session*> session_for(rpc::RpcAddress addr);
+  rpc::CallOptions call_options(const rpc::RpcAddress& addr) const;
 
   // Path machinery.
   sim::Task<FileHandle> resolve(const std::string& path);
@@ -151,7 +202,9 @@ class NfsClient {
 
   // Data path.
   std::vector<IoSlice> route(FileState& f, uint64_t offset, uint64_t length,
-                             bool for_write) const;
+                             bool for_write);
+  IoSlice mds_slice(const FileState& f, uint64_t offset,
+                    uint64_t length) const;
   static std::shared_ptr<sim::Latch> find_inflight_overlap(FileState& f,
                                                            uint64_t start,
                                                            uint64_t end);
@@ -160,6 +213,24 @@ class NfsClient {
                                       uint64_t length);
   sim::Task<void> write_slices(FileState& f, uint64_t offset,
                                const rpc::Payload& data);
+  // Single-attempt slice ops (throw NfsError on failure)...
+  sim::Task<rpc::Payload> read_slice_op(FileState& f, const IoSlice& slice);
+  sim::Task<void> write_slice_op(FileState& f, const IoSlice& slice,
+                                 rpc::Payload piece);
+  sim::Task<void> commit_op(rpc::RpcAddress addr, FileHandle fh);
+  // ...and their recovering wrappers: retry same DS, re-fetch the layout,
+  // then degrade to the MDS; errors land in the collector.
+  sim::Task<void> run_read_slice(FileState& f, IoSlice slice,
+                                 rpc::Payload& out, StatusCollector& errors);
+  sim::Task<void> run_write_slice(FileState& f, IoSlice slice,
+                                  rpc::Payload piece, StatusCollector& errors);
+  sim::Task<void> run_commit_target(FileState& f, size_t device_index,
+                                    StatusCollector& errors);
+
+  // Per-data-server health (consecutive-failure circuit breaker).
+  bool breaker_open(const rpc::RpcAddress& addr) const;
+  void record_ds_result(const rpc::RpcAddress& addr, bool ok);
+  sim::Task<void> refetch_layout(FileState& f);
   sim::Task<void> flush_dirty(FilePtr file, bool only_full_chunks,
                               bool wait_completion);
   sim::Task<void> commit_unstable(FileState& f);
@@ -191,6 +262,14 @@ class NfsClient {
   std::map<rpc::RpcAddress, std::shared_ptr<sim::Latch>> session_creating_;
   std::map<DeviceId, rpc::RpcAddress> devices_;
 
+  /// Data-server circuit breakers: consecutive failures and, once tripped,
+  /// how long routing diverts this DS's slices to the MDS.
+  struct DsHealth {
+    uint32_t consecutive_failures = 0;
+    sim::Time open_until = 0;
+  };
+  std::map<rpc::RpcAddress, DsHealth> ds_health_;
+
   std::map<std::string, FileHandle> dentry_cache_;
   std::map<uint64_t, FilePtr> files_;  ///< fileid -> shared state
 
@@ -208,6 +287,12 @@ class NfsClient {
   obs::Counter* m_write_bytes_;
   obs::Counter* m_readahead_fetches_;
   obs::Counter* m_rpcs_;
+  // "client.recovery" component handles.
+  obs::Counter* m_retries_;
+  obs::Counter* m_fallbacks_;
+  obs::Counter* m_breaker_trips_;
+  obs::Counter* m_layout_refetches_;
+  obs::Counter* m_rpc_retries_;
 };
 
 /// Open-file state; exposed so deployments can inspect (tests) but opaque in
@@ -247,6 +332,9 @@ class NfsClient::FileState {
   std::unique_ptr<sim::Semaphore> wb_window;
   std::unique_ptr<sim::WaitGroup> wb_inflight;
   bool wb_error = false;
+
+  /// Last failure-driven LAYOUTGET (-1: never); rate-limits re-fetches.
+  sim::Time layout_refetched_at = -1;
 
   uint64_t last_use = 0;
 };

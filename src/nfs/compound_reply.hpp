@@ -19,6 +19,9 @@ class CompoundReply {
  public:
   explicit CompoundReply(rpc::RpcClient::Reply raw)
       : raw_(std::move(raw)), dec_(raw_.body()) {
+    if (raw_.transport != rpc::Status::kOk) {
+      throw NfsError(Status::kTimedOut, "RPC transport");
+    }
     if (raw_.status != rpc::ReplyStatus::kAccepted) {
       throw NfsError(Status::kIo, "RPC layer rejected call");
     }

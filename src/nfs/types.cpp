@@ -23,6 +23,7 @@ const char* status_name(Status s) {
     case Status::kBadStateid: return "NFS4ERR_BAD_STATEID";
     case Status::kLayoutUnavailable: return "NFS4ERR_LAYOUTUNAVAILABLE";
     case Status::kUnknownLayoutType: return "NFS4ERR_UNKNOWN_LAYOUTTYPE";
+    case Status::kTimedOut: return "CLIENT_TIMED_OUT";
   }
   return "NFS4ERR_?";
 }

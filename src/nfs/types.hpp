@@ -34,6 +34,9 @@ enum class Status : uint32_t {
   kBadStateid = 10025,
   kLayoutUnavailable = 10059,
   kUnknownLayoutType = 10062,
+  // Client-side pseudo-status, never on the wire: the RPC transport gave up
+  // (deadline expired / lost message / crashed daemon) before any reply.
+  kTimedOut = 0xF000,
 };
 
 const char* status_name(Status s);

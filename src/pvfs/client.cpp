@@ -39,8 +39,12 @@ Task<rpc::RpcClient::Reply> PvfsClient::meta_call(MetaProc proc,
   if (config_.vfs_meta_latency > 0) {
     co_await fabric_.simulation().delay(config_.vfs_meta_latency);
   }
-  co_return co_await rpc_.call(meta_, rpc::Program::kPvfsMeta, kPvfsVersion,
-                               static_cast<uint32_t>(proc), std::move(args));
+  auto reply = co_await rpc_.call(meta_, rpc::Program::kPvfsMeta, kPvfsVersion,
+                                  static_cast<uint32_t>(proc), std::move(args));
+  if (reply.transport != rpc::Status::kOk) {
+    throw PvfsError(PvfsStatus::kIo, "meta RPC timed out");
+  }
+  co_return reply;
 }
 
 Task<rpc::RpcClient::Reply> PvfsClient::io_call(uint32_t server_index,
@@ -56,8 +60,11 @@ Task<rpc::RpcClient::Reply> PvfsClient::io_call(uint32_t server_index,
   auto reply = co_await rpc_.call(storage_.at(server_index),
                                   rpc::Program::kPvfsIo, kPvfsVersion,
                                   static_cast<uint32_t>(proc), std::move(args),
-                                  trace);
+                                  rpc::CallOptions{.parent = trace});
   buffers_.release();
+  if (reply.transport != rpc::Status::kOk) {
+    throw PvfsError(PvfsStatus::kIo, "storage RPC timed out");
+  }
   co_return reply;
 }
 

@@ -1,7 +1,9 @@
 #include "rpc/fabric.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "sim/fault.hpp"
 #include "util/format.hpp"
 #include "util/log.hpp"
 
@@ -19,6 +21,27 @@ const char* program_component(Program prog) {
   return "rpc";
 }
 
+const char* status_name(Status s) {
+  switch (s) {
+    case Status::kOk: return "OK";
+    case Status::kTimedOut: return "TIMED_OUT";
+  }
+  return "?";
+}
+
+namespace {
+
+// Wakes the caller at `deadline` whether or not the reply ever arrives
+// (Latch::set is idempotent, so a reply beating the watchdog is fine).
+sim::Task<void> deadline_watchdog(sim::Simulation& sim,
+                                  std::shared_ptr<RpcFabric::ReplySlot> slot,
+                                  sim::Time deadline) {
+  if (deadline > sim.now()) co_await sim.delay(deadline - sim.now());
+  slot->done.set();
+}
+
+}  // namespace
+
 void RpcFabric::bind(RpcAddress addr, RpcServer* server) {
   const auto [it, inserted] = servers_.emplace(addr, server);
   (void)it;
@@ -27,18 +50,46 @@ void RpcFabric::bind(RpcAddress addr, RpcServer* server) {
 
 void RpcFabric::unbind(RpcAddress addr) { servers_.erase(addr); }
 
-Task<WireBuffer> RpcFabric::call(sim::Node& from, RpcAddress to,
-                                 WireBuffer request) {
+Task<RpcFabric::RawResult> RpcFabric::call(sim::Node& from, RpcAddress to,
+                                           WireBuffer request,
+                                           sim::Time deadline) {
   const auto it = servers_.find(to);
   if (it == servers_.end()) throw std::logic_error("RPC call to unbound address");
   RpcServer* server = it->second;
+  sim::Simulation& sim = net_.simulation();
 
-  co_await net_.transfer(from, server->node(), request.wire_size + overhead_);
+  const bool delivered =
+      co_await net_.transfer(from, server->node(), request.wire_size + overhead_);
+  const sim::FaultInjector* faults = net_.faults();
+  const bool daemon_up =
+      faults == nullptr || !faults->service_down(to.node_id, to.port, sim.now());
 
-  sim::Oneshot<WireBuffer> reply(net_.simulation());
-  server->queue_.push(RpcServer::Pending{std::move(request), from.id(), &reply,
-                                         net_.simulation().now()});
-  co_return co_await reply.take();
+  if (!delivered || !daemon_up) {
+    // The request is gone: a real client learns that only by its timer
+    // expiring.  With no explicit deadline, fall back to the fabric's drop
+    // timeout so the simulation still cannot hang on a scripted fault.
+    const sim::Time give_up =
+        deadline > 0 ? deadline : sim.now() + drop_timeout_;
+    if (give_up > sim.now()) co_await sim.delay(give_up - sim.now());
+    co_return RawResult{Status::kTimedOut, WireBuffer{}};
+  }
+
+  auto slot = std::make_shared<ReplySlot>(sim);
+  server->queue_.push(
+      RpcServer::Pending{std::move(request), from.id(), slot, sim.now()});
+  if (deadline > 0) sim.spawn(deadline_watchdog(sim, slot, deadline));
+  co_await slot->done.wait();
+
+  if (!slot->reply.has_value()) {
+    // Either the deadline beat the reply, or the worker dropped the reply
+    // (crashed daemon / lost message) and woke us early: wait out whatever
+    // budget remains before reporting the timeout.
+    const sim::Time give_up =
+        deadline > 0 ? deadline : sim.now() + drop_timeout_;
+    if (give_up > sim.now()) co_await sim.delay(give_up - sim.now());
+    co_return RawResult{Status::kTimedOut, WireBuffer{}};
+  }
+  co_return RawResult{Status::kOk, std::move(*slot->reply)};
 }
 
 RpcServer::RpcServer(RpcFabric& fabric, sim::Node& node, uint16_t port,
@@ -85,6 +136,14 @@ Task<void> RpcServer::worker() {
     if (!pending) break;
 
     const sim::Time picked_up = fabric_.simulation().now();
+    const sim::FaultInjector* faults = fabric_.network().faults();
+    if (faults != nullptr && faults->service_down(node_.id(), port_, picked_up)) {
+      // The daemon crashed with this request queued: the request dies with
+      // it.  The caller's deadline (or the fabric drop timeout) reports it.
+      pending->slot->done.set();
+      continue;
+    }
+
     const sim::Duration queue_wait = picked_up - pending->enqueued;
     queue_wait_total_ += queue_wait;
     m_queue_us_->observe(static_cast<double>(queue_wait) * 1e-3);
@@ -152,48 +211,100 @@ Task<void> RpcServer::worker() {
           reply.wire_size, pending->request.wire_size});
     }
 
-    co_await fabric_.network().transfer(
-        node_, fabric_.network().node(pending->client_node),
-        reply.wire_size + fabric_.per_message_overhead());
-    pending->reply->set(std::move(reply));
+    // Send the reply.  If the daemon or node died while the request was in
+    // service, or the reply is lost on the wire, wake the caller with an
+    // empty slot — its deadline machinery turns that into kTimedOut.
+    bool reply_ok =
+        faults == nullptr ||
+        !faults->service_down(node_.id(), port_, fabric_.simulation().now());
+    if (reply_ok) {
+      reply_ok = co_await fabric_.network().transfer(
+          node_, fabric_.network().node(pending->client_node),
+          reply.wire_size + fabric_.per_message_overhead());
+    }
+    if (reply_ok) pending->slot->reply = std::move(reply);
+    pending->slot->done.set();
   }
 }
 
 Task<RpcClient::Reply> RpcClient::call(RpcAddress to, Program prog,
                                        uint32_t vers, uint32_t proc,
-                                       XdrEncoder args,
-                                       obs::TraceContext parent) {
+                                       XdrEncoder args, CallOptions opts) {
   obs::Tracer* tracer = fabric_.tracer();
-  obs::TraceContext span;
-  if (tracer != nullptr && tracer->enabled()) span = tracer->begin(parent);
+  sim::Simulation& sim = fabric_.simulation();
 
-  XdrEncoder enc;
-  CallHeader header{next_xid_++, static_cast<uint32_t>(prog), vers, proc,
-                    span.trace_id, span.span_id, principal_};
-  header.encode(enc);
+  // Encode the args once up front so every retry resends identical bytes.
   const uint64_t args_virtual = args.wire_size() - args.encoded_size();
-  enc.put_opaque_fixed(std::move(args).take());
+  const std::vector<std::byte> args_bytes = std::move(args).take();
 
-  WireBuffer request{std::move(enc).take(), 0};
-  request.wire_size = request.bytes.size() + args_virtual;
-  const uint64_t request_wire = request.wire_size;
+  const uint32_t attempts = 1 + (opts.idempotent ? opts.max_retries : 0);
+  // Retries parent under the first attempt's span: one logical call with
+  // several attempts reads as one trace even when `opts.parent` is invalid.
+  obs::TraceContext anchor = opts.parent;
+  sim::Duration backoff = opts.backoff;
 
-  const sim::Time sent = fabric_.simulation().now();
-  WireBuffer raw = co_await fabric_.call(node_, to, std::move(request));
-  if (span.valid()) {
-    tracer->record(obs::Span{
-        span.trace_id, span.span_id, parent.span_id,
-        obs::SpanKind::kClientCall,
-        util::sformat("%s/%u", program_component(prog), proc), node_.name(),
-        sent, fabric_.simulation().now(), 0, request_wire, raw.wire_size});
+  for (uint32_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      ++retries_;
+      if (retry_counter_ != nullptr) retry_counter_->inc();
+      sim::Duration pause = backoff;
+      if (opts.jitter > 0.0) {
+        const double spread = (rng_.uniform() * 2.0 - 1.0) * opts.jitter;
+        pause = static_cast<sim::Duration>(
+            static_cast<double>(backoff) * (1.0 + spread));
+      }
+      if (pause > 0) co_await sim.delay(pause);
+      backoff = static_cast<sim::Duration>(
+          static_cast<double>(backoff) * opts.backoff_multiplier);
+    }
+
+    const uint64_t parent_span_id =
+        attempt == 0 ? opts.parent.span_id : anchor.span_id;
+    obs::TraceContext span;
+    if (tracer != nullptr && tracer->enabled()) {
+      span = tracer->begin(anchor);
+      if (!anchor.valid()) anchor = span;
+    }
+
+    XdrEncoder enc;
+    CallHeader header{next_xid_++, static_cast<uint32_t>(prog), vers, proc,
+                      span.trace_id, span.span_id, principal_};
+    header.encode(enc);
+    enc.put_opaque_fixed(args_bytes);
+
+    WireBuffer request{std::move(enc).take(), 0};
+    request.wire_size = request.bytes.size() + args_virtual;
+    const uint64_t request_wire = request.wire_size;
+
+    const sim::Time sent = sim.now();
+    const sim::Time deadline = opts.timeout > 0 ? sent + opts.timeout : 0;
+    RpcFabric::RawResult raw =
+        co_await fabric_.call(node_, to, std::move(request), deadline);
+    if (span.valid()) {
+      tracer->record(obs::Span{
+          span.trace_id, span.span_id, parent_span_id,
+          obs::SpanKind::kClientCall,
+          util::sformat("%s/%u%s", program_component(prog), proc,
+                        raw.status == Status::kOk ? "" : " timeout"),
+          node_.name(), sent, sim.now(), 0, request_wire,
+          raw.status == Status::kOk ? raw.reply.wire_size : 0});
+    }
+
+    if (raw.status == Status::kOk) {
+      Reply reply;
+      reply.buffer = std::move(raw.reply.bytes);
+      XdrDecoder dec(reply.buffer);
+      const ReplyHeader rh = ReplyHeader::decode(dec);
+      reply.status = rh.status;
+      reply.body_offset = reply.buffer.size() - dec.remaining();
+      co_return reply;
+    }
+    ++timeouts_;
   }
 
   Reply reply;
-  reply.buffer = std::move(raw.bytes);
-  XdrDecoder dec(reply.buffer);
-  const ReplyHeader rh = ReplyHeader::decode(dec);
-  reply.status = rh.status;
-  reply.body_offset = reply.buffer.size() - dec.remaining();
+  reply.transport = Status::kTimedOut;
+  reply.status = ReplyStatus::kSystemErr;  // legacy status checks stay safe
   co_return reply;
 }
 

@@ -14,12 +14,15 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "rpc/message.hpp"
 #include "sim/network.hpp"
 #include "sim/sync.hpp"
 #include "util/obs.hpp"
+#include "util/rng.hpp"
 
 namespace dpnfs::rpc {
 
@@ -34,6 +37,41 @@ struct RpcAddress {
 inline constexpr uint16_t kNfsPort = 2049;
 inline constexpr uint16_t kPvfsMetaPort = 3334;
 inline constexpr uint16_t kPvfsIoPort = 3335;
+
+/// Transport outcome of a call, orthogonal to the server's `ReplyStatus`:
+/// `kTimedOut` means no reply arrived before the deadline (lost message,
+/// crashed node or daemon, or a reply in flight past the budget).
+enum class Status : uint8_t {
+  kOk = 0,
+  kTimedOut = 1,
+};
+
+const char* status_name(Status s);
+
+/// Per-call policy: deadline, retry budget, backoff, trace parentage.
+/// The default (`timeout == 0`, no retries) behaves exactly like the old
+/// bare call: wait forever for the reply.  Even then, a message the fault
+/// injector *knows* it lost completes with `kTimedOut` after the fabric's
+/// drop timeout instead of hanging the simulation.
+struct CallOptions {
+  /// Per-attempt reply deadline; 0 disables the deadline (and its watchdog
+  /// event) entirely.
+  sim::Duration timeout = 0;
+  /// Extra attempts after a timed-out one.  Only honored when `idempotent`.
+  uint32_t max_retries = 0;
+  /// Pause before the first retry; grows by `backoff_multiplier` per retry.
+  sim::Duration backoff = sim::ms(10);
+  double backoff_multiplier = 2.0;
+  /// Uniform ± fraction of the backoff, from the client's own RNG stream.
+  double jitter = 0.25;
+  /// Retrying a non-idempotent call could apply it twice; callers must opt
+  /// such calls out (the retry budget is then ignored).
+  bool idempotent = true;
+  /// Trace parentage: invalid → this call roots a new trace; retries are
+  /// recorded as child spans of the first attempt so one logical call with
+  /// three attempts reads as one trace.
+  obs::TraceContext parent{};
+};
 
 /// Observability component name for a program's RPC spans ("nfs",
 /// "pvfs.io", ...).
@@ -77,8 +115,32 @@ class RpcFabric {
   obs::MetricsRegistry* metrics() const noexcept { return metrics_; }
   obs::Tracer* tracer() const noexcept { return tracer_; }
 
-  /// Issues one RPC from `from` to `to`; resolves with the raw reply buffer.
-  sim::Task<WireBuffer> call(sim::Node& from, RpcAddress to, WireBuffer request);
+  /// Raw transport result: `reply` is meaningful only when `status == kOk`.
+  struct RawResult {
+    Status status = Status::kOk;
+    WireBuffer reply;
+  };
+
+  /// Reply rendezvous that survives timeouts: the worker may complete it
+  /// (or drop it) long after the caller has given up and gone away.
+  struct ReplySlot {
+    explicit ReplySlot(sim::Simulation& sim) : done(sim) {}
+    sim::Latch done;
+    std::optional<WireBuffer> reply;
+  };
+
+  /// Issues one RPC from `from` to `to`.  `deadline` is an absolute sim
+  /// time (0: none); if no reply arrives by then the call resolves with
+  /// `kTimedOut` — the simulation never hangs on a lost message.  Calling
+  /// an address that was never bound is still a configuration error and
+  /// throws; a *crashed* daemon stays bound and times out instead.
+  sim::Task<RawResult> call(sim::Node& from, RpcAddress to, WireBuffer request,
+                            sim::Time deadline = 0);
+
+  /// How long a call with no explicit deadline waits before giving up on a
+  /// message the fault injector dropped (a stand-in for TCP giving up).
+  sim::Duration drop_timeout() const noexcept { return drop_timeout_; }
+  void set_drop_timeout(sim::Duration t) noexcept { drop_timeout_ = t; }
 
  private:
   friend class RpcServer;
@@ -90,6 +152,7 @@ class RpcFabric {
   std::map<RpcAddress, RpcServer*> servers_;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
+  sim::Duration drop_timeout_ = sim::sec(2);
 };
 
 class RpcServer {
@@ -121,7 +184,7 @@ class RpcServer {
   struct Pending {
     WireBuffer request;
     uint32_t client_node;
-    sim::Oneshot<WireBuffer>* reply;
+    std::shared_ptr<RpcFabric::ReplySlot> slot;
     sim::Time enqueued = 0;
   };
 
@@ -150,35 +213,56 @@ class RpcServer {
 class RpcClient {
  public:
   RpcClient(RpcFabric& fabric, sim::Node& node, std::string principal)
-      : fabric_(fabric), node_(node), principal_(std::move(principal)) {}
+      : fabric_(fabric),
+        node_(node),
+        principal_(std::move(principal)),
+        rng_(0x5ca1ab1eULL ^ (uint64_t{node_.id()} << 20)) {}
 
   /// Decoded reply: holds the buffer and exposes a decoder over the result
-  /// body (positioned after the reply header).
+  /// body (positioned after the reply header).  On a transport failure
+  /// (`transport != Status::kOk`) there is no buffer and `status` is forced
+  /// to `kSystemErr` so legacy `status != kAccepted` checks stay safe.
   struct Reply {
     ReplyStatus status = ReplyStatus::kAccepted;
+    Status transport = Status::kOk;
     std::vector<std::byte> buffer;
     size_t body_offset = 0;
 
+    bool ok() const noexcept {
+      return transport == Status::kOk && status == ReplyStatus::kAccepted;
+    }
     XdrDecoder body() const {
       return XdrDecoder(std::span<const std::byte>(buffer).subspan(body_offset));
     }
   };
 
-  /// Issues one call.  When the fabric carries a tracer, the call becomes a
-  /// client span: a new trace when `parent` is invalid (an application-level
-  /// root), a child hop otherwise (servers pass their CallContext trace).
+  /// Issues one call under `opts` (deadline, retry budget, backoff, trace
+  /// parent).  When the fabric carries a tracer, each attempt becomes a
+  /// client span: a new trace when `opts.parent` is invalid (an
+  /// application-level root), a child hop otherwise; retry attempts parent
+  /// under the first attempt's span, so a retried call reads as one trace.
   sim::Task<Reply> call(RpcAddress to, Program prog, uint32_t vers,
-                        uint32_t proc, XdrEncoder args,
-                        obs::TraceContext parent = obs::TraceContext{});
+                        uint32_t proc, XdrEncoder args, CallOptions opts = {});
 
   sim::Node& node() noexcept { return node_; }
   const std::string& principal() const noexcept { return principal_; }
+
+  /// Transport-level retries and timed-out calls issued by this client.
+  uint64_t retries() const noexcept { return retries_; }
+  uint64_t timeouts() const noexcept { return timeouts_; }
+  /// Optional external counter bumped on every transport retry (lets an
+  /// owner surface retries under its own metrics component).
+  void set_retry_counter(obs::Counter* c) noexcept { retry_counter_ = c; }
 
  private:
   RpcFabric& fabric_;
   sim::Node& node_;
   std::string principal_;
   uint32_t next_xid_ = 1;
+  util::Rng rng_;
+  uint64_t retries_ = 0;
+  uint64_t timeouts_ = 0;
+  obs::Counter* retry_counter_ = nullptr;
 };
 
 }  // namespace dpnfs::rpc

@@ -1,0 +1,64 @@
+#include "sim/fault.hpp"
+
+namespace dpnfs::sim {
+
+namespace {
+
+bool in_window(Time at, Time until, Time now) noexcept {
+  return now >= at && now < until;
+}
+
+}  // namespace
+
+bool FaultInjector::node_down(uint32_t node, Time now) const noexcept {
+  for (const auto& c : plan_.node_crashes) {
+    if (c.node == node && in_window(c.at, c.revive, now)) return true;
+  }
+  return false;
+}
+
+bool FaultInjector::service_down(uint32_t node, uint16_t port,
+                                 Time now) const noexcept {
+  if (node_down(node, now)) return true;
+  for (const auto& c : plan_.service_crashes) {
+    if (c.node == node && c.port == port && in_window(c.at, c.revive, now)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultInjector::disk_failed(uint32_t node, Time now) const noexcept {
+  for (const auto& d : plan_.disk_faults) {
+    if (d.node == node && in_window(d.at, d.until, now)) return true;
+  }
+  return false;
+}
+
+LinkVerdict FaultInjector::on_message(uint32_t src, uint32_t dst, Time now) {
+  LinkVerdict verdict;
+  for (size_t i = 0; i < plan_.link_faults.size(); ++i) {
+    const auto& rule = plan_.link_faults[i];
+    if (rule.src && *rule.src != src) continue;
+    if (rule.dst && *rule.dst != dst) continue;
+    if (!in_window(rule.from, rule.until, now)) continue;
+
+    if (drops_used_[i] < rule.drop_first) {
+      ++drops_used_[i];
+      verdict.drop = true;
+    } else if (rule.drop_probability > 0.0 &&
+               rng_.chance(rule.drop_probability)) {
+      verdict.drop = true;
+    }
+    verdict.extra_delay += rule.extra_delay;
+  }
+  if (verdict.drop) {
+    ++dropped_;
+    verdict.extra_delay = 0;
+  } else if (verdict.extra_delay > 0) {
+    ++delayed_;
+  }
+  return verdict;
+}
+
+}  // namespace dpnfs::sim

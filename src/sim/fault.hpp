@@ -1,0 +1,153 @@
+// Deterministic fault injection for the simulated cluster.
+//
+// A `FaultPlan` is a declarative script of what goes wrong and when: whole
+// nodes crash and revive, a single daemon (node, port) crashes while the
+// rest of its node keeps serving, links drop or delay messages, disks fail.
+// A `FaultInjector` executes one plan against the simulation clock; all
+// probabilistic decisions come from its own SplitMix64 stream, so a run is
+// bit-reproducible for a fixed plan seed.
+//
+// The injector is consulted by `Network::transfer` (message drops/delays,
+// node crashes), by `RpcFabric`/`RpcServer` (service crashes), and by
+// `lfs::ObjectStore` via `Node::disk_failed` (disk faults).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/rng.hpp"
+
+namespace dpnfs::sim {
+
+/// "Never": a revive/until time beyond any simulated run.
+inline constexpr Time kNever = std::numeric_limits<Time>::max();
+
+/// Declarative fault script.  Attach one to `core::ClusterConfig::faults`
+/// (or hand it to `Network::set_fault_injector` directly) and the whole
+/// stack — network, RPC fabric, object stores — obeys it.
+struct FaultPlan {
+  /// Seed for the injector's private RNG stream (drop-probability rolls).
+  uint64_t seed = 0xFA17;
+
+  /// Whole-machine crash: NIC unreachable in both directions during
+  /// [at, revive).  In-flight service work on the node is lost (replies
+  /// can no longer leave the node).
+  struct NodeCrash {
+    uint32_t node = 0;
+    Time at = 0;
+    Time revive = kNever;
+  };
+
+  /// Single-daemon crash: the RPC server bound at (node, port) is down
+  /// during [at, revive) while every other port on the node keeps serving.
+  /// This is how "the NFS data server on storage3 dies" is scripted without
+  /// also killing the parallel-FS storage daemon that shares the node.
+  struct ServiceCrash {
+    uint32_t node = 0;
+    uint16_t port = 0;
+    Time at = 0;
+    Time revive = kNever;
+  };
+
+  /// Link fault between (src → dst), active during [from, until).  A nullopt
+  /// endpoint matches any node.  `drop_first` drops that many matching
+  /// messages deterministically (by arrival order); `drop_probability` then
+  /// applies to the rest via the injector's RNG.  `extra_delay` is added to
+  /// every matching message that is not dropped.
+  struct LinkFault {
+    std::optional<uint32_t> src;
+    std::optional<uint32_t> dst;
+    Time from = 0;
+    Time until = kNever;
+    uint32_t drop_first = 0;
+    double drop_probability = 0.0;
+    Duration extra_delay = 0;
+  };
+
+  /// Disk failure on `node` during [at, until): every media access throws.
+  struct DiskFault {
+    uint32_t node = 0;
+    Time at = 0;
+    Time until = kNever;
+  };
+
+  std::vector<NodeCrash> node_crashes;
+  std::vector<ServiceCrash> service_crashes;
+  std::vector<LinkFault> link_faults;
+  std::vector<DiskFault> disk_faults;
+
+  bool empty() const noexcept {
+    return node_crashes.empty() && service_crashes.empty() &&
+           link_faults.empty() && disk_faults.empty();
+  }
+
+  // Fluent builders so a test can script a scenario in one expression.
+  FaultPlan& crash_node(uint32_t node, Time at, Time revive = kNever) {
+    node_crashes.push_back({node, at, revive});
+    return *this;
+  }
+  FaultPlan& crash_service(uint32_t node, uint16_t port, Time at,
+                           Time revive = kNever) {
+    service_crashes.push_back({node, port, at, revive});
+    return *this;
+  }
+  FaultPlan& add_link_fault(LinkFault fault) {
+    link_faults.push_back(fault);
+    return *this;
+  }
+  FaultPlan& fail_disk(uint32_t node, Time at, Time until = kNever) {
+    disk_faults.push_back({node, at, until});
+    return *this;
+  }
+};
+
+/// Verdict for one message crossing the network.
+struct LinkVerdict {
+  bool drop = false;
+  Duration extra_delay = 0;
+};
+
+/// Thrown by the storage layer when a scripted disk fault is active.
+class DiskFailedError : public std::runtime_error {
+ public:
+  explicit DiskFailedError(const std::string& node)
+      : std::runtime_error("disk failed on " + node) {}
+};
+
+/// Executes one `FaultPlan`.  Time-window queries are pure; `on_message`
+/// consumes per-rule drop budgets and RNG state and therefore mutates.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan)
+      : plan_(std::move(plan)),
+        rng_(plan_.seed),
+        drops_used_(plan_.link_faults.size(), 0) {}
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+
+  bool node_down(uint32_t node, Time now) const noexcept;
+  bool service_down(uint32_t node, uint16_t port, Time now) const noexcept;
+  bool disk_failed(uint32_t node, Time now) const noexcept;
+
+  /// Consulted once per message (request or reply) entering the switch.
+  LinkVerdict on_message(uint32_t src, uint32_t dst, Time now);
+
+  uint64_t messages_dropped() const noexcept { return dropped_; }
+  uint64_t messages_delayed() const noexcept { return delayed_; }
+
+ private:
+  FaultPlan plan_;
+  util::Rng rng_;
+  std::vector<uint32_t> drops_used_;  // parallel to plan_.link_faults
+  uint64_t dropped_ = 0;
+  uint64_t delayed_ = 0;
+};
+
+}  // namespace dpnfs::sim

@@ -2,20 +2,56 @@
 
 #include <algorithm>
 
+#include "sim/fault.hpp"
+
 namespace dpnfs::sim {
 
-Task<void> Network::transfer(Node& src, Node& dst, uint64_t bytes) {
+bool Node::disk_failed() const noexcept {
+  return faults_ != nullptr && faults_->disk_failed(id_, sim_.now());
+}
+
+void Network::set_fault_injector(FaultInjector* faults) {
+  faults_ = faults;
+  for (auto& n : nodes_) n->faults_ = faults;
+}
+
+Task<bool> Network::transfer(Node& src, Node& dst, uint64_t bytes) {
   if (&src == &dst) {
     // Local delivery: no NIC involvement, just memory-bandwidth cost.
     co_await sim_.delay(duration_for_bytes(bytes, params_.loopback_bytes_per_sec));
-    co_return;
+    // A crashed node cannot deliver even to itself.
+    co_return faults_ == nullptr || !faults_->node_down(src.id(), sim_.now());
+  }
+
+  // A crashed sender emits nothing; a message to a crashed receiver is paid
+  // for by the sender and then lost at the dead NIC.
+  if (faults_ != nullptr && faults_->node_down(src.id(), sim_.now())) {
+    co_return false;
+  }
+  LinkVerdict verdict;
+  if (faults_ != nullptr) {
+    verdict = faults_->on_message(src.id(), dst.id(), sim_.now());
   }
 
   Nic& s = src.nic();
   Nic& d = dst.nic();
   s.account_tx(bytes);
-  d.account_rx(bytes);
-  co_await sim_.delay(s.params().latency);
+  if (!verdict.drop) d.account_rx(bytes);
+  co_await sim_.delay(s.params().latency + verdict.extra_delay);
+
+  if (verdict.drop) {
+    // Lost in the switch: occupy the sender's TX for the full payload (the
+    // bytes really left the host), deliver nothing.
+    uint64_t remaining = std::max<uint64_t>(bytes, 1);
+    while (remaining > 0) {
+      const uint64_t chunk = std::min<uint64_t>(params_.chunk_bytes, remaining);
+      remaining -= chunk;
+      co_await s.tx().acquire();
+      co_await sim_.delay(duration_for_bytes(chunk, s.params().bytes_per_sec));
+      s.tx().release();
+    }
+    co_return false;
+  }
 
   // The window keeps at most `flow_window_chunks` chunks between the two
   // NICs, so a fast sender cannot run arbitrarily far ahead of a congested
@@ -38,6 +74,9 @@ Task<void> Network::transfer(Node& src, Node& dst, uint64_t bytes) {
     received.spawn(rx_leg(d, chunk, window));
   }
   co_await received.wait();
+
+  // The receiver crashing while bytes were in flight loses the message.
+  co_return faults_ == nullptr || !faults_->node_down(dst.id(), sim_.now());
 }
 
 Task<void> Network::rx_leg(Nic& dst, uint64_t chunk, Semaphore& window) {

@@ -21,6 +21,8 @@
 
 namespace dpnfs::sim {
 
+class FaultInjector;
+
 struct NodeParams {
   std::string name;
   NicParams nic;
@@ -51,13 +53,19 @@ class Node {
   }
   Simulation& simulation() noexcept { return sim_; }
 
+  /// True while a scripted disk fault is active on this node.
+  bool disk_failed() const noexcept;
+
  private:
+  friend class Network;
+
   Simulation& sim_;
   uint32_t id_;
   std::string name_;
   Nic nic_;
   std::optional<Disk> disk_;
   Cpu cpu_;
+  const FaultInjector* faults_ = nullptr;
 };
 
 struct NetworkParams {
@@ -77,6 +85,7 @@ class Network {
   Node& add_node(const NodeParams& params) {
     nodes_.push_back(std::make_unique<Node>(
         sim_, static_cast<uint32_t>(nodes_.size()), params));
+    nodes_.back()->faults_ = faults_;
     return *nodes_.back();
   }
 
@@ -85,9 +94,17 @@ class Network {
   Simulation& simulation() noexcept { return sim_; }
   const NetworkParams& params() const noexcept { return params_; }
 
+  /// Attaches a fault injector.  Existing and future nodes see it (disk
+  /// faults); `transfer` consults it for crashes, drops, and delays.  Pass
+  /// nullptr to detach.  The injector must outlive the network.
+  void set_fault_injector(FaultInjector* faults);
+  FaultInjector* faults() const noexcept { return faults_; }
+
   /// Moves `bytes` from `src` to `dst`; completes when the last byte has
-  /// been received.  Same-node transfers bypass the NICs.
-  Task<void> transfer(Node& src, Node& dst, uint64_t bytes);
+  /// been received (true) or the message was lost to a scripted fault —
+  /// crashed endpoint or link drop — after paying the send-side cost
+  /// (false).  Same-node transfers bypass the NICs.
+  Task<bool> transfer(Node& src, Node& dst, uint64_t bytes);
 
  private:
   Task<void> rx_leg(Nic& dst, uint64_t chunk, Semaphore& window);
@@ -95,6 +112,7 @@ class Network {
   Simulation& sim_;
   NetworkParams params_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace dpnfs::sim

@@ -10,6 +10,7 @@
 #include "nfs/local_backend.hpp"
 #include "nfs/server.hpp"
 #include "sim/network.hpp"
+#include "support/faulty_backend.hpp"
 #include "util/bytes.hpp"
 #include "workload/ior.hpp"
 #include "workload/runner.hpp"
@@ -20,70 +21,7 @@ namespace {
 using namespace dpnfs::util::literals;
 using rpc::Payload;
 using sim::Task;
-
-/// Backend decorator that fails a configurable set of operations.
-class FaultyBackend final : public nfs::Backend {
- public:
-  explicit FaultyBackend(nfs::Backend& inner) : inner_(inner) {}
-
-  bool fail_reads = false;
-  bool fail_writes = false;
-  bool fail_commits = false;
-
-  nfs::FileHandle root_fh() const override { return inner_.root_fh(); }
-  Task<nfs::Status> getattr(nfs::FileHandle fh, nfs::Fattr* out) override {
-    return inner_.getattr(fh, out);
-  }
-  Task<nfs::Status> set_size(nfs::FileHandle fh, uint64_t size) override {
-    return inner_.set_size(fh, size);
-  }
-  Task<nfs::Status> lookup(nfs::FileHandle dir, const std::string& name,
-                           nfs::FileHandle* out) override {
-    return inner_.lookup(dir, name, out);
-  }
-  Task<nfs::Status> mkdir(nfs::FileHandle dir, const std::string& name,
-                          nfs::FileHandle* out) override {
-    return inner_.mkdir(dir, name, out);
-  }
-  Task<nfs::Status> open(nfs::FileHandle dir, const std::string& name,
-                         bool create, nfs::FileHandle* out,
-                         nfs::Fattr* attr) override {
-    return inner_.open(dir, name, create, out, attr);
-  }
-  Task<nfs::Status> remove(nfs::FileHandle dir, const std::string& name) override {
-    return inner_.remove(dir, name);
-  }
-  Task<nfs::Status> rename(nfs::FileHandle sd, const std::string& o,
-                           nfs::FileHandle dd, const std::string& n) override {
-    return inner_.rename(sd, o, dd, n);
-  }
-  Task<nfs::Status> readdir(nfs::FileHandle dir,
-                            std::vector<nfs::DirEntry>* out) override {
-    return inner_.readdir(dir, out);
-  }
-  Task<nfs::Status> read(nfs::FileHandle fh, uint64_t offset, uint32_t count,
-                         Payload* out, bool* eof,
-                         obs::TraceContext trace = {}) override {
-    if (fail_reads) co_return nfs::Status::kIo;
-    co_return co_await inner_.read(fh, offset, count, out, eof, trace);
-  }
-  Task<nfs::Status> write(nfs::FileHandle fh, uint64_t offset,
-                          const Payload& data, nfs::StableHow stable,
-                          nfs::StableHow* committed, uint64_t* post_change,
-                          obs::TraceContext trace = {}) override {
-    if (fail_writes) co_return nfs::Status::kNoSpc;
-    co_return co_await inner_.write(fh, offset, data, stable, committed,
-                                    post_change, trace);
-  }
-  Task<nfs::Status> commit(nfs::FileHandle fh,
-                           obs::TraceContext trace = {}) override {
-    if (fail_commits) co_return nfs::Status::kIo;
-    co_return co_await inner_.commit(fh, trace);
-  }
-
- private:
-  nfs::Backend& inner_;
-};
+using testsupport::FaultyBackend;
 
 struct Rig {
   sim::Simulation sim;
@@ -125,7 +63,7 @@ TEST(FailureInjection, ReadErrorSurfacesAsNfsError) {
     co_await r.client->write(f, 0, Payload::virtual_bytes(8_MiB));
     co_await r.client->fsync(f);
     r.client->drop_caches();
-    r.backend.fail_reads = true;
+    r.backend.fail(FaultyBackend::Op::kRead, nfs::Status::kIo);
     bool threw = false;
     try {
       (void)co_await r.client->read(f, 0, 1_MiB);
@@ -133,8 +71,9 @@ TEST(FailureInjection, ReadErrorSurfacesAsNfsError) {
       threw = true;
     }
     EXPECT_TRUE(threw);
+    EXPECT_GT(r.backend.injected(), 0u);
     // Recovery: clearing the fault makes reads work again.
-    r.backend.fail_reads = false;
+    r.backend.clear(FaultyBackend::Op::kRead);
     Payload p = co_await r.client->read(f, 0, 1_MiB);
     EXPECT_EQ(p.size(), 1_MiB);
     co_await r.client->close(f);
@@ -146,7 +85,7 @@ TEST(FailureInjection, WriteErrorSurfacesOnFlush) {
   r.run([](Rig& r) -> Task<void> {
     co_await r.client->mount();
     auto f = co_await r.client->open("/f", true);
-    r.backend.fail_writes = true;
+    r.backend.fail(FaultyBackend::Op::kWrite, nfs::Status::kNoSpc);
     // The cached write itself succeeds; the error appears at fsync.
     co_await r.client->write(f, 0, Payload::virtual_bytes(64_KiB));
     bool threw = false;
@@ -165,7 +104,7 @@ TEST(FailureInjection, CommitErrorSurfacesOnFsync) {
     co_await r.client->mount();
     auto f = co_await r.client->open("/f", true);
     co_await r.client->write(f, 0, Payload::virtual_bytes(64_KiB));
-    r.backend.fail_commits = true;
+    r.backend.fail(FaultyBackend::Op::kCommit, nfs::Status::kIo);
     bool threw = false;
     try {
       co_await r.client->fsync(f);

@@ -1,0 +1,396 @@
+// End-to-end failure recovery under scripted fault injection (part of the
+// `faults` ctest label).  Scenarios: an NFS data-server daemon crashing
+// mid-write (the client must finish via transport retries, same-DS slice
+// retries, layout re-fetch, and MDS fallback — with byte-identical data),
+// RPC deadlines that expire instead of hanging, retries appearing as child
+// spans of one trace, whole-node crash + revive, a layout recall racing
+// in-flight recovery, and disk faults surfacing as I/O errors.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/adapters.hpp"
+#include "core/deployment.hpp"
+#include "lfs/object_store.hpp"
+#include "nfs/client.hpp"
+#include "nfs/local_backend.hpp"
+#include "nfs/server.hpp"
+#include "rpc/fabric.hpp"
+#include "sim/fault.hpp"
+#include "sim/network.hpp"
+#include "util/bytes.hpp"
+#include "util/obs.hpp"
+
+namespace dpnfs {
+namespace {
+
+using namespace dpnfs::util::literals;
+using rpc::Payload;
+using sim::Task;
+
+/// Deterministic content for [offset, offset+length): every byte is a
+/// function of its absolute file offset, so reassembled reads are checkable
+/// regardless of which path (DS or MDS) served them.
+Payload pattern_payload(uint64_t offset, uint64_t length) {
+  std::vector<std::byte> v(length);
+  for (uint64_t i = 0; i < length; ++i) {
+    const uint64_t o = offset + i;
+    v[i] = static_cast<std::byte>((o * 131 + (o >> 12) * 7 + 13) & 0xFF);
+  }
+  return Payload::inline_bytes(std::move(v));
+}
+
+// ---------------------------------------------------------------------------
+// DS daemon crash mid-write on Direct-pNFS -> MDS fallback, correct data
+// ---------------------------------------------------------------------------
+
+struct RecoveryOutcome {
+  sim::Time finished = 0;
+  nfs::ClientStats writer{};
+  bool data_ok = false;
+  bool export_has_recovery = false;
+};
+
+/// One storage node's NFS daemon (port 2049) crashes at kCrashAt — after the
+/// first half of the file is written — while the PVFS I/O daemon on the same
+/// node keeps serving.  The write must complete through the MDS and the file
+/// must read back byte-identical (the MDS path reaches the same stripe
+/// objects through the parallel FS).
+RecoveryOutcome run_ds_crash_scenario() {
+  constexpr sim::Time kCrashAt = sim::sec(1);
+  constexpr uint64_t kHalf = 8_MiB;
+
+  core::ClusterConfig cfg;
+  cfg.architecture = core::Architecture::kDirectPnfs;
+  cfg.storage_nodes = 4;
+  cfg.clients = 2;
+  cfg.nfs_client.ds_timeout = sim::ms(20);
+  cfg.nfs_client.ds_rpc_retries = 1;
+  cfg.nfs_client.slice_retries = 1;
+  cfg.nfs_client.breaker_threshold = 2;
+  cfg.nfs_client.breaker_reset = sim::sec(60);
+  // Storage nodes get ids 0..3; kill the NFS DS daemon on storage1 only.
+  cfg.faults.crash_service(1, rpc::kNfsPort, kCrashAt);
+
+  core::Deployment d(cfg);
+  RecoveryOutcome out;
+  d.simulation().spawn([](core::Deployment& d, RecoveryOutcome& out,
+                          sim::Time crash_at, uint64_t half) -> Task<void> {
+    co_await d.mount_all();
+    auto f = co_await d.client(0).open("/f", true);
+    co_await f->write(0, pattern_payload(0, half));
+    co_await f->fsync();
+
+    // Second half lands after the scripted crash.
+    auto& sim = d.simulation();
+    if (sim.now() <= crash_at) co_await sim.delay(crash_at + sim::ms(1) - sim.now());
+    co_await f->write(half, pattern_payload(half, half));
+    co_await f->fsync();
+    co_await f->close();
+
+    // Read back through the second client: its DS-bound READs recover too.
+    auto g = co_await d.client(1).open_read("/f");
+    Payload back = co_await g->read(0, 2 * half);
+    Payload want = pattern_payload(0, half);
+    want.append(pattern_payload(half, half));
+    out.data_ok = back == want;
+    co_await g->close();
+    out.finished = sim.now();
+  }(d, out, kCrashAt, kHalf));
+  d.simulation().run();
+
+  out.writer =
+      dynamic_cast<core::NfsFileSystemClient&>(d.client(0)).native().stats();
+  out.export_has_recovery =
+      d.metrics_json().find("client.recovery") != std::string::npos;
+  return out;
+}
+
+TEST(FaultRecovery, DsCrashMidWriteRecoversViaMdsFallback) {
+  const RecoveryOutcome out = run_ds_crash_scenario();
+  EXPECT_TRUE(out.data_ok);
+  EXPECT_GT(out.finished, sim::sec(1));
+  EXPECT_GT(out.writer.recovery_retries, 0u);
+  EXPECT_GT(out.writer.mds_fallbacks, 0u);
+  EXPECT_GE(out.writer.breaker_trips, 1u);
+  EXPECT_GT(out.writer.layout_refetches, 0u);
+  EXPECT_TRUE(out.export_has_recovery);
+}
+
+TEST(FaultRecovery, DsCrashScenarioIsDeterministic) {
+  const RecoveryOutcome a = run_ds_crash_scenario();
+  const RecoveryOutcome b = run_ds_crash_scenario();
+  EXPECT_EQ(a.finished, b.finished);
+  EXPECT_EQ(a.data_ok, b.data_ok);
+  EXPECT_EQ(a.writer.recovery_retries, b.writer.recovery_retries);
+  EXPECT_EQ(a.writer.mds_fallbacks, b.writer.mds_fallbacks);
+  EXPECT_EQ(a.writer.breaker_trips, b.writer.breaker_trips);
+  EXPECT_EQ(a.writer.layout_refetches, b.writer.layout_refetches);
+}
+
+// ---------------------------------------------------------------------------
+// RPC-level deadlines, retries, and trace shape
+// ---------------------------------------------------------------------------
+
+struct RpcRig {
+  sim::Simulation sim;
+  sim::Network net{sim};
+  rpc::RpcFabric fabric{net};
+  obs::MetricsRegistry metrics;
+  obs::Tracer tracer;
+  std::unique_ptr<sim::FaultInjector> injector;
+
+  RpcRig() { fabric.set_observability(&metrics, &tracer); }
+
+  sim::Node& add_node(const std::string& name, bool with_disk = false) {
+    return net.add_node(sim::NodeParams{
+        .name = name,
+        .nic = sim::NicParams{.bytes_per_sec = 100e6, .latency = sim::us(10)},
+        .disk = with_disk ? std::optional<sim::DiskParams>(sim::DiskParams{})
+                          : std::nullopt,
+        .cpu = sim::CpuParams{.cores = 2}});
+  }
+
+  void inject(sim::FaultPlan plan) {
+    injector = std::make_unique<sim::FaultInjector>(std::move(plan));
+    net.set_fault_injector(injector.get());
+  }
+};
+
+rpc::RpcService echo_handler() {
+  return [](const rpc::CallContext&, rpc::XdrDecoder&,
+            rpc::XdrEncoder& out) -> Task<void> {
+    out.put_u32(42);
+    co_return;
+  };
+}
+
+TEST(FaultRecovery, DeadlineExpiryProducesTimedOutNotHang) {
+  RpcRig r;
+  auto& client_node = r.add_node("client");
+  auto& server_node = r.add_node("server");
+  rpc::RpcServer server(r.fabric, server_node, rpc::kNfsPort, 2,
+                        echo_handler());
+  server.start();
+  // Daemon down forever: every attempt must expire at its deadline.
+  r.inject(sim::FaultPlan{}.crash_service(server_node.id(), rpc::kNfsPort, 0));
+
+  rpc::RpcClient client(r.fabric, client_node, "t@SIM");
+  bool done = false;
+  rpc::RpcClient::Reply reply;
+  r.sim.spawn([](rpc::RpcClient& c, rpc::RpcAddress to, bool& done,
+                 rpc::RpcClient::Reply& reply) -> Task<void> {
+    reply = co_await c.call(to, rpc::Program::kNfs, 4, 1, rpc::XdrEncoder{},
+                            rpc::CallOptions{.timeout = sim::ms(10),
+                                             .max_retries = 2,
+                                             .backoff = sim::ms(5)});
+    done = true;
+  }(client, server.address(), done, reply));
+  r.sim.run();
+
+  ASSERT_TRUE(done);  // the simulation drained: no hung coroutine
+  EXPECT_EQ(reply.transport, rpc::Status::kTimedOut);
+  EXPECT_FALSE(reply.ok());
+  EXPECT_EQ(client.retries(), 2u);
+  EXPECT_EQ(client.timeouts(), 3u);
+  // 3 attempts x 10 ms + backoffs: bounded, far below the 2 s drop fallback.
+  EXPECT_LT(r.sim.now(), sim::ms(200));
+}
+
+TEST(FaultRecovery, DroppedCallWithoutDeadlineUsesFabricDropTimeout) {
+  RpcRig r;
+  auto& client_node = r.add_node("client");
+  auto& server_node = r.add_node("server");
+  rpc::RpcServer server(r.fabric, server_node, rpc::kNfsPort, 2,
+                        echo_handler());
+  server.start();
+  r.inject(sim::FaultPlan{}.crash_service(server_node.id(), rpc::kNfsPort, 0));
+
+  rpc::RpcClient client(r.fabric, client_node, "t@SIM");
+  bool done = false;
+  rpc::RpcClient::Reply reply;
+  r.sim.spawn([](rpc::RpcClient& c, rpc::RpcAddress to, bool& done,
+                 rpc::RpcClient::Reply& reply) -> Task<void> {
+    reply = co_await c.call(to, rpc::Program::kNfs, 4, 1, rpc::XdrEncoder{});
+    done = true;
+  }(client, server.address(), done, reply));
+  r.sim.run();
+
+  ASSERT_TRUE(done);
+  EXPECT_EQ(reply.transport, rpc::Status::kTimedOut);
+  EXPECT_GE(r.sim.now(), r.fabric.drop_timeout());
+}
+
+TEST(FaultRecovery, RetriedCallsAreChildSpansOfOneTrace) {
+  RpcRig r;
+  auto& client_node = r.add_node("client");
+  auto& server_node = r.add_node("server");
+  rpc::RpcServer server(r.fabric, server_node, rpc::kNfsPort, 2,
+                        echo_handler());
+  server.start();
+  // Down long enough to kill attempt 1, back up for the retry.
+  r.inject(sim::FaultPlan{}.crash_service(server_node.id(), rpc::kNfsPort, 0,
+                                          sim::ms(12)));
+
+  rpc::RpcClient client(r.fabric, client_node, "t@SIM");
+  rpc::RpcClient::Reply reply;
+  r.sim.spawn([](rpc::RpcClient& c, rpc::RpcAddress to,
+                 rpc::RpcClient::Reply& reply) -> Task<void> {
+    reply = co_await c.call(to, rpc::Program::kNfs, 4, 1, rpc::XdrEncoder{},
+                            rpc::CallOptions{.timeout = sim::ms(10),
+                                             .max_retries = 3,
+                                             .backoff = sim::ms(4)});
+  }(client, server.address(), reply));
+  r.sim.run();
+
+  EXPECT_TRUE(reply.ok());
+  EXPECT_GE(client.retries(), 1u);
+  EXPECT_EQ(r.tracer.traces_started(), 1u);
+
+  std::vector<obs::Span> attempts;
+  for (const obs::Span& s : r.tracer.spans()) {
+    if (s.kind == obs::SpanKind::kClientCall) attempts.push_back(s);
+  }
+  ASSERT_GE(attempts.size(), 2u);
+  // Attempt 1 anchors the trace; every retry is its child in the same trace.
+  const obs::Span& anchor = attempts.front();
+  EXPECT_EQ(anchor.parent_span_id, 0u);
+  EXPECT_NE(anchor.name.find(" timeout"), std::string::npos);
+  EXPECT_EQ(anchor.bytes_in, 0u);
+  for (size_t i = 1; i < attempts.size(); ++i) {
+    EXPECT_EQ(attempts[i].trace_id, anchor.trace_id);
+    EXPECT_EQ(attempts[i].parent_span_id, anchor.span_id);
+  }
+  EXPECT_EQ(attempts.back().name.find(" timeout"), std::string::npos);
+}
+
+TEST(FaultRecovery, NodeCrashAndReviveRecoversWithRetries) {
+  RpcRig r;
+  auto& client_node = r.add_node("client");
+  auto& server_node = r.add_node("server");
+  rpc::RpcServer server(r.fabric, server_node, rpc::kNfsPort, 2,
+                        echo_handler());
+  server.start();
+  // The whole machine is unreachable for 50 ms, then comes back.
+  r.inject(sim::FaultPlan{}.crash_node(server_node.id(), 0, sim::ms(50)));
+
+  rpc::RpcClient client(r.fabric, client_node, "t@SIM");
+  rpc::RpcClient::Reply reply;
+  r.sim.spawn([](rpc::RpcClient& c, rpc::RpcAddress to,
+                 rpc::RpcClient::Reply& reply) -> Task<void> {
+    reply = co_await c.call(to, rpc::Program::kNfs, 4, 1, rpc::XdrEncoder{},
+                            rpc::CallOptions{.timeout = sim::ms(20),
+                                             .max_retries = 5,
+                                             .backoff = sim::ms(10)});
+  }(client, server.address(), reply));
+  r.sim.run();
+
+  EXPECT_TRUE(reply.ok());
+  EXPECT_GE(client.retries(), 1u);
+  EXPECT_GE(r.sim.now(), sim::ms(50));  // only succeeded after the revive
+}
+
+// ---------------------------------------------------------------------------
+// Layout recall racing in-flight recovery
+// ---------------------------------------------------------------------------
+
+TEST(FaultRecovery, LayoutRecallDuringRetryCompletes) {
+  core::ClusterConfig cfg;
+  cfg.architecture = core::Architecture::kDirectPnfs;
+  cfg.storage_nodes = 4;
+  cfg.clients = 2;
+  cfg.nfs_client.ds_timeout = sim::ms(20);
+  cfg.nfs_client.ds_rpc_retries = 1;
+  cfg.nfs_client.slice_retries = 1;
+  cfg.nfs_client.breaker_threshold = 2;
+  cfg.nfs_client.breaker_reset = sim::sec(60);
+  // storage1's DS daemon is down from the start; client 0's writes to it
+  // spend a long time in the retry ladder.
+  cfg.faults.crash_service(1, rpc::kNfsPort, 0, sim::sec(30));
+
+  core::Deployment d(cfg);
+  bool writer_done = false;
+  bool truncator_done = false;
+  sim::Latch fsync_started(d.simulation());
+  d.simulation().spawn([](core::Deployment& d, bool& writer_done,
+                          bool& truncator_done,
+                          sim::Latch& fsync_started) -> Task<void> {
+    co_await d.mount_all();
+    sim::WaitGroup wg(d.simulation());
+    wg.spawn([](core::Deployment& d, bool& done,
+                sim::Latch& fsync_started) -> Task<void> {
+      auto f = co_await d.client(0).open("/f", true);
+      co_await f->write(0, pattern_payload(0, 8_MiB));
+      fsync_started.set();
+      co_await f->fsync();  // retries against dead storage1 -> MDS fallback
+      co_await f->close();
+      done = true;
+    }(d, writer_done, fsync_started));
+    wg.spawn([](core::Deployment& d, bool& done,
+                sim::Latch& fsync_started) -> Task<void> {
+      // Land the SETATTR (and the layout recall it triggers) while client 0
+      // is inside the retry ladder: the first WRITE to the dead DS spends
+      // >= 40 ms in transport timeouts before the first slice retry.
+      co_await fsync_started.wait();
+      co_await d.simulation().delay(sim::ms(25));
+      auto& peer =
+          dynamic_cast<core::NfsFileSystemClient&>(d.client(1)).native();
+      co_await peer.truncate("/f", 1_MiB);
+      done = true;
+    }(d, truncator_done, fsync_started));
+    co_await wg.wait();
+  }(d, writer_done, truncator_done, fsync_started));
+  d.simulation().run();
+
+  EXPECT_TRUE(writer_done);
+  EXPECT_TRUE(truncator_done);
+  const auto& stats =
+      dynamic_cast<core::NfsFileSystemClient&>(d.client(0)).native().stats();
+  EXPECT_GT(stats.recovery_retries + stats.mds_fallbacks, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Disk faults
+// ---------------------------------------------------------------------------
+
+TEST(FaultRecovery, DiskFaultSurfacesAsIoErrorThenHeals) {
+  RpcRig r;
+  auto& server_node = r.add_node("server", /*with_disk=*/true);
+  auto& client_node = r.add_node("client");
+  lfs::ObjectStore store(server_node);
+  nfs::LocalBackend backend(store);
+  nfs::NfsServer server(r.fabric, server_node, rpc::kNfsPort, backend);
+  server.start();
+  // Disk dead until t = 100 ms; commits in that window must fail cleanly.
+  r.inject(sim::FaultPlan{}.fail_disk(server_node.id(), 0, sim::ms(100)));
+
+  nfs::NfsClient client(r.fabric, client_node, server.address(), "t@SIM",
+                        nfs::ClientConfig{.pnfs_enabled = false});
+  bool failed_during_fault = false;
+  bool healed = false;
+  r.sim.spawn([](nfs::NfsClient& c, sim::Simulation& sim,
+                 bool& failed_during_fault, bool& healed) -> Task<void> {
+    co_await c.mount();
+    auto f = co_await c.open("/f", true);
+    co_await c.write(f, 0, Payload::virtual_bytes(64_KiB));
+    try {
+      co_await c.fsync(f);  // COMMIT -> flush -> DiskFailedError -> kIo
+    } catch (const nfs::NfsError&) {
+      failed_during_fault = true;
+    }
+    co_await sim.delay(sim::ms(150) - sim.now());
+    co_await c.write(f, 64_KiB, Payload::virtual_bytes(64_KiB));
+    co_await c.fsync(f);  // disk healed: must succeed
+    healed = true;
+    co_await c.close(f);
+  }(client, r.sim, failed_during_fault, healed));
+  r.sim.run();
+
+  EXPECT_TRUE(failed_during_fault);
+  EXPECT_TRUE(healed);
+}
+
+}  // namespace
+}  // namespace dpnfs

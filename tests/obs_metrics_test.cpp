@@ -268,7 +268,7 @@ TEST(TracePropagation, ProxiedCallAddsSecondHopToSameTrace) {
                                 rpc::XdrEncoder& out) -> Task<void> {
         auto nested = co_await proxy_rpc->call(
             backend_addr, rpc::Program::kPvfsIo, 1, 0, rpc::XdrEncoder{},
-            ctx.trace);
+            rpc::CallOptions{.parent = ctx.trace});
         EXPECT_EQ(nested.status, rpc::ReplyStatus::kAccepted);
         out.put_u32(0);
       });

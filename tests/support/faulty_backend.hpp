@@ -1,0 +1,117 @@
+// Test support: an nfs::Backend decorator that fails a scripted number of
+// calls per operation.  Shared by failure_test.cpp and the fault-injection
+// matrix (`ctest -L faults`).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "nfs/backend.hpp"
+
+namespace dpnfs::testsupport {
+
+/// Backend decorator with per-operation failure injection.
+///
+///   FaultyBackend faulty(inner);
+///   faulty.fail(FaultyBackend::Op::kRead, nfs::Status::kIo);      // forever
+///   faulty.fail(FaultyBackend::Op::kWrite, nfs::Status::kNoSpc, 3);  // 3 calls
+///   faulty.clear(FaultyBackend::Op::kRead);
+class FaultyBackend final : public nfs::Backend {
+ public:
+  enum class Op : size_t { kRead = 0, kWrite, kCommit, kGetattr, kLookup };
+  static constexpr size_t kOpCount = 5;
+  /// `count` value meaning "fail every call until clear()".
+  static constexpr uint64_t kForever = ~0ull;
+
+  explicit FaultyBackend(nfs::Backend& inner) : inner_(inner) {}
+
+  /// Makes the next `count` calls of `op` fail with `status`.
+  void fail(Op op, nfs::Status status, uint64_t count = kForever) {
+    auto& r = rules_[static_cast<size_t>(op)];
+    r.status = status;
+    r.remaining = count;
+  }
+  void clear(Op op) { rules_[static_cast<size_t>(op)].remaining = 0; }
+  void clear_all() {
+    for (auto& r : rules_) r.remaining = 0;
+  }
+  /// Total failures injected so far (all ops).
+  uint64_t injected() const noexcept { return injected_; }
+
+  nfs::FileHandle root_fh() const override { return inner_.root_fh(); }
+  sim::Task<nfs::Status> getattr(nfs::FileHandle fh, nfs::Fattr* out) override {
+    if (auto s = consume(Op::kGetattr)) co_return *s;
+    co_return co_await inner_.getattr(fh, out);
+  }
+  sim::Task<nfs::Status> set_size(nfs::FileHandle fh, uint64_t size) override {
+    return inner_.set_size(fh, size);
+  }
+  sim::Task<nfs::Status> lookup(nfs::FileHandle dir, const std::string& name,
+                                nfs::FileHandle* out) override {
+    if (auto s = consume(Op::kLookup)) co_return *s;
+    co_return co_await inner_.lookup(dir, name, out);
+  }
+  sim::Task<nfs::Status> mkdir(nfs::FileHandle dir, const std::string& name,
+                               nfs::FileHandle* out) override {
+    return inner_.mkdir(dir, name, out);
+  }
+  sim::Task<nfs::Status> open(nfs::FileHandle dir, const std::string& name,
+                              bool create, nfs::FileHandle* out,
+                              nfs::Fattr* attr) override {
+    return inner_.open(dir, name, create, out, attr);
+  }
+  sim::Task<nfs::Status> remove(nfs::FileHandle dir,
+                                const std::string& name) override {
+    return inner_.remove(dir, name);
+  }
+  sim::Task<nfs::Status> rename(nfs::FileHandle sd, const std::string& o,
+                                nfs::FileHandle dd,
+                                const std::string& n) override {
+    return inner_.rename(sd, o, dd, n);
+  }
+  sim::Task<nfs::Status> readdir(nfs::FileHandle dir,
+                                 std::vector<nfs::DirEntry>* out) override {
+    return inner_.readdir(dir, out);
+  }
+  sim::Task<nfs::Status> read(nfs::FileHandle fh, uint64_t offset,
+                              uint32_t count, rpc::Payload* out, bool* eof,
+                              obs::TraceContext trace = {}) override {
+    if (auto s = consume(Op::kRead)) co_return *s;
+    co_return co_await inner_.read(fh, offset, count, out, eof, trace);
+  }
+  sim::Task<nfs::Status> write(nfs::FileHandle fh, uint64_t offset,
+                               const rpc::Payload& data, nfs::StableHow stable,
+                               nfs::StableHow* committed, uint64_t* post_change,
+                               obs::TraceContext trace = {}) override {
+    if (auto s = consume(Op::kWrite)) co_return *s;
+    co_return co_await inner_.write(fh, offset, data, stable, committed,
+                                    post_change, trace);
+  }
+  sim::Task<nfs::Status> commit(nfs::FileHandle fh,
+                                obs::TraceContext trace = {}) override {
+    if (auto s = consume(Op::kCommit)) co_return *s;
+    co_return co_await inner_.commit(fh, trace);
+  }
+
+ private:
+  struct Rule {
+    nfs::Status status = nfs::Status::kIo;
+    uint64_t remaining = 0;
+  };
+
+  /// Returns the injected status (consuming one failure) or nullopt.
+  std::optional<nfs::Status> consume(Op op) {
+    Rule& r = rules_[static_cast<size_t>(op)];
+    if (r.remaining == 0) return std::nullopt;
+    if (r.remaining != kForever) --r.remaining;
+    ++injected_;
+    return r.status;
+  }
+
+  nfs::Backend& inner_;
+  std::array<Rule, kOpCount> rules_{};
+  uint64_t injected_ = 0;
+};
+
+}  // namespace dpnfs::testsupport

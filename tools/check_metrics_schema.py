@@ -26,6 +26,9 @@ import subprocess
 import sys
 import tempfile
 
+# Counters every client.recovery component must export (docs/failures.md).
+RECOVERY_COUNTERS = ("retries", "fallbacks", "breaker_trips")
+
 TRACE_KEYS = {
     "traces_started": int,
     "rpc_hops_total": int,
@@ -72,6 +75,20 @@ def check_histogram(path, h):
             err(path, f"sum(counts)={sum(counts)} != count={h['count']}")
 
 
+def check_recovery_component(path, comp):
+    """The failure-recovery component has a fixed counter contract."""
+    counters = comp.get("counters", {})
+    if not isinstance(counters, dict):
+        return  # already reported by check_component
+    for name in RECOVERY_COUNTERS:
+        if name not in counters:
+            err(path, f"client.recovery missing counter '{name}'")
+        elif not isinstance(counters[name], int):
+            err(f"{path}.counters.{name}",
+                f"recovery counter should be int, got "
+                f"{type(counters[name]).__name__}")
+
+
 def check_component(path, comp):
     if not check_type(path, comp, dict, "component"):
         return
@@ -110,6 +127,8 @@ def check_metrics_doc(path, doc):
             continue
         for comp, body in components.items():
             check_component(f"{path}.nodes.{node}.{comp}", body)
+            if comp == "client.recovery" and isinstance(body, dict):
+                check_recovery_component(f"{path}.nodes.{node}.{comp}", body)
 
     # Every export must carry per-node resource gauges for at least one
     # storage node — this is what decomposes "where the bytes went".
