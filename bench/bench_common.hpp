@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -22,6 +23,17 @@ inline bool flag_present(int argc, char** argv, const char* flag) {
     if (std::strcmp(argv[i], flag) == 0) return true;
   }
   return false;
+}
+
+inline const char* arg_value(int argc, char** argv, const char* key,
+                             const char* fallback) {
+  const size_t klen = std::strlen(key);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], key, klen) == 0 && argv[i][klen] == '=') {
+      return argv[i] + klen + 1;
+    }
+  }
+  return fallback;
 }
 
 /// The paper's testbed (§6.1): gigabit Ethernet with jumbo frames, six
@@ -81,10 +93,23 @@ inline std::vector<uint32_t> client_sweep(bool quick) {
 /// observability export (Deployment::metrics_json), so the JSON explains
 /// the table: per-storage-node bytes, RPC counts, trace hop statistics.
 /// Validate with tools/check_metrics_schema.py.
+///
+/// The output directory resolves in priority order: the `out_dir`
+/// constructor argument (benches pass their `--out-dir=` flag through),
+/// then the DPNFS_BENCH_DIR environment variable, then the working
+/// directory — so ctest smoke runs can land JSON in the source tree no
+/// matter where the binary runs.
 class BenchRecorder {
  public:
-  explicit BenchRecorder(std::string bench_name)
-      : name_(std::move(bench_name)) {}
+  explicit BenchRecorder(std::string bench_name, std::string out_dir = "")
+      : name_(std::move(bench_name)), out_dir_(std::move(out_dir)) {
+    if (out_dir_.empty()) {
+      if (const char* env = std::getenv("DPNFS_BENCH_DIR");
+          env != nullptr && env[0] != '\0') {
+        out_dir_ = env;
+      }
+    }
+  }
   ~BenchRecorder() { flush(); }
   BenchRecorder(const BenchRecorder&) = delete;
   BenchRecorder& operator=(const BenchRecorder&) = delete;
@@ -106,7 +131,11 @@ class BenchRecorder {
   void flush() {
     if (flushed_) return;
     flushed_ = true;
-    const std::string path = "BENCH_" + name_ + ".json";
+    std::string path = "BENCH_" + name_ + ".json";
+    if (!out_dir_.empty()) {
+      const bool has_sep = out_dir_.back() == '/';
+      path = out_dir_ + (has_sep ? "" : "/") + path;
+    }
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {
       std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
@@ -125,6 +154,7 @@ class BenchRecorder {
 
  private:
   std::string name_;
+  std::string out_dir_;
   std::vector<std::string> records_;
   bool flushed_ = false;
 };

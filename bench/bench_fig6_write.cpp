@@ -42,9 +42,10 @@ void sweep(BenchRecorder& rec, const char* title, const char* figure,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool quick = flag_present(argc, argv, "--quick");
-  const auto clients = client_sweep(quick);
-  const uint64_t bytes = quick ? 100'000'000 : 500'000'000;
+  const bool smoke = flag_present(argc, argv, "--smoke");
+  const bool quick = smoke || flag_present(argc, argv, "--quick");
+  const auto clients = smoke ? std::vector<uint32_t>{1, 4} : client_sweep(quick);
+  const uint64_t bytes = smoke ? 10'000'000 : quick ? 100'000'000 : 500'000'000;
   const uint64_t small_bytes = quick ? 50'000'000 : 500'000'000;
 
   const std::vector<Architecture> all = {
@@ -56,9 +57,15 @@ int main(int argc, char** argv) {
                                            Architecture::kPnfs2Tier};
 
   std::printf("== Figure 6: IOR aggregate write throughput ==\n");
-  BenchRecorder rec("fig6_write");
+  BenchRecorder rec("fig6_write", arg_value(argc, argv, "--out-dir", ""));
   sweep(rec, "Fig 6a: write, separate files, 2 MB blocks", "6a", false,
         2 << 20, all, clients, bytes, false);
+  if (smoke) {
+    // ctest smoke (label bench-smoke): all five architectures, tiny sweep,
+    // Figure 6a only — enough for the JSON schema gate to chew on.
+    rec.flush();
+    return 0;
+  }
   sweep(rec, "Fig 6b: write, single file, 2 MB blocks", "6b", true, 2 << 20,
         all, clients, bytes, false);
   sweep(rec, "Fig 6c: write, separate files, 2 MB blocks, 100 Mbps", "6c",

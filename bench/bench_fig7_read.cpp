@@ -38,9 +38,10 @@ void sweep(BenchRecorder& rec, const char* title, const char* figure,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool quick = flag_present(argc, argv, "--quick");
-  const auto clients = client_sweep(quick);
-  const uint64_t bytes = quick ? 100'000'000 : 500'000'000;
+  const bool smoke = flag_present(argc, argv, "--smoke");
+  const bool quick = smoke || flag_present(argc, argv, "--quick");
+  const auto clients = smoke ? std::vector<uint32_t>{1, 4} : client_sweep(quick);
+  const uint64_t bytes = smoke ? 10'000'000 : quick ? 100'000'000 : 500'000'000;
   const uint64_t small_bytes = quick ? 50'000'000 : 500'000'000;
 
   const std::vector<Architecture> all = {
@@ -49,9 +50,15 @@ int main(int argc, char** argv) {
       Architecture::kPlainNfs};
 
   std::printf("== Figure 7: IOR aggregate read throughput (warm caches) ==\n");
-  BenchRecorder rec("fig7_read");
+  BenchRecorder rec("fig7_read", arg_value(argc, argv, "--out-dir", ""));
   sweep(rec, "Fig 7a: read, separate files, 2 MB blocks", "7a", false, 2 << 20,
         all, clients, bytes);
+  if (smoke) {
+    // ctest smoke (label bench-smoke): all five architectures, tiny sweep,
+    // Figure 7a only.
+    rec.flush();
+    return 0;
+  }
   sweep(rec, "Fig 7b: read, single file, 2 MB blocks", "7b", true, 2 << 20,
         all, clients, bytes);
   sweep(rec, "Fig 7c: read, separate files, 8 KB blocks", "7c", false,

@@ -6,6 +6,7 @@
 // Architectures: direct, pvfs, 2tier, 3tier, nfs
 // Workloads:     ior-write, ior-read, ior-write-single, ior-read-single,
 //                atlas, btio, oltp, postmark
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -13,6 +14,7 @@
 
 #include "core/adapters.hpp"
 #include "core/deployment.hpp"
+#include "util/obs_analysis.hpp"
 #include "workload/atlas.hpp"
 #include "workload/btio.hpp"
 #include "workload/ior.hpp"
@@ -66,10 +68,21 @@ int main(int argc, char** argv) {
         "                [--latency-us=N] [--nic-mbps=N] [--verbose]\n"
         "                [--fault-ds-crash=N] [--fault-at-ms=T]\n"
         "                [--fault-revive-ms=T]\n"
+        "                [--trace-out=FILE] [--trace-spans=N]\n"
+        "                [--breakdown] [--sample-ms=N]\n"
         "\n"
         "--fault-ds-crash=N kills the NFS data-server daemon on storage\n"
         "node N (and enables the client recovery knobs, see\n"
-        "docs/failures.md); the run must still complete via MDS fallback.\n");
+        "docs/failures.md); the run must still complete via MDS fallback.\n"
+        "\n"
+        "--trace-out=FILE writes every retained span as Chrome/Perfetto\n"
+        "trace_event JSON (open in ui.perfetto.dev); span retention is\n"
+        "raised to 262144 unless --trace-spans overrides it.\n"
+        "--breakdown prints the critical-path latency attribution (client\n"
+        "queue / request wire / server queue / service CPU / disk / reply\n"
+        "wire) followed by its JSON document.\n"
+        "--sample-ms=N sets the utilization sampling interval (default\n"
+        "100 ms of simulated time; 0 disables).\n");
     return 0;
   }
 
@@ -85,6 +98,17 @@ int main(int argc, char** argv) {
       sim::us(std::atoll(arg_value(argc, argv, "--latency-us", "60")));
   cfg.nic.bytes_per_sec =
       std::atof(arg_value(argc, argv, "--nic-mbps", "117")) * 1e6;
+
+  const std::string trace_out = arg_value(argc, argv, "--trace-out", "");
+  const bool breakdown = flag(argc, argv, "--breakdown");
+  // A full timeline needs far more span detail than the default aggregate
+  // retention; the explicit knob wins when given.
+  const long long trace_spans =
+      std::atoll(arg_value(argc, argv, "--trace-spans",
+                           trace_out.empty() ? "4096" : "262144"));
+  cfg.trace_span_capacity = static_cast<size_t>(std::max(0LL, trace_spans));
+  cfg.sample_interval =
+      sim::ms(std::atoll(arg_value(argc, argv, "--sample-ms", "100")));
 
   const uint64_t bytes =
       std::strtoull(arg_value(argc, argv, "--bytes", "100000000"), nullptr, 10);
@@ -178,6 +202,22 @@ int main(int argc, char** argv) {
   if (flag(argc, argv, "--verbose")) {
     std::printf("\nper-node traffic:\n");
     d.print_traffic_report();
+  }
+  if (breakdown) {
+    obs::BreakdownReport rep = obs::analyze_all(d.tracer());
+    std::printf("\n%s", rep.report().c_str());
+    std::printf("%s\n",
+                rep.to_json(core::architecture_name(cfg.architecture)).c_str());
+  }
+  if (!trace_out.empty()) {
+    if (!d.write_trace(trace_out)) {
+      std::fprintf(stderr, "failed to write trace to '%s'\n",
+                   trace_out.c_str());
+      return 1;
+    }
+    std::printf("trace timeline    %s (%zu spans%s; open in ui.perfetto.dev)\n",
+                trace_out.c_str(), d.tracer().spans().size(),
+                d.tracer().spans_dropped() > 0 ? ", some dropped" : "");
   }
   return 0;
 }

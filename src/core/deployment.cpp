@@ -1,6 +1,8 @@
 #include "core/deployment.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <map>
 #include <stdexcept>
 
 #include "util/bytes.hpp"
@@ -24,6 +26,7 @@ Deployment::Deployment(ClusterConfig config)
     : config_(std::move(config)), net_(sim_, config_.network), fabric_(net_) {
   // Before any server/client is constructed: they resolve their metric
   // handles from the fabric at construction time.
+  tracer_.set_span_capacity(config_.trace_span_capacity);
   fabric_.set_observability(&metrics_, &tracer_);
   // Likewise the fault injector: nodes pick up their injector pointer as
   // they are added to the network.
@@ -387,6 +390,83 @@ void Deployment::snapshot_resource_gauges() {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Utilization sampling
+// ---------------------------------------------------------------------------
+
+void Deployment::start_sampling() {
+  if (sampling_ || config_.sample_interval <= 0) return;
+  sampling_ = true;
+  sampler_stop_ = false;
+  sim_.spawn(sampler_loop());
+}
+
+void Deployment::stop_sampling() { sampler_stop_ = true; }
+
+Task<void> Deployment::sampler_loop() {
+  const sim::Duration interval = config_.sample_interval;
+  const double window = static_cast<double>(interval);
+  // Previous busy-time totals: utilization over a window is the delta of
+  // the resource's busy accumulator divided by the window.
+  std::vector<sim::Duration> prev_tx(net_.node_count(), 0);
+  std::vector<sim::Duration> prev_rx(net_.node_count(), 0);
+  std::vector<sim::Duration> prev_disk(storage_nodes_.size(), 0);
+  for (uint32_t i = 0; i < net_.node_count(); ++i) {
+    prev_tx[i] = net_.node(i).nic().tx_busy();
+    prev_rx[i] = net_.node(i).nic().rx_busy();
+  }
+  for (size_t i = 0; i < storage_nodes_.size(); ++i) {
+    prev_disk[i] = storage_nodes_[i]->disk().busy();
+  }
+  while (!sampler_stop_) {
+    co_await sim_.delay(interval);
+    if (sampler_stop_) break;
+    const obs::TimeNs t = sim_.now();
+    // Nodes added after the sampler started are not expected; guard anyway.
+    const uint32_t n_nodes =
+        static_cast<uint32_t>(std::min<size_t>(net_.node_count(),
+                                               prev_tx.size()));
+    for (uint32_t i = 0; i < n_nodes; ++i) {
+      sim::Node& n = net_.node(i);
+      const sim::Duration tx = n.nic().tx_busy();
+      const sim::Duration rx = n.nic().rx_busy();
+      samples_.add(n.name(), "nic_tx_util", t,
+                   static_cast<double>(tx - prev_tx[i]) / window);
+      samples_.add(n.name(), "nic_rx_util", t,
+                   static_cast<double>(rx - prev_rx[i]) / window);
+      prev_tx[i] = tx;
+      prev_rx[i] = rx;
+    }
+    for (size_t i = 0; i < storage_nodes_.size(); ++i) {
+      const std::string& name = storage_nodes_[i]->name();
+      const sim::Duration db = storage_nodes_[i]->disk().busy();
+      samples_.add(name, "disk_util", t,
+                   static_cast<double>(db - prev_disk[i]) / window);
+      prev_disk[i] = db;
+      samples_.add(name, "store_dirty_bytes", t,
+                   static_cast<double>(stores_[i]->dirty_bytes()));
+    }
+    // RPC queue depth per node, summed over the daemons it hosts.
+    std::map<std::string, double> depth;
+    for (const auto& s : nfs_servers_) {
+      depth[net_.node(s->address().node_id).name()] +=
+          static_cast<double>(s->rpc_queue_depth());
+    }
+    for (const auto& s : pvfs_storage_) {
+      depth[net_.node(s->address().node_id).name()] +=
+          static_cast<double>(s->rpc_queue_depth());
+    }
+    if (pvfs_meta_) {
+      depth[net_.node(pvfs_meta_->address().node_id).name()] +=
+          static_cast<double>(pvfs_meta_->rpc_queue_depth());
+    }
+    for (const auto& [node, d] : depth) {
+      samples_.add(node, "rpc_queue_depth", t, d);
+    }
+  }
+  sampling_ = false;
+}
+
 std::string Deployment::metrics_json() {
   snapshot_resource_gauges();
   std::string out = "{\"architecture\":\"";
@@ -397,8 +477,27 @@ std::string Deployment::metrics_json() {
   out += metrics_.to_json();
   out += ",\"trace\":";
   out += tracer_.to_json();
+  if (!samples_.empty()) {
+    out += ",\"timeseries\":{\"interval_ns\":";
+    out += std::to_string(config_.sample_interval);
+    out += ",\"series\":";
+    out += samples_.to_json();
+    out += "}";
+  }
   out += "}";
   return out;
+}
+
+std::string Deployment::trace_json() {
+  return obs::TraceExporter::to_chrome_json(
+      tracer_, architecture_name(config_.architecture),
+      samples_.empty() ? nullptr : &samples_);
+}
+
+bool Deployment::write_trace(const std::string& path) {
+  return obs::TraceExporter::write_file(
+      path, tracer_, architecture_name(config_.architecture),
+      samples_.empty() ? nullptr : &samples_);
 }
 
 void Deployment::print_metrics_report() {

@@ -32,6 +32,7 @@
 #include "pvfs/meta_server.hpp"
 #include "pvfs/storage_server.hpp"
 #include "sim/fault.hpp"
+#include "util/obs_analysis.hpp"
 
 namespace dpnfs::core {
 
@@ -83,6 +84,14 @@ struct ClusterConfig {
   /// injected into the cluster's network.  Empty by default: fault-free
   /// runs build no injector and pay nothing.
   sim::FaultPlan faults{};
+
+  /// Simulated-time interval between utilization samples once
+  /// `start_sampling()` runs (run_workload starts/stops it around the timed
+  /// phase).  0 disables sampling.
+  sim::Duration sample_interval = sim::ms(100);
+  /// Span-detail retention for the tracer (hop *accounting* is always
+  /// exact).  Raise it when exporting full timelines (`--trace-out`).
+  size_t trace_span_capacity = 4096;
 
   uint64_t stripe_unit = 2ull << 20;
   lfs::ObjectStoreParams store{};
@@ -139,8 +148,24 @@ class Deployment {
   /// Full observability export: architecture, per-node metrics (with NIC
   /// and object-store snapshots folded in as "node" gauges — this is what
   /// carries per-storage-node bytes even for Direct-pNFS, whose data path
-  /// bypasses the PVFS I/O daemons), and the trace aggregate.
+  /// bypasses the PVFS I/O daemons), the trace aggregate, and — when the
+  /// sampler ran — the utilization time series.
   std::string metrics_json();
+
+  /// Starts the periodic utilization sampler (NIC/disk utilization, RPC
+  /// queue depths, dirty bytes) on `config().sample_interval`.  Must run
+  /// while the simulation is live; call `stop_sampling()` before expecting
+  /// `Simulation::run()` to drain, or the sampler keeps the event queue
+  /// alive forever.
+  void start_sampling();
+  void stop_sampling();
+  const obs::TimeSeries& samples() const noexcept { return samples_; }
+
+  /// Chrome/Perfetto trace_event JSON of all retained spans plus sampled
+  /// counter tracks; load in ui.perfetto.dev.
+  std::string trace_json();
+  /// Writes `trace_json()` to `path`; false on I/O failure.
+  bool write_trace(const std::string& path);
 
   /// Human-readable per-node metric + trace report.
   void print_metrics_report();
@@ -172,6 +197,8 @@ class Deployment {
   /// the bytes.
   void snapshot_resource_gauges();
 
+  sim::Task<void> sampler_loop();
+
   static constexpr uint16_t kMdsPort = 2050;
 
   ClusterConfig config_;
@@ -181,6 +208,9 @@ class Deployment {
   obs::MetricsRegistry metrics_;
   obs::Tracer tracer_;
   rpc::RpcFabric fabric_;
+  obs::TimeSeries samples_;
+  bool sampling_ = false;
+  bool sampler_stop_ = false;
 
   std::vector<sim::Node*> storage_nodes_;
   std::vector<sim::Node*> client_nodes_;

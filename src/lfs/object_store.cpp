@@ -51,7 +51,10 @@ uint64_t ObjectStore::disk_position(const Object& obj, uint64_t offset) const {
 
 Task<void> ObjectStore::disk_io(uint64_t pos, uint64_t bytes) {
   if (node_.disk_failed()) throw sim::DiskFailedError(node_.name());
+  const sim::Time t0 = node_.simulation().now();
   co_await node_.disk().io(pos, bytes);
+  stats_.disk_time_ns +=
+      static_cast<uint64_t>(node_.simulation().now() - t0);
 }
 
 void ObjectStore::truncate(ObjectId oid, uint64_t new_size) {

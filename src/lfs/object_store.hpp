@@ -50,6 +50,9 @@ struct ObjectStoreStats {
   uint64_t disk_writes = 0;
   uint64_t cache_hit_bytes = 0;
   uint64_t cache_miss_bytes = 0;
+  /// Simulated time spent in disk I/O issued by this store, including arm
+  /// queue wait.  Deltas across an operation give its disk attribution.
+  uint64_t disk_time_ns = 0;
 };
 
 class ObjectStore {

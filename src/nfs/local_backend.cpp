@@ -172,7 +172,7 @@ Task<Status> LocalBackend::readdir(FileHandle dir, std::vector<DirEntry>* out) {
 
 void LocalBackend::trace_store_op(obs::TraceContext trace, const char* op,
                                   int64_t start, uint64_t bytes_in,
-                                  uint64_t bytes_out) const {
+                                  uint64_t bytes_out, int64_t disk_ns) const {
   if (tracer_ == nullptr || !trace.valid()) return;
   obs::Span span;
   span.trace_id = trace.trace_id;
@@ -185,6 +185,7 @@ void LocalBackend::trace_store_op(obs::TraceContext trace, const char* op,
   span.end = store_.node().simulation().now();
   span.bytes_out = bytes_out;
   span.bytes_in = bytes_in;
+  span.disk = disk_ns;
   tracer_->record(std::move(span));
 }
 
@@ -202,9 +203,11 @@ Task<Status> LocalBackend::read(FileHandle fh, uint64_t offset, uint32_t count,
     co_return Status::kOk;
   }
   const int64_t start = store_.node().simulation().now();
+  const uint64_t disk0 = store_.stats().disk_time_ns;
   *out = co_await store_.read(fh.id, offset, count);
   *eof = (offset + out->size() >= store_.size(fh.id));
-  trace_store_op(trace, "read", start, 0, out->size());
+  trace_store_op(trace, "read", start, 0, out->size(),
+                 static_cast<int64_t>(store_.stats().disk_time_ns - disk0));
   co_return Status::kOk;
 }
 
@@ -221,17 +224,21 @@ Task<Status> LocalBackend::write(FileHandle fh, uint64_t offset,
     *post_change = node->change;
   }
   const int64_t start = store_.node().simulation().now();
+  const uint64_t disk0 = store_.stats().disk_time_ns;
   co_await store_.write(fh.id, offset, data, stable != StableHow::kUnstable);
   *committed = stable;
-  trace_store_op(trace, "write", start, data.size(), 0);
+  trace_store_op(trace, "write", start, data.size(), 0,
+                 static_cast<int64_t>(store_.stats().disk_time_ns - disk0));
   co_return Status::kOk;
 }
 
 Task<Status> LocalBackend::commit(FileHandle fh, obs::TraceContext trace) {
   if (!flat_ && find(fh.id) == nullptr) co_return Status::kStale;
   const int64_t start = store_.node().simulation().now();
+  const uint64_t disk0 = store_.stats().disk_time_ns;
   co_await store_.commit(fh.id);
-  trace_store_op(trace, "commit", start, 0, 0);
+  trace_store_op(trace, "commit", start, 0, 0,
+                 static_cast<int64_t>(store_.stats().disk_time_ns - disk0));
   co_return Status::kOk;
 }
 

@@ -72,8 +72,13 @@ class LocalBackend final : public Backend {
   void bump(Inode& inode);
 
   /// Records one internal span covering a store access (no-op untraced).
+  /// `disk_ns` is the store's disk-time delta across the access; with
+  /// concurrent ops on one store it can include writeback the store did
+  /// while this op was blocked on it — which is still the time this op
+  /// spent waiting on the disk.
   void trace_store_op(obs::TraceContext trace, const char* op, int64_t start,
-                      uint64_t bytes_in, uint64_t bytes_out) const;
+                      uint64_t bytes_in, uint64_t bytes_out,
+                      int64_t disk_ns) const;
 
   lfs::ObjectStore& store_;
   bool flat_;

@@ -41,6 +41,8 @@ class NfsServer {
   void stop() { rpc_server_->stop(); }
 
   rpc::RpcAddress address() const { return rpc_server_->address(); }
+  /// Requests queued at the RPC daemon right now (utilization sampler).
+  size_t rpc_queue_depth() const { return rpc_server_->queue_depth(); }
   sim::Node& node() noexcept { return node_; }
   const ServerConfig& config() const noexcept { return config_; }
   uint64_t compounds_served() const noexcept { return compounds_; }

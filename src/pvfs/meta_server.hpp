@@ -36,6 +36,8 @@ class PvfsMetaServer {
   void start() { rpc_server_->start(); }
   void stop() { rpc_server_->stop(); }
   rpc::RpcAddress address() const { return rpc_server_->address(); }
+  /// Requests queued at the RPC daemon right now (utilization sampler).
+  size_t rpc_queue_depth() const { return rpc_server_->queue_depth(); }
 
   /// In-process metadata access for co-located services (layout translator).
   /// Returns nullptr when the path is not a regular file.

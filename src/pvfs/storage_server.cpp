@@ -27,12 +27,33 @@ PvfsStorageServer::PvfsStorageServer(rpc::RpcFabric& fabric, sim::Node& node,
     m_bytes_written_ = &obs::MetricsRegistry::null_counter();
     m_commits_ = &obs::MetricsRegistry::null_counter();
   }
+  tracer_ = fabric.tracer();
   rpc_server_ = std::make_unique<rpc::RpcServer>(
       fabric, node, port, config.buffers,
       [this](const rpc::CallContext& ctx, XdrDecoder& args,
              XdrEncoder& results) -> Task<void> {
         return serve(ctx, args, results);
       });
+}
+
+void PvfsStorageServer::trace_store_op(const rpc::CallContext& ctx,
+                                       const char* op, int64_t start,
+                                       uint64_t bytes_in, uint64_t bytes_out,
+                                       int64_t disk_ns) const {
+  if (tracer_ == nullptr || !ctx.trace.valid()) return;
+  obs::Span span;
+  span.trace_id = ctx.trace.trace_id;
+  span.span_id = tracer_->begin(ctx.trace).span_id;
+  span.parent_span_id = ctx.trace.span_id;
+  span.kind = obs::SpanKind::kInternal;
+  span.name = std::string("store/") + op;
+  span.node = node_.name();
+  span.start = start;
+  span.end = node_.simulation().now();
+  span.bytes_out = bytes_out;
+  span.bytes_in = bytes_in;
+  span.disk = disk_ns;
+  tracer_->record(std::move(span));
 }
 
 Task<void> PvfsStorageServer::serve(const rpc::CallContext& ctx,
@@ -52,7 +73,11 @@ Task<void> PvfsStorageServer::serve(const rpc::CallContext& ctx,
       if (!store_.exists(oid)) {
         results.put_payload(rpc::Payload{});
       } else {
+        const int64_t start = node_.simulation().now();
+        const uint64_t disk0 = store_.stats().disk_time_ns;
         rpc::Payload data = co_await store_.read(oid, offset, length);
+        trace_store_op(ctx, "read", start, 0, data.size(),
+                       static_cast<int64_t>(store_.stats().disk_time_ns - disk0));
         m_bytes_read_->add(data.size());
         results.put_payload(data);
       }
@@ -67,7 +92,12 @@ Task<void> PvfsStorageServer::serve(const rpc::CallContext& ctx,
           static_cast<sim::Duration>(config_.cpu_ns_per_byte *
                                      static_cast<double>(data.size())));
       m_bytes_written_->add(data.size());
+      const uint64_t len = data.size();
+      const int64_t start = node_.simulation().now();
+      const uint64_t disk0 = store_.stats().disk_time_ns;
       co_await store_.write(oid, offset, std::move(data), /*stable=*/false);
+      trace_store_op(ctx, "write", start, len, 0,
+                     static_cast<int64_t>(store_.stats().disk_time_ns - disk0));
       results.put_u32(static_cast<uint32_t>(PvfsStatus::kOk));
       co_return;
     }
@@ -75,10 +105,16 @@ Task<void> PvfsStorageServer::serve(const rpc::CallContext& ctx,
       const uint64_t oid = args.get_u64();
       m_commits_->inc();
       co_await node_.cpu().execute(config_.cpu_per_request);
+      const int64_t start = node_.simulation().now();
+      const uint64_t disk0 = store_.stats().disk_time_ns;
       co_await store_.commit(oid);
       // The daemon's bstream fdatasync touches the disk even when the
       // object is clean (journal/metadata update).
+      const int64_t j0 = node_.simulation().now();
       co_await node_.disk().io(kJournalPosition, 4096);
+      trace_store_op(ctx, "commit", start, 0, 0,
+                     static_cast<int64_t>(store_.stats().disk_time_ns - disk0) +
+                         (node_.simulation().now() - j0));
       results.put_u32(static_cast<uint32_t>(PvfsStatus::kOk));
       co_return;
     }

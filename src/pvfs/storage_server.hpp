@@ -34,11 +34,20 @@ class PvfsStorageServer {
   void start() { rpc_server_->start(); }
   void stop() { rpc_server_->stop(); }
   rpc::RpcAddress address() const { return rpc_server_->address(); }
+  /// Requests queued at the RPC daemon right now (utilization sampler).
+  size_t rpc_queue_depth() const { return rpc_server_->queue_depth(); }
   lfs::ObjectStore& store() noexcept { return store_; }
 
  private:
   sim::Task<void> serve(const rpc::CallContext& ctx, rpc::XdrDecoder& args,
                         rpc::XdrEncoder& results);
+
+  /// Records a kInternal "store/<op>" span under the request's server span
+  /// so the critical-path analyzer can attribute daemon disk time (the
+  /// `disk_ns` share of [start, now]) instead of folding it into CPU.
+  void trace_store_op(const rpc::CallContext& ctx, const char* op,
+                      int64_t start, uint64_t bytes_in, uint64_t bytes_out,
+                      int64_t disk_ns) const;
 
   sim::Node& node_;
   lfs::ObjectStore& store_;
@@ -51,6 +60,7 @@ class PvfsStorageServer {
   obs::Counter* m_bytes_read_;
   obs::Counter* m_bytes_written_;
   obs::Counter* m_commits_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace dpnfs::pvfs

@@ -58,8 +58,9 @@ Task<RpcFabric::RawResult> RpcFabric::call(sim::Node& from, RpcAddress to,
   RpcServer* server = it->second;
   sim::Simulation& sim = net_.simulation();
 
-  const bool delivered =
-      co_await net_.transfer(from, server->node(), request.wire_size + overhead_);
+  sim::Network::TransferStats send_stats;
+  const bool delivered = co_await net_.transfer(
+      from, server->node(), request.wire_size + overhead_, &send_stats);
   const sim::FaultInjector* faults = net_.faults();
   const bool daemon_up =
       faults == nullptr || !faults->service_down(to.node_id, to.port, sim.now());
@@ -71,7 +72,8 @@ Task<RpcFabric::RawResult> RpcFabric::call(sim::Node& from, RpcAddress to,
     const sim::Time give_up =
         deadline > 0 ? deadline : sim.now() + drop_timeout_;
     if (give_up > sim.now()) co_await sim.delay(give_up - sim.now());
-    co_return RawResult{Status::kTimedOut, WireBuffer{}};
+    co_return RawResult{Status::kTimedOut, WireBuffer{},
+                        send_stats.tx_queue_wait};
   }
 
   auto slot = std::make_shared<ReplySlot>(sim);
@@ -87,9 +89,11 @@ Task<RpcFabric::RawResult> RpcFabric::call(sim::Node& from, RpcAddress to,
     const sim::Time give_up =
         deadline > 0 ? deadline : sim.now() + drop_timeout_;
     if (give_up > sim.now()) co_await sim.delay(give_up - sim.now());
-    co_return RawResult{Status::kTimedOut, WireBuffer{}};
+    co_return RawResult{Status::kTimedOut, WireBuffer{},
+                        send_stats.tx_queue_wait};
   }
-  co_return RawResult{Status::kOk, std::move(*slot->reply)};
+  co_return RawResult{Status::kOk, std::move(*slot->reply),
+                      send_stats.tx_queue_wait};
 }
 
 RpcServer::RpcServer(RpcFabric& fabric, sim::Node& node, uint16_t port,
@@ -287,7 +291,8 @@ Task<RpcClient::Reply> RpcClient::call(RpcAddress to, Program prog,
           util::sformat("%s/%u%s", program_component(prog), proc,
                         raw.status == Status::kOk ? "" : " timeout"),
           node_.name(), sent, sim.now(), 0, request_wire,
-          raw.status == Status::kOk ? raw.reply.wire_size : 0});
+          raw.status == Status::kOk ? raw.reply.wire_size : 0,
+          raw.send_wait});
     }
 
     if (raw.status == Status::kOk) {

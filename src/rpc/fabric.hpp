@@ -116,9 +116,13 @@ class RpcFabric {
   obs::Tracer* tracer() const noexcept { return tracer_; }
 
   /// Raw transport result: `reply` is meaningful only when `status == kOk`.
+  /// `send_wait` is the time the request spent queued behind the sender's
+  /// own NIC before transmitting — the trace layer reports it as client
+  /// queue rather than wire time.
   struct RawResult {
     Status status = Status::kOk;
     WireBuffer reply;
+    sim::Duration send_wait = 0;
   };
 
   /// Reply rendezvous that survives timeouts: the worker may complete it

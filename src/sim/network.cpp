@@ -15,7 +15,8 @@ void Network::set_fault_injector(FaultInjector* faults) {
   for (auto& n : nodes_) n->faults_ = faults;
 }
 
-Task<bool> Network::transfer(Node& src, Node& dst, uint64_t bytes) {
+Task<bool> Network::transfer(Node& src, Node& dst, uint64_t bytes,
+                             TransferStats* stats) {
   if (&src == &dst) {
     // Local delivery: no NIC involvement, just memory-bandwidth cost.
     co_await sim_.delay(duration_for_bytes(bytes, params_.loopback_bytes_per_sec));
@@ -46,8 +47,13 @@ Task<bool> Network::transfer(Node& src, Node& dst, uint64_t bytes) {
     while (remaining > 0) {
       const uint64_t chunk = std::min<uint64_t>(params_.chunk_bytes, remaining);
       remaining -= chunk;
+      const Time queued_at = sim_.now();
       co_await s.tx().acquire();
-      co_await sim_.delay(duration_for_bytes(chunk, s.params().bytes_per_sec));
+      if (stats != nullptr) stats->tx_queue_wait += sim_.now() - queued_at;
+      const Duration tx_time =
+          duration_for_bytes(chunk, s.params().bytes_per_sec);
+      s.account_tx_busy(tx_time);
+      co_await sim_.delay(tx_time);
       s.tx().release();
     }
     co_return false;
@@ -65,8 +71,13 @@ Task<bool> Network::transfer(Node& src, Node& dst, uint64_t bytes) {
     remaining -= chunk;
 
     co_await window.acquire();
+    const Time queued_at = sim_.now();
     co_await s.tx().acquire();
-    co_await sim_.delay(duration_for_bytes(chunk, s.params().bytes_per_sec));
+    if (stats != nullptr) stats->tx_queue_wait += sim_.now() - queued_at;
+    const Duration tx_time =
+        duration_for_bytes(chunk, s.params().bytes_per_sec);
+    s.account_tx_busy(tx_time);
+    co_await sim_.delay(tx_time);
     s.tx().release();
 
     // Receive legs queue FIFO on the destination NIC, overlapping with the
@@ -81,7 +92,10 @@ Task<bool> Network::transfer(Node& src, Node& dst, uint64_t bytes) {
 
 Task<void> Network::rx_leg(Nic& dst, uint64_t chunk, Semaphore& window) {
   co_await dst.rx().acquire();
-  co_await sim_.delay(duration_for_bytes(chunk, dst.params().bytes_per_sec));
+  const Duration rx_time =
+      duration_for_bytes(chunk, dst.params().bytes_per_sec);
+  dst.account_rx_busy(rx_time);
+  co_await sim_.delay(rx_time);
   dst.rx().release();
   window.release();
 }

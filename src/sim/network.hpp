@@ -100,11 +100,20 @@ class Network {
   void set_fault_injector(FaultInjector* faults);
   FaultInjector* faults() const noexcept { return faults_; }
 
+  /// Per-transfer measurements, filled when the caller passes a stats sink
+  /// to `transfer`.  Distinguishes "queued behind my own NIC" (other flows
+  /// hold TX) from time genuinely on the wire — the trace layer attributes
+  /// the former to the sender's queue, not the network.
+  struct TransferStats {
+    Duration tx_queue_wait = 0;  ///< waiting for the sender's TX resource
+  };
+
   /// Moves `bytes` from `src` to `dst`; completes when the last byte has
   /// been received (true) or the message was lost to a scripted fault —
   /// crashed endpoint or link drop — after paying the send-side cost
   /// (false).  Same-node transfers bypass the NICs.
-  Task<bool> transfer(Node& src, Node& dst, uint64_t bytes);
+  Task<bool> transfer(Node& src, Node& dst, uint64_t bytes,
+                      TransferStats* stats = nullptr);
 
  private:
   Task<void> rx_leg(Nic& dst, uint64_t chunk, Semaphore& window);

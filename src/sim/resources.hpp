@@ -37,12 +37,22 @@ class Nic {
   uint64_t tx_bytes() const noexcept { return tx_bytes_; }
   uint64_t rx_bytes() const noexcept { return rx_bytes_; }
 
+  // Busy time accumulators: the simulated time each direction spent actually
+  // transmitting (not queued).  Utilization over a window is the busy-time
+  // delta divided by the window — sampled by the Deployment time series.
+  void account_tx_busy(Duration d) noexcept { tx_busy_ += d; }
+  void account_rx_busy(Duration d) noexcept { rx_busy_ += d; }
+  Duration tx_busy() const noexcept { return tx_busy_; }
+  Duration rx_busy() const noexcept { return rx_busy_; }
+
  private:
   NicParams params_;
   Semaphore tx_;
   Semaphore rx_;
   uint64_t tx_bytes_ = 0;
   uint64_t rx_bytes_ = 0;
+  Duration tx_busy_ = 0;
+  Duration rx_busy_ = 0;
 };
 
 /// Single-arm disk with sequential-transfer bandwidth, a positioning cost for
@@ -67,17 +77,22 @@ class Disk {
                  duration_for_bytes(bytes, params_.bytes_per_sec);
     if (pos != head_) t += params_.positioning;
     head_ = pos + bytes;
+    busy_ += t;
     co_await sim_.delay(t);
     arm_.release();
   }
 
   uint64_t head_position() const noexcept { return head_; }
+  /// Time the arm spent servicing requests (excludes queue wait); the
+  /// utilization sampler divides deltas of this by the sample window.
+  Duration busy() const noexcept { return busy_; }
 
  private:
   Simulation& sim_;
   DiskParams params_;
   Semaphore arm_;
   uint64_t head_ = 0;
+  Duration busy_ = 0;
 };
 
 /// Multi-core CPU.  Work items occupy one core for their duration.

@@ -251,26 +251,37 @@ void Tracer::record(Span span) {
   ++spans_recorded_;
   if (span.kind == SpanKind::kClientCall) {
     ++rpc_hops_total_;
-    ++hops_per_trace_[span.trace_id];
+    auto it = hops_per_trace_.find(span.trace_id);
+    if (it == hops_per_trace_.end()) {
+      // A trace id above the eviction high-water mark is genuinely new; a
+      // smaller one is a previously evicted trace resurfacing (counted once).
+      if (span.trace_id > max_evicted_trace_) ++hop_traces_seen_;
+      it = hops_per_trace_.emplace(span.trace_id, 0).first;
+      while (hops_per_trace_.size() > hop_trace_capacity_) {
+        auto oldest = hops_per_trace_.begin();
+        if (oldest->first == span.trace_id) break;  // never evict the live one
+        max_evicted_trace_ = std::max(max_evicted_trace_, oldest->first);
+        hops_per_trace_.erase(oldest);
+        ++hop_traces_evicted_;
+      }
+    }
+    max_hops_ = std::max(max_hops_, ++it->second);
   }
   if (spans_.size() >= span_capacity_) {
     ++spans_dropped_;
     return;
   }
+  trace_index_[span.trace_id].push_back(spans_.size());
   spans_.push_back(std::move(span));
 }
 
 double Tracer::mean_hops_per_trace() const noexcept {
-  if (hops_per_trace_.empty()) return 0.0;
+  if (hop_traces_seen_ == 0) return 0.0;
   return static_cast<double>(rpc_hops_total_) /
-         static_cast<double>(hops_per_trace_.size());
+         static_cast<double>(hop_traces_seen_);
 }
 
-uint32_t Tracer::max_hops_per_trace() const noexcept {
-  uint32_t best = 0;
-  for (const auto& [trace, hops] : hops_per_trace_) best = std::max(best, hops);
-  return best;
-}
+uint32_t Tracer::max_hops_per_trace() const noexcept { return max_hops_; }
 
 std::map<uint32_t, uint64_t> Tracer::hops_histogram() const {
   std::map<uint32_t, uint64_t> out;
@@ -280,9 +291,10 @@ std::map<uint32_t, uint64_t> Tracer::hops_histogram() const {
 
 std::vector<Span> Tracer::trace_spans(uint64_t trace_id) const {
   std::vector<Span> out;
-  for (const auto& s : spans_) {
-    if (s.trace_id == trace_id) out.push_back(s);
-  }
+  const auto it = trace_index_.find(trace_id);
+  if (it == trace_index_.end()) return out;
+  out.reserve(it->second.size());
+  for (const size_t idx : it->second) out.push_back(spans_[idx]);
   return out;
 }
 
@@ -291,12 +303,14 @@ std::string Tracer::to_json() const {
       "{\"traces_started\": %llu, \"rpc_hops_total\": %llu, "
       "\"mean_hops_per_trace\": %s, \"max_hops_per_trace\": %u, "
       "\"spans_recorded\": %llu, \"spans_dropped\": %llu, "
+      "\"hop_traces_evicted\": %llu, "
       "\"hops_histogram\": {",
       static_cast<unsigned long long>(traces_started_),
       static_cast<unsigned long long>(rpc_hops_total_),
       json_number(mean_hops_per_trace()).c_str(), max_hops_per_trace(),
       static_cast<unsigned long long>(spans_recorded_),
-      static_cast<unsigned long long>(spans_dropped_));
+      static_cast<unsigned long long>(spans_dropped_),
+      static_cast<unsigned long long>(hop_traces_evicted_));
   bool first = true;
   for (const auto& [hops, traces] : hops_histogram()) {
     if (!first) out += ", ";
@@ -319,7 +333,8 @@ std::string Tracer::spans_json(size_t limit) const {
         "{\"trace\": %llu, \"span\": %llu, \"parent\": %llu, "
         "\"kind\": \"%s\", \"name\": \"%s\", \"node\": \"%s\", "
         "\"start_ns\": %lld, \"end_ns\": %lld, \"queue_wait_ns\": %lld, "
-        "\"bytes_out\": %llu, \"bytes_in\": %llu}",
+        "\"bytes_out\": %llu, \"bytes_in\": %llu, "
+        "\"send_wait_ns\": %lld, \"disk_ns\": %lld}",
         static_cast<unsigned long long>(s.trace_id),
         static_cast<unsigned long long>(s.span_id),
         static_cast<unsigned long long>(s.parent_span_id),
@@ -327,7 +342,8 @@ std::string Tracer::spans_json(size_t limit) const {
         json_escape(s.node).c_str(), static_cast<long long>(s.start),
         static_cast<long long>(s.end), static_cast<long long>(s.queue_wait),
         static_cast<unsigned long long>(s.bytes_out),
-        static_cast<unsigned long long>(s.bytes_in));
+        static_cast<unsigned long long>(s.bytes_in),
+        static_cast<long long>(s.send_wait), static_cast<long long>(s.disk));
   }
   out += "]";
   return out;

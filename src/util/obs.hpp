@@ -25,6 +25,7 @@
 #include <deque>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "util/stats.hpp"
@@ -183,6 +184,10 @@ struct Span {
   TimeNs queue_wait = 0;   ///< request-queue residency (server spans)
   uint64_t bytes_out = 0;  ///< wire bytes sent (request for client spans)
   uint64_t bytes_in = 0;   ///< wire bytes received (reply for client spans)
+  TimeNs send_wait = 0;    ///< sender-NIC tx-queue wait before the request
+                           ///< left the client (client spans)
+  TimeNs disk = 0;         ///< disk time absorbed, incl. arm queueing
+                           ///< (internal store spans)
 };
 
 /// Allocates trace/span ids and aggregates recorded spans.
@@ -190,12 +195,19 @@ struct Span {
 /// Hop accounting is exact for every trace: each kClientCall span counts as
 /// one RPC hop against its trace.  Span *detail* is bounded (`span_capacity`)
 /// so long benches don't hold millions of spans; overflow is counted, not
-/// silently dropped.
+/// silently dropped.  The per-trace hop map is likewise bounded
+/// (`hop_trace_capacity`): once the cap is hit the oldest trace entries are
+/// evicted (trace ids are allocated monotonically, so oldest == smallest)
+/// and counted in `hop_traces_evicted()` — long benches stay flat in memory
+/// while `rpc_hops_total` and the distinct-trace count remain exact.
 class Tracer {
  public:
   bool enabled() const noexcept { return enabled_; }
   void set_enabled(bool on) noexcept { enabled_ = on; }
   void set_span_capacity(size_t cap) noexcept { span_capacity_ = cap; }
+  void set_hop_trace_capacity(size_t cap) noexcept {
+    hop_trace_capacity_ = cap;
+  }
 
   /// Starts a span.  An invalid `parent` starts a new trace (a root span);
   /// a valid one continues the parent's trace with a fresh span id.
@@ -207,13 +219,20 @@ class Tracer {
   uint64_t rpc_hops_total() const noexcept { return rpc_hops_total_; }
   uint64_t spans_recorded() const noexcept { return spans_recorded_; }
   uint64_t spans_dropped() const noexcept { return spans_dropped_; }
+  /// Distinct traces that contributed at least one RPC hop (exact even
+  /// after hop-map eviction).
+  uint64_t hop_traces_seen() const noexcept { return hop_traces_seen_; }
+  /// Trace entries evicted from the bounded hop map.
+  uint64_t hop_traces_evicted() const noexcept { return hop_traces_evicted_; }
 
   double mean_hops_per_trace() const noexcept;
   uint32_t max_hops_per_trace() const noexcept;
-  /// hop-count -> number of traces with exactly that many RPC hops.
+  /// hop-count -> number of traces with exactly that many RPC hops
+  /// (retained traces only; eviction removes entries from this view).
   std::map<uint32_t, uint64_t> hops_histogram() const;
 
-  /// All retained spans of one trace, in recording order.
+  /// All retained spans of one trace, in recording order.  Indexed by
+  /// trace id — O(spans in that trace), not O(all retained spans).
   std::vector<Span> trace_spans(uint64_t trace_id) const;
   const std::deque<Span>& spans() const noexcept { return spans_; }
 
@@ -225,13 +244,21 @@ class Tracer {
  private:
   bool enabled_ = true;
   size_t span_capacity_ = 4096;
+  size_t hop_trace_capacity_ = 65536;
   uint64_t next_trace_ = 1;
   uint64_t next_span_ = 1;
   uint64_t traces_started_ = 0;
   uint64_t rpc_hops_total_ = 0;
   uint64_t spans_recorded_ = 0;
   uint64_t spans_dropped_ = 0;
+  uint64_t hop_traces_seen_ = 0;
+  uint64_t hop_traces_evicted_ = 0;
+  uint64_t max_evicted_trace_ = 0;  ///< largest trace id ever evicted
+  uint32_t max_hops_ = 0;           ///< running max, survives eviction
   std::map<uint64_t, uint32_t> hops_per_trace_;
+  // spans_ is append-only (overflow drops *new* spans), so deque indices
+  // are stable and the per-trace index can store them directly.
+  std::unordered_map<uint64_t, std::vector<size_t>> trace_index_;
   std::deque<Span> spans_;
 };
 

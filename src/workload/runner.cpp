@@ -33,6 +33,11 @@ Task<void> drive(core::Deployment& d, Workload& w, RunResult& result,
   const sim::Time t0 = d.simulation().now();
   const uint64_t bytes0 = total_app_bytes(d);
 
+  // Utilization sampling covers the timed phase only (like the reported
+  // numbers); the stop below lets the event queue drain after the clients
+  // finish.
+  d.start_sampling();
+
   sim::WaitGroup wg(d.simulation());
   for (size_t i = 0; i < d.client_count(); ++i) {
     wg.spawn([](core::Deployment& d, Workload& w, size_t i,
@@ -49,6 +54,7 @@ Task<void> drive(core::Deployment& d, Workload& w, RunResult& result,
     }(d, w, i, first_error));
   }
   co_await wg.wait();
+  d.stop_sampling();
 
   result.elapsed_seconds = sim::to_seconds(d.simulation().now() - t0);
   result.app_bytes = total_app_bytes(d) - bytes0;
@@ -73,6 +79,8 @@ RunResult run_workload(core::Deployment& d, Workload& w) {
                              "' deadlocked: simulation drained early");
   }
   result.metrics_json = d.metrics_json();
+  result.breakdown_json = obs::analyze_all(d.tracer()).to_json(
+      core::architecture_name(d.architecture()));
   util::logf(util::LogLevel::kInfo, "runner", d.simulation().now(),
              "%s on %s: %.3fs, %.1f MB/s", w.name().c_str(),
              core::architecture_name(d.architecture()), result.elapsed_seconds,

@@ -36,6 +36,7 @@ TRACE_KEYS = {
     "max_hops_per_trace": int,
     "spans_recorded": int,
     "spans_dropped": int,
+    "hop_traces_evicted": int,
     "hops_histogram": dict,
 }
 
@@ -145,6 +146,30 @@ def check_metrics_doc(path, doc):
                 err(f"{path}.trace", f"missing key '{key}'")
             else:
                 check_type(f"{path}.trace.{key}", trace[key], types, key)
+
+    # Optional utilization time series (present when the sampler ran).
+    if "timeseries" in doc:
+        ts = doc["timeseries"]
+        if check_type(f"{path}.timeseries", ts, dict, "timeseries"):
+            check_type(f"{path}.timeseries.interval_ns",
+                       ts.get("interval_ns", 0), int, "interval_ns")
+            series = ts.get("series", {})
+            if check_type(f"{path}.timeseries.series", series, dict, "series"):
+                for node, metrics in series.items():
+                    p = f"{path}.timeseries.series.{node}"
+                    if not check_type(p, metrics, dict, "node series"):
+                        continue
+                    for name, points in metrics.items():
+                        pp = f"{p}.{name}"
+                        if not check_type(pp, points, list, "points"):
+                            continue
+                        for j, pt in enumerate(points):
+                            if (not isinstance(pt, list) or len(pt) != 2
+                                    or not isinstance(pt[0], int)
+                                    or not isinstance(pt[1], (int, float))):
+                                err(f"{pp}[{j}]",
+                                    "sample should be [time_ns, value]")
+                                break
 
 
 def check_file(filename):

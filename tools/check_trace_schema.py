@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Validate a dpnfs Chrome/Perfetto trace export (see docs/observability.md).
+
+The export is the Chrome trace_event "JSON object format":
+
+  {"displayTimeUnit": "ns",
+   "otherData": {"architecture": str, "spans_dropped": int},
+   "traceEvents": [
+     {"ph": "M", "name": "process_name"|"thread_name", ...},
+     {"ph": "X", "name": str, "cat": str, "pid": int, "tid": int,
+      "ts": num, "dur": num,
+      "args": {"trace": int, "span": int, "parent": int,
+               "queue_wait_ns": int, "send_wait_ns": int, "disk_ns": int,
+               "bytes_out": int, "bytes_in": int}},
+     {"ph": "s"|"f", ...flow...}, {"ph": "C", ...counter...}]}
+
+Checks: every complete event carries the span args, span ids are unique,
+timestamps are sane (ts >= 0, dur >= 0), and parentage is acyclic within
+each trace.
+
+Usage:
+  check_trace_schema.py FILE.json [FILE2.json ...]
+  check_trace_schema.py --run /path/to/simulate
+      (spawns `simulate --arch=2tier ... --trace-out=<tmp>` and additionally
+       asserts the 2-tier re-route is visible: some trace touches three or
+       more distinct processes — client, pNFS data server, storage daemon)
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+PHASES = {"X", "M", "C", "s", "f", "b", "e", "n"}
+X_ARGS = ("trace", "span", "parent", "queue_wait_ns", "send_wait_ns",
+          "disk_ns", "bytes_out", "bytes_in")
+
+errors = []
+
+
+def err(path, msg):
+    errors.append(f"{path}: {msg}")
+
+
+def check_x_event(path, ev, spans, by_trace):
+    for key, types in (("name", str), ("pid", int), ("tid", int),
+                       ("ts", (int, float)), ("dur", (int, float)),
+                       ("args", dict)):
+        if key not in ev:
+            err(path, f"missing key '{key}'")
+            return
+        if not isinstance(ev[key], types):
+            err(path, f"'{key}' should be {types}")
+            return
+    if ev["ts"] < 0 or ev["dur"] < 0:
+        err(path, f"negative ts/dur: ts={ev['ts']} dur={ev['dur']}")
+    args = ev["args"]
+    for key in X_ARGS:
+        if key not in args:
+            err(path, f"args missing '{key}'")
+            return
+        if not isinstance(args[key], int):
+            err(path, f"args.{key} should be int")
+            return
+    span = args["span"]
+    if span in spans:
+        err(path, f"duplicate span id {span}")
+        return
+    spans[span] = args
+    by_trace.setdefault(args["trace"], {})[span] = (args["parent"], ev["pid"])
+
+
+def check_parentage(path, by_trace):
+    """Parent chains must terminate inside the trace or at an unknown id
+    (a dropped span); a cycle means the exporter emitted garbage."""
+    for trace, members in by_trace.items():
+        for span in members:
+            seen = set()
+            cur = span
+            while cur in members:
+                if cur in seen:
+                    err(path, f"trace {trace}: parent cycle through span {cur}")
+                    break
+                seen.add(cur)
+                cur = members[cur][0]
+
+
+def check_file(filename, require_reroute=False):
+    try:
+        with open(filename, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        err(filename, f"unreadable or not JSON: {e}")
+        return
+    if not isinstance(doc, dict):
+        err(filename, "top level should be an object")
+        return
+    other = doc.get("otherData")
+    if not isinstance(other, dict) or not isinstance(
+            other.get("architecture"), str):
+        err(f"{filename}.otherData", "missing architecture")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        err(f"{filename}.traceEvents", "missing or not a list")
+        return
+
+    spans = {}
+    by_trace = {}
+    n_complete = n_meta = 0
+    for i, ev in enumerate(events):
+        path = f"{filename}.traceEvents[{i}]"
+        if not isinstance(ev, dict) or "ph" not in ev:
+            err(path, "event should be an object with 'ph'")
+            continue
+        ph = ev["ph"]
+        if ph not in PHASES:
+            err(path, f"unknown phase '{ph}'")
+        elif ph == "X":
+            n_complete += 1
+            check_x_event(path, ev, spans, by_trace)
+        elif ph == "M":
+            n_meta += 1
+            if ev.get("name") not in ("process_name", "thread_name"):
+                err(path, f"unexpected metadata '{ev.get('name')}'")
+            elif not isinstance(ev.get("args", {}).get("name"), str):
+                err(path, "metadata args.name missing")
+
+    if n_complete == 0:
+        err(filename, "no complete ('X') events — empty timeline")
+    if n_meta == 0:
+        err(filename, "no process/thread metadata")
+    check_parentage(filename, by_trace)
+
+    if require_reroute and not errors:
+        # 2-tier evidence: the proxy hop means one logical request crosses
+        # client -> data server -> storage daemon, three distinct processes.
+        widest = max((len({pid for _, pid in members.values()})
+                      for members in by_trace.values()), default=0)
+        if widest < 3:
+            err(filename,
+                f"expected a re-routed trace spanning >=3 processes, "
+                f"widest spans {widest}")
+    return n_complete
+
+
+def main(argv):
+    files = []
+    reroute = set()
+    i = 1
+    while i < len(argv):
+        if argv[i] == "--run":
+            i += 1
+            if i >= len(argv):
+                print("--run requires the simulate path", file=sys.stderr)
+                return 2
+            simulate = argv[i]
+            out = os.path.join(tempfile.mkdtemp(prefix="dpnfs_trace_"),
+                               "trace.json")
+            subprocess.run(
+                [simulate, "--arch=2tier", "--workload=ior-write",
+                 "--clients=2", "--bytes=10000000", f"--trace-out={out}"],
+                check=True, stdout=subprocess.DEVNULL)
+            files.append(out)
+            reroute.add(out)
+        else:
+            files.append(argv[i])
+        i += 1
+    if not files:
+        print(__doc__, file=sys.stderr)
+        return 2
+    for f in files:
+        check_file(f, require_reroute=f in reroute)
+    if errors:
+        for e in errors:
+            print(f"TRACE SCHEMA ERROR {e}", file=sys.stderr)
+        return 1
+    print(f"ok: {len(files)} file(s) match the trace schema")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
