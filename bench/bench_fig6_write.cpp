@@ -62,7 +62,11 @@ int main(int argc, char** argv) {
         2 << 20, all, clients, bytes, false);
   if (smoke) {
     // ctest smoke (label bench-smoke): all five architectures, tiny sweep,
-    // Figure 6a only — enough for the JSON schema gate to chew on.
+    // Figures 6a and 6d only — enough for the JSON schema gate to chew on,
+    // and the 8 KB sweep keeps the write-back coalescing path on the
+    // regression radar (tools/check_bench_delta.py).
+    sweep(rec, "Fig 6d: write, separate files, 8 KB blocks", "6d", false,
+          8 * 1024, all, clients, bytes, false);
     rec.flush();
     return 0;
   }

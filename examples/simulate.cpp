@@ -66,10 +66,16 @@ int main(int argc, char** argv) {
         "                [--clients=N] [--storage-nodes=N]\n"
         "                [--bytes=N] [--block=N] [--stripe=N] [--txns=N]\n"
         "                [--latency-us=N] [--nic-mbps=N] [--verbose]\n"
+        "                [--wb-window-per-ds=N] [--no-coalesce]\n"
         "                [--fault-ds-crash=N] [--fault-at-ms=T]\n"
         "                [--fault-revive-ms=T]\n"
         "                [--trace-out=FILE] [--trace-spans=N]\n"
         "                [--breakdown] [--sample-ms=N]\n"
+        "\n"
+        "--wb-window-per-ds=N caps concurrent write-back WRITEs per data\n"
+        "server (default 8); --no-coalesce disables merging adjacent dirty\n"
+        "extents into wsize WRITEs before dispatch (ablation switches for\n"
+        "the per-DS write-back scheduler).\n"
         "\n"
         "--fault-ds-crash=N kills the NFS data-server daemon on storage\n"
         "node N (and enables the client recovery knobs, see\n"
@@ -98,6 +104,9 @@ int main(int argc, char** argv) {
       sim::us(std::atoll(arg_value(argc, argv, "--latency-us", "60")));
   cfg.nic.bytes_per_sec =
       std::atof(arg_value(argc, argv, "--nic-mbps", "117")) * 1e6;
+  cfg.nfs_client.wb_window_per_ds = static_cast<uint32_t>(std::max(
+      1, std::atoi(arg_value(argc, argv, "--wb-window-per-ds", "8"))));
+  if (flag(argc, argv, "--no-coalesce")) cfg.nfs_client.coalesce_writes = false;
 
   const std::string trace_out = arg_value(argc, argv, "--trace-out", "");
   const bool breakdown = flag(argc, argv, "--breakdown");

@@ -203,12 +203,20 @@ void Deployment::build_pnfs_2tier() {
     auto backend = std::make_unique<PvfsBackend>(
         *server_pvfs_clients_.back(), registry_,
         StripeView{config_.stripe_unit, config_.storage_nodes, i});
+    // These data servers reach PVFS through the kernel client, so every
+    // data op crosses the kernel<->daemon boundary serialized by the
+    // module's upcall queue, pinned across a (mostly remote) PVFS round
+    // trip.  This intermediate-file-system traversal is exactly the
+    // overhead the paper says Direct-pNFS eliminates (§5, Figure 5).
+    auto conduit = std::make_unique<ConduitBackend>(
+        *backend, *storage_nodes_[i], config_.vfs_conduit);
     nfs::ServerConfig scfg = config_.nfs_server;
     scfg.is_data_server = true;
     nfs_servers_.push_back(std::make_unique<nfs::NfsServer>(
-        fabric_, *storage_nodes_[i], rpc::kNfsPort, *backend, nullptr, scfg));
+        fabric_, *storage_nodes_[i], rpc::kNfsPort, *conduit, nullptr, scfg));
     nfs_servers_.back()->start();
     backends_.push_back(std::move(backend));
+    backends_.push_back(std::move(conduit));
     devices.push_back(nfs::DeviceEntry{nfs::DeviceId{i},
                                        storage_nodes_[i]->id(), rpc::kNfsPort});
   }
@@ -250,12 +258,16 @@ void Deployment::build_pnfs_3tier() {
     auto backend = std::make_unique<PvfsBackend>(
         *server_pvfs_clients_.back(), registry_,
         StripeView{config_.stripe_unit, ds_count, i});
+    // Same serialized kernel-client traversal as the 2-tier data servers.
+    auto conduit = std::make_unique<ConduitBackend>(*backend, node,
+                                                    config_.vfs_conduit);
     nfs::ServerConfig scfg = config_.nfs_server;
     scfg.is_data_server = true;
     nfs_servers_.push_back(std::make_unique<nfs::NfsServer>(
-        fabric_, node, rpc::kNfsPort, *backend, nullptr, scfg));
+        fabric_, node, rpc::kNfsPort, *conduit, nullptr, scfg));
     nfs_servers_.back()->start();
     backends_.push_back(std::move(backend));
+    backends_.push_back(std::move(conduit));
     devices.push_back(
         nfs::DeviceEntry{nfs::DeviceId{i}, node.id(), rpc::kNfsPort});
   }

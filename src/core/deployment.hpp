@@ -80,6 +80,15 @@ struct ClusterConfig {
   bool direct_ds_conduit = true;
   ConduitParams conduit{};
 
+  /// The 2-/3-tier data servers re-export PVFS through the *kernel* client:
+  /// every data op funnels through the pvfs2 kernel module's single upcall
+  /// queue to the user-level client daemon, and an nfsd thread's synchronous
+  /// VFS write pins that crossing for the full (mostly remote) PVFS round
+  /// trip.  One buffer models the serialized traversal — the intermediate
+  /// file system overhead §6.2 blames for pNFS-2tier losing half its
+  /// bandwidth on a slow network, and which Direct-pNFS eliminates.
+  ConduitParams vfs_conduit{.buffers = 1};
+
   /// Scripted failures (node/service crashes, link faults, disk faults)
   /// injected into the cluster's network.  Empty by default: fault-free
   /// runs build no injector and pay nothing.

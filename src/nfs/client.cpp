@@ -66,6 +66,12 @@ NfsClient::NfsClient(rpc::RpcFabric& fabric, sim::Node& node,
     m_readahead_fetches_ =
         &reg->counter(n, "client.cache", "readahead_fetches");
     m_rpcs_ = &reg->counter(n, "client.cache", "rpcs");
+    m_sched_writes_ = &reg->counter(n, "client.sched", "dispatched_writes");
+    m_sched_bytes_ = &reg->counter(n, "client.sched", "dispatched_bytes");
+    m_sched_coalesced_extents_ =
+        &reg->counter(n, "client.sched", "coalesced_extents");
+    m_sched_coalesced_bytes_ =
+        &reg->counter(n, "client.sched", "coalesced_bytes");
     m_retries_ = &reg->counter(n, "client.recovery", "retries");
     m_fallbacks_ = &reg->counter(n, "client.recovery", "fallbacks");
     m_breaker_trips_ = &reg->counter(n, "client.recovery", "breaker_trips");
@@ -79,6 +85,10 @@ NfsClient::NfsClient(rpc::RpcFabric& fabric, sim::Node& node,
     m_write_bytes_ = &obs::MetricsRegistry::null_counter();
     m_readahead_fetches_ = &obs::MetricsRegistry::null_counter();
     m_rpcs_ = &obs::MetricsRegistry::null_counter();
+    m_sched_writes_ = &obs::MetricsRegistry::null_counter();
+    m_sched_bytes_ = &obs::MetricsRegistry::null_counter();
+    m_sched_coalesced_extents_ = &obs::MetricsRegistry::null_counter();
+    m_sched_coalesced_bytes_ = &obs::MetricsRegistry::null_counter();
     m_retries_ = &obs::MetricsRegistry::null_counter();
     m_fallbacks_ = &obs::MetricsRegistry::null_counter();
     m_breaker_trips_ = &obs::MetricsRegistry::null_counter();
@@ -87,6 +97,9 @@ NfsClient::NfsClient(rpc::RpcFabric& fabric, sim::Node& node,
   }
   // Transport-level retries surface under this client's recovery component.
   rpc_.set_retry_counter(m_rpc_retries_);
+  tracer_ = fabric.tracer();
+  tx_gate_ = std::make_unique<sim::Semaphore>(
+      fabric.simulation(), std::max<uint32_t>(1, config_.wb_wire_tokens));
 }
 
 NfsClient::~NfsClient() = default;
@@ -171,7 +184,8 @@ rpc::CallOptions NfsClient::call_options(const rpc::RpcAddress& addr) const {
 
 Task<rpc::RpcClient::Reply> NfsClient::call(rpc::RpcAddress addr,
                                             CompoundBuilder builder,
-                                            uint64_t data_bytes) {
+                                            uint64_t data_bytes,
+                                            obs::TraceContext trace_parent) {
   Session* s = co_await session_for(addr);
   co_await s->slots->acquire();
   const auto cpu = config_.cpu_per_rpc +
@@ -180,9 +194,11 @@ Task<rpc::RpcClient::Reply> NfsClient::call(rpc::RpcAddress addr,
   co_await node_.cpu().execute(cpu);
   ++stats_.rpcs;
   m_rpcs_->inc();
+  rpc::CallOptions opts = call_options(addr);
+  opts.parent = trace_parent;
   auto reply = co_await rpc_.call(addr, rpc::Program::kNfs, kNfsVersion,
                                   kProcCompound, std::move(builder).finish(),
-                                  call_options(addr));
+                                  opts);
   s->slots->release();
   co_return reply;
 }
@@ -317,17 +333,24 @@ Task<void> NfsClient::serve_callback(const rpc::CallContext& ctx,
       ++recalls_served_;
       // Flush everything that went through this layout, then drop it;
       // further I/O flows through the MDS (or re-fetches a layout at the
-      // next open).
-      for (auto& [ino, state] : files_) {
+      // next open).  Snapshot the FilePtr before suspending: the flush
+      // co_awaits, and a concurrent close + drop_caches can erase map
+      // entries out from under a live files_ iterator.
+      FilePtr file;
+      uint64_t ino = 0;
+      for (auto& [id, state] : files_) {
         if (!(state->fh == a.fh) || !state->layout) continue;
-        FilePtr file = state;
+        file = state;
+        ino = id;
+        break;
+      }
+      if (file) {
         co_await flush_dirty(file, /*only_full_chunks=*/false, /*wait=*/true);
         co_await commit_unstable(*file);
         file->layout.reset();
         util::logf(util::LogLevel::kInfo, "nfs.client",
                    fabric_.simulation().now(), "layout for fileid %llu recalled",
                    static_cast<unsigned long long>(ino));
-        break;
       }
       co_return;
     }
@@ -741,35 +764,54 @@ Task<void> NfsClient::refetch_layout(FileState& f) {
 Task<Payload> NfsClient::read_slice_op(FileState& f, const IoSlice& slice) {
   (void)f;
   Session* s = co_await session_for(slice.addr);
-  CompoundBuilder b = with_sequence(s->id);
-  b.add(OpCode::kPutFh, PutFhArgs{slice.fh});
-  b.add(OpCode::kRead, ReadArgs{slice.stateid, slice.target_offset,
-                                static_cast<uint32_t>(slice.length)});
-  CompoundReply r(co_await call(slice.addr, std::move(b), slice.length));
-  r.expect(OpCode::kSequence);
-  r.expect(OpCode::kPutFh);
-  auto res = r.expect<ReadRes>(OpCode::kRead);
-  // Stripe objects may be shorter than the file (holes): pad.
-  if (res.data.size() < slice.length) {
-    const uint64_t missing = slice.length - res.data.size();
-    if (res.data.is_inline()) {
-      res.data.append(Payload::inline_bytes(
+  // A short reply means one of two things, and they need opposite handling:
+  // EOF on the stripe object (a hole — the missing tail genuinely reads as
+  // zeros) vs. a mid-object short READ (the server returned fewer bytes than
+  // exist — re-issue for the missing tail, never fabricate zeros).
+  Payload out;
+  bool eof = false;
+  while (out.size() < slice.length && !eof) {
+    const uint64_t got = out.size();
+    const uint64_t want = slice.length - got;
+    CompoundBuilder b = with_sequence(s->id);
+    b.add(OpCode::kPutFh, PutFhArgs{slice.fh});
+    b.add(OpCode::kRead, ReadArgs{slice.stateid, slice.target_offset + got,
+                                  static_cast<uint32_t>(want)});
+    CompoundReply r(co_await call(slice.addr, std::move(b), want));
+    r.expect(OpCode::kSequence);
+    r.expect(OpCode::kPutFh);
+    auto res = r.expect<ReadRes>(OpCode::kRead);
+    if (res.data.size() > want) {
+      throw NfsError(Status::kIo, "overlong READ reply");
+    }
+    if (res.data.size() == 0 && !res.eof) {
+      throw NfsError(Status::kIo, "zero-byte READ reply before EOF");
+    }
+    eof = res.eof;
+    out.append(std::move(res.data));
+  }
+  if (out.size() < slice.length) {
+    const uint64_t missing = slice.length - out.size();
+    if (out.size() == 0 || out.is_inline()) {
+      out.append(Payload::inline_bytes(
           std::vector<std::byte>(missing, std::byte{0})));
     } else {
-      res.data.append(Payload::virtual_bytes(missing));
+      out.append(Payload::virtual_bytes(missing));
     }
   }
-  co_return std::move(res.data);
+  co_return out;
 }
 
 Task<void> NfsClient::write_slice_op(FileState& f, const IoSlice& slice,
-                                     Payload piece) {
+                                     Payload piece,
+                                     obs::TraceContext trace_parent) {
   Session* s = co_await session_for(slice.addr);
   CompoundBuilder b = with_sequence(s->id);
   b.add(OpCode::kPutFh, PutFhArgs{slice.fh});
   b.add(OpCode::kWrite, WriteArgs{slice.stateid, slice.target_offset,
                                   StableHow::kUnstable, std::move(piece)});
-  CompoundReply r(co_await call(slice.addr, std::move(b), slice.length));
+  CompoundReply r(
+      co_await call(slice.addr, std::move(b), slice.length, trace_parent));
   r.expect(OpCode::kSequence);
   r.expect(OpCode::kPutFh);
   const auto res = r.expect<WriteRes>(OpCode::kWrite);
@@ -834,11 +876,12 @@ Task<void> NfsClient::run_read_slice(FileState& f, IoSlice slice, Payload& out,
 }
 
 Task<void> NfsClient::run_write_slice(FileState& f, IoSlice slice,
-                                      Payload piece, StatusCollector& errors) {
+                                      Payload piece, StatusCollector& errors,
+                                      obs::TraceContext trace_parent) {
   const bool via_ds = slice.device_index != IoSlice::kMds;
   for (uint32_t attempt = 0;; ++attempt) {
     try {
-      co_await write_slice_op(f, slice, piece);
+      co_await write_slice_op(f, slice, piece, trace_parent);
       if (via_ds) record_ds_result(slice.addr, true);
       co_return;
     } catch (const NfsError& e) {
@@ -864,7 +907,7 @@ Task<void> NfsClient::run_write_slice(FileState& f, IoSlice slice,
   m_fallbacks_->inc();
   try {
     co_await write_slice_op(f, mds_slice(f, slice.file_offset, slice.length),
-                            std::move(piece));
+                            std::move(piece), trace_parent);
   } catch (const NfsError& e) {
     errors.record(e.status(), slice.device_index);
   }
@@ -926,7 +969,7 @@ Task<Payload> NfsClient::read_slices(FileState& f, uint64_t offset,
   errors.throw_if_failed("READ");
 
   Payload assembled;
-  for (auto& piece : results) assembled.append(piece);
+  for (auto& piece : results) assembled.append(std::move(piece));
   stats_.wire_read_bytes += assembled.size();
   m_miss_bytes_->add(assembled.size());
   co_return assembled;
@@ -1011,10 +1054,19 @@ Task<Payload> NfsClient::read(FilePtr file, uint64_t offset, uint64_t length) {
 }
 
 Task<void> NfsClient::readahead(FilePtr file, uint64_t from, uint64_t to) {
-  ++stats_.readahead_fetches;
-  m_readahead_fetches_->inc();
+  // The file can shrink (truncate) between scheduling and execution; clamp
+  // to the server-reported size so readahead never issues a READ that is
+  // guaranteed to come back empty.
+  to = std::min(to, file->size);
+  if (from >= to) co_return;
   try {
-    co_await fetch_range(file, from, to);
+    const uint64_t fetched = co_await fetch_range(file, from, to);
+    // Count only readaheads that really hit the wire; ranges that were
+    // already cached or in flight are not fetches.
+    if (fetched > 0) {
+      ++stats_.readahead_fetches;
+      m_readahead_fetches_->inc();
+    }
   } catch (const NfsError&) {
     // Readahead failures are harmless; the demand read will retry and
     // surface the error.
@@ -1033,12 +1085,13 @@ std::shared_ptr<sim::Latch> NfsClient::find_inflight_overlap(FileState& f,
   return nullptr;
 }
 
-Task<void> NfsClient::fetch_range(FilePtr file, uint64_t start, uint64_t end) {
+Task<uint64_t> NfsClient::fetch_range(FilePtr file, uint64_t start,
+                                      uint64_t end) {
   // Demand fetches are page-granular (like the Linux page cache); only the
   // readahead path asks for ranges big enough to fill rsize-sized READs.
   start = round_down(start, kPageBytes);
   end = std::min(round_up(end, kPageBytes), file->size);
-  if (start >= end) co_return;
+  if (start >= end) co_return 0;
 
   struct Fetch {
     uint64_t start;
@@ -1073,12 +1126,14 @@ Task<void> NfsClient::fetch_range(FilePtr file, uint64_t start, uint64_t end) {
   }
 
   StatusCollector errors;
+  uint64_t fetched = 0;
   sim::WaitGroup wg(fabric_.simulation());
   for (auto& fetch : fetches) {
-    wg.spawn([](NfsClient& self, FilePtr file, Fetch f,
-                StatusCollector& errors) -> Task<void> {
+    wg.spawn([](NfsClient& self, FilePtr file, Fetch f, StatusCollector& errors,
+                uint64_t& fetched) -> Task<void> {
       try {
         Payload data = co_await self.read_slices(*file, f.start, f.len);
+        fetched += data.size();
         file->content.store(f.start, data);
         const uint64_t before = file->valid.total_length();
         file->valid.add(f.start, f.start + data.size());
@@ -1089,11 +1144,12 @@ Task<void> NfsClient::fetch_range(FilePtr file, uint64_t start, uint64_t end) {
       }
       file->inflight.erase(f.start);
       f.latch->set();
-    }(*this, file, std::move(fetch), errors));
+    }(*this, file, std::move(fetch), errors, fetched));
   }
   co_await wg.wait();
   evict_clean_if_needed();
   errors.throw_if_failed("fetch_range");
+  co_return fetched;
 }
 
 // ---------------------------------------------------------------------------
@@ -1147,6 +1203,244 @@ Task<void> NfsClient::write(FilePtr file, uint64_t offset, Payload data) {
   evict_clean_if_needed();
 }
 
+// ---------------------------------------------------------------------------
+// Per-data-server write-back scheduler
+// ---------------------------------------------------------------------------
+
+NfsClient::DsSched& NfsClient::sched_for(const rpc::RpcAddress& addr) {
+  auto it = scheds_.find(addr);
+  if (it != scheds_.end()) return it->second;
+  DsSched sched;
+  sched.window = std::make_unique<sim::Semaphore>(
+      fabric_.simulation(), std::max<uint32_t>(1, config_.wb_window_per_ds));
+  sched.label =
+      (addr == mds_) ? "mds" : "ds" + std::to_string(addr.node_id);
+  if (obs::MetricsRegistry* reg = fabric_.metrics()) {
+    const std::string& n = node_.name();
+    sched.m_queue_depth =
+        &reg->gauge(n, "client.sched", "queue_depth_" + sched.label);
+    sched.m_queue_peak =
+        &reg->gauge(n, "client.sched", "queue_depth_peak_" + sched.label);
+    sched.m_window_inflight =
+        &reg->gauge(n, "client.sched", "window_inflight_" + sched.label);
+  } else {
+    sched.m_queue_depth = &obs::MetricsRegistry::null_gauge();
+    sched.m_queue_peak = &obs::MetricsRegistry::null_gauge();
+    sched.m_window_inflight = &obs::MetricsRegistry::null_gauge();
+  }
+  return scheds_.emplace(addr, std::move(sched)).first->second;
+}
+
+void NfsClient::note_sched_queue(DsSched& sched) {
+  uint64_t depth = 0;
+  for (const auto& [ino, q] : sched.queues) depth += q.size();
+  sched.m_queue_depth->set(static_cast<double>(depth));
+  if (static_cast<double>(depth) > sched.queue_peak) {
+    sched.queue_peak = static_cast<double>(depth);
+    sched.m_queue_peak->set(sched.queue_peak);
+  }
+}
+
+void NfsClient::enqueue_writeback(const FilePtr& file, IoSlice slice,
+                                  Payload data) {
+  DsSched& sched = sched_for(slice.addr);
+  auto& q = sched.queues[file->attr.fileid];
+  const uint64_t start = slice.target_offset;
+  const uint64_t end = start + slice.length;
+
+  // Newest data wins: trim every queued extent the new bytes overlap down
+  // to its surviving head/tail and re-push those.  The queue stays disjoint,
+  // so dispatch order can never resurrect stale bytes.
+  while (auto hit = q.pop_overlap(start, end)) {
+    const uint64_t old_start = hit->start;
+    const uint64_t old_end = hit->start + hit->length;
+    QueuedWrite& old_qw = hit->value;
+    if (old_start < start) {
+      const uint64_t head_len = start - old_start;
+      QueuedWrite head;
+      head.file = old_qw.file;
+      head.slice = old_qw.slice;
+      head.slice.length = head_len;
+      head.data = old_qw.data.slice(0, head_len);
+      head.enqueued_at = old_qw.enqueued_at;
+      q.push(old_start, head_len, std::move(head));
+    }
+    if (old_end > end) {
+      const uint64_t skip = end - old_start;
+      const uint64_t tail_len = old_end - end;
+      QueuedWrite tail;
+      tail.file = old_qw.file;
+      tail.slice = old_qw.slice;
+      tail.slice.target_offset = end;
+      tail.slice.file_offset += skip;
+      tail.slice.length = tail_len;
+      tail.data = old_qw.data.slice(skip, tail_len);
+      tail.enqueued_at = old_qw.enqueued_at;
+      q.push(end, tail_len, std::move(tail));
+    }
+  }
+
+  QueuedWrite item;
+  item.file = file;
+  item.slice = slice;
+  item.data = std::move(data);
+  item.enqueued_at = fabric_.simulation().now();
+  q.push(start, slice.length, std::move(item));
+  note_sched_queue(sched);
+
+  if (!file->wb_inflight) {
+    file->wb_inflight = std::make_unique<sim::WaitGroup>(fabric_.simulation());
+  }
+  // The worker is scheduled, not run inline, so every extent of this flush
+  // is queued before the first dispatch — that's what makes runs mergeable.
+  file->wb_inflight->spawn(wb_worker(file, slice.addr));
+}
+
+Task<void> NfsClient::wb_worker(FilePtr file, rpc::RpcAddress addr) {
+  DsSched& sched = sched_for(addr);  // stable: scheds_ entries never erased
+  const uint64_t ino = file->attr.fileid;
+  for (;;) {
+    {
+      auto qit = sched.queues.find(ino);
+      if (qit == sched.queues.end() || qit->second.empty()) co_return;
+    }
+    co_await sched.window->acquire();
+    // Re-check: a sibling worker may have drained the queue while this one
+    // waited for a window slot.
+    auto qit = sched.queues.find(ino);
+    if (qit == sched.queues.end() || qit->second.empty()) {
+      if (qit != sched.queues.end()) sched.queues.erase(qit);
+      sched.window->release();
+      co_return;
+    }
+
+    const auto merge_ok = [this](const QueuedWrite& prev,
+                                 const QueuedWrite& next) {
+      // Adjacent in the target's address space (ExtentQueue's invariant)
+      // AND contiguous in file space through the same route: the merged
+      // WRITE must be one valid slice on both axes.
+      return config_.coalesce_writes &&
+             next.slice.device_index == prev.slice.device_index &&
+             next.slice.file_offset ==
+                 prev.slice.file_offset + prev.slice.length;
+    };
+    const auto splitter = [](QueuedWrite& v, uint64_t head_len) {
+      QueuedWrite head;
+      head.file = v.file;
+      head.slice = v.slice;
+      head.slice.length = head_len;
+      head.data = v.data.slice(0, head_len);
+      head.enqueued_at = v.enqueued_at;
+      v.slice.target_offset += head_len;
+      v.slice.file_offset += head_len;
+      v.slice.length -= head_len;
+      v.data = v.data.slice(head_len, v.slice.length);
+      return head;
+    };
+    auto run = qit->second.pop_run(config_.wsize, merge_ok, splitter);
+    if (qit->second.empty()) sched.queues.erase(qit);
+    note_sched_queue(sched);
+    if (run.empty()) {
+      sched.window->release();
+      continue;
+    }
+
+    IoSlice s = run.front().value.slice;
+    Payload data = std::move(run.front().value.data);
+    sim::Time first_enq = run.front().value.enqueued_at;
+    for (size_t i = 1; i < run.size(); ++i) {
+      QueuedWrite& qw = run[i].value;
+      s.length += qw.slice.length;
+      data.append(std::move(qw.data));
+      first_enq = std::min(first_enq, qw.enqueued_at);
+      ++stats_.sched_coalesced_extents;
+      stats_.sched_coalesced_bytes += qw.slice.length;
+      m_sched_coalesced_extents_->inc();
+      m_sched_coalesced_bytes_->add(qw.slice.length);
+    }
+
+    ++sched.inflight;
+    sched.m_window_inflight->set(static_cast<double>(sched.inflight));
+
+    // NIC admission pacing: hold a transmit token for this WRITE's estimated
+    // serialization time, then hand it on while the RPC is still in flight.
+    // Dispatches across all per-DS pipelines thus stagger at wire rate —
+    // keeping server disk work overlapped with later transmissions instead
+    // of bunched after a convoy of time-sliced transfers — and a slow or
+    // dead DS holds the gate for one wire-time at most.
+    co_await tx_gate_->acquire();
+    {
+      sim::Simulation& sim = fabric_.simulation();
+      const double nic_bps = node_.nic().params().bytes_per_sec;
+      const sim::Duration wire = sim::duration_for_bytes(s.length, nic_bps);
+      sim.spawn([](sim::Simulation& sim, sim::Semaphore& gate,
+                   sim::Duration d) -> Task<void> {
+        co_await sim.delay(d);
+        gate.release();
+      }(sim, *tx_gate_, wire));
+    }
+
+    // Root an internal span over queue-entry -> WRITE-done so analyze_trace
+    // can attribute client-queue time per DS; the WRITE RPC below becomes
+    // its child hop.
+    obs::TraceContext ctx;
+    if (tracer_ != nullptr && tracer_->enabled()) ctx = tracer_->begin({});
+    const sim::Time dispatched_at = fabric_.simulation().now();
+
+    StatusCollector errors;
+    co_await run_write_slice(*file, s, std::move(data), errors, ctx);
+    if (errors.failed()) file->wb_error = true;
+    stats_.wire_write_bytes += s.length;
+    ++stats_.sched_writes;
+    m_sched_writes_->inc();
+    m_sched_bytes_->add(s.length);
+
+    if (tracer_ != nullptr && ctx.valid()) {
+      obs::Span span;
+      span.trace_id = ctx.trace_id;
+      span.span_id = ctx.span_id;
+      span.kind = obs::SpanKind::kInternal;
+      span.name = "wb.sched/" + sched.label;
+      span.node = node_.name();
+      span.start = first_enq;
+      span.end = fabric_.simulation().now();
+      span.queue_wait = dispatched_at - first_enq;
+      span.bytes_out = s.length;
+      tracer_->record(std::move(span));
+    }
+
+    if (!errors.failed() && config_.wb_commit_backlog != 0) {
+      uint64_t& backlog = sched.uncommitted[ino];
+      backlog += s.length;
+      if (backlog >= config_.wb_commit_backlog &&
+          !sched.commit_inflight.contains(ino)) {
+        // Enough unstable bytes parked at this DS: start its disk flush
+        // now, under the remaining transmissions, instead of letting it
+        // all pile up behind fsync's final COMMIT.
+        file->wb_inflight->spawn(
+            wb_background_commit(file, addr, s.device_index));
+      }
+    }
+
+    --sched.inflight;
+    sched.m_window_inflight->set(static_cast<double>(sched.inflight));
+    sched.window->release();
+  }
+}
+
+Task<void> NfsClient::wb_background_commit(FilePtr file, rpc::RpcAddress addr,
+                                           size_t device_index) {
+  DsSched& sched = sched_for(addr);
+  const uint64_t ino = file->attr.fileid;
+  sched.commit_inflight.insert(ino);
+  // Bytes completing while this COMMIT is in flight are not covered by it;
+  // they accumulate toward the next trigger.
+  sched.uncommitted[ino] = 0;
+  StatusCollector errors;  // best-effort: fsync's COMMIT retries stragglers
+  co_await run_commit_target(*file, device_index, errors);
+  sched.commit_inflight.erase(ino);
+}
+
 Task<void> NfsClient::flush_dirty(FilePtr file, bool only_full_chunks,
                                   bool wait_completion) {
   const uint64_t chunk = config_.wsize;
@@ -1161,33 +1455,34 @@ Task<void> NfsClient::flush_dirty(FilePtr file, bool only_full_chunks,
     }
   }
 
-  if (!file->wb_window) {
-    file->wb_window = std::make_unique<sim::Semaphore>(
-        fabric_.simulation(), std::max<uint32_t>(1, config_.writeback_window));
+  if (!file->wb_inflight) {
     file->wb_inflight = std::make_unique<sim::WaitGroup>(fabric_.simulation());
   }
 
   // Claim the ranges before suspending so concurrent flushes don't repeat
-  // the work, then feed the bounded write-back pipeline.
+  // the work, then route each range and queue the pieces on their data
+  // servers' pipelines.  Content is loaded here, synchronously: once
+  // claimed, the bytes look clean and are fair game for eviction.
   for (const auto& r : ranges) {
     const uint64_t before = file->dirty.total_length();
     file->dirty.subtract(r.start, r.end);
     dirty_bytes_ -= before - file->dirty.total_length();
   }
   for (const auto& r : ranges) {
-    for (uint64_t cs = r.start; cs < r.end; cs += chunk) {
-      const uint64_t ce = std::min(cs + chunk, r.end);
-      Payload data = file->content.load(cs, ce - cs);
-      file->wb_inflight->spawn(
-          [](NfsClient& self, FilePtr file, uint64_t off, Payload data) -> Task<void> {
-            co_await file->wb_window->acquire();
-            try {
-              co_await self.write_slices(*file, off, data);
-            } catch (const NfsError&) {
-              file->wb_error = true;
-            }
-            file->wb_window->release();
-          }(*this, file, cs, std::move(data)));
+    const auto slices = route(*file, r.start, r.end - r.start,
+                              /*for_write=*/true);
+    for (const auto& s : slices) {
+      uint64_t pos = 0;
+      while (pos < s.length) {
+        const uint64_t n = std::min<uint64_t>(chunk, s.length - pos);
+        IoSlice piece = s;
+        piece.target_offset += pos;
+        piece.file_offset += pos;
+        piece.length = n;
+        Payload data = file->content.load(piece.file_offset, n);
+        enqueue_writeback(file, piece, std::move(data));
+        pos += n;
+      }
     }
   }
 
@@ -1210,6 +1505,9 @@ Task<void> NfsClient::commit_unstable(FileState& f) {
   }
   co_await wg.wait();
   errors.throw_if_failed("COMMIT");
+  // Everything written so far is now stable; reset the background-COMMIT
+  // backlog so the next write burst starts counting from zero.
+  for (auto& [addr, sched] : scheds_) sched.uncommitted.erase(f.attr.fileid);
 }
 
 Task<void> NfsClient::fsync(FilePtr file) {

@@ -48,8 +48,28 @@ struct ClientConfig {
   /// Register a backchannel with the MDS so it can recall layouts.
   bool enable_backchannel = true;
   uint32_t session_slots = 64;
-  /// Max concurrent write-back WRITEs per file (async flush pipeline).
-  uint32_t writeback_window = 2;
+  /// Max concurrent write-back WRITEs **per data server**.  Each DS gets its
+  /// own bounded pipeline (semaphore + elevator queue), so a slow or failed
+  /// DS never stalls flushes destined for healthy ones — the serialization
+  /// the old global write-back window imposed.
+  uint32_t wb_window_per_ds = 8;
+  /// Merge adjacent dirty extents bound for the same DS into one WRITE of up
+  /// to wsize before dispatch (elevator-style coalescing).  Ablation switch.
+  bool coalesce_writes = true;
+  /// Write-back dispatches admitted to the NIC concurrently.  The NIC
+  /// serializes frames, so launching every per-DS pipeline at once just
+  /// time-slices the link and bunches all completions (and the server disk
+  /// work behind them) at the tail.  A dispatch holds a transmit token only
+  /// for its payload's estimated serialization time — never for the full
+  /// RPC — so a slow or dead DS cannot pin the gate.
+  uint32_t wb_wire_tokens = 1;
+  /// Once a data server holds this many completed-but-uncommitted write-back
+  /// bytes for a file, the scheduler issues an asynchronous COMMIT to it so
+  /// the server starts its disk flush under the remaining transmissions
+  /// instead of bunching the whole flush behind fsync's final COMMIT.
+  /// fsync still sends its own one-per-DS COMMIT to cover stragglers.
+  /// 0 disables background commits.
+  uint64_t wb_commit_backlog = 1ull << 20;
   sim::Duration cpu_per_rpc = sim::us(8);
   /// Client copy/checksum cost, charged once at the syscall boundary and
   /// once per RPC carrying data.  Calibrated so one client box sustains
@@ -85,6 +105,10 @@ struct ClientStats {
   uint64_t rpcs = 0;
   uint64_t cache_hit_bytes = 0;
   uint64_t readahead_fetches = 0;
+  // Write-back scheduler (mirrored in the "client.sched" metrics component).
+  uint64_t sched_writes = 0;             ///< write-back WRITEs dispatched
+  uint64_t sched_coalesced_extents = 0;  ///< extents merged into a prior WRITE
+  uint64_t sched_coalesced_bytes = 0;    ///< bytes riding merged WRITEs
   // Recovery (mirrored in the "client.recovery" metrics component).
   uint64_t recovery_retries = 0;    ///< slice retried against the same DS
   uint64_t mds_fallbacks = 0;       ///< slices degraded to MDS proxy I/O
@@ -189,10 +213,46 @@ class NfsClient {
     uint64_t length = 0;
   };
 
+  // Per-data-server write-back scheduler (see flush_dirty): each DS owns a
+  // bounded in-flight window plus an elevator queue of dirty extents; queued
+  // adjacent extents merge into up-to-wsize WRITEs at dispatch.
+  struct QueuedWrite {
+    FilePtr file;
+    IoSlice slice;
+    rpc::Payload data;
+    sim::Time enqueued_at = 0;
+  };
+  struct DsSched {
+    std::unique_ptr<sim::Semaphore> window;
+    /// fileid -> queued extents keyed by target offset (elevator order).
+    std::map<uint64_t, util::ExtentQueue<QueuedWrite>> queues;
+    uint32_t inflight = 0;      ///< WRITEs holding a window permit
+    double queue_peak = 0;      ///< high-water extent count
+    /// fileid -> completed-but-uncommitted bytes (background-COMMIT trigger).
+    std::map<uint64_t, uint64_t> uncommitted;
+    std::set<uint64_t> commit_inflight;  ///< fileids with a COMMIT running
+    std::string label;          ///< "ds<node>" or "mds" (metric suffix)
+    obs::Gauge* m_queue_depth;
+    obs::Gauge* m_queue_peak;
+    obs::Gauge* m_window_inflight;
+  };
+  DsSched& sched_for(const rpc::RpcAddress& addr);
+  void note_sched_queue(DsSched& sched);
+  /// Queues one routed dirty extent, trimming any queued extent the new
+  /// bytes overlap (newest data wins), and spawns a drain worker.
+  void enqueue_writeback(const FilePtr& file, IoSlice slice,
+                         rpc::Payload data);
+  sim::Task<void> wb_worker(FilePtr file, rpc::RpcAddress addr);
+  /// Best-effort COMMIT to one DS while write-back continues (see
+  /// ClientConfig::wb_commit_backlog); fsync's COMMIT covers stragglers.
+  sim::Task<void> wb_background_commit(FilePtr file, rpc::RpcAddress addr,
+                                       size_t device_index);
+
   // Compound plumbing.
   sim::Task<rpc::RpcClient::Reply> call(rpc::RpcAddress addr,
                                         CompoundBuilder builder,
-                                        uint64_t data_bytes);
+                                        uint64_t data_bytes,
+                                        obs::TraceContext trace_parent = {});
   sim::Task<Session*> session_for(rpc::RpcAddress addr);
   rpc::CallOptions call_options(const rpc::RpcAddress& addr) const;
 
@@ -208,7 +268,9 @@ class NfsClient {
   static std::shared_ptr<sim::Latch> find_inflight_overlap(FileState& f,
                                                            uint64_t start,
                                                            uint64_t end);
-  sim::Task<void> fetch_range(FilePtr file, uint64_t start, uint64_t end);
+  /// Returns the number of bytes actually fetched over the wire (0 when the
+  /// whole range was already valid or in flight).
+  sim::Task<uint64_t> fetch_range(FilePtr file, uint64_t start, uint64_t end);
   sim::Task<rpc::Payload> read_slices(FileState& f, uint64_t offset,
                                       uint64_t length);
   sim::Task<void> write_slices(FileState& f, uint64_t offset,
@@ -216,14 +278,16 @@ class NfsClient {
   // Single-attempt slice ops (throw NfsError on failure)...
   sim::Task<rpc::Payload> read_slice_op(FileState& f, const IoSlice& slice);
   sim::Task<void> write_slice_op(FileState& f, const IoSlice& slice,
-                                 rpc::Payload piece);
+                                 rpc::Payload piece,
+                                 obs::TraceContext trace_parent = {});
   sim::Task<void> commit_op(rpc::RpcAddress addr, FileHandle fh);
   // ...and their recovering wrappers: retry same DS, re-fetch the layout,
   // then degrade to the MDS; errors land in the collector.
   sim::Task<void> run_read_slice(FileState& f, IoSlice slice,
                                  rpc::Payload& out, StatusCollector& errors);
   sim::Task<void> run_write_slice(FileState& f, IoSlice slice,
-                                  rpc::Payload piece, StatusCollector& errors);
+                                  rpc::Payload piece, StatusCollector& errors,
+                                  obs::TraceContext trace_parent = {});
   sim::Task<void> run_commit_target(FileState& f, size_t device_index,
                                     StatusCollector& errors);
 
@@ -270,6 +334,13 @@ class NfsClient {
   };
   std::map<rpc::RpcAddress, DsHealth> ds_health_;
 
+  /// Per-data-server write-back pipelines (std::map: references stay stable
+  /// across co_await while new DSes appear).
+  std::map<rpc::RpcAddress, DsSched> scheds_;
+
+  /// NIC admission gate for write-back dispatch (see wb_wire_tokens).
+  std::unique_ptr<sim::Semaphore> tx_gate_;
+
   std::map<std::string, FileHandle> dentry_cache_;
   std::map<uint64_t, FilePtr> files_;  ///< fileid -> shared state
 
@@ -287,12 +358,21 @@ class NfsClient {
   obs::Counter* m_write_bytes_;
   obs::Counter* m_readahead_fetches_;
   obs::Counter* m_rpcs_;
+  // "client.sched" component handles (per-DS gauges live in DsSched).
+  obs::Counter* m_sched_writes_;
+  obs::Counter* m_sched_bytes_;
+  obs::Counter* m_sched_coalesced_extents_;
+  obs::Counter* m_sched_coalesced_bytes_;
   // "client.recovery" component handles.
   obs::Counter* m_retries_;
   obs::Counter* m_fallbacks_;
   obs::Counter* m_breaker_trips_;
   obs::Counter* m_layout_refetches_;
   obs::Counter* m_rpc_retries_;
+  /// Trace sink (null when the fabric carries no tracer); write-back
+  /// dispatches emit a root span here so analyze_trace can attribute
+  /// client-queue time per DS.
+  obs::Tracer* tracer_ = nullptr;
 };
 
 /// Open-file state; exposed so deployments can inspect (tests) but opaque in
@@ -328,8 +408,9 @@ class NfsClient::FileState {
   // uncommitted writes.
   std::set<size_t> unstable_targets;
 
-  // Async write-back pipeline state (created lazily by the client).
-  std::unique_ptr<sim::Semaphore> wb_window;
+  // Async write-back pipeline state (created lazily by the client).  The
+  // in-flight windows themselves live per data server in the client's
+  // scheduler; this only joins this file's outstanding write-backs.
   std::unique_ptr<sim::WaitGroup> wb_inflight;
   bool wb_error = false;
 

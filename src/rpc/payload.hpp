@@ -5,13 +5,24 @@
 // (client cache -> XDR -> wire -> server -> object store and back).  Large
 // benchmarks use *virtual* payloads: the byte count is preserved (and billed
 // to NICs and disks) but no buffer is allocated.
+//
+// Inline payloads are scatter-gather: content lives in an ordered list of
+// fragments, and `append(Payload&&)` splices the other payload's fragments
+// in without copying a byte.  That lets the client coalesce adjacent dirty
+// extents into one WRITE, and reassemble striped READ replies, in O(#pieces)
+// instead of O(bytes).  The fragmentation is invisible on the wire (XDR
+// emits one contiguous opaque) and to comparisons; `data()` gathers into a
+// single buffer on first use for callers that need contiguous bytes.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <stdexcept>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace dpnfs::rpc {
@@ -31,7 +42,7 @@ class Payload {
   static Payload inline_bytes(std::vector<std::byte> data) {
     Payload p;
     p.size_ = data.size();
-    p.data_ = std::move(data);
+    if (!data.empty()) p.frags_.push_back(std::move(data));
     p.inline_ = true;
     return p;
   }
@@ -44,7 +55,21 @@ class Payload {
 
   uint64_t size() const noexcept { return size_; }
   bool is_inline() const noexcept { return inline_; }
-  std::span<const std::byte> data() const noexcept { return data_; }
+
+  /// Contiguous view of the content.  A multi-fragment payload is gathered
+  /// into one buffer on first use (the one place fragmentation costs a
+  /// copy); single-fragment and virtual payloads are free.
+  std::span<const std::byte> data() const {
+    if (frags_.empty()) return {};
+    if (frags_.size() > 1) gather();
+    return frags_.front();
+  }
+
+  /// The scatter-gather fragment list (empty for virtual payloads).
+  const std::vector<std::vector<std::byte>>& fragments() const noexcept {
+    return frags_;
+  }
+  size_t fragment_count() const noexcept { return frags_.size(); }
 
   /// Sub-range [offset, offset+len).  Virtual payloads slice virtually.
   Payload slice(uint64_t offset, uint64_t len) const {
@@ -52,40 +77,83 @@ class Payload {
       throw std::out_of_range("Payload::slice out of range");
     }
     if (!inline_) return virtual_bytes(len);
-    std::vector<std::byte> out(
-        data_.begin() + static_cast<ptrdiff_t>(offset),
-        data_.begin() + static_cast<ptrdiff_t>(offset + len));
+    std::vector<std::byte> out;
+    out.reserve(len);
+    uint64_t pos = 0;  // running offset of the current fragment
+    for (const auto& f : frags_) {
+      const uint64_t lo = std::max(offset, pos);
+      const uint64_t hi = std::min(offset + len, pos + f.size());
+      if (lo < hi) {
+        out.insert(out.end(), f.begin() + static_cast<ptrdiff_t>(lo - pos),
+                   f.begin() + static_cast<ptrdiff_t>(hi - pos));
+      }
+      pos += f.size();
+      if (pos >= offset + len) break;
+    }
     return inline_bytes(std::move(out));
   }
 
-  /// Concatenates `other` after this payload.  Mixing inline and virtual
-  /// degrades to virtual (content cannot be trusted past a virtual gap).
-  /// Appending to an empty payload adopts `other` wholesale.
-  void append(const Payload& other) {
+  /// Concatenates `other` after this payload by splicing its fragments in —
+  /// no byte copy.  Mixing inline and virtual degrades to virtual (content
+  /// cannot be trusted past a virtual gap).  Appending to an empty payload
+  /// adopts `other` wholesale.
+  void append(Payload&& other) {
     if (size_ == 0) {
-      *this = other;
+      *this = std::move(other);
       return;
     }
     if (other.size_ == 0) return;
     if (inline_ && other.inline_) {
-      data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+      for (auto& f : other.frags_) frags_.push_back(std::move(f));
       size_ += other.size_;
       return;
     }
     size_ += other.size_;
     inline_ = false;
-    data_.clear();
+    frags_.clear();
   }
 
+  /// Copying form for callers that must keep `other` intact.
+  void append(const Payload& other) { append(Payload(other)); }
+
+  /// Content equality; fragmentation boundaries are irrelevant.
   bool operator==(const Payload& other) const noexcept {
     if (size_ != other.size_ || inline_ != other.inline_) return false;
-    return !inline_ || data_ == other.data_;
+    if (!inline_) return true;
+    // Walk both fragment lists with cursors; no gather needed.
+    size_t ai = 0, bi = 0, ao = 0, bo = 0;
+    uint64_t left = size_;
+    while (left > 0) {
+      while (ai < frags_.size() && ao == frags_[ai].size()) ++ai, ao = 0;
+      while (bi < other.frags_.size() && bo == other.frags_[bi].size())
+        ++bi, bo = 0;
+      const size_t n = std::min({frags_[ai].size() - ao,
+                                 other.frags_[bi].size() - bo,
+                                 static_cast<size_t>(left)});
+      if (std::memcmp(frags_[ai].data() + ao, other.frags_[bi].data() + bo,
+                      n) != 0) {
+        return false;
+      }
+      ao += n;
+      bo += n;
+      left -= n;
+    }
+    return true;
   }
 
  private:
+  void gather() const {
+    std::vector<std::byte> flat;
+    flat.reserve(size_);
+    for (const auto& f : frags_) flat.insert(flat.end(), f.begin(), f.end());
+    frags_.clear();
+    frags_.push_back(std::move(flat));
+  }
+
   uint64_t size_ = 0;
   bool inline_ = false;
-  std::vector<std::byte> data_;
+  /// Inline content in order; mutable so `data()` can gather lazily.
+  mutable std::vector<std::vector<std::byte>> frags_;
 };
 
 }  // namespace dpnfs::rpc

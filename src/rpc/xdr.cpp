@@ -45,7 +45,13 @@ void XdrEncoder::put_string(std::string_view s) {
 void XdrEncoder::put_payload(const Payload& p) {
   put_bool(p.is_inline());
   if (p.is_inline()) {
-    put_opaque_var(p.data());
+    // Scatter-gather: emit the fragments back-to-back so the wire image is
+    // identical to a single contiguous opaque — no client-side gather copy.
+    put_u32(static_cast<uint32_t>(p.size()));
+    for (const auto& frag : p.fragments()) {
+      buf_.insert(buf_.end(), frag.begin(), frag.end());
+    }
+    pad();
   } else {
     put_u64(p.size());
     virtual_bytes_ += p.size();

@@ -44,8 +44,14 @@ void RangeBuffer::store(uint64_t offset, const Payload& data) {
   erase_real(offset, end);
   if (data.is_inline()) {
     virtual_ranges_.subtract(offset, end);
-    extents_.emplace(offset, std::vector<std::byte>(data.data().begin(),
-                                                    data.data().end()));
+    // Scatter-gather payloads land as one extent per fragment (adjacent in
+    // the map); load() reassembles across extent boundaries anyway.
+    uint64_t pos = offset;
+    for (const auto& frag : data.fragments()) {
+      if (frag.empty()) continue;
+      extents_.emplace(pos, frag);
+      pos += frag.size();
+    }
   } else {
     virtual_ranges_.add(offset, end);
   }

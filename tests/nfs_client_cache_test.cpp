@@ -191,7 +191,7 @@ TEST(ClientCache, RandomSmallReadsFetchPagesNotRsize) {
 
 TEST(ClientCache, WritebackWindowBoundsDoesNotLoseData) {
   ClientConfig cfg;
-  cfg.writeback_window = 1;  // fully serialized pipeline
+  cfg.wb_window_per_ds = 1;  // fully serialized per-DS pipelines
   Rig r(cfg);
   r.run([](Rig& r) -> Task<void> {
     co_await r.client->mount();

@@ -211,6 +211,9 @@ TEST(NfsEndToEnd, SequentialReadTriggersReadahead) {
     co_await f.client->write(file, 0, Payload::virtual_bytes(32_MiB));
     co_await f.client->fsync(file);
     co_await f.client->close(file);
+    // The write left the whole file cached; readahead only counts *real*
+    // fetches, so start the read phase cold.
+    f.client->drop_caches();
 
     auto rd = co_await f.client->open("/seq", false);
     for (uint64_t off = 0; off < 32_MiB; off += 8_KiB) {

@@ -29,6 +29,15 @@ import tempfile
 # Counters every client.recovery component must export (docs/failures.md).
 RECOVERY_COUNTERS = ("retries", "fallbacks", "breaker_trips")
 
+# Counters every client.sched component (per-DS write-back scheduler) must
+# export (docs/observability.md).  Its gauges are dynamic — one
+# queue_depth/queue_depth_peak/window_inflight triple per data server the
+# client has dispatched to, suffixed "_mds" or "_ds<N>".
+SCHED_COUNTERS = ("dispatched_writes", "dispatched_bytes",
+                  "coalesced_extents", "coalesced_bytes")
+SCHED_GAUGE_PREFIXES = ("queue_depth_", "queue_depth_peak_",
+                        "window_inflight_")
+
 TRACE_KEYS = {
     "traces_started": int,
     "rpc_hops_total": int,
@@ -90,6 +99,27 @@ def check_recovery_component(path, comp):
                 f"{type(counters[name]).__name__}")
 
 
+def check_sched_component(path, comp):
+    """The per-DS write-back scheduler: fixed counters, dynamic per-DS
+    gauges (one depth/peak/inflight triple per data server dispatched to)."""
+    counters = comp.get("counters", {})
+    if isinstance(counters, dict):
+        for name in SCHED_COUNTERS:
+            if name not in counters:
+                err(path, f"client.sched missing counter '{name}'")
+            elif not isinstance(counters[name], int):
+                err(f"{path}.counters.{name}",
+                    f"sched counter should be int, got "
+                    f"{type(counters[name]).__name__}")
+    gauges = comp.get("gauges", {})
+    if isinstance(gauges, dict):
+        for name in gauges:
+            if not any(name.startswith(p) for p in SCHED_GAUGE_PREFIXES):
+                err(f"{path}.gauges.{name}",
+                    "client.sched gauge should match queue_depth_*/"
+                    "queue_depth_peak_*/window_inflight_*")
+
+
 def check_component(path, comp):
     if not check_type(path, comp, dict, "component"):
         return
@@ -126,10 +156,16 @@ def check_metrics_doc(path, doc):
     for node, components in nodes.items():
         if not check_type(f"{path}.nodes.{node}", components, dict, "node"):
             continue
+        # Every NFS client registers its write-back scheduler alongside its
+        # cache component at construction.
+        if "client.cache" in components and "client.sched" not in components:
+            err(f"{path}.nodes.{node}", "client node missing client.sched")
         for comp, body in components.items():
             check_component(f"{path}.nodes.{node}.{comp}", body)
             if comp == "client.recovery" and isinstance(body, dict):
                 check_recovery_component(f"{path}.nodes.{node}.{comp}", body)
+            if comp == "client.sched" and isinstance(body, dict):
+                check_sched_component(f"{path}.nodes.{node}.{comp}", body)
 
     # Every export must carry per-node resource gauges for at least one
     # storage node — this is what decomposes "where the bytes went".
