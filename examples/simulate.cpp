@@ -68,7 +68,8 @@ int main(int argc, char** argv) {
         "                [--latency-us=N] [--nic-mbps=N] [--verbose]\n"
         "                [--wb-window-per-ds=N] [--no-coalesce]\n"
         "                [--fault-ds-crash=N] [--fault-at-ms=T]\n"
-        "                [--fault-revive-ms=T]\n"
+        "                [--fault-revive-ms=T] [--fault-ds-restart=N]\n"
+        "                [--chaos-seed=S] [--chaos-restarts=N]\n"
         "                [--trace-out=FILE] [--trace-spans=N]\n"
         "                [--breakdown] [--sample-ms=N]\n"
         "\n"
@@ -80,6 +81,16 @@ int main(int argc, char** argv) {
         "--fault-ds-crash=N kills the NFS data-server daemon on storage\n"
         "node N (and enables the client recovery knobs, see\n"
         "docs/failures.md); the run must still complete via MDS fallback.\n"
+        "\n"
+        "--fault-ds-restart=N crash-restarts the data service on storage\n"
+        "node N: the service revives at --fault-revive-ms (default\n"
+        "--fault-at-ms + 500) with a fresh boot verifier, and clients must\n"
+        "replay any unstable writes the dead incarnation was buffering\n"
+        "(docs/failures.md, 'Restart semantics').\n"
+        "--chaos-seed=S schedules a seeded, reproducible storm of service\n"
+        "restarts (--chaos-restarts of them, default 3 data-server plus one\n"
+        "MDS restart) across the run; the same seed yields the same\n"
+        "schedule.\n"
         "\n"
         "--trace-out=FILE writes every retained span as Chrome/Perfetto\n"
         "trace_event JSON (open in ui.perfetto.dev); span retention is\n"
@@ -142,6 +153,96 @@ int main(int argc, char** argv) {
     cfg.nfs_client.breaker_reset = sim::sec(60);
   }
 
+  // Data-service and MDS endpoints by architecture (node ids are assigned
+  // in Deployment add-order: storage nodes first).
+  auto ds_target = [&cfg](uint32_t i) -> std::pair<uint32_t, uint16_t> {
+    switch (cfg.architecture) {
+      case core::Architecture::kNativePvfs:
+        return {i % cfg.storage_nodes, rpc::kPvfsIoPort};
+      case core::Architecture::kPnfs3Tier:
+        return {cfg.storage_nodes / 2 + (i % cfg.three_tier_data_servers),
+                rpc::kNfsPort};
+      case core::Architecture::kPlainNfs:
+        return {cfg.storage_nodes, rpc::kNfsPort};
+      default:
+        return {i % cfg.storage_nodes, rpc::kNfsPort};
+    }
+  };
+  auto mds_target = [&cfg]() -> std::pair<uint32_t, uint16_t> {
+    switch (cfg.architecture) {
+      case core::Architecture::kNativePvfs:
+        return {0u, rpc::kPvfsMetaPort};
+      case core::Architecture::kPnfs3Tier:
+        return {cfg.storage_nodes / 2, core::kMdsPort};
+      case core::Architecture::kPlainNfs:
+        return {cfg.storage_nodes, rpc::kNfsPort};
+      default:
+        return {0u, core::kMdsPort};
+    }
+  };
+  // Recovery knobs for faults the run is expected to ride out: deadlines,
+  // retries that outlast a crash window, an MDS grace period, and — on
+  // Direct-pNFS — no MDS write fallback (the data server and the PVFS
+  // daemon share the node's object store, so proxying writes around a
+  // restarting DS would dodge the very state loss being tested; see
+  // docs/failures.md).
+  auto enable_restart_recovery = [&cfg] {
+    // The retry budget must outlast back-to-back crash windows (the chaos
+    // schedule can hit the same service repeatedly), not just one outage.
+    cfg.nfs_client.ds_timeout = sim::ms(250);
+    cfg.nfs_client.ds_rpc_retries = 8;
+    cfg.nfs_client.slice_retries = 4;
+    cfg.nfs_client.breaker_threshold = 4;
+    cfg.nfs_client.breaker_reset = sim::ms(500);
+    cfg.nfs_client.mds_timeout = sim::ms(500);
+    cfg.mds_grace_period = sim::ms(200);
+    cfg.pvfs_client.io_timeout = sim::ms(250);
+    cfg.pvfs_client.io_retries = 10;
+    cfg.pvfs_client.meta_timeout = sim::ms(500);
+    cfg.pvfs_client.meta_retries = 6;
+    if (cfg.architecture == core::Architecture::kDirectPnfs) {
+      cfg.nfs_client.mds_fallback = false;
+    }
+  };
+
+  const int fault_restart =
+      std::atoi(arg_value(argc, argv, "--fault-ds-restart", "-1"));
+  if (fault_restart >= 0) {
+    const sim::Time at =
+        sim::ms(std::atoll(arg_value(argc, argv, "--fault-at-ms", "1000")));
+    const long long revive_ms =
+        std::atoll(arg_value(argc, argv, "--fault-revive-ms", "0"));
+    const sim::Time revive = revive_ms > 0 ? sim::ms(revive_ms) : at + sim::ms(500);
+    const auto [node, port] = ds_target(static_cast<uint32_t>(fault_restart));
+    cfg.faults.crash_service(node, port, at, revive);
+    enable_restart_recovery();
+  }
+
+  const long long chaos_seed =
+      std::atoll(arg_value(argc, argv, "--chaos-seed", "-1"));
+  if (chaos_seed >= 0) {
+    const int chaos_restarts =
+        std::atoi(arg_value(argc, argv, "--chaos-restarts", "3"));
+    uint64_t s = static_cast<uint64_t>(chaos_seed);
+    auto next = [&s]() {  // SplitMix64: the schedule is a pure seed function
+      s += 0x9E3779B97F4A7C15ull;
+      uint64_t z = s;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      return z ^ (z >> 31);
+    };
+    for (int i = 0; i < chaos_restarts; ++i) {
+      const auto [node, port] = ds_target(static_cast<uint32_t>(next()));
+      const sim::Time at = sim::ms(200 + static_cast<int64_t>(next() % 2000));
+      cfg.faults.crash_service(node, port, at,
+                               at + sim::ms(200 + static_cast<int64_t>(next() % 400)));
+    }
+    const auto [mds_node, mds_port] = mds_target();
+    const sim::Time mds_at = sim::ms(500 + static_cast<int64_t>(next() % 1500));
+    cfg.faults.crash_service(mds_node, mds_port, mds_at, mds_at + sim::ms(300));
+    enable_restart_recovery();
+  }
+
   core::Deployment d(cfg);
   const std::string wl = arg_value(argc, argv, "--workload", "ior-write");
 
@@ -192,14 +293,24 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(result.transactions),
                 result.tps());
   }
-  if (fault_ds >= 0) {
+  if (fault_ds >= 0 || fault_restart >= 0 || chaos_seed >= 0) {
     uint64_t retries = 0, fallbacks = 0, trips = 0;
+    uint64_t mismatches = 0, replayed = 0, replayed_bytes = 0;
     for (size_t i = 0; i < d.client_count(); ++i) {
       if (auto* c = dynamic_cast<core::NfsFileSystemClient*>(&d.client(i))) {
         const auto& s = c->native().stats();
         retries += s.recovery_retries;
         fallbacks += s.mds_fallbacks;
         trips += s.breaker_trips;
+        mismatches += s.verifier_mismatches;
+        replayed += s.replayed_extents;
+        replayed_bytes += s.replayed_bytes;
+      } else if (auto* p =
+                     dynamic_cast<core::PvfsFileSystemClient*>(&d.client(i))) {
+        const auto& s = p->native().stats();
+        mismatches += s.verifier_mismatches;
+        replayed += s.replayed_extents;
+        replayed_bytes += s.replayed_bytes;
       }
     }
     std::printf("recovery          %llu retries, %llu MDS fallbacks, "
@@ -207,6 +318,11 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(retries),
                 static_cast<unsigned long long>(fallbacks),
                 static_cast<unsigned long long>(trips));
+    std::printf("replay            %llu verifier mismatches, %llu extents "
+                "(%.1f MB) replayed\n",
+                static_cast<unsigned long long>(mismatches),
+                static_cast<unsigned long long>(replayed),
+                replayed_bytes / 1e6);
   }
   if (flag(argc, argv, "--verbose")) {
     std::printf("\nper-node traffic:\n");

@@ -103,6 +103,10 @@ class ConduitBackend final : public nfs::Backend {
     co_return st;
   }
 
+  // A restart of the exporting server kills the wrapped backend's volatile
+  // state too — the conduit itself holds none.
+  void on_server_restart() override { inner_.on_server_restart(); }
+
  private:
   /// One kernel<->daemon crossing: fixed CPU plus a loopback copy.
   sim::Task<void> cross(uint64_t bytes) {

@@ -126,6 +126,12 @@ void Deployment::add_nfs_clients(rpc::RpcAddress mds, bool pnfs_enabled) {
 // Architectures
 // ---------------------------------------------------------------------------
 
+nfs::ServerConfig Deployment::mds_server_config() const {
+  nfs::ServerConfig scfg = config_.nfs_server;
+  scfg.grace_period = config_.mds_grace_period;
+  return scfg;
+}
+
 void Deployment::build_direct_pnfs() {
   build_backend_cluster(config_.storage_nodes, 1.0);
 
@@ -173,7 +179,7 @@ void Deployment::build_direct_pnfs() {
   translator_->attach_metrics(metrics_, storage_nodes_[0]->name());
   nfs_servers_.push_back(std::make_unique<nfs::NfsServer>(
       fabric_, *storage_nodes_[0], kMdsPort, *mds_backend, translator_.get(),
-      config_.nfs_server));
+      mds_server_config()));
   nfs_servers_.back()->start();
   const rpc::RpcAddress mds = nfs_servers_.back()->address();
   backends_.push_back(std::move(mds_backend));
@@ -230,7 +236,7 @@ void Deployment::build_pnfs_2tier() {
   synthetic_layouts_->attach_metrics(metrics_, storage_nodes_[0]->name());
   nfs_servers_.push_back(std::make_unique<nfs::NfsServer>(
       fabric_, *storage_nodes_[0], kMdsPort, *mds_backend,
-      synthetic_layouts_.get(), config_.nfs_server));
+      synthetic_layouts_.get(), mds_server_config()));
   nfs_servers_.back()->start();
   const rpc::RpcAddress mds = nfs_servers_.back()->address();
   backends_.push_back(std::move(mds_backend));
@@ -280,7 +286,7 @@ void Deployment::build_pnfs_3tier() {
   synthetic_layouts_->attach_metrics(metrics_, ds_nodes[0]->name());
   nfs_servers_.push_back(std::make_unique<nfs::NfsServer>(
       fabric_, *ds_nodes[0], kMdsPort, *mds_backend, synthetic_layouts_.get(),
-      config_.nfs_server));
+      mds_server_config()));
   nfs_servers_.back()->start();
   const rpc::RpcAddress mds = nfs_servers_.back()->address();
   backends_.push_back(std::move(mds_backend));
@@ -300,7 +306,7 @@ void Deployment::build_plain_nfs() {
                                                registry_);
   nfs_servers_.push_back(std::make_unique<nfs::NfsServer>(
       fabric_, server_node, rpc::kNfsPort, *backend, nullptr,
-      config_.nfs_server));
+      mds_server_config()));
   nfs_servers_.back()->start();
   const rpc::RpcAddress mds = nfs_servers_.back()->address();
   backends_.push_back(std::move(backend));

@@ -46,6 +46,12 @@ enum class Architecture {
 
 const char* architecture_name(Architecture a);
 
+/// Well-known service ports, public so fault plans can target a specific
+/// service on a node (e.g. crash the MDS but not the co-located storage
+/// daemon).  Data servers listen on rpc::kNfsPort (2049); the PVFS daemons
+/// on rpc::kPvfsMetaPort / rpc::kPvfsIoPort.
+inline constexpr uint16_t kMdsPort = 2050;
+
 /// Every knob of the testbed.  Defaults reproduce the paper's setup:
 /// 6 storage nodes (+1 metadata double-duty), gigabit Ethernet with jumbo
 /// frames, 2 MB stripes, 2 MB rsize/wsize, 8 nfsd threads.
@@ -93,6 +99,12 @@ struct ClusterConfig {
   /// injected into the cluster's network.  Empty by default: fault-free
   /// runs build no injector and pay nothing.
   sim::FaultPlan faults{};
+
+  /// Grace window the MDS opens after a restart: sessions unknown to the
+  /// new boot instance get NFS4ERR_GRACE (retryable) instead of
+  /// BADSESSION while state is re-established.  Data servers stay at 0
+  /// (stateless data path; see nfs::ServerConfig::grace_period).
+  sim::Duration mds_grace_period = 0;
 
   /// Simulated-time interval between utilization samples once
   /// `start_sampling()` runs (run_workload starts/stops it around the timed
@@ -208,7 +220,8 @@ class Deployment {
 
   sim::Task<void> sampler_loop();
 
-  static constexpr uint16_t kMdsPort = 2050;
+  /// config_.nfs_server with the MDS grace window applied.
+  nfs::ServerConfig mds_server_config() const;
 
   ClusterConfig config_;
   sim::Simulation sim_;

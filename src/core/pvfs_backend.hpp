@@ -106,6 +106,10 @@ class PvfsBackend final : public nfs::Backend, public PfsLayoutProvider {
   sim::Task<nfs::Status> commit(nfs::FileHandle fh,
                                 obs::TraceContext trace = {}) override;
 
+  // A restart of the exporting NFS server must not let its embedded PVFS
+  // client resurrect the dead incarnation's buffered write pieces.
+  void on_server_restart() override { client_.drop_replay_state(); }
+
   // -- PfsLayoutProvider -------------------------------------------------------
   bool describe(nfs::FileHandle fh, PfsLayoutDescription* out) override;
   sim::Task<uint64_t> on_layout_commit(nfs::FileHandle fh,

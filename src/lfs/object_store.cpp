@@ -107,6 +107,19 @@ void ObjectStore::drop_caches() {
   resident_.clear();
 }
 
+uint64_t ObjectStore::drop_dirty() {
+  const uint64_t lost = dirty_bytes_;
+  for (auto& [oid, obj] : objects_) {
+    for (const auto& iv : obj.dirty.intervals()) {
+      obj.content.drop(iv.start, iv.end);
+    }
+    obj.dirty.clear();
+  }
+  dirty_queue_.clear();
+  dirty_bytes_ = 0;
+  return lost;
+}
+
 Task<void> ObjectStore::write(ObjectId oid, uint64_t offset, Payload data,
                               bool stable) {
   if (!exists(oid)) create(oid);

@@ -103,6 +103,14 @@ class ObjectStore {
   /// Drops all clean cache residency (benchmark cold-cache helper).
   void drop_caches();
 
+  /// Crash semantics: the write-behind buffer was volatile memory, so a
+  /// service restart loses every unflushed dirty extent.  Their content is
+  /// dropped (lost ranges read back as zeros — the loss is observable, not
+  /// papered over) and the dirty bookkeeping is cleared.  Object sizes and
+  /// flushed data survive: metadata and stable storage are durable.
+  /// Returns the number of dirty bytes lost.
+  uint64_t drop_dirty();
+
  private:
   struct Object {
     uint64_t size = 0;

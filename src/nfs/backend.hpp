@@ -66,6 +66,12 @@ class Backend {
                                   obs::TraceContext trace = {}) = 0;
   virtual sim::Task<Status> commit(FileHandle fh,
                                    obs::TraceContext trace = {}) = 0;
+
+  /// Invoked by the server when it detects its own restart (boot instance
+  /// bump): the backend must shed whatever state the crash made volatile.
+  /// LocalBackend drops its store's unflushed dirty extents; proxy backends
+  /// hold no volatile data of their own and keep the default no-op.
+  virtual void on_server_restart() {}
 };
 
 /// Supplies pNFS device lists and layouts.  Absent (nullptr) on servers

@@ -78,6 +78,12 @@ NfsClient::NfsClient(rpc::RpcFabric& fabric, sim::Node& node,
     m_layout_refetches_ =
         &reg->counter(n, "client.recovery", "layout_refetches");
     m_rpc_retries_ = &reg->counter(n, "client.recovery", "rpc_retries");
+    m_verifier_mismatches_ =
+        &reg->counter(n, "client.replay", "verifier_mismatches");
+    m_replayed_extents_ = &reg->counter(n, "client.replay", "replayed_extents");
+    m_replayed_bytes_ = &reg->counter(n, "client.replay", "replayed_bytes");
+    m_session_recoveries_ =
+        &reg->counter(n, "client.replay", "session_recoveries");
   } else {
     m_hit_bytes_ = &obs::MetricsRegistry::null_counter();
     m_miss_bytes_ = &obs::MetricsRegistry::null_counter();
@@ -94,6 +100,10 @@ NfsClient::NfsClient(rpc::RpcFabric& fabric, sim::Node& node,
     m_breaker_trips_ = &obs::MetricsRegistry::null_counter();
     m_layout_refetches_ = &obs::MetricsRegistry::null_counter();
     m_rpc_retries_ = &obs::MetricsRegistry::null_counter();
+    m_verifier_mismatches_ = &obs::MetricsRegistry::null_counter();
+    m_replayed_extents_ = &obs::MetricsRegistry::null_counter();
+    m_replayed_bytes_ = &obs::MetricsRegistry::null_counter();
+    m_session_recoveries_ = &obs::MetricsRegistry::null_counter();
   }
   // Transport-level retries surface under this client's recovery component.
   rpc_.set_retry_counter(m_rpc_retries_);
@@ -108,10 +118,11 @@ NfsClient::~NfsClient() = default;
 // Sessions and compound plumbing
 // ---------------------------------------------------------------------------
 
-Task<NfsClient::Session*> NfsClient::session_for(rpc::RpcAddress addr) {
+Task<std::shared_ptr<NfsClient::Session>> NfsClient::session_for(
+    rpc::RpcAddress addr) {
   while (true) {
     if (auto it = sessions_.find(addr); it != sessions_.end()) {
-      co_return &it->second;
+      co_return it->second;
     }
     if (auto it = session_creating_.find(addr); it != session_creating_.end()) {
       auto latch = it->second;
@@ -150,15 +161,14 @@ Task<NfsClient::Session*> NfsClient::session_for(rpc::RpcAddress addr) {
       CompoundReply r2(std::move(raw2));
       const auto cs = r2.expect<CreateSessionRes>(OpCode::kCreateSession);
 
-      Session session;
-      session.id = cs.session;
-      session.slots = std::make_unique<sim::Semaphore>(
+      auto session = std::make_shared<Session>();
+      session->id = cs.session;
+      session->slots = std::make_unique<sim::Semaphore>(
           fabric_.simulation(), std::max<uint32_t>(1, cs.max_slots));
-      auto [sit, ok] = sessions_.emplace(addr, std::move(session));
-      (void)ok;
+      sessions_[addr] = session;
       session_creating_.erase(addr);
       latch->set();
-      co_return &sit->second;
+      co_return session;
     } catch (...) {
       // Wake anyone parked on the latch; they retry (and likely fail the
       // same way) instead of hanging forever on a dead server.
@@ -174,7 +184,13 @@ Task<NfsClient::Session*> NfsClient::session_for(rpc::RpcAddress addr) {
 /// (the MDS is the recovery path — timing it out has nowhere to go).
 rpc::CallOptions NfsClient::call_options(const rpc::RpcAddress& addr) const {
   rpc::CallOptions opts;
-  if (!(addr == mds_) && config_.ds_timeout > 0) {
+  if (addr == mds_) {
+    if (config_.mds_timeout > 0) {
+      opts.timeout = config_.mds_timeout;
+      opts.max_retries = config_.ds_rpc_retries;
+      opts.backoff = config_.mds_timeout / 4;
+    }
+  } else if (config_.ds_timeout > 0) {
     opts.timeout = config_.ds_timeout;
     opts.max_retries = config_.ds_rpc_retries;
     opts.backoff = config_.ds_timeout / 4;
@@ -182,25 +198,88 @@ rpc::CallOptions NfsClient::call_options(const rpc::RpcAddress& addr) const {
   return opts;
 }
 
+namespace {
+
+/// The SEQUENCE result is always the compound's first; its status tells us
+/// whether the server recognized our session.  Returns kOk for replies that
+/// cannot be peeked (transport failures surface via CompoundReply instead).
+Status peek_sequence_status(const rpc::RpcClient::Reply& reply) {
+  if (!reply.ok()) return Status::kOk;
+  try {
+    rpc::XdrDecoder dec = reply.body();
+    if (dec.get_u32() == 0) return Status::kOk;
+    const OpResultHeader h = OpResultHeader::decode(dec);
+    return h.op == OpCode::kSequence ? h.status : Status::kOk;
+  } catch (const rpc::XdrError&) {
+    return Status::kOk;
+  }
+}
+
+}  // namespace
+
+void NfsClient::session_lost(const rpc::RpcAddress& addr,
+                             const SessionId& sid) {
+  if (auto it = sessions_.find(addr);
+      it != sessions_.end() && it->second->id == sid) {
+    sessions_.erase(it);
+  }
+  ++stats_.session_recoveries;
+  m_session_recoveries_->inc();
+  if (addr == mds_) {
+    // The MDS restarted: layouts and open stateids it granted died with it.
+    // Layouts are re-fetched once per file at the next data-path entry;
+    // opens degrade to the anonymous stateid (the revived server holds no
+    // open state to match, and CLOSE would only earn a BAD_STATEID).
+    for (auto& [ino, f] : files_) {
+      if (f->layout) f->layout_stale = true;
+      f->server_opens = 0;
+    }
+  }
+  util::logf(util::LogLevel::kInfo, "nfs.client", fabric_.simulation().now(),
+             "session %llu to node %u port %u lost (server restart); "
+             "re-establishing",
+             static_cast<unsigned long long>(sid.id), addr.node_id,
+             static_cast<unsigned>(addr.port));
+}
+
 Task<rpc::RpcClient::Reply> NfsClient::call(rpc::RpcAddress addr,
                                             CompoundBuilder builder,
                                             uint64_t data_bytes,
                                             obs::TraceContext trace_parent) {
-  Session* s = co_await session_for(addr);
-  co_await s->slots->acquire();
-  const auto cpu = config_.cpu_per_rpc +
-                   static_cast<sim::Duration>(config_.cpu_ns_per_byte *
-                                              static_cast<double>(data_bytes));
-  co_await node_.cpu().execute(cpu);
-  ++stats_.rpcs;
-  m_rpcs_->inc();
-  rpc::CallOptions opts = call_options(addr);
-  opts.parent = trace_parent;
-  auto reply = co_await rpc_.call(addr, rpc::Program::kNfs, kNfsVersion,
-                                  kProcCompound, std::move(builder).finish(),
-                                  opts);
-  s->slots->release();
-  co_return reply;
+  // Attempts to revive a session against a restarted server before the
+  // BADSESSION/GRACE answer surfaces to the caller as an error.
+  constexpr uint32_t kSessionRetries = 3;
+  rpc::XdrEncoder encoded = std::move(builder).finish();
+  for (uint32_t attempt = 0;; ++attempt) {
+    std::shared_ptr<Session> s = co_await session_for(addr);
+    // Every compound starts with SEQUENCE, so the session id sits at a fixed
+    // offset: [0,4) op count, [4,8) opcode, [8,16) session id.  Patching it
+    // here (instead of trusting the id baked in at build time) lets a
+    // re-established session re-send the identical compound.
+    rpc::XdrEncoder msg = encoded;
+    msg.patch_u32(8, static_cast<uint32_t>(s->id.id >> 32));
+    msg.patch_u32(12, static_cast<uint32_t>(s->id.id & 0xFFFFFFFFu));
+    co_await s->slots->acquire();
+    const auto cpu = config_.cpu_per_rpc +
+                     static_cast<sim::Duration>(config_.cpu_ns_per_byte *
+                                                static_cast<double>(data_bytes));
+    co_await node_.cpu().execute(cpu);
+    ++stats_.rpcs;
+    m_rpcs_->inc();
+    rpc::CallOptions opts = call_options(addr);
+    opts.parent = trace_parent;
+    auto reply = co_await rpc_.call(addr, rpc::Program::kNfs, kNfsVersion,
+                                    kProcCompound, std::move(msg), opts);
+    s->slots->release();
+    if (attempt < kSessionRetries) {
+      const Status seq = peek_sequence_status(reply);
+      if (seq == Status::kBadSession || seq == Status::kGrace) {
+        session_lost(addr, s->id);
+        continue;
+      }
+    }
+    co_return reply;
+  }
 }
 
 /// Starts a compound with a SEQUENCE op for `addr`'s session.  The session
@@ -218,7 +297,7 @@ static CompoundBuilder with_sequence(const SessionId& sid) {
 
 Task<void> NfsClient::mount() {
   if (mounted_) co_return;
-  Session* s = co_await session_for(mds_);
+  auto s = co_await session_for(mds_);
 
   CompoundBuilder b = with_sequence(s->id);
   b.add(OpCode::kPutRootFh);
@@ -268,7 +347,7 @@ Task<FileHandle> NfsClient::resolve(const std::string& path) {
   }
   if (start == comps.size()) co_return cur_fh;
 
-  Session* s = co_await session_for(mds_);
+  auto s = co_await session_for(mds_);
   CompoundBuilder b = with_sequence(s->id);
   b.add(OpCode::kPutFh, PutFhArgs{cur_fh});
   for (size_t i = start; i < comps.size(); ++i) {
@@ -345,8 +424,11 @@ Task<void> NfsClient::serve_callback(const rpc::CallContext& ctx,
         break;
       }
       if (file) {
-        co_await flush_dirty(file, /*only_full_chunks=*/false, /*wait=*/true);
-        co_await commit_unstable(*file);
+        for (int round = 0; round < 4; ++round) {
+          co_await flush_dirty(file, /*only_full_chunks=*/false, /*wait=*/true);
+          co_await commit_unstable(*file);
+          if (file->dirty.empty() && file->unstable_targets.empty()) break;
+        }
         file->layout.reset();
         util::logf(util::LogLevel::kInfo, "nfs.client",
                    fabric_.simulation().now(), "layout for fileid %llu recalled",
@@ -375,7 +457,7 @@ Task<void> NfsClient::serve_callback(const rpc::CallContext& ctx,
 
 Task<void> NfsClient::truncate(const std::string& path, uint64_t size) {
   const FileHandle fh = co_await resolve(path);
-  Session* s = co_await session_for(mds_);
+  auto s = co_await session_for(mds_);
   CompoundBuilder b = with_sequence(s->id);
   b.add(OpCode::kPutFh, PutFhArgs{fh});
   b.add(OpCode::kSetattr, SetattrArgs{true, size});
@@ -392,6 +474,10 @@ Task<void> NfsClient::truncate(const std::string& path, uint64_t size) {
       state->valid.subtract(size, ~0ull);
       state->dirty.subtract(size, ~0ull);
       state->content.drop(size, ~0ull);
+      // Truncated bytes need no replay either.
+      for (auto& [idx, t] : state->commit_targets) {
+        t.uncommitted.subtract(size, ~0ull);
+      }
       account_valid_delta(*state, -static_cast<int64_t>(
                                       valid_before - state->valid.total_length()));
       dirty_bytes_ -= dirty_before - state->dirty.total_length();
@@ -404,7 +490,7 @@ Task<void> NfsClient::truncate(const std::string& path, uint64_t size) {
 Task<void> NfsClient::mkdir(const std::string& path) {
   const auto [dir, name] = split_parent(path);
   const FileHandle parent = co_await resolve(dir);
-  Session* s = co_await session_for(mds_);
+  auto s = co_await session_for(mds_);
   CompoundBuilder b = with_sequence(s->id);
   b.add(OpCode::kPutFh, PutFhArgs{parent});
   b.add(OpCode::kCreate, CreateArgs{name});
@@ -419,7 +505,7 @@ Task<void> NfsClient::mkdir(const std::string& path) {
 Task<void> NfsClient::remove(const std::string& path) {
   const auto [dir, name] = split_parent(path);
   const FileHandle parent = co_await resolve(dir);
-  Session* s = co_await session_for(mds_);
+  auto s = co_await session_for(mds_);
   CompoundBuilder b = with_sequence(s->id);
   b.add(OpCode::kPutFh, PutFhArgs{parent});
   b.add(OpCode::kRemove, RemoveArgs{name});
@@ -435,7 +521,7 @@ Task<void> NfsClient::rename(const std::string& from, const std::string& to) {
   const auto [dst_dir, new_name] = split_parent(to);
   const FileHandle src = co_await resolve(src_dir);
   const FileHandle dst = co_await resolve(dst_dir);
-  Session* s = co_await session_for(mds_);
+  auto s = co_await session_for(mds_);
   CompoundBuilder b = with_sequence(s->id);
   b.add(OpCode::kPutFh, PutFhArgs{src});
   b.add(OpCode::kSaveFh);
@@ -453,7 +539,7 @@ Task<void> NfsClient::rename(const std::string& from, const std::string& to) {
 
 Task<std::vector<DirEntry>> NfsClient::readdir(const std::string& path) {
   const FileHandle dir = co_await resolve(path);
-  Session* s = co_await session_for(mds_);
+  auto s = co_await session_for(mds_);
   CompoundBuilder b = with_sequence(s->id);
   b.add(OpCode::kPutFh, PutFhArgs{dir});
   b.add(OpCode::kReaddir);
@@ -465,7 +551,7 @@ Task<std::vector<DirEntry>> NfsClient::readdir(const std::string& path) {
 
 Task<Fattr> NfsClient::stat(const std::string& path) {
   const FileHandle fh = co_await resolve(path);
-  Session* s = co_await session_for(mds_);
+  auto s = co_await session_for(mds_);
   CompoundBuilder b = with_sequence(s->id);
   b.add(OpCode::kPutFh, PutFhArgs{fh});
   b.add(OpCode::kGetattr);
@@ -497,7 +583,7 @@ Task<NfsClient::FilePtr> NfsClient::open(const std::string& path, bool create,
 
   const auto [dir, name] = split_parent(path);
   const FileHandle parent = co_await resolve(dir);
-  Session* s = co_await session_for(mds_);
+  auto s = co_await session_for(mds_);
   CompoundBuilder b = with_sequence(s->id);
   b.add(OpCode::kPutFh, PutFhArgs{parent});
   b.add(OpCode::kOpen,
@@ -581,7 +667,7 @@ Task<void> NfsClient::close(FilePtr file) {
   // the server holds more opens than we have handles left.
   Fattr fresh = file->attr;
   if (file->server_opens > file->open_count) {
-    Session* s = co_await session_for(mds_);
+    auto s = co_await session_for(mds_);
     CompoundBuilder b = with_sequence(s->id);
     b.add(OpCode::kPutFh, PutFhArgs{file->fh});
     b.add(OpCode::kGetattr);  // refresh change/size for close-to-open caching
@@ -611,14 +697,17 @@ Task<void> NfsClient::close(FilePtr file) {
 }
 
 void NfsClient::invalidate_clean(FileState& st) {
+  // Pinned ranges (dirty + retained uncommitted writes) survive: dropping a
+  // retained range would discard the only copy a restart replay needs.
+  const util::IntervalSet pin = st.pinned();
   account_valid_delta(st, -static_cast<int64_t>(st.valid.total_length() -
-                                                st.dirty.total_length()));
+                                                pin.total_length()));
   for (const auto& iv : st.valid.intervals()) {
-    for (const auto& clean : st.dirty.gaps(iv.start, iv.end)) {
+    for (const auto& clean : pin.gaps(iv.start, iv.end)) {
       st.content.drop(clean.start, clean.end);
     }
   }
-  st.valid = st.dirty;
+  st.valid = pin;
   st.readahead_high = 0;
 }
 
@@ -627,19 +716,20 @@ uint64_t NfsClient::file_size(const FilePtr& file) const { return file->size; }
 void NfsClient::drop_caches() {
   for (auto it = files_.begin(); it != files_.end();) {
     FileState& st = *it->second;
-    if (st.open_count == 0) {
+    const util::IntervalSet pin = st.pinned();
+    if (st.open_count == 0 && pin.empty()) {
       account_valid_delta(st, -static_cast<int64_t>(st.valid.total_length()));
       dirty_bytes_ -= st.dirty.total_length();
       it = files_.erase(it);
       continue;
     }
     for (const auto& iv : st.valid.intervals()) {
-      for (const auto& clean : st.dirty.gaps(iv.start, iv.end)) {
+      for (const auto& clean : pin.gaps(iv.start, iv.end)) {
         st.content.drop(clean.start, clean.end);
         account_valid_delta(st, -static_cast<int64_t>(clean.length()));
       }
     }
-    st.valid = st.dirty;
+    st.valid = pin;
     st.readahead_high = 0;
     ++it;
   }
@@ -730,10 +820,10 @@ void NfsClient::record_ds_result(const rpc::RpcAddress& addr, bool ok) {
   }
 }
 
-Task<void> NfsClient::refetch_layout(FileState& f) {
+Task<void> NfsClient::refetch_layout(FileState& f, bool force) {
   if (!config_.pnfs_enabled || !f.layout) co_return;
   const sim::Time now = fabric_.simulation().now();
-  if (f.layout_refetched_at >= 0 &&
+  if (!force && f.layout_refetched_at >= 0 &&
       now - f.layout_refetched_at < config_.breaker_reset) {
     co_return;  // refreshed recently; don't hammer the MDS per failed slice
   }
@@ -741,7 +831,7 @@ Task<void> NfsClient::refetch_layout(FileState& f) {
   ++stats_.layout_refetches;
   m_layout_refetches_->inc();
   try {
-    Session* s = co_await session_for(mds_);
+    auto s = co_await session_for(mds_);
     CompoundBuilder b = with_sequence(s->id);
     b.add(OpCode::kPutFh, PutFhArgs{f.fh});
     b.add(OpCode::kLayoutGet,
@@ -761,9 +851,77 @@ Task<void> NfsClient::refetch_layout(FileState& f) {
   }
 }
 
+Task<void> NfsClient::ensure_layout_fresh(FileState& f) {
+  if (!f.layout_stale) co_return;
+  // Exactly one LAYOUTGET per stale file, even if the refresh fails (the
+  // stale layout then keeps serving; per-slice recovery handles fallout).
+  f.layout_stale = false;
+  co_await refetch_layout(f, /*force=*/true);
+}
+
+void NfsClient::note_unstable_write(FileState& f, const IoSlice& slice,
+                                    uint64_t verifier) {
+  f.unstable_targets.insert(slice.device_index);
+  auto& t = f.commit_targets[slice.device_index];
+  if (t.verifier_known && t.verifier != verifier) {
+    // The target restarted between two of our WRITEs: everything retained
+    // under the old verifier sat in volatile memory of the dead incarnation.
+    // Re-dirty it now — minus the range this WRITE just (re)covered.
+    t.uncommitted.subtract(slice.file_offset,
+                           slice.file_offset + slice.length);
+    redirty_lost(f, slice.device_index);
+  }
+  t.verifier_known = true;
+  t.verifier = verifier;
+  t.uncommitted.add(slice.file_offset, slice.file_offset + slice.length);
+}
+
+void NfsClient::redirty_lost(FileState& f, size_t target) {
+  auto it = f.commit_targets.find(target);
+  ++stats_.verifier_mismatches;
+  m_verifier_mismatches_->inc();
+  if (it == f.commit_targets.end() || it->second.uncommitted.empty()) return;
+  uint64_t bytes = 0;
+  uint64_t extents = 0;
+  for (const auto& iv : it->second.uncommitted.intervals()) {
+    const uint64_t before = f.dirty.total_length();
+    f.dirty.add(iv.start, iv.end);
+    dirty_bytes_ += f.dirty.total_length() - before;
+    bytes += iv.length();
+    ++extents;
+  }
+  it->second.uncommitted.clear();
+  stats_.replayed_extents += extents;
+  stats_.replayed_bytes += bytes;
+  m_replayed_extents_->add(extents);
+  m_replayed_bytes_->add(bytes);
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    obs::TraceContext ctx = tracer_->begin({});
+    obs::Span span;
+    span.trace_id = ctx.trace_id;
+    span.span_id = ctx.span_id;
+    span.kind = obs::SpanKind::kInternal;
+    span.name = "wb.replay/" +
+                (target == IoSlice::kMds ? std::string("mds")
+                                         : "dev" + std::to_string(target));
+    span.node = node_.name();
+    span.start = fabric_.simulation().now();
+    span.end = fabric_.simulation().now();
+    span.bytes_out = bytes;
+    tracer_->record(std::move(span));
+  }
+  util::logf(util::LogLevel::kWarn, "nfs.client", fabric_.simulation().now(),
+             "write verifier changed for fileid %llu target %lld: replaying "
+             "%llu bytes in %llu extents",
+             static_cast<unsigned long long>(f.attr.fileid),
+             static_cast<long long>(static_cast<int64_t>(target)),
+             static_cast<unsigned long long>(bytes),
+             static_cast<unsigned long long>(extents));
+}
+
 Task<Payload> NfsClient::read_slice_op(FileState& f, const IoSlice& slice) {
   (void)f;
-  Session* s = co_await session_for(slice.addr);
+  auto s = co_await session_for(slice.addr);
   // A short reply means one of two things, and they need opposite handling:
   // EOF on the stripe object (a hole — the missing tail genuinely reads as
   // zeros) vs. a mid-object short READ (the server returned fewer bytes than
@@ -805,7 +963,7 @@ Task<Payload> NfsClient::read_slice_op(FileState& f, const IoSlice& slice) {
 Task<void> NfsClient::write_slice_op(FileState& f, const IoSlice& slice,
                                      Payload piece,
                                      obs::TraceContext trace_parent) {
-  Session* s = co_await session_for(slice.addr);
+  auto s = co_await session_for(slice.addr);
   CompoundBuilder b = with_sequence(s->id);
   b.add(OpCode::kPutFh, PutFhArgs{slice.fh});
   b.add(OpCode::kWrite, WriteArgs{slice.stateid, slice.target_offset,
@@ -816,7 +974,7 @@ Task<void> NfsClient::write_slice_op(FileState& f, const IoSlice& slice,
   r.expect(OpCode::kPutFh);
   const auto res = r.expect<WriteRes>(OpCode::kWrite);
   if (res.committed == StableHow::kUnstable) {
-    f.unstable_targets.insert(slice.device_index);
+    note_unstable_write(f, slice, res.verifier);
   }
   // MDS-path writes move the file's change attribute; track it so our own
   // I/O does not look like someone else's at revalidation time.
@@ -825,15 +983,15 @@ Task<void> NfsClient::write_slice_op(FileState& f, const IoSlice& slice,
   }
 }
 
-Task<void> NfsClient::commit_op(rpc::RpcAddress addr, FileHandle fh) {
-  Session* s = co_await session_for(addr);
+Task<uint64_t> NfsClient::commit_op(rpc::RpcAddress addr, FileHandle fh) {
+  auto s = co_await session_for(addr);
   CompoundBuilder b = with_sequence(s->id);
   b.add(OpCode::kPutFh, PutFhArgs{fh});
   b.add(OpCode::kCommit, CommitArgs{0, 0});
   CompoundReply r(co_await call(addr, std::move(b), 0));
   r.expect(OpCode::kSequence);
   r.expect(OpCode::kPutFh);
-  r.expect(OpCode::kCommit);
+  co_return r.expect<CommitRes>(OpCode::kCommit).verifier;
 }
 
 Task<void> NfsClient::run_read_slice(FileState& f, IoSlice slice, Payload& out,
@@ -914,7 +1072,8 @@ Task<void> NfsClient::run_write_slice(FileState& f, IoSlice slice,
 }
 
 Task<void> NfsClient::run_commit_target(FileState& f, size_t device_index,
-                                        StatusCollector& errors) {
+                                        StatusCollector& errors,
+                                        uint64_t* verifier_out) {
   rpc::RpcAddress addr = mds_;
   FileHandle fh = f.fh;
   const bool via_ds = device_index != IoSlice::kMds && f.layout;
@@ -924,7 +1083,8 @@ Task<void> NfsClient::run_commit_target(FileState& f, size_t device_index,
   }
   for (uint32_t attempt = 0;; ++attempt) {
     try {
-      co_await commit_op(addr, fh);
+      const uint64_t v = co_await commit_op(addr, fh);
+      if (verifier_out != nullptr) *verifier_out = v;
       if (via_ds) record_ds_result(addr, true);
       co_return;
     } catch (const NfsError& e) {
@@ -946,11 +1106,15 @@ Task<void> NfsClient::run_commit_target(FileState& f, size_t device_index,
     }
   }
   // An MDS COMMIT flushes the whole file through the parallel FS — a
-  // superset of the stripe commit that failed.
+  // superset of the stripe commit that failed.  The MDS verifier never
+  // matches the DS verifier recorded at WRITE time, so the caller replays
+  // the retained extents — conservative but safe when the DS's fate is
+  // unknown.
   ++stats_.mds_fallbacks;
   m_fallbacks_->inc();
   try {
-    co_await commit_op(mds_, f.fh);
+    const uint64_t v = co_await commit_op(mds_, f.fh);
+    if (verifier_out != nullptr) *verifier_out = v;
   } catch (const NfsError& e) {
     errors.record(e.status(), device_index);
   }
@@ -958,6 +1122,7 @@ Task<void> NfsClient::run_commit_target(FileState& f, size_t device_index,
 
 Task<Payload> NfsClient::read_slices(FileState& f, uint64_t offset,
                                      uint64_t length) {
+  co_await ensure_layout_fresh(f);
   const auto slices = route(f, offset, length, /*for_write=*/false);
   std::vector<Payload> results(slices.size());
   StatusCollector errors;
@@ -977,6 +1142,7 @@ Task<Payload> NfsClient::read_slices(FileState& f, uint64_t offset,
 
 Task<void> NfsClient::write_slices(FileState& f, uint64_t offset,
                                    const Payload& data) {
+  co_await ensure_layout_fresh(f);
   const auto slices = route(f, offset, data.size(), /*for_write=*/true);
   StatusCollector errors;
   sim::WaitGroup wg(fabric_.simulation());
@@ -1388,8 +1554,27 @@ Task<void> NfsClient::wb_worker(FilePtr file, rpc::RpcAddress addr) {
     const sim::Time dispatched_at = fabric_.simulation().now();
 
     StatusCollector errors;
+    Payload dispatched = data;  // kept for re-dirtying if the WRITE fails
     co_await run_write_slice(*file, s, std::move(data), errors, ctx);
-    if (errors.failed()) file->wb_error = true;
+    if (errors.failed()) {
+      file->wb_error = true;
+      // A failed write-back keeps its pages dirty (kernel semantics): the
+      // bytes were claimed from the dirty set at flush time, so put them
+      // back — except where a newer write already re-dirtied the range.
+      const uint64_t ws = s.file_offset;
+      const uint64_t we = s.file_offset + s.length;
+      for (const auto& gap : file->dirty.gaps(ws, we)) {
+        file->content.store(gap.start,
+                            dispatched.slice(gap.start - ws, gap.length()));
+        const uint64_t vbefore = file->valid.total_length();
+        file->valid.add(gap.start, gap.end);
+        account_valid_delta(*file, static_cast<int64_t>(
+                                       file->valid.total_length() - vbefore));
+        const uint64_t dbefore = file->dirty.total_length();
+        file->dirty.add(gap.start, gap.end);
+        dirty_bytes_ += file->dirty.total_length() - dbefore;
+      }
+    }
     stats_.wire_write_bytes += s.length;
     ++stats_.sched_writes;
     m_sched_writes_->inc();
@@ -1443,6 +1628,7 @@ Task<void> NfsClient::wb_background_commit(FilePtr file, rpc::RpcAddress addr,
 
 Task<void> NfsClient::flush_dirty(FilePtr file, bool only_full_chunks,
                                   bool wait_completion) {
+  co_await ensure_layout_fresh(*file);
   const uint64_t chunk = config_.wsize;
   std::vector<util::IntervalSet::Interval> ranges;
   for (const auto& iv : file->dirty.intervals()) {
@@ -1497,24 +1683,82 @@ Task<void> NfsClient::flush_dirty(FilePtr file, bool only_full_chunks,
 
 Task<void> NfsClient::commit_unstable(FileState& f) {
   if (f.unstable_targets.empty()) co_return;
+  co_await ensure_layout_fresh(f);
   const std::set<size_t> targets = std::exchange(f.unstable_targets, {});
+  // Snapshot what each COMMIT is about to cover: ranges written during the
+  // COMMIT's flight belong to the next one.
+  std::map<size_t, util::IntervalSet> covered;
+  std::map<size_t, uint64_t> verifiers;
+  for (size_t idx : targets) {
+    if (auto it = f.commit_targets.find(idx); it != f.commit_targets.end()) {
+      covered[idx] = it->second.uncommitted;
+    }
+    verifiers[idx] = 0;
+  }
   StatusCollector errors;
   sim::WaitGroup wg(fabric_.simulation());
   for (size_t idx : targets) {
-    wg.spawn(run_commit_target(f, idx, errors));
+    wg.spawn(run_commit_target(f, idx, errors, &verifiers[idx]));
   }
   co_await wg.wait();
-  errors.throw_if_failed("COMMIT");
+  if (errors.failed()) {
+    // Put the targets back: a later fsync must re-COMMIT them, or their
+    // retained extents would never be retired (or replayed).
+    for (size_t idx : targets) f.unstable_targets.insert(idx);
+    errors.throw_if_failed("COMMIT");
+  }
+  for (size_t idx : targets) {
+    auto it = f.commit_targets.find(idx);
+    if (it == f.commit_targets.end()) continue;
+    FileState::TargetCommitState& t = it->second;
+    if (t.verifier_known && verifiers[idx] != t.verifier) {
+      // The server restarted (or the COMMIT degraded to another server):
+      // the reply's verifier does not vouch for our WRITEs.  Replay.
+      redirty_lost(f, idx);
+      f.commit_targets.erase(it);
+      continue;
+    }
+    // Matching verifier: the covered ranges are durable.
+    for (const auto& iv : covered[idx].intervals()) {
+      t.uncommitted.subtract(iv.start, iv.end);
+    }
+    if (t.uncommitted.empty()) f.commit_targets.erase(it);
+  }
   // Everything written so far is now stable; reset the background-COMMIT
   // backlog so the next write burst starts counting from zero.
   for (auto& [addr, sched] : scheds_) sched.uncommitted.erase(f.attr.fileid);
 }
 
 Task<void> NfsClient::fsync(FilePtr file) {
-  co_await flush_dirty(file, /*only_full_chunks=*/false, /*wait=*/true);
-  co_await commit_unstable(*file);
+  // Flush + COMMIT until quiescent: a COMMIT that discovers a restarted
+  // server re-dirties the retained extents, which the next round re-writes
+  // (against the revived incarnation) and re-commits.  One round suffices
+  // per restart; the bound only guards against a server that crash-loops
+  // faster than we can replay.
+  constexpr int kMaxRounds = 8;
+  for (int round = 0;; ++round) {
+    bool transient_error = false;
+    try {
+      co_await flush_dirty(file, /*only_full_chunks=*/false, /*wait=*/true);
+      co_await commit_unstable(*file);
+    } catch (const NfsError&) {
+      // Transient write-back/COMMIT failure (a server mid-restart): the
+      // failed pages were re-dirtied, the un-committed targets re-queued.
+      // Back off one deadline and re-drive; only a persistent outage
+      // (every round failing) surfaces to the caller.
+      if (round >= kMaxRounds) throw;
+      transient_error = true;
+    }
+    if (transient_error && config_.ds_timeout > 0) {
+      co_await fabric_.simulation().delay(config_.ds_timeout);
+    }
+    if (file->dirty.empty() && file->unstable_targets.empty()) break;
+    if (round == kMaxRounds) {
+      throw NfsError(Status::kIo, "fsync: replay did not converge");
+    }
+  }
   if (file->size_dirty && file->layout) {
-    Session* s = co_await session_for(mds_);
+    auto s = co_await session_for(mds_);
     CompoundBuilder b = with_sequence(s->id);
     b.add(OpCode::kPutFh, PutFhArgs{file->fh});
     b.add(OpCode::kLayoutCommit, LayoutCommitArgs{file->size, true});
@@ -1545,26 +1789,28 @@ void NfsClient::account_valid_delta(FileState& f, int64_t delta) {
 
 void NfsClient::evict_clean_if_needed() {
   while (cached_bytes_ > config_.cache_limit_bytes) {
-    // Victim: least-recently-used file with evictable (clean) bytes.
+    // Victim: least-recently-used file with evictable bytes.  Pinned ranges
+    // (dirty + retained uncommitted writes) are not evictable.
     FileState* victim = nullptr;
     for (auto& [ino, state] : files_) {
       const uint64_t clean =
-          state->valid.total_length() - state->dirty.total_length();
+          state->valid.total_length() - state->pinned().total_length();
       if (clean == 0) continue;
       if (victim == nullptr || state->last_use < victim->last_use) {
         victim = state.get();
       }
     }
-    if (victim == nullptr) break;  // everything is dirty: nothing to evict
+    if (victim == nullptr) break;  // everything is pinned: nothing to evict
+    const util::IntervalSet pin = victim->pinned();
     uint64_t evicted = 0;
     for (const auto& iv : victim->valid.intervals()) {
-      for (const auto& clean : victim->dirty.gaps(iv.start, iv.end)) {
+      for (const auto& clean : pin.gaps(iv.start, iv.end)) {
         victim->content.drop(clean.start, clean.end);
         evicted += clean.length();
       }
     }
-    // valid := dirty (only dirty ranges remain cached).
-    victim->valid = victim->dirty;
+    // valid := pinned (only unevictable ranges remain cached).
+    victim->valid = pin;
     victim->readahead_high = 0;
     account_valid_delta(*victim, -static_cast<int64_t>(evicted));
     if (evicted == 0) break;

@@ -95,6 +95,11 @@ struct ClientConfig {
   /// Degrade to proxying failed slices through the MDS (the plain-NFSv4
   /// path).  Off: slice failures surface to the application immediately.
   bool mds_fallback = true;
+  /// Per-attempt deadline on MDS COMPOUNDs; 0 keeps the unbounded legacy
+  /// behavior.  Set it when the MDS itself can crash (chaos runs): session
+  /// re-establishment must be able to give up on the dead incarnation and
+  /// retry against the revived one.
+  sim::Duration mds_timeout = 0;
 };
 
 struct ClientStats {
@@ -114,6 +119,11 @@ struct ClientStats {
   uint64_t mds_fallbacks = 0;       ///< slices degraded to MDS proxy I/O
   uint64_t breaker_trips = 0;       ///< DS circuit breakers opened
   uint64_t layout_refetches = 0;    ///< LAYOUTGETs after slice failures
+  // Unstable-write replay (mirrored in the "client.replay" component).
+  uint64_t verifier_mismatches = 0; ///< WRITE/COMMIT verifier changes seen
+  uint64_t replayed_extents = 0;    ///< retained extents re-dirtied for replay
+  uint64_t replayed_bytes = 0;      ///< bytes those extents covered
+  uint64_t session_recoveries = 0;  ///< sessions re-established after restart
 };
 
 /// Records the first non-OK status across a fan-out of concurrent slice
@@ -248,12 +258,23 @@ class NfsClient {
   sim::Task<void> wb_background_commit(FilePtr file, rpc::RpcAddress addr,
                                        size_t device_index);
 
-  // Compound plumbing.
+  // Compound plumbing.  Every compound built by this client starts with a
+  // SEQUENCE op; call() owns session recovery: it patches the current
+  // session id into the encoded compound, and when the reply's SEQUENCE
+  // answers BADSESSION or GRACE (the server restarted and forgot us) it
+  // drops the dead session, re-establishes one, and re-sends — so restart
+  // recovery is invisible to every call site.
   sim::Task<rpc::RpcClient::Reply> call(rpc::RpcAddress addr,
                                         CompoundBuilder builder,
                                         uint64_t data_bytes,
                                         obs::TraceContext trace_parent = {});
-  sim::Task<Session*> session_for(rpc::RpcAddress addr);
+  sim::Task<std::shared_ptr<Session>> session_for(rpc::RpcAddress addr);
+  /// Forgets `sid` for `addr` (a later call re-establishes).  Losing the
+  /// *MDS* session means the MDS restarted: every layout and open stateid it
+  /// granted came from the dead incarnation, so layouts are marked stale
+  /// (re-fetched lazily, once per file) and opens fall back to the
+  /// anonymous stateid.
+  void session_lost(const rpc::RpcAddress& addr, const SessionId& sid);
   rpc::CallOptions call_options(const rpc::RpcAddress& addr) const;
 
   // Path machinery.
@@ -280,7 +301,8 @@ class NfsClient {
   sim::Task<void> write_slice_op(FileState& f, const IoSlice& slice,
                                  rpc::Payload piece,
                                  obs::TraceContext trace_parent = {});
-  sim::Task<void> commit_op(rpc::RpcAddress addr, FileHandle fh);
+  /// COMMIT to one server; returns the write verifier its reply carried.
+  sim::Task<uint64_t> commit_op(rpc::RpcAddress addr, FileHandle fh);
   // ...and their recovering wrappers: retry same DS, re-fetch the layout,
   // then degrade to the MDS; errors land in the collector.
   sim::Task<void> run_read_slice(FileState& f, IoSlice slice,
@@ -289,12 +311,27 @@ class NfsClient {
                                   rpc::Payload piece, StatusCollector& errors,
                                   obs::TraceContext trace_parent = {});
   sim::Task<void> run_commit_target(FileState& f, size_t device_index,
-                                    StatusCollector& errors);
+                                    StatusCollector& errors,
+                                    uint64_t* verifier_out = nullptr);
+
+  // Crash-consistent unstable writes: every UNSTABLE WRITE's byte range is
+  // retained (pinned in the cache) together with the server's write
+  // verifier until a COMMIT whose verifier matches covers it.  A verifier
+  // change — seen on a WRITE mid-stream or on the COMMIT itself — means the
+  // server restarted and dropped its volatile data; the retained ranges are
+  // re-dirtied and flow back out through the normal write-back machinery.
+  void note_unstable_write(FileState& f, const IoSlice& slice,
+                           uint64_t verifier);
+  void redirty_lost(FileState& f, size_t target);
+
+  /// A stale layout (MDS restart) is refreshed exactly once, lazily, at the
+  /// next data-path entry.
+  sim::Task<void> ensure_layout_fresh(FileState& f);
 
   // Per-data-server health (consecutive-failure circuit breaker).
   bool breaker_open(const rpc::RpcAddress& addr) const;
   void record_ds_result(const rpc::RpcAddress& addr, bool ok);
-  sim::Task<void> refetch_layout(FileState& f);
+  sim::Task<void> refetch_layout(FileState& f, bool force = false);
   sim::Task<void> flush_dirty(FilePtr file, bool only_full_chunks,
                               bool wait_completion);
   sim::Task<void> commit_unstable(FileState& f);
@@ -322,7 +359,9 @@ class NfsClient {
   uint64_t recalls_served_ = 0;
   uint64_t delegation_recalls_served_ = 0;
   FileHandle root_fh_;
-  std::map<rpc::RpcAddress, Session> sessions_;
+  /// shared_ptr values: call() holds the session (and its slot semaphore)
+  /// across suspension points while session_lost() may erase the map entry.
+  std::map<rpc::RpcAddress, std::shared_ptr<Session>> sessions_;
   std::map<rpc::RpcAddress, std::shared_ptr<sim::Latch>> session_creating_;
   std::map<DeviceId, rpc::RpcAddress> devices_;
 
@@ -369,6 +408,11 @@ class NfsClient {
   obs::Counter* m_breaker_trips_;
   obs::Counter* m_layout_refetches_;
   obs::Counter* m_rpc_retries_;
+  // "client.replay" component handles.
+  obs::Counter* m_verifier_mismatches_;
+  obs::Counter* m_replayed_extents_;
+  obs::Counter* m_replayed_bytes_;
+  obs::Counter* m_session_recoveries_;
   /// Trace sink (null when the fabric carries no tracer); write-back
   /// dispatches emit a root span here so analyze_trace can attribute
   /// client-queue time per DS.
@@ -407,6 +451,32 @@ class NfsClient::FileState {
   // Commit bookkeeping: device indices (or IoSlice::kMds) holding
   // uncommitted writes.
   std::set<size_t> unstable_targets;
+
+  /// Per-target crash-consistency state: the write verifier the target's
+  /// UNSTABLE WRITE replies carried, and the file ranges still covered only
+  /// by those volatile writes.  The ranges stay pinned in the page cache
+  /// until a COMMIT with a matching verifier retires them; on a mismatch
+  /// (the server restarted) they are re-dirtied and replayed.
+  struct TargetCommitState {
+    bool verifier_known = false;
+    uint64_t verifier = 0;
+    util::IntervalSet uncommitted;
+  };
+  std::map<size_t, TargetCommitState> commit_targets;
+
+  /// Set when the MDS session died (server restart): the layout came from
+  /// the dead incarnation and is re-fetched once before the next I/O.
+  bool layout_stale = false;
+
+  /// Ranges that must not be evicted: dirty data plus retained
+  /// uncommitted writes (the client's only copy if a server restarts).
+  util::IntervalSet pinned() const {
+    util::IntervalSet p = dirty;
+    for (const auto& [idx, t] : commit_targets) {
+      for (const auto& iv : t.uncommitted.intervals()) p.add(iv.start, iv.end);
+    }
+    return p;
+  }
 
   // Async write-back pipeline state (created lazily by the client).  The
   // in-flight windows themselves live per data server in the client's

@@ -48,6 +48,15 @@ class LocalBackend final : public Backend {
                           obs::TraceContext trace = {}) override;
   sim::Task<Status> commit(FileHandle fh, obs::TraceContext trace = {}) override;
 
+  /// Crash semantics: the store's write-behind buffer and page cache were
+  /// volatile memory of the daemon that just died.  The namespace (inode
+  /// table) is kept — it stands in for the on-disk file system metadata a
+  /// real server journals.
+  void on_server_restart() override {
+    store_.drop_dirty();
+    store_.drop_caches();
+  }
+
   /// Attaches a tracer: local store accesses then show up as internal spans
   /// under the serving request (the Direct-pNFS "no extra hop" evidence).
   void attach_tracer(obs::Tracer* tracer, std::string node_name) {

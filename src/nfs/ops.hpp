@@ -344,11 +344,17 @@ struct WriteRes {
   /// Post-operation change attribute (keeps the writer's cached attributes
   /// coherent with its own I/O; 0 when the backend does not track one).
   uint64_t post_change = 0;
+  /// Write verifier (RFC 5661 §18.32): the server's boot-instance cookie.
+  /// A client holding UNSTABLE data must re-send it if a later COMMIT
+  /// returns a different verifier — the server restarted in between and its
+  /// volatile write cache is gone.
+  uint64_t verifier = 0;
 
   void encode(rpc::XdrEncoder& enc) const {
     enc.put_u64(count);
     enc.put_u32(static_cast<uint32_t>(committed));
     enc.put_u64(post_change);
+    enc.put_u64(verifier);
   }
   static WriteRes decode(rpc::XdrDecoder& dec) {
     WriteRes r;
@@ -357,6 +363,7 @@ struct WriteRes {
     if (s > 2) throw rpc::XdrError("bad stable_how");
     r.committed = static_cast<StableHow>(s);
     r.post_change = dec.get_u64();
+    r.verifier = dec.get_u64();
     return r;
   }
 };
@@ -374,6 +381,17 @@ struct CommitArgs {
     a.offset = dec.get_u64();
     a.count = dec.get_u64();
     return a;
+  }
+};
+
+struct CommitRes {
+  /// Write verifier of the incarnation that executed the COMMIT.  Equal to
+  /// the verifier of every WRITE it covers iff no restart intervened.
+  uint64_t verifier = 0;
+
+  void encode(rpc::XdrEncoder& enc) const { enc.put_u64(verifier); }
+  static CommitRes decode(rpc::XdrDecoder& dec) {
+    return CommitRes{dec.get_u64()};
   }
 };
 

@@ -1,5 +1,6 @@
 #include "nfs/server.hpp"
 
+#include "sim/fault.hpp"
 #include "util/log.hpp"
 
 namespace dpnfs::nfs {
@@ -13,6 +14,7 @@ NfsServer::NfsServer(rpc::RpcFabric& fabric, sim::Node& node, uint16_t port,
                      ServerConfig config)
     : fabric_(fabric),
       node_(node),
+      port_(port),
       backend_(backend),
       layouts_(layouts),
       config_(config) {
@@ -37,6 +39,47 @@ NfsServer::NfsServer(rpc::RpcFabric& fabric, sim::Node& node, uint16_t port,
              XdrEncoder& results) -> Task<void> {
         return serve(ctx, args, results);
       });
+}
+
+uint64_t NfsServer::current_instance(sim::Time now) const {
+  const sim::FaultInjector* faults = fabric_.network().faults();
+  return faults != nullptr ? faults->boot_instance(node_.id(), port_, now) : 1;
+}
+
+uint64_t NfsServer::current_verifier(sim::Time now) const {
+  const sim::FaultInjector* faults = fabric_.network().faults();
+  if (faults != nullptr) return faults->boot_verifier(node_.id(), port_, now);
+  // Fault-free runs: any stable nonzero cookie will do.
+  const uint64_t x =
+      0x9E3779B97F4A7C15ull ^ ((uint64_t{node_.id()} << 16) | port_);
+  return x == 0 ? 1 : x;
+}
+
+void NfsServer::check_restart(sim::Time now) {
+  const uint64_t instance = current_instance(now);
+  if (instance == boot_instance_) return;
+  const bool first_sight = boot_instance_ == 0;
+  boot_instance_ = instance;
+  boot_verifier_ = current_verifier(now);
+  if (first_sight) return;  // initial adoption, nothing was lost
+  // The previous incarnation's volatile state died with it: sessions, open
+  // state, layout and delegation bookkeeping, and the backend's unflushed
+  // write-behind data.  Clients find out through NFS4ERR_BADSESSION /
+  // NFS4ERR_GRACE and through the changed write verifier.
+  sessions_.clear();
+  backchannels_.clear();
+  layout_holders_.clear();
+  delegation_holders_.clear();
+  write_opens_.clear();
+  open_states_.clear();
+  backend_.on_server_restart();
+  if (config_.grace_period > 0) grace_until_ = now + config_.grace_period;
+  ++restarts_;
+  util::logf(util::LogLevel::kInfo, "nfs.server", now,
+             "%s:%u restarted (instance %llu, verifier %016llx)",
+             node_.name().c_str(), port_,
+             static_cast<unsigned long long>(instance),
+             static_cast<unsigned long long>(boot_verifier_));
 }
 
 Task<void> NfsServer::charge_cpu(uint64_t data_bytes) {
@@ -114,6 +157,7 @@ Task<void> NfsServer::serve(const rpc::CallContext& ctx, XdrDecoder& args,
                             XdrEncoder& results) {
   ++compounds_;
   m_compounds_->inc();
+  check_restart(fabric_.simulation().now());
   const uint32_t op_count = args.get_u32();
   if (op_count > 64) throw rpc::XdrError("compound too long");
 
@@ -207,7 +251,14 @@ Task<Status> NfsServer::dispatch(OpCode op, const rpc::CallContext& ctx,
     }
     case OpCode::kSequence: {
       const auto a = SequenceArgs::decode(args);
-      if (!sessions_.contains(a.session.id)) co_return Status::kBadSession;
+      if (!sessions_.contains(a.session.id)) {
+        // During the post-restart grace window an unknown session means
+        // "this server rebooted under you": NFS4ERR_GRACE tells the client
+        // to re-establish state and reclaim, rather than treat its session
+        // as administratively revoked.
+        co_return in_grace(fabric_.simulation().now()) ? Status::kGrace
+                                                       : Status::kBadSession;
+      }
       session = a.session.id;
       co_return Status::kOk;
     }
@@ -355,14 +406,21 @@ Task<Status> NfsServer::dispatch(OpCode op, const rpc::CallContext& ctx,
                                                 &post_change, ctx.trace);
       if (st == Status::kOk) {
         m_write_bytes_->add(a.data.size());
-        WriteRes{a.data.size(), committed, post_change}.encode(results);
+        WriteRes{a.data.size(), committed, post_change, boot_verifier_}
+            .encode(results);
       }
       co_return st;
     }
     case OpCode::kCommit: {
       (void)CommitArgs::decode(args);
       co_await charge_cpu(0);
-      co_return co_await backend_.commit(current_fh, ctx.trace);
+      const Status st = co_await backend_.commit(current_fh, ctx.trace);
+      // The verifier is re-read *after* the commit ran: if this instance
+      // died mid-commit and revived, the reply must carry the incarnation
+      // that actually holds (or lost) the data.
+      check_restart(fabric_.simulation().now());
+      if (st == Status::kOk) CommitRes{boot_verifier_}.encode(results);
+      co_return st;
     }
     case OpCode::kGetDeviceList:
     case OpCode::kGetDeviceInfo: {

@@ -29,6 +29,14 @@ struct ServerConfig {
   /// one credential covers everything — the access-transparency property
   /// Direct-pNFS inherits (paper §4).
   std::string required_principal_suffix;
+  /// Grace window after a restart (RFC 5661 §8.4 flavour): for this long,
+  /// a SEQUENCE on a session the revived instance does not know answers
+  /// NFS4ERR_GRACE — "I restarted, reclaim your state" — instead of a bare
+  /// NFS4ERR_BADSESSION.  State *establishment* (EXCHANGE_ID,
+  /// CREATE_SESSION, LAYOUTGET reclaim) is always admitted.  0 (the
+  /// default, used on data servers) skips the grace distinction: stateless
+  /// per-stripe I/O recovers through session re-creation alone.
+  sim::Duration grace_period = 0;
 };
 
 class NfsServer {
@@ -53,6 +61,12 @@ class NfsServer {
     return delegation_recalls_;
   }
 
+  /// Write verifier of the incarnation serving right now (the cookie WRITE
+  /// and COMMIT replies carry).  Stable across a fault-free run.
+  uint64_t boot_verifier() const noexcept { return boot_verifier_; }
+  /// Restarts this server has detected and recovered from.
+  uint64_t restarts_observed() const noexcept { return restarts_; }
+
  private:
   /// Executes one COMPOUND (the RpcService body).
   sim::Task<void> serve(const rpc::CallContext& ctx, rpc::XdrDecoder& args,
@@ -66,6 +80,19 @@ class NfsServer {
                              uint64_t& session);
 
   bool stateid_ok(const Stateid& sid) const;
+
+  /// Lazily detects a boot-instance bump (the fault injector revived this
+  /// service after a crash window).  On a bump: all volatile NFSv4.1 state
+  /// — sessions, open state, layout/delegation holders — is gone, the
+  /// backend sheds its volatile data, a fresh write verifier is adopted,
+  /// and (when configured) a grace window opens.  Equivalent to an eager
+  /// revive hook: nothing is served between the crash and the next request.
+  void check_restart(sim::Time now);
+  uint64_t current_instance(sim::Time now) const;
+  uint64_t current_verifier(sim::Time now) const;
+  bool in_grace(sim::Time now) const noexcept {
+    return now < grace_until_;
+  }
 
   sim::Task<void> charge_cpu(uint64_t data_bytes);
 
@@ -84,11 +111,19 @@ class NfsServer {
 
   rpc::RpcFabric& fabric_;
   sim::Node& node_;
+  uint16_t port_;
   Backend& backend_;
   LayoutSource* layouts_;
   ServerConfig config_;
   std::unique_ptr<rpc::RpcServer> rpc_server_;
   std::unique_ptr<rpc::RpcClient> cb_client_;  ///< backchannel caller
+
+  // Boot identity: 0 = not yet observed (adopted without a reset on the
+  // first compound, so fault-free runs never shed state).
+  uint64_t boot_instance_ = 0;
+  uint64_t boot_verifier_ = 0;
+  sim::Time grace_until_ = 0;
+  uint64_t restarts_ = 0;
 
   uint64_t next_client_id_ = 1;
   uint64_t next_session_id_ = 1;

@@ -19,6 +19,7 @@ const char* status_name(Status s) {
     case Status::kBadHandle: return "NFS4ERR_BADHANDLE";
     case Status::kNotSupp: return "NFS4ERR_NOTSUPP";
     case Status::kDelay: return "NFS4ERR_DELAY";
+    case Status::kGrace: return "NFS4ERR_GRACE";
     case Status::kBadSession: return "NFS4ERR_BADSESSION";
     case Status::kBadStateid: return "NFS4ERR_BAD_STATEID";
     case Status::kLayoutUnavailable: return "NFS4ERR_LAYOUTUNAVAILABLE";

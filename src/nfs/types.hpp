@@ -30,6 +30,7 @@ enum class Status : uint32_t {
   kBadHandle = 10001,
   kNotSupp = 10004,
   kDelay = 10008,
+  kGrace = 10013,
   kBadSession = 10052,
   kBadStateid = 10025,
   kLayoutUnavailable = 10059,

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/sync.hpp"
+#include "util/log.hpp"
 
 namespace dpnfs::pvfs {
 
@@ -25,7 +26,20 @@ PvfsClient::PvfsClient(rpc::RpcFabric& fabric, sim::Node& node,
       storage_(std::move(storage)),
       rpc_(fabric, node, std::move(principal)),
       config_(config),
-      buffers_(fabric.simulation(), config.buffer_count) {}
+      buffers_(fabric.simulation(), config.buffer_count),
+      daemons_(storage_.size()) {
+  if (obs::MetricsRegistry* reg = fabric.metrics()) {
+    const std::string& n = node.name();
+    m_verifier_mismatches_ =
+        &reg->counter(n, "client.replay", "verifier_mismatches");
+    m_replayed_extents_ = &reg->counter(n, "client.replay", "replayed_extents");
+    m_replayed_bytes_ = &reg->counter(n, "client.replay", "replayed_bytes");
+  } else {
+    m_verifier_mismatches_ = &obs::MetricsRegistry::null_counter();
+    m_replayed_extents_ = &obs::MetricsRegistry::null_counter();
+    m_replayed_bytes_ = &obs::MetricsRegistry::null_counter();
+  }
+}
 
 PvfsStatus PvfsClient::reply_status(XdrDecoder& dec) {
   const uint32_t raw = dec.get_u32();
@@ -39,8 +53,12 @@ Task<rpc::RpcClient::Reply> PvfsClient::meta_call(MetaProc proc,
   if (config_.vfs_meta_latency > 0) {
     co_await fabric_.simulation().delay(config_.vfs_meta_latency);
   }
+  rpc::CallOptions opts;
+  opts.timeout = config_.meta_timeout;
+  opts.max_retries = config_.meta_retries > 0 ? config_.meta_retries - 1 : 0;
   auto reply = co_await rpc_.call(meta_, rpc::Program::kPvfsMeta, kPvfsVersion,
-                                  static_cast<uint32_t>(proc), std::move(args));
+                                  static_cast<uint32_t>(proc), std::move(args),
+                                  opts);
   if (reply.transport != rpc::Status::kOk) {
     throw PvfsError(PvfsStatus::kIo, "meta RPC timed out");
   }
@@ -57,15 +75,163 @@ Task<rpc::RpcClient::Reply> PvfsClient::io_call(uint32_t server_index,
       config_.cpu_per_request +
       static_cast<sim::Duration>(config_.cpu_ns_per_byte *
                                  static_cast<double>(data_bytes)));
+  rpc::CallOptions opts;
+  opts.timeout = config_.io_timeout;
+  opts.max_retries = config_.io_retries > 0 ? config_.io_retries - 1 : 0;
+  opts.parent = trace;
   auto reply = co_await rpc_.call(storage_.at(server_index),
                                   rpc::Program::kPvfsIo, kPvfsVersion,
                                   static_cast<uint32_t>(proc), std::move(args),
-                                  rpc::CallOptions{.parent = trace});
+                                  opts);
   buffers_.release();
   if (reply.transport != rpc::Status::kOk) {
     throw PvfsError(PvfsStatus::kIo, "storage RPC timed out");
   }
   co_return reply;
+}
+
+// ---------------------------------------------------------------------------
+// Crash recovery: write verifiers and replay
+// ---------------------------------------------------------------------------
+
+void PvfsClient::trim_range(PieceMap& pieces, uint64_t offset, uint64_t len) {
+  if (len == 0 || pieces.empty()) return;
+  const uint64_t end = offset + len;
+  auto it = pieces.upper_bound(offset);
+  if (it != pieces.begin()) --it;
+  while (it != pieces.end() && it->first < end) {
+    const uint64_t po = it->first;
+    const uint64_t pe = po + it->second.data.size();
+    if (pe <= offset) {
+      ++it;
+      continue;
+    }
+    RetainedPiece head;
+    RetainedPiece tail;
+    if (po < offset) {
+      head.seq = it->second.seq;
+      head.data = it->second.data.slice(0, offset - po);
+    }
+    if (pe > end) {
+      tail.seq = it->second.seq;
+      tail.data = it->second.data.slice(end - po, pe - end);
+    }
+    it = pieces.erase(it);
+    if (head.data.size() > 0) pieces.emplace(po, std::move(head));
+    if (tail.data.size() > 0) it = pieces.emplace(end, std::move(tail)).first;
+  }
+}
+
+void PvfsClient::retain_piece(uint32_t server_index, uint64_t object_id,
+                              uint64_t dfile_offset, Payload piece) {
+  const uint64_t len = piece.size();
+  if (len == 0) return;
+  DaemonState& d = daemons_.at(server_index);
+  // This write supersedes whatever it overlaps: older retained bytes of the
+  // same incarnation and stale bytes awaiting replay (the daemon now holds
+  // fresher data for the range).
+  trim_range(d.retained[object_id], dfile_offset, len);
+  auto sit = d.stale.find(object_id);
+  if (sit != d.stale.end()) {
+    trim_range(sit->second, dfile_offset, len);
+    if (sit->second.empty()) d.stale.erase(sit);
+  }
+  d.retained[object_id].emplace(dfile_offset,
+                                RetainedPiece{++retain_seq_, std::move(piece)});
+}
+
+void PvfsClient::note_daemon_verifier(uint32_t server_index,
+                                      uint64_t verifier) {
+  DaemonState& d = daemons_.at(server_index);
+  if (!d.verifier_known) {
+    d.verifier_known = true;
+    d.verifier = verifier;
+    return;
+  }
+  if (d.verifier == verifier) return;
+  // The daemon restarted: every byte it buffered for us died with the old
+  // incarnation.  Requeue our retained copies for replay.
+  ++stats_.verifier_mismatches;
+  m_verifier_mismatches_->inc();
+  const uint64_t old_verifier = d.verifier;
+  uint64_t moved = 0;
+  for (auto& [oid, pieces] : d.retained) {
+    PieceMap& stale = d.stale[oid];
+    for (auto& [off, piece] : pieces) {
+      trim_range(stale, off, piece.data.size());
+      moved += piece.data.size();
+      stale.emplace(off, std::move(piece));
+    }
+  }
+  d.retained.clear();
+  d.verifier = verifier;
+  util::logf(util::LogLevel::kWarn, "pvfs.client", node_.simulation().now(),
+             "%s: daemon %u write verifier changed (%016llx -> %016llx), "
+             "%llu uncommitted bytes queued for replay",
+             node_.name().c_str(), static_cast<unsigned>(server_index),
+             static_cast<unsigned long long>(old_verifier),
+             static_cast<unsigned long long>(verifier),
+             static_cast<unsigned long long>(moved));
+}
+
+void PvfsClient::drop_replay_state() {
+  for (DaemonState& d : daemons_) {
+    d.retained.clear();
+    d.stale.clear();
+    // Verifiers survive: they identify *daemon* incarnations, which did not
+    // restart just because this client's host did.
+  }
+}
+
+Task<uint64_t> PvfsClient::replay_stale(PvfsFilePtr file,
+                                        obs::TraceContext trace) {
+  uint64_t replayed = 0;
+  for (const auto& dfile : file->meta.dfiles) {
+    DaemonState& d = daemons_.at(dfile.server_index);
+    auto sit = d.stale.find(dfile.object_id);
+    if (sit == d.stale.end() || sit->second.empty()) continue;
+    PieceMap pieces = std::move(sit->second);
+    d.stale.erase(sit);
+    for (auto pit = pieces.begin(); pit != pieces.end();) {
+      const uint64_t off = pit->first;
+      Payload data = std::move(pit->second.data);
+      pit = pieces.erase(pit);
+      const uint64_t len = data.size();
+      XdrEncoder a;
+      a.put_u64(dfile.object_id);
+      a.put_u64(off);
+      a.put_payload(data);
+      try {
+        auto r = co_await io_call(dfile.server_index, IoProc::kWrite,
+                                  std::move(a), len, trace);
+        auto dec = r.body();
+        if (reply_status(dec) != PvfsStatus::kOk) {
+          throw PvfsError(PvfsStatus::kIo, "replay write");
+        }
+        const uint64_t verifier = dec.get_u64();
+        ++replayed;
+        ++stats_.replayed_extents;
+        stats_.replayed_bytes += len;
+        m_replayed_extents_->inc();
+        m_replayed_bytes_->add(len);
+        note_daemon_verifier(dfile.server_index, verifier);
+        retain_piece(dfile.server_index, dfile.object_id, off,
+                     std::move(data));
+      } catch (...) {
+        // Preserve this piece and every not-yet-attempted one: they are the
+        // only copy of the data.  A later fsync retries.
+        PieceMap& stale = daemons_.at(dfile.server_index).stale[dfile.object_id];
+        trim_range(stale, off, len);
+        stale.emplace(off, RetainedPiece{0, std::move(data)});
+        for (auto& [ro, rest] : pieces) {
+          trim_range(stale, ro, rest.data.size());
+          stale.emplace(ro, std::move(rest));
+        }
+        throw;
+      }
+    }
+  }
+  co_return replayed;
 }
 
 // ---------------------------------------------------------------------------
@@ -96,10 +262,14 @@ Task<void> PvfsClient::remove(const std::string& path) {
     wg.spawn([](PvfsClient& self, DfileRef dfile) -> Task<void> {
       XdrEncoder a;
       a.put_u64(dfile.object_id);
-      auto r = co_await self.io_call(dfile.server_index, IoProc::kRemove,
-                                     std::move(a), 0);
-      auto d = r.body();
-      (void)reply_status(d);
+      try {
+        auto r = co_await self.io_call(dfile.server_index, IoProc::kRemove,
+                                       std::move(a), 0);
+        auto d = r.body();
+        (void)reply_status(d);
+      } catch (const PvfsError&) {
+        // Best-effort reaping; a leaked object is not a correctness issue.
+      }
     }(*this, dfile));
   }
   co_await wg.wait();
@@ -151,17 +321,24 @@ Task<PvfsFilePtr> PvfsClient::create(const std::string& path) {
   // Create the dfile objects on every storage node (PVFS2 allocates the
   // full distribution eagerly at create time).
   sim::WaitGroup wg(fabric_.simulation());
+  bool failed = false;
   for (const auto& dfile : file->meta.dfiles) {
-    wg.spawn([](PvfsClient& self, const DfileRef dfile) -> Task<void> {
+    wg.spawn([](PvfsClient& self, const DfileRef dfile,
+                bool& failed) -> Task<void> {
       XdrEncoder a;
       a.put_u64(dfile.object_id);
-      auto r = co_await self.io_call(dfile.server_index, IoProc::kCreate,
-                                     std::move(a), 0);
-      auto d = r.body();
-      (void)reply_status(d);
-    }(*this, dfile));
+      try {
+        auto r = co_await self.io_call(dfile.server_index, IoProc::kCreate,
+                                       std::move(a), 0);
+        auto d = r.body();
+        if (reply_status(d) != PvfsStatus::kOk) failed = true;
+      } catch (const PvfsError&) {
+        failed = true;
+      }
+    }(*this, dfile, failed));
   }
   co_await wg.wait();
+  if (failed) throw PvfsError(PvfsStatus::kIo, "create dfiles " + path);
   co_return file;
 }
 
@@ -182,17 +359,26 @@ Task<uint64_t> PvfsClient::fetch_size(PvfsFilePtr file) {
   // PVFS2-style attribute gathering: query every storage node.
   std::vector<uint64_t> sizes(file->meta.dfiles.size(), 0);
   sim::WaitGroup wg(fabric_.simulation());
+  bool failed = false;
   for (size_t i = 0; i < file->meta.dfiles.size(); ++i) {
-    wg.spawn([](PvfsClient& self, const DfileRef dfile, uint64_t& out) -> Task<void> {
+    wg.spawn([](PvfsClient& self, const DfileRef dfile, uint64_t& out,
+                bool& failed) -> Task<void> {
       XdrEncoder a;
       a.put_u64(dfile.object_id);
-      auto r = co_await self.io_call(dfile.server_index, IoProc::kGetSize,
-                                     std::move(a), 0);
-      auto d = r.body();
-      if (reply_status(d) == PvfsStatus::kOk) out = d.get_u64();
-    }(*this, file->meta.dfiles[i], sizes[i]));
+      try {
+        auto r = co_await self.io_call(dfile.server_index, IoProc::kGetSize,
+                                       std::move(a), 0);
+        auto d = r.body();
+        if (reply_status(d) == PvfsStatus::kOk) out = d.get_u64();
+      } catch (const PvfsError&) {
+        failed = true;
+      }
+    }(*this, file->meta.dfiles[i], sizes[i], failed));
   }
   co_await wg.wait();
+  // A missing dfile size would silently shrink the logical size and truncate
+  // reads — surface the failure instead.
+  if (failed) throw PvfsError(PvfsStatus::kIo, "getattr size gather");
   file->size = logical_size(file->meta, sizes);
   co_return file->size;
 }
@@ -232,8 +418,14 @@ Task<Payload> PvfsClient::read(PvfsFilePtr file, uint64_t offset,
       a.put_u64(dfile.object_id);
       a.put_u64(piece.dfile_offset);
       a.put_u64(piece.length);
-      auto r = co_await self.io_call(dfile.server_index, IoProc::kRead,
-                                     std::move(a), piece.length, trace);
+      rpc::RpcClient::Reply r;
+      try {
+        r = co_await self.io_call(dfile.server_index, IoProc::kRead,
+                                  std::move(a), piece.length, trace);
+      } catch (const PvfsError&) {
+        failed = true;
+        co_return;
+      }
       auto d = r.body();
       if (reply_status(d) != PvfsStatus::kOk) {
         failed = true;
@@ -282,10 +474,23 @@ Task<void> PvfsClient::write(PvfsFilePtr file, uint64_t offset, Payload data,
         a.put_u64(dfile_offset);
         const uint64_t bytes = piece.size();
         a.put_payload(piece);
-        auto r = co_await self.io_call(dfile.server_index, IoProc::kWrite,
-                                       std::move(a), bytes, trace);
-        auto d = r.body();
-        if (reply_status(d) != PvfsStatus::kOk) failed = true;
+        try {
+          auto r = co_await self.io_call(dfile.server_index, IoProc::kWrite,
+                                         std::move(a), bytes, trace);
+          auto d = r.body();
+          if (reply_status(d) != PvfsStatus::kOk) {
+            failed = true;
+            co_return;
+          }
+          // The daemon buffered the bytes; keep our copy until a commit by
+          // the same incarnation makes them durable.
+          const uint64_t verifier = d.get_u64();
+          self.note_daemon_verifier(dfile.server_index, verifier);
+          self.retain_piece(dfile.server_index, dfile.object_id, dfile_offset,
+                            std::move(piece));
+        } catch (const PvfsError&) {
+          failed = true;
+        }
       }(*this, file->meta, ext.dfile_index, ext.dfile_offset + done,
         std::move(piece), failed, trace));
       done += n;
@@ -298,19 +503,70 @@ Task<void> PvfsClient::write(PvfsFilePtr file, uint64_t offset, Payload data,
 }
 
 Task<void> PvfsClient::fsync(PvfsFilePtr file, obs::TraceContext trace) {
-  sim::WaitGroup wg(fabric_.simulation());
-  for (const auto& dfile : file->meta.dfiles) {
-    wg.spawn([](PvfsClient& self, const DfileRef dfile,
-                const obs::TraceContext trace) -> Task<void> {
-      XdrEncoder a;
-      a.put_u64(dfile.object_id);
-      auto r = co_await self.io_call(dfile.server_index, IoProc::kCommit,
-                                     std::move(a), 0, trace);
-      auto d = r.body();
-      (void)reply_status(d);
-    }(*this, dfile, trace));
+  // fsync drives the commit/replay loop: re-send pieces orphaned by daemon
+  // restarts, then commit every dfile and check the returned write verifier
+  // against the incarnation that buffered our writes.  A mismatch means the
+  // buffered bytes died with the old incarnation — requeue and go again.
+  constexpr int kMaxRounds = 8;
+  for (int round = 0; round < kMaxRounds; ++round) {
+    co_await replay_stale(file, trace);
+
+    bool mismatch = false;
+    bool failed = false;
+    sim::WaitGroup wg(fabric_.simulation());
+    for (const auto& dfile : file->meta.dfiles) {
+      // Pieces retained after this point raced the commit and may not be
+      // covered by it — only retire ones whose write reply already arrived.
+      const uint64_t cutoff = retain_seq_;
+      wg.spawn([](PvfsClient& self, const DfileRef dfile, uint64_t cutoff,
+                  bool& mismatch, bool& failed,
+                  const obs::TraceContext trace) -> Task<void> {
+        XdrEncoder a;
+        a.put_u64(dfile.object_id);
+        try {
+          auto r = co_await self.io_call(dfile.server_index, IoProc::kCommit,
+                                         std::move(a), 0, trace);
+          auto d = r.body();
+          if (reply_status(d) != PvfsStatus::kOk) {
+            failed = true;
+            co_return;
+          }
+          const uint64_t verifier = d.get_u64();
+          DaemonState& ds = self.daemons_.at(dfile.server_index);
+          const bool known = ds.verifier_known;
+          const uint64_t expected = ds.verifier;
+          self.note_daemon_verifier(dfile.server_index, verifier);
+          if (known && expected != verifier) {
+            mismatch = true;  // retained pieces just moved to the stale set
+            co_return;
+          }
+          // Commit covered everything the daemon buffered before it was
+          // issued: retire those pieces.
+          auto rit = ds.retained.find(dfile.object_id);
+          if (rit != ds.retained.end()) {
+            for (auto pit = rit->second.begin(); pit != rit->second.end();) {
+              pit = (pit->second.seq <= cutoff) ? rit->second.erase(pit)
+                                                : ++pit;
+            }
+            if (rit->second.empty()) ds.retained.erase(rit);
+          }
+        } catch (const PvfsError&) {
+          failed = true;
+        }
+      }(*this, dfile, cutoff, mismatch, failed, trace));
+    }
+    co_await wg.wait();
+    if (failed) throw PvfsError(PvfsStatus::kIo, "fsync");
+
+    bool pending = mismatch;
+    for (const auto& dfile : file->meta.dfiles) {
+      const DaemonState& ds = daemons_.at(dfile.server_index);
+      auto sit = ds.stale.find(dfile.object_id);
+      if (sit != ds.stale.end() && !sit->second.empty()) pending = true;
+    }
+    if (!pending) co_return;
   }
-  co_await wg.wait();
+  throw PvfsError(PvfsStatus::kIo, "fsync: replay did not converge");
 }
 
 Task<void> PvfsClient::close(PvfsFilePtr file) { co_await fsync(file); }
@@ -321,6 +577,7 @@ Task<void> PvfsClient::truncate(PvfsFilePtr file, uint64_t size) {
   const uint64_t su = file->meta.stripe_unit;
   const uint64_t n = file->meta.dfiles.size();
   sim::WaitGroup wg(fabric_.simulation());
+  bool failed = false;
   for (uint64_t i = 0; i < n; ++i) {
     // Bytes of dfile i that lie below `size` under dense round-robin.
     uint64_t dsize = 0;
@@ -335,17 +592,36 @@ Task<void> PvfsClient::truncate(PvfsFilePtr file, uint64_t size) {
         dsize += rem;
       }
     }
-    wg.spawn([](PvfsClient& self, const DfileRef dfile, uint64_t dsize) -> Task<void> {
+    // Replay must not resurrect bytes above the new end of the dfile.
+    {
+      DaemonState& ds = daemons_.at(file->meta.dfiles[i].server_index);
+      const uint64_t oid = file->meta.dfiles[i].object_id;
+      auto rit = ds.retained.find(oid);
+      if (rit != ds.retained.end()) {
+        trim_range(rit->second, dsize, ~0ull - dsize);
+      }
+      auto sit = ds.stale.find(oid);
+      if (sit != ds.stale.end()) {
+        trim_range(sit->second, dsize, ~0ull - dsize);
+      }
+    }
+    wg.spawn([](PvfsClient& self, const DfileRef dfile, uint64_t dsize,
+                bool& failed) -> Task<void> {
       XdrEncoder a;
       a.put_u64(dfile.object_id);
       a.put_u64(dsize);
-      auto r = co_await self.io_call(dfile.server_index, IoProc::kTruncate,
-                                     std::move(a), 0);
-      auto d = r.body();
-      (void)reply_status(d);
-    }(*this, file->meta.dfiles[i], dsize));
+      try {
+        auto r = co_await self.io_call(dfile.server_index, IoProc::kTruncate,
+                                       std::move(a), 0);
+        auto d = r.body();
+        if (reply_status(d) != PvfsStatus::kOk) failed = true;
+      } catch (const PvfsError&) {
+        failed = true;
+      }
+    }(*this, file->meta.dfiles[i], dsize, failed));
   }
   co_await wg.wait();
+  if (failed) throw PvfsError(PvfsStatus::kIo, "truncate");
   file->size = size;
 }
 

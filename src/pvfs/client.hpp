@@ -11,6 +11,7 @@
 //   * data buffered on storage nodes, committed on fsync/close.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -31,6 +32,14 @@ struct PvfsClientConfig {
   /// Zero for co-located services with direct library access (the
   /// Direct-pNFS metadata server of Figure 5).
   sim::Duration vfs_meta_latency = sim::ms(20);
+  /// Per-attempt RPC deadline for storage/meta requests.  Zero keeps the
+  /// legacy untimed behavior (requests to a crashed daemon park until it
+  /// revives); fault-tolerance runs set a deadline so the client can detect
+  /// the outage and drive write replay.
+  sim::Duration io_timeout = 0;
+  uint32_t io_retries = 1;        ///< attempts per storage request (>= 1)
+  sim::Duration meta_timeout = 0;
+  uint32_t meta_retries = 1;
 };
 
 struct PvfsClientStats {
@@ -38,6 +47,10 @@ struct PvfsClientStats {
   uint64_t bytes_written = 0;
   uint64_t storage_requests = 0;
   uint64_t meta_requests = 0;
+  // Crash-recovery accounting (mirrors nfs::ClientStats replay counters).
+  uint64_t verifier_mismatches = 0;
+  uint64_t replayed_extents = 0;
+  uint64_t replayed_bytes = 0;
 };
 
 /// An open PVFS2 file: distribution metadata plus a cached logical size.
@@ -81,7 +94,37 @@ class PvfsClient {
   const PvfsClientStats& stats() const noexcept { return stats_; }
   const PvfsClientConfig& config() const noexcept { return config_; }
 
+  /// Forgets all retained/stale write pieces and known daemon verifiers.
+  /// Called when the *host* of this client restarts (e.g. a pNFS data
+  /// server proxying through it): the new incarnation must not resurrect
+  /// the dead incarnation's buffered bytes.
+  void drop_replay_state();
+
  private:
+  /// One uncommitted write piece.  `seq` is the retention order: a kCommit
+  /// only retires pieces whose reply arrived before it was issued (seq <=
+  /// the snapshot taken at issue time), so a write racing the commit keeps
+  /// its retention.
+  struct RetainedPiece {
+    uint64_t seq = 0;
+    rpc::Payload data;
+  };
+  /// dfile offset -> bytes (non-overlapping; newest wins on insert).
+  using PieceMap = std::map<uint64_t, RetainedPiece>;
+
+  /// Uncommitted writes sent to one storage daemon incarnation.  PVFS2 has
+  /// no client cache, so the retained kWrite payloads here are the client's
+  /// only copy until a matching-verifier kCommit retires them.
+  struct DaemonState {
+    bool verifier_known = false;
+    uint64_t verifier = 0;
+    /// object id -> pieces awaiting commit by the incarnation above.
+    std::map<uint64_t, PieceMap> retained;
+    /// Pieces orphaned by a daemon restart (verifier changed before their
+    /// commit): must be re-sent by the next fsync.
+    std::map<uint64_t, PieceMap> stale;
+  };
+
   sim::Task<rpc::RpcClient::Reply> meta_call(MetaProc proc,
                                              rpc::XdrEncoder args);
   /// One storage request through the buffer pool (charges client CPU).
@@ -91,6 +134,21 @@ class PvfsClient {
                                            obs::TraceContext trace = {});
   static PvfsStatus reply_status(rpc::XdrDecoder& dec);
 
+  /// Adopts a write verifier observed in a kWrite/kCommit reply from daemon
+  /// `server_index`.  A change moves every retained piece to the stale set
+  /// (the incarnation holding them is gone) and counts a mismatch.
+  void note_daemon_verifier(uint32_t server_index, uint64_t verifier);
+  /// Records a successfully sent unstable write for replay, newest-wins
+  /// over any earlier retained/stale piece it overlaps.
+  void retain_piece(uint32_t server_index, uint64_t object_id,
+                    uint64_t dfile_offset, rpc::Payload piece);
+  /// Trims [offset, offset+len) out of a piece map (splitting pieces that
+  /// straddle a boundary).
+  static void trim_range(PieceMap& pieces, uint64_t offset, uint64_t len);
+  /// Re-sends stale pieces belonging to `file`'s dfiles.  Returns the
+  /// number of pieces replayed; throws if a daemon stays unreachable.
+  sim::Task<uint64_t> replay_stale(PvfsFilePtr file, obs::TraceContext trace);
+
   rpc::RpcFabric& fabric_;
   sim::Node& node_;
   rpc::RpcAddress meta_;
@@ -99,6 +157,12 @@ class PvfsClient {
   PvfsClientConfig config_;
   sim::Semaphore buffers_;
   PvfsClientStats stats_;
+  std::vector<DaemonState> daemons_;
+  uint64_t retain_seq_ = 0;
+
+  obs::Counter* m_verifier_mismatches_;
+  obs::Counter* m_replayed_extents_;
+  obs::Counter* m_replayed_bytes_;
 };
 
 }  // namespace dpnfs::pvfs

@@ -52,6 +52,13 @@ enum class MetaProc : uint32_t {
 };
 
 /// Storage-daemon (I/O) procedures.
+///
+/// kWrite and kCommit replies append the daemon's 8-byte boot verifier
+/// after the payload: equal WRITE/COMMIT verifiers guarantee no daemon
+/// restart intervened, so unstable data reached the journal (mirrors the
+/// NFS COMMIT verifier, RFC 5661 §18.32).  On a mismatch the client
+/// replays its retained unstable pieces (docs/failures.md, "Restart
+/// semantics").
 enum class IoProc : uint32_t {
   kRead = 1,
   kWrite = 2,

@@ -1,5 +1,8 @@
 #include "pvfs/storage_server.hpp"
 
+#include "sim/fault.hpp"
+#include "util/log.hpp"
+
 namespace dpnfs::pvfs {
 
 using rpc::XdrDecoder;
@@ -14,7 +17,8 @@ constexpr uint64_t kJournalPosition = 1ull << 50;
 PvfsStorageServer::PvfsStorageServer(rpc::RpcFabric& fabric, sim::Node& node,
                                      uint16_t port, lfs::ObjectStore& store,
                                      StorageServerConfig config)
-    : node_(node), store_(store), config_(config) {
+    : fabric_(fabric), node_(node), port_(port), store_(store),
+      config_(config) {
   if (obs::MetricsRegistry* reg = fabric.metrics()) {
     const std::string& n = node.name();
     m_requests_ = &reg->counter(n, "pvfs.io", "requests");
@@ -56,8 +60,32 @@ void PvfsStorageServer::trace_store_op(const rpc::CallContext& ctx,
   tracer_->record(std::move(span));
 }
 
+void PvfsStorageServer::check_restart(sim::Time now) {
+  const sim::FaultInjector* faults = fabric_.network().faults();
+  const uint64_t instance =
+      faults ? faults->boot_instance(node_.id(), port_, now) : 1;
+  if (instance == boot_instance_) return;
+  const bool first_sight = boot_instance_ == 0;
+  boot_instance_ = instance;
+  boot_verifier_ =
+      faults ? faults->boot_verifier(node_.id(), port_, now)
+             : (0x9E3779B97F4A7C15ull ^ ((uint64_t{node_.id()} << 16) | port_));
+  if (first_sight) return;  // initial adoption, nothing was lost
+  // Buffered (uncommitted) writes lived in the dead daemon's memory; the
+  // journal preserved object existence and committed bytes.
+  store_.drop_dirty();
+  store_.drop_caches();
+  ++restarts_;
+  util::logf(util::LogLevel::kInfo, "pvfs.io", now,
+             "%s:%u storage daemon restarted (instance %llu, verifier %016llx)",
+             node_.name().c_str(), static_cast<unsigned>(port_),
+             static_cast<unsigned long long>(instance),
+             static_cast<unsigned long long>(boot_verifier_));
+}
+
 Task<void> PvfsStorageServer::serve(const rpc::CallContext& ctx,
                                     XdrDecoder& args, XdrEncoder& results) {
+  check_restart(node_.simulation().now());
   const auto proc = static_cast<IoProc>(ctx.header.proc);
   m_requests_->inc();
   switch (proc) {
@@ -99,6 +127,9 @@ Task<void> PvfsStorageServer::serve(const rpc::CallContext& ctx,
       trace_store_op(ctx, "write", start, len, 0,
                      static_cast<int64_t>(store_.stats().disk_time_ns - disk0));
       results.put_u32(static_cast<uint32_t>(PvfsStatus::kOk));
+      // Buffered write: the verifier tells the client which daemon
+      // incarnation holds the volatile bytes (see protocol.hpp).
+      results.put_u64(boot_verifier_);
       co_return;
     }
     case IoProc::kCommit: {
@@ -116,6 +147,9 @@ Task<void> PvfsStorageServer::serve(const rpc::CallContext& ctx,
                      static_cast<int64_t>(store_.stats().disk_time_ns - disk0) +
                          (node_.simulation().now() - j0));
       results.put_u32(static_cast<uint32_t>(PvfsStatus::kOk));
+      // Equal to the verifier of every kWrite it covers iff no restart
+      // intervened (mirrors NFS COMMIT semantics).
+      results.put_u64(boot_verifier_);
       co_return;
     }
     case IoProc::kGetSize: {

@@ -38,9 +38,22 @@ class PvfsStorageServer {
   size_t rpc_queue_depth() const { return rpc_server_->queue_depth(); }
   lfs::ObjectStore& store() noexcept { return store_; }
 
+  /// Write verifier of the daemon incarnation serving right now (carried by
+  /// kWrite and kCommit replies; see protocol.hpp).
+  uint64_t boot_verifier() const noexcept { return boot_verifier_; }
+  /// Restarts this daemon has detected and recovered from.
+  uint64_t restarts_observed() const noexcept { return restarts_; }
+
  private:
   sim::Task<void> serve(const rpc::CallContext& ctx, rpc::XdrDecoder& args,
                         rpc::XdrEncoder& results);
+
+  /// Lazily detects a fault-injector revive of this daemon (same contract as
+  /// NfsServer::check_restart): on a boot-instance bump the store's
+  /// buffered-but-uncommitted writes and page cache are gone and a fresh
+  /// write verifier is adopted.  Journaled state (object existence, sizes of
+  /// committed data) survives.
+  void check_restart(sim::Time now);
 
   /// Records a kInternal "store/<op>" span under the request's server span
   /// so the critical-path analyzer can attribute daemon disk time (the
@@ -49,10 +62,18 @@ class PvfsStorageServer {
                       int64_t start, uint64_t bytes_in, uint64_t bytes_out,
                       int64_t disk_ns) const;
 
+  rpc::RpcFabric& fabric_;
   sim::Node& node_;
+  uint16_t port_;
   lfs::ObjectStore& store_;
   StorageServerConfig config_;
   std::unique_ptr<rpc::RpcServer> rpc_server_;
+
+  // Boot identity: 0 = not yet observed (adopted without a reset on the
+  // first request, so fault-free runs never shed state).
+  uint64_t boot_instance_ = 0;
+  uint64_t boot_verifier_ = 0;
+  uint64_t restarts_ = 0;
 
   // "pvfs.io" component handles, resolved once at construction (null sinks
   // when the fabric carries no registry).

@@ -147,6 +147,16 @@ Task<void> RpcServer::worker() {
       pending->slot->done.set();
       continue;
     }
+    if (faults != nullptr &&
+        faults->boot_instance(node_.id(), port_, pending->enqueued) !=
+            faults->boot_instance(node_.id(), port_, picked_up)) {
+      // The daemon crashed *and revived* while this request sat in the
+      // queue.  The old incarnation's socket/queue died with it — the new
+      // instance must not serve its predecessor's requests, or a client
+      // could see a reply stamped by state that no longer exists.
+      pending->slot->done.set();
+      continue;
+    }
 
     const sim::Duration queue_wait = picked_up - pending->enqueued;
     queue_wait_total_ += queue_wait;
@@ -216,11 +226,15 @@ Task<void> RpcServer::worker() {
     }
 
     // Send the reply.  If the daemon or node died while the request was in
-    // service, or the reply is lost on the wire, wake the caller with an
-    // empty slot — its deadline machinery turns that into kTimedOut.
+    // service (even if it already revived — the reply belongs to the dead
+    // incarnation), or the reply is lost on the wire, wake the caller with
+    // an empty slot — its deadline machinery turns that into kTimedOut.
     bool reply_ok =
         faults == nullptr ||
-        !faults->service_down(node_.id(), port_, fabric_.simulation().now());
+        (!faults->service_down(node_.id(), port_, fabric_.simulation().now()) &&
+         faults->boot_instance(node_.id(), port_, picked_up) ==
+             faults->boot_instance(node_.id(), port_,
+                                   fabric_.simulation().now()));
     if (reply_ok) {
       reply_ok = co_await fabric_.network().transfer(
           node_, fabric_.network().node(pending->client_node),

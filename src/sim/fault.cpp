@@ -35,6 +35,33 @@ bool FaultInjector::disk_failed(uint32_t node, Time now) const noexcept {
   return false;
 }
 
+uint64_t FaultInjector::boot_instance(uint32_t node, uint16_t port,
+                                      Time now) const noexcept {
+  uint64_t instance = 1;
+  for (const auto& c : plan_.node_crashes) {
+    if (c.node == node && c.at <= now) ++instance;
+  }
+  for (const auto& c : plan_.service_crashes) {
+    if (c.node == node && c.port == port && c.at <= now) ++instance;
+  }
+  return instance;
+}
+
+uint64_t FaultInjector::boot_verifier(uint32_t node, uint16_t port,
+                                      Time now) const noexcept {
+  // SplitMix64 finalizer over the incarnation identity.  Deterministic for
+  // a fixed plan; distinct across instances with overwhelming probability.
+  uint64_t x = plan_.seed;
+  x ^= (static_cast<uint64_t>(node) << 32) | port;
+  x += 0x9E3779B97F4A7C15ull * (boot_instance(node, port, now) + 1);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x == 0 ? 1 : x;
+}
+
 LinkVerdict FaultInjector::on_message(uint32_t src, uint32_t dst, Time now) {
   LinkVerdict verdict;
   for (size_t i = 0; i < plan_.link_faults.size(); ++i) {

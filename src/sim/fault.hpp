@@ -136,6 +136,21 @@ class FaultInjector {
   bool service_down(uint32_t node, uint16_t port, Time now) const noexcept;
   bool disk_failed(uint32_t node, Time now) const noexcept;
 
+  /// Boot instance of the service at (node, port): 1 plus the number of
+  /// crash windows (whole-node or matching service) that have *started* by
+  /// `now`.  Every crash, even one the service has already revived from,
+  /// bumps the instance — a revived daemon is a different incarnation with
+  /// none of its predecessor's volatile state.  Pure function of the plan,
+  /// so all observers (RPC server, backend, store) agree on the incarnation
+  /// at any timestamp.
+  uint64_t boot_instance(uint32_t node, uint16_t port, Time now) const noexcept;
+
+  /// 8-byte boot verifier for the service's current incarnation: a
+  /// SplitMix64 mix of (plan seed, node, port, boot instance), never zero.
+  /// Two incarnations of the same service always differ; the value is
+  /// stable for the lifetime of one incarnation.
+  uint64_t boot_verifier(uint32_t node, uint16_t port, Time now) const noexcept;
+
   /// Consulted once per message (request or reply) entering the switch.
   LinkVerdict on_message(uint32_t src, uint32_t dst, Time now);
 

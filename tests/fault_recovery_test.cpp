@@ -352,6 +352,215 @@ TEST(FaultRecovery, LayoutRecallDuringRetryCompletes) {
 }
 
 // ---------------------------------------------------------------------------
+// Boot-instance boundaries: replies queued before a crash never surface
+// ---------------------------------------------------------------------------
+
+TEST(FaultRecovery, QueuedReplyDroppedAcrossServiceRestart) {
+  RpcRig r;
+  auto& client_node = r.add_node("client");
+  auto& server_node = r.add_node("server");
+  int runs = 0;
+  // Each execution stamps its run number into the reply after a 30 ms think
+  // time, so a reply computed by boot instance 1 but sent after the revive
+  // is distinguishable from a fresh execution.
+  rpc::RpcServer server(
+      r.fabric, server_node, rpc::kNfsPort, 2,
+      [&r, &runs](const rpc::CallContext&, rpc::XdrDecoder&,
+                  rpc::XdrEncoder& out) -> Task<void> {
+        const uint32_t run = static_cast<uint32_t>(++runs);
+        co_await r.sim.delay(sim::ms(30));
+        out.put_u32(run);
+      });
+  server.start();
+  // The service dies at 10 ms — while execution #1 is in flight — and is
+  // back at 20 ms.  The reply straddles the boot boundary and must be
+  // dropped, not delivered late to the retrying client.
+  r.inject(sim::FaultPlan{}.crash_service(server_node.id(), rpc::kNfsPort,
+                                          sim::ms(10), sim::ms(20)));
+
+  rpc::RpcClient client(r.fabric, client_node, "t@SIM");
+  rpc::RpcClient::Reply reply;
+  r.sim.spawn([](rpc::RpcClient& c, rpc::RpcAddress to,
+                 rpc::RpcClient::Reply& reply) -> Task<void> {
+    reply = co_await c.call(to, rpc::Program::kNfs, 4, 1, rpc::XdrEncoder{},
+                            rpc::CallOptions{.timeout = sim::ms(40),
+                                             .max_retries = 2,
+                                             .backoff = sim::ms(5)});
+  }(client, server.address(), reply));
+  r.sim.run();
+
+  ASSERT_TRUE(reply.ok());
+  auto body = reply.body();
+  EXPECT_EQ(body.get_u32(), 2u);  // the answer came from the NEW instance
+  EXPECT_EQ(runs, 2);             // old execution ran but its reply vanished
+  EXPECT_GE(client.timeouts(), 1u);
+  EXPECT_EQ(r.injector->boot_instance(server_node.id(), rpc::kNfsPort,
+                                      r.sim.now()),
+            2u);
+}
+
+// ---------------------------------------------------------------------------
+// Write verifiers: clean restart between WRITE and COMMIT
+// ---------------------------------------------------------------------------
+
+/// Direct-pNFS rig for the verifier tests: 2 DSes, streaming unstable
+/// write-back with background COMMITs disabled so data is guaranteed to sit
+/// uncommitted in server memory across the scripted restart window.
+core::ClusterConfig verifier_rig_config() {
+  core::ClusterConfig cfg;
+  cfg.architecture = core::Architecture::kDirectPnfs;
+  cfg.storage_nodes = 2;
+  cfg.clients = 2;
+  cfg.nfs_client.wb_commit_backlog = 0;  // fsync is the only COMMIT source
+  return cfg;
+}
+
+TEST(FaultRecovery, CommitAfterCleanRestartMismatchesExactlyOnce) {
+  core::ClusterConfig cfg = verifier_rig_config();
+  // storage1's DS daemon restarts cleanly (no request in flight) in the gap
+  // between the streamed WRITEs and the explicit fsync.
+  cfg.faults.crash_service(1, rpc::kNfsPort, sim::ms(500), sim::ms(520));
+
+  core::Deployment d(cfg);
+  bool data_ok = false;
+  d.simulation().spawn([](core::Deployment& d, bool& data_ok) -> Task<void> {
+    co_await d.mount_all();
+    auto f = co_await d.client(0).open("/f", true);
+    // 4 MiB = one full 2 MiB stripe chunk per DS; both stream out as
+    // UNSTABLE WRITEs immediately and then sit uncommitted.
+    co_await f->write(0, pattern_payload(0, 4_MiB));
+    co_await d.simulation().delay(sim::ms(600) - d.simulation().now());
+    // First COMMIT to the revived DS returns the new boot verifier: the
+    // client must detect the mismatch once and replay the lost extent.
+    co_await f->fsync();
+    // A second fsync must be a no-op: the replayed data was committed
+    // under the new verifier.
+    co_await f->fsync();
+    co_await f->close();
+
+    auto g = co_await d.client(1).open_read("/f");
+    Payload back = co_await g->read(0, 4_MiB);
+    data_ok = back == pattern_payload(0, 4_MiB);
+    co_await g->close();
+  }(d, data_ok));
+  d.simulation().run();
+
+  EXPECT_TRUE(data_ok);
+  const auto& stats =
+      dynamic_cast<core::NfsFileSystemClient&>(d.client(0)).native().stats();
+  EXPECT_EQ(stats.verifier_mismatches, 1u);  // exactly once, not per retry
+  EXPECT_GE(stats.replayed_extents, 1u);
+  EXPECT_EQ(stats.replayed_bytes, 2_MiB);  // only the crashed DS's chunk
+  EXPECT_EQ(stats.mds_fallbacks, 0u);      // replay, not proxy degradation
+}
+
+TEST(FaultRecovery, ReplayIsIdempotentAcrossRepeatedRestarts) {
+  core::ClusterConfig cfg = verifier_rig_config();
+  // The same DS restarts twice; the same byte range is replayed each time.
+  cfg.faults.crash_service(1, rpc::kNfsPort, sim::ms(500), sim::ms(520));
+  cfg.faults.crash_service(1, rpc::kNfsPort, sim::ms(1500), sim::ms(1520));
+
+  core::Deployment d(cfg);
+  bool round_ok[2] = {false, false};
+  d.simulation().spawn([](core::Deployment& d, bool* round_ok) -> Task<void> {
+    co_await d.mount_all();
+    auto f = co_await d.client(0).open("/f", true);
+    for (int round = 0; round < 2; ++round) {
+      // Identical bytes at identical offsets each round: the second replay
+      // re-sends extents the object already holds.
+      co_await f->write(0, pattern_payload(0, 4_MiB));
+      const sim::Time quiet = sim::ms(600 + 1000 * round);
+      co_await d.simulation().delay(quiet - d.simulation().now());
+      co_await f->fsync();
+      auto g = co_await d.client(1).open_read("/f");
+      Payload back = co_await g->read(0, 4_MiB);
+      round_ok[round] = back == pattern_payload(0, 4_MiB);
+      co_await g->close();
+      d.client(1).drop_caches();
+    }
+    co_await f->close();
+  }(d, round_ok));
+  d.simulation().run();
+
+  // Double replay of the same extents leaves the object byte-identical.
+  EXPECT_TRUE(round_ok[0]);
+  EXPECT_TRUE(round_ok[1]);
+  const auto& stats =
+      dynamic_cast<core::NfsFileSystemClient&>(d.client(0)).native().stats();
+  EXPECT_EQ(stats.verifier_mismatches, 2u);
+  EXPECT_EQ(stats.replayed_bytes, 4_MiB);  // 2 MiB lost per restart
+}
+
+// ---------------------------------------------------------------------------
+// MDS restart: grace period, session recovery, one layout re-fetch per file
+// ---------------------------------------------------------------------------
+
+TEST(FaultRecovery, MdsRestartRefetchesLayoutOncePerOpenFile) {
+  core::ClusterConfig cfg;
+  cfg.architecture = core::Architecture::kDirectPnfs;
+  cfg.storage_nodes = 2;
+  cfg.clients = 1;
+  cfg.nfs_client.mds_timeout = sim::ms(500);
+  cfg.mds_grace_period = sim::ms(50);  // revived MDS answers GRACE first
+  // The MDS service (not the co-located DS daemon) restarts at 500 ms.
+  cfg.faults.crash_service(0, core::kMdsPort, sim::ms(500), sim::ms(520));
+
+  core::Deployment d(cfg);
+  uint64_t refetches_before = 0;
+  uint64_t refetches_after_two = 0;
+  bool data_ok = false;
+  d.simulation().spawn([](core::Deployment& d, uint64_t& before,
+                          uint64_t& after_two, bool& data_ok) -> Task<void> {
+    co_await d.mount_all();
+    auto& nc = dynamic_cast<core::NfsFileSystemClient&>(d.client(0)).native();
+    auto a = co_await d.client(0).open("/a", true);
+    auto b = co_await d.client(0).open("/b", true);
+    co_await a->write(0, pattern_payload(0, 2_MiB));
+    co_await a->fsync();
+    co_await b->write(0, pattern_payload(1_GiB, 2_MiB));
+    co_await b->fsync();
+    before = nc.stats().layout_refetches;
+
+    // Land the first post-revive op *inside* the 50 ms grace window: the
+    // client must absorb NFS4ERR_GRACE retries, then re-establish the
+    // session — which invalidates every held layout (the new boot instance
+    // knows nothing of them).
+    co_await d.simulation().delay(sim::ms(530) - d.simulation().now());
+    co_await a->write(2_MiB, pattern_payload(2_MiB, 2_MiB));
+    co_await a->fsync();  // LAYOUTCOMMIT hits the restarted MDS
+    // Each open file re-fetches its layout exactly once, on its next I/O.
+    co_await b->write(2_MiB, pattern_payload(1_GiB + 2_MiB, 2_MiB));
+    co_await b->fsync();
+    co_await a->write(4_MiB, pattern_payload(4_MiB, 2_MiB));
+    co_await a->fsync();
+    after_two = nc.stats().layout_refetches;
+
+    // Further I/O on already-refreshed layouts must not re-fetch again.
+    co_await a->write(6_MiB, pattern_payload(6_MiB, 2_MiB));
+    co_await a->fsync();
+    co_await b->write(4_MiB, pattern_payload(1_GiB + 4_MiB, 2_MiB));
+    co_await b->fsync();
+    co_await a->close();
+    co_await b->close();
+
+    auto ra = co_await d.client(0).open_read("/a");
+    Payload back = co_await ra->read(0, 8_MiB);
+    Payload want = pattern_payload(0, 8_MiB);
+    data_ok = back == want;
+    co_await ra->close();
+  }(d, refetches_before, refetches_after_two, data_ok));
+  d.simulation().run();
+
+  const auto& stats =
+      dynamic_cast<core::NfsFileSystemClient&>(d.client(0)).native().stats();
+  EXPECT_TRUE(data_ok);
+  // Exactly one LAYOUTGET per open file with a layout, no more.
+  EXPECT_EQ(refetches_after_two - refetches_before, 2u);
+  EXPECT_EQ(stats.layout_refetches, refetches_after_two);
+  EXPECT_GE(stats.session_recoveries, 1u);
+}
+
+// ---------------------------------------------------------------------------
 // Disk faults
 // ---------------------------------------------------------------------------
 

@@ -77,6 +77,28 @@ TEST(WireGolden, FileLayout) {
             "00000000");        // 0 params
 }
 
+TEST(WireGolden, WriteResAndCommitResCarryBootVerifier) {
+  rpc::XdrEncoder enc;
+  nfs::WriteRes{0x2000, nfs::StableHow::kUnstable, 5, 0x1122334455667788ull}
+      .encode(enc);
+  nfs::CommitRes{0xCAFEF00DD15EA5E5ull}.encode(enc);
+  const std::vector<std::byte> wire = std::move(enc).take();
+  EXPECT_EQ(hex(wire),
+            "0000000000002000"    // count
+            "00000000"            // committed = UNSTABLE4
+            "0000000000000005"    // post-op change attribute
+            "1122334455667788"    // WRITE verifier (boot-instance cookie)
+            "cafef00dd15ea5e5");  // COMMIT verifier
+  // Round-trip: a restarted server's fresh verifier must survive the codec
+  // bit-exactly — replay detection compares these 64 bits for equality.
+  rpc::XdrDecoder dec(wire);
+  const nfs::WriteRes w = nfs::WriteRes::decode(dec);
+  const nfs::CommitRes c = nfs::CommitRes::decode(dec);
+  EXPECT_EQ(w.verifier, 0x1122334455667788ull);
+  EXPECT_EQ(c.verifier, 0xCAFEF00DD15EA5E5ull);
+  EXPECT_NE(w.verifier, c.verifier);  // mismatch == restart intervened
+}
+
 TEST(WireGolden, InlineVsVirtualPayload) {
   rpc::XdrEncoder enc;
   enc.put_payload(rpc::Payload::from_string("hi"));

@@ -29,6 +29,13 @@ import tempfile
 # Counters every client.recovery component must export (docs/failures.md).
 RECOVERY_COUNTERS = ("retries", "fallbacks", "breaker_trips")
 
+# Counters every client.replay component (unstable-write replay after a
+# server restart) must export (docs/failures.md "Restart semantics").  NFS
+# clients additionally export session_recoveries; the native PVFS client
+# does not (it has no sessions), so that one stays optional.
+REPLAY_COUNTERS = ("verifier_mismatches", "replayed_extents",
+                   "replayed_bytes")
+
 # Counters every client.sched component (per-DS write-back scheduler) must
 # export (docs/observability.md).  Its gauges are dynamic — one
 # queue_depth/queue_depth_peak/window_inflight triple per data server the
@@ -99,6 +106,20 @@ def check_recovery_component(path, comp):
                 f"{type(counters[name]).__name__}")
 
 
+def check_replay_component(path, comp):
+    """Crash-recovery replay accounting has a fixed counter contract."""
+    counters = comp.get("counters", {})
+    if not isinstance(counters, dict):
+        return  # already reported by check_component
+    for name in REPLAY_COUNTERS:
+        if name not in counters:
+            err(path, f"client.replay missing counter '{name}'")
+        elif not isinstance(counters[name], int):
+            err(f"{path}.counters.{name}",
+                f"replay counter should be int, got "
+                f"{type(counters[name]).__name__}")
+
+
 def check_sched_component(path, comp):
     """The per-DS write-back scheduler: fixed counters, dynamic per-DS
     gauges (one depth/peak/inflight triple per data server dispatched to)."""
@@ -156,16 +177,22 @@ def check_metrics_doc(path, doc):
     for node, components in nodes.items():
         if not check_type(f"{path}.nodes.{node}", components, dict, "node"):
             continue
-        # Every NFS client registers its write-back scheduler alongside its
-        # cache component at construction.
+        # Every NFS client registers its write-back scheduler and its
+        # unstable-write replay accounting alongside its cache component at
+        # construction (the native PVFS client registers client.replay on
+        # its own).
         if "client.cache" in components and "client.sched" not in components:
             err(f"{path}.nodes.{node}", "client node missing client.sched")
+        if "client.cache" in components and "client.replay" not in components:
+            err(f"{path}.nodes.{node}", "client node missing client.replay")
         for comp, body in components.items():
             check_component(f"{path}.nodes.{node}.{comp}", body)
             if comp == "client.recovery" and isinstance(body, dict):
                 check_recovery_component(f"{path}.nodes.{node}.{comp}", body)
             if comp == "client.sched" and isinstance(body, dict):
                 check_sched_component(f"{path}.nodes.{node}.{comp}", body)
+            if comp == "client.replay" and isinstance(body, dict):
+                check_replay_component(f"{path}.nodes.{node}.{comp}", body)
 
     # Every export must carry per-node resource gauges for at least one
     # storage node — this is what decomposes "where the bytes went".
