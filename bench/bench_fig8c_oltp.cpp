@@ -28,8 +28,8 @@ int main(int argc, char** argv) {
       s.values.push_back(r.aggregate_mbps());
       if (n == clients.back()) {
         std::printf("  [%s, %u clients] txn latency p50=%.1fms p99=%.1fms\n",
-                    s.label.c_str(), n, w.latencies().percentile(50) * 1e3,
-                    w.latencies().percentile(99) * 1e3);
+                    s.label.c_str(), n, w.latencies().p50() * 1e3,
+                    w.latencies().p99() * 1e3);
       }
     }
     series.push_back(std::move(s));

@@ -1,0 +1,169 @@
+// Observability overhead: wall-clock cost of the tracing pipeline at three
+// settings over the *same* deterministic workload —
+//   off      rate 0.0, span/staging capacity 0 (aggregates only)
+//   sampled  rate 0.01 + tail promotion (the recommended production mode)
+//   always   rate 1.0 (every span retained, the pre-sampling default)
+//
+// Two contracts are checked, not just measured:
+//   1. Exact aggregates are sampling-independent: traces_started,
+//      rpc_hops_total, spans_recorded and the per-op SLO request counts
+//      must be bit-identical across all three modes (the simulation is
+//      deterministic, so any drift means sampling perturbed accounting —
+//      the bench exits 1).
+//   2. Sampling makes detail cheap: the "rate-ratio" figure records each
+//      mode's wall-clock throughput as a percentage of tracing-off.
+//      Sampled should sit within a few percent of off; always-on pays the
+//      full span-retention cost.
+//
+// Wall-clock numbers are host-noise-sensitive, so the delta gate for this
+// bench runs with a loose threshold (see bench/CMakeLists.txt); the
+// sim-time "goodput" figure is deterministic and gated tightly.
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "workload/oltp.hpp"
+
+using namespace dpnfs;
+using namespace dpnfs::bench;
+
+namespace {
+
+struct Mode {
+  const char* name;
+  double sample_rate;
+  size_t span_capacity;   // 0 disables retention + staging entirely
+  sim::Duration slo;      // tail-promotion threshold (0 = off)
+};
+
+struct ModeResult {
+  double sim_mbps = 0;      // deterministic, sim-time
+  double best_seconds = 0;  // fastest repetition (noise-robust estimator)
+  uint64_t app_bytes = 0;   // per repetition (identical across reps)
+  // Exact-aggregate fingerprint — must match across modes.
+  uint64_t traces_started = 0;
+  uint64_t rpc_hops = 0;
+  uint64_t spans_recorded = 0;
+  uint64_t slo_requests = 0;
+  std::string metrics_json;
+};
+
+// One simulation run under mode `m`; merges timing + aggregates into `out`.
+void run_once(const Mode& m, uint32_t clients, uint32_t txns_per_client,
+              ModeResult& out) {
+  core::ClusterConfig cfg =
+      paper_config(core::Architecture::kDirectPnfs, clients);
+  cfg.trace_sample_rate = m.sample_rate;
+  cfg.trace_span_capacity = m.span_capacity;
+  cfg.trace_slo_threshold = m.slo;
+  // OLTP: small RMW + fsync transactions are the span-heaviest workload
+  // in the suite — the point is to price the tracing pipeline itself.
+  workload::OltpConfig oltp;
+  oltp.transactions_per_client = txns_per_client;
+  oltp.file_bytes = 64ull << 20;
+  core::Deployment d(cfg);
+  workload::OltpWorkload w(oltp);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const workload::RunResult r = run_workload(d, w);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  if (out.best_seconds == 0 || secs < out.best_seconds) {
+    out.best_seconds = secs;
+  }
+
+  out.sim_mbps = r.aggregate_mbps();
+  out.app_bytes = r.app_bytes;
+  out.traces_started = d.tracer().traces_started();
+  out.rpc_hops = d.tracer().rpc_hops_total();
+  out.spans_recorded = d.tracer().spans_recorded();
+  out.slo_requests = 0;
+  for (const auto& [op, slo] : d.tracer().slo_per_op()) {
+    (void)op;
+    out.slo_requests += slo.requests;
+  }
+  out.metrics_json = r.metrics_json;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = flag_present(argc, argv, "--smoke");
+  const bool quick = smoke || flag_present(argc, argv, "--quick");
+  const uint32_t clients = 4;
+  const uint32_t txns = quick ? 2'000 : 20'000;
+  const int reps = smoke ? 2 : 5;
+
+  const std::vector<Mode> modes = {
+      {"off", 0.0, 0, 0},
+      {"sampled", 0.01, 4096, sim::ms(50)},
+      {"always", 1.0, 4096, sim::ms(50)},
+  };
+
+  std::printf("== Observability overhead: off vs sampled(1%%) vs always ==\n");
+  BenchRecorder rec("obs_overhead", arg_value(argc, argv, "--out-dir", ""));
+
+  // Interleave repetitions round-robin (after one discarded warmup pass)
+  // and keep each mode's *fastest* repetition: both standard defenses
+  // against wall-clock noise drifting over the run on a shared host.
+  std::vector<ModeResult> results(modes.size());
+  {
+    ModeResult warmup;
+    run_once(modes[0], clients, txns, warmup);
+  }
+  for (int rep = 0; rep < reps; ++rep) {
+    for (size_t i = 0; i < modes.size(); ++i) {
+      run_once(modes[i], clients, txns, results[i]);
+    }
+  }
+  for (size_t i = 0; i < modes.size(); ++i) {
+    const ModeResult& r = results[i];
+    std::printf(
+        "  [%-7s] sim %.1f MB/s  best wall %.3fs (%d reps)  traces=%" PRIu64
+        " hops=%" PRIu64 " spans=%" PRIu64 "\n",
+        modes[i].name, r.sim_mbps, r.best_seconds, reps, r.traces_started,
+        r.rpc_hops, r.spans_recorded);
+    rec.add("goodput", modes[i].name, clients, r.sim_mbps, "MB/s",
+            r.metrics_json);
+  }
+
+  // Contract 1: sampling must not perturb exact aggregates.
+  const ModeResult& off = results[0];
+  for (size_t i = 1; i < results.size(); ++i) {
+    const ModeResult& r = results[i];
+    if (r.traces_started != off.traces_started || r.rpc_hops != off.rpc_hops ||
+        r.spans_recorded != off.spans_recorded ||
+        r.slo_requests != off.slo_requests || r.sim_mbps != off.sim_mbps) {
+      std::fprintf(stderr,
+                   "FAIL: mode '%s' aggregates diverge from 'off' "
+                   "(traces %" PRIu64 "/%" PRIu64 ", hops %" PRIu64 "/%" PRIu64
+                   ", spans %" PRIu64 "/%" PRIu64 ", slo reqs %" PRIu64
+                   "/%" PRIu64 ")\n",
+                   modes[i].name, r.traces_started, off.traces_started,
+                   r.rpc_hops, off.rpc_hops, r.spans_recorded,
+                   off.spans_recorded, r.slo_requests, off.slo_requests);
+      return 1;
+    }
+  }
+  std::printf("  exact aggregates identical across all modes\n");
+
+  // Contract 2: wall-clock throughput relative to tracing-off (percent),
+  // from each mode's fastest repetition.
+  const double off_rate =
+      static_cast<double>(off.app_bytes) / off.best_seconds;
+  for (size_t i = 1; i < results.size(); ++i) {
+    const double rate =
+        static_cast<double>(results[i].app_bytes) / results[i].best_seconds;
+    const double pct = 100.0 * rate / off_rate;
+    std::printf("  [%-7s] wall-clock throughput = %.1f%% of tracing-off\n",
+                modes[i].name, pct);
+    rec.add("rate-ratio", std::string(modes[i].name) + "-vs-off", clients, pct,
+            "percent", "");
+  }
+
+  rec.flush();
+  return 0;
+}

@@ -71,6 +71,7 @@ int main(int argc, char** argv) {
         "                [--fault-revive-ms=T] [--fault-ds-restart=N]\n"
         "                [--chaos-seed=S] [--chaos-restarts=N]\n"
         "                [--trace-out=FILE] [--trace-spans=N]\n"
+        "                [--trace-sample-rate=R] [--slo-ms=N]\n"
         "                [--breakdown] [--sample-ms=N]\n"
         "\n"
         "--wb-window-per-ds=N caps concurrent write-back WRITEs per data\n"
@@ -95,6 +96,12 @@ int main(int argc, char** argv) {
         "--trace-out=FILE writes every retained span as Chrome/Perfetto\n"
         "trace_event JSON (open in ui.perfetto.dev); span retention is\n"
         "raised to 262144 unless --trace-spans overrides it.\n"
+        "--trace-sample-rate=R keeps span detail for fraction R of traces\n"
+        "(deterministic per-trace verdict; aggregate counters and the SLO\n"
+        "digests stay exact at any rate; default 1.0 = every trace).\n"
+        "--slo-ms=N tail-promotes any unsampled trace that ends slower\n"
+        "than N ms, or with an error, with full span detail (default 0 =\n"
+        "promote only errored traces).  See docs/observability.md.\n"
         "--breakdown prints the critical-path latency attribution (client\n"
         "queue / request wire / server queue / service CPU / disk / reply\n"
         "wire) followed by its JSON document.\n"
@@ -127,6 +134,10 @@ int main(int argc, char** argv) {
       std::atoll(arg_value(argc, argv, "--trace-spans",
                            trace_out.empty() ? "4096" : "262144"));
   cfg.trace_span_capacity = static_cast<size_t>(std::max(0LL, trace_spans));
+  cfg.trace_sample_rate =
+      std::atof(arg_value(argc, argv, "--trace-sample-rate", "1.0"));
+  cfg.trace_slo_threshold =
+      sim::ms(std::atoll(arg_value(argc, argv, "--slo-ms", "0")));
   cfg.sample_interval =
       sim::ms(std::atoll(arg_value(argc, argv, "--sample-ms", "100")));
 
@@ -341,7 +352,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("trace timeline    %s (%zu spans%s; open in ui.perfetto.dev)\n",
-                trace_out.c_str(), d.tracer().spans().size(),
+                trace_out.c_str(), d.tracer().retained_spans().size(),
                 d.tracer().spans_dropped() > 0 ? ", some dropped" : "");
   }
   return 0;

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "util/bytes.hpp"
+#include "util/rng.hpp"
 
 namespace dpnfs::core {
 
@@ -27,6 +28,11 @@ Deployment::Deployment(ClusterConfig config)
   // Before any server/client is constructed: they resolve their metric
   // handles from the fabric at construction time.
   tracer_.set_span_capacity(config_.trace_span_capacity);
+  tracer_.set_sample_rate(config_.trace_sample_rate);
+  tracer_.set_sample_seed(
+      util::Rng(config_.trace_sample_seed).next());  // decorrelate from ids
+  tracer_.set_slo_threshold(config_.trace_slo_threshold);
+  tracer_.set_staging_capacity(config_.trace_span_capacity);
   fabric_.set_observability(&metrics_, &tracer_);
   // Likewise the fault injector: nodes pick up their injector pointer as
   // they are added to the network.
@@ -495,6 +501,8 @@ std::string Deployment::metrics_json() {
   out += metrics_.to_json();
   out += ",\"trace\":";
   out += tracer_.to_json();
+  out += ",\"slo\":";
+  out += tracer_.slo_json();
   if (!samples_.empty()) {
     out += ",\"timeseries\":{\"interval_ns\":";
     out += std::to_string(config_.sample_interval);
@@ -531,6 +539,13 @@ void Deployment::print_metrics_report() {
       tracer_.mean_hops_per_trace(), tracer_.max_hops_per_trace(),
       static_cast<unsigned long long>(tracer_.spans_recorded()),
       static_cast<unsigned long long>(tracer_.spans_dropped()));
+  std::printf(
+      "sampling: rate %.4g, %llu traces sampled, %llu promoted, "
+      "%llu spans sampled out\n",
+      tracer_.sample_rate(),
+      static_cast<unsigned long long>(tracer_.traces_sampled()),
+      static_cast<unsigned long long>(tracer_.traces_promoted()),
+      static_cast<unsigned long long>(tracer_.spans_sampled_out()));
 }
 
 }  // namespace dpnfs::core

@@ -113,6 +113,18 @@ struct ClusterConfig {
   /// Span-detail retention for the tracer (hop *accounting* is always
   /// exact).  Raise it when exporting full timelines (`--trace-out`).
   size_t trace_span_capacity = 4096;
+  /// Head-sampling rate for span detail in [0, 1]: the fraction of traces
+  /// whose spans are retained.  Aggregate counters and the SLO digests stay
+  /// exact for all traffic at any rate.  1.0 keeps today's always-on
+  /// behavior.
+  double trace_sample_rate = 1.0;
+  /// Seed for the deterministic per-trace sampling verdict; the same seed
+  /// and schedule sample the same trace ids (chaos runs stay reproducible).
+  uint64_t trace_sample_seed = 0x9e1ddca7;
+  /// Root-span latency SLO: unsampled traces ending slower than this (or
+  /// with an error) are tail-promoted with full span detail.  0 disables
+  /// the slow-trace trigger.
+  sim::Duration trace_slo_threshold = 0;
 
   uint64_t stripe_unit = 2ull << 20;
   lfs::ObjectStoreParams store{};

@@ -1591,6 +1591,7 @@ Task<void> NfsClient::wb_worker(FilePtr file, rpc::RpcAddress addr) {
       span.end = fabric_.simulation().now();
       span.queue_wait = dispatched_at - first_enq;
       span.bytes_out = s.length;
+      span.error = errors.failed();
       tracer_->record(std::move(span));
     }
 

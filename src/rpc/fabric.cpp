@@ -114,12 +114,14 @@ RpcServer::RpcServer(RpcFabric& fabric, sim::Node& node, uint16_t port,
         &reg->histogram(n, "rpc", "queue_us", obs::latency_us_boundaries());
     m_service_us_ =
         &reg->histogram(n, "rpc", "service_us", obs::latency_us_boundaries());
+    m_service_digest_ = &reg->digest(n, "rpc", "service_us");
   } else {
     m_requests_ = &obs::MetricsRegistry::null_counter();
     m_bytes_in_ = &obs::MetricsRegistry::null_counter();
     m_bytes_out_ = &obs::MetricsRegistry::null_counter();
     m_queue_us_ = &obs::MetricsRegistry::null_histogram();
     m_service_us_ = &obs::MetricsRegistry::null_histogram();
+    m_service_digest_ = &obs::MetricsRegistry::null_digest();
   }
   fabric_.bind(address(), this);
 }
@@ -180,8 +182,9 @@ Task<void> RpcServer::worker() {
     obs::Tracer* tracer = fabric_.tracer();
     obs::TraceContext server_span;
     if (tracer != nullptr && tracer->enabled() && header.trace_id != 0) {
-      server_span = tracer->begin(
-          obs::TraceContext{header.trace_id, header.span_id});
+      server_span = tracer->begin(obs::TraceContext{
+          header.trace_id, header.span_id,
+          (header.flags & kFlagSampled) != 0});
     }
 
     ReplyHeader reply_header{header.xid, ReplyStatus::kAccepted};
@@ -214,15 +217,18 @@ Task<void> RpcServer::worker() {
     m_bytes_in_->add(pending->request.wire_size);
     m_bytes_out_->add(reply.wire_size);
     m_service_us_->observe(static_cast<double>(done - picked_up) * 1e-3);
+    m_service_digest_->add(static_cast<double>(done - picked_up) * 1e-3);
     if (server_span.valid()) {
-      tracer->record(obs::Span{
+      obs::Span span{
           header.trace_id, server_span.span_id, header.span_id,
           obs::SpanKind::kServerExec,
           util::sformat("%s/%u",
                         program_component(static_cast<Program>(header.prog)),
                         header.proc),
           node_.name(), picked_up, done, queue_wait,
-          reply.wire_size, pending->request.wire_size});
+          reply.wire_size, pending->request.wire_size};
+      span.error = reply_header.status != ReplyStatus::kAccepted;
+      tracer->record(std::move(span));
     }
 
     // Send the reply.  If the daemon or node died while the request was in
@@ -286,7 +292,9 @@ Task<RpcClient::Reply> RpcClient::call(RpcAddress to, Program prog,
 
     XdrEncoder enc;
     CallHeader header{next_xid_++, static_cast<uint32_t>(prog), vers, proc,
-                      span.trace_id, span.span_id, principal_};
+                      span.trace_id, span.span_id,
+                      span.valid() && span.sampled ? kFlagSampled : 0u,
+                      principal_};
     header.encode(enc);
     enc.put_opaque_fixed(args_bytes);
 
@@ -299,14 +307,16 @@ Task<RpcClient::Reply> RpcClient::call(RpcAddress to, Program prog,
     RpcFabric::RawResult raw =
         co_await fabric_.call(node_, to, std::move(request), deadline);
     if (span.valid()) {
-      tracer->record(obs::Span{
+      obs::Span client_span{
           span.trace_id, span.span_id, parent_span_id,
           obs::SpanKind::kClientCall,
           util::sformat("%s/%u%s", program_component(prog), proc,
                         raw.status == Status::kOk ? "" : " timeout"),
           node_.name(), sent, sim.now(), 0, request_wire,
           raw.status == Status::kOk ? raw.reply.wire_size : 0,
-          raw.send_wait});
+          raw.send_wait};
+      client_span.error = raw.status != Status::kOk;
+      tracer->record(std::move(client_span));
     }
 
     if (raw.status == Status::kOk) {

@@ -211,6 +211,7 @@ class RpcServer {
   obs::Counter* m_bytes_out_;
   obs::HistogramMetric* m_queue_us_;
   obs::HistogramMetric* m_service_us_;
+  util::PercentileDigest* m_service_digest_;
 };
 
 /// Client-side call helper bound to one node and principal.

@@ -23,6 +23,11 @@ enum class Program : uint32_t {
   kPvfsMgmt = 400102,   ///< PVFS2-like management protocol
 };
 
+/// CallHeader::flags bit: the caller's trace carries a head-sampling "keep
+/// span detail" verdict.  Servers copy it into the child spans they open so
+/// a trace is sampled (or not) end-to-end, never per-hop.
+inline constexpr uint32_t kFlagSampled = 0x1;
+
 struct CallHeader {
   uint32_t xid = 0;
   uint32_t prog = 0;
@@ -34,6 +39,7 @@ struct CallHeader {
   // distributed path has a (small, visible) byte cost.
   uint64_t trace_id = 0;
   uint64_t span_id = 0;
+  uint32_t flags = 0;  ///< kFlagSampled and future trace bits
   std::string principal;
 
   void encode(XdrEncoder& enc) const {
@@ -43,6 +49,7 @@ struct CallHeader {
     enc.put_u32(proc);
     enc.put_u64(trace_id);
     enc.put_u64(span_id);
+    enc.put_u32(flags);
     enc.put_string(principal);
   }
   static CallHeader decode(XdrDecoder& dec) {
@@ -53,6 +60,7 @@ struct CallHeader {
     h.proc = dec.get_u32();
     h.trace_id = dec.get_u64();
     h.span_id = dec.get_u64();
+    h.flags = dec.get_u32();
     h.principal = dec.get_string();
     return h;
   }

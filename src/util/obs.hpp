@@ -114,6 +114,11 @@ class MetricsRegistry {
                              const std::string& component,
                              const std::string& name,
                              std::vector<double> boundaries);
+  /// Fixed-memory streaming percentile digest — the O(1)-per-sample
+  /// instrument for hot-path latency (no boundary choice, mergeable).
+  util::PercentileDigest& digest(const std::string& node,
+                                 const std::string& component,
+                                 const std::string& name);
 
   /// Lookup without creating; nullptr when absent.
   const Counter* find_counter(const std::string& node,
@@ -124,11 +129,14 @@ class MetricsRegistry {
   const HistogramMetric* find_histogram(const std::string& node,
                                         const std::string& component,
                                         const std::string& name) const;
+  const util::PercentileDigest* find_digest(const std::string& node,
+                                            const std::string& component,
+                                            const std::string& name) const;
 
   bool empty() const noexcept { return nodes_.empty(); }
 
   /// {"node": {"component": {"counters": {...}, "gauges": {...},
-  ///                         "histograms": {...}}}}
+  ///                         "histograms": {...}, "digests": {...}}}}
   std::string to_json() const;
 
   /// Human-readable per-node report (one line per metric).
@@ -140,12 +148,14 @@ class MetricsRegistry {
   static Counter& null_counter();
   static Gauge& null_gauge();
   static HistogramMetric& null_histogram();
+  static util::PercentileDigest& null_digest();
 
  private:
   struct Component {
     std::map<std::string, Counter> counters;
     std::map<std::string, Gauge> gauges;
     std::map<std::string, HistogramMetric> histograms;
+    std::map<std::string, util::PercentileDigest> digests;
   };
 
   std::map<std::string, std::map<std::string, Component>> nodes_;
@@ -157,9 +167,15 @@ class MetricsRegistry {
 
 /// Identifies a position in a trace tree.  trace_id 0 means "no trace";
 /// default-constructed contexts are inert, so untraced call sites pass `{}`.
+///
+/// `sampled` is the trace's head-sampling verdict, decided once at the root
+/// `begin()` and inherited by every child context (it crosses the wire in
+/// `rpc::CallHeader::flags`, so spans opened on other nodes agree with the
+/// root).  Aggregate accounting ignores it; only span *detail* does.
 struct TraceContext {
   uint64_t trace_id = 0;
   uint64_t span_id = 0;
+  bool sampled = true;
 
   bool valid() const noexcept { return trace_id != 0; }
 };
@@ -188,18 +204,40 @@ struct Span {
                            ///< left the client (client spans)
   TimeNs disk = 0;         ///< disk time absorbed, incl. arm queueing
                            ///< (internal store spans)
+  bool error = false;      ///< non-OK outcome (timeout, error reply)
+  bool sampled = true;     ///< head-sampling verdict (set by the Tracer)
+  bool promoted = false;   ///< tail-retained despite an unsampled verdict
 };
 
 /// Allocates trace/span ids and aggregates recorded spans.
 ///
 /// Hop accounting is exact for every trace: each kClientCall span counts as
-/// one RPC hop against its trace.  Span *detail* is bounded (`span_capacity`)
-/// so long benches don't hold millions of spans; overflow is counted, not
-/// silently dropped.  The per-trace hop map is likewise bounded
+/// one RPC hop against its trace.  The per-trace hop map is bounded
 /// (`hop_trace_capacity`): once the cap is hit the oldest trace entries are
 /// evicted (trace ids are allocated monotonically, so oldest == smallest)
 /// and counted in `hop_traces_evicted()` — long benches stay flat in memory
 /// while `rpc_hops_total` and the distinct-trace count remain exact.
+///
+/// Span *detail* is governed by two independent mechanisms, both bounded:
+///
+///  - **Head sampling** (`set_sample_rate`): each trace gets a deterministic
+///    verdict at the root `begin()` — a seeded hash of the trace id against
+///    the rate — so the same seed and schedule always sample the same trace
+///    ids.  Sampled traces' spans land in the retained ring
+///    (`span_capacity`), which evicts its *oldest* spans under pressure so
+///    a long run keeps the newest detail.
+///
+///  - **Tail retention** (`set_slo_threshold`): unsampled traces' spans sit
+///    in a bounded staging area until their root span ends.  A trace that
+///    ended slow (root latency over the SLO threshold) or with an error
+///    span is *promoted* — its full detail moves to storage the sampled
+///    ring's eviction never touches — so every interesting trace survives
+///    even at 1% head sampling.  Fast, clean, unsampled traces are
+///    discarded (counted in `spans_sampled_out`).
+///
+/// Aggregate counters (`traces_started`, `rpc_hops_total`, hop histograms,
+/// the per-op SLO digests) are always exact for 100% of traffic; sampling
+/// affects only which spans keep their detail.
 class Tracer {
  public:
   bool enabled() const noexcept { return enabled_; }
@@ -209,8 +247,27 @@ class Tracer {
     hop_trace_capacity_ = cap;
   }
 
-  /// Starts a span.  An invalid `parent` starts a new trace (a root span);
-  /// a valid one continues the parent's trace with a fresh span id.
+  /// Head-sampling rate in [0, 1]; 1 (the default) records every trace's
+  /// detail.  The per-trace verdict is a pure function of (trace id, seed).
+  void set_sample_rate(double rate) noexcept;
+  double sample_rate() const noexcept { return sample_rate_; }
+  void set_sample_seed(uint64_t seed) noexcept { sample_seed_ = seed; }
+  uint64_t sample_seed() const noexcept { return sample_seed_; }
+  /// Root latency above which an unsampled trace is promoted at trace end;
+  /// 0 disables the slow-trace trigger (error promotion still applies).
+  void set_slo_threshold(TimeNs t) noexcept { slo_threshold_ = t; }
+  TimeNs slo_threshold() const noexcept { return slo_threshold_; }
+  /// Bound on spans staged for unsampled in-flight traces (and on promoted
+  /// span storage).  0 disables staging entirely: unsampled traces lose
+  /// their detail immediately and nothing can be promoted.
+  void set_staging_capacity(size_t cap) noexcept { staging_capacity_ = cap; }
+
+  /// The deterministic head-sampling verdict for a trace id.
+  bool sample_decision(uint64_t trace_id) const noexcept;
+
+  /// Starts a span.  An invalid `parent` starts a new trace (a root span,
+  /// which also fixes the trace's sampling verdict); a valid one continues
+  /// the parent's trace — and inherits its verdict — with a fresh span id.
   TraceContext begin(TraceContext parent = TraceContext{});
 
   void record(Span span);
@@ -219,6 +276,13 @@ class Tracer {
   uint64_t rpc_hops_total() const noexcept { return rpc_hops_total_; }
   uint64_t spans_recorded() const noexcept { return spans_recorded_; }
   uint64_t spans_dropped() const noexcept { return spans_dropped_; }
+  /// Head-sampled traces (verdict made at the root begin()).
+  uint64_t traces_sampled() const noexcept { return traces_sampled_; }
+  /// Unsampled traces promoted at trace end (slow or errored).
+  uint64_t traces_promoted() const noexcept { return traces_promoted_; }
+  /// Spans discarded purely by the sampling verdict (their trace ended
+  /// fast and clean) — detail lost on purpose, not to capacity.
+  uint64_t spans_sampled_out() const noexcept { return spans_sampled_out_; }
   /// Distinct traces that contributed at least one RPC hop (exact even
   /// after hop-map eviction).
   uint64_t hop_traces_seen() const noexcept { return hop_traces_seen_; }
@@ -228,38 +292,102 @@ class Tracer {
   double mean_hops_per_trace() const noexcept;
   uint32_t max_hops_per_trace() const noexcept;
   /// hop-count -> number of traces with exactly that many RPC hops
-  /// (retained traces only; eviction removes entries from this view).
+  /// (retained traces only; eviction removes entries from this view — check
+  /// `hop_traces_evicted()` or to_json's `hop_histogram_complete`).
   std::map<uint32_t, uint64_t> hops_histogram() const;
 
-  /// All retained spans of one trace, in recording order.  Indexed by
-  /// trace id — O(spans in that trace), not O(all retained spans).
+  /// All retained spans of one trace, in recording order (promoted storage
+  /// is consulted first).  Indexed by trace id — O(spans in that trace).
   std::vector<Span> trace_spans(uint64_t trace_id) const;
+  /// The sampled-detail ring only (promoted spans live separately; use
+  /// `retained_spans()` for the full picture).
   const std::deque<Span>& spans() const noexcept { return spans_; }
+  /// Every span that still has detail: the sampled ring, then promoted
+  /// traces.  Copies — call at export/analysis time, not on hot paths.
+  std::vector<Span> retained_spans() const;
 
   /// Aggregate trace statistics (no span detail; see `spans_json`).
   std::string to_json() const;
-  /// Detail for up to `limit` retained spans.
+  /// Detail for up to `limit` retained spans (sampled ring, then promoted).
   std::string spans_json(size_t limit) const;
 
+  /// Per-op-class SLO report: exact request/error/over-SLO counts and
+  /// streaming latency digests for every root span (100% of traffic,
+  /// independent of sampling), plus the sampling/promotion counters.
+  std::string slo_json() const;
+
+  /// Exact per-op-class accounting behind `slo_json` (see there).
+  struct OpSlo {
+    uint64_t requests = 0;
+    uint64_t errors = 0;
+    uint64_t over_slo = 0;
+    util::PercentileDigest latency_us;
+  };
+  const std::map<std::string, OpSlo>& slo_per_op() const noexcept {
+    return slo_;
+  }
+
  private:
+  void retain(Span span);
+  void stage(Span span);
+  void evict_oldest_retained();
+  void finish_unsampled_trace(size_t staged_index);
+  void promote_trace(uint64_t trace_id, std::vector<Span> staged);
+  std::vector<Span> take_pooled_vector();
+  void recycle_vector(std::vector<Span> v);
+  static std::string op_class(const std::string& name);
+
   bool enabled_ = true;
   size_t span_capacity_ = 4096;
   size_t hop_trace_capacity_ = 65536;
+  double sample_rate_ = 1.0;
+  uint64_t sample_threshold_ = ~0ull;  ///< rate as a u64 hash threshold
+  uint64_t sample_seed_ = 0x0b5e7ab1e5ull;
+  TimeNs slo_threshold_ = 0;
+  size_t staging_capacity_ = 4096;
   uint64_t next_trace_ = 1;
   uint64_t next_span_ = 1;
   uint64_t traces_started_ = 0;
   uint64_t rpc_hops_total_ = 0;
   uint64_t spans_recorded_ = 0;
   uint64_t spans_dropped_ = 0;
+  uint64_t traces_sampled_ = 0;
+  uint64_t traces_promoted_ = 0;
+  uint64_t spans_sampled_out_ = 0;
   uint64_t hop_traces_seen_ = 0;
   uint64_t hop_traces_evicted_ = 0;
   uint64_t max_evicted_trace_ = 0;  ///< largest trace id ever evicted
   uint32_t max_hops_ = 0;           ///< running max, survives eviction
   std::map<uint64_t, uint32_t> hops_per_trace_;
-  // spans_ is append-only (overflow drops *new* spans), so deque indices
-  // are stable and the per-trace index can store them directly.
+  // The sampled-detail ring: spans_ evicts from the front under capacity
+  // pressure, so trace_index_ stores *absolute* recording positions and
+  // spans_base_ tracks how many have been evicted (deque index =
+  // absolute - spans_base_).
   std::unordered_map<uint64_t, std::vector<size_t>> trace_index_;
   std::deque<Span> spans_;
+  size_t spans_base_ = 0;
+  // Staging for unsampled in-flight traces, FIFO by first-span arrival.
+  // A flat vector with linear lookup, not a map: entries live only while
+  // a trace is in flight (the root span finishes it synchronously), so
+  // the scan is over a handful of entries and the per-span hot path at
+  // low sampling rates never touches a node-based container.  Bounded:
+  // every entry holds >= 1 span and staged_span_count_ <= capacity.
+  struct StagedTrace {
+    uint64_t trace_id = 0;
+    std::vector<Span> spans;
+  };
+  std::vector<StagedTrace> staged_;
+  size_t staged_span_count_ = 0;
+  // Recycled span vectors: staging allocates one vector per in-flight
+  // trace, and at 1% sampling nearly every trace churns through it.
+  std::vector<std::vector<Span>> staging_pool_;
+  // Promoted traces: never evicted by sampled-ring pressure, FIFO-bounded
+  // by staging_capacity_ spans.
+  std::unordered_map<uint64_t, std::vector<Span>> promoted_;
+  std::deque<uint64_t> promoted_order_;
+  size_t promoted_span_count_ = 0;
+  // Per-op-class SLO accounting (root spans only, exact for all traffic).
+  std::map<std::string, OpSlo> slo_;
 };
 
 /// Escapes a string for embedding in a JSON document.

@@ -344,9 +344,10 @@ std::string BreakdownReport::report() const {
 }
 
 BreakdownReport analyze_all(const Tracer& tracer) {
-  // Bucket retained spans by trace, preserving recording order.
+  // Bucket retained spans by trace, preserving recording order (sampled
+  // ring plus tail-promoted traces).
   std::map<uint64_t, std::vector<Span>> traces;
-  for (const Span& s : tracer.spans()) traces[s.trace_id].push_back(s);
+  for (const Span& s : tracer.retained_spans()) traces[s.trace_id].push_back(s);
   BreakdownReport rep;
   for (const auto& [id, spans] : traces) {
     const TraceBreakdown tb = analyze_trace(spans);
@@ -453,8 +454,9 @@ std::string TraceExporter::to_chrome_json(const Tracer& tracer,
     return it->second;
   };
 
+  const std::vector<Span> retained = tracer.retained_spans();
   std::unordered_map<uint64_t, const Span*> by_id;
-  for (const Span& s : tracer.spans()) by_id.emplace(s.span_id, &s);
+  for (const Span& s : retained) by_id.emplace(s.span_id, &s);
   const auto locate = [&](const Span& s) {
     const int pid = pid_of(s.node);
     const std::string lane =
@@ -462,14 +464,14 @@ std::string TraceExporter::to_chrome_json(const Tracer& tracer,
     return std::make_pair(pid, tid_of(pid, lane));
   };
 
-  for (const Span& s : tracer.spans()) {
+  for (const Span& s : retained) {
     const auto [pid, tid] = locate(s);
     events += sformat(
         "{\"ph\": \"X\", \"name\": \"%s\", \"cat\": \"%s\", \"pid\": %d, "
         "\"tid\": %d, \"ts\": %s, \"dur\": %s, \"args\": {\"trace\": %llu, "
         "\"span\": %llu, \"parent\": %llu, \"queue_wait_ns\": %lld, "
         "\"send_wait_ns\": %lld, \"disk_ns\": %lld, \"bytes_out\": %llu, "
-        "\"bytes_in\": %llu}},\n",
+        "\"bytes_in\": %llu, \"sampled\": %d, \"promoted\": %d}},\n",
         json_escape(s.name).c_str(), span_kind_name(s.kind), pid, tid,
         ts_us(s.start).c_str(),
         ts_us(std::max<TimeNs>(0, s.end - s.start)).c_str(),
@@ -479,7 +481,8 @@ std::string TraceExporter::to_chrome_json(const Tracer& tracer,
         static_cast<long long>(s.queue_wait),
         static_cast<long long>(s.send_wait), static_cast<long long>(s.disk),
         static_cast<unsigned long long>(s.bytes_out),
-        static_cast<unsigned long long>(s.bytes_in));
+        static_cast<unsigned long long>(s.bytes_in),
+        s.sampled ? 1 : 0, s.promoted ? 1 : 0);
     // Parent edge as a flow arrow (span nesting crosses nodes, so slice
     // nesting alone can't show it).
     if (s.parent_span_id != 0) {
@@ -521,9 +524,14 @@ std::string TraceExporter::to_chrome_json(const Tracer& tracer,
 
   std::string out = sformat(
       "{\"displayTimeUnit\": \"ns\",\n\"otherData\": {\"architecture\": "
-      "\"%s\", \"spans_dropped\": %llu},\n\"traceEvents\": [\n",
+      "\"%s\", \"spans_dropped\": %llu, \"sample_rate\": %s, "
+      "\"traces_sampled\": %llu, \"traces_promoted\": %llu},\n"
+      "\"traceEvents\": [\n",
       json_escape(architecture).c_str(),
-      static_cast<unsigned long long>(tracer.spans_dropped()));
+      static_cast<unsigned long long>(tracer.spans_dropped()),
+      json_number(tracer.sample_rate()).c_str(),
+      static_cast<unsigned long long>(tracer.traces_sampled()),
+      static_cast<unsigned long long>(tracer.traces_promoted()));
   out += meta;
   out += events;
   // Strip the trailing ",\n" so the array is valid JSON.

@@ -52,6 +52,85 @@ double Summary::percentile(double p) const {
   return samples_[rank - 1];
 }
 
+size_t PercentileDigest::bucket_of(double value) noexcept {
+  if (!(value > 0.0) || !std::isfinite(value)) return 0;
+  int exp = 0;
+  const double frac = std::frexp(value, &exp);  // frac in [0.5, 1)
+  if (exp < kMinExp) return 0;
+  if (exp > kMaxExp) return kBucketCount - 1;
+  int sub = static_cast<int>((frac - 0.5) * 2.0 * kSubBuckets);
+  if (sub < 0) sub = 0;
+  if (sub >= kSubBuckets) sub = kSubBuckets - 1;
+  return static_cast<size_t>(exp - kMinExp) * kSubBuckets +
+         static_cast<size_t>(sub);
+}
+
+double PercentileDigest::bucket_mid(size_t bucket) noexcept {
+  const int exp = static_cast<int>(bucket / kSubBuckets) + kMinExp;
+  const int sub = static_cast<int>(bucket % kSubBuckets);
+  const double frac =
+      0.5 + (static_cast<double>(sub) + 0.5) / (2.0 * kSubBuckets);
+  return std::ldexp(frac, exp);
+}
+
+void PercentileDigest::add(double value) noexcept {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  ++buckets_[bucket_of(value)];
+}
+
+void PercentileDigest::merge(const PercentileDigest& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (size_t i = 0; i < kBucketCount; ++i) buckets_[i] += other.buckets_[i];
+}
+
+double PercentileDigest::quantile(double q) const noexcept {
+  if (count_ == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      return std::min(max_, std::max(min_, bucket_mid(i)));
+    }
+  }
+  return max_;
+}
+
+std::string PercentileDigest::to_json() const {
+  const auto num = [](double v) {
+    if (!std::isfinite(v)) return std::string("0");
+    if (v == std::floor(v) && std::abs(v) < 1e15) return sformat("%.0f", v);
+    return sformat("%.17g", v);
+  };
+  return sformat(
+      "{\"count\": %llu, \"sum\": %s, \"mean\": %s, \"min\": %s, "
+      "\"max\": %s, \"p50\": %s, \"p90\": %s, \"p99\": %s, \"p999\": %s}",
+      static_cast<unsigned long long>(count_), num(sum_).c_str(),
+      num(mean()).c_str(), num(min()).c_str(), num(max()).c_str(),
+      num(p50()).c_str(), num(p90()).c_str(), num(p99()).c_str(),
+      num(p999()).c_str());
+}
+
 Histogram::Histogram(std::vector<double> boundaries)
     : boundaries_(std::move(boundaries)) {
   if (boundaries_.empty()) throw std::invalid_argument("empty histogram boundaries");

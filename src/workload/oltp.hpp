@@ -27,13 +27,17 @@ class OltpWorkload final : public Workload {
   sim::Task<void> client_main(core::Deployment& d, size_t client) override;
   uint64_t total_transactions() const override { return completed_; }
 
-  /// Per-transaction latencies in seconds (all clients pooled).
-  const util::Summary& latencies() const noexcept { return latencies_; }
+  /// Per-transaction latencies in seconds (all clients pooled).  A
+  /// streaming digest, not a keep-every-sample Summary: thousand-client
+  /// runs stay O(1) memory per added transaction.
+  const util::PercentileDigest& latencies() const noexcept {
+    return latencies_;
+  }
 
  private:
   OltpConfig config_;
   uint64_t completed_ = 0;
-  util::Summary latencies_;
+  util::PercentileDigest latencies_;
 };
 
 }  // namespace dpnfs::workload

@@ -122,6 +122,9 @@ struct ChaosOutcome {
   uint64_t restarts_observed = 0;
   uint64_t ds_windows = 0;
   uint64_t mds_windows = 0;
+  uint64_t traces_sampled = 0;
+  uint64_t traces_promoted = 0;
+  uint64_t sampled_trace_hash = 0;  // order-independent digest of the set
   std::vector<uint64_t> chunks;  // per writer
   bool writers_ok = false;
   bool data_ok = false;
@@ -230,6 +233,12 @@ ChaosOutcome run_chaos(core::Architecture arch, uint64_t seed) {
   cfg.pvfs_client.io_retries = 10;
   cfg.pvfs_client.meta_timeout = sim::ms(500);
   cfg.pvfs_client.meta_retries = 6;
+  // Head-sample half the traces (seeded => bit-reproducible) and tail-keep
+  // anything slow or errored: the soak doubles as the proof that sampling
+  // never perturbs simulation outcomes or its own determinism under chaos.
+  cfg.trace_sample_rate = 0.5;
+  cfg.trace_sample_seed = seed;
+  cfg.trace_slo_threshold = sim::ms(400);
   if (arch == core::Architecture::kDirectPnfs) {
     // A Direct-pNFS DS and the co-located PVFS daemon share one object
     // store but carry independent boot verifiers: MDS-fallback writes
@@ -287,6 +296,17 @@ ChaosOutcome run_chaos(core::Architecture arch, uint64_t seed) {
           inj->boot_instance(t.node, t.port, d.simulation().now()) - 1;
     }
   }
+  out.traces_sampled = d.tracer().traces_sampled();
+  out.traces_promoted = d.tracer().traces_promoted();
+  // XOR of retained trace ids: identical iff both runs retained the same
+  // trace-id set, regardless of retention order.
+  std::set<uint64_t> retained_ids;
+  for (const auto& s : d.tracer().retained_spans()) {
+    retained_ids.insert(s.trace_id);
+  }
+  for (uint64_t id : retained_ids) {
+    out.sampled_trace_hash ^= id * 0x9E3779B97F4A7C15ull;
+  }
   return out;
 }
 
@@ -303,6 +323,10 @@ void expect_sound(const ChaosOutcome& out) {
   EXPECT_GE(out.replayed_extents, 1u);
   EXPECT_GE(out.replayed_bytes, kChunk);
   for (uint64_t n : out.chunks) EXPECT_GE(n, 4u);  // writers made progress
+  // Sampling ran (half rate leaves both sampled and unsampled traces) and
+  // the chaos-injected timeouts tail-promoted at least one errored trace.
+  EXPECT_GE(out.traces_sampled, 1u);
+  EXPECT_GE(out.traces_promoted, 1u);
 }
 
 void run_arch(core::Architecture arch) {

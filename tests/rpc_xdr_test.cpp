@@ -160,7 +160,7 @@ TEST(Payload, AppendVirtualPoisonsContent) {
 }
 
 TEST(Message, CallHeaderRoundTrip) {
-  CallHeader h{42, 100003, 4, 7, 0xdeadbeefull, 0xfeedfaceull,
+  CallHeader h{42, 100003, 4, 7, 0xdeadbeefull, 0xfeedfaceull, kFlagSampled,
                "alice@EXAMPLE"};
   XdrEncoder enc;
   h.encode(enc);
@@ -173,6 +173,7 @@ TEST(Message, CallHeaderRoundTrip) {
   EXPECT_EQ(g.proc, 7u);
   EXPECT_EQ(g.trace_id, 0xdeadbeefull);
   EXPECT_EQ(g.span_id, 0xfeedfaceull);
+  EXPECT_EQ(g.flags, kFlagSampled);
   EXPECT_EQ(g.principal, "alice@EXAMPLE");
 }
 

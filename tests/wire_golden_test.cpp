@@ -25,8 +25,8 @@ std::string hex(const std::vector<std::byte>& buf) {
 
 TEST(WireGolden, CallHeader) {
   rpc::XdrEncoder enc;
-  rpc::CallHeader{0x2A, 100003, 4, 1, 7, 9, "ab"}.encode(enc);
-  // xid | prog | vers | proc | trace | span | strlen | "ab" + 2 pad
+  rpc::CallHeader{0x2A, 100003, 4, 1, 7, 9, 0, "ab"}.encode(enc);
+  // xid | prog | vers | proc | trace | span | flags | strlen | "ab" + 2 pad
   EXPECT_EQ(hex(std::move(enc).take()),
             "0000002a"           // xid 42
             "000186a3"           // program 100003
@@ -34,6 +34,25 @@ TEST(WireGolden, CallHeader) {
             "00000001"           // procedure COMPOUND
             "0000000000000007"   // trace id 7
             "0000000000000009"   // span id 9
+            "00000000"           // flags (unsampled)
+            "00000002"           // principal length
+            "61620000");         // "ab" + XDR padding
+}
+
+TEST(WireGolden, CallHeaderSampledBit) {
+  rpc::XdrEncoder enc;
+  rpc::CallHeader{0x2A, 100003, 4, 1, 7, 9, rpc::kFlagSampled, "ab"}
+      .encode(enc);
+  // The head-sampling verdict is bit 0 of the flags word: this is how a
+  // trace's "keep span detail" decision crosses the wire to other nodes.
+  EXPECT_EQ(hex(std::move(enc).take()),
+            "0000002a"           // xid 42
+            "000186a3"           // program 100003
+            "00000004"           // version 4
+            "00000001"           // procedure COMPOUND
+            "0000000000000007"   // trace id 7
+            "0000000000000009"   // span id 9
+            "00000001"           // flags: kFlagSampled
             "00000002"           // principal length
             "61620000");         // "ab" + XDR padding
 }

@@ -52,8 +52,38 @@ TRACE_KEYS = {
     "max_hops_per_trace": int,
     "spans_recorded": int,
     "spans_dropped": int,
+    "hop_traces_seen": int,
     "hop_traces_evicted": int,
+    # bool, not int: json.load never produces Python bools from 0/1, and
+    # isinstance(True, int) is True — the explicit bool type catches an
+    # exporter regressing to 0/1.
+    "hop_histogram_complete": bool,
     "hops_histogram": dict,
+    "sample_rate": (int, float),
+    "traces_sampled": int,
+    "traces_promoted": int,
+    "spans_sampled_out": int,
+}
+
+# Streaming percentile digest export (util::PercentileDigest::to_json):
+# fixed-memory log-bucketed summary, no per-sample data.
+DIGEST_KEYS = {
+    "count": int,
+    "sum": (int, float),
+    "mean": (int, float),
+    "min": (int, float),
+    "max": (int, float),
+    "p50": (int, float),
+    "p90": (int, float),
+    "p99": (int, float),
+    "p999": (int, float),
+}
+
+# Per-op-class entry in the top-level "slo" section.
+SLO_OP_KEYS = {
+    "requests": int,
+    "errors": int,
+    "over_slo": int,
 }
 
 errors = []
@@ -141,10 +171,21 @@ def check_sched_component(path, comp):
                     "queue_depth_peak_*/window_inflight_*")
 
 
+def check_digest(path, d):
+    if not check_type(path, d, dict, "digest"):
+        return
+    for key, types in DIGEST_KEYS.items():
+        if key not in d:
+            err(path, f"missing digest key '{key}'")
+        elif isinstance(d[key], bool) or not isinstance(d[key], types):
+            err(f"{path}.{key}", f"digest {key} should be {types}, got "
+                                 f"{type(d[key]).__name__}")
+
+
 def check_component(path, comp):
     if not check_type(path, comp, dict, "component"):
         return
-    for section in ("counters", "gauges", "histograms"):
+    for section in ("counters", "gauges", "histograms", "digests"):
         if section not in comp:
             err(path, f"missing section '{section}'")
             continue
@@ -156,6 +197,8 @@ def check_component(path, comp):
                 check_type(p, value, int, "counter")
             elif section == "gauges":
                 check_type(p, value, (int, float), "gauge")
+            elif section == "digests":
+                check_digest(p, value)
             else:
                 check_histogram(p, value)
 
@@ -207,8 +250,45 @@ def check_metrics_doc(path, doc):
         for key, types in TRACE_KEYS.items():
             if key not in trace:
                 err(f"{path}.trace", f"missing key '{key}'")
+            elif types is bool:
+                if not isinstance(trace[key], bool):
+                    err(f"{path}.trace.{key}",
+                        f"{key} should be bool, got "
+                        f"{type(trace[key]).__name__}")
             else:
                 check_type(f"{path}.trace.{key}", trace[key], types, key)
+
+    # Sampling-era SLO report: exact per-op-class accounting (100% of
+    # traffic, independent of the sample rate) plus streaming latency
+    # digests and the sampling/promotion counters.
+    if "slo" not in doc:
+        err(path, "missing top-level key 'slo'")
+    slo = doc.get("slo", {})
+    if check_type(f"{path}.slo", slo, dict, "slo"):
+        for key, types in (("slo_threshold_ns", int),
+                           ("sample_rate", (int, float)),
+                           ("traces_started", int),
+                           ("traces_sampled", int),
+                           ("traces_promoted", int),
+                           ("spans_sampled_out", int),
+                           ("per_op", dict)):
+            if key not in slo:
+                err(f"{path}.slo", f"missing key '{key}'")
+            else:
+                check_type(f"{path}.slo.{key}", slo[key], types, key)
+        for op, body in slo.get("per_op", {}).items():
+            p = f"{path}.slo.per_op.{op}"
+            if not check_type(p, body, dict, "per-op entry"):
+                continue
+            for key, types in SLO_OP_KEYS.items():
+                if key not in body:
+                    err(p, f"missing key '{key}'")
+                else:
+                    check_type(f"{p}.{key}", body[key], types, key)
+            if "latency_us" not in body:
+                err(p, "missing key 'latency_us'")
+            else:
+                check_digest(f"{p}.latency_us", body["latency_us"])
 
     # Optional utilization time series (present when the sampler ran).
     if "timeseries" in doc:
@@ -258,7 +338,12 @@ def check_file(filename):
                     err(p, f"missing key '{key}'")
                 else:
                     check_type(f"{p}.{key}", rec[key], types, key)
-            check_metrics_doc(f"{p}.metrics", rec.get("metrics", {}))
+            # Derived figures (e.g. bench_obs_overhead's wall-clock
+            # "rate-ratio" series) carry no per-run export: an empty
+            # metrics object is allowed, a partial one is not.
+            metrics = rec.get("metrics", {})
+            if metrics:
+                check_metrics_doc(f"{p}.metrics", metrics)
     else:
         check_metrics_doc(filename, doc)
 

@@ -11,7 +11,8 @@ The export is the Chrome trace_event "JSON object format":
       "ts": num, "dur": num,
       "args": {"trace": int, "span": int, "parent": int,
                "queue_wait_ns": int, "send_wait_ns": int, "disk_ns": int,
-               "bytes_out": int, "bytes_in": int}},
+               "bytes_out": int, "bytes_in": int,
+               "sampled": 0|1, "promoted": 0|1}},
      {"ph": "s"|"f", ...flow...}, {"ph": "C", ...counter...}]}
 
 Checks: every complete event carries the span args, span ids are unique,
@@ -34,7 +35,10 @@ import tempfile
 
 PHASES = {"X", "M", "C", "s", "f", "b", "e", "n"}
 X_ARGS = ("trace", "span", "parent", "queue_wait_ns", "send_wait_ns",
-          "disk_ns", "bytes_out", "bytes_in")
+          "disk_ns", "bytes_out", "bytes_in",
+          # Why each span still has detail: head-sampled (1) or tail-
+          # promoted (1) — exported as 0/1 ints, Chrome-arg style.
+          "sampled", "promoted")
 
 errors = []
 
