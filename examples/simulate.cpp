@@ -20,6 +20,7 @@
 #include "workload/ior.hpp"
 #include "workload/oltp.hpp"
 #include "workload/postmark.hpp"
+#include "workload/strided.hpp"
 #include "workload/runner.hpp"
 
 using namespace dpnfs;
@@ -62,11 +63,13 @@ int main(int argc, char** argv) {
     std::printf(
         "usage: simulate [--arch=direct|pvfs|2tier|3tier|nfs]\n"
         "                [--workload=ior-write|ior-read|ior-write-single|\n"
-        "                 ior-read-single|atlas|btio|oltp|postmark]\n"
+        "                 ior-read-single|atlas|btio|strided|oltp|\n"
+        "                 oltp-update|postmark]\n"
         "                [--clients=N] [--storage-nodes=N]\n"
         "                [--bytes=N] [--block=N] [--stripe=N] [--txns=N]\n"
         "                [--latency-us=N] [--nic-mbps=N] [--verbose]\n"
         "                [--wb-window-per-ds=N] [--no-coalesce]\n"
+        "                [--no-listio] [--listio-max-regions=N]\n"
         "                [--fault-ds-crash=N] [--fault-at-ms=T]\n"
         "                [--fault-revive-ms=T] [--fault-ds-restart=N]\n"
         "                [--chaos-seed=S] [--chaos-restarts=N]\n"
@@ -78,6 +81,12 @@ int main(int argc, char** argv) {
         "server (default 8); --no-coalesce disables merging adjacent dirty\n"
         "extents into wsize WRITEs before dispatch (ablation switches for\n"
         "the per-DS write-back scheduler).\n"
+        "--no-listio disables vectored (list) I/O: every region goes out as\n"
+        "its own single-range READ/WRITE (kRead/kWrite on the PVFS wire);\n"
+        "--listio-max-regions=N caps the regions folded into one vectored\n"
+        "request (default 64).  The strided workload is the showcase:\n"
+        "--workload=strided interleaves per-client records so each client's\n"
+        "dirty extents are non-adjacent (see EXPERIMENTS.md).\n"
         "\n"
         "--fault-ds-crash=N kills the NFS data-server daemon on storage\n"
         "node N (and enables the client recovery knobs, see\n"
@@ -125,6 +134,9 @@ int main(int argc, char** argv) {
   cfg.nfs_client.wb_window_per_ds = static_cast<uint32_t>(std::max(
       1, std::atoi(arg_value(argc, argv, "--wb-window-per-ds", "8"))));
   if (flag(argc, argv, "--no-coalesce")) cfg.nfs_client.coalesce_writes = false;
+  if (flag(argc, argv, "--no-listio")) cfg.listio_enabled = false;
+  cfg.listio_max_regions = static_cast<uint32_t>(std::max(
+      1, std::atoi(arg_value(argc, argv, "--listio-max-regions", "64"))));
 
   const std::string trace_out = arg_value(argc, argv, "--trace-out", "");
   const bool breakdown = flag(argc, argv, "--breakdown");
@@ -277,10 +289,22 @@ int main(int argc, char** argv) {
     bcfg.file_bytes = bytes;
     workload::BtioWorkload w(bcfg);
     result = run_workload(d, w);
-  } else if (wl == "oltp") {
+  } else if (wl == "strided") {
+    workload::StridedConfig scfg;
+    // Size the run from --bytes: records per checkpoint so the dense file
+    // totals roughly the requested bytes.
+    const uint64_t per_ckpt =
+        bytes / (static_cast<uint64_t>(scfg.checkpoints) * cfg.clients *
+                 scfg.record_bytes);
+    scfg.records_per_checkpoint =
+        static_cast<uint32_t>(std::max<uint64_t>(1, per_ckpt));
+    workload::StridedWorkload w(scfg);
+    result = run_workload(d, w);
+  } else if (wl == "oltp" || wl == "oltp-update") {
     workload::OltpConfig ocfg;
     ocfg.file_bytes = bytes;
     ocfg.transactions_per_client = txns;
+    ocfg.update_only = wl == "oltp-update";
     workload::OltpWorkload w(ocfg);
     result = run_workload(d, w);
   } else if (wl == "postmark") {

@@ -41,6 +41,10 @@ Deployment::Deployment(ClusterConfig config)
     net_.set_fault_injector(fault_injector_.get());
   }
   config_.pvfs_meta.stripe_unit = config_.stripe_unit;
+  config_.nfs_client.listio_enabled = config_.listio_enabled;
+  config_.nfs_client.listio_max_regions = config_.listio_max_regions;
+  config_.pvfs_client.listio_enabled = config_.listio_enabled;
+  config_.pvfs_client.listio_max_regions = config_.listio_max_regions;
   registry_ = std::make_shared<FhRegistry>();
   aggregations_ = std::make_shared<const nfs::AggregationRegistry>(
       full_aggregation_registry());

@@ -127,6 +127,14 @@ struct ClusterConfig {
   sim::Duration trace_slo_threshold = 0;
 
   uint64_t stripe_unit = 2ull << 20;
+
+  /// List I/O: clients fold multiple regions for the same data server or
+  /// storage daemon into one vectored request (kReadv/kWritev on the PVFS
+  /// wire, READV/WRITEV in NFS compounds).  Copied into the NFS and PVFS
+  /// client configs at build time.
+  bool listio_enabled = true;
+  uint32_t listio_max_regions = 64;
+
   lfs::ObjectStoreParams store{};
   nfs::ServerConfig nfs_server{};
   nfs::ClientConfig nfs_client{};

@@ -72,6 +72,9 @@ NfsClient::NfsClient(rpc::RpcFabric& fabric, sim::Node& node,
         &reg->counter(n, "client.sched", "coalesced_extents");
     m_sched_coalesced_bytes_ =
         &reg->counter(n, "client.sched", "coalesced_bytes");
+    m_vectored_writes_ = &reg->counter(n, "client.sched", "vectored_writes");
+    m_vectored_regions_ = &reg->counter(n, "client.sched", "vectored_regions");
+    m_vectored_bytes_ = &reg->counter(n, "client.sched", "vectored_bytes");
     m_retries_ = &reg->counter(n, "client.recovery", "retries");
     m_fallbacks_ = &reg->counter(n, "client.recovery", "fallbacks");
     m_breaker_trips_ = &reg->counter(n, "client.recovery", "breaker_trips");
@@ -95,6 +98,9 @@ NfsClient::NfsClient(rpc::RpcFabric& fabric, sim::Node& node,
     m_sched_bytes_ = &obs::MetricsRegistry::null_counter();
     m_sched_coalesced_extents_ = &obs::MetricsRegistry::null_counter();
     m_sched_coalesced_bytes_ = &obs::MetricsRegistry::null_counter();
+    m_vectored_writes_ = &obs::MetricsRegistry::null_counter();
+    m_vectored_regions_ = &obs::MetricsRegistry::null_counter();
+    m_vectored_bytes_ = &obs::MetricsRegistry::null_counter();
     m_retries_ = &obs::MetricsRegistry::null_counter();
     m_fallbacks_ = &obs::MetricsRegistry::null_counter();
     m_breaker_trips_ = &obs::MetricsRegistry::null_counter();
@@ -960,25 +966,91 @@ Task<Payload> NfsClient::read_slice_op(FileState& f, const IoSlice& slice) {
   co_return out;
 }
 
-Task<void> NfsClient::write_slice_op(FileState& f, const IoSlice& slice,
-                                     Payload piece,
-                                     obs::TraceContext trace_parent) {
-  auto s = co_await session_for(slice.addr);
+Task<std::vector<Payload>> NfsClient::read_vector_op(
+    FileState& f, const std::vector<IoSlice>& slices) {
+  const IoSlice& first = slices.front();
+  auto s = co_await session_for(first.addr);
+  std::vector<IoRegion> regions;
+  regions.reserve(slices.size());
+  uint64_t total = 0;
+  for (const IoSlice& sl : slices) {
+    regions.push_back({sl.target_offset, static_cast<uint32_t>(sl.length)});
+    total += sl.length;
+  }
   CompoundBuilder b = with_sequence(s->id);
-  b.add(OpCode::kPutFh, PutFhArgs{slice.fh});
-  b.add(OpCode::kWrite, WriteArgs{slice.stateid, slice.target_offset,
-                                  StableHow::kUnstable, std::move(piece)});
-  CompoundReply r(
-      co_await call(slice.addr, std::move(b), slice.length, trace_parent));
+  b.add(OpCode::kPutFh, PutFhArgs{first.fh});
+  ReadArgs a{first.stateid, std::move(regions)};
+  b.add(a.opcode(), a);
+  CompoundReply r(co_await call(first.addr, std::move(b), total));
   r.expect(OpCode::kSequence);
   r.expect(OpCode::kPutFh);
-  const auto res = r.expect<WriteRes>(OpCode::kWrite);
+  auto res = r.expect<ReadvRes>(OpCode::kReadv);
+  if (res.lengths.size() != slices.size()) {
+    throw NfsError(Status::kIo, "READV reply region count mismatch");
+  }
+  ++stats_.vectored_reads;
+  std::vector<Payload> out(slices.size());
+  uint64_t pos = 0;
+  for (size_t i = 0; i < slices.size(); ++i) {
+    const uint64_t got = res.lengths[i];
+    if (got > slices[i].length) {
+      throw NfsError(Status::kIo, "overlong READV region");
+    }
+    out[i] = res.data.slice(pos, got);
+    pos += got;
+    if (got == slices[i].length) continue;
+    const uint64_t missing = slices[i].length - got;
+    if (res.eof && i + 1 == slices.size()) {
+      // Hole at end-of-file: the missing tail genuinely reads as zeros.
+      if (out[i].size() == 0 || out[i].is_inline()) {
+        out[i].append(Payload::inline_bytes(
+            std::vector<std::byte>(missing, std::byte{0})));
+      } else {
+        out[i].append(Payload::virtual_bytes(missing));
+      }
+    } else {
+      // Short region that is not the EOF tail: re-issue it alone —
+      // read_slice_op distinguishes mid-object short READs from holes.
+      IoSlice tail = slices[i];
+      tail.target_offset += got;
+      tail.file_offset += got;
+      tail.length = missing;
+      out[i].append(co_await read_slice_op(f, tail));
+    }
+  }
+  co_return out;
+}
+
+Task<void> NfsClient::write_vector_op(FileState& f,
+                                      const std::vector<IoSlice>& slices,
+                                      Payload data,
+                                      obs::TraceContext trace_parent) {
+  const IoSlice& first = slices.front();
+  const uint64_t total = data.size();
+  auto s = co_await session_for(first.addr);
+  CompoundBuilder b = with_sequence(s->id);
+  b.add(OpCode::kPutFh, PutFhArgs{first.fh});
+  std::vector<IoRegion> regions;
+  regions.reserve(slices.size());
+  for (const IoSlice& sl : slices) {
+    regions.push_back({sl.target_offset, static_cast<uint32_t>(sl.length)});
+  }
+  WriteArgs a{first.stateid, std::move(regions), StableHow::kUnstable,
+              std::move(data)};
+  const OpCode op = a.opcode();
+  b.add(op, a);
+  CompoundReply r(
+      co_await call(first.addr, std::move(b), total, trace_parent));
+  r.expect(OpCode::kSequence);
+  r.expect(OpCode::kPutFh);
+  const auto res = r.expect<WriteRes>(op);
   if (res.committed == StableHow::kUnstable) {
-    note_unstable_write(f, slice, res.verifier);
+    // The reply's single verifier covers every region of the list.
+    for (const IoSlice& sl : slices) note_unstable_write(f, sl, res.verifier);
   }
   // MDS-path writes move the file's change attribute; track it so our own
   // I/O does not look like someone else's at revalidation time.
-  if (slice.device_index == IoSlice::kMds && res.post_change != 0) {
+  if (first.device_index == IoSlice::kMds && res.post_change != 0) {
     f.attr.change = std::max(f.attr.change, res.post_change);
   }
 }
@@ -1037,9 +1109,10 @@ Task<void> NfsClient::run_write_slice(FileState& f, IoSlice slice,
                                       Payload piece, StatusCollector& errors,
                                       obs::TraceContext trace_parent) {
   const bool via_ds = slice.device_index != IoSlice::kMds;
+  const std::vector<IoSlice> one{slice};
   for (uint32_t attempt = 0;; ++attempt) {
     try {
-      co_await write_slice_op(f, slice, piece, trace_parent);
+      co_await write_vector_op(f, one, piece, trace_parent);
       if (via_ds) record_ds_result(slice.addr, true);
       co_return;
     } catch (const NfsError& e) {
@@ -1064,11 +1137,59 @@ Task<void> NfsClient::run_write_slice(FileState& f, IoSlice slice,
   ++stats_.mds_fallbacks;
   m_fallbacks_->inc();
   try {
-    co_await write_slice_op(f, mds_slice(f, slice.file_offset, slice.length),
-                            std::move(piece), trace_parent);
+    const std::vector<IoSlice> via_mds{
+        mds_slice(f, slice.file_offset, slice.length)};
+    co_await write_vector_op(f, via_mds, std::move(piece), trace_parent);
   } catch (const NfsError& e) {
     errors.record(e.status(), slice.device_index);
   }
+}
+
+Task<void> NfsClient::run_write_vector(FileState& f,
+                                       std::vector<IoSlice> slices,
+                                       Payload data, StatusCollector& errors,
+                                       obs::TraceContext trace_parent) {
+  if (slices.size() == 1) {
+    co_return co_await run_write_slice(f, slices.front(), std::move(data),
+                                       errors, trace_parent);
+  }
+  const bool via_ds = slices.front().device_index != IoSlice::kMds;
+  try {
+    co_await write_vector_op(f, slices, data, trace_parent);
+    if (via_ds) record_ds_result(slices.front().addr, true);
+    co_return;
+  } catch (const NfsError&) {
+    if (via_ds) record_ds_result(slices.front().addr, false);
+  }
+  // Degrade region-by-region: each slice gets the full single-range ladder
+  // (same-DS retries, layout refetch, MDS fallback) and its own error slot.
+  uint64_t pos = 0;
+  for (const IoSlice& sl : slices) {
+    Payload piece = data.slice(pos, sl.length);
+    pos += sl.length;
+    co_await run_write_slice(f, sl, std::move(piece), errors, trace_parent);
+  }
+}
+
+Task<void> NfsClient::run_read_vector(FileState& f, std::vector<IoSlice> slices,
+                                      std::vector<Payload>& out,
+                                      StatusCollector& errors) {
+  if (slices.size() == 1) {
+    co_return co_await run_read_slice(f, slices.front(), out[0], errors);
+  }
+  const bool via_ds = slices.front().device_index != IoSlice::kMds;
+  try {
+    out = co_await read_vector_op(f, slices);
+    if (via_ds) record_ds_result(slices.front().addr, true);
+    co_return;
+  } catch (const NfsError&) {
+    if (via_ds) record_ds_result(slices.front().addr, false);
+  }
+  sim::WaitGroup wg(fabric_.simulation());
+  for (size_t i = 0; i < slices.size(); ++i) {
+    wg.spawn(run_read_slice(f, slices[i], out[i], errors));
+  }
+  co_await wg.wait();
 }
 
 Task<void> NfsClient::run_commit_target(FileState& f, size_t device_index,
@@ -1192,7 +1313,10 @@ Task<Payload> NfsClient::read(FilePtr file, uint64_t offset, uint64_t length) {
       continue;
     }
     fetched = true;
-    co_await fetch_range(file, gaps.front().start, gaps.front().end);
+    // Fetch every missing piece of the span in one call: fetch_range walks
+    // the gaps itself and, with list I/O on, folds strided misses bound for
+    // the same server into vectored READs.
+    co_await fetch_range(file, gaps.front().start, gaps.back().end);
   }
   if (!fetched) {
     stats_.cache_hit_bytes += want;
@@ -1293,6 +1417,87 @@ Task<uint64_t> NfsClient::fetch_range(FilePtr file, uint64_t start,
 
   StatusCollector errors;
   uint64_t fetched = 0;
+
+  // List I/O read batching: when the span needs several distinct fetches
+  // (strided misses — a dense demand read or readahead always collapses to
+  // rsize-sized pieces), route them all up front and fold the slices bound
+  // for the same server into vectored READs of up to rsize total bytes.
+  if (config_.listio_enabled && fetches.size() > 1) {
+    co_await ensure_layout_fresh(*file);
+    struct SliceRef {
+      size_t fetch_idx;
+      IoSlice slice;
+    };
+    std::vector<SliceRef> refs;
+    std::vector<uint32_t> remaining(fetches.size(), 0);
+    for (size_t i = 0; i < fetches.size(); ++i) {
+      for (const IoSlice& s :
+           route(*file, fetches[i].start, fetches[i].len, /*for_write=*/false)) {
+        refs.push_back({i, s});
+        ++remaining[i];
+      }
+    }
+    // Group per device (one filehandle per compound), then split each group
+    // into region- and byte-capped batches, preserving offset order.
+    std::map<size_t, std::vector<SliceRef>> groups;
+    for (auto& r : refs) groups[r.slice.device_index].push_back(r);
+    std::vector<std::vector<SliceRef>> batches;
+    for (auto& [dev, group] : groups) {
+      std::vector<SliceRef> cur;
+      uint64_t bytes = 0;
+      for (auto& r : group) {
+        if (!cur.empty() && (cur.size() >= config_.listio_max_regions ||
+                             bytes + r.slice.length > config_.rsize)) {
+          batches.push_back(std::move(cur));
+          cur.clear();
+          bytes = 0;
+        }
+        cur.push_back(r);
+        bytes += r.slice.length;
+      }
+      if (!cur.empty()) batches.push_back(std::move(cur));
+    }
+
+    sim::WaitGroup wg(fabric_.simulation());
+    for (auto& batch : batches) {
+      wg.spawn([](NfsClient& self, FilePtr file, std::vector<SliceRef> b,
+                  StatusCollector& errors, uint64_t& fetched,
+                  std::vector<uint32_t>& remaining,
+                  std::vector<Fetch>& fetches) -> Task<void> {
+        std::vector<IoSlice> slices;
+        slices.reserve(b.size());
+        for (auto& r : b) slices.push_back(r.slice);
+        std::vector<Payload> out(slices.size());
+        co_await self.run_read_vector(*file, std::move(slices), out, errors);
+        uint64_t got = 0;
+        for (size_t i = 0; i < b.size(); ++i) {
+          const IoSlice& s = b[i].slice;
+          if (out[i].size() > 0) {
+            got += out[i].size();
+            fetched += out[i].size();
+            file->content.store(s.file_offset, out[i]);
+            const uint64_t before = file->valid.total_length();
+            file->valid.add(s.file_offset, s.file_offset + out[i].size());
+            self.account_valid_delta(
+                *file,
+                static_cast<int64_t>(file->valid.total_length() - before));
+          }
+          if (--remaining[b[i].fetch_idx] == 0) {
+            Fetch& f = fetches[b[i].fetch_idx];
+            file->inflight.erase(f.start);
+            f.latch->set();
+          }
+        }
+        self.stats_.wire_read_bytes += got;
+        self.m_miss_bytes_->add(got);
+      }(*this, file, std::move(batch), errors, fetched, remaining, fetches));
+    }
+    co_await wg.wait();
+    evict_clean_if_needed();
+    errors.throw_if_failed("fetch_range");
+    co_return fetched;
+  }
+
   sim::WaitGroup wg(fabric_.simulation());
   for (auto& fetch : fetches) {
     wg.spawn([](NfsClient& self, FilePtr file, Fetch f, StatusCollector& errors,
@@ -1512,17 +1717,75 @@ Task<void> NfsClient::wb_worker(FilePtr file, rpc::RpcAddress addr) {
     }
 
     IoSlice s = run.front().value.slice;
-    Payload data = std::move(run.front().value.data);
+    Payload first_data = std::move(run.front().value.data);
     sim::Time first_enq = run.front().value.enqueued_at;
     for (size_t i = 1; i < run.size(); ++i) {
       QueuedWrite& qw = run[i].value;
       s.length += qw.slice.length;
-      data.append(std::move(qw.data));
+      first_data.append(std::move(qw.data));
       first_enq = std::min(first_enq, qw.enqueued_at);
       ++stats_.sched_coalesced_extents;
       stats_.sched_coalesced_bytes += qw.slice.length;
       m_sched_coalesced_extents_->inc();
       m_sched_coalesced_bytes_->add(qw.slice.length);
+    }
+
+    // List I/O: fold further runs from the same queue — mutually
+    // non-adjacent by construction, or pop_run would have merged them —
+    // into one vectored WRITEV of up to wsize total bytes.  Contiguity is
+    // no longer the price of batching strided extents.
+    std::vector<IoSlice> slices{s};
+    std::vector<Payload> payloads;
+    payloads.push_back(std::move(first_data));
+    uint64_t total = s.length;
+    if (config_.coalesce_writes && config_.listio_enabled) {
+      while (slices.size() < config_.listio_max_regions &&
+             total < config_.wsize) {
+        auto more = sched.queues.find(ino);
+        if (more == sched.queues.end() || more->second.empty()) break;
+        auto run2 =
+            more->second.pop_run(config_.wsize - total, merge_ok, splitter);
+        if (more->second.empty()) sched.queues.erase(more);
+        if (run2.empty()) break;
+        IoSlice s2 = run2.front().value.slice;
+        Payload d2 = std::move(run2.front().value.data);
+        sim::Time enq2 = run2.front().value.enqueued_at;
+        for (size_t i = 1; i < run2.size(); ++i) {
+          QueuedWrite& qw = run2[i].value;
+          s2.length += qw.slice.length;
+          d2.append(std::move(qw.data));
+          enq2 = std::min(enq2, qw.enqueued_at);
+          ++stats_.sched_coalesced_extents;
+          stats_.sched_coalesced_bytes += qw.slice.length;
+          m_sched_coalesced_extents_->inc();
+          m_sched_coalesced_bytes_->add(qw.slice.length);
+        }
+        if (s2.device_index != s.device_index) {
+          // Same DS address, different route (different filehandle): a
+          // compound holds one PUTFH, so requeue for the next dispatch.
+          QueuedWrite back;
+          back.file = file;
+          back.slice = s2;
+          back.data = std::move(d2);
+          back.enqueued_at = enq2;
+          sched.queues[ino].push(s2.target_offset, s2.length,
+                                 std::move(back));
+          break;
+        }
+        first_enq = std::min(first_enq, enq2);
+        slices.push_back(s2);
+        payloads.push_back(std::move(d2));
+        total += s2.length;
+      }
+      note_sched_queue(sched);
+    }
+    if (slices.size() > 1) {
+      ++stats_.vectored_writes;
+      stats_.vectored_regions += slices.size();
+      stats_.vectored_bytes += total;
+      m_vectored_writes_->inc();
+      m_vectored_regions_->add(slices.size());
+      m_vectored_bytes_->add(total);
     }
 
     ++sched.inflight;
@@ -1538,7 +1801,7 @@ Task<void> NfsClient::wb_worker(FilePtr file, rpc::RpcAddress addr) {
     {
       sim::Simulation& sim = fabric_.simulation();
       const double nic_bps = node_.nic().params().bytes_per_sec;
-      const sim::Duration wire = sim::duration_for_bytes(s.length, nic_bps);
+      const sim::Duration wire = sim::duration_for_bytes(total, nic_bps);
       sim.spawn([](sim::Simulation& sim, sim::Semaphore& gate,
                    sim::Duration d) -> Task<void> {
         co_await sim.delay(d);
@@ -1554,31 +1817,37 @@ Task<void> NfsClient::wb_worker(FilePtr file, rpc::RpcAddress addr) {
     const sim::Time dispatched_at = fabric_.simulation().now();
 
     StatusCollector errors;
-    Payload dispatched = data;  // kept for re-dirtying if the WRITE fails
-    co_await run_write_slice(*file, s, std::move(data), errors, ctx);
+    // `payloads` keeps each region's bytes for re-dirtying if the WRITE
+    // fails; the wire payload is their scatter-gather concatenation.
+    Payload data;
+    for (const Payload& p : payloads) data.append(p);
+    co_await run_write_vector(*file, slices, std::move(data), errors, ctx);
     if (errors.failed()) {
       file->wb_error = true;
       // A failed write-back keeps its pages dirty (kernel semantics): the
       // bytes were claimed from the dirty set at flush time, so put them
       // back — except where a newer write already re-dirtied the range.
-      const uint64_t ws = s.file_offset;
-      const uint64_t we = s.file_offset + s.length;
-      for (const auto& gap : file->dirty.gaps(ws, we)) {
-        file->content.store(gap.start,
-                            dispatched.slice(gap.start - ws, gap.length()));
-        const uint64_t vbefore = file->valid.total_length();
-        file->valid.add(gap.start, gap.end);
-        account_valid_delta(*file, static_cast<int64_t>(
-                                       file->valid.total_length() - vbefore));
-        const uint64_t dbefore = file->dirty.total_length();
-        file->dirty.add(gap.start, gap.end);
-        dirty_bytes_ += file->dirty.total_length() - dbefore;
+      for (size_t i = 0; i < slices.size(); ++i) {
+        const uint64_t ws = slices[i].file_offset;
+        const uint64_t we = ws + slices[i].length;
+        for (const auto& gap : file->dirty.gaps(ws, we)) {
+          file->content.store(gap.start,
+                              payloads[i].slice(gap.start - ws, gap.length()));
+          const uint64_t vbefore = file->valid.total_length();
+          file->valid.add(gap.start, gap.end);
+          account_valid_delta(
+              *file,
+              static_cast<int64_t>(file->valid.total_length() - vbefore));
+          const uint64_t dbefore = file->dirty.total_length();
+          file->dirty.add(gap.start, gap.end);
+          dirty_bytes_ += file->dirty.total_length() - dbefore;
+        }
       }
     }
-    stats_.wire_write_bytes += s.length;
+    stats_.wire_write_bytes += total;
     ++stats_.sched_writes;
     m_sched_writes_->inc();
-    m_sched_bytes_->add(s.length);
+    m_sched_bytes_->add(total);
 
     if (tracer_ != nullptr && ctx.valid()) {
       obs::Span span;
@@ -1590,14 +1859,14 @@ Task<void> NfsClient::wb_worker(FilePtr file, rpc::RpcAddress addr) {
       span.start = first_enq;
       span.end = fabric_.simulation().now();
       span.queue_wait = dispatched_at - first_enq;
-      span.bytes_out = s.length;
+      span.bytes_out = total;
       span.error = errors.failed();
       tracer_->record(std::move(span));
     }
 
     if (!errors.failed() && config_.wb_commit_backlog != 0) {
       uint64_t& backlog = sched.uncommitted[ino];
-      backlog += s.length;
+      backlog += total;
       if (backlog >= config_.wb_commit_backlog &&
           !sched.commit_inflight.contains(ino)) {
         // Enough unstable bytes parked at this DS: start its disk flush

@@ -56,6 +56,13 @@ struct ClientConfig {
   /// Merge adjacent dirty extents bound for the same DS into one WRITE of up
   /// to wsize before dispatch (elevator-style coalescing).  Ablation switch.
   bool coalesce_writes = true;
+  /// List I/O: fold multiple *non-adjacent* dirty runs for the same DS into
+  /// one vectored WRITEV (up to wsize total bytes), and batch strided read
+  /// misses into READV the same way.  Single-range requests always use the
+  /// classic one-range ops regardless of this switch.  Ablation switch.
+  bool listio_enabled = true;
+  /// Max (offset, length) regions one vectored request may carry.
+  uint32_t listio_max_regions = 64;
   /// Write-back dispatches admitted to the NIC concurrently.  The NIC
   /// serializes frames, so launching every per-DS pipeline at once just
   /// time-slices the link and bunches all completions (and the server disk
@@ -114,6 +121,10 @@ struct ClientStats {
   uint64_t sched_writes = 0;             ///< write-back WRITEs dispatched
   uint64_t sched_coalesced_extents = 0;  ///< extents merged into a prior WRITE
   uint64_t sched_coalesced_bytes = 0;    ///< bytes riding merged WRITEs
+  uint64_t vectored_writes = 0;   ///< multi-region WRITEV dispatches
+  uint64_t vectored_regions = 0;  ///< regions carried by those WRITEVs
+  uint64_t vectored_bytes = 0;    ///< bytes carried by those WRITEVs
+  uint64_t vectored_reads = 0;    ///< multi-region READV fetches issued
   // Recovery (mirrored in the "client.recovery" metrics component).
   uint64_t recovery_retries = 0;    ///< slice retried against the same DS
   uint64_t mds_fallbacks = 0;       ///< slices degraded to MDS proxy I/O
@@ -298,9 +309,18 @@ class NfsClient {
                                const rpc::Payload& data);
   // Single-attempt slice ops (throw NfsError on failure)...
   sim::Task<rpc::Payload> read_slice_op(FileState& f, const IoSlice& slice);
-  sim::Task<void> write_slice_op(FileState& f, const IoSlice& slice,
-                                 rpc::Payload piece,
-                                 obs::TraceContext trace_parent = {});
+  /// Multi-region READV to one server: returns each slice's bytes.  Regions
+  /// read short mid-object are re-filled via read_slice_op; short reads at
+  /// EOF zero-fill like the single-range path.
+  sim::Task<std::vector<rpc::Payload>> read_vector_op(
+      FileState& f, const std::vector<IoSlice>& slices);
+  /// WRITE/WRITEV to one server: one slice emits the classic single-range
+  /// op (wire-identical to the old write_slice_op), 2+ slices a vectored
+  /// one.  The reply's single verifier is recorded for every region.
+  sim::Task<void> write_vector_op(FileState& f,
+                                  const std::vector<IoSlice>& slices,
+                                  rpc::Payload data,
+                                  obs::TraceContext trace_parent = {});
   /// COMMIT to one server; returns the write verifier its reply carried.
   sim::Task<uint64_t> commit_op(rpc::RpcAddress addr, FileHandle fh);
   // ...and their recovering wrappers: retry same DS, re-fetch the layout,
@@ -310,6 +330,15 @@ class NfsClient {
   sim::Task<void> run_write_slice(FileState& f, IoSlice slice,
                                   rpc::Payload piece, StatusCollector& errors,
                                   obs::TraceContext trace_parent = {});
+  /// Vectored wrappers: one retry round against the DS as a whole, then
+  /// degrade region-by-region through the single-slice ladders (so each
+  /// region keeps its own retry/breaker/MDS-fallback recovery).
+  sim::Task<void> run_write_vector(FileState& f, std::vector<IoSlice> slices,
+                                   rpc::Payload data, StatusCollector& errors,
+                                   obs::TraceContext trace_parent = {});
+  sim::Task<void> run_read_vector(FileState& f, std::vector<IoSlice> slices,
+                                  std::vector<rpc::Payload>& out,
+                                  StatusCollector& errors);
   sim::Task<void> run_commit_target(FileState& f, size_t device_index,
                                     StatusCollector& errors,
                                     uint64_t* verifier_out = nullptr);
@@ -402,6 +431,9 @@ class NfsClient {
   obs::Counter* m_sched_bytes_;
   obs::Counter* m_sched_coalesced_extents_;
   obs::Counter* m_sched_coalesced_bytes_;
+  obs::Counter* m_vectored_writes_;
+  obs::Counter* m_vectored_regions_;
+  obs::Counter* m_vectored_bytes_;
   // "client.recovery" component handles.
   obs::Counter* m_retries_;
   obs::Counter* m_fallbacks_;

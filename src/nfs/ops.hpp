@@ -279,21 +279,74 @@ struct SetattrArgs {
 // Data operations
 // ---------------------------------------------------------------------------
 
-struct ReadArgs {
-  Stateid stateid;
+/// One (offset, count) region of a vectored READ/WRITE.  A vectored
+/// operation carries a sorted list of these; the data bytes travel as one
+/// scatter-gather payload holding the regions' contents concatenated in
+/// list order.
+struct IoRegion {
   uint64_t offset = 0;
   uint32_t count = 0;
 
   void encode(rpc::XdrEncoder& enc) const {
-    stateid.encode(enc);
     enc.put_u64(offset);
     enc.put_u32(count);
   }
+  static IoRegion decode(rpc::XdrDecoder& dec) {
+    IoRegion r;
+    r.offset = dec.get_u64();
+    r.count = dec.get_u32();
+    return r;
+  }
+};
+
+/// READ / READV arguments.  The request API is vectored: `regions` holds
+/// one or more ranges and the classic single-range READ is the 1-element
+/// case.  On the wire a 1-element request still travels as OpCode::kRead
+/// with the original (golden-pinned) encoding; 2+ regions travel as
+/// OpCode::kReadv — `opcode()` picks, so call sites write
+/// `b.add(a.opcode(), a)` and stay wire-compatible for singles.
+struct ReadArgs {
+  Stateid stateid;
+  std::vector<IoRegion> regions;
+
+  ReadArgs() = default;
+  ReadArgs(Stateid sid, uint64_t offset, uint32_t count)
+      : stateid(sid), regions{{offset, count}} {}
+  ReadArgs(Stateid sid, std::vector<IoRegion> r)
+      : stateid(sid), regions(std::move(r)) {}
+
+  OpCode opcode() const {
+    return regions.size() > 1 ? OpCode::kReadv : OpCode::kRead;
+  }
+  uint64_t total_count() const {
+    uint64_t n = 0;
+    for (const IoRegion& r : regions) n += r.count;
+    return n;
+  }
+
+  void encode(rpc::XdrEncoder& enc) const {
+    stateid.encode(enc);
+    if (regions.size() > 1) {
+      enc.put_array(regions);
+    } else {
+      enc.put_u64(regions.empty() ? 0 : regions[0].offset);
+      enc.put_u32(regions.empty() ? 0 : regions[0].count);
+    }
+  }
+  /// Decoder for the single-range kRead encoding.
   static ReadArgs decode(rpc::XdrDecoder& dec) {
     ReadArgs a;
     a.stateid = Stateid::decode(dec);
-    a.offset = dec.get_u64();
-    a.count = dec.get_u32();
+    const uint64_t offset = dec.get_u64();
+    a.regions = {{offset, dec.get_u32()}};
+    return a;
+  }
+  /// Decoder for the multi-range kReadv encoding.
+  static ReadArgs decode_vectored(rpc::XdrDecoder& dec) {
+    ReadArgs a;
+    a.stateid = Stateid::decode(dec);
+    a.regions = dec.get_array<IoRegion>();
+    if (a.regions.empty()) throw rpc::XdrError("empty READV region list");
     return a;
   }
 };
@@ -314,26 +367,96 @@ struct ReadRes {
   }
 };
 
-struct WriteArgs {
-  Stateid stateid;
-  uint64_t offset = 0;
-  StableHow stable = StableHow::kUnstable;
+/// READV result: per-region byte counts plus one concatenated payload.  A
+/// region read short (past EOF) contributes fewer bytes than requested;
+/// `eof` is set when any region touched end-of-file.
+struct ReadvRes {
+  bool eof = false;
+  std::vector<uint32_t> lengths;
   rpc::Payload data;
 
   void encode(rpc::XdrEncoder& enc) const {
-    stateid.encode(enc);
-    enc.put_u64(offset);
-    enc.put_u32(static_cast<uint32_t>(stable));
+    enc.put_bool(eof);
+    enc.put_u32(static_cast<uint32_t>(lengths.size()));
+    for (uint32_t n : lengths) enc.put_u32(n);
     enc.put_payload(data);
   }
+  static ReadvRes decode(rpc::XdrDecoder& dec) {
+    ReadvRes r;
+    r.eof = dec.get_bool();
+    const uint32_t n = dec.get_u32();
+    if (n > (1u << 20)) throw rpc::XdrError("READV length list too long");
+    r.lengths.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) r.lengths.push_back(dec.get_u32());
+    r.data = dec.get_payload();
+    return r;
+  }
+};
+
+/// WRITE / WRITEV arguments, vectored the same way as ReadArgs: `data`
+/// holds the regions' bytes concatenated in list order, one stable_how and
+/// (in the reply) one verifier cover every region.
+struct WriteArgs {
+  Stateid stateid;
+  StableHow stable = StableHow::kUnstable;
+  std::vector<IoRegion> regions;
+  rpc::Payload data;
+
+  WriteArgs() = default;
+  WriteArgs(Stateid sid, uint64_t offset, StableHow s, rpc::Payload d)
+      : stateid(sid),
+        stable(s),
+        regions{{offset, static_cast<uint32_t>(d.size())}},
+        data(std::move(d)) {}
+  WriteArgs(Stateid sid, std::vector<IoRegion> r, StableHow s, rpc::Payload d)
+      : stateid(sid), stable(s), regions(std::move(r)), data(std::move(d)) {}
+
+  OpCode opcode() const {
+    return regions.size() > 1 ? OpCode::kWritev : OpCode::kWrite;
+  }
+  uint64_t total_count() const {
+    uint64_t n = 0;
+    for (const IoRegion& r : regions) n += r.count;
+    return n;
+  }
+
+  void encode(rpc::XdrEncoder& enc) const {
+    stateid.encode(enc);
+    if (regions.size() > 1) {
+      enc.put_u32(static_cast<uint32_t>(stable));
+      enc.put_array(regions);
+      enc.put_payload(data);
+    } else {
+      enc.put_u64(regions.empty() ? 0 : regions[0].offset);
+      enc.put_u32(static_cast<uint32_t>(stable));
+      enc.put_payload(data);
+    }
+  }
+  /// Decoder for the single-range kWrite encoding.
   static WriteArgs decode(rpc::XdrDecoder& dec) {
     WriteArgs a;
     a.stateid = Stateid::decode(dec);
-    a.offset = dec.get_u64();
+    const uint64_t offset = dec.get_u64();
     const uint32_t s = dec.get_u32();
     if (s > 2) throw rpc::XdrError("bad stable_how");
     a.stable = static_cast<StableHow>(s);
     a.data = dec.get_payload();
+    a.regions = {{offset, static_cast<uint32_t>(a.data.size())}};
+    return a;
+  }
+  /// Decoder for the multi-range kWritev encoding.
+  static WriteArgs decode_vectored(rpc::XdrDecoder& dec) {
+    WriteArgs a;
+    a.stateid = Stateid::decode(dec);
+    const uint32_t s = dec.get_u32();
+    if (s > 2) throw rpc::XdrError("bad stable_how");
+    a.stable = static_cast<StableHow>(s);
+    a.regions = dec.get_array<IoRegion>();
+    a.data = dec.get_payload();
+    if (a.regions.empty()) throw rpc::XdrError("empty WRITEV region list");
+    if (a.total_count() != a.data.size()) {
+      throw rpc::XdrError("WRITEV payload does not match region list");
+    }
     return a;
   }
 };

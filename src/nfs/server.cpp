@@ -221,6 +221,8 @@ Task<Status> NfsServer::dispatch(OpCode op, const rpc::CallContext& ctx,
       case OpCode::kPutFh:
       case OpCode::kRead:
       case OpCode::kWrite:
+      case OpCode::kReadv:
+      case OpCode::kWritev:
       case OpCode::kCommit:
         break;
       default:
@@ -377,39 +379,61 @@ Task<Status> NfsServer::dispatch(OpCode op, const rpc::CallContext& ctx,
       if (st == Status::kOk) ReaddirRes{std::move(entries)}.encode(results);
       co_return st;
     }
-    case OpCode::kRead: {
-      const auto a = ReadArgs::decode(args);
+    case OpCode::kRead:
+    case OpCode::kReadv: {
+      const auto a = op == OpCode::kRead ? ReadArgs::decode(args)
+                                         : ReadArgs::decode_vectored(args);
       if (!stateid_ok(a.stateid)) co_return Status::kBadStateid;
-      co_await charge_cpu(a.count);
-      rpc::Payload data;
-      bool eof = false;
-      const Status st = co_await backend_.read(current_fh, a.offset, a.count,
-                                               &data, &eof, ctx.trace);
-      if (st == Status::kOk) {
-        m_read_bytes_->add(data.size());
-        ReadRes{eof, std::move(data)}.encode(results);
+      co_await charge_cpu(a.total_count());
+      ReadvRes res;
+      for (const IoRegion& r : a.regions) {
+        rpc::Payload data;
+        bool eof = false;
+        const Status st = co_await backend_.read(current_fh, r.offset, r.count,
+                                                 &data, &eof, ctx.trace);
+        if (st != Status::kOk) co_return st;
+        res.eof = res.eof || eof;
+        res.lengths.push_back(static_cast<uint32_t>(data.size()));
+        res.data.append(std::move(data));
       }
-      co_return st;
+      m_read_bytes_->add(res.data.size());
+      if (op == OpCode::kRead) {
+        ReadRes{res.eof, std::move(res.data)}.encode(results);
+      } else {
+        res.encode(results);
+      }
+      co_return Status::kOk;
     }
-    case OpCode::kWrite: {
-      const auto a = WriteArgs::decode(args);
+    case OpCode::kWrite:
+    case OpCode::kWritev: {
+      const auto a = op == OpCode::kWrite ? WriteArgs::decode(args)
+                                          : WriteArgs::decode_vectored(args);
       if (!stateid_ok(a.stateid)) co_return Status::kBadStateid;
       // MDS-path writes conflict with other clients' read delegations.
       if (!config_.is_data_server && delegation_holders_.contains(current_fh.id)) {
         co_await recall_delegations(current_fh, session);
       }
       co_await charge_cpu(a.data.size());
-      StableHow committed = a.stable;
+      // One stable_how in and, in the reply, one (weakest-across-regions)
+      // stability and one boot verifier covering every region of the list.
+      StableHow committed = StableHow::kFileSync;
       uint64_t post_change = 0;
-      const Status st = co_await backend_.write(current_fh, a.offset, a.data,
-                                                a.stable, &committed,
-                                                &post_change, ctx.trace);
-      if (st == Status::kOk) {
-        m_write_bytes_->add(a.data.size());
-        WriteRes{a.data.size(), committed, post_change, boot_verifier_}
-            .encode(results);
+      uint64_t pos = 0;
+      for (const IoRegion& r : a.regions) {
+        StableHow c = a.stable;
+        uint64_t pc = 0;
+        const Status st = co_await backend_.write(current_fh, r.offset,
+                                                  a.data.slice(pos, r.count),
+                                                  a.stable, &c, &pc, ctx.trace);
+        if (st != Status::kOk) co_return st;
+        pos += r.count;
+        committed = std::min(committed, c);
+        post_change = std::max(post_change, pc);
       }
-      co_return st;
+      m_write_bytes_->add(a.data.size());
+      WriteRes{a.data.size(), committed, post_change, boot_verifier_}
+          .encode(results);
+      co_return Status::kOk;
     }
     case OpCode::kCommit: {
       (void)CommitArgs::decode(args);

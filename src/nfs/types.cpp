@@ -56,6 +56,8 @@ const char* opcode_name(OpCode op) {
     case OpCode::kLayoutGet: return "LAYOUTGET";
     case OpCode::kLayoutReturn: return "LAYOUTRETURN";
     case OpCode::kSequence: return "SEQUENCE";
+    case OpCode::kReadv: return "READV";
+    case OpCode::kWritev: return "WRITEV";
   }
   return "OP_?";
 }

@@ -146,6 +146,12 @@ enum class OpCode : uint32_t {
   kLayoutGet = 50,
   kLayoutReturn = 51,
   kSequence = 53,
+  // Vectored (list) I/O extensions: one operation carrying many
+  // (offset, length) regions backed by a single scatter-gather payload.
+  // Not in RFC 5661/7862 — numbered above the standard range so they can
+  // never collide with a real NFSv4.x assignment.
+  kReadv = 70,
+  kWritev = 71,
 };
 
 const char* opcode_name(OpCode op);

@@ -90,6 +90,86 @@ Task<rpc::RpcClient::Reply> PvfsClient::io_call(uint32_t server_index,
   co_return reply;
 }
 
+Task<std::vector<Payload>> PvfsClient::read_regions(
+    const DfileRef& dfile, const std::vector<IoRange>& regions,
+    obs::TraceContext trace) {
+  uint64_t total = 0;
+  for (const IoRange& r : regions) total += r.length;
+  XdrEncoder a;
+  a.put_u64(dfile.object_id);
+  std::vector<Payload> out(regions.size());
+  if (regions.size() == 1) {
+    a.put_u64(regions[0].offset);
+    a.put_u64(regions[0].length);
+    auto r = co_await io_call(dfile.server_index, IoProc::kRead, std::move(a),
+                              total, trace);
+    auto d = r.body();
+    if (reply_status(d) != PvfsStatus::kOk) {
+      throw PvfsError(PvfsStatus::kIo, "read");
+    }
+    out[0] = d.get_payload();
+  } else {
+    a.put_u32(static_cast<uint32_t>(regions.size()));
+    for (const IoRange& r : regions) {
+      a.put_u64(r.offset);
+      a.put_u64(r.length);
+    }
+    ++stats_.vectored_requests;
+    stats_.vectored_regions += regions.size();
+    stats_.vectored_bytes += total;
+    auto r = co_await io_call(dfile.server_index, IoProc::kReadv, std::move(a),
+                              total, trace);
+    auto d = r.body();
+    if (reply_status(d) != PvfsStatus::kOk) {
+      throw PvfsError(PvfsStatus::kIo, "readv");
+    }
+    for (Payload& p : out) p = d.get_payload();
+  }
+  // Holes in a dfile read as zeros up to each region's requested length.
+  for (size_t i = 0; i < regions.size(); ++i) {
+    if (out[i].size() < regions[i].length) {
+      const uint64_t missing = regions[i].length - out[i].size();
+      if (out[i].is_inline()) {
+        out[i].append(Payload::inline_bytes(
+            std::vector<std::byte>(missing, std::byte{0})));
+      } else {
+        out[i].append(Payload::virtual_bytes(missing));
+      }
+    }
+  }
+  co_return out;
+}
+
+Task<uint64_t> PvfsClient::write_regions(const DfileRef& dfile,
+                                         const std::vector<IoRange>& regions,
+                                         Payload data, obs::TraceContext trace) {
+  const uint64_t total = data.size();
+  XdrEncoder a;
+  a.put_u64(dfile.object_id);
+  IoProc proc = IoProc::kWrite;
+  if (regions.size() == 1) {
+    a.put_u64(regions[0].offset);
+  } else {
+    proc = IoProc::kWritev;
+    a.put_u32(static_cast<uint32_t>(regions.size()));
+    for (const IoRange& r : regions) {
+      a.put_u64(r.offset);
+      a.put_u64(r.length);
+    }
+    ++stats_.vectored_requests;
+    stats_.vectored_regions += regions.size();
+    stats_.vectored_bytes += total;
+  }
+  a.put_payload(data);
+  auto r = co_await io_call(dfile.server_index, proc, std::move(a), total,
+                            trace);
+  auto d = r.body();
+  if (reply_status(d) != PvfsStatus::kOk) {
+    throw PvfsError(PvfsStatus::kIo, "write");
+  }
+  co_return d.get_u64();
+}
+
 // ---------------------------------------------------------------------------
 // Crash recovery: write verifiers and replay
 // ---------------------------------------------------------------------------
@@ -192,37 +272,50 @@ Task<uint64_t> PvfsClient::replay_stale(PvfsFilePtr file,
     if (sit == d.stale.end() || sit->second.empty()) continue;
     PieceMap pieces = std::move(sit->second);
     d.stale.erase(sit);
-    for (auto pit = pieces.begin(); pit != pieces.end();) {
-      const uint64_t off = pit->first;
-      Payload data = std::move(pit->second.data);
-      pit = pieces.erase(pit);
-      const uint64_t len = data.size();
-      XdrEncoder a;
-      a.put_u64(dfile.object_id);
-      a.put_u64(off);
-      a.put_payload(data);
+    const uint64_t max_regions =
+        config_.listio_enabled
+            ? std::max<uint32_t>(config_.listio_max_regions, 1)
+            : 1;
+    while (!pieces.empty()) {
+      // Fold the next run of orphaned pieces into one vectored replay (the
+      // region list of the dead incarnation's writes, re-sent wholesale).
+      std::vector<IoRange> regions;
+      std::vector<Payload> datas;
+      Payload body;
+      uint64_t bytes = 0;
+      while (!pieces.empty() && regions.size() < max_regions) {
+        auto pit = pieces.begin();
+        const uint64_t poff = pit->first;
+        const uint64_t plen = pit->second.data.size();
+        if (!regions.empty() && bytes + plen > config_.buffer_size) break;
+        Payload p = std::move(pit->second.data);
+        pieces.erase(pit);
+        regions.push_back({poff, plen});
+        body.append(p);
+        bytes += plen;
+        datas.push_back(std::move(p));
+      }
       try {
-        auto r = co_await io_call(dfile.server_index, IoProc::kWrite,
-                                  std::move(a), len, trace);
-        auto dec = r.body();
-        if (reply_status(dec) != PvfsStatus::kOk) {
-          throw PvfsError(PvfsStatus::kIo, "replay write");
-        }
-        const uint64_t verifier = dec.get_u64();
-        ++replayed;
-        ++stats_.replayed_extents;
-        stats_.replayed_bytes += len;
-        m_replayed_extents_->inc();
-        m_replayed_bytes_->add(len);
+        const uint64_t verifier =
+            co_await write_regions(dfile, regions, std::move(body), trace);
+        replayed += regions.size();
+        stats_.replayed_extents += regions.size();
+        stats_.replayed_bytes += bytes;
+        m_replayed_extents_->add(regions.size());
+        m_replayed_bytes_->add(bytes);
         note_daemon_verifier(dfile.server_index, verifier);
-        retain_piece(dfile.server_index, dfile.object_id, off,
-                     std::move(data));
+        for (size_t i = 0; i < regions.size(); ++i) {
+          retain_piece(dfile.server_index, dfile.object_id, regions[i].offset,
+                       std::move(datas[i]));
+        }
       } catch (...) {
-        // Preserve this piece and every not-yet-attempted one: they are the
-        // only copy of the data.  A later fsync retries.
+        // Preserve this batch and every not-yet-attempted piece: they are
+        // the only copy of the data.  A later fsync retries.
         PieceMap& stale = daemons_.at(dfile.server_index).stale[dfile.object_id];
-        trim_range(stale, off, len);
-        stale.emplace(off, RetainedPiece{0, std::move(data)});
+        for (size_t i = 0; i < regions.size(); ++i) {
+          trim_range(stale, regions[i].offset, regions[i].length);
+          stale.emplace(regions[i].offset, RetainedPiece{0, std::move(datas[i])});
+        }
         for (auto& [ro, rest] : pieces) {
           trim_range(stale, ro, rest.data.size());
           stale.emplace(ro, std::move(rest));
@@ -408,41 +501,54 @@ Task<Payload> PvfsClient::read(PvfsFilePtr file, uint64_t offset,
     }
   }
 
+  // List I/O: fold the pieces of each dfile into vectored requests of up to
+  // listio_max_regions regions / buffer_size bytes.  A 1-element batch goes
+  // out as the classic kRead, so the batching is free for sequential I/O.
+  std::map<uint32_t, std::vector<size_t>> by_dfile;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    by_dfile[pieces[i].dfile_index].push_back(i);
+  }
+  const uint64_t max_regions =
+      config_.listio_enabled ? std::max<uint32_t>(config_.listio_max_regions, 1)
+                             : 1;
+  std::vector<std::vector<size_t>> batches;
+  for (auto& [dfi, idxs] : by_dfile) {
+    std::vector<size_t> cur;
+    uint64_t bytes = 0;
+    for (size_t i : idxs) {
+      if (!cur.empty() && (cur.size() >= max_regions ||
+                           bytes + pieces[i].length > config_.buffer_size)) {
+        batches.push_back(std::move(cur));
+        cur.clear();
+        bytes = 0;
+      }
+      cur.push_back(i);
+      bytes += pieces[i].length;
+    }
+    if (!cur.empty()) batches.push_back(std::move(cur));
+  }
+
   sim::WaitGroup wg(fabric_.simulation());
   bool failed = false;
-  for (auto& piece : pieces) {
-    wg.spawn([](PvfsClient& self, const FileMeta& meta, Piece& piece,
+  for (auto& batch : batches) {
+    wg.spawn([](PvfsClient& self, const FileMeta& meta,
+                std::vector<Piece>& pieces, std::vector<size_t> idx,
                 bool& failed, const obs::TraceContext trace) -> Task<void> {
-      const DfileRef& dfile = meta.dfiles[piece.dfile_index];
-      XdrEncoder a;
-      a.put_u64(dfile.object_id);
-      a.put_u64(piece.dfile_offset);
-      a.put_u64(piece.length);
-      rpc::RpcClient::Reply r;
+      const DfileRef& dfile = meta.dfiles[pieces[idx[0]].dfile_index];
+      std::vector<IoRange> regions;
+      regions.reserve(idx.size());
+      for (size_t i : idx) {
+        regions.push_back({pieces[i].dfile_offset, pieces[i].length});
+      }
       try {
-        r = co_await self.io_call(dfile.server_index, IoProc::kRead,
-                                  std::move(a), piece.length, trace);
+        auto out = co_await self.read_regions(dfile, regions, trace);
+        for (size_t k = 0; k < idx.size(); ++k) {
+          pieces[idx[k]].result = std::move(out[k]);
+        }
       } catch (const PvfsError&) {
         failed = true;
-        co_return;
       }
-      auto d = r.body();
-      if (reply_status(d) != PvfsStatus::kOk) {
-        failed = true;
-        co_return;
-      }
-      piece.result = d.get_payload();
-      // Holes in a dfile read as zeros up to the requested length.
-      if (piece.result.size() < piece.length) {
-        const uint64_t missing = piece.length - piece.result.size();
-        if (piece.result.is_inline()) {
-          piece.result.append(Payload::inline_bytes(
-              std::vector<std::byte>(missing, std::byte{0})));
-        } else {
-          piece.result.append(Payload::virtual_bytes(missing));
-        }
-      }
-    }(*this, file->meta, piece, failed, trace));
+    }(*this, file->meta, pieces, std::move(batch), failed, trace));
   }
   co_await wg.wait();
   if (failed) throw PvfsError(PvfsStatus::kIo, "read");
@@ -458,43 +564,78 @@ Task<void> PvfsClient::write(PvfsFilePtr file, uint64_t offset, Payload data,
   const uint64_t len = data.size();
   const auto extents = map_stripes(file->meta, offset, len);
 
-  sim::WaitGroup wg(fabric_.simulation());
-  bool failed = false;
+  struct WritePiece {
+    uint32_t dfile_index;
+    uint64_t dfile_offset;
+    Payload data;
+  };
+  std::vector<WritePiece> pieces;
   for (const auto& ext : extents) {
     uint64_t done = 0;
     while (done < ext.length) {
       const uint64_t n = std::min(config_.buffer_size, ext.length - done);
-      Payload piece = data.slice(ext.file_offset - offset + done, n);
-      wg.spawn([](PvfsClient& self, const FileMeta& meta, uint32_t dfile_index,
-                  uint64_t dfile_offset, Payload piece, bool& failed,
-                  const obs::TraceContext trace) -> Task<void> {
-        const DfileRef& dfile = meta.dfiles[dfile_index];
-        XdrEncoder a;
-        a.put_u64(dfile.object_id);
-        a.put_u64(dfile_offset);
-        const uint64_t bytes = piece.size();
-        a.put_payload(piece);
-        try {
-          auto r = co_await self.io_call(dfile.server_index, IoProc::kWrite,
-                                         std::move(a), bytes, trace);
-          auto d = r.body();
-          if (reply_status(d) != PvfsStatus::kOk) {
-            failed = true;
-            co_return;
-          }
-          // The daemon buffered the bytes; keep our copy until a commit by
-          // the same incarnation makes them durable.
-          const uint64_t verifier = d.get_u64();
-          self.note_daemon_verifier(dfile.server_index, verifier);
-          self.retain_piece(dfile.server_index, dfile.object_id, dfile_offset,
-                            std::move(piece));
-        } catch (const PvfsError&) {
-          failed = true;
-        }
-      }(*this, file->meta, ext.dfile_index, ext.dfile_offset + done,
-        std::move(piece), failed, trace));
+      pieces.push_back(WritePiece{
+          ext.dfile_index, ext.dfile_offset + done,
+          data.slice(ext.file_offset - offset + done, n)});
       done += n;
     }
+  }
+
+  // Same per-dfile folding as read(): each batch is one kWrite (1 region)
+  // or one kWritev (many regions under one verifier).
+  std::map<uint32_t, std::vector<size_t>> by_dfile;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    by_dfile[pieces[i].dfile_index].push_back(i);
+  }
+  const uint64_t max_regions =
+      config_.listio_enabled ? std::max<uint32_t>(config_.listio_max_regions, 1)
+                             : 1;
+  std::vector<std::vector<size_t>> batches;
+  for (auto& [dfi, idxs] : by_dfile) {
+    std::vector<size_t> cur;
+    uint64_t bytes = 0;
+    for (size_t i : idxs) {
+      if (!cur.empty() && (cur.size() >= max_regions ||
+                           bytes + pieces[i].data.size() > config_.buffer_size)) {
+        batches.push_back(std::move(cur));
+        cur.clear();
+        bytes = 0;
+      }
+      cur.push_back(i);
+      bytes += pieces[i].data.size();
+    }
+    if (!cur.empty()) batches.push_back(std::move(cur));
+  }
+
+  sim::WaitGroup wg(fabric_.simulation());
+  bool failed = false;
+  for (auto& batch : batches) {
+    wg.spawn([](PvfsClient& self, const FileMeta& meta,
+                std::vector<WritePiece>& pieces, std::vector<size_t> idx,
+                bool& failed, const obs::TraceContext trace) -> Task<void> {
+      const DfileRef& dfile = meta.dfiles[pieces[idx[0]].dfile_index];
+      std::vector<IoRange> regions;
+      regions.reserve(idx.size());
+      Payload body;
+      for (size_t i : idx) {
+        regions.push_back({pieces[i].dfile_offset, pieces[i].data.size()});
+        body.append(pieces[i].data);
+      }
+      try {
+        const uint64_t verifier =
+            co_await self.write_regions(dfile, regions, std::move(body), trace);
+        // The daemon buffered the bytes; keep our copies until a commit by
+        // the same incarnation makes them durable.  One verifier covers the
+        // whole region list.
+        self.note_daemon_verifier(dfile.server_index, verifier);
+        for (size_t i : idx) {
+          self.retain_piece(dfile.server_index, dfile.object_id,
+                            pieces[i].dfile_offset, std::move(pieces[i].data));
+        }
+      } catch (const PvfsError&) {
+        failed = true;
+      }
+    }(*this, file->meta, pieces, std::move(batch), failed, trace));
   }
   co_await wg.wait();
   if (failed) throw PvfsError(PvfsStatus::kIo, "write");

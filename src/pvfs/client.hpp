@@ -40,6 +40,10 @@ struct PvfsClientConfig {
   uint32_t io_retries = 1;        ///< attempts per storage request (>= 1)
   sim::Duration meta_timeout = 0;
   uint32_t meta_retries = 1;
+  /// List I/O: fold multiple (offset, length) regions of one dfile into a
+  /// single kReadv/kWritev request.  Off, every region is its own request.
+  bool listio_enabled = true;
+  uint32_t listio_max_regions = 64;  ///< regions per vectored request
 };
 
 struct PvfsClientStats {
@@ -51,6 +55,12 @@ struct PvfsClientStats {
   uint64_t verifier_mismatches = 0;
   uint64_t replayed_extents = 0;
   uint64_t replayed_bytes = 0;
+  // List I/O accounting: kReadv/kWritev requests, regions they carried and
+  // bytes they moved (single-region requests go out as classic kRead/kWrite
+  // and are not counted here).
+  uint64_t vectored_requests = 0;
+  uint64_t vectored_regions = 0;
+  uint64_t vectored_bytes = 0;
 };
 
 /// An open PVFS2 file: distribution metadata plus a cached logical size.
@@ -125,6 +135,12 @@ class PvfsClient {
     std::map<uint64_t, PieceMap> stale;
   };
 
+  /// One (dfile offset, length) region of a vectored storage request.
+  struct IoRange {
+    uint64_t offset = 0;
+    uint64_t length = 0;
+  };
+
   sim::Task<rpc::RpcClient::Reply> meta_call(MetaProc proc,
                                              rpc::XdrEncoder args);
   /// One storage request through the buffer pool (charges client CPU).
@@ -132,6 +148,19 @@ class PvfsClient {
                                            rpc::XdrEncoder args,
                                            uint64_t data_bytes,
                                            obs::TraceContext trace = {});
+  /// Fetches `regions` of one dfile in a single request (a 1-element list
+  /// goes out as the classic kRead).  Each returned payload is zero-padded
+  /// to its region's length: dfile holes read as zeros.
+  sim::Task<std::vector<rpc::Payload>> read_regions(
+      const DfileRef& dfile, const std::vector<IoRange>& regions,
+      obs::TraceContext trace);
+  /// Sends `regions` of one dfile in a single unstable write carrying the
+  /// regions' bytes concatenated in list order (1-element lists use the
+  /// classic kWrite).  Returns the daemon's boot verifier, which covers
+  /// every region.
+  sim::Task<uint64_t> write_regions(const DfileRef& dfile,
+                                    const std::vector<IoRange>& regions,
+                                    rpc::Payload data, obs::TraceContext trace);
   static PvfsStatus reply_status(rpc::XdrDecoder& dec);
 
   /// Adopts a write verifier observed in a kWrite/kCommit reply from daemon

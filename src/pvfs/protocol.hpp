@@ -67,6 +67,15 @@ enum class IoProc : uint32_t {
   kRemove = 5,
   kTruncate = 6,
   kCreate = 7,
+  // List I/O ("Noncontiguous I/O through PVFS"): one request carrying a
+  // vector of (offset, length) regions against one object, backed by a
+  // single scatter-gather payload.  Args: oid u64 | count u32 | (offset
+  // u64, length u64)* [| payload for kWritev].  A kReadv reply returns one
+  // payload per region; a kWritev reply carries one status and one boot
+  // verifier covering every region.  The daemon serves kReadv as a single
+  // covering span with one disk pass.
+  kReadv = 8,
+  kWritev = 9,
 };
 
 /// One data file (dfile): the portion of a file stored on one storage node.

@@ -132,6 +132,93 @@ Task<void> PvfsStorageServer::serve(const rpc::CallContext& ctx,
       results.put_u64(boot_verifier_);
       co_return;
     }
+    case IoProc::kReadv: {
+      const uint64_t oid = args.get_u64();
+      const uint32_t n = args.get_u32();
+      if (n == 0 || n > (1u << 20)) {
+        results.put_u32(static_cast<uint32_t>(PvfsStatus::kInval));
+        co_return;
+      }
+      std::vector<std::pair<uint64_t, uint64_t>> regions;
+      regions.reserve(n);
+      uint64_t total = 0, lo = UINT64_MAX, hi = 0;
+      for (uint32_t i = 0; i < n; ++i) {
+        const uint64_t off = args.get_u64();
+        const uint64_t len = args.get_u64();
+        regions.emplace_back(off, len);
+        total += len;
+        lo = std::min(lo, off);
+        hi = std::max(hi, off + len);
+      }
+      co_await node_.cpu().execute(
+          config_.cpu_per_request +
+          static_cast<sim::Duration>(config_.cpu_ns_per_byte *
+                                     static_cast<double>(total)));
+      results.put_u32(static_cast<uint32_t>(PvfsStatus::kOk));
+      if (!store_.exists(oid)) {
+        for (uint32_t i = 0; i < n; ++i) results.put_payload(rpc::Payload{});
+        co_return;
+      }
+      // List I/O's disk-side win: one covering span, one disk pass, sliced
+      // per region — instead of one seek-and-read per region.
+      const int64_t start = node_.simulation().now();
+      const uint64_t disk0 = store_.stats().disk_time_ns;
+      rpc::Payload span = co_await store_.read(oid, lo, hi - lo);
+      uint64_t out_bytes = 0;
+      for (const auto& [off, len] : regions) {
+        const uint64_t skip = off - lo;
+        const uint64_t avail =
+            span.size() > skip ? std::min(len, span.size() - skip) : 0;
+        out_bytes += avail;
+        results.put_payload(span.slice(skip, avail));
+      }
+      trace_store_op(ctx, "readv", start, 0, out_bytes,
+                     static_cast<int64_t>(store_.stats().disk_time_ns - disk0));
+      m_bytes_read_->add(out_bytes);
+      co_return;
+    }
+    case IoProc::kWritev: {
+      const uint64_t oid = args.get_u64();
+      const uint32_t n = args.get_u32();
+      if (n == 0 || n > (1u << 20)) {
+        results.put_u32(static_cast<uint32_t>(PvfsStatus::kInval));
+        co_return;
+      }
+      std::vector<std::pair<uint64_t, uint64_t>> regions;
+      regions.reserve(n);
+      uint64_t total = 0;
+      for (uint32_t i = 0; i < n; ++i) {
+        const uint64_t off = args.get_u64();
+        const uint64_t len = args.get_u64();
+        regions.emplace_back(off, len);
+        total += len;
+      }
+      rpc::Payload data = args.get_payload();
+      if (data.size() != total) {
+        results.put_u32(static_cast<uint32_t>(PvfsStatus::kInval));
+        co_return;
+      }
+      co_await node_.cpu().execute(
+          config_.cpu_per_request +
+          static_cast<sim::Duration>(config_.cpu_ns_per_byte *
+                                     static_cast<double>(total)));
+      m_bytes_written_->add(total);
+      const int64_t start = node_.simulation().now();
+      const uint64_t disk0 = store_.stats().disk_time_ns;
+      uint64_t pos = 0;
+      for (const auto& [off, len] : regions) {
+        co_await store_.write(oid, off, data.slice(pos, len),
+                              /*stable=*/false);
+        pos += len;
+      }
+      trace_store_op(ctx, "writev", start, total, 0,
+                     static_cast<int64_t>(store_.stats().disk_time_ns - disk0));
+      results.put_u32(static_cast<uint32_t>(PvfsStatus::kOk));
+      // One verifier covers every region: they live or die with this
+      // daemon incarnation together (see protocol.hpp).
+      results.put_u64(boot_verifier_);
+      co_return;
+    }
     case IoProc::kCommit: {
       const uint64_t oid = args.get_u64();
       m_commits_->inc();

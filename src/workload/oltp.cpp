@@ -23,12 +23,19 @@ Task<void> OltpWorkload::client_main(core::Deployment& d, size_t client) {
   const uint64_t slots = config_.file_bytes / config_.io_size;
   for (uint32_t txn = 0; txn < config_.transactions_per_client; ++txn) {
     const sim::Time t0 = d.simulation().now();
-    const uint64_t offset = rng.below(slots) * config_.io_size;
-    Payload page = co_await f->read(offset, config_.io_size);
-    if (page.size() != config_.io_size) {
-      throw std::runtime_error("OLTP short read");
+    if (config_.update_only) {
+      for (uint32_t u = 0; u < config_.updates_per_txn; ++u) {
+        const uint64_t offset = rng.below(slots) * config_.io_size;
+        co_await f->write(offset, Payload::virtual_bytes(config_.io_size));
+      }
+    } else {
+      const uint64_t offset = rng.below(slots) * config_.io_size;
+      Payload page = co_await f->read(offset, config_.io_size);
+      if (page.size() != config_.io_size) {
+        throw std::runtime_error("OLTP short read");
+      }
+      co_await f->write(offset, Payload::virtual_bytes(config_.io_size));
     }
-    co_await f->write(offset, Payload::virtual_bytes(config_.io_size));
     co_await f->fsync();  // data to stable storage after each transaction
     latencies_.add(sim::to_seconds(d.simulation().now() - t0));
     ++completed_;

@@ -16,13 +16,21 @@ struct OltpConfig {
   uint32_t transactions_per_client = 20'000;
   uint32_t io_size = 8192;
   uint64_t seed = 7;
+  /// Update-only mode: skip the read half and batch `updates_per_txn`
+  /// random page writes per transaction, forced together by one fsync.
+  /// Random small updates rarely land adjacent, so the batch exercises the
+  /// vectored write-back path.
+  bool update_only = false;
+  uint32_t updates_per_txn = 8;
 };
 
 class OltpWorkload final : public Workload {
  public:
   explicit OltpWorkload(OltpConfig config) : config_(config) {}
 
-  std::string name() const override { return "OLTP"; }
+  std::string name() const override {
+    return config_.update_only ? "OLTP-update" : "OLTP";
+  }
   sim::Task<void> setup(core::Deployment& d) override;
   sim::Task<void> client_main(core::Deployment& d, size_t client) override;
   uint64_t total_transactions() const override { return completed_; }

@@ -1,0 +1,53 @@
+#include "workload/strided.hpp"
+
+namespace dpnfs::workload {
+
+using rpc::Payload;
+using sim::Task;
+
+Task<void> StridedWorkload::setup(core::Deployment& d) {
+  barrier_ = std::make_unique<sim::Barrier>(d.simulation(), d.client_count());
+  co_await d.client(0).mkdir("/strided");
+  auto f = co_await d.client(0).open("/strided/out", true);
+  co_await f->close();
+}
+
+Task<void> StridedWorkload::client_main(core::Deployment& d, size_t client) {
+  const uint64_t n = d.client_count();
+  const sim::Duration compute =
+      config_.compute_per_checkpoint / static_cast<int64_t>(n);
+  auto f = co_await d.client(client).open("/strided/out", false);
+  for (uint32_t k = 0; k < config_.checkpoints; ++k) {
+    co_await d.simulation().delay(compute);
+    for (uint32_t r = 0; r < config_.records_per_checkpoint; ++r) {
+      const uint64_t slot =
+          (static_cast<uint64_t>(k) * config_.records_per_checkpoint + r) * n +
+          client;
+      co_await f->write(slot * config_.record_bytes,
+                        Payload::virtual_bytes(config_.record_bytes));
+    }
+    co_await f->fsync();  // checkpoint: records to stable storage
+  }
+  co_await f->close();
+  co_await barrier_->arrive_and_wait();  // MPI_Barrier before verification
+
+  if (config_.verify_read && client == 0) {
+    // Rank 0 re-reads the dense result file, 2 MB at a time; reopen so the
+    // size reflects every rank's committed records.
+    const uint64_t total = config_.file_bytes(n);
+    auto rf = co_await d.client(client).open("/strided/out", false);
+    if (rf->size() < total) {
+      throw std::runtime_error("strided result file short");
+    }
+    const uint64_t chunk = 2ull << 20;
+    for (uint64_t off = 0; off < total;) {
+      const uint64_t len = std::min(chunk, total - off);
+      Payload p = co_await rf->read(off, len);
+      if (p.size() != len) throw std::runtime_error("strided short read");
+      off += len;
+    }
+    co_await rf->close();
+  }
+}
+
+}  // namespace dpnfs::workload

@@ -1,0 +1,42 @@
+// Strided checkpoint variant of BT-IO (the list-I/O showcase).
+//
+// Each checkpoint interleaves fixed-size records round-robin across the
+// clients: client c owns file slots (k*R + r)*n_clients + c.  Within one
+// checkpoint a client's dirty extents are therefore mutually non-adjacent
+// (stride = n_clients * record_bytes), so plain extent coalescing cannot
+// merge them — only vectored WRITEs fold them into few RPCs.  Across all
+// clients the final file is dense.  Fully deterministic: no RNG anywhere.
+#pragma once
+
+#include "workload/runner.hpp"
+
+namespace dpnfs::workload {
+
+struct StridedConfig {
+  uint32_t record_bytes = 8192;
+  uint32_t records_per_checkpoint = 64;  ///< per client per checkpoint
+  uint32_t checkpoints = 4;
+  /// Single-node compute time per checkpoint (divided by client count).
+  sim::Duration compute_per_checkpoint = sim::ms(50);
+  bool verify_read = true;
+
+  uint64_t file_bytes(uint64_t n_clients) const {
+    return static_cast<uint64_t>(checkpoints) * records_per_checkpoint *
+           n_clients * record_bytes;
+  }
+};
+
+class StridedWorkload final : public Workload {
+ public:
+  explicit StridedWorkload(StridedConfig config) : config_(config) {}
+
+  std::string name() const override { return "BTIO-strided"; }
+  sim::Task<void> setup(core::Deployment& d) override;
+  sim::Task<void> client_main(core::Deployment& d, size_t client) override;
+
+ private:
+  StridedConfig config_;
+  std::unique_ptr<sim::Barrier> barrier_;
+};
+
+}  // namespace dpnfs::workload

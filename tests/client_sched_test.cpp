@@ -228,6 +228,139 @@ TEST(ClientSched, CoalescingCanBeDisabled) {
 }
 
 // ---------------------------------------------------------------------------
+// Vectored (list) I/O: strided dirty extents fold into one WRITEV
+// ---------------------------------------------------------------------------
+
+TEST(ClientSched, StridedDirtiesDispatchAsOneVectoredWrite) {
+  Rig r;
+  r.run([](Rig& r) -> Task<void> {
+    co_await r.client->mount();
+    auto f = co_await r.client->open("/f", true);
+    // 16 strided 8 KB records, 16 KB apart: mutually non-adjacent dirty
+    // extents the elevator cannot merge — only a vectored WRITE folds them.
+    for (uint64_t i = 0; i < 16; ++i) {
+      co_await r.client->write(f, i * 16_KiB, pattern(14, i * 16_KiB, 8_KiB));
+    }
+    const uint64_t rpcs_before = r.client->stats().rpcs;
+    co_await r.client->fsync(f);
+
+    const nfs::ClientStats st = r.client->stats();
+    EXPECT_EQ(st.sched_writes, 1u);
+    EXPECT_EQ(st.vectored_writes, 1u);
+    EXPECT_EQ(st.vectored_regions, 16u);
+    EXPECT_EQ(st.vectored_bytes, 128_KiB);
+    EXPECT_EQ(st.wire_write_bytes, 128_KiB);
+    EXPECT_EQ(st.sched_coalesced_extents, 0u);  // nothing was adjacent
+    EXPECT_EQ(st.rpcs - rpcs_before, 2u);  // one WRITEV + one COMMIT
+    co_await r.client->close(f);
+
+    // Byte-exact server state: every record intact, the strided gaps zeros.
+    r.client->drop_caches();
+    auto g = co_await r.client->open("/f", false);
+    Payload back = co_await r.client->read(g, 0, 248_KiB);
+    Payload want;
+    for (uint64_t i = 0; i < 16; ++i) {
+      want.append(pattern(14, i * 16_KiB, 8_KiB));
+      if (i != 15) {
+        want.append(Payload::inline_bytes(
+            std::vector<std::byte>(8_KiB, std::byte{0})));
+      }
+    }
+    EXPECT_EQ(back, want);
+    co_await r.client->close(g);
+  }(r));
+}
+
+TEST(ClientSched, ListioCanBeDisabled) {
+  ClientConfig cfg;
+  cfg.listio_enabled = false;
+  Rig r(cfg);
+  r.run([](Rig& r) -> Task<void> {
+    co_await r.client->mount();
+    auto f = co_await r.client->open("/f", true);
+    for (uint64_t i = 0; i < 16; ++i) {
+      co_await r.client->write(f, i * 16_KiB, pattern(15, i * 16_KiB, 8_KiB));
+    }
+    const uint64_t rpcs_before = r.client->stats().rpcs;
+    co_await r.client->fsync(f);
+
+    // Same strided pattern as above, but every record is its own WRITE.
+    const nfs::ClientStats st = r.client->stats();
+    EXPECT_EQ(st.sched_writes, 16u);
+    EXPECT_EQ(st.vectored_writes, 0u);
+    EXPECT_EQ(st.wire_write_bytes, 128_KiB);
+    EXPECT_EQ(st.rpcs - rpcs_before, 17u);  // 16 WRITEs + one COMMIT
+    co_await r.client->close(f);
+  }(r));
+}
+
+TEST(ClientSched, ReplayAfterRestartFoldsRegionListIntoOneWritev) {
+  // 16 strided unstable WRITEs land on a DS which then crash-restarts
+  // before COMMIT: the client must replay the whole region list — and the
+  // replay flush folds it into one vectored WRITE.
+  core::ClusterConfig cfg;
+  cfg.architecture = core::Architecture::kDirectPnfs;
+  cfg.storage_nodes = 2;
+  cfg.clients = 2;
+  cfg.nfs_client.wb_commit_backlog = 0;  // fsync is the only COMMIT source
+  cfg.nfs_client.dirty_limit_bytes = 0;  // every write flushes immediately
+  // storage1's DS daemon restarts cleanly between the WRITEs and the fsync.
+  cfg.faults.crash_service(1, rpc::kNfsPort, sim::ms(500), sim::ms(520));
+
+  core::Deployment d(cfg);
+  bool data_ok = false;
+  d.simulation().spawn([](core::Deployment& d, bool& data_ok) -> Task<void> {
+    co_await d.mount_all();
+    auto& c = native(d, 0);
+    auto f = co_await c.open("/f", true);
+    // 16 records in storage1's stripe [2 MiB, 4 MiB), 16 KiB apart; with a
+    // zero dirty limit each goes out as its own single-range WRITE.
+    for (uint64_t i = 0; i < 16; ++i) {
+      const uint64_t off = 2_MiB + i * 16_KiB;
+      co_await c.write(f, off, pattern(16, off, 8_KiB));
+    }
+    EXPECT_EQ(c.stats().sched_writes, 16u);
+    EXPECT_EQ(c.stats().vectored_writes, 0u);
+    co_await d.simulation().delay(sim::ms(600) - d.simulation().now());
+
+    // fsync's COMMIT returns the new incarnation's verifier: the client
+    // re-dirties all 16 retained extents, and the replay flush dispatches
+    // them as one 16-region WRITEV under one fresh verifier.
+    co_await c.fsync(f);
+    const nfs::ClientStats st = c.stats();
+    EXPECT_EQ(st.verifier_mismatches, 1u);
+    EXPECT_EQ(st.replayed_extents, 16u);
+    EXPECT_EQ(st.replayed_bytes, 128_KiB);
+    EXPECT_EQ(st.vectored_writes, 1u);
+    EXPECT_EQ(st.vectored_regions, 16u);
+    EXPECT_EQ(st.mds_fallbacks, 0u);  // replay, not proxy degradation
+
+    // A second fsync is a no-op: the replayed data was committed under the
+    // new verifier.
+    const uint64_t writes_after_replay = c.stats().sched_writes;
+    co_await c.fsync(f);
+    EXPECT_EQ(c.stats().sched_writes, writes_after_replay);
+    co_await c.close(f);
+
+    auto& rdr = native(d, 1);
+    auto g = co_await rdr.open("/f", false);
+    Payload want;
+    for (uint64_t i = 0; i < 16; ++i) {
+      want.append(pattern(16, 2_MiB + i * 16_KiB, 8_KiB));
+      if (i != 15) {
+        want.append(Payload::inline_bytes(
+            std::vector<std::byte>(8_KiB, std::byte{0})));
+      }
+    }
+    Payload back = co_await rdr.read(g, 2_MiB, 248_KiB);
+    data_ok = back == want;
+    co_await rdr.close(g);
+  }(d, data_ok));
+  d.simulation().run();
+  EXPECT_TRUE(data_ok);
+}
+
+// ---------------------------------------------------------------------------
 // COMMIT batching: one COMMIT per DS per fsync, however many extents flushed
 // ---------------------------------------------------------------------------
 
@@ -257,12 +390,16 @@ TEST(ClientSched, OneCommitPerDsPerFsync) {
     }
     const uint64_t rpcs_before = c.stats().rpcs;
     const uint64_t writes_before = c.stats().sched_writes;
+    const uint64_t vec_before = c.stats().vectored_writes;
     co_await c.fsync(f);
 
-    // 12 WRITEs + 6 COMMITs (one per DS, not one per extent) +
+    // The two non-adjacent extents per DS fold into one vectored WRITE
+    // each: 6 WRITEVs + 6 COMMITs (one per DS, not one per extent) +
     // 1 LAYOUTCOMMIT.
-    EXPECT_EQ(c.stats().sched_writes - writes_before, 12u);
-    EXPECT_EQ(c.stats().rpcs - rpcs_before, 12u + 6u + 1u);
+    EXPECT_EQ(c.stats().sched_writes - writes_before, 6u);
+    EXPECT_EQ(c.stats().vectored_writes - vec_before, 6u);
+    EXPECT_EQ(c.stats().vectored_regions, 12u);
+    EXPECT_EQ(c.stats().rpcs - rpcs_before, 6u + 6u + 1u);
     co_await c.close(f);
   }(d));
   d.simulation().run();

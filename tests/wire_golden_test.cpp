@@ -76,6 +76,120 @@ TEST(WireGolden, SequencePutFhReadCompound) {
             "00002000");        // count
 }
 
+TEST(WireGolden, SequencePutFhReadvCompound) {
+  // Two or more regions switch the op to READV (70, above the RFC range);
+  // the 1-element case stays byte-identical to the classic READ pin above.
+  nfs::ReadArgs readv{nfs::Stateid{7}, {{0x1000, 0x800}, {0x5000, 0x800}}};
+  EXPECT_EQ(readv.opcode(), nfs::OpCode::kReadv);
+  nfs::CompoundBuilder b;
+  b.add(nfs::OpCode::kSequence, nfs::SequenceArgs{nfs::SessionId{1}, 0});
+  b.add(nfs::OpCode::kPutFh, nfs::PutFhArgs{nfs::FileHandle{0xBEEF}});
+  b.add(readv.opcode(), readv);
+  rpc::XdrEncoder enc = std::move(b).finish();
+  EXPECT_EQ(hex(std::move(enc).take()),
+            "00000003"          // 3 ops
+            "00000035"          // SEQUENCE (53)
+            "0000000000000001"  // session id 1
+            "00000000"          // slot 0
+            "00000016"          // PUTFH (22)
+            "000000000000beef"  // filehandle
+            "00000046"          // READV (70)
+            "0000000000000007"  // stateid 7
+            "00000002"          // 2 regions
+            "0000000000001000"  // region 0 offset
+            "00000800"          // region 0 count
+            "0000000000005000"  // region 1 offset
+            "00000800");        // region 1 count
+}
+
+TEST(WireGolden, WritevArgsRoundTrip) {
+  std::vector<std::byte> bytes(12);
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    bytes[i] = static_cast<std::byte>(i);
+  }
+  nfs::WriteArgs w{nfs::Stateid{7},
+                   {{0x1000, 8}, {0x3000, 4}},
+                   nfs::StableHow::kUnstable,
+                   rpc::Payload::inline_bytes(std::move(bytes))};
+  EXPECT_EQ(w.opcode(), nfs::OpCode::kWritev);
+  rpc::XdrEncoder enc;
+  w.encode(enc);
+  const std::vector<std::byte> wire = std::move(enc).take();
+  EXPECT_EQ(hex(wire),
+            "0000000000000007"  // stateid 7
+            "00000000"          // stable = UNSTABLE4 (covers every region)
+            "00000002"          // 2 regions
+            "0000000000001000"  // region 0 offset
+            "00000008"          // region 0 count
+            "0000000000003000"  // region 1 offset
+            "00000004"          // region 1 count
+            "00000001"          // payload: inline discriminant
+            "0000000c"          // 12 bytes — regions' data concatenated
+            "000102030405060708090a0b");
+  rpc::XdrDecoder dec(wire);
+  const nfs::WriteArgs back = nfs::WriteArgs::decode_vectored(dec);
+  EXPECT_TRUE(dec.done());
+  EXPECT_EQ(back.regions.size(), 2u);
+  EXPECT_EQ(back.regions[0].offset, 0x1000u);
+  EXPECT_EQ(back.regions[0].count, 8u);
+  EXPECT_EQ(back.regions[1].offset, 0x3000u);
+  EXPECT_EQ(back.regions[1].count, 4u);
+  EXPECT_EQ(back.total_count(), back.data.size());
+}
+
+TEST(WireGolden, SingleRangeWriteArgsKeepLegacyLayout) {
+  // The 1-element vectored WriteArgs must emit the pre-LISTIO layout
+  // byte-for-byte (offset before stable_how, no region list): old and new
+  // nodes interoperate on single-range WRITEs.
+  nfs::WriteArgs w{nfs::Stateid{7}, 0x1000, nfs::StableHow::kFileSync,
+                   rpc::Payload::from_string("hi")};
+  EXPECT_EQ(w.opcode(), nfs::OpCode::kWrite);
+  rpc::XdrEncoder enc;
+  w.encode(enc);
+  const std::vector<std::byte> wire = std::move(enc).take();
+  EXPECT_EQ(hex(wire),
+            "0000000000000007"  // stateid 7
+            "0000000000001000"  // offset
+            "00000002"          // stable = FILE_SYNC4
+            "00000001"          // payload: inline discriminant
+            "00000002"          // length 2
+            "68690000");        // "hi" + padding
+  rpc::XdrDecoder dec(wire);
+  const nfs::WriteArgs back = nfs::WriteArgs::decode(dec);
+  EXPECT_TRUE(dec.done());
+  EXPECT_EQ(back.regions.size(), 1u);
+  EXPECT_EQ(back.regions[0].offset, 0x1000u);
+  EXPECT_EQ(back.regions[0].count, 2u);
+}
+
+TEST(WireGolden, ReadvResEncoding) {
+  std::vector<std::byte> bytes(8);
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    bytes[i] = static_cast<std::byte>(i);
+  }
+  nfs::ReadvRes res;
+  res.eof = true;
+  res.lengths = {5, 3};
+  res.data = rpc::Payload::inline_bytes(std::move(bytes));
+  rpc::XdrEncoder enc;
+  res.encode(enc);
+  const std::vector<std::byte> wire = std::move(enc).take();
+  EXPECT_EQ(hex(wire),
+            "00000001"    // eof (any region hit it)
+            "00000002"    // 2 per-region lengths
+            "00000005"    // region 0 delivered 5 bytes
+            "00000003"    // region 1 delivered 3 bytes
+            "00000001"    // payload: inline discriminant
+            "00000008"    // one scatter-gather body, 8 bytes
+            "0001020304050607");
+  rpc::XdrDecoder dec(wire);
+  const nfs::ReadvRes back = nfs::ReadvRes::decode(dec);
+  EXPECT_TRUE(dec.done());
+  EXPECT_TRUE(back.eof);
+  EXPECT_EQ(back.lengths, (std::vector<uint32_t>{5, 3}));
+  EXPECT_EQ(back.data.size(), 8u);
+}
+
 TEST(WireGolden, FileLayout) {
   nfs::FileLayout l;
   l.aggregation = nfs::AggregationType::kRoundRobin;

@@ -41,7 +41,8 @@ REPLAY_COUNTERS = ("verifier_mismatches", "replayed_extents",
 # queue_depth/queue_depth_peak/window_inflight triple per data server the
 # client has dispatched to, suffixed "_mds" or "_ds<N>".
 SCHED_COUNTERS = ("dispatched_writes", "dispatched_bytes",
-                  "coalesced_extents", "coalesced_bytes")
+                  "coalesced_extents", "coalesced_bytes",
+                  "vectored_writes", "vectored_regions", "vectored_bytes")
 SCHED_GAUGE_PREFIXES = ("queue_depth_", "queue_depth_peak_",
                         "window_inflight_")
 
