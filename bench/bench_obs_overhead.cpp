@@ -25,6 +25,8 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "util/obs.hpp"
+#include "util/tenant.hpp"
 #include "workload/oltp.hpp"
 
 using namespace dpnfs;
@@ -37,6 +39,7 @@ struct Mode {
   double sample_rate;
   size_t span_capacity;   // 0 disables retention + staging entirely
   sim::Duration slo;      // tail-promotion threshold (0 = off)
+  uint32_t tenants = 0;   // nonzero: stamp tenant ids (adds 4 wire bytes/RPC)
 };
 
 struct ModeResult {
@@ -49,6 +52,9 @@ struct ModeResult {
   uint64_t spans_recorded = 0;
   uint64_t slo_requests = 0;
   std::string metrics_json;
+  // Tenant-mode contract: per-tenant rows sum exactly to the ledger totals,
+  // and the totals match the aggregate rpc.* counters.
+  bool tenant_sums_exact = true;
 };
 
 // One simulation run under mode `m`; merges timing + aggregates into `out`.
@@ -59,6 +65,7 @@ void run_once(const Mode& m, uint32_t clients, uint32_t txns_per_client,
   cfg.trace_sample_rate = m.sample_rate;
   cfg.trace_span_capacity = m.span_capacity;
   cfg.trace_slo_threshold = m.slo;
+  cfg.tenants = m.tenants;
   // OLTP: small RMW + fsync transactions are the span-heaviest workload
   // in the suite — the point is to price the tracing pipeline itself.
   workload::OltpConfig oltp;
@@ -86,6 +93,34 @@ void run_once(const Mode& m, uint32_t clients, uint32_t txns_per_client,
     out.slo_requests += slo.requests;
   }
   out.metrics_json = r.metrics_json;
+
+  if (m.tenants != 0) {
+    const obs::TenantLedger& ledger = d.tenant_ledger();
+    obs::TenantStats sum;
+    for (const auto& e : ledger.topk().sorted()) sum.merge(e.value);
+    const obs::TenantStats& total = ledger.total();
+    uint64_t agg_requests = 0, agg_in = 0, agg_out = 0;
+    for (const std::string& node : d.metrics().node_names()) {
+      if (const obs::Counter* c =
+              d.metrics().find_counter(node, "rpc", "requests")) {
+        agg_requests += c->value();
+      }
+      if (const obs::Counter* c =
+              d.metrics().find_counter(node, "rpc", "wire_bytes_in")) {
+        agg_in += c->value();
+      }
+      if (const obs::Counter* c =
+              d.metrics().find_counter(node, "rpc", "wire_bytes_out")) {
+        agg_out += c->value();
+      }
+    }
+    out.tenant_sums_exact =
+        ledger.tenants_evicted() == 0 && sum.rpcs == total.rpcs &&
+        sum.wire_bytes_in == total.wire_bytes_in &&
+        sum.wire_bytes_out == total.wire_bytes_out &&
+        sum.disk_ns == total.disk_ns && total.rpcs == agg_requests &&
+        total.wire_bytes_in == agg_in && total.wire_bytes_out == agg_out;
+  }
 }
 
 }  // namespace
@@ -101,9 +136,17 @@ int main(int argc, char** argv) {
       {"off", 0.0, 0, 0},
       {"sampled", 0.01, 4096, sim::ms(50)},
       {"always", 1.0, 4096, sim::ms(50)},
+      // Accounting-on rung: sampled tracing plus per-tenant attribution.
+      // Excluded from the exact-aggregate contract — the 4-byte tenant word
+      // on every call legitimately shifts wire timing — but it carries its
+      // own exactness contract (tenant sums == ledger totals == aggregate
+      // rpc counters) and its own gated goodput/rate-ratio series.
+      {"tenants", 0.01, 4096, sim::ms(50), 4},
   };
 
-  std::printf("== Observability overhead: off vs sampled(1%%) vs always ==\n");
+  std::printf(
+      "== Observability overhead: off vs sampled(1%%) vs always vs "
+      "tenants ==\n");
   BenchRecorder rec("obs_overhead", arg_value(argc, argv, "--out-dir", ""));
 
   // Interleave repetitions round-robin (after one discarded warmup pass)
@@ -130,9 +173,11 @@ int main(int argc, char** argv) {
             r.metrics_json);
   }
 
-  // Contract 1: sampling must not perturb exact aggregates.
+  // Contract 1: sampling must not perturb exact aggregates.  The tenants
+  // rung changes the wire itself, so it sits outside this contract.
   const ModeResult& off = results[0];
   for (size_t i = 1; i < results.size(); ++i) {
+    if (modes[i].tenants != 0) continue;
     const ModeResult& r = results[i];
     if (r.traces_started != off.traces_started || r.rpc_hops != off.rpc_hops ||
         r.spans_recorded != off.spans_recorded ||
@@ -149,6 +194,20 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("  exact aggregates identical across all modes\n");
+
+  // Contract 1b: with accounting on, attribution must be exact — per-tenant
+  // rows sum to the ledger totals and the totals match the aggregate rpc
+  // counters (same call site, so any drift is a double- or un-charge).
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (modes[i].tenants != 0 && !results[i].tenant_sums_exact) {
+      std::fprintf(stderr,
+                   "FAIL: mode '%s' per-tenant sums diverge from ledger "
+                   "totals or aggregate rpc counters\n",
+                   modes[i].name);
+      return 1;
+    }
+  }
+  std::printf("  per-tenant sums match ledger totals and rpc aggregates\n");
 
   // Contract 2: wall-clock throughput relative to tracing-off (percent),
   // from each mode's fastest repetition.

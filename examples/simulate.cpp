@@ -5,12 +5,14 @@
 //
 // Architectures: direct, pvfs, 2tier, 3tier, nfs
 // Workloads:     ior-write, ior-read, ior-write-single, ior-read-single,
-//                atlas, btio, oltp, postmark
+//                atlas, btio, oltp, postmark, tenant-mix
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "core/adapters.hpp"
 #include "core/deployment.hpp"
@@ -21,6 +23,7 @@
 #include "workload/oltp.hpp"
 #include "workload/postmark.hpp"
 #include "workload/strided.hpp"
+#include "workload/tenant_mix.hpp"
 #include "workload/runner.hpp"
 
 using namespace dpnfs;
@@ -45,6 +48,13 @@ bool flag(int argc, char** argv, const char* key) {
   return false;
 }
 
+bool write_text_file(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const size_t n = std::fwrite(body.data(), 1, body.size(), f);
+  return std::fclose(f) == 0 && n == body.size();
+}
+
 core::Architecture parse_arch(const std::string& s) {
   if (s == "direct") return core::Architecture::kDirectPnfs;
   if (s == "pvfs") return core::Architecture::kNativePvfs;
@@ -64,7 +74,7 @@ int main(int argc, char** argv) {
         "usage: simulate [--arch=direct|pvfs|2tier|3tier|nfs]\n"
         "                [--workload=ior-write|ior-read|ior-write-single|\n"
         "                 ior-read-single|atlas|btio|strided|oltp|\n"
-        "                 oltp-update|postmark]\n"
+        "                 oltp-update|postmark|tenant-mix]\n"
         "                [--clients=N] [--storage-nodes=N]\n"
         "                [--bytes=N] [--block=N] [--stripe=N] [--txns=N]\n"
         "                [--latency-us=N] [--nic-mbps=N] [--verbose]\n"
@@ -76,6 +86,8 @@ int main(int argc, char** argv) {
         "                [--trace-out=FILE] [--trace-spans=N]\n"
         "                [--trace-sample-rate=R] [--slo-ms=N]\n"
         "                [--breakdown] [--sample-ms=N]\n"
+        "                [--tenants=N] [--metrics-out=FILE]\n"
+        "                [--flight-out=FILE]\n"
         "\n"
         "--wb-window-per-ds=N caps concurrent write-back WRITEs per data\n"
         "server (default 8); --no-coalesce disables merging adjacent dirty\n"
@@ -115,7 +127,23 @@ int main(int argc, char** argv) {
         "queue / request wire / server queue / service CPU / disk / reply\n"
         "wire) followed by its JSON document.\n"
         "--sample-ms=N sets the utilization sampling interval (default\n"
-        "100 ms of simulated time; 0 disables).\n");
+        "100 ms of simulated time; 0 disables).\n"
+        "\n"
+        "--tenants=N assigns clients tenant ids 1..N round-robin; every\n"
+        "RPC then carries its tenant (flag-gated, 4 bytes) and the servers\n"
+        "account RPCs, wire bytes, disk time and latency per tenant into\n"
+        "the 'tenants' section of the metrics document (0 = off, the\n"
+        "default; the wire stays byte-identical to the legacy layout).\n"
+        "--workload=tenant-mix splits clients between a sequential-ingest\n"
+        "tenant (IOR write) and an OLTP tenant (defaults --tenants=2 so\n"
+        "tenant1=ingest, tenant2=OLTP; see EXPERIMENTS.md).\n"
+        "--metrics-out=FILE writes the full metrics JSON document\n"
+        "(Deployment::metrics_json — nodes, trace, slo, tenants, health,\n"
+        "timeseries) to FILE, like --trace-out does for the span timeline.\n"
+        "--flight-out=FILE dumps the flight recorder (bounded ring of\n"
+        "restart/recovery/breaker/replay events plus WARN+ log lines) as\n"
+        "JSON to FILE; with the same seed and schedule two runs produce\n"
+        "bit-identical dumps.\n");
     return 0;
   }
 
@@ -152,6 +180,13 @@ int main(int argc, char** argv) {
       sim::ms(std::atoll(arg_value(argc, argv, "--slo-ms", "0")));
   cfg.sample_interval =
       sim::ms(std::atoll(arg_value(argc, argv, "--sample-ms", "100")));
+  const std::string metrics_out = arg_value(argc, argv, "--metrics-out", "");
+  const std::string flight_out = arg_value(argc, argv, "--flight-out", "");
+  const std::string wl = arg_value(argc, argv, "--workload", "ior-write");
+  // tenant-mix defaults to one tenant per child workload.
+  cfg.tenants = static_cast<uint32_t>(std::max(
+      0, std::atoi(arg_value(argc, argv, "--tenants",
+                             wl == "tenant-mix" ? "2" : "0"))));
 
   const uint64_t bytes =
       std::strtoull(arg_value(argc, argv, "--bytes", "100000000"), nullptr, 10);
@@ -267,7 +302,6 @@ int main(int argc, char** argv) {
   }
 
   core::Deployment d(cfg);
-  const std::string wl = arg_value(argc, argv, "--workload", "ior-write");
 
   workload::RunResult result;
   if (wl.rfind("ior-", 0) == 0) {
@@ -311,6 +345,22 @@ int main(int argc, char** argv) {
     workload::PostmarkConfig pcfg;
     pcfg.transactions = txns;
     workload::PostmarkWorkload w(pcfg);
+    result = run_workload(d, w);
+  } else if (wl == "tenant-mix") {
+    // Child order matches the round-robin tenant assignment: client i gets
+    // tenant 1 + (i % tenants) and runs child i % 2, so tenant1 = ingest
+    // (sequential IOR write) and tenant2 = OLTP when --tenants=2.
+    workload::IorConfig icfg;
+    icfg.write = true;
+    icfg.bytes_per_client = bytes;
+    icfg.block_size = block;
+    workload::OltpConfig ocfg;
+    ocfg.file_bytes = bytes;
+    ocfg.transactions_per_client = txns;
+    std::vector<std::unique_ptr<workload::Workload>> children;
+    children.push_back(std::make_unique<workload::IorWorkload>(icfg));
+    children.push_back(std::make_unique<workload::OltpWorkload>(ocfg));
+    workload::TenantMixWorkload w(std::move(children));
     result = run_workload(d, w);
   } else {
     std::fprintf(stderr, "unknown --workload '%s'\n", wl.c_str());
@@ -378,6 +428,30 @@ int main(int argc, char** argv) {
     std::printf("trace timeline    %s (%zu spans%s; open in ui.perfetto.dev)\n",
                 trace_out.c_str(), d.tracer().retained_spans().size(),
                 d.tracer().spans_dropped() > 0 ? ", some dropped" : "");
+  }
+  if (cfg.tenants > 0) {
+    std::printf("tenants           %u assigned, %llu seen, %llu evicted\n",
+                cfg.tenants,
+                static_cast<unsigned long long>(d.tenant_ledger().tenants_seen()),
+                static_cast<unsigned long long>(
+                    d.tenant_ledger().tenants_evicted()));
+  }
+  if (!metrics_out.empty()) {
+    if (!write_text_file(metrics_out, d.metrics_json())) {
+      std::fprintf(stderr, "failed to write metrics to '%s'\n",
+                   metrics_out.c_str());
+      return 1;
+    }
+    std::printf("metrics document  %s\n", metrics_out.c_str());
+  }
+  if (!flight_out.empty()) {
+    if (!d.write_flight(flight_out)) {
+      std::fprintf(stderr, "failed to write flight dump to '%s'\n",
+                   flight_out.c_str());
+      return 1;
+    }
+    std::printf("flight recorder   %s (%llu events)\n", flight_out.c_str(),
+                static_cast<unsigned long long>(d.flight().events_recorded()));
   }
   return 0;
 }

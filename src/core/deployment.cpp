@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "util/bytes.hpp"
+#include "util/format.hpp"
 #include "util/rng.hpp"
 
 namespace dpnfs::core {
@@ -24,7 +25,11 @@ const char* architecture_name(Architecture a) {
 }
 
 Deployment::Deployment(ClusterConfig config)
-    : config_(std::move(config)), net_(sim_, config_.network), fabric_(net_) {
+    : config_(std::move(config)),
+      net_(sim_, config_.network),
+      tenants_ledger_(config_.tenant_topk),
+      flight_(config_.flight_capacity),
+      fabric_(net_) {
   // Before any server/client is constructed: they resolve their metric
   // handles from the fabric at construction time.
   tracer_.set_span_capacity(config_.trace_span_capacity);
@@ -34,6 +39,19 @@ Deployment::Deployment(ClusterConfig config)
   tracer_.set_slo_threshold(config_.trace_slo_threshold);
   tracer_.set_staging_capacity(config_.trace_span_capacity);
   fabric_.set_observability(&metrics_, &tracer_);
+  tenants_ledger_.set_slo_threshold(config_.trace_slo_threshold);
+  fabric_.set_accounting(&tenants_ledger_, &flight_);
+  // WARN+ log lines ride the flight ring, so a dump carries the log tail
+  // without an always-on log file.  The previous sink is restored at
+  // destruction (deployments nest in tests).
+  prev_log_sink_ = util::set_log_sink(
+      [this](util::LogLevel level, std::string_view component,
+             int64_t sim_time_ns, std::string_view message) {
+        flight_.record(sim_time_ns, "-", component,
+                       level >= util::LogLevel::kError ? "log.error"
+                                                       : "log.warn",
+                       std::string(message));
+      });
   // Likewise the fault injector: nodes pick up their injector pointer as
   // they are added to the network.
   if (!config_.faults.empty()) {
@@ -59,6 +77,7 @@ Deployment::Deployment(ClusterConfig config)
 }
 
 Deployment::~Deployment() {
+  util::set_log_sink(std::move(prev_log_sink_));
   for (auto& server : nfs_servers_) server->stop();
   for (auto& server : pvfs_storage_) server->stop();
   if (pvfs_meta_) pvfs_meta_->stop();
@@ -109,11 +128,12 @@ std::vector<rpc::RpcAddress> Deployment::storage_addresses() const {
 }
 
 std::unique_ptr<pvfs::PvfsClient> Deployment::make_pvfs_client(
-    sim::Node& node, const std::string& who, bool proxy) {
+    sim::Node& node, const std::string& who, bool proxy, uint32_t tenant) {
   // Server-side proxies (NFS servers re-exporting the PFS) pay the extra
   // same-box copy cost.
   pvfs::PvfsClientConfig cfg = config_.pvfs_client;
   if (proxy) cfg.cpu_ns_per_byte += config_.proxy_extra_cpu_ns_per_byte;
+  cfg.tenant_id = tenant;
   return std::make_unique<pvfs::PvfsClient>(fabric_, node,
                                             pvfs_meta_->address(),
                                             storage_addresses(), who, cfg);
@@ -124,9 +144,12 @@ void Deployment::add_nfs_clients(rpc::RpcAddress mds, bool pnfs_enabled) {
   ccfg.pnfs_enabled = pnfs_enabled;
   for (uint32_t i = 0; i < config_.clients; ++i) {
     auto& node = add_client_node("client" + std::to_string(i));
+    ccfg.tenant_id =
+        config_.tenants != 0 ? 1 + (i % config_.tenants) : 0;
     auto nfs_client = std::make_unique<nfs::NfsClient>(
         fabric_, node, mds, "client" + std::to_string(i) + "@SIM", ccfg,
         aggregations_);
+    health_clients_.emplace_back(node.name(), nfs_client.get());
     fs_clients_.push_back(
         std::make_unique<NfsFileSystemClient>(std::move(nfs_client)));
   }
@@ -152,6 +175,7 @@ void Deployment::build_direct_pnfs() {
     auto local =
         std::make_unique<nfs::LocalBackend>(*stores_[i], /*flat=*/true);
     local->attach_tracer(&tracer_, storage_nodes_[i]->name());
+    local->attach_tenants(&tenants_ledger_);
     nfs::Backend* exported = local.get();
     std::unique_ptr<ConduitBackend> conduit;
     if (config_.direct_ds_conduit) {
@@ -201,8 +225,11 @@ void Deployment::build_native_pvfs() {
   build_backend_cluster(config_.storage_nodes, 1.0);
   for (uint32_t i = 0; i < config_.clients; ++i) {
     auto& node = add_client_node("client" + std::to_string(i));
+    const uint32_t tenant =
+        config_.tenants != 0 ? 1 + (i % config_.tenants) : 0;
     fs_clients_.push_back(std::make_unique<PvfsFileSystemClient>(
-        make_pvfs_client(node, "client" + std::to_string(i) + "@SIM", false)));
+        make_pvfs_client(node, "client" + std::to_string(i) + "@SIM", false,
+                         tenant)));
   }
 }
 
@@ -475,24 +502,146 @@ Task<void> Deployment::sampler_loop() {
                    static_cast<double>(stores_[i]->dirty_bytes()));
     }
     // RPC queue depth per node, summed over the daemons it hosts.
-    std::map<std::string, double> depth;
-    for (const auto& s : nfs_servers_) {
-      depth[net_.node(s->address().node_id).name()] +=
-          static_cast<double>(s->rpc_queue_depth());
-    }
-    for (const auto& s : pvfs_storage_) {
-      depth[net_.node(s->address().node_id).name()] +=
-          static_cast<double>(s->rpc_queue_depth());
-    }
-    if (pvfs_meta_) {
-      depth[net_.node(pvfs_meta_->address().node_id).name()] +=
-          static_cast<double>(pvfs_meta_->rpc_queue_depth());
-    }
-    for (const auto& [node, d] : depth) {
+    for (const auto& [node, d] : rpc_queue_depths()) {
       samples_.add(node, "rpc_queue_depth", t, d);
+    }
+    // Fold the fault/queue/restart/breaker signals into per-node health
+    // states and track them as a numeric series (0 ok, 1 degraded,
+    // 2 critical).
+    evaluate_health();
+    for (const auto& [node, h] : health_) {
+      samples_.add(node, "health", t, static_cast<double>(h.level));
     }
   }
   sampling_ = false;
+}
+
+std::map<std::string, double> Deployment::rpc_queue_depths() {
+  std::map<std::string, double> depth;
+  for (const auto& s : nfs_servers_) {
+    depth[net_.node(s->address().node_id).name()] +=
+        static_cast<double>(s->rpc_queue_depth());
+  }
+  for (const auto& s : pvfs_storage_) {
+    depth[net_.node(s->address().node_id).name()] +=
+        static_cast<double>(s->rpc_queue_depth());
+  }
+  if (pvfs_meta_) {
+    depth[net_.node(pvfs_meta_->address().node_id).name()] +=
+        static_cast<double>(pvfs_meta_->rpc_queue_depth());
+  }
+  return depth;
+}
+
+void Deployment::evaluate_health() {
+  const sim::Time now = sim_.now();
+  const std::map<std::string, double> depth = rpc_queue_depths();
+
+  // Restarts detected so far, per node (NFS servers + storage daemons).
+  std::map<std::string, uint64_t> restarts;
+  for (const auto& s : nfs_servers_) {
+    restarts[net_.node(s->address().node_id).name()] += s->restarts_observed();
+  }
+  for (const auto& s : pvfs_storage_) {
+    restarts[net_.node(s->address().node_id).name()] += s->restarts_observed();
+  }
+
+  // Circuit breakers tripped so far, per client node.
+  std::map<std::string, uint64_t> breakers;
+  for (const auto& [name, client] : health_clients_) {
+    breakers[name] += client->stats().breaker_trips;
+  }
+
+  // A daemon the fault injector holds down right now.
+  std::map<std::string, bool> down;
+  if (fault_injector_ != nullptr) {
+    for (const auto& s : nfs_servers_) {
+      const rpc::RpcAddress a = s->address();
+      if (fault_injector_->service_down(a.node_id, a.port, now)) {
+        down[net_.node(a.node_id).name()] = true;
+      }
+    }
+    for (const auto& s : pvfs_storage_) {
+      const rpc::RpcAddress a = s->address();
+      if (fault_injector_->service_down(a.node_id, a.port, now)) {
+        down[net_.node(a.node_id).name()] = true;
+      }
+    }
+    if (pvfs_meta_) {
+      const rpc::RpcAddress a = pvfs_meta_->address();
+      if (fault_injector_->service_down(a.node_id, a.port, now)) {
+        down[net_.node(a.node_id).name()] = true;
+      }
+    }
+  }
+
+  health_.clear();
+  for (uint32_t i = 0; i < net_.node_count(); ++i) {
+    const sim::Node& n = net_.node(i);
+    const std::string& name = n.name();
+    NodeHealth h;
+    if (auto it = breakers.find(name); it != breakers.end()) {
+      const uint64_t delta = it->second - health_prev_breakers_[name];
+      if (delta > 0) {
+        h.level = 1;
+        h.reason = util::sformat(
+            "breaker trips +%llu", static_cast<unsigned long long>(delta));
+      }
+    }
+    if (auto it = depth.find(name);
+        it != depth.end() &&
+        it->second >= static_cast<double>(config_.health_queue_threshold)) {
+      h.level = std::max(h.level, 1);
+      h.reason = util::sformat("rpc queue depth %.0f", it->second);
+    }
+    if (auto it = restarts.find(name); it != restarts.end()) {
+      const uint64_t delta = it->second - health_prev_restarts_[name];
+      if (delta > 0) {
+        h.level = 2;
+        h.reason = util::sformat(
+            "service restarts +%llu", static_cast<unsigned long long>(delta));
+      }
+    }
+    if (auto it = down.find(name); it != down.end() && it->second) {
+      h.level = 2;
+      h.reason = "service down (fault injection)";
+    }
+    if (fault_injector_ != nullptr &&
+        fault_injector_->node_down(n.id(), now)) {
+      h.level = 2;
+      h.reason = "node down (fault injection)";
+    }
+    health_[name] = std::move(h);
+  }
+  for (const auto& [name, v] : restarts) health_prev_restarts_[name] = v;
+  for (const auto& [name, v] : breakers) health_prev_breakers_[name] = v;
+}
+
+std::string Deployment::health_json() {
+  evaluate_health();
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, h] : health_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    out += obs::json_escape(name);
+    out += "\":{\"state\":\"";
+    out += h.level == 0 ? "ok" : (h.level == 1 ? "degraded" : "critical");
+    out += "\",\"reason\":\"";
+    out += obs::json_escape(h.reason);
+    out += "\"}";
+  }
+  out += "}";
+  return out;
+}
+
+bool Deployment::write_flight(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = flight_.to_json();
+  const size_t n = std::fwrite(json.data(), 1, json.size(), f);
+  return std::fclose(f) == 0 && n == json.size();
 }
 
 std::string Deployment::metrics_json() {
@@ -507,6 +656,10 @@ std::string Deployment::metrics_json() {
   out += tracer_.to_json();
   out += ",\"slo\":";
   out += tracer_.slo_json();
+  out += ",\"tenants\":";
+  out += tenants_ledger_.to_json();
+  out += ",\"health\":";
+  out += health_json();
   if (!samples_.empty()) {
     out += ",\"timeseries\":{\"interval_ns\":";
     out += std::to_string(config_.sample_interval);

@@ -16,6 +16,7 @@
 //   kPlainNfs    — one NFSv4 server exporting the PVFS client; no pNFS.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -32,7 +33,10 @@
 #include "pvfs/meta_server.hpp"
 #include "pvfs/storage_server.hpp"
 #include "sim/fault.hpp"
+#include "util/flight.hpp"
+#include "util/log.hpp"
 #include "util/obs_analysis.hpp"
+#include "util/tenant.hpp"
 
 namespace dpnfs::core {
 
@@ -126,6 +130,21 @@ struct ClusterConfig {
   /// the slow-trace trigger.
   sim::Duration trace_slo_threshold = 0;
 
+  /// Tenant mix: NFS/PVFS clients are assigned tenant ids 1..tenants
+  /// round-robin by client index.  0 disables tenant stamping entirely —
+  /// the wire stays byte-identical to the pre-tenant layout.
+  uint32_t tenants = 0;
+  /// Capacity of the Space-Saving heavy-hitter tracker behind per-tenant
+  /// accounting: memory stays O(tenant_topk) at thousands of tenants, and
+  /// counts are exact while distinct tenants fit.
+  uint32_t tenant_topk = 64;
+  /// Bounded structured-event ring (recovery ladder, restarts, WARN+ log
+  /// lines) dumped as JSON on faults or on demand.
+  size_t flight_capacity = 4096;
+  /// Per-node RPC queue depth (summed over the daemons a node hosts) at or
+  /// above which the health evaluator reports the node "degraded".
+  size_t health_queue_threshold = 64;
+
   uint64_t stripe_unit = 2ull << 20;
 
   /// List I/O: clients fold multiple regions for the same data server or
@@ -186,6 +205,28 @@ class Deployment {
   obs::Tracer& tracer() noexcept { return tracer_; }
   const obs::Tracer& tracer() const noexcept { return tracer_; }
 
+  /// Deployment-global per-tenant resource ledger (always on; traffic with
+  /// no tenant is exported under "none", so per-tenant sums equal the
+  /// aggregate counters exactly while nothing has been evicted).
+  obs::TenantLedger& tenant_ledger() noexcept { return tenants_ledger_; }
+  const obs::TenantLedger& tenant_ledger() const noexcept {
+    return tenants_ledger_;
+  }
+
+  /// Flight recorder: bounded ring of recovery-ladder events, restarts,
+  /// breaker trips, replay, grace transitions, and WARN+ log lines.
+  obs::FlightRecorder& flight() noexcept { return flight_; }
+  const obs::FlightRecorder& flight() const noexcept { return flight_; }
+  std::string flight_json() { return flight_.to_json(); }
+  /// Writes `flight_json()` to `path`; false on I/O failure.
+  bool write_flight(const std::string& path);
+
+  /// Folds queue/restart/breaker/fault-injection signals into per-node
+  /// `ok|degraded|critical` states and returns the JSON "health" section
+  /// (also embedded in `metrics_json`; the sampler adds a per-node numeric
+  /// 0/1/2 "health" series to the timeseries).
+  std::string health_json();
+
   /// Full observability export: architecture, per-node metrics (with NIC
   /// and object-store snapshots folded in as "node" gauges — this is what
   /// carries per-storage-node bytes even for Direct-pNFS, whose data path
@@ -230,13 +271,20 @@ class Deployment {
   std::vector<rpc::RpcAddress> storage_addresses() const;
   std::unique_ptr<pvfs::PvfsClient> make_pvfs_client(sim::Node& node,
                                                      const std::string& who,
-                                                     bool proxy);
+                                                     bool proxy,
+                                                     uint32_t tenant = 0);
   void add_nfs_clients(rpc::RpcAddress mds, bool pnfs_enabled);
 
   /// Folds current NIC/disk/object-store totals into "node" gauges so
   /// exports see resource usage regardless of which software path moved
   /// the bytes.
   void snapshot_resource_gauges();
+
+  /// Per-node RPC queue depth, summed over the daemons each node hosts.
+  std::map<std::string, double> rpc_queue_depths();
+
+  /// Re-evaluates per-node health states from the current signals.
+  void evaluate_health();
 
   sim::Task<void> sampler_loop();
 
@@ -249,10 +297,23 @@ class Deployment {
   std::unique_ptr<sim::FaultInjector> fault_injector_;
   obs::MetricsRegistry metrics_;
   obs::Tracer tracer_;
+  obs::TenantLedger tenants_ledger_;
+  obs::FlightRecorder flight_;
   rpc::RpcFabric fabric_;
   obs::TimeSeries samples_;
   bool sampling_ = false;
   bool sampler_stop_ = false;
+  util::LogSink prev_log_sink_;
+
+  struct NodeHealth {
+    int level = 0;  ///< 0 ok, 1 degraded, 2 critical
+    std::string reason = "ok";
+  };
+  std::map<std::string, NodeHealth> health_;
+  std::map<std::string, uint64_t> health_prev_restarts_;
+  std::map<std::string, uint64_t> health_prev_breakers_;
+  /// (node name, client) pairs for breaker/error health signals.
+  std::vector<std::pair<std::string, const nfs::NfsClient*>> health_clients_;
 
   std::vector<sim::Node*> storage_nodes_;
   std::vector<sim::Node*> client_nodes_;

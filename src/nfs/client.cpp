@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "nfs/compound_reply.hpp"
+#include "util/format.hpp"
 #include "util/log.hpp"
 
 namespace dpnfs::nfs {
@@ -53,6 +54,7 @@ NfsClient::NfsClient(rpc::RpcFabric& fabric, sim::Node& node,
       rpc_(fabric, node, std::move(principal)),
       config_(config),
       aggregations_(std::move(aggregations)) {
+  rpc_.set_tenant(config_.tenant_id);
   if (!aggregations_) {
     aggregations_ = std::make_shared<const AggregationRegistry>(
         AggregationRegistry::with_standard_drivers());
@@ -246,6 +248,14 @@ void NfsClient::session_lost(const rpc::RpcAddress& addr,
              "re-establishing",
              static_cast<unsigned long long>(sid.id), addr.node_id,
              static_cast<unsigned>(addr.port));
+  if (obs::FlightRecorder* flight = fabric_.flight()) {
+    flight->record(fabric_.simulation().now(), node_.name(), "nfs.client",
+                   "session.lost",
+                   util::sformat("session %llu node %u port %u",
+                                 static_cast<unsigned long long>(sid.id),
+                                 addr.node_id,
+                                 static_cast<unsigned>(addr.port)));
+  }
 }
 
 Task<rpc::RpcClient::Reply> NfsClient::call(rpc::RpcAddress addr,
@@ -789,6 +799,18 @@ std::vector<NfsClient::IoSlice> NfsClient::route(FileState& f, uint64_t offset,
         slice = mds_slice(f, seg.file_offset, seg.length);
         ++stats_.mds_fallbacks;
         m_fallbacks_->inc();
+        if (obs::FlightRecorder* flight = fabric_.flight()) {
+          flight->record(fabric_.simulation().now(), node_.name(),
+                         "nfs.client", "mds.fallback",
+                         util::sformat("fileid %llu dev %zu %llu+%llu",
+                                       static_cast<unsigned long long>(
+                                           f.attr.fileid),
+                                       seg.device_index,
+                                       static_cast<unsigned long long>(
+                                           seg.file_offset),
+                                       static_cast<unsigned long long>(
+                                           seg.length)));
+        }
       }
       out.push_back(slice);
     }
@@ -823,6 +845,14 @@ void NfsClient::record_ds_result(const rpc::RpcAddress& addr, bool ok) {
     util::logf(util::LogLevel::kWarn, "nfs.client", fabric_.simulation().now(),
                "circuit breaker opened for DS node %u port %u",
                addr.node_id, static_cast<unsigned>(addr.port));
+    if (obs::FlightRecorder* flight = fabric_.flight()) {
+      flight->record(fabric_.simulation().now(), node_.name(), "nfs.client",
+                     "breaker.trip",
+                     util::sformat("ds node %u port %u until %lld ns",
+                                   addr.node_id,
+                                   static_cast<unsigned>(addr.port),
+                                   static_cast<long long>(h.open_until)));
+    }
   }
 }
 
@@ -836,6 +866,13 @@ Task<void> NfsClient::refetch_layout(FileState& f, bool force) {
   f.layout_refetched_at = now;
   ++stats_.layout_refetches;
   m_layout_refetches_->inc();
+  if (obs::FlightRecorder* flight = fabric_.flight()) {
+    flight->record(now, node_.name(), "nfs.client", "layout.refetch",
+                   util::sformat("fileid %llu%s",
+                                 static_cast<unsigned long long>(
+                                     f.attr.fileid),
+                                 force ? " forced" : ""));
+  }
   try {
     auto s = co_await session_for(mds_);
     CompoundBuilder b = with_sequence(s->id);
@@ -915,6 +952,18 @@ void NfsClient::redirty_lost(FileState& f, size_t target) {
     span.end = fabric_.simulation().now();
     span.bytes_out = bytes;
     tracer_->record(std::move(span));
+  }
+  if (obs::FlightRecorder* flight = fabric_.flight()) {
+    flight->record(fabric_.simulation().now(), node_.name(), "nfs.client",
+                   "wb.replay",
+                   util::sformat("fileid %llu target %lld %llu bytes "
+                                 "%llu extents",
+                                 static_cast<unsigned long long>(
+                                     f.attr.fileid),
+                                 static_cast<long long>(
+                                     static_cast<int64_t>(target)),
+                                 static_cast<unsigned long long>(bytes),
+                                 static_cast<unsigned long long>(extents)));
   }
   util::logf(util::LogLevel::kWarn, "nfs.client", fabric_.simulation().now(),
              "write verifier changed for fileid %llu target %lld: replaying "

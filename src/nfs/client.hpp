@@ -107,6 +107,11 @@ struct ClientConfig {
   /// re-establishment must be able to give up on the dead incarnation and
   /// retry against the revived one.
   sim::Duration mds_timeout = 0;
+
+  /// Tenant identity stamped into every RPC this client originates (0: none).
+  /// Carried flag-gated in the call header and propagated through proxied
+  /// hops, so servers at every tier attribute work to the right tenant.
+  uint32_t tenant_id = 0;
 };
 
 struct ClientStats {

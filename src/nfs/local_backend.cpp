@@ -173,6 +173,9 @@ Task<Status> LocalBackend::readdir(FileHandle dir, std::vector<DirEntry>* out) {
 void LocalBackend::trace_store_op(obs::TraceContext trace, const char* op,
                                   int64_t start, uint64_t bytes_in,
                                   uint64_t bytes_out, int64_t disk_ns) const {
+  // Disk attribution happens even untraced: the tenant rode in on the call
+  // header, not the (sampled) trace.
+  if (tenants_ != nullptr) tenants_->account_disk(trace.tenant, disk_ns);
   if (tracer_ == nullptr || !trace.valid()) return;
   obs::Span span;
   span.trace_id = trace.trace_id;

@@ -14,6 +14,7 @@
 
 #include "lfs/object_store.hpp"
 #include "nfs/backend.hpp"
+#include "util/tenant.hpp"
 
 namespace dpnfs::nfs {
 
@@ -64,6 +65,10 @@ class LocalBackend final : public Backend {
     node_name_ = std::move(node_name);
   }
 
+  /// Attaches a tenant ledger: local store disk time is then charged to the
+  /// tenant each serving request carries (tenant 0 → "none").
+  void attach_tenants(obs::TenantLedger* tenants) { tenants_ = tenants; }
+
   lfs::ObjectStore& store() noexcept { return store_; }
 
  private:
@@ -80,7 +85,8 @@ class LocalBackend final : public Backend {
   uint64_t alloc_inode(FileType type);
   void bump(Inode& inode);
 
-  /// Records one internal span covering a store access (no-op untraced).
+  /// Records one internal span covering a store access (no-op untraced) and
+  /// charges the request tenant's disk time when a ledger is attached.
   /// `disk_ns` is the store's disk-time delta across the access; with
   /// concurrent ops on one store it can include writeback the store did
   /// while this op was blocked on it — which is still the time this op
@@ -92,6 +98,7 @@ class LocalBackend final : public Backend {
   lfs::ObjectStore& store_;
   bool flat_;
   obs::Tracer* tracer_ = nullptr;
+  obs::TenantLedger* tenants_ = nullptr;
   std::string node_name_;
   std::unordered_map<uint64_t, Inode> inodes_;
   uint64_t next_ino_ = 2;

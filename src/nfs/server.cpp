@@ -1,6 +1,7 @@
 #include "nfs/server.hpp"
 
 #include "sim/fault.hpp"
+#include "util/format.hpp"
 #include "util/log.hpp"
 
 namespace dpnfs::nfs {
@@ -80,6 +81,20 @@ void NfsServer::check_restart(sim::Time now) {
              node_.name().c_str(), port_,
              static_cast<unsigned long long>(instance),
              static_cast<unsigned long long>(boot_verifier_));
+  if (obs::FlightRecorder* flight = fabric_.flight()) {
+    flight->record(now, node_.name(), "nfs.server", "restart",
+                   util::sformat("port %u instance %llu verifier %016llx",
+                                 port_,
+                                 static_cast<unsigned long long>(instance),
+                                 static_cast<unsigned long long>(
+                                     boot_verifier_)));
+    if (config_.grace_period > 0) {
+      flight->record(now, node_.name(), "nfs.server", "grace.enter",
+                     util::sformat("port %u until %lld ns", port_,
+                                   static_cast<long long>(grace_until_)));
+      grace_logged_ = false;
+    }
+  }
 }
 
 Task<void> NfsServer::charge_cpu(uint64_t data_bytes) {
@@ -158,6 +173,16 @@ Task<void> NfsServer::serve(const rpc::CallContext& ctx, XdrDecoder& args,
   ++compounds_;
   m_compounds_->inc();
   check_restart(fabric_.simulation().now());
+  if (!grace_logged_ && !in_grace(fabric_.simulation().now())) {
+    grace_logged_ = true;
+    if (obs::FlightRecorder* flight = fabric_.flight()) {
+      flight->record(fabric_.simulation().now(), node_.name(), "nfs.server",
+                     "grace.exit",
+                     util::sformat("port %u instance %llu", unsigned{port_},
+                                   static_cast<unsigned long long>(
+                                       boot_instance_)));
+    }
+  }
   const uint32_t op_count = args.get_u32();
   if (op_count > 64) throw rpc::XdrError("compound too long");
 
@@ -397,6 +422,9 @@ Task<Status> NfsServer::dispatch(OpCode op, const rpc::CallContext& ctx,
         res.data.append(std::move(data));
       }
       m_read_bytes_->add(res.data.size());
+      if (obs::TenantLedger* tenants = fabric_.tenants()) {
+        tenants->account_data(ctx.trace.tenant, res.data.size(), 0);
+      }
       if (op == OpCode::kRead) {
         ReadRes{res.eof, std::move(res.data)}.encode(results);
       } else {
@@ -431,6 +459,9 @@ Task<Status> NfsServer::dispatch(OpCode op, const rpc::CallContext& ctx,
         post_change = std::max(post_change, pc);
       }
       m_write_bytes_->add(a.data.size());
+      if (obs::TenantLedger* tenants = fabric_.tenants()) {
+        tenants->account_data(ctx.trace.tenant, 0, a.data.size());
+      }
       WriteRes{a.data.size(), committed, post_change, boot_verifier_}
           .encode(results);
       co_return Status::kOk;

@@ -124,6 +124,9 @@ class NfsServer {
   uint64_t boot_verifier_ = 0;
   sim::Time grace_until_ = 0;
   uint64_t restarts_ = 0;
+  /// False while a "grace.exit" flight event is still owed for the current
+  /// grace window (armed by check_restart when grace begins).
+  bool grace_logged_ = true;
 
   uint64_t next_client_id_ = 1;
   uint64_t next_session_id_ = 1;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/sync.hpp"
+#include "util/format.hpp"
 #include "util/log.hpp"
 
 namespace dpnfs::pvfs {
@@ -28,6 +29,7 @@ PvfsClient::PvfsClient(rpc::RpcFabric& fabric, sim::Node& node,
       config_(config),
       buffers_(fabric.simulation(), config.buffer_count),
       daemons_(storage_.size()) {
+  rpc_.set_tenant(config_.tenant_id);
   if (obs::MetricsRegistry* reg = fabric.metrics()) {
     const std::string& n = node.name();
     m_verifier_mismatches_ =
@@ -252,6 +254,16 @@ void PvfsClient::note_daemon_verifier(uint32_t server_index,
              static_cast<unsigned long long>(old_verifier),
              static_cast<unsigned long long>(verifier),
              static_cast<unsigned long long>(moved));
+  if (obs::FlightRecorder* flight = fabric_.flight()) {
+    flight->record(node_.simulation().now(), node_.name(), "pvfs.client",
+                   "verifier.mismatch",
+                   util::sformat("daemon %u %016llx -> %016llx, %llu bytes "
+                                 "queued",
+                                 static_cast<unsigned>(server_index),
+                                 static_cast<unsigned long long>(old_verifier),
+                                 static_cast<unsigned long long>(verifier),
+                                 static_cast<unsigned long long>(moved)));
+  }
 }
 
 void PvfsClient::drop_replay_state() {
@@ -303,6 +315,18 @@ Task<uint64_t> PvfsClient::replay_stale(PvfsFilePtr file,
         stats_.replayed_bytes += bytes;
         m_replayed_extents_->add(regions.size());
         m_replayed_bytes_->add(bytes);
+        if (obs::FlightRecorder* flight = fabric_.flight()) {
+          flight->record(node_.simulation().now(), node_.name(),
+                         "pvfs.client", "wb.replay",
+                         util::sformat("daemon %u object %llu %llu bytes "
+                                       "%zu extents",
+                                       static_cast<unsigned>(
+                                           dfile.server_index),
+                                       static_cast<unsigned long long>(
+                                           dfile.object_id),
+                                       static_cast<unsigned long long>(bytes),
+                                       regions.size()));
+        }
         note_daemon_verifier(dfile.server_index, verifier);
         for (size_t i = 0; i < regions.size(); ++i) {
           retain_piece(dfile.server_index, dfile.object_id, regions[i].offset,

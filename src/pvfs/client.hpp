@@ -44,6 +44,10 @@ struct PvfsClientConfig {
   /// single kReadv/kWritev request.  Off, every region is its own request.
   bool listio_enabled = true;
   uint32_t listio_max_regions = 64;  ///< regions per vectored request
+  /// Tenant identity stamped into RPCs this client *originates* (0: none).
+  /// Proxied calls (a pNFS server serving some tenant's I/O) propagate the
+  /// tenant riding in on the serving request instead.
+  uint32_t tenant_id = 0;
 };
 
 struct PvfsClientStats {

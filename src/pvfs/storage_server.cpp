@@ -1,6 +1,7 @@
 #include "pvfs/storage_server.hpp"
 
 #include "sim/fault.hpp"
+#include "util/format.hpp"
 #include "util/log.hpp"
 
 namespace dpnfs::pvfs {
@@ -60,6 +61,16 @@ void PvfsStorageServer::trace_store_op(const rpc::CallContext& ctx,
   tracer_->record(std::move(span));
 }
 
+void PvfsStorageServer::account_store_op(const rpc::CallContext& ctx,
+                                         uint64_t read_bytes,
+                                         uint64_t write_bytes,
+                                         int64_t disk_ns) const {
+  obs::TenantLedger* tenants = fabric_.tenants();
+  if (tenants == nullptr) return;
+  tenants->account_data(ctx.trace.tenant, read_bytes, write_bytes);
+  tenants->account_disk(ctx.trace.tenant, disk_ns);
+}
+
 void PvfsStorageServer::check_restart(sim::Time now) {
   const sim::FaultInjector* faults = fabric_.network().faults();
   const uint64_t instance =
@@ -81,6 +92,14 @@ void PvfsStorageServer::check_restart(sim::Time now) {
              node_.name().c_str(), static_cast<unsigned>(port_),
              static_cast<unsigned long long>(instance),
              static_cast<unsigned long long>(boot_verifier_));
+  if (obs::FlightRecorder* flight = fabric_.flight()) {
+    flight->record(now, node_.name(), "pvfs.io", "restart",
+                   util::sformat("port %u instance %llu verifier %016llx",
+                                 static_cast<unsigned>(port_),
+                                 static_cast<unsigned long long>(instance),
+                                 static_cast<unsigned long long>(
+                                     boot_verifier_)));
+  }
 }
 
 Task<void> PvfsStorageServer::serve(const rpc::CallContext& ctx,
@@ -104,8 +123,10 @@ Task<void> PvfsStorageServer::serve(const rpc::CallContext& ctx,
         const int64_t start = node_.simulation().now();
         const uint64_t disk0 = store_.stats().disk_time_ns;
         rpc::Payload data = co_await store_.read(oid, offset, length);
-        trace_store_op(ctx, "read", start, 0, data.size(),
-                       static_cast<int64_t>(store_.stats().disk_time_ns - disk0));
+        const auto disk_ns =
+            static_cast<int64_t>(store_.stats().disk_time_ns - disk0);
+        trace_store_op(ctx, "read", start, 0, data.size(), disk_ns);
+        account_store_op(ctx, data.size(), 0, disk_ns);
         m_bytes_read_->add(data.size());
         results.put_payload(data);
       }
@@ -124,8 +145,12 @@ Task<void> PvfsStorageServer::serve(const rpc::CallContext& ctx,
       const int64_t start = node_.simulation().now();
       const uint64_t disk0 = store_.stats().disk_time_ns;
       co_await store_.write(oid, offset, std::move(data), /*stable=*/false);
-      trace_store_op(ctx, "write", start, len, 0,
-                     static_cast<int64_t>(store_.stats().disk_time_ns - disk0));
+      {
+        const auto disk_ns =
+            static_cast<int64_t>(store_.stats().disk_time_ns - disk0);
+        trace_store_op(ctx, "write", start, len, 0, disk_ns);
+        account_store_op(ctx, 0, len, disk_ns);
+      }
       results.put_u32(static_cast<uint32_t>(PvfsStatus::kOk));
       // Buffered write: the verifier tells the client which daemon
       // incarnation holds the volatile bytes (see protocol.hpp).
@@ -172,8 +197,12 @@ Task<void> PvfsStorageServer::serve(const rpc::CallContext& ctx,
         out_bytes += avail;
         results.put_payload(span.slice(skip, avail));
       }
-      trace_store_op(ctx, "readv", start, 0, out_bytes,
-                     static_cast<int64_t>(store_.stats().disk_time_ns - disk0));
+      {
+        const auto disk_ns =
+            static_cast<int64_t>(store_.stats().disk_time_ns - disk0);
+        trace_store_op(ctx, "readv", start, 0, out_bytes, disk_ns);
+        account_store_op(ctx, out_bytes, 0, disk_ns);
+      }
       m_bytes_read_->add(out_bytes);
       co_return;
     }
@@ -211,8 +240,12 @@ Task<void> PvfsStorageServer::serve(const rpc::CallContext& ctx,
                               /*stable=*/false);
         pos += len;
       }
-      trace_store_op(ctx, "writev", start, total, 0,
-                     static_cast<int64_t>(store_.stats().disk_time_ns - disk0));
+      {
+        const auto disk_ns =
+            static_cast<int64_t>(store_.stats().disk_time_ns - disk0);
+        trace_store_op(ctx, "writev", start, total, 0, disk_ns);
+        account_store_op(ctx, 0, total, disk_ns);
+      }
       results.put_u32(static_cast<uint32_t>(PvfsStatus::kOk));
       // One verifier covers every region: they live or die with this
       // daemon incarnation together (see protocol.hpp).
@@ -230,9 +263,13 @@ Task<void> PvfsStorageServer::serve(const rpc::CallContext& ctx,
       // object is clean (journal/metadata update).
       const int64_t j0 = node_.simulation().now();
       co_await node_.disk().io(kJournalPosition, 4096);
-      trace_store_op(ctx, "commit", start, 0, 0,
-                     static_cast<int64_t>(store_.stats().disk_time_ns - disk0) +
-                         (node_.simulation().now() - j0));
+      {
+        const int64_t disk_ns =
+            static_cast<int64_t>(store_.stats().disk_time_ns - disk0) +
+            (node_.simulation().now() - j0);
+        trace_store_op(ctx, "commit", start, 0, 0, disk_ns);
+        account_store_op(ctx, 0, 0, disk_ns);
+      }
       results.put_u32(static_cast<uint32_t>(PvfsStatus::kOk));
       // Equal to the verifier of every kWrite it covers iff no restart
       // intervened (mirrors NFS COMMIT semantics).

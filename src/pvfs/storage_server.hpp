@@ -62,6 +62,12 @@ class PvfsStorageServer {
                       int64_t start, uint64_t bytes_in, uint64_t bytes_out,
                       int64_t disk_ns) const;
 
+  /// Charges the request's tenant (from the propagated call header) with the
+  /// daemon-side data bytes and disk time of one store operation.  No-op
+  /// when the fabric carries no tenant ledger.
+  void account_store_op(const rpc::CallContext& ctx, uint64_t read_bytes,
+                        uint64_t write_bytes, int64_t disk_ns) const;
+
   rpc::RpcFabric& fabric_;
   sim::Node& node_;
   uint16_t port_;

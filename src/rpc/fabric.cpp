@@ -186,6 +186,10 @@ Task<void> RpcServer::worker() {
           header.trace_id, header.span_id,
           (header.flags & kFlagSampled) != 0});
     }
+    // The tenant rides the context even when the request is untraced, so
+    // nested RPCs (proxied 2-/3-tier hops) and backend disk charges stay
+    // attributed to the original caller at any sample rate.
+    server_span.tenant = header.tenant_id;
 
     ReplyHeader reply_header{header.xid, ReplyStatus::kAccepted};
     XdrEncoder body;
@@ -218,6 +222,11 @@ Task<void> RpcServer::worker() {
     m_bytes_out_->add(reply.wire_size);
     m_service_us_->observe(static_cast<double>(done - picked_up) * 1e-3);
     m_service_digest_->add(static_cast<double>(done - picked_up) * 1e-3);
+    if (obs::TenantLedger* tenants = fabric_.tenants()) {
+      tenants->account_rpc(header.tenant_id, pending->request.wire_size,
+                           reply.wire_size, queue_wait, done - picked_up,
+                           reply_header.status != ReplyStatus::kAccepted);
+    }
     if (server_span.valid()) {
       obs::Span span{
           header.trace_id, server_span.span_id, header.span_id,
@@ -295,6 +304,11 @@ Task<RpcClient::Reply> RpcClient::call(RpcAddress to, Program prog,
                       span.trace_id, span.span_id,
                       span.valid() && span.sampled ? kFlagSampled : 0u,
                       principal_};
+    // Proxied hops act for the original caller's tenant; calls this client
+    // originates carry its own.  Independent of tracing: the parent context
+    // carries the tenant even when its trace_id is 0.
+    header.tenant_id =
+        opts.parent.tenant != 0 ? opts.parent.tenant : tenant_id_;
     header.encode(enc);
     enc.put_opaque_fixed(args_bytes);
 

@@ -21,8 +21,10 @@
 #include "rpc/message.hpp"
 #include "sim/network.hpp"
 #include "sim/sync.hpp"
+#include "util/flight.hpp"
 #include "util/obs.hpp"
 #include "util/rng.hpp"
+#include "util/tenant.hpp"
 
 namespace dpnfs::rpc {
 
@@ -115,6 +117,17 @@ class RpcFabric {
   obs::MetricsRegistry* metrics() const noexcept { return metrics_; }
   obs::Tracer* tracer() const noexcept { return tracer_; }
 
+  /// Attaches per-tenant accounting and the flight recorder (either may be
+  /// null).  Same contract as `set_observability`: call before the daemons
+  /// and clients that should feed them are constructed.
+  void set_accounting(obs::TenantLedger* tenants,
+                      obs::FlightRecorder* flight) {
+    tenants_ = tenants;
+    flight_ = flight;
+  }
+  obs::TenantLedger* tenants() const noexcept { return tenants_; }
+  obs::FlightRecorder* flight() const noexcept { return flight_; }
+
   /// Raw transport result: `reply` is meaningful only when `status == kOk`.
   /// `send_wait` is the time the request spent queued behind the sender's
   /// own NIC before transmitting — the trace layer reports it as client
@@ -156,6 +169,8 @@ class RpcFabric {
   std::map<RpcAddress, RpcServer*> servers_;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
+  obs::TenantLedger* tenants_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
   sim::Duration drop_timeout_ = sim::sec(2);
 };
 
@@ -259,11 +274,18 @@ class RpcClient {
   /// owner surface retries under its own metrics component).
   void set_retry_counter(obs::Counter* c) noexcept { retry_counter_ = c; }
 
+  /// Tenant identity stamped into every call this client originates.  Calls
+  /// issued on behalf of another tenant (a proxied hop whose
+  /// `CallOptions::parent` carries a tenant) propagate that one instead.
+  void set_tenant(uint32_t tenant) noexcept { tenant_id_ = tenant; }
+  uint32_t tenant() const noexcept { return tenant_id_; }
+
  private:
   RpcFabric& fabric_;
   sim::Node& node_;
   std::string principal_;
   uint32_t next_xid_ = 1;
+  uint32_t tenant_id_ = 0;
   util::Rng rng_;
   uint64_t retries_ = 0;
   uint64_t timeouts_ = 0;

@@ -28,6 +28,11 @@ enum class Program : uint32_t {
 /// a trace is sampled (or not) end-to-end, never per-hop.
 inline constexpr uint32_t kFlagSampled = 0x1;
 
+/// CallHeader::flags bit: an optional `tenant_id` u32 follows the flags
+/// word.  Set by the encoder iff `tenant_id != 0`, so legacy (untenanted)
+/// traffic stays byte-identical to the pre-tenant wire layout.
+inline constexpr uint32_t kFlagHasTenant = 0x2;
+
 struct CallHeader {
   uint32_t xid = 0;
   uint32_t prog = 0;
@@ -41,6 +46,10 @@ struct CallHeader {
   uint64_t span_id = 0;
   uint32_t flags = 0;  ///< kFlagSampled and future trace bits
   std::string principal;
+  /// Tenant/workload identity the caller acts for (0: none).  Flag-gated
+  /// on the wire: encoded (and kFlagHasTenant raised) only when nonzero,
+  /// so tenant-free traffic keeps the legacy byte layout exactly.
+  uint32_t tenant_id = 0;
 
   void encode(XdrEncoder& enc) const {
     enc.put_u32(xid);
@@ -49,7 +58,9 @@ struct CallHeader {
     enc.put_u32(proc);
     enc.put_u64(trace_id);
     enc.put_u64(span_id);
-    enc.put_u32(flags);
+    enc.put_u32(tenant_id != 0 ? (flags | kFlagHasTenant)
+                               : (flags & ~kFlagHasTenant));
+    if (tenant_id != 0) enc.put_u32(tenant_id);
     enc.put_string(principal);
   }
   static CallHeader decode(XdrDecoder& dec) {
@@ -61,6 +72,7 @@ struct CallHeader {
     h.trace_id = dec.get_u64();
     h.span_id = dec.get_u64();
     h.flags = dec.get_u32();
+    if ((h.flags & kFlagHasTenant) != 0) h.tenant_id = dec.get_u32();
     h.principal = dec.get_string();
     return h;
   }

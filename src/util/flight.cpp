@@ -1,0 +1,47 @@
+#include "util/flight.hpp"
+
+#include "util/format.hpp"
+#include "util/obs.hpp"
+
+namespace dpnfs::obs {
+
+void FlightRecorder::record(int64_t time_ns, std::string_view node,
+                            std::string_view component, std::string_view kind,
+                            std::string_view detail) {
+  FlightEvent e;
+  e.seq = ++recorded_;
+  e.time_ns = time_ns;
+  e.node = std::string(node);
+  e.component = std::string(component);
+  e.kind = std::string(kind);
+  e.detail = std::string(detail);
+  events_.push_back(std::move(e));
+  while (events_.size() > capacity_) {
+    events_.pop_front();
+    ++dropped_;
+  }
+}
+
+std::string FlightRecorder::to_json() const {
+  std::string out = util::sformat(
+      "{\"capacity\": %zu, \"events_recorded\": %llu, "
+      "\"events_dropped\": %llu, \"events\": [",
+      capacity_, static_cast<unsigned long long>(recorded_),
+      static_cast<unsigned long long>(dropped_));
+  bool first = true;
+  for (const FlightEvent& e : events_) {
+    if (!first) out += ", ";
+    first = false;
+    out += util::sformat(
+        "{\"seq\": %llu, \"time_ns\": %lld, \"node\": \"%s\", "
+        "\"component\": \"%s\", \"kind\": \"%s\", \"detail\": \"%s\"}",
+        static_cast<unsigned long long>(e.seq),
+        static_cast<long long>(e.time_ns), json_escape(e.node).c_str(),
+        json_escape(e.component).c_str(), json_escape(e.kind).c_str(),
+        json_escape(e.detail).c_str());
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace dpnfs::obs

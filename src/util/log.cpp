@@ -24,6 +24,11 @@ LogLevel& threshold_ref() {
   return level;
 }
 
+LogSink& sink_ref() {
+  static LogSink sink;
+  return sink;
+}
+
 constexpr const char* level_name(LogLevel level) {
   switch (level) {
     case LogLevel::kTrace: return "TRACE";
@@ -42,8 +47,17 @@ LogLevel log_threshold() noexcept { return threshold_ref(); }
 
 void set_log_threshold(LogLevel level) noexcept { threshold_ref() = level; }
 
+LogSink set_log_sink(LogSink sink) {
+  LogSink previous = std::move(sink_ref());
+  sink_ref() = std::move(sink);
+  return previous;
+}
+
 void log_line(LogLevel level, std::string_view component, int64_t sim_time_ns,
               std::string_view message) {
+  if (level >= LogLevel::kWarn && level < LogLevel::kOff && sink_ref()) {
+    sink_ref()(level, component, sim_time_ns, message);
+  }
   if (level < log_threshold()) return;
   if (sim_time_ns >= 0) {
     std::fprintf(stderr, "%s [%12.6fs] %.*s: %.*s\n", level_name(level),
@@ -59,7 +73,11 @@ void log_line(LogLevel level, std::string_view component, int64_t sim_time_ns,
 
 void logf(LogLevel level, std::string_view component, int64_t sim_time_ns,
           const char* fmt, ...) {
-  if (level < log_threshold()) return;
+  // Format when either the stderr threshold passes *or* a WARN+ sink wants
+  // the line (flight recording is independent of the print threshold).
+  const bool sink_wants =
+      level >= LogLevel::kWarn && level < LogLevel::kOff && sink_ref();
+  if (level < log_threshold() && !sink_wants) return;
   va_list args;
   va_start(args, fmt);
   const std::string msg = vsformat(fmt, args);

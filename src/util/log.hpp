@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 
@@ -29,6 +30,18 @@ LogLevel log_threshold() noexcept;
 /// Sets the global log threshold.  The DPNFS_LOG environment variable
 /// ("trace", "debug", "info", "warn", "error", "off") sets the initial value.
 void set_log_threshold(LogLevel level) noexcept;
+
+/// Optional tap for WARN+ lines (the flight recorder routes them into its
+/// event ring).  The sink receives every kWarn/kError line *regardless of
+/// the print threshold* — dumps carry the log tail even when stderr output
+/// is silenced — but never lines below kWarn.
+using LogSink = std::function<void(LogLevel, std::string_view component,
+                                   int64_t sim_time_ns,
+                                   std::string_view message)>;
+
+/// Installs the WARN+ sink and returns the previous one (restore it when
+/// the owner goes away).  An empty function disables the tap.
+LogSink set_log_sink(LogSink sink);
 
 /// Emits one formatted log line.  `sim_time_ns` may be negative when no
 /// simulation clock is available (the timestamp is then omitted).

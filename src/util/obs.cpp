@@ -153,6 +153,13 @@ std::string histogram_json(const HistogramMetric& h) {
 
 }  // namespace
 
+std::vector<std::string> MetricsRegistry::node_names() const {
+  std::vector<std::string> out;
+  out.reserve(nodes_.size());
+  for (const auto& [node, components] : nodes_) out.push_back(node);
+  return out;
+}
+
 std::string MetricsRegistry::to_json() const {
   std::string out = "{";
   bool first_node = true;
@@ -303,6 +310,7 @@ bool Tracer::sample_decision(uint64_t trace_id) const noexcept {
 TraceContext Tracer::begin(TraceContext parent) {
   if (!enabled_) return TraceContext{};
   TraceContext ctx;
+  ctx.tenant = parent.tenant;
   if (parent.valid()) {
     ctx.trace_id = parent.trace_id;
     ctx.sampled = parent.sampled;

@@ -135,6 +135,9 @@ class MetricsRegistry {
 
   bool empty() const noexcept { return nodes_.empty(); }
 
+  /// Every node that has registered at least one metric (sorted).
+  std::vector<std::string> node_names() const;
+
   /// {"node": {"component": {"counters": {...}, "gauges": {...},
   ///                         "histograms": {...}, "digests": {...}}}}
   std::string to_json() const;
@@ -176,6 +179,11 @@ struct TraceContext {
   uint64_t trace_id = 0;
   uint64_t span_id = 0;
   bool sampled = true;
+  /// Tenant the work is on behalf of (0: unassigned).  Rides the context
+  /// through proxied hops — servers stamp it from the call header even when
+  /// the request is untraced, so per-tenant accounting works at any sample
+  /// rate (including tracing off).
+  uint32_t tenant = 0;
 
   bool valid() const noexcept { return trace_id != 0; }
 };

@@ -1,0 +1,64 @@
+#include "util/tenant.hpp"
+
+#include "util/format.hpp"
+#include "util/obs.hpp"
+
+namespace dpnfs::obs {
+
+std::string TenantLedger::tenant_name(uint64_t id) {
+  return id == 0 ? "none"
+                 : util::sformat("tenant%llu",
+                                 static_cast<unsigned long long>(id));
+}
+
+namespace {
+
+std::string stats_json(const TenantStats& t) {
+  std::string out = util::sformat(
+      "{\"rpcs\": %llu, \"wire_bytes_in\": %llu, \"wire_bytes_out\": %llu, "
+      "\"queue_ns\": %llu, \"service_ns\": %llu, \"disk_ns\": %llu, "
+      "\"read_bytes\": %llu, \"write_bytes\": %llu, \"errors\": %llu, "
+      "\"over_slo\": %llu, \"latency_us\": ",
+      static_cast<unsigned long long>(t.rpcs),
+      static_cast<unsigned long long>(t.wire_bytes_in),
+      static_cast<unsigned long long>(t.wire_bytes_out),
+      static_cast<unsigned long long>(t.queue_ns),
+      static_cast<unsigned long long>(t.service_ns),
+      static_cast<unsigned long long>(t.disk_ns),
+      static_cast<unsigned long long>(t.read_bytes),
+      static_cast<unsigned long long>(t.write_bytes),
+      static_cast<unsigned long long>(t.errors),
+      static_cast<unsigned long long>(t.over_slo));
+  out += t.latency_us.to_json();
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string TenantLedger::to_json() const {
+  std::string out = util::sformat(
+      "{\"topk\": %zu, \"tenants_seen\": %llu, \"tenants_evicted\": %llu, "
+      "\"slo_threshold_ns\": %lld, \"per_tenant\": {",
+      topk_.capacity(), static_cast<unsigned long long>(topk_.seen()),
+      static_cast<unsigned long long>(topk_.evicted()),
+      static_cast<long long>(slo_threshold_));
+  bool first = true;
+  for (const auto& e : topk_.sorted()) {
+    if (!first) out += ", ";
+    first = false;
+    out += util::sformat(
+        "\"%s\": {\"weight\": %llu, \"weight_error\": %llu, \"stats\": ",
+        json_escape(tenant_name(e.key)).c_str(),
+        static_cast<unsigned long long>(e.weight),
+        static_cast<unsigned long long>(e.error));
+    out += stats_json(e.value);
+    out += "}";
+  }
+  out += "}, \"total\": ";
+  out += stats_json(total_);
+  out += "}";
+  return out;
+}
+
+}  // namespace dpnfs::obs

@@ -1,0 +1,144 @@
+// Space-Saving heavy-hitter tracker (Metwally, Agrawal, El Abbadi 2005).
+//
+// Tracks the top-K keys by accumulated weight in O(K) memory regardless of
+// how many distinct keys stream past: when a new key arrives at capacity,
+// the minimum-weight entry is evicted and the newcomer inherits its weight
+// as an overestimation `error` bound.  Guarantees:
+//
+//  - while distinct keys <= K nothing is ever evicted, every count is exact
+//    and every `error` is zero;
+//  - after eviction, a resident entry's true weight lies in
+//    [weight - error, weight];
+//  - fully deterministic: ties on eviction and in `sorted()` break on the
+//    smaller key, so two runs feeding the same stream produce bit-identical
+//    trackers (the chaos-soak reproducibility contract extends to these).
+//
+// Entries carry an arbitrary payload `V` (default-constructible, with a
+// `merge(const V&)` member).  The payload restarts fresh when an eviction
+// replaces the entry — only the Space-Saving weight carries over — so
+// payload sums are exact precisely when `evicted() == 0`.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace dpnfs::util {
+
+template <typename V>
+class TopK {
+ public:
+  struct Entry {
+    uint64_t key = 0;
+    uint64_t weight = 0;  ///< Space-Saving count (upper bound on the truth)
+    uint64_t error = 0;   ///< overestimation bound inherited at insertion
+    V value{};
+  };
+
+  explicit TopK(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+    entries_.reserve(capacity_);
+    index_.reserve(capacity_);
+  }
+
+  size_t capacity() const noexcept { return capacity_; }
+  size_t size() const noexcept { return entries_.size(); }
+  /// Insertions of keys that were not resident at the time (exact distinct
+  /// count while `evicted() == 0`; a lower bound afterwards, because an
+  /// evicted key that returns is counted again).
+  uint64_t seen() const noexcept { return seen_; }
+  /// Entries evicted to make room.  Zero means every count is exact.
+  uint64_t evicted() const noexcept { return evicted_; }
+
+  /// Adds `increment` to `key`'s weight (inserting or evicting per
+  /// Space-Saving) and returns the entry's payload for in-place updates.
+  V& update(uint64_t key, uint64_t increment = 1) {
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      Entry& e = entries_[it->second];
+      e.weight += increment;
+      return e.value;
+    }
+    ++seen_;
+    if (entries_.size() < capacity_) {
+      index_.emplace(key, entries_.size());
+      entries_.push_back(Entry{key, increment, 0, V{}});
+      return entries_.back().value;
+    }
+    // Evict the minimum-weight entry; ties break on the smaller key so the
+    // victim is a pure function of the tracker's state.
+    size_t victim = 0;
+    for (size_t i = 1; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      const Entry& v = entries_[victim];
+      if (e.weight < v.weight || (e.weight == v.weight && e.key < v.key)) {
+        victim = i;
+      }
+    }
+    ++evicted_;
+    Entry& e = entries_[victim];
+    index_.erase(e.key);
+    index_.emplace(key, victim);
+    e = Entry{key, e.weight + increment, e.weight, V{}};
+    return e.value;
+  }
+
+  const Entry* find(uint64_t key) const {
+    const auto it = index_.find(key);
+    return it == index_.end() ? nullptr : &entries_[it->second];
+  }
+
+  /// Entries ordered by weight descending, key ascending on ties —
+  /// deterministic for identical streams.
+  std::vector<Entry> sorted() const {
+    std::vector<Entry> out = entries_;
+    std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+      return a.weight != b.weight ? a.weight > b.weight : a.key < b.key;
+    });
+    return out;
+  }
+
+  /// Folds `other` into this tracker: weights and error bounds of common
+  /// keys add, foreign keys join, then the union is truncated back to the
+  /// top `capacity()` by (weight desc, key asc).  In the exact regime
+  /// (distinct keys across all operands <= capacity, no evictions) merge is
+  /// associative and commutative: any merge order yields the same tracker.
+  /// Under truncation the result is still deterministic for a fixed order.
+  void merge(const TopK& other) {
+    for (const Entry& o : other.entries_) {
+      auto it = index_.find(o.key);
+      if (it != index_.end()) {
+        Entry& e = entries_[it->second];
+        e.weight += o.weight;
+        e.error += o.error;
+        e.value.merge(o.value);
+      } else {
+        entries_.push_back(o);
+      }
+    }
+    seen_ += other.seen_;
+    evicted_ += other.evicted_;
+    if (entries_.size() > capacity_) {
+      std::sort(entries_.begin(), entries_.end(),
+                [](const Entry& a, const Entry& b) {
+                  return a.weight != b.weight ? a.weight > b.weight
+                                              : a.key < b.key;
+                });
+      evicted_ += entries_.size() - capacity_;
+      entries_.resize(capacity_);
+    }
+    index_.clear();
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      index_.emplace(entries_[i].key, i);
+    }
+  }
+
+ private:
+  size_t capacity_;
+  std::vector<Entry> entries_;
+  std::unordered_map<uint64_t, size_t> index_;
+  uint64_t seen_ = 0;
+  uint64_t evicted_ = 0;
+};
+
+}  // namespace dpnfs::util

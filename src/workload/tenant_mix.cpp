@@ -1,0 +1,43 @@
+#include "workload/tenant_mix.hpp"
+
+#include <stdexcept>
+
+namespace dpnfs::workload {
+
+using sim::Task;
+
+TenantMixWorkload::TenantMixWorkload(
+    std::vector<std::unique_ptr<Workload>> children)
+    : children_(std::move(children)) {
+  if (children_.empty()) {
+    throw std::invalid_argument("tenant mix needs at least one child");
+  }
+}
+
+std::string TenantMixWorkload::name() const {
+  std::string out = "tenant-mix(";
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (i > 0) out += "+";
+    out += children_[i]->name();
+  }
+  out += ")";
+  return out;
+}
+
+Task<void> TenantMixWorkload::setup(core::Deployment& d) {
+  // Every child prepares its own files; clients are disjoint across
+  // children, so the setups don't contend for paths.
+  for (auto& child : children_) co_await child->setup(d);
+}
+
+Task<void> TenantMixWorkload::client_main(core::Deployment& d, size_t client) {
+  co_await children_[client % children_.size()]->client_main(d, client);
+}
+
+uint64_t TenantMixWorkload::total_transactions() const {
+  uint64_t total = 0;
+  for (const auto& child : children_) total += child->total_transactions();
+  return total;
+}
+
+}  // namespace dpnfs::workload

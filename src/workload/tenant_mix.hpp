@@ -1,0 +1,33 @@
+// Tenant-mix composite workload.
+//
+// Partitions the deployment's clients across N child workloads by global
+// client index (client i runs children[i % N]), matching the round-robin
+// tenant assignment ClusterConfig::tenants applies — so with tenants == N,
+// tenant k's traffic is exactly child workload (k - 1)'s traffic.  Used for
+// the per-tenant attribution experiments (e.g. sequential ingest on one
+// tenant vs. OLTP on the other).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "workload/runner.hpp"
+
+namespace dpnfs::workload {
+
+class TenantMixWorkload final : public Workload {
+ public:
+  explicit TenantMixWorkload(std::vector<std::unique_ptr<Workload>> children);
+
+  std::string name() const override;
+  sim::Task<void> setup(core::Deployment& d) override;
+  sim::Task<void> client_main(core::Deployment& d, size_t client) override;
+  uint64_t total_transactions() const override;
+
+  size_t child_count() const noexcept { return children_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Workload>> children_;
+};
+
+}  // namespace dpnfs::workload

@@ -274,6 +274,21 @@ ChaosOutcome run_chaos(core::Architecture arch, uint64_t seed) {
   out.finished = d.simulation().now();
   out.chunks = st.chunks;
   out.data_ok = st.data_ok;
+  if (!st.data_ok) {
+    // Oracle mismatch: dump the flight recorder so the seconds before the
+    // corruption are on record.  Same seed => same dump, so the saved file
+    // is a standalone reproduction of the failure.
+    const std::string path = "chaos_flight_" +
+                             std::string(core::architecture_name(arch)) + "_" +
+                             std::to_string(seed) + ".json";
+    if (d.write_flight(path)) {
+      ADD_FAILURE() << "chaos oracle mismatch; flight dump written to "
+                    << path;
+    } else {
+      ADD_FAILURE() << "chaos oracle mismatch; flight dump:\n"
+                    << d.flight_json();
+    }
+  }
   out.writers_ok = true;
   for (char ok : st.writer_ok) out.writers_ok = out.writers_ok && ok != 0;
   for (size_t i = 0; i < kWriters; ++i) {

@@ -1,0 +1,200 @@
+// util::TopK: the Space-Saving heavy-hitter tracker behind per-tenant
+// accounting.  The contracts under test are the ones TenantLedger leans on:
+// exact counts while distinct keys fit, deterministic eviction, associative
+// merge in the exact regime, and O(K) memory no matter how many distinct
+// keys stream past.
+#include "util/topk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace dpnfs::util {
+namespace {
+
+struct Payload {
+  uint64_t sum = 0;
+  void merge(const Payload& o) { sum += o.sum; }
+};
+
+using Tracker = TopK<Payload>;
+
+TEST(TopK, ExactWhileUnderCapacity) {
+  Tracker t(8);
+  for (uint64_t round = 1; round <= 3; ++round) {
+    for (uint64_t key = 1; key <= 5; ++key) {
+      t.update(key, key).sum += key;
+    }
+  }
+  EXPECT_EQ(t.size(), 5u);
+  EXPECT_EQ(t.seen(), 5u);
+  EXPECT_EQ(t.evicted(), 0u);
+  for (uint64_t key = 1; key <= 5; ++key) {
+    const Tracker::Entry* e = t.find(key);
+    ASSERT_NE(e, nullptr) << "key " << key;
+    EXPECT_EQ(e->weight, 3 * key);
+    EXPECT_EQ(e->error, 0u);
+    EXPECT_EQ(e->value.sum, 3 * key);
+  }
+  EXPECT_EQ(t.find(99), nullptr);
+}
+
+TEST(TopK, SortedOrdersByWeightThenKey) {
+  Tracker t(8);
+  t.update(3, 10);
+  t.update(1, 20);
+  t.update(7, 10);  // ties key 3 on weight; smaller key sorts first
+  t.update(2, 30);
+  const std::vector<Tracker::Entry> s = t.sorted();
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(s[0].key, 2u);
+  EXPECT_EQ(s[1].key, 1u);
+  EXPECT_EQ(s[2].key, 3u);
+  EXPECT_EQ(s[3].key, 7u);
+}
+
+TEST(TopK, EvictionIsDeterministicAndBoundsError) {
+  Tracker t(3);
+  t.update(1, 10);
+  t.update(2, 5);
+  t.update(3, 7);
+  // Key 4 arrives at capacity: the minimum (key 2, weight 5) is evicted and
+  // the newcomer inherits its weight as the error bound.
+  t.update(4, 1);
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.evicted(), 1u);
+  EXPECT_EQ(t.find(2), nullptr);
+  const Tracker::Entry* e = t.find(4);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->weight, 6u);  // 5 inherited + 1 increment
+  EXPECT_EQ(e->error, 5u);
+  // Payload restarted fresh — it never belonged to key 2.
+  EXPECT_EQ(e->value.sum, 0u);
+}
+
+TEST(TopK, EvictionTieBreaksOnSmallerKey) {
+  Tracker t(2);
+  t.update(9, 4);
+  t.update(5, 4);  // same weight as key 9
+  t.update(1, 1);  // must evict key 5 (smaller key among the tied minima)
+  EXPECT_EQ(t.find(5), nullptr);
+  ASSERT_NE(t.find(9), nullptr);
+  ASSERT_NE(t.find(1), nullptr);
+}
+
+TEST(TopK, IdenticalStreamsProduceIdenticalTrackers) {
+  auto feed = [] {
+    Tracker t(4);
+    for (uint64_t i = 0; i < 200; ++i) {
+      t.update(i % 11 + 1, (i * 7) % 5 + 1);
+    }
+    return t.sorted();
+  };
+  const auto a = feed();
+  const auto b = feed();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key, b[i].key);
+    EXPECT_EQ(a[i].weight, b[i].weight);
+    EXPECT_EQ(a[i].error, b[i].error);
+  }
+}
+
+TEST(TopK, MergeIsAssociativeInExactRegime) {
+  // Three trackers over disjoint-ish key sets, union still <= capacity:
+  // merge order must not matter.
+  auto make = [](uint64_t base) {
+    Tracker t(8);
+    t.update(base, base * 2).sum += base;
+    t.update(base + 1, 3).sum += 1;
+    t.update(7, 1).sum += 7;  // shared key across all three
+    return t;
+  };
+  Tracker left = make(1);   // keys 1,2,7
+  Tracker mid = make(3);    // keys 3,4,7
+  Tracker right = make(5);  // keys 5,6,7
+
+  Tracker ab = make(1);
+  ab.merge(mid);
+  ab.merge(right);  // (a+b)+c
+
+  Tracker bc = make(3);
+  bc.merge(right);
+  Tracker a_bc = make(1);
+  a_bc.merge(bc);  // a+(b+c)
+
+  const auto lhs = ab.sorted();
+  const auto rhs = a_bc.sorted();
+  ASSERT_EQ(lhs.size(), rhs.size());
+  for (size_t i = 0; i < lhs.size(); ++i) {
+    EXPECT_EQ(lhs[i].key, rhs[i].key);
+    EXPECT_EQ(lhs[i].weight, rhs[i].weight);
+    EXPECT_EQ(lhs[i].error, rhs[i].error);
+    EXPECT_EQ(lhs[i].value.sum, rhs[i].value.sum);
+  }
+  EXPECT_EQ(ab.evicted(), 0u);
+  const Tracker::Entry* shared = ab.find(7);
+  ASSERT_NE(shared, nullptr);
+  EXPECT_EQ(shared->weight, 3u);
+  EXPECT_EQ(shared->value.sum, 21u);
+}
+
+TEST(TopK, MergeTruncatesBackToCapacityDeterministically) {
+  Tracker a(3);
+  a.update(1, 10);
+  a.update(2, 8);
+  a.update(3, 6);
+  Tracker b(3);
+  b.update(4, 9);
+  b.update(5, 7);
+  b.update(6, 5);
+  a.merge(b);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.evicted(), 3u);  // union of 6 truncated to 3
+  const auto s = a.sorted();
+  EXPECT_EQ(s[0].key, 1u);
+  EXPECT_EQ(s[1].key, 4u);
+  EXPECT_EQ(s[2].key, 2u);
+}
+
+TEST(TopK, MemoryBoundedAtTenThousandDistinctKeys) {
+  constexpr size_t kCap = 16;
+  Tracker t(kCap);
+  // A heavy hitter interleaved with a long tail of one-shot keys: the tail
+  // churns through the tracker but can never displace the heavy key, and
+  // residency never exceeds capacity.
+  constexpr uint64_t kHeavy = 424242;
+  for (uint64_t i = 0; i < 10'000; ++i) {
+    t.update(kHeavy, 100);
+    t.update(1'000'000 + i, 1);
+    ASSERT_LE(t.size(), kCap);
+  }
+  EXPECT_EQ(t.size(), kCap);
+  EXPECT_EQ(t.seen(), 10'001u);
+  EXPECT_GT(t.evicted(), 9'000u);
+  const Tracker::Entry* heavy = t.find(kHeavy);
+  ASSERT_NE(heavy, nullptr);
+  EXPECT_EQ(heavy->weight, 1'000'000u);
+  EXPECT_EQ(heavy->error, 0u);  // inserted first, never evicted
+  // Space-Saving guarantee: every resident entry's true weight lies in
+  // [weight - error, weight].
+  for (const auto& e : t.sorted()) {
+    EXPECT_GE(e.weight, e.error);
+  }
+}
+
+TEST(TopK, ZeroIncrementStillInsertsKey) {
+  // TenantLedger::account_data uses update(key, 0) so pure-data tenants are
+  // resident even before their first counted RPC.
+  Tracker t(4);
+  t.update(12, 0).sum += 99;
+  const Tracker::Entry* e = t.find(12);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->weight, 0u);
+  EXPECT_EQ(e->value.sum, 99u);
+  EXPECT_EQ(t.seen(), 1u);
+}
+
+}  // namespace
+}  // namespace dpnfs::util

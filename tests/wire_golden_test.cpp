@@ -57,6 +57,34 @@ TEST(WireGolden, CallHeaderSampledBit) {
             "61620000");         // "ab" + XDR padding
 }
 
+TEST(WireGolden, CallHeaderTenantBit) {
+  rpc::XdrEncoder enc;
+  rpc::CallHeader h{0x2A, 100003, 4, 1, 7, 9, rpc::kFlagSampled, "ab"};
+  h.tenant_id = 0x11;
+  h.encode(enc);
+  // A nonzero tenant sets bit 1 of the flags word and appends the tenant u32
+  // between flags and principal; zero-tenant headers (the two pins above)
+  // stay byte-identical to the legacy layout.
+  const std::vector<std::byte> wire = std::move(enc).take();
+  EXPECT_EQ(hex(wire),
+            "0000002a"           // xid 42
+            "000186a3"           // program 100003
+            "00000004"           // version 4
+            "00000001"           // procedure COMPOUND
+            "0000000000000007"   // trace id 7
+            "0000000000000009"   // span id 9
+            "00000003"           // flags: kFlagSampled | kFlagHasTenant
+            "00000011"           // tenant id 17
+            "00000002"           // principal length
+            "61620000");         // "ab" + XDR padding
+  rpc::XdrDecoder dec(wire);
+  const rpc::CallHeader back = rpc::CallHeader::decode(dec);
+  EXPECT_TRUE(dec.done());
+  EXPECT_EQ(back.tenant_id, 0x11u);
+  EXPECT_EQ(back.principal, "ab");
+  EXPECT_NE(back.flags & rpc::kFlagSampled, 0u);
+}
+
 TEST(WireGolden, SequencePutFhReadCompound) {
   nfs::CompoundBuilder b;
   b.add(nfs::OpCode::kSequence, nfs::SequenceArgs{nfs::SessionId{1}, 0});

@@ -87,6 +87,22 @@ SLO_OP_KEYS = {
     "over_slo": int,
 }
 
+# One tenant's resource bill (the "tenants" section, docs/observability.md).
+TENANT_STAT_KEYS = {
+    "rpcs": int,
+    "wire_bytes_in": int,
+    "wire_bytes_out": int,
+    "queue_ns": int,
+    "service_ns": int,
+    "disk_ns": int,
+    "read_bytes": int,
+    "write_bytes": int,
+    "errors": int,
+    "over_slo": int,
+}
+
+HEALTH_STATES = ("ok", "degraded", "critical")
+
 errors = []
 
 
@@ -290,6 +306,84 @@ def check_metrics_doc(path, doc):
                 err(p, "missing key 'latency_us'")
             else:
                 check_digest(f"{p}.latency_us", body["latency_us"])
+
+    # Per-tenant attribution: top-K rows plus exact totals.  While nothing
+    # has been evicted the rows must sum exactly to the totals — that's the
+    # whole point of the unconditional total accumulator.
+    if "tenants" not in doc:
+        err(path, "missing top-level key 'tenants'")
+    tenants = doc.get("tenants", {})
+    if check_type(f"{path}.tenants", tenants, dict, "tenants"):
+        for key, types in (("topk", int), ("tenants_seen", int),
+                           ("tenants_evicted", int),
+                           ("slo_threshold_ns", int),
+                           ("per_tenant", dict), ("total", dict)):
+            if key not in tenants:
+                err(f"{path}.tenants", f"missing key '{key}'")
+            else:
+                check_type(f"{path}.tenants.{key}", tenants[key], types, key)
+
+        def check_tenant_stats(p, stats):
+            if not check_type(p, stats, dict, "tenant stats"):
+                return
+            for key, types in TENANT_STAT_KEYS.items():
+                if key not in stats:
+                    err(p, f"missing key '{key}'")
+                else:
+                    check_type(f"{p}.{key}", stats[key], types, key)
+            if "latency_us" not in stats:
+                err(p, "missing key 'latency_us'")
+            else:
+                check_digest(f"{p}.latency_us", stats["latency_us"])
+
+        per_tenant = tenants.get("per_tenant", {})
+        if isinstance(per_tenant, dict):
+            for name, row in per_tenant.items():
+                p = f"{path}.tenants.per_tenant.{name}"
+                if not check_type(p, row, dict, "tenant row"):
+                    continue
+                for key in ("weight", "weight_error"):
+                    if key not in row:
+                        err(p, f"missing key '{key}'")
+                    else:
+                        check_type(f"{p}.{key}", row[key], int, key)
+                check_tenant_stats(f"{p}.stats", row.get("stats", {}))
+            rows = len(per_tenant)
+            cap = tenants.get("topk", 0)
+            if isinstance(cap, int) and rows > cap:
+                err(f"{path}.tenants.per_tenant",
+                    f"{rows} rows exceed topk capacity {cap}")
+        total = tenants.get("total", {})
+        check_tenant_stats(f"{path}.tenants.total", total)
+        if (tenants.get("tenants_evicted") == 0 and isinstance(total, dict)
+                and isinstance(per_tenant, dict)):
+            for key in TENANT_STAT_KEYS:
+                want = total.get(key)
+                got = sum(row.get("stats", {}).get(key, 0)
+                          for row in per_tenant.values()
+                          if isinstance(row, dict))
+                if isinstance(want, int) and got != want:
+                    err(f"{path}.tenants.per_tenant",
+                        f"sum of '{key}' over rows = {got} != total {want} "
+                        f"with tenants_evicted == 0")
+
+    # Per-node health verdicts from the periodic evaluator.
+    if "health" not in doc:
+        err(path, "missing top-level key 'health'")
+    health = doc.get("health", {})
+    if check_type(f"{path}.health", health, dict, "health"):
+        for node, body in health.items():
+            p = f"{path}.health.{node}"
+            if not check_type(p, body, dict, "node health"):
+                continue
+            state = body.get("state")
+            if state not in HEALTH_STATES:
+                err(f"{p}.state", f"state should be one of {HEALTH_STATES}, "
+                                  f"got {state!r}")
+            if "reason" not in body:
+                err(p, "missing key 'reason'")
+            else:
+                check_type(f"{p}.reason", body["reason"], str, "reason")
 
     # Optional utilization time series (present when the sampler ran).
     if "timeseries" in doc:
