@@ -241,6 +241,7 @@ void NfsClient::session_lost(const rpc::RpcAddress& addr,
     for (auto& [ino, f] : files_) {
       if (f->layout) f->layout_stale = true;
       f->server_opens = 0;
+      f->open_stateids.clear();
     }
   }
   util::logf(util::LogLevel::kInfo, "nfs.client", fabric_.simulation().now(),
@@ -663,6 +664,7 @@ Task<NfsClient::FilePtr> NfsClient::open(const std::string& path, bool create,
     if (!st.layout) st.layout = std::move(layout);
   }
   ++it->second->server_opens;
+  it->second->open_stateids.push_back(open_res.stateid);
   if (open_res.delegation == DelegationType::kRead) {
     it->second->read_delegation = true;
   }
@@ -683,11 +685,21 @@ Task<void> NfsClient::close(FilePtr file) {
   // the server holds more opens than we have handles left.
   Fattr fresh = file->attr;
   if (file->server_opens > file->open_count) {
+    // Retire the newest still-live OPEN stateid (LIFO).  With concurrent
+    // handles on one file the server holds one stateid per OPEN; presenting
+    // the same one twice earns NFS4ERR_BAD_STATEID.
+    Stateid closing = file->stateid;
+    if (!file->open_stateids.empty()) {
+      closing = file->open_stateids.back();
+      file->open_stateids.pop_back();
+      file->stateid =
+          file->open_stateids.empty() ? closing : file->open_stateids.back();
+    }
     auto s = co_await session_for(mds_);
     CompoundBuilder b = with_sequence(s->id);
     b.add(OpCode::kPutFh, PutFhArgs{file->fh});
     b.add(OpCode::kGetattr);  // refresh change/size for close-to-open caching
-    b.add(OpCode::kClose, CloseArgs{file->stateid});
+    b.add(OpCode::kClose, CloseArgs{closing});
     CompoundReply r(co_await call(mds_, std::move(b), 0));
     r.expect(OpCode::kSequence);
     r.expect(OpCode::kPutFh);

@@ -473,6 +473,13 @@ class NfsClient::FileState {
   /// purely local, so open_count can exceed server_opens; CLOSE RPCs are
   /// only sent while server_opens exceeds the remaining handles.
   uint32_t server_opens = 0;
+  /// Every outstanding server-side OPEN stateid, oldest first.  The server
+  /// mints a distinct stateid per OPEN and CLOSE retires exactly one, so
+  /// with concurrent handles on the same file each CLOSE must present a
+  /// stateid that is still live — closing the newest twice earns
+  /// NFS4ERR_BAD_STATEID and leaks the rest.  `stateid` mirrors the most
+  /// recent entry for the I/O path.
+  std::vector<Stateid> open_stateids;
 
   // Page cache.
   util::RangeBuffer content;

@@ -248,6 +248,14 @@ class RpcClient {
     std::vector<std::byte> buffer;
     size_t body_offset = 0;
 
+    Reply() = default;
+    Reply(Reply&&) = default;
+    Reply& operator=(Reply&&) = default;
+    Reply(const Reply&) = default;
+    Reply& operator=(const Reply&) = default;
+    // Reply framing buffers churn once per call; retire them into the pool.
+    ~Reply() { util::BufferPool::give(std::move(buffer)); }
+
     bool ok() const noexcept {
       return transport == Status::kOk && status == ReplyStatus::kAccepted;
     }

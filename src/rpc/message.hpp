@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "rpc/xdr.hpp"
+#include "util/pool.hpp"
 
 namespace dpnfs::rpc {
 
@@ -112,6 +113,16 @@ struct ReplyHeader {
 struct WireBuffer {
   std::vector<std::byte> bytes;
   uint64_t wire_size = 0;
+
+  WireBuffer() = default;
+  WireBuffer(std::vector<std::byte> b, uint64_t ws)
+      : bytes(std::move(b)), wire_size(ws) {}
+  WireBuffer(WireBuffer&&) = default;
+  WireBuffer& operator=(WireBuffer&&) = default;
+  WireBuffer(const WireBuffer&) = default;
+  WireBuffer& operator=(const WireBuffer&) = default;
+  // Framing buffers churn once per message; retire them into the pool.
+  ~WireBuffer() { util::BufferPool::give(std::move(bytes)); }
 
   static WireBuffer from_encoder(XdrEncoder&& enc) {
     WireBuffer w;

@@ -6,29 +6,58 @@
 // benchmarks use *virtual* payloads: the byte count is preserved (and billed
 // to NICs and disks) but no buffer is allocated.
 //
-// Inline payloads are scatter-gather: content lives in an ordered list of
-// fragments, and `append(Payload&&)` splices the other payload's fragments
-// in without copying a byte.  That lets the client coalesce adjacent dirty
-// extents into one WRITE, and reassemble striped READ replies, in O(#pieces)
-// instead of O(bytes).  The fragmentation is invisible on the wire (XDR
-// emits one contiguous opaque) and to comparisons; `data()` gathers into a
-// single buffer on first use for callers that need contiguous bytes.
+// Inline payloads are scatter-gather: content is an ordered list of
+// *fragment views* — shared-ownership references into immutable backing
+// buffers.  `append(Payload&&)` splices fragments, and `slice()` builds
+// sub-views, without copying a byte; the same backing buffer can be
+// referenced by many payloads at different offsets (a striped WRITE slices
+// one application buffer into per-DS payloads for free).  Fragmentation is
+// invisible on the wire (XDR emits one contiguous opaque) and to
+// comparisons.  The only copy on the whole path is `data()` gathering a
+// multi-fragment payload into one pooled buffer on first use; the
+// thread-local `copy_stats()` counters let tests pin exactly how many bytes
+// that costs.
 #pragma once
 
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <span>
 #include <stdexcept>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "util/pool.hpp"
+
 namespace dpnfs::rpc {
+
+/// Copy accounting for Payload (thread-local): how often and how many bytes
+/// `data()` had to gather.  Zero-copy regressions are pinned against these.
+struct PayloadCopyStats {
+  uint64_t gathers = 0;
+  uint64_t gathered_bytes = 0;
+};
 
 class Payload {
  public:
+  /// A view into an immutable, shared backing buffer.
+  struct Fragment {
+    std::shared_ptr<const std::vector<std::byte>> buf;
+    uint64_t off = 0;
+    uint64_t len = 0;
+
+    std::span<const std::byte> view() const noexcept {
+      return {buf->data() + off, static_cast<size_t>(len)};
+    }
+  };
+
+  using CopyStats = PayloadCopyStats;
+  static CopyStats copy_stats() noexcept { return copy_stats_; }
+  static void reset_copy_stats() noexcept { copy_stats_ = CopyStats{}; }
+
   Payload() = default;
 
   /// Virtual payload: `bytes` of unmaterialized data.
@@ -38,11 +67,15 @@ class Payload {
     return p;
   }
 
-  /// Inline payload holding real content.
+  /// Inline payload holding real content.  The buffer becomes immutable and
+  /// shared; on release it is recycled through the byte-buffer pool.
   static Payload inline_bytes(std::vector<std::byte> data) {
     Payload p;
     p.size_ = data.size();
-    if (!data.empty()) p.frags_.push_back(std::move(data));
+    if (!data.empty()) {
+      const uint64_t len = data.size();
+      p.frags_.push_back(Fragment{share(std::move(data)), 0, len});
+    }
     p.inline_ = true;
     return p;
   }
@@ -57,40 +90,41 @@ class Payload {
   bool is_inline() const noexcept { return inline_; }
 
   /// Contiguous view of the content.  A multi-fragment payload is gathered
-  /// into one buffer on first use (the one place fragmentation costs a
-  /// copy); single-fragment and virtual payloads are free.
+  /// into one pooled buffer on first use (the one place fragmentation costs
+  /// a copy); single-fragment and virtual payloads are zero-copy.
   std::span<const std::byte> data() const {
     if (frags_.empty()) return {};
     if (frags_.size() > 1) gather();
-    return frags_.front();
+    return frags_.front().view();
   }
 
   /// The scatter-gather fragment list (empty for virtual payloads).
-  const std::vector<std::vector<std::byte>>& fragments() const noexcept {
-    return frags_;
-  }
+  const std::vector<Fragment>& fragments() const noexcept { return frags_; }
   size_t fragment_count() const noexcept { return frags_.size(); }
 
-  /// Sub-range [offset, offset+len).  Virtual payloads slice virtually.
+  /// Sub-range [offset, offset+len).  Inline payloads slice by building
+  /// views into the same backing buffers — no bytes move.  Virtual payloads
+  /// slice virtually.
   Payload slice(uint64_t offset, uint64_t len) const {
     if (offset > size_ || offset + len > size_) {
       throw std::out_of_range("Payload::slice out of range");
     }
     if (!inline_) return virtual_bytes(len);
-    std::vector<std::byte> out;
-    out.reserve(len);
+    Payload out;
+    out.inline_ = true;
+    out.size_ = len;
     uint64_t pos = 0;  // running offset of the current fragment
     for (const auto& f : frags_) {
       const uint64_t lo = std::max(offset, pos);
-      const uint64_t hi = std::min(offset + len, pos + f.size());
+      const uint64_t hi = std::min(offset + len, pos + f.len);
       if (lo < hi) {
-        out.insert(out.end(), f.begin() + static_cast<ptrdiff_t>(lo - pos),
-                   f.begin() + static_cast<ptrdiff_t>(hi - pos));
+        out.frags_.push_back(
+            Fragment{f.buf, f.off + (lo - pos), hi - lo});
       }
-      pos += f.size();
+      pos += f.len;
       if (pos >= offset + len) break;
     }
-    return inline_bytes(std::move(out));
+    return out;
   }
 
   /// Concatenates `other` after this payload by splicing its fragments in —
@@ -113,7 +147,8 @@ class Payload {
     frags_.clear();
   }
 
-  /// Copying form for callers that must keep `other` intact.
+  /// Copying form for callers that must keep `other` intact.  Fragments are
+  /// views, so this copies refcounts, not bytes.
   void append(const Payload& other) { append(Payload(other)); }
 
   /// Content equality; fragmentation boundaries are irrelevant.
@@ -124,14 +159,14 @@ class Payload {
     size_t ai = 0, bi = 0, ao = 0, bo = 0;
     uint64_t left = size_;
     while (left > 0) {
-      while (ai < frags_.size() && ao == frags_[ai].size()) ++ai, ao = 0;
-      while (bi < other.frags_.size() && bo == other.frags_[bi].size())
+      while (ai < frags_.size() && ao == frags_[ai].len) ++ai, ao = 0;
+      while (bi < other.frags_.size() && bo == other.frags_[bi].len)
         ++bi, bo = 0;
-      const size_t n = std::min({frags_[ai].size() - ao,
-                                 other.frags_[bi].size() - bo,
-                                 static_cast<size_t>(left)});
-      if (std::memcmp(frags_[ai].data() + ao, other.frags_[bi].data() + bo,
-                      n) != 0) {
+      const size_t n = static_cast<size_t>(
+          std::min({frags_[ai].len - ao, other.frags_[bi].len - bo,
+                    static_cast<uint64_t>(left)}));
+      if (std::memcmp(frags_[ai].view().data() + ao,
+                      other.frags_[bi].view().data() + bo, n) != 0) {
         return false;
       }
       ao += n;
@@ -142,18 +177,38 @@ class Payload {
   }
 
  private:
-  void gather() const {
-    std::vector<std::byte> flat;
-    flat.reserve(size_);
-    for (const auto& f : frags_) flat.insert(flat.end(), f.begin(), f.end());
-    frags_.clear();
-    frags_.push_back(std::move(flat));
+  /// Wraps a buffer for shared immutable use; the deleter retires the
+  /// storage through the BufferPool so payload churn recycles allocations.
+  static std::shared_ptr<const std::vector<std::byte>> share(
+      std::vector<std::byte> v) {
+    auto* owned = new std::vector<std::byte>(std::move(v));
+    return std::shared_ptr<const std::vector<std::byte>>(
+        owned, [](const std::vector<std::byte>* p) {
+          auto* mut = const_cast<std::vector<std::byte>*>(p);
+          util::BufferPool::give(std::move(*mut));
+          delete mut;
+        });
   }
+
+  void gather() const {
+    std::vector<std::byte> flat = util::BufferPool::take(size_);
+    for (const auto& f : frags_) {
+      const auto v = f.view();
+      flat.insert(flat.end(), v.begin(), v.end());
+    }
+    ++copy_stats_.gathers;
+    copy_stats_.gathered_bytes += flat.size();
+    const uint64_t len = flat.size();
+    frags_.clear();
+    frags_.push_back(Fragment{share(std::move(flat)), 0, len});
+  }
+
+  static inline thread_local CopyStats copy_stats_;
 
   uint64_t size_ = 0;
   bool inline_ = false;
-  /// Inline content in order; mutable so `data()` can gather lazily.
-  mutable std::vector<std::vector<std::byte>> frags_;
+  /// Fragment views in order; mutable so `data()` can gather lazily.
+  mutable std::vector<Fragment> frags_;
 };
 
 }  // namespace dpnfs::rpc

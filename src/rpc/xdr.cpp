@@ -2,18 +2,6 @@
 
 namespace dpnfs::rpc {
 
-void XdrEncoder::put_u32(uint32_t v) {
-  buf_.push_back(static_cast<std::byte>((v >> 24) & 0xFF));
-  buf_.push_back(static_cast<std::byte>((v >> 16) & 0xFF));
-  buf_.push_back(static_cast<std::byte>((v >> 8) & 0xFF));
-  buf_.push_back(static_cast<std::byte>(v & 0xFF));
-}
-
-void XdrEncoder::put_u64(uint64_t v) {
-  put_u32(static_cast<uint32_t>(v >> 32));
-  put_u32(static_cast<uint32_t>(v & 0xFFFFFFFFu));
-}
-
 void XdrEncoder::patch_u32(size_t pos, uint32_t v) {
   if (pos + 4 > buf_.size()) throw XdrError("patch_u32 out of range");
   buf_[pos] = static_cast<std::byte>((v >> 24) & 0xFF);
@@ -49,7 +37,8 @@ void XdrEncoder::put_payload(const Payload& p) {
     // identical to a single contiguous opaque — no client-side gather copy.
     put_u32(static_cast<uint32_t>(p.size()));
     for (const auto& frag : p.fragments()) {
-      buf_.insert(buf_.end(), frag.begin(), frag.end());
+      const auto v = frag.view();
+      buf_.insert(buf_.end(), v.begin(), v.end());
     }
     pad();
   } else {
@@ -90,8 +79,9 @@ void XdrDecoder::skip_pad() {
 
 std::vector<std::byte> XdrDecoder::get_opaque_fixed(size_t len) {
   need(len);
-  std::vector<std::byte> out(data_.begin() + static_cast<ptrdiff_t>(pos_),
-                             data_.begin() + static_cast<ptrdiff_t>(pos_ + len));
+  std::vector<std::byte> out = util::BufferPool::take(len);
+  out.assign(data_.begin() + static_cast<ptrdiff_t>(pos_),
+             data_.begin() + static_cast<ptrdiff_t>(pos_ + len));
   pos_ += len;
   skip_pad();
   return out;

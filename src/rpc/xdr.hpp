@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "rpc/payload.hpp"
+#include "util/pool.hpp"
 
 namespace dpnfs::rpc {
 
@@ -32,8 +33,45 @@ class XdrError : public std::runtime_error {
 
 class XdrEncoder {
  public:
-  void put_u32(uint32_t v);
-  void put_u64(uint64_t v);
+  // Encoder buffers come from (and return to) the byte-buffer pool: one
+  // encoder per message means steady-state encoding allocates nothing.
+  XdrEncoder() : buf_(util::BufferPool::take(192)) {}
+  XdrEncoder(XdrEncoder&&) = default;
+  XdrEncoder& operator=(XdrEncoder&& other) noexcept {
+    if (this != &other) {
+      util::BufferPool::give(std::move(buf_));
+      buf_ = std::move(other.buf_);
+      virtual_bytes_ = other.virtual_bytes_;
+    }
+    return *this;
+  }
+  XdrEncoder(const XdrEncoder&) = default;
+  XdrEncoder& operator=(const XdrEncoder&) = default;
+  ~XdrEncoder() { util::BufferPool::give(std::move(buf_)); }
+
+  // Hot primitives are inline: a single 4/8-byte insert (one capacity
+  // check) instead of per-byte push_backs — these run tens of millions of
+  // times in a scale sweep.
+  void put_u32(uint32_t v) {
+    const std::byte b[4] = {
+        static_cast<std::byte>((v >> 24) & 0xFF),
+        static_cast<std::byte>((v >> 16) & 0xFF),
+        static_cast<std::byte>((v >> 8) & 0xFF),
+        static_cast<std::byte>(v & 0xFF)};
+    buf_.insert(buf_.end(), b, b + 4);
+  }
+  void put_u64(uint64_t v) {
+    const std::byte b[8] = {
+        static_cast<std::byte>((v >> 56) & 0xFF),
+        static_cast<std::byte>((v >> 48) & 0xFF),
+        static_cast<std::byte>((v >> 40) & 0xFF),
+        static_cast<std::byte>((v >> 32) & 0xFF),
+        static_cast<std::byte>((v >> 24) & 0xFF),
+        static_cast<std::byte>((v >> 16) & 0xFF),
+        static_cast<std::byte>((v >> 8) & 0xFF),
+        static_cast<std::byte>(v & 0xFF)};
+    buf_.insert(buf_.end(), b, b + 8);
+  }
   void put_i32(int32_t v) { put_u32(static_cast<uint32_t>(v)); }
   void put_i64(int64_t v) { put_u64(static_cast<uint64_t>(v)); }
   void put_bool(bool v) { put_u32(v ? 1 : 0); }

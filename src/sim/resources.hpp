@@ -45,6 +45,14 @@ class Nic {
   Duration tx_busy() const noexcept { return tx_busy_; }
   Duration rx_busy() const noexcept { return rx_busy_; }
 
+  // Link-local flow census: transfers currently using this NIC's TX.  Kept
+  // incrementally (O(1) per transfer), so bandwidth-sharing decisions — e.g.
+  // chunk batching only when a flow has the link to itself — consult just
+  // the affected link, never a global flow table.
+  void begin_tx_flow() noexcept { ++active_tx_flows_; }
+  void end_tx_flow() noexcept { --active_tx_flows_; }
+  uint32_t active_tx_flows() const noexcept { return active_tx_flows_; }
+
  private:
   NicParams params_;
   Semaphore tx_;
@@ -53,6 +61,7 @@ class Nic {
   uint64_t rx_bytes_ = 0;
   Duration tx_busy_ = 0;
   Duration rx_busy_ = 0;
+  uint32_t active_tx_flows_ = 0;
 };
 
 /// Single-arm disk with sequential-transfer bandwidth, a positioning cost for

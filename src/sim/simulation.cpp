@@ -5,8 +5,7 @@ namespace dpnfs::sim {
 uint64_t Simulation::run() {
   const uint64_t start = events_processed_;
   while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
+    Event ev = queue_.pop();
     now_ = ev.time;
     ++events_processed_;
     ev.handle.resume();
@@ -16,13 +15,11 @@ uint64_t Simulation::run() {
 
 bool Simulation::run_until(Time deadline) {
   while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (top.time > deadline) {
+    if (queue_.next_time() > deadline) {
       now_ = deadline;
       return false;
     }
-    Event ev = top;
-    queue_.pop();
+    Event ev = queue_.pop();
     now_ = ev.time;
     ++events_processed_;
     ev.handle.resume();

@@ -4,13 +4,17 @@
 // wake-ups flow through the queue — including zero-delay ones — which keeps
 // execution order deterministic (time, then insertion order) and the native
 // call stack shallow.
+//
+// The queue is a calendar queue by default (see event_queue.hpp); the
+// pre-overhaul binary heap is available as `QueueKind::kBinaryHeap` so the
+// scale bench can measure the old core and tests can assert the two modes
+// realize the same total order.
 #pragma once
 
 #include <coroutine>
 #include <cstdint>
-#include <queue>
-#include <vector>
 
+#include "sim/event_queue.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
 
@@ -18,7 +22,8 @@ namespace dpnfs::sim {
 
 class Simulation {
  public:
-  Simulation() = default;
+  explicit Simulation(QueueKind queue_kind = QueueKind::kCalendar)
+      : queue_(queue_kind) {}
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 
@@ -33,7 +38,7 @@ class Simulation {
   /// Schedules `h` to resume at absolute time `t` (clamped to >= now).
   void schedule_at(Time t, std::coroutine_handle<> h) {
     if (t < now_) t = now_;
-    queue_.push(Event{t, next_seq_++, h});
+    queue_.push(t, next_seq_++, h);
   }
 
   /// Awaitable: suspends the caller for `delay` simulated time.
@@ -70,19 +75,22 @@ class Simulation {
 
   uint64_t events_processed() const noexcept { return events_processed_; }
 
- private:
-  struct Event {
-    Time time;
-    uint64_t seq;
-    std::coroutine_handle<> handle;
-    // Min-heap: earliest time first; FIFO among equal times.
-    friend bool operator>(const Event& a, const Event& b) {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
+  QueueKind queue_kind() const noexcept { return queue_.kind(); }
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  /// Pending events.
+  size_t queue_depth() const noexcept { return queue_.size(); }
+
+  /// Storage retained by the event queue (bounded after bursts by the
+  /// queue's shrink hysteresis).
+  size_t queue_memory_bytes() const { return queue_.memory_bytes(); }
+
+  /// Same-tick / wheel / overflow push classification (calendar mode).
+  const EventQueue::PushMix& queue_push_mix() const noexcept {
+    return queue_.push_mix();
+  }
+
+ private:
+  EventQueue queue_;
   Time now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t events_processed_ = 0;

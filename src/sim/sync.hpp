@@ -45,6 +45,13 @@ class Semaphore {
     return Awaiter{*this};
   }
 
+  /// Non-suspending acquire: takes a permit iff one is available right now.
+  bool try_acquire() noexcept {
+    if (permits_ == 0) return false;
+    --permits_;
+    return true;
+  }
+
   /// Releases one permit; hands it directly to the oldest waiter if any.
   void release() {
     if (!waiters_.empty()) {

@@ -21,6 +21,8 @@
 #include <type_traits>
 #include <utility>
 
+#include "sim/frame_pool.hpp"
+
 namespace dpnfs::sim {
 
 namespace detail {
@@ -29,6 +31,13 @@ struct PromiseBase {
   std::coroutine_handle<> continuation;
   bool detached = false;
   std::exception_ptr exception;
+
+  // Coroutine frames for every Task<T> route through the frame pool; see
+  // frame_pool.hpp.  Inherited by each promise_type.
+  static void* operator new(std::size_t n) { return FramePool::allocate(n); }
+  static void operator delete(void* p, std::size_t n) noexcept {
+    FramePool::deallocate(p, n);
+  }
 };
 
 struct FinalAwaiter {

@@ -48,9 +48,12 @@ void RangeBuffer::store(uint64_t offset, const Payload& data) {
     // the map); load() reassembles across extent boundaries anyway.
     uint64_t pos = offset;
     for (const auto& frag : data.fragments()) {
-      if (frag.empty()) continue;
-      extents_.emplace(pos, frag);
-      pos += frag.size();
+      const auto v = frag.view();
+      if (v.empty()) continue;
+      // The cache mutates its extents in place (tail splits, truncation),
+      // so it owns a copy rather than a view of the shared fragment.
+      extents_.emplace(pos, std::vector<std::byte>(v.begin(), v.end()));
+      pos += v.size();
     }
   } else {
     virtual_ranges_.add(offset, end);

@@ -1,0 +1,270 @@
+#include "workload/openloop.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "sim/sync.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace dpnfs::workload {
+
+using rpc::Payload;
+using sim::Task;
+
+namespace {
+
+// Instantaneous diurnal rate multiplier at fraction `x` in [0,1] of the
+// arrival window: 1 at the edges, `peak` at mid-window (triangular tide).
+double diurnal_multiplier(double x, double peak) {
+  if (peak == 1.0) return 1.0;
+  const double tri = 1.0 - std::abs(2.0 * x - 1.0);
+  return 1.0 + (peak - 1.0) * tri;
+}
+
+// Inverse CDF of bounded Pareto(alpha, lo, hi) at u in [0,1).
+double bounded_pareto_quantile(double u, double alpha, double lo, double hi) {
+  const double ratio = 1.0 - std::pow(lo / hi, alpha);
+  return lo * std::pow(1.0 - u * ratio, -1.0 / alpha);
+}
+
+}  // namespace
+
+std::vector<Arrival> generate_arrivals(const OpenLoopConfig& cfg) {
+  if (cfg.rate_per_sec <= 0 || cfg.duration <= 0) return {};
+  util::Rng times = util::Rng(cfg.seed).fork(1);
+  util::Rng tenants = util::Rng(cfg.seed).fork(2);
+  util::Rng seeds = util::Rng(cfg.seed).fork(3);
+
+  // Mean inter-arrival gap in ns at the base rate.
+  const double base_gap_ns = 1e9 / cfg.rate_per_sec;
+  // Heavy-tailed draws are dimensionless on [lo, hi]; dividing by their mean
+  // makes the realized mean gap equal base_gap_ns while preserving the tail
+  // index (scaling is tail-invariant).
+  double pareto_scale = 0;
+  if (cfg.process == ArrivalProcess::kBoundedPareto) {
+    const double a = cfg.pareto_alpha, lo = cfg.pareto_lo, hi = cfg.pareto_hi;
+    double mean;
+    if (a == 1.0) {
+      mean = std::log(hi / lo) / ((1.0 / lo - 1.0 / hi) / (1.0 - lo / hi));
+    } else {
+      mean = (a * std::pow(lo, a) / (1.0 - std::pow(lo / hi, a))) *
+             (std::pow(lo, 1.0 - a) - std::pow(hi, 1.0 - a)) / (a - 1.0);
+    }
+    pareto_scale = base_gap_ns / mean;
+  }
+
+  double total_weight = 0;
+  for (double w : cfg.tenant_weights) {
+    if (w < 0) throw std::invalid_argument("negative tenant weight");
+    total_weight += w;
+  }
+
+  const double window_ns = static_cast<double>(cfg.duration);
+  std::vector<Arrival> out;
+  out.reserve(static_cast<size_t>(cfg.rate_per_sec *
+                                  sim::to_seconds(cfg.duration) * 1.25) +
+              16);
+  double t_ns = 0;
+  while (true) {
+    // Draw the next gap at the base rate, then compress it by the diurnal
+    // multiplier at the current position (rate modulation).
+    const double u = times.uniform();
+    double gap;
+    if (cfg.process == ArrivalProcess::kBoundedPareto) {
+      gap = bounded_pareto_quantile(u, cfg.pareto_alpha, cfg.pareto_lo,
+                                    cfg.pareto_hi) *
+            pareto_scale;
+    } else {
+      gap = -std::log(1.0 - u) * base_gap_ns;
+    }
+    gap /= diurnal_multiplier(t_ns / window_ns, cfg.diurnal_peak_ratio);
+    t_ns += gap;
+    if (t_ns >= window_ns) break;
+
+    Arrival a;
+    a.at = static_cast<sim::Time>(t_ns);
+    if (total_weight > 0) {
+      double pick = tenants.uniform() * total_weight;
+      uint32_t t = 1;
+      for (size_t i = 0; i < cfg.tenant_weights.size(); ++i) {
+        pick -= cfg.tenant_weights[i];
+        if (pick < 0) {
+          t = static_cast<uint32_t>(i + 1);
+          break;
+        }
+      }
+      a.tenant = std::min<uint32_t>(
+          t, static_cast<uint32_t>(cfg.tenant_weights.size()));
+    }
+    a.session_seed = seeds.next();
+    out.push_back(a);
+  }
+  return out;
+}
+
+namespace {
+
+// Concurrency bookkeeping: integral of in-flight sessions over sim time.
+struct ConcurrencyTracker {
+  uint64_t current = 0;
+  uint64_t peak = 0;
+  sim::Time last = 0;
+  double integral_ns = 0;
+
+  void change(sim::Time now, int64_t delta) {
+    integral_ns += static_cast<double>(now - last) * current;
+    last = now;
+    current = static_cast<uint64_t>(static_cast<int64_t>(current) + delta);
+    peak = std::max(peak, current);
+  }
+};
+
+struct OpenLoopState {
+  const OpenLoopConfig& cfg;
+  OpenLoopResult& result;
+  ConcurrencyTracker conc;
+  sim::Time t0 = 0;
+  sim::Time last_done = 0;
+  std::string first_error;
+  // Round-robin cursors: [0] global, [t] per-tenant (nodes are stamped
+  // tenant 1 + (i % tenants), so tenant t's nodes are t-1, t-1+T, ...).
+  std::vector<uint64_t> rr;
+};
+
+std::string node_file(size_t node) {
+  return "/openloop/f" + std::to_string(node);
+}
+
+// Which client node serves this session.  Tenant-labeled sessions land on a
+// node carrying the same tenant id so the per-tenant ledger attributes their
+// traffic to the offered mix.
+size_t pick_node(OpenLoopState& st, core::Deployment& d, uint32_t tenant) {
+  const size_t n = d.client_count();
+  const uint32_t T = d.config().tenants;
+  if (tenant != 0 && T != 0 && tenant <= T) {
+    const size_t stride_count = (n - (tenant - 1) + T - 1) / T;
+    if (stride_count > 0) {
+      const size_t k = st.rr[tenant]++ % stride_count;
+      return (tenant - 1) + k * T;
+    }
+  }
+  return st.rr[0]++ % n;
+}
+
+Task<void> session(core::Deployment& d, OpenLoopState& st, Arrival a,
+                   size_t node) {
+  const OpenLoopConfig& cfg = st.cfg;
+  try {
+    util::Rng rng(a.session_seed);
+    auto f = co_await d.client(node).open(node_file(node), false);
+    const uint64_t slots = std::max<uint64_t>(1, cfg.file_bytes / cfg.bytes_per_op);
+    for (uint32_t op = 0; op < cfg.ops_per_session; ++op) {
+      const uint64_t offset = rng.below(slots) * cfg.bytes_per_op;
+      if (rng.chance(cfg.read_fraction)) {
+        Payload got = co_await f->read(offset, cfg.bytes_per_op);
+        if (got.size() != cfg.bytes_per_op) {
+          throw std::runtime_error("open-loop short read");
+        }
+      } else if (cfg.inline_payloads) {
+        std::vector<std::byte> bytes(cfg.bytes_per_op,
+                                     std::byte{static_cast<uint8_t>(op)});
+        co_await f->write(offset, Payload::inline_bytes(std::move(bytes)));
+      } else {
+        co_await f->write(offset, Payload::virtual_bytes(cfg.bytes_per_op));
+      }
+      ++st.result.ops;
+      st.result.app_bytes += cfg.bytes_per_op;
+    }
+    if (cfg.fsync_at_end) co_await f->fsync();
+    co_await f->close();
+  } catch (const std::exception& e) {
+    if (st.first_error.empty()) st.first_error = e.what();
+  }
+  const sim::Time now = d.simulation().now();
+  st.conc.change(now, -1);
+  st.last_done = std::max(st.last_done, now);
+  // Sojourn: scheduled arrival to completion.  When delivery lags offered
+  // load the backlog shows up here, as it would to an arriving user.
+  st.result.sojourn_seconds.add(sim::to_seconds(now - (st.t0 + a.at)));
+  ++st.result.sessions;
+}
+
+Task<void> drive_open_loop(core::Deployment& d, OpenLoopState& st,
+                           std::vector<Arrival> arrivals, bool& completed) {
+  try {
+    co_await d.mount_all();
+    // Populate one working-set file per client node (untimed).
+    co_await d.client(0).mkdir("/openloop");
+    for (size_t i = 0; i < d.client_count(); ++i) {
+      auto f = co_await d.client(i).open(node_file(i), true);
+      const uint64_t chunk = 4ull << 20;
+      for (uint64_t off = 0; off < st.cfg.file_bytes; off += chunk) {
+        co_await f->write(off, Payload::virtual_bytes(std::min(
+                                   chunk, st.cfg.file_bytes - off)));
+      }
+      co_await f->close();
+    }
+  } catch (const std::exception& e) {
+    st.first_error = e.what();
+    completed = true;
+    co_return;
+  }
+
+  st.t0 = d.simulation().now();
+  st.conc.last = st.t0;
+  d.start_sampling();
+
+  sim::WaitGroup wg(d.simulation());
+  for (const Arrival& a : arrivals) {
+    const sim::Time target = st.t0 + a.at;
+    if (target > d.simulation().now()) {
+      co_await d.simulation().delay(target - d.simulation().now());
+    }
+    st.conc.change(d.simulation().now(), +1);
+    wg.spawn(session(d, st, a, pick_node(st, d, a.tenant)));
+  }
+  co_await wg.wait();
+  d.stop_sampling();
+  completed = true;
+}
+
+}  // namespace
+
+OpenLoopResult run_open_loop(core::Deployment& d, const OpenLoopConfig& cfg) {
+  if (d.client_count() == 0) {
+    throw std::invalid_argument("open-loop run needs at least one client");
+  }
+  OpenLoopResult result;
+  OpenLoopState st{cfg, result, {}, 0, 0, {}, {}};
+  st.rr.assign(2 + d.config().tenants, 0);
+
+  std::vector<Arrival> arrivals = generate_arrivals(cfg);
+  bool completed = false;
+  d.simulation().spawn(drive_open_loop(d, st, std::move(arrivals), completed));
+  d.simulation().run();
+  if (!st.first_error.empty()) {
+    throw std::runtime_error("open-loop run failed: " + st.first_error);
+  }
+  if (!completed) {
+    throw std::runtime_error("open-loop run deadlocked: simulation drained");
+  }
+
+  const sim::Time end = std::max(st.last_done, st.t0);
+  result.elapsed_seconds = sim::to_seconds(end - st.t0);
+  result.client_seconds = st.conc.integral_ns / 1e9;
+  result.peak_concurrency = st.conc.peak;
+  result.mean_concurrency =
+      result.elapsed_seconds > 0 ? result.client_seconds / result.elapsed_seconds
+                                 : 0;
+  util::logf(util::LogLevel::kInfo, "openloop", d.simulation().now(),
+             "%llu sessions, peak %llu concurrent, %.1f client-s over %.3fs",
+             static_cast<unsigned long long>(result.sessions),
+             static_cast<unsigned long long>(result.peak_concurrency),
+             result.client_seconds, result.elapsed_seconds);
+  return result;
+}
+
+}  // namespace dpnfs::workload

@@ -1,0 +1,108 @@
+// Open-loop traffic generation (ROADMAP item 1).
+//
+// The closed-loop `Workload` harness measures N workers in lockstep: each
+// client issues its next op when the previous completes, so offered load
+// collapses exactly when the system slows down — the opposite of a real
+// client population.  This generator models *arrivals*: ephemeral sessions
+// enter by a seeded stochastic process (Poisson or bounded-Pareto
+// inter-arrivals, optionally modulated by a diurnal ramp), run a short I/O
+// job against the deployment, and leave.  Offered load is independent of
+// delivered latency, which is what lets `bench_scale` report
+// offered-vs-delivered percentiles and sustain thousands of concurrent
+// sessions over a fixed set of client nodes.
+//
+// Determinism: the arrival schedule (times, tenant labels, per-session
+// seeds) is pure Rng arithmetic over the config — independent of cluster
+// architecture, topology, and simulator scheduling.  Same seed, same
+// schedule, bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/deployment.hpp"
+#include "sim/time.hpp"
+#include "util/stats.hpp"
+
+namespace dpnfs::workload {
+
+enum class ArrivalProcess {
+  kPoisson,        ///< exponential inter-arrivals (memoryless)
+  kBoundedPareto,  ///< heavy-tailed inter-arrivals with tail index alpha
+};
+
+struct OpenLoopConfig {
+  uint64_t seed = 0xD15EA5EULL;
+  ArrivalProcess process = ArrivalProcess::kPoisson;
+
+  /// Mean arrival rate (sessions per simulated second) before the diurnal
+  /// profile is applied.
+  double rate_per_sec = 1000.0;
+
+  /// Arrival window: sessions arrive in [0, duration); the run ends when
+  /// the last session completes.
+  sim::Duration duration = sim::sec(5);
+
+  /// Bounded-Pareto shape for the heavy-tailed mode: tail index `alpha` on
+  /// support [lo, hi] (dimensionless draw; draws are rescaled so the mean
+  /// inter-arrival matches rate_per_sec).
+  double pareto_alpha = 1.5;
+  double pareto_lo = 1.0;
+  double pareto_hi = 1e4;
+
+  /// Diurnal ramp: instantaneous rate climbs linearly from the base rate to
+  /// peak_ratio * base at mid-window, then back — a one-day tide compressed
+  /// into the window.  Disabled when peak_ratio == 1.
+  double diurnal_peak_ratio = 1.0;
+
+  /// Tenant mix: arrival i is labeled tenant t (1-based) with probability
+  /// weights[t-1] / sum(weights).  Empty: all arrivals are tenant 0
+  /// (unstamped).
+  std::vector<double> tenant_weights;
+
+  /// Session shape: ops_per_session random-offset I/Os of bytes_per_op
+  /// against the session's client-node file, read_fraction of them reads,
+  /// one fsync at the end when fsync_at_end.
+  uint32_t ops_per_session = 4;
+  uint64_t bytes_per_op = 64 * 1024;
+  double read_fraction = 0.5;
+  bool fsync_at_end = true;
+
+  /// Materialize payload bytes (exercises the inline scatter-gather path)
+  /// instead of virtual byte-counting.
+  bool inline_payloads = false;
+
+  /// Working-set size of each client node's file.
+  uint64_t file_bytes = 64ull << 20;
+};
+
+/// One scheduled arrival.
+struct Arrival {
+  sim::Time at = 0;           ///< simulated arrival time (ns from window start)
+  uint32_t tenant = 0;        ///< tenant label (0: unstamped)
+  uint64_t session_seed = 0;  ///< seeds the session's op stream
+};
+
+/// The deterministic arrival schedule for `cfg` (sorted by time).
+std::vector<Arrival> generate_arrivals(const OpenLoopConfig& cfg);
+
+struct OpenLoopResult {
+  uint64_t sessions = 0;            ///< arrivals scheduled (== completed)
+  uint64_t ops = 0;                 ///< I/Os issued by all sessions
+  uint64_t app_bytes = 0;           ///< bytes moved by those I/Os
+  double elapsed_seconds = 0;       ///< first arrival -> last completion (sim)
+  double client_seconds = 0;        ///< integral of in-flight sessions (sim)
+  uint64_t peak_concurrency = 0;    ///< max simultaneous sessions
+  double mean_concurrency = 0;      ///< client_seconds / elapsed_seconds
+  /// Offered-vs-delivered sojourn latency: scheduled arrival to completion,
+  /// so backlog from under-delivery shows up as latency, as it would to an
+  /// arriving user.
+  util::PercentileDigest sojourn_seconds;
+};
+
+/// Drives the full run: mounts, preps files (untimed), then replays the
+/// arrival schedule over the deployment's client nodes (session s runs on
+/// client node s % client_count).  Runs the simulation to completion.
+OpenLoopResult run_open_loop(core::Deployment& d, const OpenLoopConfig& cfg);
+
+}  // namespace dpnfs::workload

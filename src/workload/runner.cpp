@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "util/log.hpp"
+#include "util/rng.hpp"
 
 namespace dpnfs::workload {
 
@@ -42,10 +43,18 @@ Task<void> drive(core::Deployment& d, Workload& w, RunResult& result,
   for (size_t i = 0; i < d.client_count(); ++i) {
     wg.spawn([](core::Deployment& d, Workload& w, size_t i,
                 std::string& first_error) -> Task<void> {
-      // Small start stagger, as on a real cluster (also prevents the
-      // perfectly phase-locked request convoys a deterministic simulator
-      // would otherwise manufacture).
-      co_await d.simulation().delay(static_cast<sim::Duration>(i) * sim::us(2300));
+      // Seeded start stagger, as on a real cluster (also prevents the
+      // phase-locked request convoys a deterministic simulator would
+      // otherwise manufacture).  Uniform per client — unlike the old
+      // linear i*2.3ms ramp, the spread does not grow with client count,
+      // so sweeps compare steady state at every point.
+      const auto& cfg = d.config();
+      if (cfg.start_stagger > 0) {
+        co_await d.simulation().delay(static_cast<sim::Duration>(
+            util::Rng(cfg.start_stagger_seed)
+                .fork(static_cast<uint64_t>(i))
+                .below(static_cast<uint64_t>(cfg.start_stagger))));
+      }
       try {
         co_await w.client_main(d, i);
       } catch (const std::exception& e) {

@@ -241,5 +241,79 @@ TEST(Xdr, PropertyRandomSequencesRoundTrip) {
   }
 }
 
+// --- Zero-copy regression pins ---------------------------------------------
+// The fragment redesign makes single-fragment access, slicing, and appending
+// copy-free; data() materializes a gather buffer only for multi-fragment
+// payloads.  These tests pin the copy counts so a regression (say, a slice
+// that quietly re-buffers) fails loudly instead of showing up as a perf
+// cliff at a thousand clients.
+
+TEST(PayloadCopies, SingleFragmentDataIsZeroCopy) {
+  Payload p = Payload::from_string("hello zero copy");
+  Payload::reset_copy_stats();
+  auto view = p.data();
+  EXPECT_EQ(view.size(), p.size());
+  EXPECT_EQ(Payload::copy_stats().gathers, 0u);
+  EXPECT_EQ(Payload::copy_stats().gathered_bytes, 0u);
+  // Same storage, not a copy: repeated calls return the same address.
+  EXPECT_EQ(view.data(), p.data().data());
+}
+
+TEST(PayloadCopies, SliceOfInlineIsZeroCopy) {
+  std::vector<std::byte> bytes(4096);
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    bytes[i] = static_cast<std::byte>(i & 0xFF);
+  }
+  Payload p = Payload::inline_bytes(std::move(bytes));
+  const std::byte* base = p.data().data();
+
+  Payload::reset_copy_stats();
+  Payload s = p.slice(128, 1024);
+  ASSERT_EQ(s.size(), 1024u);
+  ASSERT_EQ(s.fragment_count(), 1u);
+  // The slice views the parent's buffer at an offset — no bytes moved.
+  EXPECT_EQ(s.data().data(), base + 128);
+  EXPECT_EQ(Payload::copy_stats().gathers, 0u);
+  EXPECT_EQ(Payload::copy_stats().gathered_bytes, 0u);
+}
+
+TEST(PayloadCopies, AppendSplicesWithoutCopying) {
+  Payload a = Payload::from_string("abcd");
+  Payload b = Payload::from_string("efgh");
+  Payload::reset_copy_stats();
+  a.append(std::move(b));
+  EXPECT_EQ(a.size(), 8u);
+  EXPECT_EQ(a.fragment_count(), 2u);
+  EXPECT_EQ(Payload::copy_stats().gathers, 0u);
+}
+
+TEST(PayloadCopies, MultiFragmentGatherIsCountedExactlyOnce) {
+  Payload a = Payload::from_string("abcd");
+  a.append(Payload::from_string("efgh"));
+  ASSERT_EQ(a.fragment_count(), 2u);
+
+  Payload::reset_copy_stats();
+  auto view = a.data();  // must gather: fragments are not contiguous
+  EXPECT_EQ(Payload::copy_stats().gathers, 1u);
+  EXPECT_EQ(Payload::copy_stats().gathered_bytes, 8u);
+  EXPECT_EQ(a, Payload::from_string("abcdefgh"));
+
+  // The gather collapses the payload to one fragment; further access is
+  // copy-free.
+  Payload::reset_copy_stats();
+  auto again = a.data();
+  EXPECT_EQ(again.data(), view.data());
+  EXPECT_EQ(Payload::copy_stats().gathers, 0u);
+}
+
+TEST(PayloadCopies, EqualityComparesViewsWithoutGathering) {
+  Payload a = Payload::from_string("abcd");
+  a.append(Payload::from_string("efgh"));
+  Payload b = Payload::from_string("abcdefgh");
+  Payload::reset_copy_stats();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(Payload::copy_stats().gathers, 0u);
+}
+
 }  // namespace
 }  // namespace dpnfs::rpc

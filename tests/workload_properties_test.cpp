@@ -7,6 +7,7 @@
 #include "workload/atlas.hpp"
 #include "workload/btio.hpp"
 #include "workload/oltp.hpp"
+#include "workload/openloop.hpp"
 #include "workload/postmark.hpp"
 #include "workload/strided.hpp"
 #include "workload/runner.hpp"
@@ -203,6 +204,129 @@ TEST(CrossArchitecture, SameWorkloadSameResultingBytes) {
   EXPECT_EQ(direct, 8_MiB);
   EXPECT_EQ(pvfs, direct);
   EXPECT_EQ(two_tier, direct);
+}
+
+// --- Open-loop arrival schedule properties ---------------------------------
+
+TEST(OpenLoopProperties, SameSeedBitIdenticalScheduleAndTenants) {
+  OpenLoopConfig cfg;
+  cfg.seed = 0xFEEDFACE;
+  cfg.rate_per_sec = 5000;
+  cfg.duration = sim::sec(2);
+  cfg.tenant_weights = {4, 3, 2, 1};
+  cfg.diurnal_peak_ratio = 2.0;
+
+  // The schedule is pure Rng arithmetic over the config: it must be
+  // bit-identical across runs (and across architectures/topologies — it
+  // never consults a deployment).
+  const auto a = generate_arrivals(cfg);
+  const auto b = generate_arrivals(cfg);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].at, b[i].at) << "arrival " << i;
+    EXPECT_EQ(a[i].tenant, b[i].tenant) << "arrival " << i;
+    EXPECT_EQ(a[i].session_seed, b[i].session_seed) << "arrival " << i;
+  }
+  // Sorted by time; tenant labels restricted to the configured mix.
+  for (size_t i = 1; i < a.size(); ++i) {
+    EXPECT_LE(a[i - 1].at, a[i].at);
+  }
+  for (const auto& arr : a) {
+    EXPECT_GE(arr.tenant, 1u);
+    EXPECT_LE(arr.tenant, 4u);
+  }
+
+  // A different seed moves the schedule.
+  cfg.seed ^= 1;
+  const auto c = generate_arrivals(cfg);
+  ASSERT_FALSE(c.empty());
+  EXPECT_TRUE(a.size() != c.size() || a[0].at != c[0].at ||
+              a[0].session_seed != c[0].session_seed);
+}
+
+TEST(OpenLoopProperties, PoissonRealizesConfiguredRateAndMix) {
+  OpenLoopConfig cfg;
+  cfg.rate_per_sec = 10000;
+  cfg.duration = sim::sec(2);
+  cfg.tenant_weights = {4, 3, 2, 1};
+
+  const auto arrivals = generate_arrivals(cfg);
+  const double expected = cfg.rate_per_sec * sim::to_seconds(cfg.duration);
+  EXPECT_NEAR(static_cast<double>(arrivals.size()), expected,
+              0.05 * expected);
+
+  double share[5] = {};
+  for (const auto& a : arrivals) share[a.tenant] += 1;
+  for (int t = 1; t <= 4; ++t) {
+    const double want = cfg.tenant_weights[t - 1] / 10.0;
+    EXPECT_NEAR(share[t] / arrivals.size(), want, 0.02) << "tenant " << t;
+  }
+}
+
+TEST(OpenLoopProperties, DiurnalRampConcentratesArrivalsMidWindow) {
+  OpenLoopConfig cfg;
+  cfg.rate_per_sec = 5000;
+  cfg.duration = sim::sec(3);
+  cfg.diurnal_peak_ratio = 3.0;
+
+  const auto arrivals = generate_arrivals(cfg);
+  const sim::Time third = cfg.duration / 3;
+  size_t early = 0, mid = 0;
+  for (const auto& a : arrivals) {
+    if (a.at < third) ++early;
+    if (a.at >= third && a.at < 2 * third) ++mid;
+  }
+  // The middle third straddles the peak of the triangular tide; it must see
+  // substantially more arrivals than the ramp-up third.
+  EXPECT_GT(mid, early * 3 / 2);
+}
+
+TEST(OpenLoopProperties, BoundedParetoRecoversTailIndex) {
+  OpenLoopConfig cfg;
+  cfg.process = ArrivalProcess::kBoundedPareto;
+  cfg.pareto_alpha = 1.5;
+  cfg.pareto_lo = 1.0;
+  cfg.pareto_hi = 1e6;  // wide support: truncation bias is negligible
+  cfg.rate_per_sec = 10000;
+  cfg.duration = sim::sec(2);
+
+  const auto arrivals = generate_arrivals(cfg);
+  ASSERT_GT(arrivals.size(), 5000u);
+
+  std::vector<double> gaps;
+  gaps.reserve(arrivals.size());
+  sim::Time prev = 0;
+  for (const auto& a : arrivals) {
+    if (a.at > prev) gaps.push_back(static_cast<double>(a.at - prev));
+    prev = a.at;
+  }
+  std::sort(gaps.begin(), gaps.end(), std::greater<>());
+
+  // Hill estimator over the top-k order statistics: alpha_hat =
+  // k / sum(ln(x_i / x_k)).  Scale-invariant, so the rescaling of draws to
+  // the configured mean rate does not move it.
+  const size_t k = 500;
+  ASSERT_GT(gaps.size(), k);
+  double acc = 0;
+  for (size_t i = 0; i < k; ++i) acc += std::log(gaps[i] / gaps[k]);
+  const double alpha_hat = static_cast<double>(k) / acc;
+  EXPECT_NEAR(alpha_hat, cfg.pareto_alpha, 0.25);
+}
+
+TEST(OpenLoopProperties, HeavyTailedScheduleIsAlsoSeedDeterministic) {
+  OpenLoopConfig cfg;
+  cfg.process = ArrivalProcess::kBoundedPareto;
+  cfg.rate_per_sec = 2000;
+  cfg.duration = sim::sec(1);
+  const auto a = generate_arrivals(cfg);
+  const auto b = generate_arrivals(cfg);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].at, b[i].at);
+    EXPECT_EQ(a[i].session_seed, b[i].session_seed);
+  }
 }
 
 }  // namespace

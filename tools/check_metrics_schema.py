@@ -410,6 +410,75 @@ def check_metrics_doc(path, doc):
                                 break
 
 
+# Series the scale sweep must record at every point (bench/bench_scale.cpp).
+# (figure, architecture, unit); sojourn percentiles are context, but context
+# that silently vanishes is a regression too, so they are required here.
+SCALE_SERIES = (
+    ("rate", "scale-core", "client-s/s"),
+    ("rate", "legacy-core", "client-s/s"),
+    ("core_rate", "scale-core", "client-s/s"),
+    ("core_rate", "legacy-core", "client-s/s"),
+    ("speedup", "event-core", "x"),
+    ("stack_speedup", "direct-pnfs", "x"),
+    ("p50_sojourn", "scale-core", "s"),
+    ("p99_sojourn", "scale-core", "s"),
+    ("p50_sojourn", "legacy-core", "s"),
+    ("p99_sojourn", "legacy-core", "s"),
+    ("peak_concurrency", "scale-core", "sessions"),
+    ("events_per_wall_s", "scale-core", "ev/s"),
+)
+
+
+def check_scale_bench(path, records):
+    """BENCH_scale.json content contract: every sweep point carries the full
+    set of series, rates and speedups are positive, and the big point
+    sustains a four-digit concurrent population."""
+    by_series = {}
+    for rec in records:
+        if not isinstance(rec, dict):
+            continue
+        key = (rec.get("figure"), rec.get("architecture"))
+        by_series.setdefault(key, []).append(rec)
+
+    points = sorted({r.get("clients") for recs in by_series.values()
+                     for r in recs if isinstance(r.get("clients"), int)})
+    if not points:
+        err(path, "scale bench has no sweep points")
+        return
+
+    for figure, arch, unit in SCALE_SERIES:
+        recs = by_series.get((figure, arch))
+        if not recs:
+            err(path, f"missing scale series {figure}/{arch}")
+            continue
+        have = sorted(r.get("clients") for r in recs)
+        if have != points:
+            err(path, f"series {figure}/{arch} covers points {have}, "
+                      f"expected {points}")
+        for r in recs:
+            if r.get("unit") != unit:
+                err(path, f"series {figure}/{arch} unit "
+                          f"{r.get('unit')!r}, expected {unit!r}")
+            if figure in ("rate", "core_rate", "speedup", "stack_speedup",
+                          "peak_concurrency", "events_per_wall_s"):
+                v = r.get("value")
+                if isinstance(v, (int, float)) and v <= 0:
+                    err(path, f"series {figure}/{arch} point "
+                              f"{r.get('clients')} is non-positive ({v})")
+
+    big = max(points)
+    if big >= 1000:
+        peaks = [r.get("value")
+                 for r in by_series.get(("peak_concurrency", "scale-core"), [])
+                 if r.get("clients") == big]
+        if peaks and isinstance(peaks[0], (int, float)) and peaks[0] < 1000:
+            err(path, f"point {big} peak_concurrency {peaks[0]} < 1000 — "
+                      "the sweep no longer sustains a thousand clients")
+    else:
+        err(path, f"largest sweep point is {big}; the scale bench must "
+                  "include a >= 1000-client point")
+
+
 def check_file(filename):
     try:
         with open(filename, "r", encoding="utf-8") as f:
@@ -439,6 +508,8 @@ def check_file(filename):
             metrics = rec.get("metrics", {})
             if metrics:
                 check_metrics_doc(f"{p}.metrics", metrics)
+        if doc.get("bench") == "scale":
+            check_scale_bench(f"{filename}.records", records)
     else:
         check_metrics_doc(filename, doc)
 
