@@ -82,6 +82,9 @@ int main(int argc, char** argv) {
         "                [--no-listio] [--listio-max-regions=N]\n"
         "                [--fault-ds-crash=N] [--fault-at-ms=T]\n"
         "                [--fault-revive-ms=T] [--fault-ds-restart=N]\n"
+        "                [--fault-ds-kill=N] [--rebuild-after-ms=T]\n"
+        "                [--redundancy=stripe|mirror|ec] [--replicas=N]\n"
+        "                [--ec-k=K] [--ec-m=M] [--spares=N]\n"
         "                [--chaos-seed=S] [--chaos-restarts=N]\n"
         "                [--trace-out=FILE] [--trace-spans=N]\n"
         "                [--trace-sample-rate=R] [--slo-ms=N]\n"
@@ -104,6 +107,14 @@ int main(int argc, char** argv) {
         "node N (and enables the client recovery knobs, see\n"
         "docs/failures.md); the run must still complete via MDS fallback.\n"
         "\n"
+        "--fault-ds-kill=N permanently kills storage node N — the NFS data\n"
+        "server AND the PVFS storage daemon, never revived.  Combine with\n"
+        "--redundancy=mirror (--replicas copies) or --redundancy=ec\n"
+        "(systematic Reed-Solomon, --ec-k data + --ec-m parity fragments):\n"
+        "clients keep going through degraded reads/writes, and with\n"
+        "--spares=N > 0 the MDS rebuild service declares the node dead\n"
+        "after --rebuild-after-ms (default 1500) and re-materializes its\n"
+        "objects onto a spare while traffic continues (docs/failures.md).\n"
         "--fault-ds-restart=N crash-restarts the data service on storage\n"
         "node N: the service revives at --fault-revive-ms (default\n"
         "--fault-at-ms + 500) with a fresh boot verifier, and clients must\n"
@@ -155,6 +166,25 @@ int main(int argc, char** argv) {
       std::atoi(arg_value(argc, argv, "--storage-nodes", "6")));
   cfg.stripe_unit = std::strtoull(
       arg_value(argc, argv, "--stripe", "2097152"), nullptr, 10);
+  const std::string redundancy =
+      arg_value(argc, argv, "--redundancy", "stripe");
+  if (redundancy == "mirror") {
+    cfg.distribution = pvfs::DistKind::kMirror;
+  } else if (redundancy == "ec") {
+    cfg.distribution = pvfs::DistKind::kErasure;
+  } else if (redundancy != "stripe") {
+    std::fprintf(stderr, "unknown --redundancy '%s' (stripe|mirror|ec)\n",
+                 redundancy.c_str());
+    return 2;
+  }
+  cfg.replicas = static_cast<uint32_t>(
+      std::max(2, std::atoi(arg_value(argc, argv, "--replicas", "2"))));
+  cfg.ec_k = static_cast<uint32_t>(
+      std::max(1, std::atoi(arg_value(argc, argv, "--ec-k", "4"))));
+  cfg.ec_m = static_cast<uint32_t>(
+      std::max(1, std::atoi(arg_value(argc, argv, "--ec-m", "2"))));
+  cfg.spare_nodes = static_cast<uint32_t>(
+      std::max(0, std::atoi(arg_value(argc, argv, "--spares", "0"))));
   cfg.nic.latency =
       sim::us(std::atoll(arg_value(argc, argv, "--latency-us", "60")));
   cfg.nic.bytes_per_sec =
@@ -276,6 +306,39 @@ int main(int argc, char** argv) {
     enable_restart_recovery();
   }
 
+  // Permanent data-server loss: both daemons on the node die for good;
+  // redundancy (mirror or EC) carries the traffic and — with spares — the
+  // rebuild service re-materializes the node's objects in the background.
+  const int fault_kill =
+      std::atoi(arg_value(argc, argv, "--fault-ds-kill", "-1"));
+  if (fault_kill >= 0) {
+    const sim::Time at =
+        sim::ms(std::atoll(arg_value(argc, argv, "--fault-at-ms", "1000")));
+    const auto [node, port] = ds_target(static_cast<uint32_t>(fault_kill));
+    cfg.faults.crash_service(node, port, at, sim::kNever);
+    if (port != rpc::kPvfsIoPort) {
+      cfg.faults.crash_service(node, rpc::kPvfsIoPort, at, sim::kNever);
+    }
+    enable_restart_recovery();
+    // The node is never coming back: meta-side size gathers must fast-fail
+    // on the dead daemon (redundant kinds tolerate the miss) instead of
+    // burning a restart-sized retry budget inside every MDS attribute call.
+    cfg.pvfs_client.io_timeout = sim::ms(200);
+    cfg.pvfs_client.io_retries = 1;
+    cfg.nfs_client.mds_timeout = sim::ms(3000);
+    // A tripped breaker should stay open: half-open probes against a node
+    // that is never coming back just re-burn the retry ladder.
+    cfg.nfs_client.ds_rpc_retries = 2;
+    cfg.nfs_client.slice_retries = 1;
+    cfg.nfs_client.breaker_threshold = 2;
+    cfg.nfs_client.breaker_reset = sim::sec(600);
+    if (cfg.spare_nodes > 0) {
+      cfg.rebuild_enabled = true;
+      cfg.rebuild.dead_threshold = sim::ms(
+          std::atoll(arg_value(argc, argv, "--rebuild-after-ms", "1500")));
+    }
+  }
+
   const long long chaos_seed =
       std::atoll(arg_value(argc, argv, "--chaos-seed", "-1"));
   if (chaos_seed >= 0) {
@@ -302,6 +365,19 @@ int main(int argc, char** argv) {
   }
 
   core::Deployment d(cfg);
+  if (d.rebuild() != nullptr) {
+    d.start_rebuild();
+    // The monitor would keep the event queue alive forever; let it watch
+    // until the scripted kill has been rebuilt (or give up), then stop so
+    // the run can drain.
+    d.simulation().spawn([](core::Deployment& dd) -> sim::Task<void> {
+      for (int spin = 0; spin < 600; ++spin) {
+        co_await dd.simulation().delay(sim::ms(100));
+        if (dd.rebuild()->stats().rebuilds_completed >= 1) break;
+      }
+      dd.stop_rebuild();
+    }(d));
+  }
 
   workload::RunResult result;
   if (wl.rfind("ior-", 0) == 0) {
@@ -378,9 +454,12 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(result.transactions),
                 result.tps());
   }
-  if (fault_ds >= 0 || fault_restart >= 0 || chaos_seed >= 0) {
+  if (fault_ds >= 0 || fault_restart >= 0 || fault_kill >= 0 ||
+      chaos_seed >= 0) {
     uint64_t retries = 0, fallbacks = 0, trips = 0;
     uint64_t mismatches = 0, replayed = 0, replayed_bytes = 0;
+    uint64_t reroutes = 0, degraded_reads = 0, degraded_writes = 0;
+    uint64_t degraded_commits = 0, reconstructions = 0;
     for (size_t i = 0; i < d.client_count(); ++i) {
       if (auto* c = dynamic_cast<core::NfsFileSystemClient*>(&d.client(i))) {
         const auto& s = c->native().stats();
@@ -390,6 +469,11 @@ int main(int argc, char** argv) {
         mismatches += s.verifier_mismatches;
         replayed += s.replayed_extents;
         replayed_bytes += s.replayed_bytes;
+        reroutes += s.replica_reroutes;
+        degraded_reads += s.degraded_reads;
+        degraded_writes += s.degraded_writes;
+        degraded_commits += s.degraded_commits;
+        reconstructions += s.ec_reconstructions;
       } else if (auto* p =
                      dynamic_cast<core::PvfsFileSystemClient*>(&d.client(i))) {
         const auto& s = p->native().stats();
@@ -408,6 +492,27 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(mismatches),
                 static_cast<unsigned long long>(replayed),
                 replayed_bytes / 1e6);
+    if (reroutes + degraded_reads + degraded_writes + degraded_commits +
+            reconstructions >
+        0) {
+      std::printf("redundancy        %llu reroutes, %llu degraded reads, "
+                  "%llu degraded writes, %llu degraded commits, "
+                  "%llu EC reconstructions\n",
+                  static_cast<unsigned long long>(reroutes),
+                  static_cast<unsigned long long>(degraded_reads),
+                  static_cast<unsigned long long>(degraded_writes),
+                  static_cast<unsigned long long>(degraded_commits),
+                  static_cast<unsigned long long>(reconstructions));
+    }
+    if (const core::RebuildManager* r = d.rebuild()) {
+      const core::RebuildStats& rs = r->stats();
+      std::printf("rebuild           %llu declared dead, %llu/%llu objects "
+                  "rebuilt/failed (%.1f MB)\n",
+                  static_cast<unsigned long long>(rs.dses_declared_dead),
+                  static_cast<unsigned long long>(rs.objects_rebuilt),
+                  static_cast<unsigned long long>(rs.objects_failed),
+                  rs.bytes_rebuilt / 1e6);
+    }
   }
   if (flag(argc, argv, "--verbose")) {
     std::printf("\nper-node traffic:\n");

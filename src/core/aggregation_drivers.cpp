@@ -108,17 +108,32 @@ std::vector<StripeSegment> ReplicatedDriver::map_write(const FileLayout& layout,
   return out;
 }
 
-std::vector<StripeSegment> NestedDriver::map_read(const FileLayout& layout,
-                                                  uint64_t offset,
-                                                  uint64_t length) const {
+namespace {
+
+struct NestedGeometry {
+  uint64_t g = 0;       // devices per mirror group
+  uint64_t groups = 0;  // number of mirror groups
+};
+
+NestedGeometry nested_geometry(const FileLayout& layout) {
   if (!layout.valid()) throw std::invalid_argument("invalid layout");
   if (layout.params.empty() || layout.params[0] == 0 ||
       layout.devices.size() % layout.params[0] != 0) {
     throw std::invalid_argument("nested params malformed");
   }
   const uint64_t g = layout.params[0];
-  const uint64_t n = layout.devices.size();
-  const uint64_t groups = n / g;
+  return {g, layout.devices.size() / g};
+}
+
+}  // namespace
+
+std::vector<StripeSegment> NestedDriver::map_read(const FileLayout& layout,
+                                                  uint64_t offset,
+                                                  uint64_t length) const {
+  // RAID-1+0: stripes round-robin across mirror groups; every member of a
+  // group holds the group's stripes at the same dense device offset, and
+  // reads rotate across the members to spread load.
+  const auto [g, groups] = nested_geometry(layout);
   const uint64_t su = layout.stripe_unit;
   std::vector<StripeSegment> out;
   uint64_t pos = offset;
@@ -130,11 +145,87 @@ std::vector<StripeSegment> NestedDriver::map_read(const FileLayout& layout,
     const uint64_t sub = (stripe / groups) % g;
     StripeSegment seg;
     seg.device_index = static_cast<size_t>(group * g + sub);
-    seg.dev_offset = (stripe / n) * su + pos % su;
+    seg.dev_offset = (stripe / groups) * su + pos % su;
     seg.file_offset = pos;
     seg.length = take;
     append_or_merge(out, seg);
     pos += take;
+  }
+  return out;
+}
+
+std::vector<StripeSegment> NestedDriver::map_write(const FileLayout& layout,
+                                                   uint64_t offset,
+                                                   uint64_t length) const {
+  // Every member of the stripe's mirror group gets a copy at the same
+  // device offset, so any single member can serve the stripe later.
+  const auto [g, groups] = nested_geometry(layout);
+  const uint64_t su = layout.stripe_unit;
+  std::vector<StripeSegment> out;
+  uint64_t pos = offset;
+  const uint64_t end = offset + length;
+  while (pos < end) {
+    const uint64_t stripe = pos / su;
+    const uint64_t take = std::min(su - pos % su, end - pos);
+    const uint64_t group = stripe % groups;
+    for (uint64_t sub = 0; sub < g; ++sub) {
+      StripeSegment seg;
+      seg.device_index = static_cast<size_t>(group * g + sub);
+      seg.dev_offset = (stripe / groups) * su + pos % su;
+      seg.file_offset = pos;
+      seg.length = take;
+      out.push_back(seg);
+    }
+    pos += take;
+  }
+  return out;
+}
+
+std::vector<StripeSegment> ErasureCodedDriver::map_read(
+    const FileLayout& layout, uint64_t offset, uint64_t length) const {
+  const auto geo = nfs::EcGeometry::from(layout);
+  if (!geo) throw std::invalid_argument("erasure-coded params malformed");
+  const uint64_t su = geo->su;
+  std::vector<StripeSegment> out;
+  uint64_t pos = offset;
+  const uint64_t end = offset + length;
+  while (pos < end) {
+    const uint64_t stripe = pos / su;
+    const uint64_t take = std::min(su - pos % su, end - pos);
+    StripeSegment seg;
+    seg.device_index = static_cast<size_t>(stripe % geo->k);
+    seg.dev_offset = (stripe / geo->k) * su + pos % su;
+    seg.file_offset = pos;
+    seg.length = take;
+    append_or_merge(out, seg);
+    pos += take;
+  }
+  return out;
+}
+
+std::vector<StripeSegment> ErasureCodedDriver::map_write(
+    const FileLayout& layout, uint64_t offset, uint64_t length) const {
+  // Data segments as for reads, plus one parity segment per touched stripe
+  // group per parity device.  Parity payloads are not file bytes: the
+  // writer computes them over the (zero-padded) group with
+  // util::ReedSolomon before issuing the WRITEs.
+  const auto geo = nfs::EcGeometry::from(layout);
+  if (!geo) throw std::invalid_argument("erasure-coded params malformed");
+  std::vector<StripeSegment> out = map_read(layout, offset, length);
+  if (length == 0) return out;
+  const uint64_t gb = geo->group_bytes();
+  const uint64_t first_group = offset / gb;
+  const uint64_t last_group = (offset + length - 1) / gb;
+  for (uint64_t grp = first_group; grp <= last_group; ++grp) {
+    for (uint64_t j = 0; j < geo->m; ++j) {
+      StripeSegment seg;
+      seg.device_index = static_cast<size_t>(geo->k + j);
+      seg.dev_offset = grp * geo->su;
+      seg.file_offset = grp * gb;
+      seg.length = geo->su;
+      seg.parity = true;
+      out.push_back(seg);
+    }
   }
   return out;
 }
@@ -144,6 +235,7 @@ nfs::AggregationRegistry full_aggregation_registry() {
   reg.add(std::make_unique<VariableStripeDriver>());
   reg.add(std::make_unique<ReplicatedDriver>());
   reg.add(std::make_unique<NestedDriver>());
+  reg.add(std::make_unique<ErasureCodedDriver>());
   return reg;
 }
 

@@ -11,9 +11,16 @@
 //   * ReplicatedDriver — every device holds a full copy (RAID-1): writes go
 //     everywhere, reads pick a replica by stripe index so concurrent
 //     readers spread load.
-//   * NestedDriver — hierarchical striping (RAID-0 of mirror groups or of
-//     sub-stripes): params = [group_size]; devices are grouped; stripes go
-//     round-robin across groups, then round-robin within the group.
+//   * NestedDriver — hierarchical striping (RAID-1+0): params = [group_size];
+//     devices are grouped into mirror groups; stripes go round-robin across
+//     groups, every member of a group holds the same copy of its stripes.
+//     Reads rotate across group members; writes go to every member.
+//   * ErasureCodedDriver — systematic Reed-Solomon k+m: params = [k, m];
+//     the first k devices carry data striped round-robin, the last m carry
+//     one parity block per k-stripe group.  map_write emits the data
+//     segments plus parity segments (StripeSegment::parity) whose payloads
+//     the writer computes with util::ReedSolomon; reads touch only data
+//     devices and any <= m lost devices are reconstructable.
 #pragma once
 
 #include "nfs/layout.hpp"
@@ -51,6 +58,22 @@ class NestedDriver final : public nfs::AggregationDriver {
   std::vector<nfs::StripeSegment> map_read(const nfs::FileLayout& layout,
                                            uint64_t offset,
                                            uint64_t length) const override;
+  std::vector<nfs::StripeSegment> map_write(const nfs::FileLayout& layout,
+                                            uint64_t offset,
+                                            uint64_t length) const override;
+};
+
+class ErasureCodedDriver final : public nfs::AggregationDriver {
+ public:
+  nfs::AggregationType type() const noexcept override {
+    return nfs::AggregationType::kErasureCoded;
+  }
+  std::vector<nfs::StripeSegment> map_read(const nfs::FileLayout& layout,
+                                           uint64_t offset,
+                                           uint64_t length) const override;
+  std::vector<nfs::StripeSegment> map_write(const nfs::FileLayout& layout,
+                                            uint64_t offset,
+                                            uint64_t length) const override;
 };
 
 /// Registry with the standard schemes plus all Direct-pNFS extras.

@@ -78,6 +78,11 @@ Deployment::Deployment(ClusterConfig config)
     net_.set_fault_injector(fault_injector_.get());
   }
   config_.pvfs_meta.stripe_unit = config_.stripe_unit;
+  config_.pvfs_meta.distribution = config_.distribution;
+  config_.pvfs_meta.replicas = config_.replicas;
+  config_.pvfs_meta.ec_k = config_.ec_k;
+  config_.pvfs_meta.ec_m = config_.ec_m;
+  config_.pvfs_meta.spare_nodes = config_.spare_nodes;
   config_.nfs_client.listio_enabled = config_.listio_enabled;
   config_.nfs_client.listio_max_regions = config_.listio_max_regions;
   config_.pvfs_client.listio_enabled = config_.listio_enabled;
@@ -128,6 +133,13 @@ void Deployment::build_backend_cluster(uint32_t storage_count,
       fabric_, *storage_nodes_[0], rpc::kPvfsMetaPort, storage_count,
       config_.pvfs_meta);
   pvfs_meta_->start();
+  // Rebuild service co-located with the metadata manager.  It monitors the
+  // injector's liveness view, so fault-free runs never construct one.
+  if (config_.rebuild_enabled && fault_injector_ != nullptr) {
+    rebuild_ = std::make_unique<RebuildManager>(
+        fabric_, *storage_nodes_[0], *pvfs_meta_, storage_addresses(),
+        fault_injector_.get(), config_.rebuild);
+  }
 }
 
 sim::Node& Deployment::add_client_node(const std::string& name) {

@@ -30,6 +30,7 @@
 #include "nfs/client.hpp"
 #include "nfs/local_backend.hpp"
 #include "nfs/server.hpp"
+#include "core/rebuild.hpp"
 #include "pvfs/meta_server.hpp"
 #include "pvfs/storage_server.hpp"
 #include "sim/fault.hpp"
@@ -162,6 +163,29 @@ struct ClusterConfig {
 
   uint64_t stripe_unit = 2ull << 20;
 
+  /// File distribution for new files (copied into pvfs_meta at build time):
+  /// kStripe (default, no redundancy), kMirror (`replicas` full copies), or
+  /// kErasure (RS `ec_k`+`ec_m`).  Redundant distributions surface to pNFS
+  /// clients as the replicated / erasure-coded layout aggregations, whose
+  /// degraded read and write paths survive data-server loss without MDS
+  /// fallback (docs/failures.md).
+  pvfs::DistKind distribution = pvfs::DistKind::kStripe;
+  uint32_t replicas = 2;
+  uint32_t ec_k = 4;
+  uint32_t ec_m = 2;
+  /// Trailing storage nodes held out of new distributions as rebuild
+  /// spares (copied into pvfs_meta).
+  uint32_t spare_nodes = 0;
+
+  /// Background rebuild service on the MDS node (Direct-pNFS only): when a
+  /// storage daemon stays continuously unreachable past
+  /// `rebuild.dead_threshold`, its dfiles are re-materialized onto a spare
+  /// from replicas/parity while foreground traffic continues.  Requires a
+  /// fault injector (the monitor reads its liveness view) — fault-free
+  /// runs never start the loop.
+  bool rebuild_enabled = false;
+  RebuildConfig rebuild{};
+
   /// List I/O: clients fold multiple regions for the same data server or
   /// storage daemon into one vectored request (kReadv/kWritev on the PVFS
   /// wire, READV/WRITEV in NFS compounds).  Copied into the NFS and PVFS
@@ -274,6 +298,17 @@ class Deployment {
   /// empty).
   sim::FaultInjector* fault_injector() noexcept { return fault_injector_.get(); }
 
+  /// The background rebuild service (null unless `rebuild_enabled` and the
+  /// architecture hosts one).  `start_rebuild()` spawns its monitor loop;
+  /// call `stop_rebuild()` before expecting `Simulation::run()` to drain.
+  RebuildManager* rebuild() noexcept { return rebuild_.get(); }
+  void start_rebuild() {
+    if (rebuild_) rebuild_->start();
+  }
+  void stop_rebuild() {
+    if (rebuild_) rebuild_->stop();
+  }
+
  private:
   void build_backend_cluster(uint32_t storage_count, double disk_scale);
   void build_direct_pnfs();
@@ -335,6 +370,7 @@ class Deployment {
   std::vector<std::unique_ptr<lfs::ObjectStore>> stores_;
   std::vector<std::unique_ptr<pvfs::PvfsStorageServer>> pvfs_storage_;
   std::unique_ptr<pvfs::PvfsMetaServer> pvfs_meta_;
+  std::unique_ptr<RebuildManager> rebuild_;
 
   std::shared_ptr<FhRegistry> registry_;
   std::shared_ptr<const nfs::AggregationRegistry> aggregations_;

@@ -387,14 +387,29 @@ Task<Status> PvfsBackend::commit(FileHandle fh, obs::TraceContext trace) {
 bool PvfsBackend::describe(FileHandle fh, PfsLayoutDescription* out) {
   FhRegistry::Entry* e = registry_->find(fh);
   if (e == nullptr || e->is_dir || e->file == nullptr) return false;
-  out->aggregation = nfs::AggregationType::kRoundRobin;
-  out->stripe_unit = e->file->meta.stripe_unit;
+  // The PFS distribution kind becomes the layout's aggregation scheme: the
+  // client-side aggregation driver then reproduces the exact placement the
+  // PVFS distribution uses (Direct-pNFS identity: DS object == PFS object).
+  const pvfs::FileMeta& meta = e->file->meta;
+  out->params.clear();
+  switch (meta.kind) {
+    case pvfs::DistKind::kMirror:
+      out->aggregation = nfs::AggregationType::kReplicated;
+      break;
+    case pvfs::DistKind::kErasure:
+      out->aggregation = nfs::AggregationType::kErasureCoded;
+      out->params = {meta.ec_k, meta.ec_m};
+      break;
+    case pvfs::DistKind::kStripe:
+      out->aggregation = nfs::AggregationType::kRoundRobin;
+      break;
+  }
+  out->stripe_unit = meta.stripe_unit;
   out->placements.clear();
-  for (const auto& dfile : e->file->meta.dfiles) {
+  for (const auto& dfile : meta.dfiles) {
     out->placements.push_back(
         PfsLayoutDescription::Placement{dfile.server_index, dfile.object_id});
   }
-  out->params.clear();
   return true;
 }
 

@@ -6,6 +6,7 @@
 #include "nfs/compound_reply.hpp"
 #include "util/format.hpp"
 #include "util/log.hpp"
+#include "util/reed_solomon.hpp"
 
 namespace dpnfs::nfs {
 
@@ -89,6 +90,17 @@ NfsClient::NfsClient(rpc::RpcFabric& fabric, sim::Node& node,
     m_replayed_bytes_ = &reg->counter(n, "client.replay", "replayed_bytes");
     m_session_recoveries_ =
         &reg->counter(n, "client.replay", "session_recoveries");
+    m_replica_reroutes_ =
+        &reg->counter(n, "client.redundancy", "replica_reroutes");
+    m_degraded_reads_ = &reg->counter(n, "client.redundancy", "degraded_reads");
+    m_degraded_read_bytes_ =
+        &reg->counter(n, "client.redundancy", "degraded_read_bytes");
+    m_ec_reconstructions_ =
+        &reg->counter(n, "client.redundancy", "ec_reconstructions");
+    m_degraded_writes_ =
+        &reg->counter(n, "client.redundancy", "degraded_writes");
+    m_degraded_commits_ =
+        &reg->counter(n, "client.redundancy", "degraded_commits");
   } else {
     m_hit_bytes_ = &obs::MetricsRegistry::null_counter();
     m_miss_bytes_ = &obs::MetricsRegistry::null_counter();
@@ -112,6 +124,12 @@ NfsClient::NfsClient(rpc::RpcFabric& fabric, sim::Node& node,
     m_replayed_extents_ = &obs::MetricsRegistry::null_counter();
     m_replayed_bytes_ = &obs::MetricsRegistry::null_counter();
     m_session_recoveries_ = &obs::MetricsRegistry::null_counter();
+    m_replica_reroutes_ = &obs::MetricsRegistry::null_counter();
+    m_degraded_reads_ = &obs::MetricsRegistry::null_counter();
+    m_degraded_read_bytes_ = &obs::MetricsRegistry::null_counter();
+    m_ec_reconstructions_ = &obs::MetricsRegistry::null_counter();
+    m_degraded_writes_ = &obs::MetricsRegistry::null_counter();
+    m_degraded_commits_ = &obs::MetricsRegistry::null_counter();
   }
   // Transport-level retries surface under this client's recovery component.
   rpc_.set_retry_counter(m_rpc_retries_);
@@ -797,6 +815,7 @@ std::vector<NfsClient::IoSlice> NfsClient::route(FileState& f, uint64_t offset,
                               ? driver->map_write(*f.layout, offset, length)
                               : driver->map_read(*f.layout, offset, length);
     out.reserve(segments.size());
+    const bool redundant = redundant_aggregation(f.layout->aggregation);
     for (const auto& seg : segments) {
       IoSlice slice;
       slice.device_index = seg.device_index;
@@ -806,8 +825,26 @@ std::vector<NfsClient::IoSlice> NfsClient::route(FileState& f, uint64_t offset,
       slice.target_offset = seg.dev_offset;
       slice.file_offset = seg.file_offset;
       slice.length = seg.length;
-      if (config_.mds_fallback && breaker_open(slice.addr)) {
+      slice.parity = seg.parity;
+      if (!for_write && redundant &&
+          device_unhealthy(f, seg.device_index, seg.file_offset,
+                           seg.file_offset + seg.length)) {
+        // Health-aware replica selection: route the read to a surviving
+        // copy up front instead of burning retries on a sick device.
+        // Erasure-coded layouts have no same-bytes replica; their slices go
+        // out unchanged and reconstruct in run_read_slice's degraded rung.
+        if (remap_replica(f, slice, seg.device_index)) {
+          ++stats_.replica_reroutes;
+          m_replica_reroutes_->inc();
+        }
+        out.push_back(slice);
+        continue;
+      }
+      if (config_.mds_fallback && !redundant && !slice.parity &&
+          breaker_open(slice.addr)) {
         // Open breaker: don't even try the sick DS, proxy through the MDS.
+        // Redundant layouts never take this path — their surviving copies
+        // or parity serve the bytes via the degraded rungs instead.
         slice = mds_slice(f, seg.file_offset, seg.length);
         ++stats_.mds_fallbacks;
         m_fallbacks_->inc();
@@ -986,6 +1023,226 @@ void NfsClient::redirty_lost(FileState& f, size_t target) {
              static_cast<unsigned long long>(extents));
 }
 
+// ---------------------------------------------------------------------------
+// Redundancy: replica reroute, degraded reads, erasure reconstruction
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// The contiguous device-index span [base, base+count) holding the same
+/// bytes as device `avoid` under a mirror-style layout.  False for layouts
+/// without same-bytes replicas (erasure coding reconstructs instead).
+bool replica_span(const FileLayout& l, size_t avoid, size_t* base,
+                  size_t* count) {
+  switch (l.aggregation) {
+    case AggregationType::kReplicated:
+      *base = 0;
+      *count = l.devices.size();
+      return true;
+    case AggregationType::kNested: {
+      if (l.params.empty() || l.params[0] == 0) return false;
+      const size_t g = static_cast<size_t>(l.params[0]);
+      *base = avoid / g * g;
+      *count = g;
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+bool NfsClient::device_unhealthy(const FileState& f, size_t device,
+                                 uint64_t start, uint64_t end) const {
+  if (!f.layout || device >= f.layout->devices.size()) return false;
+  const auto it = devices_.find(f.layout->devices[device]);
+  if (it == devices_.end()) return true;
+  if (breaker_open(it->second)) return true;
+  const auto d = f.degraded.find(device);
+  return d != f.degraded.end() && d->second.intersects(start, end);
+}
+
+bool NfsClient::remap_replica(const FileState& f, IoSlice& slice,
+                              size_t avoid) const {
+  if (!f.layout) return false;
+  size_t base = 0;
+  size_t count = 0;
+  if (!replica_span(*f.layout, avoid, &base, &count)) return false;
+  // Rotate from the avoided device so concurrent degraded readers spread
+  // across the surviving copies.  Replicas hold the same bytes at the same
+  // device offset, so only the identity fields change.
+  for (size_t i = 1; i < count; ++i) {
+    const size_t cand = base + ((avoid - base) + i) % count;
+    if (cand >= f.layout->devices.size()) continue;
+    if (device_unhealthy(f, cand, slice.file_offset,
+                         slice.file_offset + slice.length)) {
+      continue;
+    }
+    slice.device_index = cand;
+    slice.addr = devices_.at(f.layout->devices[cand]);
+    slice.fh = f.layout->fhs[cand];
+    return true;
+  }
+  return false;
+}
+
+Task<bool> NfsClient::ec_reconstruct_block(FileState& f, const IoSlice& slice,
+                                           Payload& block) {
+  const auto geo = EcGeometry::from(*f.layout);
+  if (!geo) co_return false;
+  const uint64_t su = geo->su;
+  const uint64_t stripe = slice.file_offset / su;
+  const size_t want = static_cast<size_t>(stripe % geo->k);
+  const uint64_t grp = stripe / geo->k;
+  const uint64_t grp_start = grp * geo->group_bytes();
+  const uint64_t grp_end = grp_start + geo->group_bytes();
+  const size_t n = static_cast<size_t>(geo->k + geo->m);
+
+  // Gather su-sized shards of the group from any k healthy devices.  Every
+  // shard of group g — data and parity alike — sits at device offset g*su;
+  // short reads zero-fill, matching the zero padding the writer encoded
+  // over.
+  std::vector<std::optional<std::vector<std::byte>>> shards(n);
+  uint64_t have = 0;
+  for (size_t dev = 0; dev < n && have < geo->k; ++dev) {
+    if (dev == want) continue;
+    if (device_unhealthy(f, dev, grp_start, grp_end)) continue;
+    IoSlice sh;
+    sh.device_index = dev;
+    sh.addr = devices_.at(f.layout->devices[dev]);
+    sh.fh = f.layout->fhs[dev];
+    sh.stateid = kDataServerStateid;
+    sh.target_offset = grp * su;
+    sh.file_offset = dev < geo->k ? grp_start + dev * su : grp_start;
+    sh.length = su;
+    try {
+      Payload p = co_await read_slice_op(f, sh);
+      record_ds_result(sh.addr, true);
+      const auto span = p.data();
+      std::vector<std::byte> bytes(static_cast<size_t>(su), std::byte{0});
+      std::copy(span.begin(), span.end(), bytes.begin());
+      shards[dev] = std::move(bytes);
+      ++have;
+    } catch (const NfsError&) {
+      record_ds_result(sh.addr, false);
+    }
+  }
+  if (have < geo->k) co_return false;
+
+  util::ReedSolomon rs(static_cast<uint32_t>(geo->k),
+                       static_cast<uint32_t>(geo->m));
+  if (!rs.reconstruct(&shards) || !shards[want]) co_return false;
+  block = Payload::inline_bytes(std::move(*shards[want]));
+  ++stats_.ec_reconstructions;
+  m_ec_reconstructions_->inc();
+  co_return true;
+}
+
+Task<bool> NfsClient::degraded_read(FileState& f, IoSlice slice, Payload& out) {
+  if (!f.layout || !redundant_aggregation(f.layout->aggregation)) {
+    co_return false;
+  }
+  const size_t home = slice.device_index;
+  bool served = false;
+  if (f.layout->aggregation == AggregationType::kErasureCoded) {
+    // Reconstruct su-block by su-block: a merged slice can span several
+    // stripes of the home device.
+    const auto geo = EcGeometry::from(*f.layout);
+    if (!geo) co_return false;
+    Payload assembled;
+    uint64_t pos = slice.file_offset;
+    const uint64_t end = pos + slice.length;
+    while (pos < end) {
+      const uint64_t block_start = pos / geo->su * geo->su;
+      const uint64_t take = std::min(geo->su - (pos - block_start), end - pos);
+      IoSlice sub = slice;
+      sub.file_offset = pos;
+      sub.length = take;
+      Payload block;
+      if (!co_await ec_reconstruct_block(f, sub, block)) co_return false;
+      assembled.append(block.slice(pos - block_start, take));
+      pos += take;
+    }
+    out = std::move(assembled);
+    served = true;
+  } else {
+    size_t base = 0;
+    size_t count = 0;
+    if (!replica_span(*f.layout, home, &base, &count)) co_return false;
+    for (size_t i = 1; i < count && !served; ++i) {
+      const size_t cand = base + ((home - base) + i) % count;
+      if (cand >= f.layout->devices.size()) continue;
+      if (device_unhealthy(f, cand, slice.file_offset,
+                           slice.file_offset + slice.length)) {
+        continue;
+      }
+      IoSlice alt = slice;
+      alt.device_index = cand;
+      alt.addr = devices_.at(f.layout->devices[cand]);
+      alt.fh = f.layout->fhs[cand];
+      try {
+        out = co_await read_slice_op(f, alt);
+        record_ds_result(alt.addr, true);
+        served = true;
+      } catch (const NfsError&) {
+        record_ds_result(alt.addr, false);
+      }
+    }
+  }
+  if (!served) co_return false;
+  ++stats_.degraded_reads;
+  stats_.degraded_read_bytes += slice.length;
+  m_degraded_reads_->inc();
+  m_degraded_read_bytes_->add(slice.length);
+  if (obs::FlightRecorder* flight = fabric_.flight()) {
+    flight->record(fabric_.simulation().now(), node_.name(), "nfs.client",
+                   "degraded.read",
+                   util::sformat("fileid %llu dev %zu %llu+%llu",
+                                 static_cast<unsigned long long>(f.attr.fileid),
+                                 home,
+                                 static_cast<unsigned long long>(
+                                     slice.file_offset),
+                                 static_cast<unsigned long long>(
+                                     slice.length)));
+  }
+  co_return true;
+}
+
+void NfsClient::note_degraded_write(FileState& f, const IoSlice& slice) {
+  uint64_t end = slice.file_offset + slice.length;
+  if (slice.parity && f.layout) {
+    // A lost parity block degrades the whole stripe group it covers: any
+    // reconstruction sourcing this device over those file bytes would mix
+    // stale parity with fresh data.
+    if (const auto geo = EcGeometry::from(*f.layout)) {
+      end = slice.file_offset + slice.length * geo->k;
+    }
+  }
+  f.degraded[slice.device_index].add(slice.file_offset, end);
+  ++stats_.degraded_writes;
+  m_degraded_writes_->inc();
+  if (obs::FlightRecorder* flight = fabric_.flight()) {
+    flight->record(fabric_.simulation().now(), node_.name(), "nfs.client",
+                   "degraded.write",
+                   util::sformat("fileid %llu dev %zu %llu+%llu%s",
+                                 static_cast<unsigned long long>(f.attr.fileid),
+                                 slice.device_index,
+                                 static_cast<unsigned long long>(
+                                     slice.file_offset),
+                                 static_cast<unsigned long long>(
+                                     end - slice.file_offset),
+                                 slice.parity ? " parity" : ""));
+  }
+  util::logf(util::LogLevel::kWarn, "nfs.client", fabric_.simulation().now(),
+             "degraded write: fileid %llu dev %zu [%llu, %llu) absorbed by "
+             "surviving redundancy",
+             static_cast<unsigned long long>(f.attr.fileid),
+             slice.device_index,
+             static_cast<unsigned long long>(slice.file_offset),
+             static_cast<unsigned long long>(end));
+}
+
 Task<Payload> NfsClient::read_slice_op(FileState& f, const IoSlice& slice) {
   (void)f;
   auto s = co_await session_for(slice.addr);
@@ -1130,7 +1387,19 @@ Task<uint64_t> NfsClient::commit_op(rpc::RpcAddress addr, FileHandle fh) {
 Task<void> NfsClient::run_read_slice(FileState& f, IoSlice slice, Payload& out,
                                      StatusCollector& errors) {
   const bool via_ds = slice.device_index != IoSlice::kMds;
+  const bool redundant =
+      via_ds && f.layout && redundant_aggregation(f.layout->aggregation);
+  // Known-unhealthy home device (open breaker, or a degraded range a dead
+  // incarnation never received): go straight to the surviving redundancy
+  // instead of burning the retry budget.
+  if (redundant &&
+      device_unhealthy(f, slice.device_index, slice.file_offset,
+                       slice.file_offset + slice.length) &&
+      co_await degraded_read(f, slice, out)) {
+    co_return;
+  }
   for (uint32_t attempt = 0;; ++attempt) {
+    Status fail = Status::kOk;
     try {
       out = co_await read_slice_op(f, slice);
       if (via_ds) record_ds_result(slice.addr, true);
@@ -1146,12 +1415,16 @@ Task<void> NfsClient::run_read_slice(FileState& f, IoSlice slice, Payload& out,
         m_retries_->inc();
         continue;  // same DS, next attempt
       }
-      if (!config_.mds_fallback) {
-        errors.record(e.status(), slice.device_index);
-        co_return;
-      }
-      break;  // degrade below
+      fail = e.status();  // terminal: degrade outside the handler
     }
+    // Degraded-read rung: a surviving replica or k-of-n reconstruction
+    // serves the bytes without the home DS — and without the MDS.
+    if (redundant && co_await degraded_read(f, slice, out)) co_return;
+    if (!config_.mds_fallback) {
+      errors.record(fail, slice.device_index);
+      co_return;
+    }
+    break;  // degrade below
   }
   // Degraded path: refresh the layout for future routing decisions, then
   // proxy this byte range through the MDS — the plain-NFSv4 path.
@@ -1170,6 +1443,15 @@ Task<void> NfsClient::run_write_slice(FileState& f, IoSlice slice,
                                       Payload piece, StatusCollector& errors,
                                       obs::TraceContext trace_parent) {
   const bool via_ds = slice.device_index != IoSlice::kMds;
+  // Known-unhealthy device under a redundant layout: absorb immediately —
+  // the surviving copies carry the bytes, and the degraded set keeps reads
+  // away from this device's stale range.
+  if (via_ds && f.layout && redundant_aggregation(f.layout->aggregation) &&
+      device_unhealthy(f, slice.device_index, slice.file_offset,
+                       slice.file_offset + slice.length)) {
+    note_degraded_write(f, slice);
+    co_return;
+  }
   const std::vector<IoSlice> one{slice};
   for (uint32_t attempt = 0;; ++attempt) {
     try {
@@ -1187,7 +1469,15 @@ Task<void> NfsClient::run_write_slice(FileState& f, IoSlice slice,
         m_retries_->inc();
         continue;
       }
-      if (!config_.mds_fallback) {
+      if (f.layout && redundant_aggregation(f.layout->aggregation)) {
+        // Surviving redundancy absorbs the loss: record the device's stale
+        // range so reads route around it, and succeed without it.
+        note_degraded_write(f, slice);
+        co_return;
+      }
+      if (slice.parity || !config_.mds_fallback) {
+        // Parity payloads are derived bytes — proxying them through the MDS
+        // would overwrite file content with parity.
         errors.record(e.status(), slice.device_index);
         co_return;
       }
@@ -1279,6 +1569,29 @@ Task<void> NfsClient::run_commit_target(FileState& f, size_t device_index,
         ++stats_.recovery_retries;
         m_retries_->inc();
         continue;
+      }
+      if (f.layout && redundant_aggregation(f.layout->aggregation)) {
+        // The target is gone and its volatile bytes with it.  Move the
+        // retained ranges into the degraded set — the surviving redundancy
+        // holds the data — and drop the target so fsync converges.
+        if (auto it = f.commit_targets.find(device_index);
+            it != f.commit_targets.end()) {
+          for (const auto& iv : it->second.uncommitted.intervals()) {
+            f.degraded[device_index].add(iv.start, iv.end);
+          }
+          f.commit_targets.erase(it);
+        }
+        ++stats_.degraded_commits;
+        m_degraded_commits_->inc();
+        if (obs::FlightRecorder* flight = fabric_.flight()) {
+          flight->record(fabric_.simulation().now(), node_.name(),
+                         "nfs.client", "degraded.commit",
+                         util::sformat("fileid %llu dev %zu",
+                                       static_cast<unsigned long long>(
+                                           f.attr.fileid),
+                                       device_index));
+        }
+        co_return;
       }
       if (!config_.mds_fallback) {
         errors.record(e.status(), device_index);
@@ -1597,7 +1910,15 @@ Task<void> NfsClient::write(FilePtr file, uint64_t offset, Payload data) {
   co_await node_.cpu().execute(static_cast<sim::Duration>(
       config_.cpu_ns_per_byte * static_cast<double>(len)));
 
+  const bool ec = file->layout &&
+                  file->layout->aggregation == AggregationType::kErasureCoded;
   if (!config_.data_cache) {
+    if (ec) {
+      // Parity is computed over whole stripe groups from cached content;
+      // a write-through client has no group to encode from.
+      throw NfsError(Status::kInval,
+                     "erasure-coded layouts require the data cache");
+    }
     co_await write_slices(*file, offset, data);
     file->size = std::max(file->size, end);
     file->size_dirty = true;
@@ -1625,7 +1946,10 @@ Task<void> NfsClient::write(FilePtr file, uint64_t offset, Payload data) {
 
   // Write-back: push out every fully-dirty wsize chunk asynchronously (a
   // bounded pipeline of in-flight WRITEs, like the kernel flusher).
-  co_await flush_dirty(file, /*only_full_chunks=*/true, /*wait=*/false);
+  // Erasure-coded files skip the eager chunk flush: flushing partial
+  // groups would recompute and rewrite parity once per chunk instead of
+  // once per group at fsync.
+  if (!ec) co_await flush_dirty(file, /*only_full_chunks=*/true, /*wait=*/false);
 
   if (dirty_bytes_ > config_.dirty_limit_bytes) {
     // Over the dirty limit: the writer blocks until its data is on the wire
@@ -1889,6 +2213,25 @@ Task<void> NfsClient::wb_worker(FilePtr file, rpc::RpcAddress addr) {
       // bytes were claimed from the dirty set at flush time, so put them
       // back — except where a newer write already re-dirtied the range.
       for (size_t i = 0; i < slices.size(); ++i) {
+        if (slices[i].parity) {
+          // Parity payloads are derived, never file bytes: restoring them
+          // into the cache would corrupt content.  Re-dirty the stripe
+          // group they cover so the next flush recomputes data + parity.
+          uint64_t span = slices[i].length;
+          if (file->layout) {
+            if (const auto geo = EcGeometry::from(*file->layout)) {
+              span = slices[i].length * geo->k;
+            }
+          }
+          const uint64_t gs = slices[i].file_offset;
+          const uint64_t ge = std::min(file->size, gs + span);
+          if (ge > gs) {
+            const uint64_t dbefore = file->dirty.total_length();
+            file->dirty.add(gs, ge);
+            dirty_bytes_ += file->dirty.total_length() - dbefore;
+          }
+          continue;
+        }
         const uint64_t ws = slices[i].file_offset;
         const uint64_t we = ws + slices[i].length;
         for (const auto& gap : file->dirty.gaps(ws, we)) {
@@ -1960,6 +2303,11 @@ Task<void> NfsClient::wb_background_commit(FilePtr file, rpc::RpcAddress addr,
 Task<void> NfsClient::flush_dirty(FilePtr file, bool only_full_chunks,
                                   bool wait_completion) {
   co_await ensure_layout_fresh(*file);
+  if (file->layout &&
+      file->layout->aggregation == AggregationType::kErasureCoded) {
+    // Group-granular flush: data and parity leave together.
+    co_return co_await flush_dirty_ec(file, wait_completion);
+  }
   const uint64_t chunk = config_.wsize;
   std::vector<util::IntervalSet::Interval> ranges;
   for (const auto& iv : file->dirty.intervals()) {
@@ -2007,6 +2355,124 @@ Task<void> NfsClient::flush_dirty(FilePtr file, bool only_full_chunks,
     co_await file->wb_inflight->wait();
     if (file->wb_error) {
       file->wb_error = false;
+      throw NfsError(Status::kIo, "flush");
+    }
+  }
+}
+
+Task<void> NfsClient::flush_dirty_ec(FilePtr file, bool wait_completion) {
+  FileState& f = *file;
+  const auto geo = f.layout ? EcGeometry::from(*f.layout) : std::nullopt;
+  if (!geo) throw NfsError(Status::kInval, "malformed erasure-coded layout");
+  const uint64_t gb = geo->group_bytes();
+  const uint64_t su = geo->su;
+
+  if (!f.wb_inflight) {
+    f.wb_inflight = std::make_unique<sim::WaitGroup>(fabric_.simulation());
+  }
+
+  // Snapshot the touched stripe groups; groups dirtied while this flush
+  // runs belong to the next one.
+  std::vector<uint64_t> group_starts;
+  for (const auto& iv : f.dirty.intervals()) {
+    for (uint64_t gs = round_down(iv.start, gb); gs < iv.end; gs += gb) {
+      if (group_starts.empty() || group_starts.back() != gs) {
+        group_starts.push_back(gs);
+      }
+    }
+  }
+
+  util::ReedSolomon rs(static_cast<uint32_t>(geo->k),
+                       static_cast<uint32_t>(geo->m));
+  for (const uint64_t gs : group_starts) {
+    const uint64_t ge = gs + gb;
+    // Read-modify-write: parity covers the whole group, so resident-but-
+    // invalid bytes below EOF must be fetched before encoding.  This can
+    // suspend; the group's bytes stay dirty — and thus pinned — until the
+    // synchronous claim below.
+    if (std::min<uint64_t>(ge, f.size) > gs &&
+        !f.valid.covers(gs, std::min<uint64_t>(ge, f.size))) {
+      co_await fetch_range(file, gs, std::min<uint64_t>(ge, f.size));
+    }
+    const uint64_t data_end = std::min<uint64_t>(ge, f.size);
+    const auto todo = f.dirty.intersection(gs, ge);
+    if (todo.empty()) continue;  // a concurrent flush claimed this group
+    {
+      const uint64_t before = f.dirty.total_length();
+      f.dirty.subtract(gs, ge);
+      dirty_bytes_ -= before - f.dirty.total_length();
+    }
+
+    // Encode the group's parity from the zero-padded cached shards.  All of
+    // [gs, data_end) is valid here, and no suspension separates the claim
+    // above from the loads below.  Virtual content (benchmarks) yields
+    // virtual parity: sizes are billed, bytes never materialize.
+    std::vector<Payload> parity;
+    if (data_end > gs && f.content.tainted(gs, data_end)) {
+      for (uint64_t j = 0; j < geo->m; ++j) {
+        parity.push_back(Payload::virtual_bytes(su));
+      }
+    } else {
+      std::vector<std::vector<std::byte>> shards(static_cast<size_t>(geo->k));
+      for (uint64_t p = 0; p < geo->k; ++p) {
+        auto& shard = shards[static_cast<size_t>(p)];
+        shard.assign(static_cast<size_t>(su), std::byte{0});
+        const uint64_t ss = gs + p * su;
+        const uint64_t se = std::min(ss + su, data_end);
+        if (se > ss) {
+          Payload chunk = f.content.load(ss, se - ss);
+          const auto span = chunk.data();
+          std::copy(span.begin(), span.end(), shard.begin());
+        }
+      }
+      std::vector<std::vector<std::byte>> pbytes;
+      rs.encode(shards, &pbytes);
+      for (auto& pb : pbytes) {
+        parity.push_back(Payload::inline_bytes(std::move(pb)));
+      }
+    }
+
+    // Data: exactly the claimed dirty ranges, wsize-chunked through the
+    // data mapping (the EC driver's map_read is the data half of its
+    // map_write).
+    for (const auto& div : todo) {
+      const auto slices =
+          route(f, div.start, div.end - div.start, /*for_write=*/false);
+      for (const auto& s : slices) {
+        uint64_t pos = 0;
+        while (pos < s.length) {
+          const uint64_t n = std::min<uint64_t>(config_.wsize, s.length - pos);
+          IoSlice piece = s;
+          piece.target_offset += pos;
+          piece.file_offset += pos;
+          piece.length = n;
+          Payload data = f.content.load(piece.file_offset, n);
+          enqueue_writeback(file, piece, std::move(data));
+          pos += n;
+        }
+      }
+    }
+    // Parity: one whole-su block per parity device.  Every shard of group
+    // g sits at device offset g*su.
+    for (uint64_t j = 0; j < geo->m; ++j) {
+      const size_t dev = static_cast<size_t>(geo->k + j);
+      IoSlice ps;
+      ps.device_index = dev;
+      ps.addr = devices_.at(f.layout->devices[dev]);
+      ps.fh = f.layout->fhs[dev];
+      ps.stateid = kDataServerStateid;
+      ps.target_offset = gs / gb * su;
+      ps.file_offset = gs;
+      ps.length = su;
+      ps.parity = true;
+      enqueue_writeback(file, ps, std::move(parity[static_cast<size_t>(j)]));
+    }
+  }
+
+  if (wait_completion) {
+    co_await f.wb_inflight->wait();
+    if (f.wb_error) {
+      f.wb_error = false;
       throw NfsError(Status::kIo, "flush");
     }
   }

@@ -140,6 +140,13 @@ struct ClientStats {
   uint64_t replayed_extents = 0;    ///< retained extents re-dirtied for replay
   uint64_t replayed_bytes = 0;      ///< bytes those extents covered
   uint64_t session_recoveries = 0;  ///< sessions re-established after restart
+  // Redundancy (mirrored in the "client.redundancy" metrics component).
+  uint64_t replica_reroutes = 0;    ///< reads routed around an unhealthy DS
+  uint64_t degraded_reads = 0;      ///< reads served without the home DS
+  uint64_t degraded_read_bytes = 0; ///< bytes those reads returned
+  uint64_t ec_reconstructions = 0;  ///< erasure blocks rebuilt from k shards
+  uint64_t degraded_writes = 0;     ///< writes absorbed by surviving redundancy
+  uint64_t degraded_commits = 0;    ///< COMMIT targets dropped as dead
 };
 
 /// Records the first non-OK status across a fan-out of concurrent slice
@@ -237,6 +244,10 @@ class NfsClient {
     uint64_t target_offset = 0;  ///< offset in the target's address space
     uint64_t file_offset = 0;
     uint64_t length = 0;
+    /// Erasure parity block: payload is derived (never file content), so it
+    /// must not fall back to the MDS and failures re-dirty the source group
+    /// instead of restoring payload bytes into the cache.
+    bool parity = false;
   };
 
   // Per-data-server write-back scheduler (see flush_dirty): each DS owns a
@@ -368,6 +379,33 @@ class NfsClient {
   sim::Task<void> refetch_layout(FileState& f, bool force = false);
   sim::Task<void> flush_dirty(FilePtr file, bool only_full_chunks,
                               bool wait_completion);
+
+  // -- Redundancy (replicated / nested-mirror / erasure-coded layouts) -----
+  /// True when this device may not hold valid bytes for [start, end): its
+  /// breaker is open or the range overlaps its degraded (skipped-write) set.
+  bool device_unhealthy(const FileState& f, size_t device,
+                        uint64_t start, uint64_t end) const;
+  /// For replicated/nested layouts: redirects `slice` to a healthy device
+  /// holding the same bytes.  `avoid` is the device being routed around.
+  /// False when no healthy alternate exists.
+  bool remap_replica(const FileState& f, IoSlice& slice, size_t avoid) const;
+  /// Degraded-read rung: serve `slice` without its home DS — surviving
+  /// replica / mirror-group member, or reconstruction from k surviving
+  /// erasure shards.  Fills `out` and returns true on success.
+  sim::Task<bool> degraded_read(FileState& f, IoSlice slice,
+                                rpc::Payload& out);
+  /// Reads the `su`-sized erasure shards of the group containing
+  /// `slice.file_offset` from any k healthy devices and decodes the target
+  /// block.  Returns the reconstructed block (zero-padded to su).
+  sim::Task<bool> ec_reconstruct_block(FileState& f, const IoSlice& slice,
+                                       rpc::Payload& block);
+  /// Records that `slice`'s bytes were not written to its device (the
+  /// redundancy absorbed a terminal failure).
+  void note_degraded_write(FileState& f, const IoSlice& slice);
+  /// Erasure-coded flush: expands dirty ranges to stripe-group boundaries,
+  /// read-modify-writes missing group bytes, computes parity, and enqueues
+  /// data + parity write-back.
+  sim::Task<void> flush_dirty_ec(FilePtr file, bool wait_completion);
   sim::Task<void> commit_unstable(FileState& f);
   void account_valid_delta(FileState& f, int64_t delta);
   void evict_clean_if_needed();
@@ -450,6 +488,13 @@ class NfsClient {
   obs::Counter* m_replayed_extents_;
   obs::Counter* m_replayed_bytes_;
   obs::Counter* m_session_recoveries_;
+  // "client.redundancy" component handles.
+  obs::Counter* m_replica_reroutes_;
+  obs::Counter* m_degraded_reads_;
+  obs::Counter* m_degraded_read_bytes_;
+  obs::Counter* m_ec_reconstructions_;
+  obs::Counter* m_degraded_writes_;
+  obs::Counter* m_degraded_commits_;
   /// Trace sink (null when the fabric carries no tracer); write-back
   /// dispatches emit a root span here so analyze_trace can attribute
   /// client-queue time per DS.
@@ -511,6 +556,15 @@ class NfsClient::FileState {
   /// Set when the MDS session died (server restart): the layout came from
   /// the dead incarnation and is re-fetched once before the next I/O.
   bool layout_stale = false;
+
+  /// Per-device ranges known NOT to hold current data: writes or COMMITs
+  /// that terminally failed against the device while surviving redundancy
+  /// absorbed them.  Reads must route around these ranges (and erasure
+  /// reconstruction must not source from them).  Entries are sticky — a
+  /// rebuilt replacement device arrives under a fresh layout whose reads
+  /// the rebuild made whole, while these ranges keep being served by the
+  /// surviving copies either way.
+  std::map<size_t, util::IntervalSet> degraded;
 
   /// Ranges that must not be evicted: dirty data plus retained
   /// uncommitted writes (the client's only copy if a server restarts).

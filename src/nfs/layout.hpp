@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "nfs/types.hpp"
@@ -61,8 +62,16 @@ enum class AggregationType : uint32_t {
   kCyclic = 2,         ///< cyclical device pattern with a start offset
   kVariableStripe = 3, ///< per-extent stripe sizes (Exedra-style)
   kReplicated = 4,     ///< full replication across devices (RAID-1-style)
-  kNested = 5,         ///< striping across groups of striped devices
+  kNested = 5,         ///< striping across mirror groups (RAID-1+0-style)
+  kErasureCoded = 6,   ///< systematic Reed-Solomon k+m; params = [k, m]
 };
+
+/// True for schemes that store enough redundancy to survive the loss of at
+/// least one device (replica reroute or parity reconstruction).
+constexpr bool redundant_aggregation(AggregationType t) noexcept {
+  return t == AggregationType::kReplicated || t == AggregationType::kNested ||
+         t == AggregationType::kErasureCoded;
+}
 
 /// A pNFS file-based layout for a whole file.
 struct FileLayout {
@@ -87,7 +96,7 @@ struct FileLayout {
   static FileLayout decode(rpc::XdrDecoder& dec) {
     FileLayout l;
     const uint32_t agg = dec.get_u32();
-    if (agg < 1 || agg > 5) throw rpc::XdrError("bad aggregation type");
+    if (agg < 1 || agg > 6) throw rpc::XdrError("bad aggregation type");
     l.aggregation = static_cast<AggregationType>(agg);
     l.stripe_unit = dec.get_u64();
     l.devices = dec.get_array<DeviceId>();
@@ -100,13 +109,45 @@ struct FileLayout {
   }
 };
 
+/// Geometry of an erasure-coded layout: params = [k, m] with
+/// devices.size() == k + m.  Stripe group g covers file bytes
+/// [g*k*su, (g+1)*k*su); data stripe s lives on device s % k at device
+/// offset (s / k) * su; parity block j of group g lives on device k + j at
+/// device offset g * su.
+struct EcGeometry {
+  uint64_t k = 0;
+  uint64_t m = 0;
+  uint64_t su = 0;
+
+  static std::optional<EcGeometry> from(const FileLayout& l) {
+    if (l.aggregation != AggregationType::kErasureCoded) return std::nullopt;
+    if (l.params.size() < 2 || l.params[0] == 0 || l.params[1] == 0 ||
+        l.stripe_unit == 0 ||
+        l.devices.size() != l.params[0] + l.params[1]) {
+      return std::nullopt;
+    }
+    return EcGeometry{l.params[0], l.params[1], l.stripe_unit};
+  }
+
+  uint64_t group_bytes() const noexcept { return k * su; }
+  uint64_t group_of(uint64_t file_offset) const noexcept {
+    return file_offset / group_bytes();
+  }
+};
+
 /// One contiguous piece of a striped request: `length` bytes at `dev_offset`
 /// of device `device_index` (an index into FileLayout::devices).
+///
+/// `parity` marks segments that carry derived redundancy rather than file
+/// bytes: `file_offset` then names the start of the stripe group the parity
+/// covers, and the payload must be computed by the writer (never loaded from
+/// file content).  Only `map_write` of an erasure-coded layout emits these.
 struct StripeSegment {
   size_t device_index = 0;
   uint64_t dev_offset = 0;
   uint64_t file_offset = 0;
   uint64_t length = 0;
+  bool parity = false;
 
   bool operator==(const StripeSegment&) const = default;
 };

@@ -438,24 +438,39 @@ Task<PvfsFilePtr> PvfsClient::create(const std::string& path) {
   // Create the dfile objects on every storage node (PVFS2 allocates the
   // full distribution eagerly at create time).
   sim::WaitGroup wg(fabric_.simulation());
-  bool failed = false;
+  uint32_t failures = 0;
   for (const auto& dfile : file->meta.dfiles) {
     wg.spawn([](PvfsClient& self, const DfileRef dfile,
-                bool& failed) -> Task<void> {
+                uint32_t& failures) -> Task<void> {
       XdrEncoder a;
       a.put_u64(dfile.object_id);
       try {
         auto r = co_await self.io_call(dfile.server_index, IoProc::kCreate,
                                        std::move(a), 0);
         auto d = r.body();
-        if (reply_status(d) != PvfsStatus::kOk) failed = true;
+        if (reply_status(d) != PvfsStatus::kOk) ++failures;
       } catch (const PvfsError&) {
-        failed = true;
+        ++failures;
       }
-    }(*this, dfile, failed));
+    }(*this, dfile, failures));
   }
   co_await wg.wait();
-  if (failed) throw PvfsError(PvfsStatus::kIo, "create dfiles " + path);
+  // Redundant distributions survive creates against dead daemons up to the
+  // redundancy level; rebuild re-materializes the missing objects.
+  uint32_t tolerated = 0;
+  switch (file->meta.kind) {
+    case DistKind::kMirror:
+      tolerated = static_cast<uint32_t>(file->meta.dfiles.size()) - 1;
+      break;
+    case DistKind::kErasure:
+      tolerated = file->meta.ec_m;
+      break;
+    case DistKind::kStripe:
+      break;
+  }
+  if (failures > tolerated) {
+    throw PvfsError(PvfsStatus::kIo, "create dfiles " + path);
+  }
   co_return file;
 }
 
@@ -494,9 +509,19 @@ Task<uint64_t> PvfsClient::fetch_size(PvfsFilePtr file) {
   }
   co_await wg.wait();
   // A missing dfile size would silently shrink the logical size and truncate
-  // reads — surface the failure instead.
-  if (failed) throw PvfsError(PvfsStatus::kIo, "getattr size gather");
-  file->size = logical_size(file->meta, sizes);
+  // reads — surface the failure instead.  Redundant distributions tolerate
+  // unreachable daemons: surviving replicas/shards still bound the size (the
+  // MDS-side LAYOUTCOMMIT size floor covers the final-stripe ambiguity).
+  if (failed && file->meta.kind == DistKind::kStripe) {
+    throw PvfsError(PvfsStatus::kIo, "getattr size gather");
+  }
+  uint64_t logical = logical_size(file->meta, sizes);
+  if (file->meta.kind != DistKind::kStripe) {
+    // Keep the known size as a floor: a dead daemon's dfile may have held
+    // the file tail (the MDS's LAYOUTCOMMIT floor flows in via file->size).
+    logical = std::max(logical, file->size);
+  }
+  file->size = logical;
   co_return file->size;
 }
 
@@ -586,7 +611,7 @@ Task<Payload> PvfsClient::read(PvfsFilePtr file, uint64_t offset,
 Task<void> PvfsClient::write(PvfsFilePtr file, uint64_t offset, Payload data,
                              obs::TraceContext trace) {
   const uint64_t len = data.size();
-  const auto extents = map_stripes(file->meta, offset, len);
+  const auto extents = map_stripes_write(file->meta, offset, len);
 
   struct WritePiece {
     uint32_t dfile_index;
@@ -737,26 +762,13 @@ Task<void> PvfsClient::fsync(PvfsFilePtr file, obs::TraceContext trace) {
 Task<void> PvfsClient::close(PvfsFilePtr file) { co_await fsync(file); }
 
 Task<void> PvfsClient::truncate(PvfsFilePtr file, uint64_t size) {
-  // Dense striping: dfile i keeps ceil((stripes fully before size) ...).
-  // Compute per-dfile target sizes by walking the boundary stripe.
-  const uint64_t su = file->meta.stripe_unit;
   const uint64_t n = file->meta.dfiles.size();
   sim::WaitGroup wg(fabric_.simulation());
   bool failed = false;
   for (uint64_t i = 0; i < n; ++i) {
-    // Bytes of dfile i that lie below `size` under dense round-robin.
-    uint64_t dsize = 0;
-    if (size > 0) {
-      const uint64_t full_stripes = size / su;
-      const uint64_t rem = size % su;
-      dsize = (full_stripes / n) * su;
-      const uint64_t boundary = full_stripes % n;
-      if (i < boundary) {
-        dsize += su;
-      } else if (i == boundary) {
-        dsize += rem;
-      }
-    }
+    // Bytes of dfile i that lie below `size` under the distribution.
+    const uint64_t dsize =
+        dfile_size_for(file->meta, static_cast<uint32_t>(i), size);
     // Replay must not resurrect bytes above the new end of the dfile.
     {
       DaemonState& ds = daemons_.at(file->meta.dfiles[i].server_index);

@@ -73,13 +73,43 @@ FileMeta PvfsMetaServer::make_distribution() {
   FileMeta meta;
   meta.handle = next_handle_++;
   meta.stripe_unit = config_.stripe_unit;
+  meta.kind = config_.distribution;
+  const uint32_t active = active_storage();
+  uint32_t width = active;
+  switch (config_.distribution) {
+    case DistKind::kMirror:
+      width = std::min(config_.replicas, active);
+      break;
+    case DistKind::kErasure:
+      meta.ec_k = config_.ec_k;
+      meta.ec_m = config_.ec_m;
+      width = config_.ec_k + config_.ec_m;
+      if (width > active) {
+        throw PvfsError(PvfsStatus::kInval,
+                        "make_distribution: ec_k+ec_m exceeds active nodes");
+      }
+      break;
+    case DistKind::kStripe:
+      break;
+  }
+  if (width == 0) {
+    throw PvfsError(PvfsStatus::kInval, "make_distribution: no active nodes");
+  }
   const uint32_t start = next_start_node_;
-  next_start_node_ = (next_start_node_ + 1) % storage_count_;
-  for (uint32_t i = 0; i < storage_count_; ++i) {
-    meta.dfiles.push_back(
-        DfileRef{(start + i) % storage_count_, next_object_++});
+  next_start_node_ = (next_start_node_ + 1) % active;
+  for (uint32_t i = 0; i < width; ++i) {
+    meta.dfiles.push_back(DfileRef{(start + i) % active, next_object_++});
   }
   return meta;
+}
+
+void PvfsMetaServer::for_each_file(
+    const std::function<void(FileMeta&)>& fn) {
+  // by_handle_ indexes every regular file; cast away the view-constness (the
+  // entries live in our own tree).
+  for (auto& [handle, meta] : by_handle_) {
+    fn(*const_cast<FileMeta*>(meta));
+  }
 }
 
 const FileMeta* PvfsMetaServer::describe(const std::string& path) const {

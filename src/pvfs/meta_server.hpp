@@ -10,7 +10,9 @@
 // node).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -25,6 +27,16 @@ struct MetaServerConfig {
   uint64_t stripe_unit = 2ull << 20;  ///< paper: 2 MB stripes
   uint32_t workers = 8;
   sim::Duration cpu_per_op = sim::us(30);
+
+  /// Distribution kind for new files.  kMirror uses `replicas` dfiles;
+  /// kErasure uses ec_k + ec_m.  kStripe stripes over every active node.
+  DistKind distribution = DistKind::kStripe;
+  uint32_t replicas = 2;
+  uint32_t ec_k = 4;
+  uint32_t ec_m = 2;
+  /// Trailing storage nodes held out of new distributions as rebuild
+  /// spares.  Active nodes are [0, storage_count - spare_nodes).
+  uint32_t spare_nodes = 0;
 };
 
 class PvfsMetaServer {
@@ -48,6 +60,20 @@ class PvfsMetaServer {
 
   uint32_t storage_count() const noexcept { return storage_count_; }
   uint64_t stripe_unit() const noexcept { return config_.stripe_unit; }
+  const MetaServerConfig& config() const noexcept { return config_; }
+  /// Storage nodes currently receiving new distributions.
+  uint32_t active_storage() const noexcept {
+    return storage_count_ - std::min(storage_count_, config_.spare_nodes);
+  }
+
+  // --- Rebuild-service hooks (in-process, MDS-co-located) ---------------
+
+  /// Visits every regular file's distribution metadata.  The visitor may
+  /// mutate dfile placements (rebuild retargets a dead node's dfiles).
+  void for_each_file(const std::function<void(FileMeta&)>& fn);
+
+  /// Allocates a fresh storage object id (rebuild targets).
+  uint64_t allocate_object() { return next_object_++; }
 
  private:
   struct Entry {

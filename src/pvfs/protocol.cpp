@@ -18,14 +18,13 @@ const char* pvfs_status_name(PvfsStatus s) {
   return "PVFS_E?";
 }
 
-std::vector<StripeExtent> map_stripes(const FileMeta& meta, uint64_t offset,
-                                      uint64_t length) {
+namespace {
+
+/// Dense round-robin mapping over the first `n` dfiles.
+std::vector<StripeExtent> map_dense(const FileMeta& meta, uint64_t n,
+                                    uint64_t offset, uint64_t length) {
   std::vector<StripeExtent> out;
-  if (meta.dfiles.empty() || meta.stripe_unit == 0) {
-    throw PvfsError(PvfsStatus::kInval, "map_stripes: bad distribution");
-  }
   const uint64_t su = meta.stripe_unit;
-  const uint64_t n = meta.dfiles.size();
   uint64_t pos = offset;
   const uint64_t end = offset + length;
   while (pos < end) {
@@ -48,10 +47,73 @@ std::vector<StripeExtent> map_stripes(const FileMeta& meta, uint64_t offset,
   return out;
 }
 
+void check_distribution(const FileMeta& meta, const char* who) {
+  if (meta.dfiles.empty() || meta.stripe_unit == 0 ||
+      (meta.kind == DistKind::kErasure &&
+       meta.dfiles.size() != static_cast<size_t>(meta.ec_k) + meta.ec_m)) {
+    throw PvfsError(PvfsStatus::kInval,
+                    std::string(who) + ": bad distribution");
+  }
+}
+
+}  // namespace
+
+std::vector<StripeExtent> map_stripes(const FileMeta& meta, uint64_t offset,
+                                      uint64_t length) {
+  check_distribution(meta, "map_stripes");
+  if (meta.kind == DistKind::kMirror) {
+    // Full copies: pick one replica per stripe, rotating to spread readers.
+    std::vector<StripeExtent> out;
+    const uint64_t su = meta.stripe_unit;
+    const uint64_t n = meta.dfiles.size();
+    uint64_t pos = offset;
+    const uint64_t end = offset + length;
+    while (pos < end) {
+      const uint64_t stripe = pos / su;
+      const uint64_t take = std::min(su - pos % su, end - pos);
+      StripeExtent ext;
+      ext.dfile_index = static_cast<uint32_t>(stripe % n);
+      ext.dfile_offset = pos;  // replica offset == file offset
+      ext.file_offset = pos;
+      ext.length = take;
+      if (!out.empty() && out.back().dfile_index == ext.dfile_index &&
+          out.back().dfile_offset + out.back().length == ext.dfile_offset) {
+        out.back().length += take;
+      } else {
+        out.push_back(ext);
+      }
+      pos += take;
+    }
+    return out;
+  }
+  return map_dense(meta, meta.data_dfiles(), offset, length);
+}
+
+std::vector<StripeExtent> map_stripes_write(const FileMeta& meta,
+                                            uint64_t offset, uint64_t length) {
+  check_distribution(meta, "map_stripes_write");
+  if (meta.kind != DistKind::kMirror) return map_stripes(meta, offset, length);
+  std::vector<StripeExtent> out;
+  for (uint32_t d = 0; d < meta.dfiles.size(); ++d) {
+    StripeExtent ext;
+    ext.dfile_index = d;
+    ext.dfile_offset = offset;
+    ext.file_offset = offset;
+    ext.length = length;
+    out.push_back(ext);
+  }
+  return out;
+}
+
 uint64_t logical_size(const FileMeta& meta,
                       const std::vector<uint64_t>& dfile_sizes) {
   const uint64_t su = meta.stripe_unit;
-  const uint64_t n = meta.dfiles.size();
+  if (meta.kind == DistKind::kMirror) {
+    uint64_t logical = 0;
+    for (uint64_t s : dfile_sizes) logical = std::max(logical, s);
+    return logical;
+  }
+  const uint64_t n = meta.data_dfiles();
   uint64_t logical = 0;
   for (uint64_t i = 0; i < dfile_sizes.size() && i < n; ++i) {
     const uint64_t s = dfile_sizes[i];
@@ -62,6 +124,26 @@ uint64_t logical_size(const FileMeta& meta,
     logical = std::max(logical, global_stripe * su + (last % su) + 1);
   }
   return logical;
+}
+
+uint64_t dfile_size_for(const FileMeta& meta, uint32_t index, uint64_t size) {
+  check_distribution(meta, "dfile_size_for");
+  const uint64_t su = meta.stripe_unit;
+  if (meta.kind == DistKind::kMirror) return size;
+  const uint64_t n = meta.data_dfiles();
+  if (meta.kind == DistKind::kErasure && index >= n) {
+    // Parity dfiles hold one whole stripe-unit block per stripe group.
+    const uint64_t gb = n * su;
+    return ((size + gb - 1) / gb) * su;
+  }
+  // Dense round-robin: full stripes assigned to `index`, plus the partial
+  // tail stripe when it lands there.
+  const uint64_t full = size / su;
+  const uint64_t rem = size % su;
+  uint64_t blocks = full / n + (index < full % n ? 1 : 0);
+  uint64_t s = blocks * su;
+  if (rem > 0 && full % n == index) s += rem;
+  return s;
 }
 
 }  // namespace dpnfs::pvfs

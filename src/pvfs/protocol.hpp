@@ -97,28 +97,57 @@ struct DfileRef {
   }
 };
 
+/// How a file's bytes are distributed across its dfiles.
+enum class DistKind : uint32_t {
+  kStripe = 0,   ///< dense round-robin over all dfiles (PVFS2 simple stripe)
+  kMirror = 1,   ///< every dfile holds a full copy (RAID-1)
+  kErasure = 2,  ///< RS k+m: first ec_k dfiles data, last ec_m parity
+};
+
 /// Distribution + dfile metadata for one regular file.
 struct FileMeta {
   uint64_t handle = 0;
   uint64_t stripe_unit = 0;
+  DistKind kind = DistKind::kStripe;
+  uint32_t ec_k = 0;  ///< kErasure only
+  uint32_t ec_m = 0;  ///< kErasure only
   std::vector<DfileRef> dfiles;
+
+  /// Number of dfiles carrying file bytes (excludes erasure parity).
+  uint32_t data_dfiles() const noexcept {
+    return kind == DistKind::kErasure
+               ? ec_k
+               : static_cast<uint32_t>(dfiles.size());
+  }
 
   void encode(rpc::XdrEncoder& enc) const {
     enc.put_u64(handle);
     enc.put_u64(stripe_unit);
     enc.put_array(dfiles);
+    enc.put_u32(static_cast<uint32_t>(kind));
+    enc.put_u32(ec_k);
+    enc.put_u32(ec_m);
   }
   static FileMeta decode(rpc::XdrDecoder& dec) {
     FileMeta m;
     m.handle = dec.get_u64();
     m.stripe_unit = dec.get_u64();
     m.dfiles = dec.get_array<DfileRef>();
+    const uint32_t kind = dec.get_u32();
+    if (kind > 2) throw rpc::XdrError("bad distribution kind");
+    m.kind = static_cast<DistKind>(kind);
+    m.ec_k = dec.get_u32();
+    m.ec_m = dec.get_u32();
+    if (m.kind == DistKind::kErasure &&
+        (m.ec_k == 0 || m.ec_m == 0 ||
+         m.dfiles.size() != static_cast<size_t>(m.ec_k) + m.ec_m)) {
+      throw rpc::XdrError("bad erasure distribution");
+    }
     return m;
   }
 };
 
-/// Maps a logical byte range onto dfiles (dense round-robin, the PVFS2
-/// "simple stripe" distribution).
+/// Maps a logical byte range onto dfiles.
 struct StripeExtent {
   uint32_t dfile_index = 0;
   uint64_t dfile_offset = 0;
@@ -126,11 +155,27 @@ struct StripeExtent {
   uint64_t length = 0;
 };
 
+/// Read mapping: kStripe is dense round-robin over all dfiles; kMirror picks
+/// one replica per stripe (rotating, to spread readers); kErasure is dense
+/// round-robin over the first ec_k (data) dfiles.
 std::vector<StripeExtent> map_stripes(const FileMeta& meta, uint64_t offset,
                                       uint64_t length);
 
-/// Logical file size implied by per-dfile sizes under dense striping.
+/// Write mapping: differs from map_stripes only for kMirror, where every
+/// dfile gets a full copy of the range.  (kErasure parity maintenance is a
+/// client-stack concern — see docs/failures.md; the native PVFS write path
+/// updates data dfiles only.)
+std::vector<StripeExtent> map_stripes_write(const FileMeta& meta,
+                                            uint64_t offset, uint64_t length);
+
+/// Logical file size implied by per-dfile sizes under the distribution.
+/// A dfile whose size is unknown (daemon unreachable) may be reported as 0;
+/// redundant distributions then under-estimate at most the final stripe.
 uint64_t logical_size(const FileMeta& meta,
                       const std::vector<uint64_t>& dfile_sizes);
+
+/// Exact size dfile `index` must have when the file's logical size is
+/// `size` (truncate targets, rebuild verification).
+uint64_t dfile_size_for(const FileMeta& meta, uint32_t index, uint64_t size);
 
 }  // namespace dpnfs::pvfs

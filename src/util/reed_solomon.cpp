@@ -1,0 +1,193 @@
+#include "util/reed_solomon.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace dpnfs::util {
+
+namespace {
+
+/// log/exp tables for GF(256) with the AES-adjacent polynomial 0x11d and
+/// generator 2, built once at static-init time.
+struct GfTables {
+  std::array<uint8_t, 256> log{};
+  std::array<uint8_t, 512> exp{};
+
+  GfTables() {
+    uint32_t x = 1;
+    for (uint32_t i = 0; i < 255; ++i) {
+      exp[i] = static_cast<uint8_t>(x);
+      log[x] = static_cast<uint8_t>(i);
+      x <<= 1;
+      if (x & 0x100) x ^= 0x11d;
+    }
+    for (uint32_t i = 255; i < 512; ++i) exp[i] = exp[i - 255];
+  }
+};
+
+const GfTables& tables() {
+  static const GfTables t;
+  return t;
+}
+
+/// Multiplies `src` by scalar `c` and XORs into `dst` (dst += c * src).
+void mul_acc(std::span<std::byte> dst, std::span<const std::byte> src,
+             uint8_t c) {
+  if (c == 0) return;
+  const GfTables& t = tables();
+  if (c == 1) {
+    for (size_t i = 0; i < dst.size(); ++i) dst[i] ^= src[i];
+    return;
+  }
+  const uint32_t lc = t.log[c];
+  for (size_t i = 0; i < dst.size(); ++i) {
+    const uint8_t s = static_cast<uint8_t>(src[i]);
+    if (s != 0) {
+      dst[i] = static_cast<std::byte>(static_cast<uint8_t>(dst[i]) ^
+                                      t.exp[lc + t.log[s]]);
+    }
+  }
+}
+
+}  // namespace
+
+uint8_t ReedSolomon::gf_mul(uint8_t a, uint8_t b) noexcept {
+  if (a == 0 || b == 0) return 0;
+  const GfTables& t = tables();
+  return t.exp[t.log[a] + t.log[b]];
+}
+
+uint8_t ReedSolomon::gf_inv(uint8_t a) {
+  if (a == 0) throw std::domain_error("gf_inv(0)");
+  const GfTables& t = tables();
+  return t.exp[255 - t.log[a]];
+}
+
+ReedSolomon::ReedSolomon(uint32_t k, uint32_t m) : k_(k), m_(m) {
+  if (k == 0 || m == 0 || k + m > 255) {
+    throw std::invalid_argument("reed-solomon: need 1 <= k, m and k+m <= 255");
+  }
+  // Cauchy matrix with x_j = k + j (parity rows) and y_i = i (data columns);
+  // the index sets are disjoint so x_j ^ y_i is never zero.
+  coding_.resize(static_cast<size_t>(m) * k);
+  for (uint32_t j = 0; j < m; ++j) {
+    for (uint32_t i = 0; i < k; ++i) {
+      coding_[j * k + i] = gf_inv(static_cast<uint8_t>((k + j) ^ i));
+    }
+  }
+}
+
+void ReedSolomon::encode(std::span<const std::vector<std::byte>> data,
+                         std::vector<std::vector<std::byte>>* parity) const {
+  if (data.size() != k_) throw std::invalid_argument("encode: need k shards");
+  const size_t len = data.empty() ? 0 : data[0].size();
+  for (const auto& d : data) {
+    if (d.size() != len) throw std::invalid_argument("encode: ragged shards");
+  }
+  parity->assign(m_, std::vector<std::byte>(len, std::byte{0}));
+  for (uint32_t j = 0; j < m_; ++j) {
+    for (uint32_t i = 0; i < k_; ++i) {
+      mul_acc((*parity)[j], data[i], coef(j, i));
+    }
+  }
+}
+
+bool ReedSolomon::reconstruct(
+    std::vector<std::optional<std::vector<std::byte>>>* shards) const {
+  const uint32_t n = k_ + m_;
+  if (shards->size() != n) {
+    throw std::invalid_argument("reconstruct: need k+m slots");
+  }
+  // Pick the first k present shards and remember which generator row each
+  // corresponds to (identity rows for data, Cauchy rows for parity).
+  std::vector<uint32_t> rows;
+  size_t len = 0;
+  for (uint32_t s = 0; s < n && rows.size() < k_; ++s) {
+    if ((*shards)[s]) {
+      rows.push_back(s);
+      len = (*shards)[s]->size();
+    }
+  }
+  if (rows.size() < k_) return false;
+  for (uint32_t r : rows) {
+    if ((*shards)[r]->size() != len) {
+      throw std::invalid_argument("reconstruct: ragged shards");
+    }
+  }
+
+  bool any_data_missing = false;
+  for (uint32_t i = 0; i < k_; ++i) {
+    any_data_missing = any_data_missing || !(*shards)[i];
+  }
+
+  std::vector<std::vector<std::byte>> data(k_);
+  if (!any_data_missing) {
+    for (uint32_t i = 0; i < k_; ++i) data[i] = *(*shards)[i];
+  } else {
+    // Invert the k x k submatrix of the generator formed by the chosen rows
+    // (Gauss-Jordan over GF(256)); guaranteed nonsingular by the Cauchy
+    // construction.
+    std::vector<uint8_t> mat(static_cast<size_t>(k_) * k_, 0);
+    std::vector<uint8_t> inv(static_cast<size_t>(k_) * k_, 0);
+    for (uint32_t r = 0; r < k_; ++r) {
+      const uint32_t s = rows[r];
+      if (s < k_) {
+        mat[r * k_ + s] = 1;  // data shard: identity row
+      } else {
+        for (uint32_t i = 0; i < k_; ++i) mat[r * k_ + i] = coef(s - k_, i);
+      }
+      inv[r * k_ + r] = 1;
+    }
+    for (uint32_t col = 0; col < k_; ++col) {
+      uint32_t pivot = col;
+      while (pivot < k_ && mat[pivot * k_ + col] == 0) ++pivot;
+      if (pivot == k_) return false;  // unreachable for Cauchy; be safe
+      if (pivot != col) {
+        for (uint32_t i = 0; i < k_; ++i) {
+          std::swap(mat[pivot * k_ + i], mat[col * k_ + i]);
+          std::swap(inv[pivot * k_ + i], inv[col * k_ + i]);
+        }
+      }
+      const uint8_t p = gf_inv(mat[col * k_ + col]);
+      for (uint32_t i = 0; i < k_; ++i) {
+        mat[col * k_ + i] = gf_mul(mat[col * k_ + i], p);
+        inv[col * k_ + i] = gf_mul(inv[col * k_ + i], p);
+      }
+      for (uint32_t r = 0; r < k_; ++r) {
+        if (r == col) continue;
+        const uint8_t f = mat[r * k_ + col];
+        if (f == 0) continue;
+        for (uint32_t i = 0; i < k_; ++i) {
+          mat[r * k_ + i] ^= gf_mul(mat[col * k_ + i], f);
+          inv[r * k_ + i] ^= gf_mul(inv[col * k_ + i], f);
+        }
+      }
+    }
+    // data_i = sum_r inv[i][r] * chosen_shard[r]
+    for (uint32_t i = 0; i < k_; ++i) {
+      data[i].assign(len, std::byte{0});
+      for (uint32_t r = 0; r < k_; ++r) {
+        mul_acc(data[i], *(*shards)[rows[r]], inv[i * k_ + r]);
+      }
+    }
+  }
+
+  for (uint32_t i = 0; i < k_; ++i) {
+    if (!(*shards)[i]) (*shards)[i] = data[i];
+  }
+  // Missing parity shards are recomputed by re-encoding.
+  bool parity_missing = false;
+  for (uint32_t j = 0; j < m_; ++j) {
+    parity_missing = parity_missing || !(*shards)[k_ + j];
+  }
+  if (parity_missing) {
+    std::vector<std::vector<std::byte>> parity;
+    encode(data, &parity);
+    for (uint32_t j = 0; j < m_; ++j) {
+      if (!(*shards)[k_ + j]) (*shards)[k_ + j] = std::move(parity[j]);
+    }
+  }
+  return true;
+}
+
+}  // namespace dpnfs::util

@@ -1,0 +1,58 @@
+// Systematic Reed-Solomon erasure coding over GF(256).
+//
+// A (k, m) code stores k data shards and m parity shards; any k of the
+// k + m shards reconstruct the rest.  The generator matrix is
+// [ I_k ; C ] where C is a Cauchy matrix — every k x k submatrix of a
+// Cauchy-extended identity is invertible, so reconstruction never hits a
+// singular system (the classic Vandermonde construction does not have this
+// property for all k, m).
+//
+// Shards are equal-length byte blocks.  The code is deterministic and
+// allocation-light: GF tables are built once per (k, m) instance.  Used by
+// the erasure-coded aggregation driver (client-side parity generation and
+// degraded-read reconstruction) and by the MDS rebuild service.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace dpnfs::util {
+
+class ReedSolomon {
+ public:
+  /// Requires 1 <= k, 1 <= m, k + m <= 255.
+  ReedSolomon(uint32_t k, uint32_t m);
+
+  uint32_t k() const noexcept { return k_; }
+  uint32_t m() const noexcept { return m_; }
+
+  /// Computes the m parity shards for k equal-length data shards.
+  /// `parity` is resized to m shards of the same length.
+  void encode(std::span<const std::vector<std::byte>> data,
+              std::vector<std::vector<std::byte>>* parity) const;
+
+  /// Reconstructs every missing shard in place.  `shards` has k + m slots
+  /// (data shards first); a nullopt slot is missing.  All present shards
+  /// must share one length.  Returns false when fewer than k shards are
+  /// present; on success every slot is filled.
+  bool reconstruct(
+      std::vector<std::optional<std::vector<std::byte>>>* shards) const;
+
+  // GF(256) arithmetic (poly 0x11d), exposed for tests.
+  static uint8_t gf_mul(uint8_t a, uint8_t b) noexcept;
+  static uint8_t gf_inv(uint8_t a);
+
+ private:
+  uint32_t k_;
+  uint32_t m_;
+  std::vector<uint8_t> coding_;  // m x k Cauchy rows, row-major
+
+  uint8_t coef(uint32_t row, uint32_t col) const noexcept {
+    return coding_[row * k_ + col];
+  }
+};
+
+}  // namespace dpnfs::util

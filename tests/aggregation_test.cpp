@@ -164,10 +164,33 @@ TEST(Nested, GroupThenSubDeviceOrder) {
     ASSERT_EQ(segs.size(), 1u);
     EXPECT_EQ(segs[0].device_index, expect[s]) << "stripe " << s;
   }
-  // Stripe 4 wraps to device 0 at dense offset 100.
+  // Stripe 4 wraps to device 0 at group-round offset (4/2)*100 = 200: every
+  // member of a mirror group holds its group's round at the same offset, so
+  // any member can serve the stripe during degraded reads.
   auto segs = d.map_read(l, 400, 100);
   EXPECT_EQ(segs[0].device_index, 0u);
-  EXPECT_EQ(segs[0].dev_offset, 100u);
+  EXPECT_EQ(segs[0].dev_offset, 200u);
+}
+
+TEST(Nested, WritesCopyToEveryGroupMember) {
+  NestedDriver d;
+  FileLayout l = base_layout(4, 100);
+  l.aggregation = AggregationType::kNested;
+  l.params = {2};  // 2 groups of 2
+  // Stripe 1 belongs to group 1 (devices 2 and 3); both get a copy at the
+  // same device offset.
+  auto segs = d.map_write(l, 100, 100);
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_EQ(segs[0].device_index, 2u);
+  EXPECT_EQ(segs[1].device_index, 3u);
+  for (const auto& s : segs) {
+    EXPECT_EQ(s.dev_offset, 0u);
+    EXPECT_EQ(s.file_offset, 100u);
+    EXPECT_EQ(s.length, 100u);
+  }
+  // A two-stripe range fans out to both groups, two copies each.
+  segs = d.map_write(l, 0, 200);
+  ASSERT_EQ(segs.size(), 4u);
 }
 
 TEST(Nested, BadGroupSizeThrows) {
@@ -176,6 +199,67 @@ TEST(Nested, BadGroupSizeThrows) {
   l.params = {3};  // 4 % 3 != 0
   EXPECT_THROW(d.map_read(l, 0, 10), std::invalid_argument);
   l.params = {};
+  EXPECT_THROW(d.map_read(l, 0, 10), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Erasure coded
+// ---------------------------------------------------------------------------
+
+FileLayout ec_layout(uint64_t k, uint64_t m, uint64_t su) {
+  FileLayout l = base_layout(static_cast<uint32_t>(k + m), su);
+  l.aggregation = AggregationType::kErasureCoded;
+  l.params = {k, m};
+  return l;
+}
+
+TEST(ErasureCoded, ReadsOnlyTouchDataDevices) {
+  ErasureCodedDriver d;
+  FileLayout l = ec_layout(4, 2, 100);
+  // Stripe 5 -> data device 1 (5 % 4) at offset (5/4)*100 = 100.
+  auto segs = d.map_read(l, 500, 100);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].device_index, 1u);
+  EXPECT_EQ(segs[0].dev_offset, 100u);
+  EXPECT_FALSE(segs[0].parity);
+  auto wide = d.map_read(l, 0, 1600);  // four full groups
+  for (const auto& s : wide) {
+    EXPECT_LT(s.device_index, 4u);  // never devices 4..5 (parity)
+    EXPECT_FALSE(s.parity);
+  }
+  check_partition(wide, 0, 1600);
+}
+
+TEST(ErasureCoded, WritesAddParityPerTouchedGroup) {
+  ErasureCodedDriver d;
+  FileLayout l = ec_layout(4, 2, 100);
+  // One byte in group 1 (group bytes = 400): one data segment plus m=2
+  // parity segments on devices 4 and 5 at group-round offset 1*100.
+  auto segs = d.map_write(l, 450, 1);
+  ASSERT_EQ(segs.size(), 3u);
+  EXPECT_EQ(segs[0].device_index, 0u);  // stripe 4 -> data device 0
+  EXPECT_FALSE(segs[0].parity);
+  for (size_t j = 1; j < 3; ++j) {
+    EXPECT_EQ(segs[j].device_index, 3u + j);
+    EXPECT_TRUE(segs[j].parity);
+    EXPECT_EQ(segs[j].dev_offset, 100u);
+    EXPECT_EQ(segs[j].file_offset, 400u);  // group start in file space
+    EXPECT_EQ(segs[j].length, 100u);       // always a whole stripe unit
+  }
+  // A range spanning groups 0..1 emits parity for both groups.
+  segs = d.map_write(l, 0, 800);
+  size_t parity = 0;
+  for (const auto& s : segs) parity += s.parity ? 1 : 0;
+  EXPECT_EQ(parity, 4u);  // 2 groups x m=2
+}
+
+TEST(ErasureCoded, MalformedParamsThrow) {
+  ErasureCodedDriver d;
+  FileLayout l = ec_layout(4, 2, 100);
+  l.params = {4};  // missing m
+  EXPECT_THROW(d.map_read(l, 0, 10), std::invalid_argument);
+  l.params = {4, 2};
+  l.devices.pop_back();  // devices != k + m
   EXPECT_THROW(d.map_read(l, 0, 10), std::invalid_argument);
 }
 
@@ -220,6 +304,13 @@ class AllDrivers : public ::testing::Test {
       l.aggregation = AggregationType::kNested;
       l.params = {2};
       cases_.push_back({registry_.find(AggregationType::kNested), l, "nested"});
+    }
+    {
+      FileLayout l = base_layout(6, 64);
+      l.aggregation = AggregationType::kErasureCoded;
+      l.params = {4, 2};
+      cases_.push_back(
+          {registry_.find(AggregationType::kErasureCoded), l, "ec"});
     }
   }
 
@@ -296,6 +387,49 @@ TEST_F(AllDrivers, NoTwoSegmentsOverlapOnOneDevice) {
   }
 }
 
+TEST_F(AllDrivers, WriteMapCoversRangeWithExpectedRedundancy) {
+  // Every file byte written must land on at least one device (non-parity
+  // segment), and redundant schemes must cover it on every required copy.
+  util::Rng rng(7);
+  for (const auto& c : cases_) {
+    size_t copies = 1;
+    if (c.layout.aggregation == AggregationType::kReplicated) {
+      copies = c.layout.devices.size();
+    } else if (c.layout.aggregation == AggregationType::kNested) {
+      copies = c.layout.params[0];
+    }
+    for (int trial = 0; trial < 100; ++trial) {
+      const uint64_t offset = rng.below(10'000);
+      const uint64_t length = rng.range(1, 4'000);
+      auto segs = c.driver->map_write(c.layout, offset, length);
+      for (uint64_t probe = offset; probe < offset + length; probe += 53) {
+        size_t hits = 0;
+        for (const auto& s : segs) {
+          if (s.parity) continue;
+          if (probe >= s.file_offset && probe < s.file_offset + s.length) {
+            ++hits;
+          }
+        }
+        ASSERT_EQ(hits, copies) << c.name << " byte " << probe;
+      }
+      if (c.layout.aggregation == AggregationType::kErasureCoded) {
+        // m parity segments per touched group, always whole stripe units.
+        const uint64_t gb = c.layout.params[0] * c.layout.stripe_unit;
+        const uint64_t groups =
+            (offset + length - 1) / gb - offset / gb + 1;
+        size_t parity = 0;
+        for (const auto& s : segs) {
+          if (!s.parity) continue;
+          ++parity;
+          ASSERT_EQ(s.length, c.layout.stripe_unit) << c.name;
+          ASSERT_GE(s.device_index, c.layout.params[0]) << c.name;
+        }
+        ASSERT_EQ(parity, groups * c.layout.params[1]) << c.name;
+      }
+    }
+  }
+}
+
 TEST(Registry, FullRegistryKnowsEveryScheme) {
   auto reg = full_aggregation_registry();
   EXPECT_NE(reg.find(AggregationType::kRoundRobin), nullptr);
@@ -303,6 +437,7 @@ TEST(Registry, FullRegistryKnowsEveryScheme) {
   EXPECT_NE(reg.find(AggregationType::kVariableStripe), nullptr);
   EXPECT_NE(reg.find(AggregationType::kReplicated), nullptr);
   EXPECT_NE(reg.find(AggregationType::kNested), nullptr);
+  EXPECT_NE(reg.find(AggregationType::kErasureCoded), nullptr);
 }
 
 TEST(Registry, StandardRegistryLacksExtensions) {

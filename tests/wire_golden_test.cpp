@@ -238,6 +238,39 @@ TEST(WireGolden, FileLayout) {
             "00000000");        // 0 params
 }
 
+TEST(WireGolden, ErasureCodedFileLayout) {
+  // EC(2+1): the k/m split rides the existing params list — no new wire
+  // fields, so pre-redundancy decoders still parse the layout body.
+  nfs::FileLayout l;
+  l.aggregation = nfs::AggregationType::kErasureCoded;
+  l.stripe_unit = 0x10000;
+  l.devices = {nfs::DeviceId{0}, nfs::DeviceId{1}, nfs::DeviceId{2}};
+  l.fhs = {nfs::FileHandle{7}, nfs::FileHandle{8}, nfs::FileHandle{9}};
+  l.params = {2, 1};  // k data + m parity fragments
+  rpc::XdrEncoder enc;
+  l.encode(enc);
+  const std::vector<std::byte> wire = std::move(enc).take();
+  EXPECT_EQ(hex(wire),
+            "00000006"          // erasure-coded
+            "0000000000010000"  // 64 KiB stripe unit
+            "00000003"          // 3 devices (k + m)
+            "00000000"          // device 0 (data)
+            "00000001"          // device 1 (data)
+            "00000002"          // device 2 (parity)
+            "00000003"          // 3 filehandles
+            "0000000000000007"  // fh 7
+            "0000000000000008"  // fh 8
+            "0000000000000009"  // fh 9
+            "00000002"          // 2 params
+            "0000000000000002"  // k = 2
+            "0000000000000001"); // m = 1
+  rpc::XdrDecoder dec(wire);
+  const nfs::FileLayout back = nfs::FileLayout::decode(dec);
+  EXPECT_TRUE(dec.done());
+  EXPECT_EQ(back.aggregation, nfs::AggregationType::kErasureCoded);
+  EXPECT_EQ(back.params, (std::vector<uint64_t>{2, 1}));
+}
+
 TEST(WireGolden, WriteResAndCommitResCarryBootVerifier) {
   rpc::XdrEncoder enc;
   nfs::WriteRes{0x2000, nfs::StableHow::kUnstable, 5, 0x1122334455667788ull}

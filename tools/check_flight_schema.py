@@ -19,7 +19,10 @@ Usage:
       (runs a seeded chaos workload TWICE with --flight-out, byte-compares
        the two dumps — the determinism contract — validates the schema, and
        requires the recovery ladder to be on record: at least one "restart"
-       event plus some client-side recovery event)
+       event plus some client-side recovery event.  Then runs a permanent
+       data-server kill under 2-way replication with a spare and requires
+       the full loss ladder on record: ds.declared_dead, rebuild.start,
+       rebuild.complete, plus a degraded.read/write/commit client event)
 """
 
 import json
@@ -126,6 +129,18 @@ def run_simulate(simulate, out):
         check=True, stdout=subprocess.DEVNULL)
 
 
+def run_kill(simulate, out):
+    # Mirrors the permanent-kill recipe in EXPERIMENTS.md: 2-way replication,
+    # one node killed for good, a spare for the rebuild service to fill.
+    subprocess.run(
+        [simulate, "--arch=direct", "--workload=ior-write", "--clients=4",
+         "--storage-nodes=5", "--redundancy=mirror", "--replicas=2",
+         "--spares=1", "--fault-ds-kill=1", "--fault-at-ms=500",
+         "--rebuild-after-ms=800", "--bytes=8000000", "--stripe=262144",
+         f"--flight-out={out}"],
+        check=True, stdout=subprocess.DEVNULL)
+
+
 def main(argv):
     files = []
     i = 1
@@ -158,6 +173,33 @@ def main(argv):
                 err(first, "chaos run recorded no client recovery-ladder "
                            f"event (kinds seen: {sorted(k for k in kinds if k)})")
             files.append(first)  # already checked; keeps the count honest
+
+            # Permanent-kill run: the loss ladder must be on record — the
+            # node declared dead, the rebuild bracketed start/complete, and
+            # at least one client degraded-mode event in between.
+            kill_a = os.path.join(tmp, "kill_a.json")
+            kill_b = os.path.join(tmp, "kill_b.json")
+            run_kill(simulate, kill_a)
+            run_kill(simulate, kill_b)
+            with open(kill_a, "rb") as fa, open(kill_b, "rb") as fb:
+                if fa.read() != fb.read():
+                    err(kill_a, "two permanent-kill runs produced different "
+                                "dumps: determinism contract broken")
+            kill_events = check_file(kill_a)
+            kill_kinds = {ev.get("kind") for ev in kill_events
+                          if isinstance(ev, dict)}
+            for kind in ("ds.declared_dead", "rebuild.start",
+                         "rebuild.complete"):
+                if kind not in kill_kinds:
+                    err(kill_a, f"permanent-kill run recorded no '{kind}' "
+                        f"event (kinds seen: "
+                        f"{sorted(k for k in kill_kinds if k)})")
+            degraded = {"degraded.read", "degraded.write", "degraded.commit"}
+            if not (kill_kinds & degraded):
+                err(kill_a, "permanent-kill run recorded no degraded-mode "
+                    "client event (kinds seen: "
+                    f"{sorted(k for k in kill_kinds if k)})")
+            files.append(kill_a)
         else:
             check_file(argv[i])
             files.append(argv[i])

@@ -36,6 +36,20 @@ RECOVERY_COUNTERS = ("retries", "fallbacks", "breaker_trips")
 REPLAY_COUNTERS = ("verifier_mismatches", "replayed_extents",
                    "replayed_bytes")
 
+# Counters every client.redundancy component must export (docs/failures.md
+# "Degraded mode"): replica rerouting, degraded reads/writes, and erasure
+# reconstruction under permanent data-server loss.
+REDUNDANCY_COUNTERS = ("replica_reroutes", "degraded_reads",
+                       "degraded_read_bytes", "ec_reconstructions",
+                       "degraded_writes", "degraded_commits")
+
+# Counters the MDS background-rebuild service exports (docs/failures.md
+# "Background rebuild"); the component only exists when the rebuild service
+# is enabled, but when present the set is fixed.
+REBUILD_COUNTERS = ("dses_declared_dead", "rebuilds_started",
+                    "rebuilds_completed", "objects_rebuilt",
+                    "bytes_rebuilt", "objects_failed")
+
 # Counters every client.sched component (per-DS write-back scheduler) must
 # export (docs/observability.md).  Its gauges are dynamic — one
 # queue_depth/queue_depth_peak/window_inflight triple per data server the
@@ -167,6 +181,20 @@ def check_replay_component(path, comp):
                 f"{type(counters[name]).__name__}")
 
 
+def check_counter_set(path, comp, component_name, names):
+    """Fixed counter contract shared by the redundancy/rebuild components."""
+    counters = comp.get("counters", {})
+    if not isinstance(counters, dict):
+        return  # already reported by check_component
+    for name in names:
+        if name not in counters:
+            err(path, f"{component_name} missing counter '{name}'")
+        elif not isinstance(counters[name], int):
+            err(f"{path}.counters.{name}",
+                f"{component_name} counter should be int, got "
+                f"{type(counters[name]).__name__}")
+
+
 def check_sched_component(path, comp):
     """The per-DS write-back scheduler: fixed counters, dynamic per-DS
     gauges (one depth/peak/inflight triple per data server dispatched to)."""
@@ -245,6 +273,9 @@ def check_metrics_doc(path, doc):
             err(f"{path}.nodes.{node}", "client node missing client.sched")
         if "client.cache" in components and "client.replay" not in components:
             err(f"{path}.nodes.{node}", "client node missing client.replay")
+        if ("client.cache" in components
+                and "client.redundancy" not in components):
+            err(f"{path}.nodes.{node}", "client node missing client.redundancy")
         for comp, body in components.items():
             check_component(f"{path}.nodes.{node}.{comp}", body)
             if comp == "client.recovery" and isinstance(body, dict):
@@ -253,6 +284,12 @@ def check_metrics_doc(path, doc):
                 check_sched_component(f"{path}.nodes.{node}.{comp}", body)
             if comp == "client.replay" and isinstance(body, dict):
                 check_replay_component(f"{path}.nodes.{node}.{comp}", body)
+            if comp == "client.redundancy" and isinstance(body, dict):
+                check_counter_set(f"{path}.nodes.{node}.{comp}", body,
+                                  "client.redundancy", REDUNDANCY_COUNTERS)
+            if comp == "mds.rebuild" and isinstance(body, dict):
+                check_counter_set(f"{path}.nodes.{node}.{comp}", body,
+                                  "mds.rebuild", REBUILD_COUNTERS)
 
     # Every export must carry per-node resource gauges for at least one
     # storage node — this is what decomposes "where the bytes went".
